@@ -1,0 +1,76 @@
+//===- BenchUtil.h - Shared table rendering for figure benches --*- C++ -*-===//
+
+#ifndef TAWA_BENCH_BENCHUTIL_H
+#define TAWA_BENCH_BENCHUTIL_H
+
+#include "driver/Runner.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tawa {
+namespace bench {
+
+/// Prints a row-per-x, column-per-framework table of TFLOP/s values.
+/// Unsupported cells render "--"; infeasible cells render "0".
+class Table {
+public:
+  Table(std::string Title, std::string XLabel,
+        std::vector<std::string> Columns)
+      : Title(std::move(Title)), XLabel(std::move(XLabel)),
+        Columns(std::move(Columns)) {}
+
+  void addRow(const std::string &X, const std::vector<RunResult> &Results) {
+    Rows.push_back({X, Results});
+  }
+
+  void print() const {
+    std::printf("\n%s\n", Title.c_str());
+    std::printf("%-12s", XLabel.c_str());
+    for (const std::string &C : Columns)
+      std::printf(" %18s", C.c_str());
+    std::printf("\n");
+    for (const auto &[X, Results] : Rows) {
+      std::printf("%-12s", X.c_str());
+      for (const RunResult &R : Results) {
+        if (!R.Supported)
+          std::printf(" %18s", "--");
+        else if (!R.Feasible)
+          std::printf(" %18s", "0");
+        else if (!R.Error.empty())
+          std::printf(" %18s", "ERR");
+        else
+          std::printf(" %18.0f", R.TFlops);
+      }
+      std::printf("\n");
+    }
+  }
+
+  /// Geometric-mean speedup of column \p A over column \p B across rows
+  /// where both succeeded.
+  double geomeanSpeedup(size_t A, size_t B) const {
+    double LogSum = 0;
+    int N = 0;
+    for (const auto &[X, Results] : Rows) {
+      (void)X;
+      if (!Results[A].ok() || !Results[B].ok() || Results[B].TFlops <= 0)
+        continue;
+      LogSum += std::log(Results[A].TFlops / Results[B].TFlops);
+      ++N;
+    }
+    return N ? std::exp(LogSum / N) : 0.0;
+  }
+
+private:
+  std::string Title;
+  std::string XLabel;
+  std::vector<std::string> Columns;
+  std::vector<std::pair<std::string, std::vector<RunResult>>> Rows;
+};
+
+} // namespace bench
+} // namespace tawa
+
+#endif // TAWA_BENCH_BENCHUTIL_H

@@ -1,0 +1,48 @@
+//===- fig10_mha.cpp - Reproduces Fig. 10: multi-head attention --------------//
+//
+// Four panels: {FP16, FP8} x {non-causal, causal}, batch 4, head dim 128,
+// context length 1K..16K, against FA3 (CUTLASS), Triton, TileLang, and
+// ThunderKittens. Expected shape (§V-D): Tawa reaches >= 90% of FA3,
+// ~1.2x over Triton, gains growing with L; ThunderKittens fails on FP8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace tawa;
+using namespace tawa::bench;
+
+int main() {
+  Runner R;
+  const std::vector<Framework> Frameworks = {
+      Framework::FA3, Framework::Tawa, Framework::Triton,
+      Framework::TileLang, Framework::ThunderKittens};
+  const std::vector<std::string> Names = {"FA3 (CUTLASS)", "Tawa", "Triton",
+                                          "TileLang", "ThunderKittens"};
+
+  for (Precision Prec : {Precision::FP16, Precision::FP8}) {
+    for (bool Causal : {false, true}) {
+      const char *PrecName = Prec == Precision::FP16 ? "FP16" : "FP8";
+      Table T(std::string("Fig. 10 (") + PrecName +
+                  ", causal=" + (Causal ? "true" : "false") +
+                  "): MHA TFLOP/s, batch 4, head dim 128",
+              "L", Names);
+      for (int64_t L : {1024, 2048, 4096, 8192, 16384}) {
+        AttentionWorkload W;
+        W.SeqLen = L;
+        W.Causal = Causal;
+        W.Prec = Prec;
+        std::vector<RunResult> Row;
+        for (Framework F : Frameworks)
+          Row.push_back(R.runAttention(F, W));
+        T.addRow(std::to_string(L), Row);
+      }
+      T.print();
+      std::printf("geomean: Tawa/FA3 = %.2fx, Tawa/Triton = %.2fx, "
+                  "Tawa/TileLang = %.2fx\n",
+                  T.geomeanSpeedup(1, 0), T.geomeanSpeedup(1, 2),
+                  T.geomeanSpeedup(1, 3));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+//===- fig11_hyperparam.cpp - Reproduces Fig. 11: aref size x MMA depth ------//
+//
+// FP16 GEMM, K = 16384, sweeping the aref ring depth D (1..3) against the
+// fine-grained MMA pipeline depth P (1..3), with and without persistent
+// kernels. Expected shape (§V-E): only D >= P is feasible (0 otherwise),
+// throughput grows with D, P = 3 regresses (register pressure / occupancy),
+// and the persistent variant is consistently faster with its peak at
+// D = 3, P = 2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace tawa;
+using namespace tawa::bench;
+
+int main() {
+  Runner R;
+  GemmWorkload W;
+  W.K = 16384;
+
+  for (bool Persistent : {false, true}) {
+    std::printf("\nFig. 11 (%s GEMM): TFLOP/s, rows = aref size D, "
+                "cols = MMA depth P\n",
+                Persistent ? "Persistent" : "Non-Persistent");
+    std::printf("%-8s %10s %10s %10s\n", "D \\ P", "1", "2", "3");
+    for (int64_t D = 1; D <= 3; ++D) {
+      std::printf("%-8lld", static_cast<long long>(D));
+      for (int64_t P = 1; P <= 3; ++P) {
+        FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
+        E.Options.ArefDepth = D;
+        E.Options.MmaPipelineDepth = P;
+        E.Options.Persistent = Persistent;
+        RunResult Res = R.runGemmCustom(W, E, /*Functional=*/false);
+        std::printf(" %10.0f", Res.ok() ? Res.TFlops : 0.0);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(0 cells: infeasible P > D, or register budget exhausted "
+              "at D = 2, P = 3 — matching the empty cells of the paper's "
+              "heatmap.)\n");
+  return 0;
+}

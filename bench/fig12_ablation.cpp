@@ -1,0 +1,106 @@
+//===- fig12_ablation.cpp - Reproduces Fig. 12: optimization ablation --------//
+//
+// Cumulative ablation on the largest FP16 kernels (GEMM K = 16384, MHA
+// L = 16384): starting from Triton without warp specialization and adding
+// Auto WS, cooperative warp groups, larger tiles / coarse pipelining,
+// persistence, and a tuned aref size. Expected shape (§V-F): a large jump
+// from Auto WS (~3.8x on GEMM), +Cooperative WGs roughly flat until the
+// tile grows, +Persistent ~+10%, monotone overall to ~7x; on MHA the big
+// jump comes from WS + cooperative groups combined (~2.8x), then pipelining.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace tawa;
+using namespace tawa::bench;
+
+namespace {
+
+void printStep(const char *Name, const RunResult &R, double Baseline) {
+  std::printf("  %-22s %8.0f TFLOP/s   (%5.2fx over baseline)  %s\n", Name,
+              R.TFlops, Baseline > 0 ? R.TFlops / Baseline : 0.0,
+              R.Error.c_str());
+}
+
+} // namespace
+
+int main() {
+  Runner R;
+
+  {
+    std::printf("\nFig. 12 (GEMM, FP16, K = 16384): cumulative ablation\n");
+    GemmWorkload W;
+    W.K = 16384;
+
+    // Step 0: Triton without warp specialization (synchronous loads).
+    FrameworkEnvelope E = getGemmEnvelope(Framework::TritonNoPipe, W);
+    RunResult Base = R.runGemmCustom(W, E, false);
+    printStep("Triton w/o WS", Base, Base.TFlops);
+
+    // Step 1: + automatic warp specialization (one consumer group, same
+    // 128x128 tiling).
+    E = FrameworkEnvelope();
+    E.TileM = 128;
+    E.TileN = 128;
+    E.TileK = 64;
+    E.Options.EnableWarpSpecialization = true;
+    E.Options.ArefDepth = 2;
+    E.Options.MmaPipelineDepth = 1;
+    E.Options.NumConsumerGroups = 1;
+    printStep("+Auto WS", R.runGemmCustom(W, E, false), Base.TFlops);
+
+    // Step 2: + cooperative warp groups (same tile: little change, but the
+    // register headroom enables the next step).
+    E.Options.NumConsumerGroups = 2;
+    printStep("+Cooperative WGs", R.runGemmCustom(W, E, false), Base.TFlops);
+
+    // Step 3: + large tile size (128x256, register pooling of §IV-A).
+    E.TileN = 256;
+    printStep("+Large Tile Size", R.runGemmCustom(W, E, false), Base.TFlops);
+
+    // Step 4: + persistent kernel.
+    E.Options.Persistent = true;
+    printStep("+Persistent Kernel", R.runGemmCustom(W, E, false),
+              Base.TFlops);
+
+    // Step 5: + tuned aref size / MMA depth.
+    E.Options.ArefDepth = 3;
+    E.Options.MmaPipelineDepth = 2;
+    printStep("+Better Aref Size", R.runGemmCustom(W, E, false),
+              Base.TFlops);
+  }
+
+  {
+    std::printf("\nFig. 12 (MHA, FP16, L = 16384): cumulative ablation\n");
+    AttentionWorkload W;
+    W.SeqLen = 16384;
+
+    FrameworkEnvelope E = getAttentionEnvelope(Framework::TritonNoPipe, W);
+    RunResult Base = R.runAttentionCustom(W, E, false);
+    printStep("Triton w/o WS", Base, Base.TFlops);
+
+    E = FrameworkEnvelope();
+    E.TileQ = 128;
+    E.TileKv = 128;
+    E.ComputeScale =
+        getAttentionEnvelope(Framework::Tawa, W).ComputeScale;
+    E.Options.EnableWarpSpecialization = true;
+    E.Options.ArefDepth = 2;
+    E.Options.MmaPipelineDepth = 0; // Synchronous dots.
+    E.Options.NumConsumerGroups = 1;
+    printStep("+Auto WS", R.runAttentionCustom(W, E, false), Base.TFlops);
+
+    E.Options.NumConsumerGroups = 2;
+    printStep("+Cooperative WGs", R.runAttentionCustom(W, E, false),
+              Base.TFlops);
+
+    E.Options.CoarsePipeline = true;
+    printStep("+Pipeline", R.runAttentionCustom(W, E, false), Base.TFlops);
+
+    E.Options.ArefDepth = 3;
+    printStep("+Better Aref Size", R.runAttentionCustom(W, E, false),
+              Base.TFlops);
+  }
+  return 0;
+}

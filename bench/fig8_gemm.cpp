@@ -1,0 +1,47 @@
+//===- fig8_gemm.cpp - Reproduces Fig. 8: GEMM throughput sweep --------------//
+//
+// FP16 and FP8 GEMM, M = N = 8192, K swept from 256 to 16384, against the
+// theoretical peak, cuBLAS, baseline Triton, TileLang, and ThunderKittens.
+// Expected shape (paper §V-B): Tawa tracks cuBLAS (cuBLAS ahead at small K),
+// beats Triton by ~1.1x on average, larger FP8 gains at small K, and
+// TileLang/ThunderKittens lead slightly only at K >= 8192 in FP16.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace tawa;
+using namespace tawa::bench;
+
+int main() {
+  Runner R;
+  const std::vector<int64_t> Ks = {256,  512,  1024, 2048,
+                                   4096, 8192, 16384};
+  const std::vector<Framework> Frameworks = {
+      Framework::Peak,     Framework::CuBlas,        Framework::Tawa,
+      Framework::Triton,   Framework::TileLang,      Framework::ThunderKittens};
+  const std::vector<std::string> Names = {
+      "Peak", "cuBLAS", "Tawa", "Triton", "TileLang", "ThunderKittens"};
+
+  for (Precision Prec : {Precision::FP16, Precision::FP8}) {
+    const char *PrecName = Prec == Precision::FP16 ? "FP16" : "FP8";
+    Table T(std::string("Fig. 8 (") + PrecName +
+                "): GEMM TFLOP/s, M = N = 8192",
+            "K", Names);
+    for (int64_t K : Ks) {
+      GemmWorkload W;
+      W.K = K;
+      W.Prec = Prec;
+      std::vector<RunResult> Row;
+      for (Framework F : Frameworks)
+        Row.push_back(R.runGemm(F, W));
+      T.addRow(std::to_string(K), Row);
+    }
+    T.print();
+    std::printf("geomean speedups: Tawa/cuBLAS = %.2fx, Tawa/Triton = %.2fx, "
+                "Tawa/TileLang = %.2fx, Tawa/ThunderKittens = %.2fx\n",
+                T.geomeanSpeedup(2, 1), T.geomeanSpeedup(2, 3),
+                T.geomeanSpeedup(2, 4), T.geomeanSpeedup(2, 5));
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- micro_passes.cpp - Compiler pass microbenchmarks -----------------------//
+//
+// google-benchmark timings for the individual Tawa passes and the full
+// pipeline on the GEMM and attention kernels (compile-time cost of automatic
+// warp specialization — the paper's flow adds ~4K lines of passes to Triton;
+// these benches document that the transformations themselves are cheap).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Kernels.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+#include "sim/Interpreter.h"
+#include "sim/Replay.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tawa;
+
+static void BM_BuildGemmIr(benchmark::State &State) {
+  for (auto _ : State) {
+    IrContext Ctx;
+    GemmKernelConfig Config;
+    auto M = buildGemmModule(Ctx, Config);
+    benchmark::DoNotOptimize(M.get());
+  }
+}
+BENCHMARK(BM_BuildGemmIr);
+
+static void BM_VerifyGemmIr(benchmark::State &State) {
+  IrContext Ctx;
+  GemmKernelConfig Config;
+  auto M = buildGemmModule(Ctx, Config);
+  for (auto _ : State) {
+    std::string Err = verify(*M);
+    benchmark::DoNotOptimize(Err);
+  }
+}
+BENCHMARK(BM_VerifyGemmIr);
+
+static void BM_FullPipelineGemm(benchmark::State &State) {
+  TawaOptions Options;
+  Options.ArefDepth = 3;
+  Options.MmaPipelineDepth = 2;
+  Options.NumConsumerGroups = 2;
+  Options.Persistent = true;
+  for (auto _ : State) {
+    IrContext Ctx;
+    GemmKernelConfig Config;
+    auto M = buildGemmModule(Ctx, Config);
+    PassManager PM;
+    buildTawaPipeline(PM, Options);
+    std::string Err = PM.run(*M);
+    benchmark::DoNotOptimize(Err);
+  }
+}
+BENCHMARK(BM_FullPipelineGemm);
+
+static void BM_FullPipelineAttention(benchmark::State &State) {
+  TawaOptions Options;
+  Options.ArefDepth = 2;
+  Options.CoarsePipeline = true;
+  Options.NumConsumerGroups = 2;
+  for (auto _ : State) {
+    IrContext Ctx;
+    AttentionKernelConfig Config;
+    Config.Causal = true;
+    auto M = buildAttentionModule(Ctx, Config);
+    PassManager PM;
+    buildTawaPipeline(PM, Options);
+    std::string Err = PM.run(*M);
+    benchmark::DoNotOptimize(Err);
+  }
+}
+BENCHMARK(BM_FullPipelineAttention);
+
+static void BM_WarpSpecializeOnly(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    IrContext Ctx;
+    GemmKernelConfig Config;
+    auto M = buildGemmModule(Ctx, Config);
+    runSemanticTagging(*M);
+    State.ResumeTiming();
+    std::string Err = runWarpSpecialize(*M, 3);
+    benchmark::DoNotOptimize(Err);
+  }
+}
+BENCHMARK(BM_WarpSpecializeOnly);
+
+static void BM_SimulateCompiledCta(benchmark::State &State) {
+  // Timing-mode interpretation + replay of one warp-specialized CTA
+  // (K = 4096: 64 pipeline iterations).
+  IrContext Ctx;
+  GemmKernelConfig Config;
+  auto M = buildGemmModule(Ctx, Config);
+  TawaOptions Options;
+  Options.ArefDepth = 3;
+  Options.MmaPipelineDepth = 2;
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  if (!PM.run(*M).empty())
+    return;
+  sim::GpuConfig Cfg;
+  sim::Interpreter Interp(*M, Cfg);
+  sim::RunOptions Launch;
+  Launch.Functional = false;
+  Launch.GridX = 4096;
+  Launch.Args = {
+      sim::RuntimeArg::tensor(nullptr), sim::RuntimeArg::tensor(nullptr),
+      sim::RuntimeArg::tensor(nullptr), sim::RuntimeArg::scalar(8192),
+      sim::RuntimeArg::scalar(8192),    sim::RuntimeArg::scalar(4096)};
+  for (auto _ : State) {
+    sim::CtaTrace T;
+    std::string Err = Interp.runCta(Launch, 0, 0, T);
+    sim::ReplayParams Params;
+    auto Rep = sim::replaySmSchedule({&T}, Cfg, Params);
+    benchmark::DoNotOptimize(Rep.Cycles);
+    benchmark::DoNotOptimize(Err);
+  }
+}
+BENCHMARK(BM_SimulateCompiledCta);
+
+BENCHMARK_MAIN();

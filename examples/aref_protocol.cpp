@@ -1,0 +1,82 @@
+//===- aref_protocol.cpp - The Fig. 4 semantics, interactively ----------------//
+//
+// Walks the asynchronous-reference state machine step by step: the legal
+// put -> get -> consumed handshake, the blocking cases a real mbarrier would
+// park a warp on, and the protocol errors the compiler must never emit —
+// then shows the happens-before chain the machine induces.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/ArefSemantics.h"
+#include "sem/HappensBefore.h"
+
+#include <cstdio>
+
+using namespace tawa::sem;
+
+namespace {
+
+const char *resultName(TransitionResult R) {
+  switch (R) {
+  case TransitionResult::Ok:
+    return "ok";
+  case TransitionResult::WouldBlock:
+    return "would-block (mbarrier wait)";
+  case TransitionResult::ProtocolError:
+    return "PROTOCOL ERROR";
+  }
+  return "?";
+}
+
+void show(const char *What, TransitionResult R, const ArefMachine &M,
+          int64_t Slot) {
+  std::printf("  %-24s -> %-28s slot state: %s\n", What, resultName(R),
+              getSlotStateName(M.getSlotState(Slot)));
+}
+
+} // namespace
+
+int main() {
+  std::printf("A 2-slot aref ring (D = 2), E = 1 / F = 0 initially:\n\n");
+  ArefMachine M(2);
+
+  std::printf("The legal pipeline (producer one slot ahead):\n");
+  show("put(slot 0)", M.put(0, 1), M, 0);
+  show("put(slot 1)", M.put(1, 2), M, 1);
+  show("put(slot 0) again", M.put(0, 3), M, 0); // Blocks: ring full.
+  show("get(slot 0)", M.get(0), M, 0);
+  show("consumed(slot 0)", M.consumed(0), M, 0);
+  show("put(slot 0) retried", M.put(0, 3), M, 0); // Now the credit is back.
+
+  std::printf("\nWhat the hardware mbarriers protect against:\n");
+  ArefMachine Bad(1);
+  show("get before any put", Bad.get(0), Bad, 0); // Premature access: blocks.
+  Bad.put(0, 1);
+  Bad.get(0);
+  show("get while borrowed", Bad.get(0), Bad, 0);     // Double acquisition.
+  Bad.consumed(0);
+  show("consumed when empty", Bad.consumed(0), Bad, 0); // Spurious release.
+  std::printf("  recorded violations: %zu\n", Bad.getViolations().size());
+  for (const ProtocolViolation &V : Bad.getViolations())
+    std::printf("    - %s\n", V.Message.c_str());
+
+  std::printf("\nThe happens-before chain (producer agent 0, consumer 1):\n");
+  HappensBeforeTracker HB(2);
+  std::printf("  write(0) .............. %s\n",
+              HB.recordWrite(0, 0, 0).empty() ? "ordered" : "RACE");
+  HB.recordPut(0, 0, 0);
+  HB.recordGet(1, 0, 0);
+  std::printf("  read(1) after get ..... %s\n",
+              HB.recordRead(1, 0, 0).empty() ? "ordered" : "RACE");
+  HB.recordConsumed(1, 0, 0);
+  HB.recordAcquireEmpty(0, 0, 0);
+  std::printf("  reuse write(0) ........ %s\n",
+              HB.recordWrite(0, 0, 0).empty() ? "ordered" : "RACE");
+
+  HappensBeforeTracker Racy(2);
+  Racy.recordWrite(0, 0, 0);
+  Racy.recordPut(0, 0, 0);
+  std::printf("  read without acquire .. %s\n",
+              Racy.recordRead(1, 0, 0).empty() ? "ordered" : "RACE (caught)");
+  return 0;
+}

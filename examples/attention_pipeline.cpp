@@ -1,0 +1,92 @@
+//===- attention_pipeline.cpp - Coarse-grained T/C/U pipelining demo ----------//
+//
+// Builds the FlashAttention-style kernel, compiles it three ways —
+// unspecialized, warp-specialized with synchronous dots, and with the
+// Algorithm-1 coarse pipeline — validates all three against the FP64
+// reference, and reports how much throughput each scheduling level unlocks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Runner.h"
+
+#include <cstdio>
+
+using namespace tawa;
+
+namespace {
+
+RunResult runVariant(Runner &R, const AttentionWorkload &W,
+                     const FrameworkEnvelope &E, const char *Name,
+                     bool Functional) {
+  RunResult Res = R.runAttentionCustom(W, E, Functional);
+  if (!Res.Error.empty()) {
+    std::printf("  %-28s FAILED: %s\n", Name, Res.Error.c_str());
+    return Res;
+  }
+  std::printf("  %-28s %7.0f TFLOP/s", Name, Res.TFlops);
+  if (Functional)
+    std::printf("   (max rel err %.2e)", Res.MaxRelError);
+  std::printf("\n");
+  return Res;
+}
+
+} // namespace
+
+int main() {
+  Runner R;
+
+  // Small causal workload: every variant runs functionally, end to end.
+  AttentionWorkload Small;
+  Small.SeqLen = 512;
+  Small.Batch = 1;
+  Small.Heads = 2;
+  Small.HeadDim = 64;
+  Small.Causal = true;
+
+  FrameworkEnvelope Plain;
+  Plain.Options.EnableWarpSpecialization = false;
+  Plain.TileQ = Plain.TileKv = 64;
+
+  FrameworkEnvelope Sync;
+  Sync.Options.EnableWarpSpecialization = true;
+  Sync.Options.ArefDepth = 2;
+  Sync.Options.MmaPipelineDepth = 0;
+  Sync.Options.NumConsumerGroups = 2;
+  Sync.TileQ = Sync.TileKv = 64;
+
+  FrameworkEnvelope Coarse = Sync;
+  Coarse.Options.MmaPipelineDepth = 0;
+  Coarse.Options.CoarsePipeline = true;
+
+  std::printf("Causal MHA, L = 512 (functional validation, FP64 "
+              "reference):\n");
+  runVariant(R, Small, Plain, "unspecialized", true);
+  runVariant(R, Small, Sync, "warp-specialized (sync)", true);
+  runVariant(R, Small, Coarse, "+ coarse T/C/U pipeline", true);
+
+  // Large workload: timing model only; the realistic 128x128 tiles.
+  AttentionWorkload Big;
+  Big.SeqLen = 8192;
+  Big.Causal = true;
+  FrameworkEnvelope SyncBig = Sync, CoarseBig = Coarse, PlainBig = Plain;
+  PlainBig.TileQ = PlainBig.TileKv = 128;
+  SyncBig.TileQ = SyncBig.TileKv = 128;
+  CoarseBig.TileQ = CoarseBig.TileKv = 128;
+  // The shared attention inefficiency factor documented in
+  // models/Frameworks.cpp.
+  double Scale = getAttentionEnvelope(Framework::Tawa, Big).ComputeScale;
+  PlainBig.ComputeScale = SyncBig.ComputeScale = CoarseBig.ComputeScale =
+      Scale;
+
+  std::printf("\nCausal MHA, L = 8192, batch 4 x 32 heads (timing model):\n");
+  RunResult P = runVariant(R, Big, PlainBig, "unspecialized", false);
+  RunResult S = runVariant(R, Big, SyncBig, "warp-specialized (sync)", false);
+  RunResult C = runVariant(R, Big, CoarseBig, "+ coarse T/C/U pipeline",
+                           false);
+  if (P.ok() && S.ok() && C.ok())
+    std::printf("\nOverlapping softmax (CUDA cores) under QK^T/PV (tensor "
+                "cores)\nbuys %.0f%% on top of plain warp specialization; "
+                "%.2fx total.\n",
+                100.0 * (C.TFlops / S.TFlops - 1.0), C.TFlops / P.TFlops);
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- persistent_tuning.cpp - Hyperparameter exploration (Fig. 11 style) -----//
+//
+// Sweeps the aref ring depth D, the MMA pipeline depth P, tile shapes, and
+// persistence for a user-chosen GEMM, printing the feasible region and the
+// best configuration — exactly the manual tuning loop §V-A describes
+// ("the size of the aref and the depth of the MMA pipeline are selected
+// manually to maximize performance").
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tawa;
+
+int main(int argc, char **argv) {
+  GemmWorkload W;
+  W.K = argc > 1 ? std::atoll(argv[1]) : 8192;
+
+  Runner R;
+  std::printf("Tuning Tawa GEMM M=N=8192, K=%lld (FP16)\n",
+              static_cast<long long>(W.K));
+
+  struct Best {
+    double TFlops = 0;
+    int64_t D = 0, P = 0, TileN = 0;
+    bool Persistent = false;
+  } Best;
+
+  for (bool Persistent : {false, true}) {
+    for (int64_t TileN : {128, 256}) {
+      std::printf("\n%s, tile 128x%lld:\n  D\\P ",
+                  Persistent ? "persistent" : "non-persistent",
+                  static_cast<long long>(TileN));
+      for (int64_t P = 1; P <= 3; ++P)
+        std::printf("%9lld", static_cast<long long>(P));
+      std::printf("\n");
+      for (int64_t D = 1; D <= 4; ++D) {
+        std::printf("  %-4lld", static_cast<long long>(D));
+        for (int64_t P = 1; P <= 3; ++P) {
+          FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
+          E.TileN = TileN;
+          E.Options.ArefDepth = D;
+          E.Options.MmaPipelineDepth = P;
+          E.Options.Persistent = Persistent;
+          E.Options.NumConsumerGroups = 2;
+          RunResult Res = R.runGemmCustom(W, E, false);
+          if (!Res.ok()) {
+            std::printf("%9s", "-");
+            continue;
+          }
+          std::printf("%9.0f", Res.TFlops);
+          if (Res.TFlops > Best.TFlops)
+            Best = {Res.TFlops, D, P, TileN, Persistent};
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  std::printf("\nBest configuration: D=%lld P=%lld tile 128x%lld %s "
+              "-> %.0f TFLOP/s\n",
+              static_cast<long long>(Best.D),
+              static_cast<long long>(Best.P),
+              static_cast<long long>(Best.TileN),
+              Best.Persistent ? "persistent" : "non-persistent", Best.TFlops);
+  std::printf("('-' cells: infeasible — P > D, coarse-pipeline constraints, "
+              "or out of shared memory / registers.)\n");
+  return 0;
+}

@@ -1,0 +1,510 @@
+//===- Runner.cpp - Compile-and-simulate orchestration -------------------------//
+
+#include "driver/Runner.h"
+
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+#include "sim/Numerics.h"
+#include "sim/Replay.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+namespace {
+
+/// Analytic L2-reuse model for GEMM: within one wave of CTAs the scheduler
+/// covers a Rows x Cols rectangle of output tiles whose A/B slabs fit L2, so
+/// only the rectangle's border data hits DRAM. Returns the DRAM fraction of
+/// requested bytes (<= 1).
+double gemmReuseFactor(int64_t NumPidM, int64_t NumPidN, int64_t TileM,
+                       int64_t TileN, int64_t Wave) {
+  Wave = std::min(Wave, NumPidM * NumPidN);
+  if (Wave <= 0)
+    return 1.0;
+  double BestUnique = 1e30;
+  for (int64_t Rows = 1; Rows <= NumPidM; ++Rows) {
+    int64_t Cols = ceilDiv(Wave, Rows);
+    if (Cols > NumPidN)
+      continue;
+    double Unique = static_cast<double>(Rows * TileM + Cols * TileN);
+    BestUnique = std::min(BestUnique, Unique);
+  }
+  if (BestUnique >= 1e30) // Wave wider than the grid: everything unique.
+    return 1.0;
+  double Requested = static_cast<double>(Wave) *
+                     static_cast<double>(TileM + TileN);
+  return std::min(1.0, BestUnique / Requested);
+}
+
+/// Register-pressure estimate for a consumer warp group (§IV-A, Fig. 11):
+/// the f32 accumulator fragments live in registers, split across cooperative
+/// replicas, and deeper MMA pipelines keep more fragments alive.
+int64_t estimateRegsPerThread(const GpuConfig &Config, int64_t AccElems,
+                              int64_t P, int64_t Replicas,
+                              bool WarpSpecialized) {
+  // WS: each consumer warp group (128 threads) holds 1/Replicas of the
+  // accumulator. Non-WS: all 8 warps (256 threads) share the tile.
+  double Threads = WarpSpecialized ? 128.0 * static_cast<double>(Replicas)
+                                   : 256.0;
+  double Frag = static_cast<double>(AccElems) / Threads;
+  double PipeScale =
+      1.0 + Config.PipelineRegFactor * static_cast<double>(std::max<int64_t>(
+                                           P, 1) -
+                                       1);
+  return Config.BaseRegsPerThread +
+         static_cast<int64_t>(Frag * PipeScale);
+}
+
+/// Per-thread register budget for consumer warp groups: the producer group
+/// runs register-deallocated (setmaxnreg) at ~40 regs/thread.
+int64_t consumerRegBudget(const GpuConfig &Config, bool WarpSpecialized,
+                          int64_t Replicas) {
+  if (!WarpSpecialized)
+    return Config.RegsPerSm / 256; // 8 warps, one CTA.
+  // The producer group runs register-deallocated (setmaxnreg ~24, as FA3
+  // and CUTLASS producer warps do).
+  int64_t ProducerRegs = 128 * 24;
+  int64_t ConsumerThreads = 128 * Replicas;
+  return std::min<int64_t>((Config.RegsPerSm - ProducerRegs) /
+                               ConsumerThreads,
+                           Config.MaxRegsPerThread);
+}
+
+/// Copies a (1, L, D) window of a rank-3 host tensor into an (L, D) matrix.
+TensorData slice2d(const TensorData &T, int64_t Bh, int64_t L, int64_t D) {
+  TensorData W = T.extractWindow({Bh, 0, 0}, {1, L, D});
+  TensorData Out({L, D});
+  for (int64_t I = 0, E = L * D; I != E; ++I)
+    Out.at(I) = W.at(I);
+  return Out;
+}
+
+/// Rounds a freshly filled host tensor to the kernel input precision.
+void roundHostTensor(TensorData &T, Precision P) {
+  for (int64_t I = 0, E = T.getNumElements(); I != E; ++I)
+    T.at(I) = P == Precision::FP16 ? roundToFp16(T.at(I))
+                                   : roundToFp8E4M3(T.at(I));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Analytic models (cuBLAS, theoretical peak)
+//===----------------------------------------------------------------------===//
+
+RunResult Runner::runGemmAnalytic(const GemmWorkload &W,
+                                  const FrameworkEnvelope &E) {
+  RunResult R;
+  double Flops = W.flops();
+  bool Fp8 = W.Prec == Precision::FP8;
+  double Peak = (Fp8 ? Config.Fp8TflopsPeak : Config.Fp16TflopsPeak) * 1e12;
+  double ElemBytes = static_cast<double>(getPrecisionBytes(W.Prec));
+  double Bytes = static_cast<double>(W.Batch) *
+                     (static_cast<double>(W.totalM()) * W.K +
+                      static_cast<double>(W.N) * W.K) *
+                     ElemBytes +
+                 static_cast<double>(W.Batch) *
+                     static_cast<double>(W.totalM()) * W.N * 2.0;
+  double StoreBytes = static_cast<double>(W.Batch) *
+                      static_cast<double>(W.totalM()) * W.N * 2.0;
+  double LoadBytes = Bytes - StoreBytes;
+  double ComputeSec = Flops / (Peak * E.AnalyticComputeEff);
+  double MemSec = LoadBytes / (Config.HbmTBps * 1e12 * E.AnalyticMemEff);
+  // Output waves drain serially (the store traffic cannot hide behind the
+  // next wave's compute in a non-persistent library kernel), and every wave
+  // pays a scheduling overhead.
+  // Library kernels partially overlap the output waves with compute.
+  double StoreSec =
+      0.6 * StoreBytes / (Config.HbmTBps * 1e12 * E.AnalyticMemEff);
+  double Tiles = ceilDiv(W.totalM(), 128) * ceilDiv(W.N, 256) * W.Batch;
+  double Waves = ceilDiv(static_cast<int64_t>(Tiles), Config.NumSms);
+  double Sec = std::max(ComputeSec, MemSec) + StoreSec +
+               Waves * 0.5e-6 + E.AnalyticOverheadMicros * 1e-6;
+  R.Micros = Sec * 1e6;
+  R.TFlops = Flops / Sec / 1e12;
+  return R;
+}
+
+RunResult Runner::runAttentionAnalytic(const AttentionWorkload &W,
+                                       const FrameworkEnvelope &E) {
+  RunResult R;
+  double Flops = W.flops();
+  bool Fp8 = W.Prec == Precision::FP8;
+  double Peak = (Fp8 ? Config.Fp8TflopsPeak : Config.Fp16TflopsPeak) * 1e12;
+  double Sec = Flops / (Peak * E.AnalyticComputeEff) +
+               E.AnalyticOverheadMicros * 1e-6;
+  R.Micros = Sec * 1e6;
+  R.TFlops = Flops / Sec / 1e12;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// GEMM
+//===----------------------------------------------------------------------===//
+
+RunResult Runner::runGemm(Framework F, const GemmWorkload &W,
+                          bool Functional) {
+  return runGemmCustom(W, getGemmEnvelope(F, W), Functional);
+}
+
+RunResult Runner::runGemmCustom(const GemmWorkload &W,
+                                const FrameworkEnvelope &E, bool Functional) {
+  RunResult R;
+  if (!E.Supported) {
+    R.Supported = false;
+    return R;
+  }
+  if (E.Analytic)
+    return runGemmAnalytic(W, E);
+
+  TawaOptions Options = E.Options;
+  if (W.Batch > 1)
+    Options.Persistent = false; // Tile queues are per batch slice.
+  if (Options.EnableWarpSpecialization) {
+    if (std::string Err = Options.validate(); !Err.empty()) {
+      R.Feasible = false;
+      R.Error = Err;
+      return R;
+    }
+  }
+
+  int64_t TotalM = W.totalM();
+  GemmKernelConfig Kernel;
+  Kernel.TileM = E.TileM;
+  Kernel.TileN = E.TileN;
+  Kernel.TileK = E.TileK;
+  Kernel.InPrecision = W.Prec;
+  Kernel.Batched = W.Batch > 1;
+
+  IrContext Ctx;
+  auto M = buildGemmModule(Ctx, Kernel);
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  if (std::string Err = PM.run(*M); !Err.empty()) {
+    R.Error = "compile: " + Err;
+    return R;
+  }
+  if (!Options.EnableWarpSpecialization && E.SwPipelineDepth > 0)
+    runSoftwarePipeline(*M, E.SwPipelineDepth);
+
+  int64_t NumPidM = ceilDiv(TotalM, Kernel.TileM);
+  int64_t NumPidN = ceilDiv(W.N, Kernel.TileN);
+  int64_t Tiles = NumPidM * NumPidN;
+  bool Persistent = Options.Persistent && Options.EnableWarpSpecialization;
+  int64_t GridX = Persistent ? std::min<int64_t>(Config.NumSms, Tiles)
+                             : Tiles;
+  int64_t GridY = W.Batch;
+
+  // Resource feasibility.
+  int64_t Replicas = Options.NumConsumerGroups;
+  int64_t AccElems = Kernel.TileM * Kernel.TileN;
+  R.RegsPerThread = estimateRegsPerThread(
+      Config, AccElems,
+      Options.CoarsePipeline ? 2 : Options.MmaPipelineDepth, Replicas,
+      Options.EnableWarpSpecialization);
+  int64_t Budget = consumerRegBudget(
+      Config, Options.EnableWarpSpecialization, Replicas);
+  double TensorPenalty = E.ComputeScale;
+  double CudaPenalty = E.CudaScale;
+  if (R.RegsPerThread > Config.MaxRegsPerThread) {
+    R.Feasible = false;
+    R.Error = "register budget exceeded (hard limit)";
+    return R;
+  }
+  if (R.RegsPerThread > Budget) {
+    TensorPenalty *= Config.SpillPenalty;
+    CudaPenalty *= Config.SpillPenalty;
+  }
+
+  // Host data & launch arguments.
+  RunOptions Launch;
+  Launch.GridX = GridX;
+  Launch.GridY = GridY;
+  Launch.Functional = Functional;
+  TensorRef A, B, C;
+  if (Functional) {
+    std::vector<int64_t> AShape = {TotalM, W.K};
+    std::vector<int64_t> BShape = {W.N, W.K};
+    std::vector<int64_t> CShape = {TotalM, W.N};
+    if (Kernel.Batched) {
+      AShape.insert(AShape.begin(), W.Batch);
+      BShape.insert(BShape.begin(), W.Batch);
+      CShape.insert(CShape.begin(), W.Batch);
+    }
+    A = std::make_shared<TensorData>(AShape);
+    B = std::make_shared<TensorData>(BShape);
+    C = std::make_shared<TensorData>(CShape);
+    A->fillRandom(1, 1.0f);
+    B->fillRandom(2, 1.0f);
+    roundHostTensor(*A, W.Prec);
+    roundHostTensor(*B, W.Prec);
+  }
+  Launch.Args = {RuntimeArg::tensor(A),
+                 RuntimeArg::tensor(B),
+                 RuntimeArg::tensor(C),
+                 RuntimeArg::scalar(TotalM),
+                 RuntimeArg::scalar(W.N),
+                 RuntimeArg::scalar(W.K)};
+
+  Interpreter Interp(*M, Config);
+
+  // Functional pass over every CTA (validates numerics); CTA 0's trace also
+  // feeds the timing model below.
+  CtaTrace Sample;
+  if (Functional) {
+    for (int64_t Z = 0; Z < GridY; ++Z)
+      for (int64_t P = 0; P < GridX; ++P) {
+        CtaTrace T;
+        if (std::string Err = Interp.runCta(Launch, P, Z, T); !Err.empty()) {
+          R.Error = formatString("cta (%lld,%lld): ",
+                                 static_cast<long long>(P),
+                                 static_cast<long long>(Z)) +
+                    Err;
+          return R;
+        }
+        if (P == 0 && Z == 0)
+          Sample = std::move(T);
+      }
+    // Validate against the double-precision reference.
+    if (!Kernel.Batched) {
+      TensorData Ref = referenceGemm(*A, *B);
+      roundHostTensor(Ref, Precision::FP16); // C is stored f16.
+      R.MaxRelError = C->maxRelDiff(Ref);
+    } else {
+      double Worst = 0;
+      for (int64_t Z = 0; Z < W.Batch; ++Z) {
+        TensorData Az = slice2d(*A, Z, TotalM, W.K);
+        TensorData Bz = slice2d(*B, Z, W.N, W.K);
+        TensorData Cz = slice2d(*C, Z, TotalM, W.N);
+        TensorData Ref = referenceGemm(Az, Bz);
+        roundHostTensor(Ref, Precision::FP16);
+        Worst = std::max(Worst, Cz.maxRelDiff(Ref));
+      }
+      R.MaxRelError = Worst;
+    }
+  } else {
+    if (std::string Err = Interp.runCta(Launch, 0, 0, Sample);
+        !Err.empty()) {
+      R.Error = Err;
+      return R;
+    }
+  }
+
+  R.SmemBytes = Sample.SmemBytes;
+  if (Sample.SmemBytes > Config.SmemBytesPerSm) {
+    R.Feasible = false;
+    R.Error = formatString("shared memory exceeded: %lld > %lld",
+                           static_cast<long long>(Sample.SmemBytes),
+                           static_cast<long long>(Config.SmemBytesPerSm));
+    return R;
+  }
+
+  // Timing: one SM's schedule, wave model.
+  int64_t TotalCtas = Tiles * W.Batch;
+  ReplayParams Params;
+  Params.BwShareSms =
+      static_cast<double>(std::min<int64_t>(TotalCtas, Config.NumSms));
+  Params.DramReuseFactor = gemmReuseFactor(
+      NumPidM, NumPidN, Kernel.TileM, Kernel.TileN,
+      std::min<int64_t>(Tiles, Config.NumSms));
+  Params.TensorPenalty = TensorPenalty;
+  Params.CudaPenalty = CudaPenalty;
+  Params.CtaGapCycles = E.ExtraCtaCycles;
+
+  std::vector<const CtaTrace *> Schedule;
+  int64_t CtasOnSm0 =
+      Persistent ? 1 : ceilDiv(TotalCtas, Config.NumSms);
+  for (int64_t I = 0; I < CtasOnSm0; ++I)
+    Schedule.push_back(&Sample);
+
+  ReplayResult Rep = replaySmSchedule(Schedule, Config, Params);
+  if (Rep.Deadlock) {
+    R.Error = Rep.Error;
+    return R;
+  }
+  R.Micros = Config.cyclesToMicros(Rep.Cycles) + E.ExtraLaunchMicros;
+  R.TFlops = W.flops() / (R.Micros * 1e-6) / 1e12;
+  R.TensorUtilization = Rep.TensorBusyCycles / std::max(1.0, Rep.Cycles);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Attention
+//===----------------------------------------------------------------------===//
+
+RunResult Runner::runAttention(Framework F, const AttentionWorkload &W,
+                               bool Functional) {
+  return runAttentionCustom(W, getAttentionEnvelope(F, W), Functional);
+}
+
+RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
+                                     const FrameworkEnvelope &E,
+                                     bool Functional) {
+  RunResult R;
+  if (!E.Supported) {
+    R.Supported = false;
+    return R;
+  }
+  if (E.Analytic)
+    return runAttentionAnalytic(W, E);
+
+  TawaOptions Options = E.Options;
+  if (Options.EnableWarpSpecialization) {
+    if (std::string Err = Options.validate(); !Err.empty()) {
+      R.Feasible = false;
+      R.Error = Err;
+      return R;
+    }
+  }
+
+  AttentionKernelConfig Kernel;
+  Kernel.TileQ = E.TileQ;
+  Kernel.TileKv = E.TileKv;
+  Kernel.HeadDim = W.HeadDim;
+  Kernel.Causal = W.Causal;
+  Kernel.InPrecision = W.Prec;
+
+  IrContext Ctx;
+  auto M = buildAttentionModule(Ctx, Kernel);
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  if (std::string Err = PM.run(*M); !Err.empty()) {
+    R.Error = "compile: " + Err;
+    return R;
+  }
+  if (!Options.EnableWarpSpecialization && E.SwPipelineDepth > 0)
+    runSoftwarePipeline(*M, E.SwPipelineDepth);
+
+  int64_t QTiles = ceilDiv(W.SeqLen, Kernel.TileQ);
+  int64_t BH = W.Batch * W.Heads;
+  int64_t TotalCtas = QTiles * BH;
+
+  int64_t Replicas = Options.NumConsumerGroups;
+  // Live fragments: the f32 output accumulator plus the score/P tile, which
+  // lives mostly in f16 fragments (half weight).
+  int64_t AccElems = Kernel.TileQ * (W.HeadDim + Kernel.TileKv / 2);
+  R.RegsPerThread = estimateRegsPerThread(
+      Config, AccElems, Options.CoarsePipeline ? 2 : 1, Replicas,
+      Options.EnableWarpSpecialization);
+  int64_t Budget = consumerRegBudget(
+      Config, Options.EnableWarpSpecialization, Replicas);
+  double TensorPenalty = E.ComputeScale;
+  double CudaPenalty = E.CudaScale;
+  if (R.RegsPerThread > Budget) {
+    TensorPenalty *= Config.SpillPenalty;
+    CudaPenalty *= Config.SpillPenalty;
+  }
+
+  RunOptions Launch;
+  Launch.GridX = QTiles;
+  Launch.GridY = BH;
+  Launch.Functional = Functional;
+  TensorRef Q, K, V, O;
+  if (Functional) {
+    std::vector<int64_t> Shape = {BH, W.SeqLen, W.HeadDim};
+    Q = std::make_shared<TensorData>(Shape);
+    K = std::make_shared<TensorData>(Shape);
+    V = std::make_shared<TensorData>(Shape);
+    O = std::make_shared<TensorData>(Shape);
+    Q->fillRandom(11, 1.0f);
+    K->fillRandom(12, 1.0f);
+    V->fillRandom(13, 1.0f);
+    roundHostTensor(*Q, W.Prec);
+    roundHostTensor(*K, W.Prec);
+    roundHostTensor(*V, W.Prec);
+  }
+  Launch.Args = {RuntimeArg::tensor(Q), RuntimeArg::tensor(K),
+                 RuntimeArg::tensor(V), RuntimeArg::tensor(O),
+                 RuntimeArg::scalar(W.SeqLen)};
+
+  Interpreter Interp(*M, Config);
+
+  if (Functional) {
+    for (int64_t Y = 0; Y < BH; ++Y)
+      for (int64_t X = 0; X < QTiles; ++X) {
+        CtaTrace T;
+        if (std::string Err = Interp.runCta(Launch, X, Y, T); !Err.empty()) {
+          R.Error = formatString("cta (%lld,%lld): ",
+                                 static_cast<long long>(X),
+                                 static_cast<long long>(Y)) +
+                    Err;
+          return R;
+        }
+      }
+    double Worst = 0;
+    for (int64_t Y = 0; Y < BH; ++Y) {
+      TensorData Qy = slice2d(*Q, Y, W.SeqLen, W.HeadDim);
+      TensorData Ky = slice2d(*K, Y, W.SeqLen, W.HeadDim);
+      TensorData Vy = slice2d(*V, Y, W.SeqLen, W.HeadDim);
+      TensorData Oy = slice2d(*O, Y, W.SeqLen, W.HeadDim);
+      TensorData Ref = referenceAttention(Qy, Ky, Vy, W.Causal);
+      roundHostTensor(Ref, Precision::FP16);
+      Worst = std::max(Worst, Oy.maxRelDiff(Ref));
+    }
+    R.MaxRelError = Worst;
+  }
+
+  // Timing: interpret SM0's CTA list (trip counts vary under causal
+  // masking, so each sampled CTA is interpreted individually).
+  RunOptions TimingLaunch = Launch;
+  TimingLaunch.Functional = false;
+  std::vector<CtaTrace> SampleStorage;
+  for (int64_t Pid = 0; Pid < TotalCtas; Pid += Config.NumSms) {
+    int64_t X = Pid % QTiles, Y = Pid / QTiles;
+    CtaTrace T;
+    if (std::string Err = Interp.runCta(TimingLaunch, X, Y, T);
+        !Err.empty()) {
+      R.Error = Err;
+      return R;
+    }
+    SampleStorage.push_back(std::move(T));
+  }
+  if (SampleStorage.empty()) {
+    R.Error = "no CTAs to simulate";
+    return R;
+  }
+  R.SmemBytes = SampleStorage.front().SmemBytes;
+  if (R.SmemBytes > Config.SmemBytesPerSm) {
+    R.Feasible = false;
+    R.Error = "shared memory exceeded";
+    return R;
+  }
+
+  int64_t Wave = std::min<int64_t>(TotalCtas, Config.NumSms);
+  double HeadsCovered =
+      std::min<double>(static_cast<double>(ceilDiv(Wave, QTiles)) + 1,
+                       static_cast<double>(BH));
+  // Blend: K/V tiles are shared by every CTA of the same head in a wave; Q
+  // and O are unique per CTA.
+  double KvBytesPerCta = 2.0 * static_cast<double>(W.SeqLen) * W.HeadDim *
+                         getPrecisionBytes(W.Prec);
+  double QBytesPerCta = static_cast<double>(Kernel.TileQ) * W.HeadDim *
+                        getPrecisionBytes(W.Prec);
+  double KvReuse = HeadsCovered / static_cast<double>(Wave);
+  double Blended = (QBytesPerCta + KvBytesPerCta * KvReuse) /
+                   (QBytesPerCta + KvBytesPerCta);
+
+  ReplayParams Params;
+  Params.BwShareSms = static_cast<double>(Wave);
+  Params.DramReuseFactor = std::min(1.0, Blended);
+  Params.TensorPenalty = TensorPenalty;
+  Params.CudaPenalty = CudaPenalty;
+  Params.CtaGapCycles = E.ExtraCtaCycles;
+
+  std::vector<const CtaTrace *> Schedule;
+  for (const CtaTrace &T : SampleStorage)
+    Schedule.push_back(&T);
+  ReplayResult Rep = replaySmSchedule(Schedule, Config, Params);
+  if (Rep.Deadlock) {
+    R.Error = Rep.Error;
+    return R;
+  }
+  R.Micros = Config.cyclesToMicros(Rep.Cycles) + E.ExtraLaunchMicros;
+  R.TFlops = W.flops() / (R.Micros * 1e-6) / 1e12;
+  R.TensorUtilization = Rep.TensorBusyCycles / std::max(1.0, Rep.Cycles);
+  return R;
+}

@@ -1,0 +1,65 @@
+//===- Runner.h - Compile-and-simulate orchestration ------------*- C++ -*-===//
+//
+// The top-level API the examples, tests and benchmark harnesses use:
+// build a kernel, run the configured compiler pipeline, execute on the
+// simulated H100, and report time / TFLOP/s / numerical error.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_DRIVER_RUNNER_H
+#define TAWA_DRIVER_RUNNER_H
+
+#include "models/Frameworks.h"
+#include "sim/Config.h"
+
+#include <string>
+
+namespace tawa {
+
+struct RunResult {
+  std::string Error;       ///< Non-empty on compile/simulate failure.
+  bool Supported = true;   ///< False when the framework rejects the config.
+  bool Feasible = true;    ///< False when D/P/SMEM constraints fail (Fig. 11
+                           ///< zero cells).
+  double Micros = 0;
+  double TFlops = 0;
+  double MaxRelError = -1; ///< Functional runs only.
+  double TensorUtilization = 0;
+  int64_t SmemBytes = 0;
+  int64_t RegsPerThread = 0;
+
+  bool ok() const { return Error.empty() && Supported && Feasible; }
+};
+
+class Runner {
+public:
+  explicit Runner(sim::GpuConfig Config = sim::GpuConfig())
+      : Config(Config) {}
+
+  const sim::GpuConfig &getConfig() const { return Config; }
+
+  /// Runs a GEMM point under a framework's default envelope.
+  RunResult runGemm(Framework F, const GemmWorkload &W,
+                    bool Functional = false);
+  /// Runs a GEMM point under an explicit envelope (hyperparameter and
+  /// ablation sweeps construct these directly).
+  RunResult runGemmCustom(const GemmWorkload &W, const FrameworkEnvelope &E,
+                          bool Functional);
+
+  RunResult runAttention(Framework F, const AttentionWorkload &W,
+                         bool Functional = false);
+  RunResult runAttentionCustom(const AttentionWorkload &W,
+                               const FrameworkEnvelope &E, bool Functional);
+
+private:
+  RunResult runGemmAnalytic(const GemmWorkload &W,
+                            const FrameworkEnvelope &E);
+  RunResult runAttentionAnalytic(const AttentionWorkload &W,
+                                 const FrameworkEnvelope &E);
+
+  sim::GpuConfig Config;
+};
+
+} // namespace tawa
+
+#endif // TAWA_DRIVER_RUNNER_H

@@ -1,0 +1,79 @@
+//===- Kernels.h - Tile-level kernel builders -------------------*- C++ -*-===//
+//
+// Programmatic construction of the annotation-free Triton-style tile kernels
+// the paper compiles (Fig. 2b): GEMM (plain / batched), and FlashAttention-
+// style multi-head attention (causal or not, FP16 or FP8). These produce
+// *unspecialized* tile-dialect IR; the Tawa passes turn them into
+// warp-specialized programs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_FRONTEND_KERNELS_H
+#define TAWA_FRONTEND_KERNELS_H
+
+#include "ir/Builder.h"
+#include "ir/Ir.h"
+
+#include <memory>
+
+namespace tawa {
+
+/// Element precision of kernel inputs (accumulation is always FP32).
+enum class Precision { FP16, FP8 };
+
+/// Returns the scalar IR type for a precision.
+Type *getInputType(IrContext &Ctx, Precision P);
+
+/// Bytes per element of a precision.
+inline int64_t getPrecisionBytes(Precision P) {
+  return P == Precision::FP16 ? 2 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// GEMM
+//===----------------------------------------------------------------------===//
+
+/// Static (compile-time) configuration of the GEMM kernel of Fig. 2b.
+/// Runtime sizes M/N/K are kernel arguments.
+struct GemmKernelConfig {
+  int64_t TileM = 128;
+  int64_t TileN = 128;
+  int64_t TileK = 64;
+  Precision InPrecision = Precision::FP16;
+  /// Adds a leading batch grid axis (batched GEMM, Fig. 9 left).
+  bool Batched = false;
+  /// Uses the pointer-arithmetic epilogue of Fig. 2b L21-25 instead of a TMA
+  /// store (exercises make_range / expand_dims / broadcast / addptr).
+  bool PointerEpilogue = false;
+};
+
+/// Builds `@matmul(a_desc, b_desc, c_desc, M, N, K)` into a fresh module.
+/// A is M*K row-major, B is N*K row-major (loaded [n, k] and contracted with
+/// transB, matching `tl.dot(a, b.T)`), C is M*N.
+std::unique_ptr<Module> buildGemmModule(IrContext &Ctx,
+                                        const GemmKernelConfig &Config);
+
+//===----------------------------------------------------------------------===//
+// Multi-head attention
+//===----------------------------------------------------------------------===//
+
+/// Static configuration of the FlashAttention-style MHA kernel (§V-D).
+struct AttentionKernelConfig {
+  int64_t TileQ = 128;  ///< Query rows per CTA.
+  int64_t TileKv = 128; ///< KV rows per inner iteration.
+  int64_t HeadDim = 128;
+  bool Causal = false;
+  Precision InPrecision = Precision::FP16;
+};
+
+/// Builds `@mha(q_desc, k_desc, v_desc, o_desc, L)`; grid axis 0 walks query
+/// tiles, axis 1 walks batch*heads. Q/K/V/O are (BH, L, HeadDim) row-major.
+/// The loop body is the T -> C -> U structure Algorithm 1 schedules:
+/// T = Q*K^T on tensor cores, C = online-softmax rescaling on CUDA cores,
+/// U = P*V on tensor cores.
+std::unique_ptr<Module> buildAttentionModule(IrContext &Ctx,
+                                             const AttentionKernelConfig &C);
+
+} // namespace tawa
+
+#endif // TAWA_FRONTEND_KERNELS_H

@@ -1,0 +1,330 @@
+//===- Builder.cpp - IR construction helper ---------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Support.h"
+
+using namespace tawa;
+
+Operation *OpBuilder::create(OpKind Kind, std::vector<Type *> ResultTypes,
+                             std::vector<Value *> Operands,
+                             unsigned NumRegions) {
+  Operation *Op = Operation::create(Ctx, Kind, std::move(ResultTypes),
+                                    std::move(Operands), NumRegions);
+  assert(InsertBlock && "no insertion point set");
+  if (InsertBefore)
+    InsertBlock->insertBefore(InsertBefore, Op);
+  else
+    InsertBlock->push_back(Op);
+  return Op;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural ops
+//===----------------------------------------------------------------------===//
+
+FuncOp *OpBuilder::createFunc(const std::string &Name,
+                              std::vector<Type *> ArgTypes) {
+  Operation *Op = create(OpKind::Func, {}, {}, /*NumRegions=*/1);
+  Op->setAttr("sym_name", Name);
+  Block &Body = Op->getRegion(0).emplaceBlock();
+  for (Type *T : ArgTypes)
+    Body.addArgument(T);
+  return static_cast<FuncOp *>(Op);
+}
+
+ForOp *OpBuilder::createFor(Value *Lb, Value *Ub, Value *Step,
+                            std::vector<Value *> Inits) {
+  std::vector<Value *> Operands = {Lb, Ub, Step};
+  std::vector<Type *> ResultTypes;
+  for (Value *V : Inits) {
+    Operands.push_back(V);
+    ResultTypes.push_back(V->getType());
+  }
+  Operation *Op =
+      create(OpKind::For, std::move(ResultTypes), std::move(Operands),
+             /*NumRegions=*/1);
+  Block &Body = Op->getRegion(0).emplaceBlock();
+  Body.addArgument(Lb->getType()); // induction variable
+  for (Value *V : Inits)
+    Body.addArgument(V->getType());
+  return static_cast<ForOp *>(Op);
+}
+
+Operation *OpBuilder::createYield(std::vector<Value *> Values) {
+  return create(OpKind::Yield, {}, std::move(Values));
+}
+
+Operation *OpBuilder::createReturn() { return create(OpKind::Return, {}, {}); }
+
+WarpGroupOp *OpBuilder::createWarpGroup(int64_t Partition,
+                                        const std::string &Role) {
+  Operation *Op = create(OpKind::WarpGroup, {}, {}, /*NumRegions=*/1);
+  Op->setAttr("partition", Partition);
+  Op->setAttr("role", Role);
+  Op->getRegion(0).emplaceBlock();
+  return static_cast<WarpGroupOp *>(Op);
+}
+
+//===----------------------------------------------------------------------===//
+// Scalars
+//===----------------------------------------------------------------------===//
+
+Value *OpBuilder::createConstantInt(int64_t V, Type *Ty) {
+  if (!Ty)
+    Ty = Ctx.getI32Type();
+  Operation *Op = create(OpKind::ConstantInt, {Ty}, {});
+  Op->setAttr("value", V);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createConstantFloat(double V, Type *Ty) {
+  Operation *Op = create(OpKind::ConstantFloat, {Ty}, {});
+  Op->setAttr("value", V);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createProgramId(int64_t Axis) {
+  Operation *Op = create(OpKind::ProgramId, {Ctx.getI32Type()}, {});
+  Op->setAttr("axis", Axis);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createNumPrograms(int64_t Axis) {
+  Operation *Op = create(OpKind::NumPrograms, {Ctx.getI32Type()}, {});
+  Op->setAttr("axis", Axis);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createBinaryI(OpKind Kind, Value *A, Value *B) {
+  assert(A->getType() == B->getType() && "mixed-type integer arithmetic");
+  return create(Kind, {A->getType()}, {A, B})->getResult();
+}
+
+//===----------------------------------------------------------------------===//
+// Tensors
+//===----------------------------------------------------------------------===//
+
+Value *OpBuilder::createConstantTensor(double V, TensorType *Ty) {
+  Operation *Op = create(OpKind::ConstantTensor, {Ty}, {});
+  Op->setAttr("value", V);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createMakeRange(int64_t Start, int64_t End) {
+  auto *Ty = Ctx.getTensorType({End - Start}, Ctx.getI32Type());
+  Operation *Op = create(OpKind::MakeRange, {Ty}, {});
+  Op->setAttr("start", Start);
+  Op->setAttr("end", End);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createSplat(Value *Scalar, TensorType *Ty) {
+  assert(Scalar->getType()->isScalar() && "splat of non-scalar");
+  return create(OpKind::Splat, {Ty}, {Scalar})->getResult();
+}
+
+Value *OpBuilder::createExpandDims(Value *Tensor, int64_t Axis) {
+  auto *In = cast<TensorType>(Tensor->getType());
+  std::vector<int64_t> Shape = In->getShape();
+  Shape.insert(Shape.begin() + Axis, 1);
+  auto *Ty = Ctx.getTensorType(Shape, In->getElementType());
+  Operation *Op = create(OpKind::ExpandDims, {Ty}, {Tensor});
+  Op->setAttr("axis", Axis);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createBroadcast(Value *Tensor, TensorType *Ty) {
+  return create(OpKind::Broadcast, {Ty}, {Tensor})->getResult();
+}
+
+Value *OpBuilder::createTranspose(Value *Tensor) {
+  auto *In = cast<TensorType>(Tensor->getType());
+  assert(In->getRank() == 2 && "transpose expects a 2-D tensor");
+  auto *Ty = Ctx.getTensorType({In->getShape()[1], In->getShape()[0]},
+                               In->getElementType());
+  return create(OpKind::Transpose, {Ty}, {Tensor})->getResult();
+}
+
+Value *OpBuilder::createBinaryF(OpKind Kind, Value *A, Value *B) {
+  assert(A->getType() == B->getType() && "mixed-type float arithmetic");
+  return create(Kind, {A->getType()}, {A, B})->getResult();
+}
+
+Value *OpBuilder::createCmpSlt(Value *A, Value *B) {
+  assert(A->getType() == B->getType() && "cmp operand type mismatch");
+  Type *ResultTy = Ctx.getI1Type();
+  if (auto *TT = dyn_cast<TensorType>(A->getType()))
+    ResultTy = Ctx.getTensorType(TT->getShape(), Ctx.getI1Type());
+  return create(OpKind::CmpSlt, {ResultTy}, {A, B})->getResult();
+}
+
+Value *OpBuilder::createExp2(Value *Tensor) {
+  return create(OpKind::Exp2F, {Tensor->getType()}, {Tensor})->getResult();
+}
+
+Value *OpBuilder::createSelect(Value *Cond, Value *A, Value *B) {
+  assert(A->getType() == B->getType() && "select arm type mismatch");
+  return create(OpKind::Select, {A->getType()}, {Cond, A, B})->getResult();
+}
+
+Value *OpBuilder::createReduce(Value *Tensor, const std::string &Kind,
+                               int64_t Axis) {
+  auto *In = cast<TensorType>(Tensor->getType());
+  std::vector<int64_t> Shape = In->getShape();
+  assert(Axis >= 0 && Axis < In->getRank() && "reduce axis out of range");
+  Shape.erase(Shape.begin() + Axis);
+  auto *Ty = Ctx.getTensorType(Shape, In->getElementType());
+  Operation *Op = create(OpKind::Reduce, {Ty}, {Tensor});
+  Op->setAttr("kind", Kind);
+  Op->setAttr("axis", Axis);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createCast(Value *Tensor, Type *ElementTy) {
+  auto *In = cast<TensorType>(Tensor->getType());
+  auto *Ty = Ctx.getTensorType(In->getShape(), ElementTy);
+  return create(OpKind::Cast, {Ty}, {Tensor})->getResult();
+}
+
+Value *OpBuilder::createAddPtr(Value *PtrTensor, Value *OffsetTensor) {
+  return create(OpKind::AddPtr, {PtrTensor->getType()},
+                {PtrTensor, OffsetTensor})
+      ->getResult();
+}
+
+//===----------------------------------------------------------------------===//
+// Memory & compute
+//===----------------------------------------------------------------------===//
+
+Value *OpBuilder::createTmaLoad(Value *Desc, std::vector<Value *> Offsets,
+                                TensorType *Ty) {
+  std::vector<Value *> Operands = {Desc};
+  Operands.insert(Operands.end(), Offsets.begin(), Offsets.end());
+  return create(OpKind::TmaLoad, {Ty}, std::move(Operands))->getResult();
+}
+
+Operation *OpBuilder::createTmaStore(Value *Desc, std::vector<Value *> Offsets,
+                                     Value *Tensor) {
+  std::vector<Value *> Operands = {Desc};
+  Operands.insert(Operands.end(), Offsets.begin(), Offsets.end());
+  Operands.push_back(Tensor);
+  return create(OpKind::TmaStore, {}, std::move(Operands));
+}
+
+Value *OpBuilder::createLoad(Value *PtrTensor, TensorType *Ty) {
+  return create(OpKind::Load, {Ty}, {PtrTensor})->getResult();
+}
+
+Operation *OpBuilder::createStore(Value *PtrTensor, Value *Tensor) {
+  return create(OpKind::Store, {}, {PtrTensor, Tensor});
+}
+
+Value *OpBuilder::createDot(Value *A, Value *B, Value *Acc, bool TransB) {
+  Operation *Op = create(OpKind::Dot, {Acc->getType()}, {A, B, Acc});
+  Op->setAttr("transB", static_cast<int64_t>(TransB));
+  return Op->getResult();
+}
+
+//===----------------------------------------------------------------------===//
+// Tawa dialect
+//===----------------------------------------------------------------------===//
+
+Value *OpBuilder::createAref(Type *Payload, int64_t Depth) {
+  auto *Ty = Ctx.getArefType(Payload, Depth);
+  return create(OpKind::CreateAref, {Ty}, {})->getResult();
+}
+
+static std::vector<Type *> getPayloadTypes(Value *Aref) {
+  Type *Payload = cast<ArefType>(Aref->getType())->getPayloadType();
+  if (auto *Tup = dyn_cast<TupleType>(Payload))
+    return Tup->getElementTypes();
+  return {Payload};
+}
+
+Operation *OpBuilder::createArefPut(Value *Aref, Value *Slot,
+                                    std::vector<Value *> Payload) {
+  assert(getPayloadTypes(Aref).size() == Payload.size() &&
+         "aref payload arity mismatch");
+  std::vector<Value *> Operands = {Aref, Slot};
+  Operands.insert(Operands.end(), Payload.begin(), Payload.end());
+  return create(OpKind::ArefPut, {}, std::move(Operands));
+}
+
+Operation *OpBuilder::createArefGet(Value *Aref, Value *Slot) {
+  return create(OpKind::ArefGet, getPayloadTypes(Aref), {Aref, Slot});
+}
+
+Operation *OpBuilder::createArefConsumed(Value *Aref, Value *Slot) {
+  return create(OpKind::ArefConsumed, {}, {Aref, Slot});
+}
+
+//===----------------------------------------------------------------------===//
+// Lowered dialect
+//===----------------------------------------------------------------------===//
+
+Value *OpBuilder::createSmemAlloc(int64_t Bytes, const std::string &Name) {
+  Operation *Op = create(OpKind::SmemAlloc, {Ctx.getSmemType()}, {});
+  Op->setAttr("bytes", Bytes);
+  Op->setAttr("name", Name);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createMBarrierAlloc(int64_t Num, const std::string &Name) {
+  Operation *Op = create(OpKind::MBarrierAlloc, {Ctx.getMBarType()}, {});
+  Op->setAttr("num", Num);
+  Op->setAttr("name", Name);
+  return Op->getResult();
+}
+
+Operation *OpBuilder::createMBarrierArrive(Value *MBar, Value *Idx) {
+  return create(OpKind::MBarrierArrive, {}, {MBar, Idx});
+}
+
+Operation *OpBuilder::createMBarrierExpectTx(Value *MBar, Value *Idx,
+                                             int64_t Bytes) {
+  Operation *Op = create(OpKind::MBarrierExpectTx, {}, {MBar, Idx});
+  Op->setAttr("bytes", Bytes);
+  return Op;
+}
+
+Operation *OpBuilder::createMBarrierWait(Value *MBar, Value *Idx,
+                                         Value *Phase) {
+  return create(OpKind::MBarrierWait, {}, {MBar, Idx, Phase});
+}
+
+Operation *OpBuilder::createTmaLoadAsync(Value *Desc,
+                                         std::vector<Value *> Offsets,
+                                         Value *Smem, Value *MBar, Value *Idx,
+                                         int64_t Bytes, int64_t SlotOffset) {
+  std::vector<Value *> Operands = {Desc};
+  Operands.insert(Operands.end(), Offsets.begin(), Offsets.end());
+  Operands.push_back(Smem);
+  Operands.push_back(MBar);
+  Operands.push_back(Idx);
+  Operation *Op = create(OpKind::TmaLoadAsync, {}, std::move(Operands));
+  Op->setAttr("bytes", Bytes);
+  Op->setAttr("slot_offset", SlotOffset);
+  Op->setAttr("num_offsets", static_cast<int64_t>(Offsets.size()));
+  return Op;
+}
+
+Value *OpBuilder::createSmemRead(Value *Smem, Value *Slot, TensorType *Ty,
+                                 int64_t SlotOffset) {
+  Operation *Op = create(OpKind::SmemRead, {Ty}, {Smem, Slot});
+  Op->setAttr("slot_offset", SlotOffset);
+  return Op->getResult();
+}
+
+Value *OpBuilder::createWgmmaIssue(Value *A, Value *B, Value *Acc,
+                                   bool TransB) {
+  Operation *Op = create(OpKind::WgmmaIssue, {Acc->getType()}, {A, B, Acc});
+  Op->setAttr("transB", static_cast<int64_t>(TransB));
+  return Op->getResult();
+}
+
+Operation *OpBuilder::createWgmmaWait(int64_t Pendings) {
+  Operation *Op = create(OpKind::WgmmaWait, {}, {});
+  Op->setAttr("pendings", Pendings);
+  return Op;
+}

@@ -1,0 +1,118 @@
+//===- Ops.h - Opcode definitions for the three dialects --------*- C++ -*-===//
+//
+// Tawa's IR hosts three op families:
+//   * the tile dialect — the Triton-like input language of Fig. 2b;
+//   * the tawa dialect — `aref` channels and `warp_group` regions (Fig. 2c);
+//   * the lowered dialect — TMA / mbarrier / WGMMA instructions produced by
+//     aref lowering (§III-E), which the GPU simulator executes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_IR_OPS_H
+#define TAWA_IR_OPS_H
+
+#include <cstdint>
+
+namespace tawa {
+
+enum class OpKind : uint16_t {
+  //===--------------------------------------------------------------------===//
+  // Structural ops.
+  //===--------------------------------------------------------------------===//
+  Func,      ///< Function definition; one region whose entry args are params.
+  Return,    ///< Function terminator.
+  For,       ///< scf.for: operands (lb, ub, step, init...), results = iters.
+  Yield,     ///< Loop terminator carrying the next iteration's values.
+  WarpGroup, ///< tawa.warp_group: one region per warp-group role (§III-C2).
+
+  //===--------------------------------------------------------------------===//
+  // Tile dialect: scalars and indexing.
+  //===--------------------------------------------------------------------===//
+  ConstantInt,   ///< attr "value": i64.
+  ConstantFloat, ///< attr "value": f64.
+  ProgramId,     ///< attr "axis": CTA index along a grid axis.
+  NumPrograms,   ///< attr "axis": grid extent along an axis.
+  AddI,
+  SubI,
+  MulI,
+  DivSI,
+  RemSI,
+  MinSI,
+  MaxSI,
+  CmpSlt, ///< signed <; result i1 (or i1 tensor elementwise).
+
+  //===--------------------------------------------------------------------===//
+  // Tile dialect: tensor construction and elementwise math.
+  //===--------------------------------------------------------------------===//
+  ConstantTensor, ///< attr "value": f64 splatted at tensor type.
+  MakeRange,      ///< attrs "start","end": 1-D iota tensor<i32>.
+  Splat,          ///< scalar -> tensor of the result shape.
+  ExpandDims,     ///< attr "axis": insert a size-1 dimension.
+  Broadcast,      ///< broadcast size-1 dims to the result shape.
+  Transpose,      ///< 2-D transpose (the `b.T` of Fig. 2b).
+  AddF,
+  SubF,
+  MulF,
+  DivF,
+  MaxF,
+  Exp2F,    ///< elementwise 2^x (softmax uses exp2 with log2(e) scaling).
+  Select,   ///< (cond, a, b) elementwise select; used for causal masks.
+  Reduce,   ///< attrs "kind" ("max"|"sum"), "axis": axis reduction.
+  Cast,     ///< element type conversion (f32 -> f16/f8 for the 2nd GEMM).
+  AddPtr,   ///< pointer tensor + integer tensor offset.
+
+  //===--------------------------------------------------------------------===//
+  // Tile dialect: memory and tensor-core compute.
+  //===--------------------------------------------------------------------===//
+  TmaLoad,  ///< (desc, offs...) -> tensor; hardware bulk copy (Fig. 2b L16).
+  TmaStore, ///< (desc, offs..., tensor); bulk copy back to GMEM.
+  Load,     ///< (ptr tensor) -> tensor; plain vectorized load.
+  Store,    ///< (ptr tensor, value tensor); plain vectorized store.
+  Dot,      ///< (a, b, acc) -> acc'; synchronous MMA in the input dialect.
+
+  //===--------------------------------------------------------------------===//
+  // Tawa dialect (§III-B): asynchronous references.
+  //===--------------------------------------------------------------------===//
+  CreateAref,   ///< () -> !tawa.aref<payload, D>.
+  ArefPut,      ///< (aref, slot, payload...): publish into a slot.
+  ArefGet,      ///< (aref, slot) -> payload...: acquire a published slot.
+  ArefConsumed, ///< (aref, slot): release a borrowed slot.
+
+  //===--------------------------------------------------------------------===//
+  // Lowered dialect (§III-E): what the simulator executes.
+  //===--------------------------------------------------------------------===//
+  SmemAlloc,      ///< attrs "bytes","name" -> !tawa.smem buffer handle.
+  MBarrierAlloc,  ///< attr "num" -> !tawa.mbarrier (array of barriers).
+  MBarrierArrive, ///< (mbar, idx): arrive on barrier `idx`.
+  MBarrierExpectTx, ///< (mbar, idx) attr "bytes": set transaction count.
+  MBarrierWait,   ///< (mbar, idx, phase): block until the barrier's phase
+                  ///< differs from `phase` (the parity mechanism).
+  TmaLoadAsync,   ///< (desc, offs..., smem, mbar, idx) attr "bytes": enqueue a
+                  ///< TMA copy that arrives on the barrier with a tx-count.
+  SmemRead,       ///< (smem) -> tensor: materialize staged data (epilogues).
+  WgmmaIssue,     ///< (a|smem, b|smem, acc) -> acc': async MMA enqueue.
+  WgmmaWait,      ///< attr "pendings": block until ≤ pendings MMAs in flight.
+  FenceAsyncShared, ///< ordering fence between generic and async proxies.
+
+  //===--------------------------------------------------------------------===//
+  // Host-side / epilogue helpers.
+  //===--------------------------------------------------------------------===//
+  AtomicAdd, ///< (ptr tensor, value tensor): used by split-K variants.
+};
+
+/// Returns the textual mnemonic (e.g. "tt.tma_load").
+const char *getOpName(OpKind Kind);
+
+/// True for ops whose only purpose is a side effect (IR sinks for the
+/// backward traversal of §III-C1).
+bool hasSideEffects(OpKind Kind);
+
+/// True for structural ops that carry regions.
+bool hasRegions(OpKind Kind);
+
+/// True for block terminators.
+bool isTerminator(OpKind Kind);
+
+} // namespace tawa
+
+#endif // TAWA_IR_OPS_H

@@ -1,0 +1,184 @@
+//===- Printer.cpp - Textual IR output --------------------------------------===//
+//
+// Renders modules in an MLIR-flavoured syntax close to Fig. 2c of the paper,
+// e.g.:
+//   %3 = tt.tma_load(%arg0, %1, %2) : tensor<128x64xf16>
+//   tawa.warp_group {...} {partition = 0, role = "producer"}
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+#include "support/Support.h"
+
+#include <map>
+#include <sstream>
+
+using namespace tawa;
+
+namespace {
+
+/// Assigns stable %N / %argN names while walking the IR.
+class Printer {
+public:
+  std::string printModule(const Module &M) {
+    Out << "module {";
+    if (!M.getAttrs().empty()) {
+      Out << "  // attrs: " << formatAttrs(M.getAttrs());
+    }
+    Out << "\n";
+    for (Operation &Op : M.getBody())
+      printOp(&Op, 1);
+    Out << "}\n";
+    return Out.str();
+  }
+
+  void printOp(Operation *Op, int Indent) {
+    indent(Indent);
+    // Results.
+    if (Op->getNumResults() > 0) {
+      for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I) {
+        if (I)
+          Out << ", ";
+        Out << nameOf(Op->getResult(I));
+      }
+      Out << " = ";
+    }
+    Out << getOpName(Op->getKind());
+    // Special header for funcs: print name and args.
+    if (auto *F = dyn_cast<FuncOp>(Op)) {
+      Out << " @" << F->getName() << "(";
+      Block &Body = F->getBody();
+      for (unsigned I = 0, E = Body.getNumArguments(); I != E; ++I) {
+        if (I)
+          Out << ", ";
+        BlockArgument *Arg = Body.getArgument(I);
+        Out << nameOf(Arg) << ": " << Arg->getType()->str();
+      }
+      Out << ")";
+    } else if (Op->getNumOperands() > 0) {
+      Out << "(";
+      for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I) {
+        if (I)
+          Out << ", ";
+        Out << nameOf(Op->getOperand(I));
+      }
+      Out << ")";
+    }
+    // Attributes.
+    if (!Op->getAttrs().empty())
+      Out << " {" << formatAttrs(Op->getAttrs()) << "}";
+    // Result types.
+    if (Op->getNumResults() > 0) {
+      Out << " : ";
+      for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I) {
+        if (I)
+          Out << ", ";
+        Out << Op->getResult(I)->getType()->str();
+      }
+    }
+    // Regions.
+    for (unsigned I = 0, E = Op->getNumRegions(); I != E; ++I) {
+      Region &R = Op->getRegion(I);
+      if (R.empty()) {
+        Out << " {}";
+        continue;
+      }
+      Out << " {\n";
+      Block &B = R.getBlock();
+      if (!isa<FuncOp>(Op) && B.getNumArguments() > 0) {
+        indent(Indent + 1);
+        Out << "^bb(";
+        for (unsigned A = 0, AE = B.getNumArguments(); A != AE; ++A) {
+          if (A)
+            Out << ", ";
+          Out << nameOf(B.getArgument(A)) << ": "
+              << B.getArgument(A)->getType()->str();
+        }
+        Out << "):\n";
+      }
+      for (Operation &Inner : B)
+        printOp(&Inner, Indent + 1);
+      indent(Indent);
+      Out << "}";
+    }
+    Out << "\n";
+  }
+
+private:
+  void indent(int N) {
+    for (int I = 0; I < N; ++I)
+      Out << "  ";
+  }
+
+  std::string nameOf(Value *V) {
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string Name;
+    if (auto *Arg = dyn_cast<BlockArgument>(V)) {
+      // Function parameters get %argN; loop/region args get %bN.
+      Operation *Owner = Arg->getOwner()->getParentOp();
+      if (isa_and_present<FuncOp>(Owner))
+        Name = "%arg" + std::to_string(Arg->getArgIndex());
+      else
+        Name = "%b" + std::to_string(NextId++);
+    } else {
+      Name = "%" + std::to_string(NextId++);
+    }
+    Names[V] = Name;
+    return Name;
+  }
+
+  static std::string formatAttrs(const std::map<std::string, Attribute> &A) {
+    std::string S;
+    bool FirstAttr = true;
+    for (const auto &[Name, Val] : A) {
+      if (!FirstAttr)
+        S += ", ";
+      FirstAttr = false;
+      S += Name + " = ";
+      if (const auto *I = std::get_if<int64_t>(&Val))
+        S += std::to_string(*I);
+      else if (const auto *D = std::get_if<double>(&Val))
+        S += formatString("%g", *D);
+      else if (const auto *Str = std::get_if<std::string>(&Val))
+        S += "\"" + *Str + "\"";
+      else if (const auto *Vec = std::get_if<std::vector<int64_t>>(&Val)) {
+        S += "[";
+        for (size_t I = 0; I < Vec->size(); ++I) {
+          if (I)
+            S += ", ";
+          S += std::to_string((*Vec)[I]);
+        }
+        S += "]";
+      }
+    }
+    return S;
+  }
+
+  std::ostringstream Out;
+  std::map<Value *, std::string> Names;
+  unsigned NextId = 0;
+};
+
+} // namespace
+
+std::string Module::print() const {
+  Printer P;
+  return P.printModule(*this);
+}
+
+std::string Operation::getOneLineSummary() const {
+  std::string S = getOpName(Kind);
+  S += formatString(" (%u operands, %u results", getNumOperands(),
+                    getNumResults());
+  if (!Attrs.empty()) {
+    S += ", attrs:";
+    for (const auto &[Name, Val] : Attrs) {
+      (void)Val;
+      S += " " + Name;
+    }
+  }
+  S += ")";
+  return S;
+}

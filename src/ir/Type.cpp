@@ -1,0 +1,147 @@
+//===- Type.cpp - Uniqued IR types -----------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Support.h"
+
+#include <map>
+
+using namespace tawa;
+
+unsigned Type::getElementBits() const {
+  switch (Kind) {
+  case TypeKind::F64:
+  case TypeKind::I64:
+  case TypeKind::Ptr:
+  case TypeKind::Smem:
+  case TypeKind::MBar:
+    return 64;
+  case TypeKind::F32:
+  case TypeKind::I32:
+    return 32;
+  case TypeKind::F16:
+    return 16;
+  case TypeKind::F8E4M3:
+    return 8;
+  case TypeKind::I1:
+    return 1;
+  case TypeKind::Token:
+    return 0;
+  case TypeKind::Tensor:
+    return cast<TensorType>(this)->getElementType()->getElementBits();
+  case TypeKind::Tuple:
+  case TypeKind::Aref:
+    return 0;
+  }
+  return 0;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::F64:
+    return "f64";
+  case TypeKind::F32:
+    return "f32";
+  case TypeKind::F16:
+    return "f16";
+  case TypeKind::F8E4M3:
+    return "f8E4M3";
+  case TypeKind::I64:
+    return "i64";
+  case TypeKind::I32:
+    return "i32";
+  case TypeKind::I1:
+    return "i1";
+  case TypeKind::Ptr:
+    return "!tt.ptr";
+  case TypeKind::Smem:
+    return "!tawa.smem";
+  case TypeKind::MBar:
+    return "!tawa.mbarrier";
+  case TypeKind::Token:
+    return "!tawa.token";
+  case TypeKind::Tensor: {
+    const auto *TT = cast<TensorType>(this);
+    std::string S = "tensor<";
+    for (int64_t D : TT->getShape())
+      S += std::to_string(D) + "x";
+    S += TT->getElementType()->str() + ">";
+    return S;
+  }
+  case TypeKind::Tuple: {
+    const auto *TT = cast<TupleType>(this);
+    std::string S = "tuple<";
+    for (size_t I = 0, E = TT->size(); I != E; ++I) {
+      if (I)
+        S += ", ";
+      S += TT->getElementType(I)->str();
+    }
+    return S + ">";
+  }
+  case TypeKind::Aref: {
+    const auto *AT = cast<ArefType>(this);
+    return formatString("!tawa.aref<%s, %lld>",
+                        AT->getPayloadType()->str().c_str(),
+                        static_cast<long long>(AT->getDepth()));
+  }
+  }
+  return "<invalid>";
+}
+
+int64_t ArefType::getSlotBytes() const {
+  if (auto *TT = dyn_cast<TensorType>(PayloadType))
+    return TT->getNumBytes();
+  const auto *Tup = cast<TupleType>(PayloadType);
+  int64_t Bytes = 0;
+  for (Type *T : Tup->getElementTypes())
+    Bytes += cast<TensorType>(T)->getNumBytes();
+  return Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// IrContext
+//===----------------------------------------------------------------------===//
+
+struct IrContext::Impl {
+  std::map<TypeKind, std::unique_ptr<ScalarType>> Scalars;
+  std::map<std::pair<std::vector<int64_t>, Type *>,
+           std::unique_ptr<TensorType>>
+      Tensors;
+  std::map<std::vector<Type *>, std::unique_ptr<TupleType>> Tuples;
+  std::map<std::pair<Type *, int64_t>, std::unique_ptr<ArefType>> Arefs;
+};
+
+IrContext::IrContext() : Pimpl(std::make_unique<Impl>()) {}
+IrContext::~IrContext() = default;
+
+ScalarType *IrContext::getScalar(TypeKind Kind) {
+  assert(Kind < TypeKind::Tensor && "not a scalar kind");
+  auto &Slot = Pimpl->Scalars[Kind];
+  if (!Slot)
+    Slot.reset(new ScalarType(*this, Kind));
+  return Slot.get();
+}
+
+TensorType *IrContext::getTensorType(std::vector<int64_t> Shape,
+                                     Type *ElementType) {
+  auto Key = std::make_pair(Shape, ElementType);
+  auto &Slot = Pimpl->Tensors[Key];
+  if (!Slot)
+    Slot.reset(new TensorType(*this, std::move(Shape), ElementType));
+  return Slot.get();
+}
+
+TupleType *IrContext::getTupleType(std::vector<Type *> ElementTypes) {
+  auto &Slot = Pimpl->Tuples[ElementTypes];
+  if (!Slot)
+    Slot.reset(new TupleType(*this, std::move(ElementTypes)));
+  return Slot.get();
+}
+
+ArefType *IrContext::getArefType(Type *PayloadType, int64_t Depth) {
+  auto Key = std::make_pair(PayloadType, Depth);
+  auto &Slot = Pimpl->Arefs[Key];
+  if (!Slot)
+    Slot.reset(new ArefType(*this, PayloadType, Depth));
+  return Slot.get();
+}

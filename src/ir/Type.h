@@ -1,0 +1,199 @@
+//===- Type.h - Uniqued IR types --------------------------------*- C++ -*-===//
+//
+// The Tawa IR type system: scalars (float/int/pointer/token), ranked tensors,
+// tuples, and the asynchronous-reference (`aref`) type of §III-B. Types are
+// uniqued inside an IrContext, so Type pointers compare by identity.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_IR_TYPE_H
+#define TAWA_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tawa {
+
+class IrContext;
+
+/// Discriminator for the Type class hierarchy.
+enum class TypeKind : uint8_t {
+  // Scalar types.
+  F64,
+  F32,
+  F16,
+  F8E4M3,
+  I64,
+  I32,
+  I1,
+  Ptr,   ///< Opaque pointer (global memory or TMA descriptor handle).
+  Smem,  ///< Handle to a shared-memory staging buffer (lowered dialect).
+  MBar,  ///< Handle to an array of transaction mbarriers (lowered dialect).
+  Token, ///< Async completion token (wgmma.issue result ordering).
+  // Composite types.
+  Tensor,
+  Tuple,
+  Aref,
+};
+
+/// Base class of all IR types. Uniqued: equal types share one object.
+class Type {
+public:
+  TypeKind getKind() const { return Kind; }
+  IrContext &getContext() const { return Ctx; }
+
+  bool isScalar() const { return Kind < TypeKind::Tensor; }
+  bool isFloat() const {
+    return Kind == TypeKind::F64 || Kind == TypeKind::F32 ||
+           Kind == TypeKind::F16 || Kind == TypeKind::F8E4M3;
+  }
+  bool isInteger() const {
+    return Kind == TypeKind::I64 || Kind == TypeKind::I32 ||
+           Kind == TypeKind::I1;
+  }
+
+  /// Size of one scalar element in bits (tensor types report their element
+  /// type's width). Handles report pointer width.
+  unsigned getElementBits() const;
+
+  /// Renders the type in the textual IR syntax (e.g. `tensor<128x64xf16>`).
+  std::string str() const;
+
+  virtual ~Type() = default;
+
+protected:
+  Type(IrContext &Ctx, TypeKind Kind) : Ctx(Ctx), Kind(Kind) {}
+
+private:
+  IrContext &Ctx;
+  TypeKind Kind;
+};
+
+/// A builtin scalar type (float, integer, pointer, or handle).
+class ScalarType : public Type {
+public:
+  static bool classof(const Type *T) { return T->isScalar(); }
+
+private:
+  friend class IrContext;
+  ScalarType(IrContext &Ctx, TypeKind Kind) : Type(Ctx, Kind) {}
+};
+
+/// A ranked tensor of scalars, e.g. `tensor<128x64xf16>`.
+class TensorType : public Type {
+public:
+  const std::vector<int64_t> &getShape() const { return Shape; }
+  Type *getElementType() const { return ElementType; }
+
+  int64_t getRank() const { return static_cast<int64_t>(Shape.size()); }
+
+  /// Total number of elements.
+  int64_t getNumElements() const {
+    int64_t N = 1;
+    for (int64_t D : Shape)
+      N *= D;
+    return N;
+  }
+
+  /// Total payload size in bytes (used for TMA transaction counts).
+  int64_t getNumBytes() const {
+    return getNumElements() * ElementType->getElementBits() / 8;
+  }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Tensor;
+  }
+
+private:
+  friend class IrContext;
+  TensorType(IrContext &Ctx, std::vector<int64_t> Shape, Type *ElementType)
+      : Type(Ctx, TypeKind::Tensor), Shape(std::move(Shape)),
+        ElementType(ElementType) {
+    assert(ElementType->isScalar() && "tensor of non-scalar");
+  }
+
+  std::vector<int64_t> Shape;
+  Type *ElementType;
+};
+
+/// A fixed tuple of types; arefs carry tuples so that tensors consumed by the
+/// same WGMMA can share one channel (§III-C2).
+class TupleType : public Type {
+public:
+  const std::vector<Type *> &getElementTypes() const { return ElementTypes; }
+  size_t size() const { return ElementTypes.size(); }
+  Type *getElementType(size_t I) const { return ElementTypes[I]; }
+
+  static bool classof(const Type *T) { return T->getKind() == TypeKind::Tuple; }
+
+private:
+  friend class IrContext;
+  TupleType(IrContext &Ctx, std::vector<Type *> ElementTypes)
+      : Type(Ctx, TypeKind::Tuple), ElementTypes(std::move(ElementTypes)) {}
+
+  std::vector<Type *> ElementTypes;
+};
+
+/// The asynchronous-reference type `!tawa.aref<Payload, D>`: a D-slot cyclic
+/// buffer of Payload values with an empty/full mbarrier pair per slot.
+class ArefType : public Type {
+public:
+  /// The value type stored in each slot (a tensor or tuple of tensors).
+  Type *getPayloadType() const { return PayloadType; }
+
+  /// The ring depth D (§III-C2, studied in Fig. 11).
+  int64_t getDepth() const { return Depth; }
+
+  /// Bytes of shared memory one slot occupies.
+  int64_t getSlotBytes() const;
+
+  static bool classof(const Type *T) { return T->getKind() == TypeKind::Aref; }
+
+private:
+  friend class IrContext;
+  ArefType(IrContext &Ctx, Type *PayloadType, int64_t Depth)
+      : Type(Ctx, TypeKind::Aref), PayloadType(PayloadType), Depth(Depth) {
+    assert(Depth >= 1 && "aref depth must be positive");
+  }
+
+  Type *PayloadType;
+  int64_t Depth;
+};
+
+/// Owns and uniques all types (and provides fresh SSA ids to the printer).
+/// One IrContext outlives every Module built against it.
+class IrContext {
+public:
+  IrContext();
+  ~IrContext();
+
+  ScalarType *getF64Type() { return getScalar(TypeKind::F64); }
+  ScalarType *getF32Type() { return getScalar(TypeKind::F32); }
+  ScalarType *getF16Type() { return getScalar(TypeKind::F16); }
+  ScalarType *getF8Type() { return getScalar(TypeKind::F8E4M3); }
+  ScalarType *getI64Type() { return getScalar(TypeKind::I64); }
+  ScalarType *getI32Type() { return getScalar(TypeKind::I32); }
+  ScalarType *getI1Type() { return getScalar(TypeKind::I1); }
+  ScalarType *getPtrType() { return getScalar(TypeKind::Ptr); }
+  ScalarType *getSmemType() { return getScalar(TypeKind::Smem); }
+  ScalarType *getMBarType() { return getScalar(TypeKind::MBar); }
+  ScalarType *getTokenType() { return getScalar(TypeKind::Token); }
+
+  ScalarType *getScalar(TypeKind Kind);
+  TensorType *getTensorType(std::vector<int64_t> Shape, Type *ElementType);
+  TupleType *getTupleType(std::vector<Type *> ElementTypes);
+  ArefType *getArefType(Type *PayloadType, int64_t Depth);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> Pimpl;
+};
+
+} // namespace tawa
+
+#endif // TAWA_IR_TYPE_H

@@ -1,0 +1,28 @@
+//===- Verifier.h - IR structural verification ------------------*- C++ -*-===//
+//
+// Checks SSA dominance, terminator discipline, per-opcode operand/result
+// arity and typing, and region structure. Run between passes by the
+// PassManager so a broken transformation fails loudly and early.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_IR_VERIFIER_H
+#define TAWA_IR_VERIFIER_H
+
+#include <string>
+
+namespace tawa {
+
+class Module;
+class Operation;
+
+/// Verifies the whole module. Returns an empty string on success, or a
+/// diagnostic describing the first problem found.
+std::string verify(const Module &M);
+
+/// Verifies a single function op (and everything nested in it).
+std::string verifyFunc(Operation *Func);
+
+} // namespace tawa
+
+#endif // TAWA_IR_VERIFIER_H

@@ -1,0 +1,293 @@
+//===- ArefLowering.cpp - Lowering arefs to TMA + mbarriers (§III-E) ----------//
+//
+// Rewrites the abstract aref operations into the concrete instructions the
+// GPU executes:
+//
+//   create_aref  ->  one shared-memory ring (D slots) + two mbarrier arrays
+//                    (full[D], empty[D]);
+//   put(a, k)    ->  wait(empty[k%D], parity=(k/D+1)%2);
+//                    expect_tx(full[k%D], totalBytes);
+//                    async TMA copies into the slot that arrive on full;
+//   get(a, k)    ->  wait(full[k%D], parity=(k/D)%2); reads from the slot;
+//   consumed(a,k)->  arrive(empty[k%D]).
+//
+// The two-phase parity scheme is exactly the deadlock-avoidance mechanism of
+// §III-E: producers initially sail through the empty waits (parity 1 against
+// a fresh barrier), and from the second wrap onward each side waits for the
+// other's previous-generation signal, enabling multi-buffering without
+// circular waits.
+//
+// Remaining synchronous dots in consumer warp groups become issue + wait(0)
+// pairs so the simulator sees only asynchronous tensor-core work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Ir.h"
+#include "passes/Passes.h"
+#include "passes/Utils.h"
+#include "support/Support.h"
+
+using namespace tawa;
+
+namespace {
+
+struct LoweredChannel {
+  Value *Smem = nullptr;
+  Value *FullBar = nullptr;
+  Value *EmptyBar = nullptr;
+  int64_t Depth = 1;
+  std::vector<TensorType *> PayloadTypes;
+  std::vector<int64_t> PayloadOffsets; ///< Byte offset within one slot.
+  int64_t SlotBytes = 0;
+};
+
+class ArefLoweringPass {
+public:
+  explicit ArefLoweringPass(Module &M) : M(M), Ctx(M.getContext()) {}
+  std::string run();
+
+private:
+  std::string lowerFunc(FuncOp *F);
+  void emitSlotParity(OpBuilder &B, Value *Index, int64_t Depth, Value *&Slot,
+                      Value *&Wrap);
+  std::string lowerPut(Operation *Put, LoweredChannel &Chan);
+  void lowerGet(Operation *Get, LoweredChannel &Chan);
+  void lowerConsumed(Operation *Consumed, LoweredChannel &Chan);
+
+  Module &M;
+  IrContext &Ctx;
+  int ChannelCounter = 0;
+};
+
+} // namespace
+
+/// Computes slot = index % D and wrap = index / D as IR.
+void ArefLoweringPass::emitSlotParity(OpBuilder &B, Value *Index,
+                                      int64_t Depth, Value *&Slot,
+                                      Value *&Wrap) {
+  Value *D = B.createConstantInt(Depth);
+  Slot = B.createRem(Index, D);
+  Wrap = B.createDiv(Index, D);
+}
+
+std::string ArefLoweringPass::lowerPut(Operation *Put, LoweredChannel &Chan) {
+  OpBuilder B(Ctx);
+  B.setInsertionPoint(Put);
+  Value *Index = Put->getOperand(1);
+  Value *Slot, *Wrap;
+  emitSlotParity(B, Index, Chan.Depth, Slot, Wrap);
+  Value *Two = B.createConstantInt(2);
+  Value *One = B.createConstantInt(1);
+  // Producer parity: (wrap + 1) % 2 — passes immediately on the first wrap.
+  Value *Parity = B.createRem(B.createAdd(Wrap, One), Two);
+  B.createMBarrierWait(Chan.EmptyBar, Slot, Parity);
+  B.createMBarrierExpectTx(Chan.FullBar, Slot, Chan.SlotBytes);
+
+  // Each payload element must be produced by a TMA load; the load becomes an
+  // async copy into the ring slot arriving on the full barrier.
+  for (unsigned I = 2, E = Put->getNumOperands(); I != E; ++I) {
+    auto *Res = dyn_cast<OpResult>(Put->getOperand(I));
+    if (!Res || Res->getOwner()->getKind() != OpKind::TmaLoad)
+      return "aref-lowering: put payload is not a TMA load result: " +
+             Put->getOneLineSummary();
+    Operation *Load = Res->getOwner();
+    Value *Desc = Load->getOperand(0);
+    std::vector<Value *> Offsets;
+    for (unsigned O = 1, OE = Load->getNumOperands(); O != OE; ++O)
+      Offsets.push_back(Load->getOperand(O));
+    auto *Ty = cast<TensorType>(Load->getResult(0)->getType());
+    Operation *Copy =
+        B.createTmaLoadAsync(Desc, Offsets, Chan.Smem, Chan.FullBar, Slot,
+                             Ty->getNumBytes(), Chan.PayloadOffsets[I - 2]);
+    Copy->setAttr("shape", Ty->getShape());
+  }
+
+  // Erase the put, then any loads that only fed it.
+  std::vector<Operation *> Loads;
+  for (unsigned I = 2, E = Put->getNumOperands(); I != E; ++I)
+    Loads.push_back(cast<OpResult>(Put->getOperand(I))->getOwner());
+  Put->erase();
+  for (Operation *Load : Loads)
+    if (!Load->hasResultUses())
+      Load->erase();
+  return "";
+}
+
+void ArefLoweringPass::lowerGet(Operation *Get, LoweredChannel &Chan) {
+  OpBuilder B(Ctx);
+  B.setInsertionPoint(Get);
+  Value *Index = Get->getOperand(1);
+  Value *Slot, *Wrap;
+  emitSlotParity(B, Index, Chan.Depth, Slot, Wrap);
+  // Consumer parity: wrap % 2 — blocks until the producer publishes.
+  Value *Parity = B.createRem(Wrap, B.createConstantInt(2));
+  B.createMBarrierWait(Chan.FullBar, Slot, Parity);
+  for (unsigned I = 0, E = Get->getNumResults(); I != E; ++I) {
+    Value *Staged = B.createSmemRead(Chan.Smem, Slot, Chan.PayloadTypes[I],
+                                     Chan.PayloadOffsets[I]);
+    Get->getResult(I)->replaceAllUsesWith(Staged);
+  }
+  Get->erase();
+}
+
+void ArefLoweringPass::lowerConsumed(Operation *Consumed,
+                                     LoweredChannel &Chan) {
+  OpBuilder B(Ctx);
+  B.setInsertionPoint(Consumed);
+  Value *Index = Consumed->getOperand(1);
+  Value *Slot, *Wrap;
+  emitSlotParity(B, Index, Chan.Depth, Slot, Wrap);
+  (void)Wrap;
+  Operation *Arrive = B.createMBarrierArrive(Chan.EmptyBar, Slot);
+  if (Consumed->getNumOperands() > 2)
+    Arrive->addOperand(Consumed->getOperand(2)); // Predicate.
+  Consumed->erase();
+}
+
+std::string ArefLoweringPass::lowerFunc(FuncOp *F) {
+  // Collect channels.
+  std::vector<Operation *> CreateOps;
+  F->walk([&](Operation *Op) {
+    if (Op->getKind() == OpKind::CreateAref)
+      CreateOps.push_back(Op);
+  });
+
+  for (Operation *Create : CreateOps) {
+    auto *AT = cast<ArefType>(Create->getResult(0)->getType());
+    LoweredChannel Chan;
+    Chan.Depth = AT->getDepth();
+    Chan.SlotBytes = AT->getSlotBytes();
+    int64_t Offset = 0;
+    auto AddPayload = [&](Type *T) {
+      auto *TT = cast<TensorType>(T);
+      Chan.PayloadTypes.push_back(TT);
+      Chan.PayloadOffsets.push_back(Offset);
+      Offset += TT->getNumBytes();
+    };
+    if (auto *Tup = dyn_cast<TupleType>(AT->getPayloadType()))
+      for (Type *T : Tup->getElementTypes())
+        AddPayload(T);
+    else
+      AddPayload(AT->getPayloadType());
+
+    // Count consumer warp groups releasing this channel: the empty barrier
+    // needs that many arrivals per phase (cooperative groups each arrive).
+    std::set<Operation *> ConsumerWGs;
+    std::vector<Operation *> Puts, Gets, Consumeds;
+    F->walk([&](Operation *Op) {
+      if (Op->getNumOperands() == 0 ||
+          Op->getOperand(0) != Create->getResult(0))
+        return;
+      switch (Op->getKind()) {
+      case OpKind::ArefPut:
+        Puts.push_back(Op);
+        break;
+      case OpKind::ArefGet:
+        Gets.push_back(Op);
+        break;
+      case OpKind::ArefConsumed: {
+        Consumeds.push_back(Op);
+        for (Operation *P = Op->getParentOp(); P; P = P->getParentOp())
+          if (isa<WarpGroupOp>(P)) {
+            ConsumerWGs.insert(P);
+            break;
+          }
+        break;
+      }
+      default:
+        break;
+      }
+    });
+    int64_t NumConsumers =
+        std::max<int64_t>(1, static_cast<int64_t>(ConsumerWGs.size()));
+
+    OpBuilder B(Ctx);
+    B.setInsertionPoint(Create);
+    int64_t ChannelId = ChannelCounter++;
+    std::string Name = formatString("aref%lld",
+                                    static_cast<long long>(ChannelId));
+    Chan.Smem = B.createSmemAlloc(Chan.Depth * Chan.SlotBytes, Name);
+    Operation *SmemOp = cast<OpResult>(Chan.Smem)->getOwner();
+    SmemOp->setAttr("slot_bytes", Chan.SlotBytes);
+    SmemOp->setAttr("channel", ChannelId);
+    SmemOp->setAttr("num_slots", Chan.Depth);
+    SmemOp->setAttr("writers_per_slot",
+                    static_cast<int64_t>(Chan.PayloadTypes.size()));
+    SmemOp->setAttr("readers_per_slot", NumConsumers);
+    Chan.FullBar = B.createMBarrierAlloc(Chan.Depth, Name + ".full");
+    Operation *FullOp = cast<OpResult>(Chan.FullBar)->getOwner();
+    FullOp->setAttr("expected_arrivals",
+                    static_cast<int64_t>(Chan.PayloadTypes.size()));
+    FullOp->setAttr("channel", ChannelId);
+    FullOp->setAttr("kind", std::string("full"));
+    Chan.EmptyBar = B.createMBarrierAlloc(Chan.Depth, Name + ".empty");
+    Operation *EmptyOp = cast<OpResult>(Chan.EmptyBar)->getOwner();
+    EmptyOp->setAttr("expected_arrivals", NumConsumers);
+    EmptyOp->setAttr("channel", ChannelId);
+    EmptyOp->setAttr("kind", std::string("empty"));
+
+    for (Operation *Put : Puts)
+      if (std::string Err = lowerPut(Put, Chan); !Err.empty())
+        return Err;
+    for (Operation *Get : Gets)
+      lowerGet(Get, Chan);
+    for (Operation *Consumed : Consumeds)
+      lowerConsumed(Consumed, Chan);
+
+    assert(!Create->hasResultUses() && "aref uses survived lowering");
+    Create->erase();
+  }
+
+  // Convert any remaining synchronous dots (consumers that were not
+  // pipelined) into issue + wait(0).
+  std::vector<Operation *> Dots;
+  F->walk([&](Operation *Op) {
+    if (Op->getKind() == OpKind::Dot && Op->getParentFuncOp() &&
+        Op->getParentOp() && !isa<FuncOp>(Op->getParentOp()))
+      Dots.push_back(Op);
+  });
+  for (Operation *Dot : Dots) {
+    // Only dots inside warp groups are lowered (plain tile-dialect kernels
+    // never reach this pass).
+    bool InWG = false;
+    for (Operation *P = Dot->getParentOp(); P; P = P->getParentOp())
+      if (isa<WarpGroupOp>(P))
+        InWG = true;
+    if (!InWG)
+      continue;
+    OpBuilder B(Ctx);
+    B.setInsertionPoint(Dot);
+    Value *Issue = B.createWgmmaIssue(Dot->getOperand(0), Dot->getOperand(1),
+                                      Dot->getOperand(2),
+                                      Dot->getIntAttrOr("transB", 0) != 0);
+    B.createWgmmaWait(0);
+    Dot->getResult(0)->replaceAllUsesWith(Issue);
+    Dot->erase();
+  }
+  return "";
+}
+
+std::string ArefLoweringPass::run() {
+  for (Operation &Op : M.getBody())
+    if (auto *F = dyn_cast<FuncOp>(&Op))
+      if (std::string Err = lowerFunc(static_cast<FuncOp *>(F));
+          !Err.empty())
+        return Err;
+  return "";
+}
+
+std::string tawa::runArefLowering(Module &M) {
+  return ArefLoweringPass(M).run();
+}
+
+std::string tawa::runSoftwarePipeline(Module &M, int64_t Depth) {
+  // The Ampere-style cp.async baseline keeps the tile-dialect structure; the
+  // lookahead and its costs (CUDA-core issue slots, lower copy efficiency,
+  // per-iteration barrier) are realized by the execution model, which reads
+  // this attribute. See models/Frameworks.cpp for the cost treatment.
+  if (Depth < 1)
+    return "software pipeline depth must be >= 1";
+  M.setAttr("sw_pipeline_depth", Depth);
+  return "";
+}

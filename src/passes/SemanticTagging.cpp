@@ -1,0 +1,75 @@
+//===- SemanticTagging.cpp - Partition annotation (§III-C1) -------------------//
+//
+// Backward traversal along use-def chains from the kernel's side-effecting
+// sinks, attaching a semantic tag to every node:
+//
+//   "tile"  — transforms or consumes a tile for actual computation (dots,
+//             float-tensor elementwise math, reductions, stores of tiles);
+//   "iter"  — contributes to address/index computation (pointer arithmetic,
+//             induction updates, grid decomposition);
+//   "load"  — the TMA loads themselves, the producer/consumer cut points.
+//
+// The tags make the high-level intent of each region explicit so that the
+// partitioner can recover producer-related operations even when iteration
+// statements are scattered through the IR (e.g. the o_k update of Fig. 2b
+// L20, far from the tma_load at L16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+#include "passes/Passes.h"
+#include "passes/Utils.h"
+
+using namespace tawa;
+
+/// True for values that carry tile data (float tensors).
+static bool isTileValue(Value *V) {
+  auto *TT = dyn_cast<TensorType>(V->getType());
+  return TT && TT->getElementType()->isFloat();
+}
+
+static const char *classify(Operation *Op) {
+  switch (Op->getKind()) {
+  case OpKind::TmaLoad:
+  case OpKind::Load:
+    return "load";
+  case OpKind::Dot:
+  case OpKind::Reduce:
+  case OpKind::Exp2F:
+  case OpKind::Cast:
+    return "tile";
+  case OpKind::Store:
+  case OpKind::TmaStore:
+  case OpKind::AtomicAdd:
+    return "tile"; // Output writes belong to the consumer epilogue.
+  default:
+    break;
+  }
+  // Elementwise/select/constant ops: tile iff they produce tile data.
+  for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+    if (isTileValue(Op->getResult(I)))
+      return "tile";
+  // Integer/pointer arithmetic, program ids, ranges, comparisons feeding
+  // masks: iteration statements.
+  return "iter";
+}
+
+std::string tawa::runSemanticTagging(Module &M) {
+  for (Operation &Func : M.getBody()) {
+    Func.walk([](Operation *Op) {
+      if (isa<FuncOp>(Op) || Op->getKind() == OpKind::For ||
+          Op->getKind() == OpKind::Yield || Op->getKind() == OpKind::Return ||
+          Op->getKind() == OpKind::WarpGroup)
+        return; // Structural ops carry no role.
+      Op->setAttr("tawa.tag", std::string(classify(Op)));
+    });
+  }
+  return "";
+}
+
+std::string tawa::runCanonicalize(Module &M) {
+  for (Operation &Func : M.getBody())
+    if (auto *F = dyn_cast<FuncOp>(&Func))
+      runDce(F->getBody());
+  return "";
+}

@@ -1,0 +1,85 @@
+//===- Utils.cpp - Shared pass utilities --------------------------------------//
+
+#include "passes/Utils.h"
+
+using namespace tawa;
+
+Operation *tawa::cloneOp(Operation *Op, ValueMap &Map, OpBuilder &B) {
+  std::vector<Type *> ResultTypes;
+  for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+    ResultTypes.push_back(Op->getResult(I)->getType());
+  std::vector<Value *> Operands;
+  for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+    Operands.push_back(mapValue(Map, Op->getOperand(I)));
+
+  Operation *Clone = B.create(Op->getKind(), std::move(ResultTypes),
+                              std::move(Operands), Op->getNumRegions());
+  for (const auto &[Name, Attr] : Op->getAttrs())
+    Clone->setAttr(Name, Attr);
+  for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+    Map[Op->getResult(I)] = Clone->getResult(I);
+
+  // Clone regions recursively.
+  for (unsigned R = 0, RE = Op->getNumRegions(); R != RE; ++R) {
+    Region &OldRegion = Op->getRegion(R);
+    if (OldRegion.empty())
+      continue;
+    Block &OldBlock = OldRegion.getBlock();
+    Block &NewBlock = Clone->getRegion(R).emplaceBlock();
+    for (unsigned A = 0, AE = OldBlock.getNumArguments(); A != AE; ++A) {
+      BlockArgument *NewArg =
+          NewBlock.addArgument(OldBlock.getArgument(A)->getType());
+      Map[OldBlock.getArgument(A)] = NewArg;
+    }
+    OpBuilder Inner(B.getContext());
+    Inner.setInsertionPointToEnd(&NewBlock);
+    for (Operation &Nested : OldBlock)
+      cloneOp(&Nested, Map, Inner);
+  }
+  return Clone;
+}
+
+std::set<Operation *>
+tawa::computeBackwardSlice(const std::vector<Value *> &Roots, Block *Scope) {
+  std::set<Operation *> Slice;
+  std::vector<Value *> Worklist = Roots;
+  while (!Worklist.empty()) {
+    Value *V = Worklist.back();
+    Worklist.pop_back();
+    auto *Res = dyn_cast<OpResult>(V);
+    if (!Res)
+      continue; // Block arguments terminate the walk.
+    Operation *Def = Res->getOwner();
+    if (Def->getParentBlock() != Scope)
+      continue; // Defined outside the scope: stays shared.
+    if (!Slice.insert(Def).second)
+      continue;
+    for (Value *Operand : Def->getOperands())
+      Worklist.push_back(Operand);
+  }
+  return Slice;
+}
+
+static bool eraseDeadOps(Block &B) {
+  bool Changed = false;
+  // Walk in reverse so users die before defs within one sweep.
+  std::vector<Operation *> Ops = B.getOps();
+  for (auto It = Ops.rbegin(), E = Ops.rend(); It != E; ++It) {
+    Operation *Op = *It;
+    for (unsigned R = 0, RE = Op->getNumRegions(); R != RE; ++R)
+      if (!Op->getRegion(R).empty())
+        Changed |= eraseDeadOps(Op->getRegion(R).getBlock());
+    if (hasSideEffects(Op->getKind()) || Op->getNumRegions() > 0)
+      continue;
+    if (Op->hasResultUses())
+      continue;
+    Op->erase();
+    Changed = true;
+  }
+  return Changed;
+}
+
+void tawa::runDce(Block &FuncBody) {
+  while (eraseDeadOps(FuncBody)) {
+  }
+}

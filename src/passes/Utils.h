@@ -1,0 +1,45 @@
+//===- Utils.h - Shared pass utilities --------------------------*- C++ -*-===//
+//
+// Cloning with value remapping and backward-slice computation — the two
+// primitives the partitioning / pipelining passes are built from.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_PASSES_UTILS_H
+#define TAWA_PASSES_UTILS_H
+
+#include "ir/Builder.h"
+#include "ir/Ir.h"
+
+#include <map>
+#include <set>
+
+namespace tawa {
+
+/// Maps original values to their clones; values absent from the map are used
+/// as-is (they are defined outside the cloned fragment and stay visible).
+using ValueMap = std::map<Value *, Value *>;
+
+/// Looks a value up in \p Map, defaulting to the value itself.
+inline Value *mapValue(const ValueMap &Map, Value *V) {
+  auto It = Map.find(V);
+  return It == Map.end() ? V : It->second;
+}
+
+/// Clones \p Op (with nested regions) at \p B's insertion point, remapping
+/// operands through \p Map and recording result/block-arg mappings into it.
+Operation *cloneOp(Operation *Op, ValueMap &Map, OpBuilder &B);
+
+/// Computes the backward slice of \p Roots restricted to operations inside
+/// \p Scope (a block): the set of in-scope operations transitively feeding
+/// the roots. Values defined outside \p Scope terminate the walk.
+std::set<Operation *> computeBackwardSlice(const std::vector<Value *> &Roots,
+                                           Block *Scope);
+
+/// Erases every op in \p FuncBody (recursively) that is dead: no side
+/// effects, no regions, and no used results. Runs to fixpoint.
+void runDce(Block &FuncBody);
+
+} // namespace tawa
+
+#endif // TAWA_PASSES_UTILS_H

@@ -1,0 +1,461 @@
+//===- WarpSpecialize.cpp - Task-aware partitioning (§III-C) ------------------//
+//
+// Partitions a tagged tile-dialect kernel into producer/consumer warp groups
+// and performs loop distribution:
+//
+//   * every TMA load feeding the compute partition becomes a cross-partition
+//     edge realized as an aref ring (tensors consumed by the same dot share
+//     one tuple-payload aref, §III-C2);
+//   * the producer warp group receives the iteration statements (backward
+//     slice of the load addresses and loop controls) plus the loads and the
+//     aref puts;
+//   * the consumer warp group receives everything else — tile statements,
+//     duplicated iteration statements it needs (e.g. causal-mask indices),
+//     aref gets/consumed, and the epilogue;
+//   * an explicit iteration counter is threaded through the (possibly
+//     persistent, i.e. nested) loop chain on both sides so slot indices and
+//     barrier phases stay globally monotonic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Ir.h"
+#include "passes/Passes.h"
+#include "passes/Utils.h"
+#include "support/Support.h"
+
+#include <algorithm>
+
+using namespace tawa;
+
+namespace {
+
+/// One aref channel: a set of loads published together.
+struct ArefGroup {
+  std::vector<Operation *> Loads; ///< In payload order.
+  bool InMainLoop = false;        ///< False for preamble (loop-invariant).
+  Value *Aref = nullptr;          ///< The created tawa.create_aref result.
+};
+
+struct Partitioner {
+  Module &M;
+  int64_t Depth;
+  FuncOp *Func = nullptr;
+  std::vector<ForOp *> Chain; ///< Outermost chain loop ... main loop.
+  ForOp *MainLoop = nullptr;
+  std::vector<ArefGroup> Groups;
+  std::set<Operation *> ProducerKeep;
+  std::map<ForOp *, std::vector<unsigned>> ProducerArgs; ///< Kept arg idxs.
+
+  Partitioner(Module &M, int64_t Depth) : M(M), Depth(Depth) {}
+
+  std::string run();
+  std::string runOnFunc(FuncOp *F);
+  bool findLoopChain();
+  void groupLoads();
+  std::string computeProducerSlice();
+  void buildProducer(OpBuilder &B);
+  Value *cloneProducerChain(size_t Level, ValueMap &Map, OpBuilder &B,
+                            Value *CounterIn);
+  void buildConsumer(OpBuilder &B);
+  Value *cloneConsumerChain(size_t Level, ValueMap &Map, OpBuilder &B,
+                            Value *CounterIn);
+};
+
+} // namespace
+
+/// Finds the innermost loop that directly contains TMA loads, and the chain
+/// of loops from the function body down to it.
+bool Partitioner::findLoopChain() {
+  // Collect loops whose body directly holds a TmaLoad.
+  std::vector<ForOp *> Candidates;
+  Func->walk([&](Operation *Op) {
+    if (Op->getKind() != OpKind::TmaLoad)
+      return;
+    if (auto *Loop = dyn_cast_if_present<ForOp>(Op->getParentOp()))
+      if (std::find(Candidates.begin(), Candidates.end(), Loop) ==
+          Candidates.end())
+        Candidates.push_back(static_cast<ForOp *>(Loop));
+  });
+  if (Candidates.empty())
+    return false;
+  // The main loop is the most deeply nested candidate.
+  MainLoop = Candidates.front();
+  for (ForOp *C : Candidates)
+    if (MainLoop->isAncestorOf(C))
+      MainLoop = C;
+  // Build the ancestor chain (func body -> main loop).
+  for (Operation *Op = MainLoop; Op; Op = Op->getParentOp()) {
+    if (auto *Loop = dyn_cast<ForOp>(Op))
+      Chain.insert(Chain.begin(), static_cast<ForOp *>(Loop));
+    if (isa<FuncOp>(Op))
+      break;
+  }
+  return true;
+}
+
+/// Groups the TMA loads into aref channels (§III-C2): loads that feed the
+/// two multiplicand operands of the same dot share one tuple aref.
+void Partitioner::groupLoads() {
+  std::set<Operation *> Grouped;
+  // Pass 1: pairs feeding one dot.
+  MainLoop->walk([&](Operation *Op) {
+    if (Op->getKind() != OpKind::Dot)
+      return;
+    auto *A = dyn_cast<OpResult>(Op->getOperand(0));
+    auto *B = dyn_cast<OpResult>(Op->getOperand(1));
+    if (!A || !B)
+      return;
+    Operation *DefA = A->getOwner(), *DefB = B->getOwner();
+    if (DefA->getKind() != OpKind::TmaLoad ||
+        DefB->getKind() != OpKind::TmaLoad)
+      return;
+    if (DefA->getParentBlock() != &MainLoop->getBody() ||
+        DefB->getParentBlock() != &MainLoop->getBody())
+      return;
+    if (Grouped.count(DefA) || Grouped.count(DefB))
+      return;
+    Groups.push_back({{DefA, DefB}, /*InMainLoop=*/true, nullptr});
+    Grouped.insert(DefA);
+    Grouped.insert(DefB);
+  });
+  // Pass 2: remaining loads become singleton channels.
+  Func->walk([&](Operation *Op) {
+    if (Op->getKind() != OpKind::TmaLoad || Grouped.count(Op))
+      return;
+    bool InMain = Op->getParentBlock() == &MainLoop->getBody();
+    Groups.push_back({{Op}, InMain, nullptr});
+    Grouped.insert(Op);
+  });
+}
+
+/// Fixpoint backward slice over the loop chain identifying the producer
+/// partition: loads, their address computations, loop controls, and the
+/// loop-carried iteration state feeding them.
+std::string Partitioner::computeProducerSlice() {
+  std::set<Block *> ChainBodies;
+  for (ForOp *Loop : Chain)
+    ChainBodies.insert(&Loop->getBody());
+
+  std::vector<Value *> Worklist;
+  std::set<BlockArgument *> KeptArgs;
+
+  auto pushOperands = [&](Operation *Op) {
+    for (Value *V : Op->getOperands())
+      Worklist.push_back(V);
+  };
+
+  // Seeds: the loads themselves and every chain loop's bounds.
+  for (ArefGroup &G : Groups)
+    for (Operation *Load : G.Loads) {
+      ProducerKeep.insert(Load);
+      pushOperands(Load);
+    }
+  for (ForOp *Loop : Chain) {
+    Worklist.push_back(Loop->getLowerBound());
+    Worklist.push_back(Loop->getUpperBound());
+    Worklist.push_back(Loop->getStep());
+  }
+
+  while (!Worklist.empty()) {
+    Value *V = Worklist.back();
+    Worklist.pop_back();
+    if (auto *Arg = dyn_cast<BlockArgument>(V)) {
+      Block *Owner = Arg->getOwner();
+      if (!ChainBodies.count(Owner))
+        continue; // Function argument: shared.
+      if (Arg->getArgIndex() == 0)
+        continue; // Induction variable: always available.
+      if (!KeptArgs.insert(Arg).second)
+        continue;
+      // Keeping an iter arg requires its init and its yield update.
+      auto *Loop = static_cast<ForOp *>(Owner->getParentOp());
+      unsigned IterIdx = Arg->getArgIndex() - 1;
+      Worklist.push_back(Loop->getInitArg(IterIdx));
+      Worklist.push_back(Loop->getYield()->getOperand(IterIdx));
+      continue;
+    }
+    auto *Res = cast<OpResult>(V);
+    Operation *Def = Res->getOwner();
+    if (!ChainBodies.count(Def->getParentBlock()))
+      continue; // Defined outside the chain: shared preamble.
+    if (isa<ForOp>(Def))
+      return "unsupported: a TMA address depends on a nested loop result";
+    if (Def->hasAttr("tawa.tag") &&
+        Def->getStringAttr("tawa.tag") == "tile")
+      return "cannot partition: a TMA address depends on a tile statement (" +
+             Def->getOneLineSummary() + ")";
+    if (!ProducerKeep.insert(Def).second)
+      continue;
+    pushOperands(Def);
+  }
+
+  // Record kept iter-arg indices per loop, in ascending order.
+  for (ForOp *Loop : Chain) {
+    std::vector<unsigned> Idxs;
+    for (unsigned I = 0, E = Loop->getNumIterArgs(); I != E; ++I)
+      if (KeptArgs.count(Loop->getIterArg(I)))
+        Idxs.push_back(I);
+    ProducerArgs[Loop] = Idxs;
+  }
+  return "";
+}
+
+/// Recursively rebuilds the loop chain for the producer warp group, keeping
+/// only the iteration slice, emitting puts in the main loop, and threading
+/// the global iteration counter. Returns the counter after the loop.
+Value *Partitioner::cloneProducerChain(size_t Level, ValueMap &Map,
+                                       OpBuilder &B, Value *CounterIn) {
+  ForOp *Orig = Chain[Level];
+  std::vector<Value *> Inits;
+  for (unsigned Idx : ProducerArgs[Orig])
+    Inits.push_back(mapValue(Map, Orig->getInitArg(Idx)));
+  Inits.push_back(CounterIn);
+
+  ForOp *NewLoop = B.createFor(mapValue(Map, Orig->getLowerBound()),
+                               mapValue(Map, Orig->getUpperBound()),
+                               mapValue(Map, Orig->getStep()), Inits);
+  const std::vector<unsigned> &Kept = ProducerArgs[Orig];
+  NewLoop->setAttr("tawa.counter_arg", static_cast<int64_t>(Kept.size()));
+  if (Orig == MainLoop)
+    NewLoop->setAttr("tawa.main_loop", static_cast<int64_t>(1));
+  Map[Orig->getInductionVar()] = NewLoop->getInductionVar();
+  for (unsigned I = 0, E = Kept.size(); I != E; ++I)
+    Map[Orig->getIterArg(Kept[I])] = NewLoop->getIterArg(I);
+  Value *CounterArg = NewLoop->getIterArg(Kept.size());
+
+  OpBuilder Inner(B.getContext());
+  Inner.setInsertionPointToEnd(&NewLoop->getBody());
+
+  Value *CounterNext = nullptr;
+  bool IsMain = Orig == MainLoop;
+  for (Operation *Op : Orig->getBody().getOps()) {
+    if (Level + 1 < Chain.size() && Op == Chain[Level + 1]) {
+      CounterNext = cloneProducerChain(Level + 1, Map, Inner, CounterArg);
+      continue;
+    }
+    if (Op->getKind() == OpKind::Yield)
+      continue;
+    if (ProducerKeep.count(Op))
+      cloneOp(Op, Map, Inner);
+  }
+
+  if (IsMain) {
+    // Publish each channel's freshly loaded tensors at index = counter.
+    for (ArefGroup &G : Groups) {
+      if (!G.InMainLoop)
+        continue;
+      std::vector<Value *> Payload;
+      for (Operation *Load : G.Loads)
+        Payload.push_back(mapValue(Map, Load->getResult(0)));
+      Inner.createArefPut(G.Aref, CounterArg, Payload);
+    }
+    CounterNext = Inner.createAdd(CounterArg, Inner.createConstantInt(1));
+  }
+  assert(CounterNext && "chain level did not produce a counter");
+
+  std::vector<Value *> YieldVals;
+  for (unsigned Idx : ProducerArgs[Orig])
+    YieldVals.push_back(mapValue(Map, Orig->getYield()->getOperand(Idx)));
+  YieldVals.push_back(CounterNext);
+  Inner.createYield(YieldVals);
+
+  return NewLoop->getResult(Kept.size());
+}
+
+void Partitioner::buildProducer(OpBuilder &B) {
+  ValueMap Map;
+  Value *Counter = B.createConstantInt(0);
+  // Preamble (loop-invariant) loads: publish once at index 0.
+  for (ArefGroup &G : Groups) {
+    if (G.InMainLoop)
+      continue;
+    std::vector<Value *> Payload;
+    for (Operation *Load : G.Loads)
+      Payload.push_back(cloneOp(Load, Map, B)->getResult(0));
+    B.createArefPut(G.Aref, B.createConstantInt(0), Payload);
+  }
+  cloneProducerChain(0, Map, B, Counter);
+}
+
+/// Recursively rebuilds the loop chain for the consumer warp group: a full
+/// clone (tile statements plus duplicated iteration statements) with loads
+/// replaced by aref gets and consumed ops inserted before the yield.
+Value *Partitioner::cloneConsumerChain(size_t Level, ValueMap &Map,
+                                       OpBuilder &B, Value *CounterIn) {
+  ForOp *Orig = Chain[Level];
+  std::vector<Value *> Inits;
+  for (unsigned I = 0, E = Orig->getNumIterArgs(); I != E; ++I)
+    Inits.push_back(mapValue(Map, Orig->getInitArg(I)));
+  Inits.push_back(CounterIn);
+
+  ForOp *NewLoop = B.createFor(mapValue(Map, Orig->getLowerBound()),
+                               mapValue(Map, Orig->getUpperBound()),
+                               mapValue(Map, Orig->getStep()), Inits);
+  NewLoop->setAttr("tawa.counter_arg",
+                   static_cast<int64_t>(Orig->getNumIterArgs()));
+  if (Orig == MainLoop)
+    NewLoop->setAttr("tawa.main_loop", static_cast<int64_t>(1));
+  Map[Orig->getInductionVar()] = NewLoop->getInductionVar();
+  for (unsigned I = 0, E = Orig->getNumIterArgs(); I != E; ++I)
+    Map[Orig->getIterArg(I)] = NewLoop->getIterArg(I);
+  Value *CounterArg = NewLoop->getIterArg(Orig->getNumIterArgs());
+
+  OpBuilder Inner(B.getContext());
+  Inner.setInsertionPointToEnd(&NewLoop->getBody());
+
+  // Which channel does each load belong to (main-loop channels only)?
+  std::map<Operation *, ArefGroup *> LoadChannel;
+  for (ArefGroup &G : Groups)
+    if (G.InMainLoop)
+      for (Operation *Load : G.Loads)
+        LoadChannel[Load] = &G;
+  std::set<ArefGroup *> Acquired;
+
+  Value *CounterNext = nullptr;
+  bool IsMain = Orig == MainLoop;
+  for (Operation *Op : Orig->getBody().getOps()) {
+    if (Level + 1 < Chain.size() && Op == Chain[Level + 1]) {
+      CounterNext = cloneConsumerChain(Level + 1, Map, Inner, CounterArg);
+      continue;
+    }
+    if (Op->getKind() == OpKind::Yield)
+      continue;
+    auto ChanIt = LoadChannel.find(Op);
+    if (ChanIt != LoadChannel.end()) {
+      // Replace the group's loads by one get at the first load's position.
+      ArefGroup *G = ChanIt->second;
+      if (Acquired.insert(G).second) {
+        Operation *Get = Inner.createArefGet(G->Aref, CounterArg);
+        for (unsigned I = 0, E = G->Loads.size(); I != E; ++I)
+          Map[G->Loads[I]->getResult(0)] = Get->getResult(I);
+      }
+      continue;
+    }
+    cloneOp(Op, Map, Inner);
+  }
+
+  if (IsMain) {
+    for (ArefGroup &G : Groups)
+      if (G.InMainLoop)
+        Inner.createArefConsumed(G.Aref, CounterArg);
+    CounterNext = Inner.createAdd(CounterArg, Inner.createConstantInt(1));
+  }
+  assert(CounterNext && "chain level did not produce a counter");
+
+  std::vector<Value *> YieldVals;
+  for (unsigned I = 0, E = Orig->getNumIterArgs(); I != E; ++I)
+    YieldVals.push_back(mapValue(Map, Orig->getYield()->getOperand(I)));
+  YieldVals.push_back(CounterNext);
+  Inner.createYield(YieldVals);
+
+  // Make the original loop's results resolve to the new loop's results so
+  // the cloned epilogue can use them.
+  for (unsigned I = 0, E = Orig->getNumResults(); I != E; ++I)
+    Map[Orig->getResult(I)] = NewLoop->getResult(I);
+  return NewLoop->getResult(Orig->getNumIterArgs());
+}
+
+void Partitioner::buildConsumer(OpBuilder &B) {
+  ValueMap Map;
+  // Acquire loop-invariant channels (e.g. the attention Q tile) up front.
+  for (ArefGroup &G : Groups) {
+    if (G.InMainLoop)
+      continue;
+    Operation *Get = B.createArefGet(G.Aref, B.createConstantInt(0));
+    for (unsigned I = 0, E = G.Loads.size(); I != E; ++I)
+      Map[G.Loads[I]->getResult(0)] = Get->getResult(I);
+  }
+
+  Value *Counter = B.createConstantInt(0);
+  cloneConsumerChain(0, Map, B, Counter);
+
+  // Epilogue: clone the function-level ops after the outer loop (the output
+  // writes of Fig. 5b attach to WG1 so they occur exactly once).
+  ForOp *Outer = Chain.front();
+  for (Operation *Op = Outer->getNextNode(); Op; Op = Op->getNextNode()) {
+    if (Op->getKind() == OpKind::Return || Op->getKind() == OpKind::WarpGroup)
+      continue;
+    cloneOp(Op, Map, B);
+  }
+
+  // Release loop-invariant channels.
+  for (ArefGroup &G : Groups)
+    if (!G.InMainLoop)
+      B.createArefConsumed(G.Aref, B.createConstantInt(0));
+}
+
+std::string Partitioner::runOnFunc(FuncOp *F) {
+  Func = F;
+  Chain.clear();
+  Groups.clear();
+  ProducerKeep.clear();
+  ProducerArgs.clear();
+
+  if (!findLoopChain())
+    return ""; // Nothing to specialize (no TMA loads in loops).
+  groupLoads();
+  if (std::string Err = computeProducerSlice(); !Err.empty())
+    return Err;
+
+  IrContext &Ctx = M.getContext();
+  OpBuilder B(Ctx);
+
+  // Create the aref channels right before the outer loop.
+  ForOp *Outer = Chain.front();
+  B.setInsertionPoint(Outer);
+  for (ArefGroup &G : Groups) {
+    std::vector<Type *> PayloadTypes;
+    for (Operation *Load : G.Loads)
+      PayloadTypes.push_back(Load->getResult(0)->getType());
+    Type *Payload = PayloadTypes.size() == 1
+                        ? PayloadTypes.front()
+                        : static_cast<Type *>(Ctx.getTupleType(PayloadTypes));
+    int64_t GroupDepth = G.InMainLoop ? Depth : 1;
+    G.Aref = B.createAref(Payload, GroupDepth);
+  }
+
+  // Producer warp group (WG0), then consumer warp group (WG1).
+  WarpGroupOp *WG0 = B.createWarpGroup(0, "producer");
+  {
+    OpBuilder PB(Ctx);
+    PB.setInsertionPointToEnd(&WG0->getBody());
+    buildProducer(PB);
+  }
+  WarpGroupOp *WG1 = B.createWarpGroup(1, "consumer");
+  {
+    OpBuilder CB(Ctx);
+    CB.setInsertionPointToEnd(&WG1->getBody());
+    buildConsumer(CB);
+  }
+
+  // Erase the original epilogue (everything between the outer loop and the
+  // return), the outer loop, and the preamble loads.
+  std::vector<Operation *> ToErase;
+  for (Operation *Op = Outer->getNextNode(); Op; Op = Op->getNextNode())
+    if (Op->getKind() != OpKind::Return)
+      ToErase.push_back(Op);
+  for (auto It = ToErase.rbegin(), E = ToErase.rend(); It != E; ++It)
+    (*It)->erase();
+  Outer->erase();
+  for (ArefGroup &G : Groups)
+    for (Operation *Load : G.Loads)
+      if (!G.InMainLoop)
+        Load->erase();
+
+  // Dead preamble computations feeding only the erased loop are cleaned by
+  // the canonicalizer later; shared ones remain for both warp groups.
+  return "";
+}
+
+std::string Partitioner::run() {
+  for (Operation &Op : M.getBody())
+    if (auto *F = dyn_cast<FuncOp>(&Op))
+      if (std::string Err = runOnFunc(static_cast<FuncOp *>(F)); !Err.empty())
+        return Err;
+  return "";
+}
+
+std::string tawa::runWarpSpecialize(Module &M, int64_t ArefDepth) {
+  return Partitioner(M, ArefDepth).run();
+}

@@ -1,0 +1,137 @@
+//===- ArefSemantics.cpp - Fig. 4 operational semantics ----------------------//
+
+#include "sem/ArefSemantics.h"
+
+#include "support/Support.h"
+
+using namespace tawa;
+using namespace tawa::sem;
+
+const char *tawa::sem::getSlotStateName(SlotState S) {
+  switch (S) {
+  case SlotState::Empty:
+    return "empty";
+  case SlotState::Full:
+    return "full";
+  case SlotState::Borrowed:
+    return "borrowed";
+  }
+  return "<invalid>";
+}
+
+//===----------------------------------------------------------------------===//
+// ArefSlotState
+//===----------------------------------------------------------------------===//
+
+TransitionResult ArefSlotState::put(uint64_t Epoch) {
+  switch (State) {
+  case SlotState::Empty:
+    // PUT rule: sigma(a).E = 1 -> {buf = v, F = 1, E = 0}.
+    State = SlotState::Full;
+    PublishEpoch = Epoch;
+    return TransitionResult::Ok;
+  case SlotState::Full:
+    // A second put before the slot drains would overwrite a published value;
+    // with a real mbarrier this blocks on the empty barrier.
+    return TransitionResult::WouldBlock;
+  case SlotState::Borrowed:
+    // The consumer still holds the value (consumed not yet issued).
+    return TransitionResult::WouldBlock;
+  }
+  return TransitionResult::ProtocolError;
+}
+
+TransitionResult ArefSlotState::get(uint64_t *PublishEpochOut) {
+  switch (State) {
+  case SlotState::Full:
+    // GET rule: sigma(a).F = 1 -> {F = 0, E = 0}, yields buf.
+    State = SlotState::Borrowed;
+    if (PublishEpochOut)
+      *PublishEpochOut = PublishEpoch;
+    return TransitionResult::Ok;
+  case SlotState::Empty:
+    // Premature access: nothing has been published; block on the full
+    // barrier.
+    return TransitionResult::WouldBlock;
+  case SlotState::Borrowed:
+    // A second get before consumed: double acquisition of the same credit.
+    return TransitionResult::ProtocolError;
+  }
+  return TransitionResult::ProtocolError;
+}
+
+TransitionResult ArefSlotState::consumed() {
+  switch (State) {
+  case SlotState::Borrowed:
+    // CONSUMED rule: -> {F = 0, E = 1}; closes the handshake and completes
+    // the put -> get -> consumed happens-before chain.
+    State = SlotState::Empty;
+    ++Generation;
+    return TransitionResult::Ok;
+  case SlotState::Empty:
+  case SlotState::Full:
+    // Releasing a credit that was never acquired is unconditionally wrong;
+    // it would grant the producer an extra empty credit and allow it to
+    // overwrite data the consumer has not read.
+    return TransitionResult::ProtocolError;
+  }
+  return TransitionResult::ProtocolError;
+}
+
+//===----------------------------------------------------------------------===//
+// ArefMachine
+//===----------------------------------------------------------------------===//
+
+ArefMachine::ArefMachine(int64_t Depth, std::string Name)
+    : Depth(Depth), Name(std::move(Name)), Slots(Depth) {
+  assert(Depth >= 1 && "aref ring must have at least one slot");
+}
+
+ArefSlotState &ArefMachine::slot(int64_t Slot) {
+  assert(Slot >= 0 && Slot < Depth && "aref slot out of range");
+  return Slots[Slot];
+}
+
+TransitionResult ArefMachine::put(int64_t Slot, uint64_t Epoch) {
+  TransitionResult R = slot(Slot).put(Epoch);
+  if (R == TransitionResult::ProtocolError)
+    recordViolation(Slot, "illegal put from state " +
+                              std::string(getSlotStateName(
+                                  Slots[Slot].getState())));
+  return R;
+}
+
+TransitionResult ArefMachine::get(int64_t Slot, uint64_t *PublishEpochOut) {
+  TransitionResult R = slot(Slot).get(PublishEpochOut);
+  if (R == TransitionResult::ProtocolError)
+    recordViolation(Slot, "illegal get from state " +
+                              std::string(getSlotStateName(
+                                  Slots[Slot].getState())));
+  return R;
+}
+
+TransitionResult ArefMachine::consumed(int64_t Slot) {
+  TransitionResult R = slot(Slot).consumed();
+  if (R == TransitionResult::ProtocolError)
+    recordViolation(Slot, "illegal consumed from state " +
+                              std::string(getSlotStateName(
+                                  Slots[Slot].getState())));
+  return R;
+}
+
+SlotState ArefMachine::getSlotState(int64_t Slot) const {
+  assert(Slot >= 0 && Slot < Depth && "aref slot out of range");
+  return Slots[Slot].getState();
+}
+
+uint64_t ArefMachine::getGeneration(int64_t Slot) const {
+  assert(Slot >= 0 && Slot < Depth && "aref slot out of range");
+  return Slots[Slot].getGeneration();
+}
+
+void ArefMachine::recordViolation(int64_t Slot, const std::string &What) {
+  Violations.push_back(
+      {formatString("%s[%lld]: %s", Name.c_str(),
+                    static_cast<long long>(Slot), What.c_str()),
+       Slot});
+}

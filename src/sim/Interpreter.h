@@ -1,0 +1,85 @@
+//===- Interpreter.h - Functional + trace-generating execution --*- C++ -*-===//
+//
+// Executes a compiled module for one CTA: warp-group regions run as
+// cooperatively scheduled agents whose mbarrier interactions follow the real
+// blocking semantics (so protocol bugs deadlock or trip the monitors), while
+// every tensor op computes real data (functional mode). Each agent emits a
+// timed action trace; Replay.h turns the traces into cycle counts.
+//
+// Protocol checking is layered (per DESIGN.md):
+//   * per-slot state monitors (the Fig. 4 machine extended with multi-writer
+//     tuple slots and multi-reader cooperative groups);
+//   * the sem::HappensBeforeTracker validating the release/acquire chain;
+//   * deadlock detection when every agent is blocked.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SIM_INTERPRETER_H
+#define TAWA_SIM_INTERPRETER_H
+
+#include "sim/Config.h"
+#include "sim/TensorData.h"
+#include "sim/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace tawa {
+
+class Module;
+
+namespace sim {
+
+/// One kernel argument: a scalar or a tensor bound to a TMA descriptor /
+/// base pointer.
+struct RuntimeArg {
+  enum class Kind { Scalar, Tensor };
+  Kind K = Kind::Scalar;
+  int64_t Scalar = 0;
+  TensorRef Data;
+
+  static RuntimeArg scalar(int64_t V) {
+    RuntimeArg A;
+    A.K = Kind::Scalar;
+    A.Scalar = V;
+    return A;
+  }
+  static RuntimeArg tensor(TensorRef T) {
+    RuntimeArg A;
+    A.K = Kind::Tensor;
+    A.Data = std::move(T);
+    return A;
+  }
+};
+
+struct RunOptions {
+  std::vector<RuntimeArg> Args;
+  int64_t GridX = 1;
+  int64_t GridY = 1;
+  /// When false, tensor payloads are not computed (timing-only sampling for
+  /// large benchmark shapes); scalars, control flow, traces and protocol
+  /// monitors still run.
+  bool Functional = true;
+};
+
+class Interpreter {
+public:
+  /// \p M must be fully lowered (warp-specialized path) or a plain tile
+  /// module (Triton baseline paths).
+  Interpreter(Module &M, const GpuConfig &Config);
+
+  /// Interprets CTA (PidX, PidY) of the grid. Returns "" on success or a
+  /// diagnostic (deadlock, protocol violation, unsupported op). The trace is
+  /// valid only on success.
+  std::string runCta(const RunOptions &Opts, int64_t PidX, int64_t PidY,
+                     CtaTrace &Out);
+
+private:
+  Module &M;
+  const GpuConfig &Config;
+};
+
+} // namespace sim
+} // namespace tawa
+
+#endif // TAWA_SIM_INTERPRETER_H

@@ -1,0 +1,293 @@
+//===- Replay.cpp - Timed co-simulation of agent traces -----------------------//
+
+#include "sim/Replay.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+namespace {
+
+/// One transaction mbarrier (a single index of a barrier array).
+struct TimedBarrier {
+  int64_t ExpectedArrivals = 1;
+  int64_t Arrivals = 0;
+  int64_t ExpectedTxBytes = 0;
+  int64_t ArrivedTxBytes = 0;
+  double PhaseMaxTime = 0;
+  int64_t Completions = 0;
+  std::vector<double> CompletionTimes;
+
+  bool phaseComplete() const {
+    return Arrivals >= ExpectedArrivals && ArrivedTxBytes >= ExpectedTxBytes;
+  }
+};
+
+struct AgentState {
+  const AgentTrace *Trace = nullptr;
+  size_t Pc = 0;
+  double ReadyAt = 0;
+  bool Done = false;
+  bool Blocked = false;
+  int32_t BlockBar = -1, BlockIdx = 0;
+  int64_t BlockTargetCompletion = 0;
+  std::deque<double> TensorInflight;     ///< Completion times, FIFO.
+  std::deque<double> IterStartHistory;   ///< For pipelined-copy lookahead.
+};
+
+class ReplayEngine {
+public:
+  ReplayEngine(const GpuConfig &Config, const ReplayParams &Params)
+      : Config(Config), Params(Params) {}
+
+  ReplayResult run(const std::vector<const CtaTrace *> &Ctas);
+
+private:
+  bool step(AgentState &Agent);
+  void arrive(int32_t Bar, int32_t Idx, double Time, int64_t TxBytes);
+  TimedBarrier &barrier(int32_t Bar, int32_t Idx) {
+    return Barriers[Bar][Idx];
+  }
+  /// Schedules a DRAM transfer issued at \p IssueTime; returns completion.
+  /// \p Reuse scales the bytes that actually consume DRAM bandwidth (loads
+  /// benefit from L2 reuse across CTAs; stores do not).
+  double scheduleTransfer(double IssueTime, int64_t Bytes, double Latency,
+                          double BwEfficiency, double Reuse);
+  void wakeWaiters(int32_t Bar, int32_t Idx);
+
+  const GpuConfig &Config;
+  const ReplayParams &Params;
+  std::vector<AgentState> Agents;
+  std::vector<std::vector<TimedBarrier>> Barriers;
+  double TcFree = 0;   ///< Tensor-core server.
+  double DramFree = 0; ///< DRAM bandwidth server (per-SM share).
+  ReplayResult Result;
+  double BaseTime = 0; ///< Start offset of the current CTA.
+};
+
+} // namespace
+
+double ReplayEngine::scheduleTransfer(double IssueTime, int64_t Bytes,
+                                      double Latency, double BwEfficiency,
+                                      double Reuse) {
+  double EffBytes = static_cast<double>(Bytes) * Reuse;
+  double BwPerSm = Config.HbmTBps * 1e12 /
+                   (Params.BwShareSms * Config.ClockGhz * 1e9) * BwEfficiency;
+  double ServiceStart = std::max(IssueTime, DramFree);
+  DramFree = ServiceStart + EffBytes / BwPerSm;
+  Result.DramBusyCycles += EffBytes / BwPerSm;
+  Result.DramBytes += static_cast<int64_t>(EffBytes);
+  return DramFree + Latency;
+}
+
+void ReplayEngine::wakeWaiters(int32_t Bar, int32_t Idx) {
+  TimedBarrier &B = barrier(Bar, Idx);
+  for (AgentState &A : Agents) {
+    if (!A.Blocked || A.BlockBar != Bar || A.BlockIdx != Idx)
+      continue;
+    if (B.Completions >= A.BlockTargetCompletion) {
+      A.Blocked = false;
+      A.ReadyAt = std::max(A.ReadyAt,
+                           B.CompletionTimes[A.BlockTargetCompletion - 1]);
+    }
+  }
+}
+
+void ReplayEngine::arrive(int32_t Bar, int32_t Idx, double Time,
+                          int64_t TxBytes) {
+  TimedBarrier &B = barrier(Bar, Idx);
+  ++B.Arrivals;
+  B.ArrivedTxBytes += TxBytes;
+  B.PhaseMaxTime = std::max(B.PhaseMaxTime, Time);
+  if (!B.phaseComplete())
+    return;
+  // Phase flip: record completion, reset for the next phase.
+  ++B.Completions;
+  B.CompletionTimes.push_back(B.PhaseMaxTime);
+  B.Arrivals = 0;
+  B.ArrivedTxBytes = 0;
+  B.ExpectedTxBytes = 0;
+  B.PhaseMaxTime = 0;
+  wakeWaiters(Bar, Idx);
+}
+
+/// Executes one action of \p Agent. Returns false if the agent blocked (or
+/// finished) without consuming the action.
+bool ReplayEngine::step(AgentState &Agent) {
+  if (Agent.Pc >= Agent.Trace->Actions.size()) {
+    Agent.Done = true;
+    return false;
+  }
+  const Action &A = Agent.Trace->Actions[Agent.Pc];
+  switch (A.Kind) {
+  case ActionKind::CudaWork:
+  case ActionKind::CtaSync:
+    Agent.ReadyAt += A.Cycles * Params.CudaPenalty;
+    break;
+  case ActionKind::TensorIssue: {
+    Agent.ReadyAt += Config.WgmmaIssueCycles;
+    double Start = std::max(Agent.ReadyAt, TcFree);
+    double Done = Start + A.Cycles * Params.TensorPenalty;
+    TcFree = Done;
+    Result.TensorBusyCycles += A.Cycles * Params.TensorPenalty;
+    Agent.TensorInflight.push_back(Done);
+    break;
+  }
+  case ActionKind::TensorWait: {
+    while (static_cast<int64_t>(Agent.TensorInflight.size()) > A.Pendings) {
+      Agent.ReadyAt = std::max(Agent.ReadyAt, Agent.TensorInflight.front());
+      Agent.TensorInflight.pop_front();
+    }
+    // Retire anything that has already finished.
+    while (!Agent.TensorInflight.empty() &&
+           Agent.TensorInflight.front() <= Agent.ReadyAt)
+      Agent.TensorInflight.pop_front();
+    break;
+  }
+  case ActionKind::TmaIssue: {
+    Agent.ReadyAt += A.Cycles;
+    double Done =
+        scheduleTransfer(Agent.ReadyAt, A.Bytes, Config.TmaLatencyCycles,
+                         Config.TmaBwEfficiency, Params.DramReuseFactor);
+    arrive(A.Bar, A.Idx, Done, A.Bytes);
+    break;
+  }
+  case ActionKind::BarExpectTx: {
+    Agent.ReadyAt += A.Cycles;
+    barrier(A.Bar, A.Idx).ExpectedTxBytes += A.Bytes;
+    break;
+  }
+  case ActionKind::BarArrive: {
+    Agent.ReadyAt += A.Cycles;
+    arrive(A.Bar, A.Idx, Agent.ReadyAt, 0);
+    break;
+  }
+  case ActionKind::BarWait: {
+    Agent.ReadyAt += A.Cycles;
+    TimedBarrier &B = barrier(A.Bar, A.Idx);
+    if (B.Completions % 2 != A.Parity) {
+      // Already flipped; data became available at the last completion.
+      if (B.Completions > 0)
+        Agent.ReadyAt =
+            std::max(Agent.ReadyAt, B.CompletionTimes[B.Completions - 1]);
+      break;
+    }
+    // Must wait for the next phase flip.
+    Agent.Blocked = true;
+    Agent.BlockBar = A.Bar;
+    Agent.BlockIdx = A.Idx;
+    Agent.BlockTargetCompletion = B.Completions + 1;
+    ++Agent.Pc; // The wait completes when woken.
+    return false;
+  }
+  case ActionKind::GStoreAsync: {
+    Agent.ReadyAt += A.Cycles;
+    scheduleTransfer(Agent.ReadyAt, A.Bytes, 0, Config.TmaBwEfficiency,
+                     /*Reuse=*/1.0);
+    break;
+  }
+  case ActionKind::GLoadSync: {
+    Agent.ReadyAt += A.Cycles;
+    double Done = scheduleTransfer(Agent.ReadyAt, A.Bytes,
+                                   Config.SyncLoadLatencyCycles,
+                                   Config.TmaBwEfficiency,
+                                   Params.DramReuseFactor);
+    Agent.ReadyAt = Done;
+    break;
+  }
+  case ActionKind::CopyPipelined: {
+    // Software pipelining: the copy consumed now was issued Lookahead-1
+    // iterations ago (or at the start of the CTA for the prologue).
+    Agent.ReadyAt += A.Cycles; // cp.async CUDA-core issue cost.
+    double IssueTime = BaseTime;
+    if (static_cast<int64_t>(Agent.IterStartHistory.size()) >= A.Lookahead)
+      IssueTime = Agent.IterStartHistory[Agent.IterStartHistory.size() -
+                                         A.Lookahead];
+    double Done = scheduleTransfer(std::max(IssueTime, BaseTime), A.Bytes,
+                                   Config.CpAsyncLatencyCycles,
+                                   Config.CpAsyncBwEfficiency,
+                                   Params.DramReuseFactor);
+    Agent.ReadyAt = std::max(Agent.ReadyAt, Done);
+    break;
+  }
+  case ActionKind::IterMark: {
+    Agent.IterStartHistory.push_back(Agent.ReadyAt);
+    if (Agent.IterStartHistory.size() > 64)
+      Agent.IterStartHistory.pop_front();
+    break;
+  }
+  }
+  ++Agent.Pc;
+  return true;
+}
+
+ReplayResult ReplayEngine::run(const std::vector<const CtaTrace *> &Ctas) {
+  double SmTime = Config.launchCycles();
+  for (const CtaTrace *Cta : Ctas) {
+    BaseTime = SmTime + Config.CtaStartCycles;
+
+    // Fresh barrier state per CTA.
+    Barriers.assign(Cta->NumBarrierArrays, {});
+    for (int32_t B = 0; B < Cta->NumBarrierArrays; ++B) {
+      Barriers[B].assign(Cta->BarrierSizes[B], TimedBarrier());
+      for (TimedBarrier &Bar : Barriers[B])
+        Bar.ExpectedArrivals = Cta->BarrierArrivals[B];
+    }
+
+    Agents.clear();
+    for (const AgentTrace &T : Cta->Agents) {
+      AgentState S;
+      S.Trace = &T;
+      S.ReadyAt = BaseTime;
+      Agents.push_back(std::move(S));
+    }
+
+    // Co-simulate: always advance the runnable agent furthest behind, so
+    // shared-server (DRAM / tensor core) contention is processed in
+    // approximately global time order.
+    while (true) {
+      AgentState *Best = nullptr;
+      for (AgentState &A : Agents)
+        if (!A.Done && !A.Blocked &&
+            (!Best || A.ReadyAt < Best->ReadyAt))
+          Best = &A;
+      if (!Best) {
+        bool AnyBlocked = false;
+        for (AgentState &A : Agents)
+          AnyBlocked |= A.Blocked;
+        if (AnyBlocked) {
+          Result.Deadlock = true;
+          Result.Error = "replay deadlock: all agents blocked on mbarriers";
+          return Result;
+        }
+        break; // All done.
+      }
+      step(*Best);
+    }
+
+    double CtaEnd = BaseTime;
+    for (AgentState &A : Agents)
+      CtaEnd = std::max(CtaEnd, A.ReadyAt);
+    // A CTA retires only after its asynchronous global stores drain; the
+    // next wave's CTA cannot occupy the SM before that. Persistent kernels
+    // have a single CTA per SM and thus fully hide their epilogues.
+    if (Ctas.size() > 1)
+      CtaEnd = std::max(CtaEnd, DramFree);
+    SmTime = CtaEnd + Params.CtaGapCycles;
+  }
+
+  // Let the DRAM drain (epilogue stores in flight).
+  Result.Cycles = std::max(SmTime, DramFree);
+  return Result;
+}
+
+ReplayResult tawa::sim::replaySmSchedule(
+    const std::vector<const CtaTrace *> &Ctas, const GpuConfig &Config,
+    const ReplayParams &Params) {
+  return ReplayEngine(Config, Params).run(Ctas);
+}

@@ -1,0 +1,155 @@
+//===- TensorData.cpp - Host-side tensor storage -------------------------------//
+
+#include "sim/TensorData.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+void TensorData::fillRandom(uint64_t Seed, float Scale) {
+  // SplitMix64: deterministic, seed-friendly, good enough for test data.
+  uint64_t State = Seed;
+  for (float &V : Data) {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    Z = Z ^ (Z >> 31);
+    V = Scale * (2.0f * static_cast<float>(Z >> 11) / 9007199254740992.0f -
+                 1.0f);
+  }
+}
+
+void TensorData::fill(float V) { std::fill(Data.begin(), Data.end(), V); }
+
+TensorData
+TensorData::extractWindow(const std::vector<int64_t> &Offsets,
+                          const std::vector<int64_t> &WindowShape) const {
+  assert(Offsets.size() == Shape.size() && "window rank mismatch");
+  TensorData Out(WindowShape);
+  // Iterate the window in row-major order.
+  int64_t N = Out.getNumElements();
+  std::vector<int64_t> Idx(WindowShape.size(), 0);
+  for (int64_t Linear = 0; Linear < N; ++Linear) {
+    bool InRange = true;
+    int64_t SrcLinear = 0;
+    for (size_t D = 0; D < Shape.size(); ++D) {
+      int64_t Coord = Offsets[D] + Idx[D];
+      if (Coord < 0 || Coord >= Shape[D]) {
+        InRange = false;
+        break;
+      }
+      SrcLinear = SrcLinear * Shape[D] + Coord;
+    }
+    Out.at(Linear) = InRange ? Data[SrcLinear] : 0.0f;
+    // Advance the multi-index.
+    for (int64_t D = static_cast<int64_t>(WindowShape.size()) - 1; D >= 0;
+         --D) {
+      if (++Idx[D] < WindowShape[D])
+        break;
+      Idx[D] = 0;
+    }
+  }
+  return Out;
+}
+
+void TensorData::insertWindow(const std::vector<int64_t> &Offsets,
+                              const TensorData &Window) {
+  assert(Offsets.size() == Shape.size() && "window rank mismatch");
+  int64_t N = Window.getNumElements();
+  std::vector<int64_t> Idx(Window.getShape().size(), 0);
+  for (int64_t Linear = 0; Linear < N; ++Linear) {
+    bool InRange = true;
+    int64_t DstLinear = 0;
+    for (size_t D = 0; D < Shape.size(); ++D) {
+      int64_t Coord = Offsets[D] + Idx[D];
+      if (Coord < 0 || Coord >= Shape[D]) {
+        InRange = false;
+        break;
+      }
+      DstLinear = DstLinear * Shape[D] + Coord;
+    }
+    if (InRange)
+      Data[DstLinear] = Window.at(Linear);
+    for (int64_t D = static_cast<int64_t>(Window.getShape().size()) - 1;
+         D >= 0; --D) {
+      if (++Idx[D] < Window.getShape()[D])
+        break;
+      Idx[D] = 0;
+    }
+  }
+}
+
+double TensorData::maxAbsDiff(const TensorData &Other) const {
+  assert(getNumElements() == Other.getNumElements() && "shape mismatch");
+  double Max = 0;
+  for (int64_t I = 0, E = getNumElements(); I != E; ++I)
+    Max = std::max(Max, std::fabs(static_cast<double>(Data[I]) -
+                                  static_cast<double>(Other.at(I))));
+  return Max;
+}
+
+double TensorData::maxRelDiff(const TensorData &Other) const {
+  assert(getNumElements() == Other.getNumElements() && "shape mismatch");
+  double Max = 0;
+  for (int64_t I = 0, E = getNumElements(); I != E; ++I) {
+    double Ref = std::fabs(static_cast<double>(Other.at(I)));
+    double Diff = std::fabs(static_cast<double>(Data[I]) -
+                            static_cast<double>(Other.at(I)));
+    Max = std::max(Max, Diff / std::max(1.0, Ref));
+  }
+  return Max;
+}
+
+TensorData tawa::sim::referenceGemm(const TensorData &A, const TensorData &B) {
+  int64_t M = A.getDim(0), K = A.getDim(1), N = B.getDim(0);
+  assert(B.getDim(1) == K && "GEMM contraction mismatch");
+  TensorData C({M, N});
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      double Sum = 0;
+      for (int64_t P = 0; P < K; ++P)
+        Sum += static_cast<double>(A.at(I, P)) *
+               static_cast<double>(B.at(J, P));
+      C.at(I, J) = static_cast<float>(Sum);
+    }
+  return C;
+}
+
+TensorData tawa::sim::referenceAttention(const TensorData &Q,
+                                         const TensorData &K,
+                                         const TensorData &V, bool Causal) {
+  int64_t L = Q.getDim(0), D = Q.getDim(1);
+  assert(K.getDim(1) == D && V.getDim(1) == D && "head dim mismatch");
+  int64_t LK = K.getDim(0);
+  TensorData O({L, D});
+  double Scale = 1.0 / std::sqrt(static_cast<double>(D));
+  std::vector<double> Scores(LK);
+  for (int64_t I = 0; I < L; ++I) {
+    double Max = -1e300;
+    for (int64_t J = 0; J < LK; ++J) {
+      double S = 0;
+      for (int64_t P = 0; P < D; ++P)
+        S += static_cast<double>(Q.at(I, P)) * static_cast<double>(K.at(J, P));
+      S *= Scale;
+      if (Causal && J > I)
+        S = -1e300;
+      Scores[J] = S;
+      Max = std::max(Max, S);
+    }
+    double Sum = 0;
+    for (int64_t J = 0; J < LK; ++J) {
+      Scores[J] = std::exp(Scores[J] - Max);
+      Sum += Scores[J];
+    }
+    for (int64_t P = 0; P < D; ++P) {
+      double Acc = 0;
+      for (int64_t J = 0; J < LK; ++J)
+        Acc += Scores[J] * static_cast<double>(V.at(J, P));
+      O.at(I, P) = static_cast<float>(Acc / Sum);
+    }
+  }
+  return O;
+}

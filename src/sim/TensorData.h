@@ -1,0 +1,96 @@
+//===- TensorData.h - Host-side tensor storage ------------------*- C++ -*-===//
+//
+// Dense row-major f32 tensors used as the functional backing store of the
+// simulator: kernel inputs/outputs bound to TMA descriptors and the values
+// flowing through the interpreter. Reduced-precision data is represented as
+// f32 that has been round-tripped through the target format.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SIM_TENSORDATA_H
+#define TAWA_SIM_TENSORDATA_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tawa {
+namespace sim {
+
+class TensorData {
+public:
+  TensorData() = default;
+  explicit TensorData(std::vector<int64_t> Shape)
+      : Shape(std::move(Shape)) {
+    Data.assign(getNumElements(), 0.0f);
+  }
+
+  const std::vector<int64_t> &getShape() const { return Shape; }
+  int64_t getRank() const { return static_cast<int64_t>(Shape.size()); }
+  int64_t getDim(int64_t I) const { return Shape[I]; }
+
+  int64_t getNumElements() const {
+    int64_t N = 1;
+    for (int64_t D : Shape)
+      N *= D;
+    return N;
+  }
+
+  float *data() { return Data.data(); }
+  const float *data() const { return Data.data(); }
+
+  float &at(int64_t I) { return Data[I]; }
+  float at(int64_t I) const { return Data[I]; }
+
+  /// 2-D accessors (row-major).
+  float &at(int64_t R, int64_t C) {
+    assert(getRank() == 2 && "2-D accessor on non-matrix");
+    return Data[R * Shape[1] + C];
+  }
+  float at(int64_t R, int64_t C) const {
+    assert(getRank() == 2 && "2-D accessor on non-matrix");
+    return Data[R * Shape[1] + C];
+  }
+
+  /// Fills with a deterministic pseudo-random pattern in [-Scale, Scale].
+  void fillRandom(uint64_t Seed, float Scale = 1.0f);
+  /// Fills with a constant.
+  void fill(float V);
+
+  /// Copies the window starting at \p Offsets (sized \p WindowShape) into a
+  /// fresh tensor. Out-of-range reads clamp to zero (TMA's out-of-bounds
+  /// fill behaviour).
+  TensorData extractWindow(const std::vector<int64_t> &Offsets,
+                           const std::vector<int64_t> &WindowShape) const;
+
+  /// Writes \p Window back at \p Offsets (out-of-range writes dropped).
+  void insertWindow(const std::vector<int64_t> &Offsets,
+                    const TensorData &Window);
+
+  /// Largest absolute element difference against \p Other (same shape).
+  double maxAbsDiff(const TensorData &Other) const;
+  /// Largest relative difference (|a-b| / max(1, |b|)).
+  double maxRelDiff(const TensorData &Other) const;
+
+private:
+  std::vector<int64_t> Shape;
+  std::vector<float> Data;
+};
+
+using TensorRef = std::shared_ptr<TensorData>;
+
+/// Reference (double-precision) GEMM: C = A(MxK) * B(NxK)^T, for validating
+/// compiled kernels. Inputs are the same f32 buffers the kernel reads.
+TensorData referenceGemm(const TensorData &A, const TensorData &B);
+
+/// Reference multi-head attention for one (batch*head): O = softmax(Q K^T /
+/// sqrt(d)) V with optional causal masking, computed in double precision.
+/// Q/K/V are (L x D).
+TensorData referenceAttention(const TensorData &Q, const TensorData &K,
+                              const TensorData &V, bool Causal);
+
+} // namespace sim
+} // namespace tawa
+
+#endif // TAWA_SIM_TENSORDATA_H

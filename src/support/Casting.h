@@ -1,0 +1,61 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast templates -------*- C++ -*-===//
+//
+// Part of the Tawa reproduction. Follows the LLVM hand-rolled RTTI idiom
+// described in llvm/Support/Casting.h: classes opt in by providing a static
+// `classof(const Base *)` predicate.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SUPPORT_CASTING_H
+#define TAWA_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace tawa {
+
+/// Returns true if \p Val is an instance of any of the types \p To...
+/// (checked via each type's `classof`).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked cast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking cast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates null pointers (returning false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates null pointers (propagating them).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+} // namespace tawa
+
+#endif // TAWA_SUPPORT_CASTING_H

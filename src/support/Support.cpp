@@ -1,0 +1,25 @@
+//===- Support.cpp - Small shared utilities -------------------------------===//
+
+#include "support/Support.h"
+
+#include <cstdarg>
+
+using namespace tawa;
+
+void tawa::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "tawa fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+std::string tawa::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result(Size, '\0');
+  std::vsnprintf(Result.data(), Size + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- Support.h - Small shared utilities -----------------------*- C++ -*-===//
+//
+// Formatting, fatal-error reporting, and tiny ADT helpers used across the
+// Tawa reproduction. Kept deliberately small; prefer the standard library.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SUPPORT_SUPPORT_H
+#define TAWA_SUPPORT_SUPPORT_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tawa {
+
+/// Reports an unrecoverable internal error and aborts. Used for invariant
+/// violations that must be visible even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Integer ceiling division; the tile-count helper used everywhere the paper
+/// writes `tl.cdiv`.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "ceilDiv by non-positive divisor");
+  return (A + B - 1) / B;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align.
+inline int64_t alignTo(int64_t Value, int64_t Align) {
+  return ceilDiv(Value, Align) * Align;
+}
+
+} // namespace tawa
+
+#endif // TAWA_SUPPORT_SUPPORT_H

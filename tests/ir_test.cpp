@@ -1,0 +1,356 @@
+//===- ir_test.cpp - Core IR unit tests ---------------------------------------//
+//
+// Types (uniquing, sizes), values and use-def maintenance (RAUW, erase),
+// blocks/regions, the builder, cloning/slicing utilities, the printer, and
+// the verifier's negative cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "passes/Utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace tawa;
+
+namespace {
+
+TEST(Types, ScalarsAreUniqued) {
+  IrContext Ctx;
+  EXPECT_EQ(Ctx.getF16Type(), Ctx.getF16Type());
+  EXPECT_NE(static_cast<Type *>(Ctx.getF16Type()),
+            static_cast<Type *>(Ctx.getF32Type()));
+  EXPECT_EQ(Ctx.getI32Type()->getElementBits(), 32u);
+  EXPECT_EQ(Ctx.getF16Type()->getElementBits(), 16u);
+  EXPECT_EQ(Ctx.getF8Type()->getElementBits(), 8u);
+  EXPECT_TRUE(Ctx.getF8Type()->isFloat());
+  EXPECT_TRUE(Ctx.getI1Type()->isInteger());
+}
+
+TEST(Types, TensorsAreUniquedByShapeAndElement) {
+  IrContext Ctx;
+  auto *A = Ctx.getTensorType({128, 64}, Ctx.getF16Type());
+  auto *B = Ctx.getTensorType({128, 64}, Ctx.getF16Type());
+  auto *C = Ctx.getTensorType({64, 128}, Ctx.getF16Type());
+  auto *D = Ctx.getTensorType({128, 64}, Ctx.getF8Type());
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+  EXPECT_EQ(A->getNumElements(), 128 * 64);
+  EXPECT_EQ(A->getNumBytes(), 128 * 64 * 2);
+  EXPECT_EQ(D->getNumBytes(), 128 * 64);
+  EXPECT_EQ(A->str(), "tensor<128x64xf16>");
+}
+
+TEST(Types, ArefSlotBytesSumTuplePayloads) {
+  IrContext Ctx;
+  auto *TileA = Ctx.getTensorType({128, 64}, Ctx.getF16Type());
+  auto *TileB = Ctx.getTensorType({256, 64}, Ctx.getF16Type());
+  auto *Tuple = Ctx.getTupleType({TileA, TileB});
+  auto *Aref = Ctx.getArefType(Tuple, 3);
+  EXPECT_EQ(Aref->getDepth(), 3);
+  EXPECT_EQ(Aref->getSlotBytes(), TileA->getNumBytes() + TileB->getNumBytes());
+}
+
+TEST(Values, UseListsTrackOperands) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {Ctx.getI32Type()});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *Arg = F->getBody().getArgument(0);
+  Value *C1 = B.createConstantInt(1);
+  Value *Sum = B.createAdd(Arg, C1);
+  Value *Sum2 = B.createAdd(Sum, C1);
+  (void)Sum2;
+  B.createReturn();
+
+  EXPECT_EQ(Arg->getNumUses(), 1u);
+  EXPECT_EQ(C1->getNumUses(), 2u);
+  EXPECT_EQ(Sum->getNumUses(), 1u);
+}
+
+TEST(Values, ReplaceAllUsesWithRewires) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {Ctx.getI32Type()});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *Arg = F->getBody().getArgument(0);
+  Value *C1 = B.createConstantInt(1);
+  Value *Sum = B.createAdd(Arg, C1);
+  Value *C2 = B.createConstantInt(2);
+  Value *User = B.createMul(Sum, Sum);
+  B.createReturn();
+
+  Sum->replaceAllUsesWith(C2);
+  EXPECT_EQ(Sum->getNumUses(), 0u);
+  EXPECT_EQ(C2->getNumUses(), 2u);
+  Operation *MulOp = cast<OpResult>(User)->getOwner();
+  EXPECT_EQ(MulOp->getOperand(0), C2);
+  EXPECT_EQ(MulOp->getOperand(1), C2);
+}
+
+TEST(Values, EraseDropsOperandUses) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {Ctx.getI32Type()});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *Arg = F->getBody().getArgument(0);
+  Value *Sum = B.createAdd(Arg, Arg);
+  B.createReturn();
+  EXPECT_EQ(Arg->getNumUses(), 2u);
+  cast<OpResult>(Sum)->getOwner()->erase();
+  EXPECT_EQ(Arg->getNumUses(), 0u);
+}
+
+TEST(Blocks, InsertionAndOrdering) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *A = B.createConstantInt(1);
+  Value *C = B.createConstantInt(3);
+  Operation *COp = cast<OpResult>(C)->getOwner();
+  // Insert between A and C.
+  OpBuilder Mid(Ctx);
+  Mid.setInsertionPoint(COp);
+  Value *Bv = Mid.createConstantInt(2);
+  B.createReturn();
+
+  std::vector<int64_t> Order;
+  for (Operation &Op : F->getBody())
+    if (Op.getKind() == OpKind::ConstantInt)
+      Order.push_back(Op.getIntAttr("value"));
+  EXPECT_EQ(Order, (std::vector<int64_t>{1, 2, 3}));
+  (void)A;
+  (void)Bv;
+}
+
+TEST(Builder, ForLoopStructure) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *Zero = B.createConstantInt(0);
+  Value *Ten = B.createConstantInt(10);
+  Value *One = B.createConstantInt(1);
+  ForOp *Loop = B.createFor(Zero, Ten, One, {Zero});
+  {
+    OpBuilder LB(Ctx);
+    LB.setInsertionPointToEnd(&Loop->getBody());
+    Value *Next = LB.createAdd(Loop->getIterArg(0), One);
+    LB.createYield({Next});
+  }
+  B.createReturn();
+
+  EXPECT_EQ(Loop->getNumIterArgs(), 1u);
+  EXPECT_EQ(Loop->getNumResults(), 1u);
+  EXPECT_EQ(Loop->getBody().getNumArguments(), 2u);
+  EXPECT_EQ(verify(M), "");
+}
+
+TEST(Verifier, CatchesUseBeforeDef) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *A = B.createConstantInt(1);
+  Value *Sum = B.createAdd(A, A);
+  B.createReturn();
+  // Move the add before its operand's definition.
+  Operation *AddOp = cast<OpResult>(Sum)->getOwner();
+  Operation *DefOp = cast<OpResult>(A)->getOwner();
+  AddOp->moveBefore(DefOp);
+  EXPECT_NE(verify(M), "");
+  // Restore def-before-use order so module teardown (which destroys ops
+  // back-to-front and asserts uses die before defs) stays sound.
+  DefOp->moveBefore(AddOp);
+  EXPECT_EQ(verify(M), "");
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  B.createConstantInt(1);
+  (void)F;
+  EXPECT_NE(verify(M), "");
+}
+
+TEST(Verifier, CatchesDotShapeMismatch) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  auto *A = Ctx.getTensorType({64, 32}, Ctx.getF16Type());
+  auto *Bt = Ctx.getTensorType({16, 64}, Ctx.getF16Type()); // K mismatch.
+  auto *Acc = Ctx.getTensorType({64, 64}, Ctx.getF32Type());
+  Value *Av = B.createConstantTensor(0, A);
+  Value *Bv = B.createConstantTensor(0, Bt);
+  Value *AccV = B.createConstantTensor(0, Acc);
+  B.createDot(Av, Bv, AccV, /*TransB=*/false);
+  B.createReturn();
+  (void)F;
+  EXPECT_NE(verify(M), "");
+}
+
+TEST(Verifier, AcceptsTransposedDot) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  auto *A = Ctx.getTensorType({64, 32}, Ctx.getF16Type());
+  auto *Bt = Ctx.getTensorType({16, 32}, Ctx.getF16Type()); // (N, K).
+  auto *Acc = Ctx.getTensorType({64, 16}, Ctx.getF32Type());
+  Value *Av = B.createConstantTensor(0, A);
+  Value *Bv = B.createConstantTensor(0, Bt);
+  Value *AccV = B.createConstantTensor(0, Acc);
+  B.createDot(Av, Bv, AccV, /*TransB=*/true);
+  B.createReturn();
+  (void)F;
+  EXPECT_EQ(verify(M), "");
+}
+
+TEST(Utils, BackwardSliceStopsAtScope) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *Outer = B.createConstantInt(7);
+  Value *Zero = B.createConstantInt(0);
+  Value *Ten = B.createConstantInt(10);
+  Value *One = B.createConstantInt(1);
+  ForOp *Loop = B.createFor(Zero, Ten, One, {});
+  Value *Root;
+  {
+    OpBuilder LB(Ctx);
+    LB.setInsertionPointToEnd(&Loop->getBody());
+    Value *Inner = LB.createConstantInt(3);
+    Value *Mid = LB.createAdd(Inner, Outer);
+    Root = LB.createMul(Mid, Mid);
+    LB.createYield({});
+  }
+  B.createReturn();
+
+  auto Slice = computeBackwardSlice({Root}, &Loop->getBody());
+  // mul, add, inner-const are in the slice; the outer constant is not.
+  EXPECT_EQ(Slice.size(), 3u);
+  EXPECT_EQ(Slice.count(cast<OpResult>(Outer)->getOwner()), 0u);
+}
+
+TEST(Utils, CloneRemapsNestedRegions) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *Zero = B.createConstantInt(0);
+  Value *Ten = B.createConstantInt(10);
+  Value *One = B.createConstantInt(1);
+  ForOp *Loop = B.createFor(Zero, Ten, One, {Zero});
+  {
+    OpBuilder LB(Ctx);
+    LB.setInsertionPointToEnd(&Loop->getBody());
+    Value *Next = LB.createAdd(Loop->getIterArg(0), One);
+    LB.createYield({Next});
+  }
+  B.createReturn();
+
+  ValueMap Map;
+  OpBuilder CB(Ctx);
+  CB.setInsertionPoint(F->getBody().getTerminator());
+  Operation *Clone = cloneOp(Loop, Map, CB);
+  EXPECT_EQ(verify(M), "") << M.print();
+  // The cloned loop's yield must reference the cloned block argument, not
+  // the original's.
+  auto *ClonedFor = cast<ForOp>(Clone);
+  Operation *Yield = ClonedFor->getYield();
+  auto *Def = cast<OpResult>(Yield->getOperand(0))->getOwner();
+  EXPECT_EQ(Def->getParentBlock(), &ClonedFor->getBody());
+}
+
+TEST(Utils, DceRemovesDeadChains) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *A = B.createConstantInt(1);
+  Value *Dead = B.createAdd(A, A);
+  B.createMul(Dead, Dead); // Also dead.
+  B.createReturn();
+  runDce(F->getBody());
+  int Count = 0;
+  for (Operation &Op : F->getBody()) {
+    (void)Op;
+    ++Count;
+  }
+  EXPECT_EQ(Count, 1); // Only the return survives.
+}
+
+TEST(Printer, RendersWarpGroupsAndAttrs) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("k", {Ctx.getPtrType()});
+  B.setInsertionPointToEnd(&F->getBody());
+  WarpGroupOp *WG = B.createWarpGroup(0, "producer");
+  (void)WG;
+  B.createReturn();
+  std::string Text = M.print();
+  EXPECT_NE(Text.find("tawa.warp_group"), std::string::npos);
+  EXPECT_NE(Text.find("partition = 0"), std::string::npos);
+  EXPECT_NE(Text.find("role = \"producer\""), std::string::npos);
+  EXPECT_NE(Text.find("@k"), std::string::npos);
+}
+
+TEST(OpWrappers, ClassofDiscriminates) {
+  IrContext Ctx;
+  Module M(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M.getBody());
+  FuncOp *F = B.createFunc("f", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *Zero = B.createConstantInt(0);
+  Value *One = B.createConstantInt(1);
+  ForOp *Loop = B.createFor(Zero, One, One, {});
+  {
+    OpBuilder LB(Ctx);
+    LB.setInsertionPointToEnd(&Loop->getBody());
+    LB.createYield({});
+  }
+  B.createReturn();
+
+  Operation *AsOp = Loop;
+  EXPECT_TRUE(isa<ForOp>(AsOp));
+  EXPECT_FALSE(isa<FuncOp>(AsOp));
+  EXPECT_FALSE((isa<WarpGroupOp>(AsOp)));
+  EXPECT_NE(dyn_cast<ForOp>(AsOp), nullptr);
+  EXPECT_EQ(dyn_cast<WarpGroupOp>(AsOp), nullptr);
+}
+
+} // namespace

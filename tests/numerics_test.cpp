@@ -1,0 +1,107 @@
+//===- numerics_test.cpp - FP16/FP8 software arithmetic tests -----------------//
+
+#include "sim/Numerics.h"
+#include "sim/TensorData.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace tawa::sim;
+
+namespace {
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  for (float V : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f})
+    EXPECT_EQ(roundToFp16(V), V) << V;
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(fp32ToFp16Bits(1.0f), 0x3C00u);
+  EXPECT_EQ(fp32ToFp16Bits(-2.0f), 0xC000u);
+  EXPECT_EQ(fp32ToFp16Bits(65504.0f), 0x7BFFu); // Max finite.
+  EXPECT_EQ(fp16BitsToFp32(0x3C00), 1.0f);
+  EXPECT_EQ(fp16BitsToFp32(0x0001), std::ldexp(1.0f, -24)); // Min subnormal.
+}
+
+TEST(Fp16, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(roundToFp16(1e6f)));
+  EXPECT_TRUE(std::isinf(roundToFp16(-1e6f)));
+  EXPECT_LT(roundToFp16(-1e6f), 0);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10: rounds to even
+  // (1.0). 1 + 3*2^-11 is halfway and rounds up to even (1 + 2^-9).
+  EXPECT_EQ(roundToFp16(1.0f + std::ldexp(1.0f, -11)), 1.0f);
+  EXPECT_EQ(roundToFp16(1.0f + 3 * std::ldexp(1.0f, -11)),
+            1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Fp16, SubnormalsQuantize) {
+  float Tiny = std::ldexp(1.0f, -20);
+  float Rounded = roundToFp16(Tiny);
+  EXPECT_NEAR(Rounded, Tiny, std::ldexp(1.0f, -25));
+}
+
+TEST(Fp8, ExactValuesRoundTrip) {
+  for (float V : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 448.0f, -448.0f, 0.125f})
+    EXPECT_EQ(roundToFp8E4M3(V), V) << V;
+}
+
+TEST(Fp8, SaturatesInsteadOfInfinity) {
+  // E4M3 has no infinities: out-of-range values clamp to +-448.
+  EXPECT_EQ(roundToFp8E4M3(1e6f), 448.0f);
+  EXPECT_EQ(roundToFp8E4M3(-1e6f), -448.0f);
+  EXPECT_EQ(roundToFp8E4M3(460.0f), 448.0f);
+}
+
+TEST(Fp8, NanEncodes) {
+  float N = roundToFp8E4M3(std::nanf(""));
+  EXPECT_TRUE(std::isnan(N));
+}
+
+TEST(Fp8, ThreeMantissaBitsOfPrecision) {
+  // Between 1.0 and 2.0 the representable step is 1/8.
+  EXPECT_EQ(roundToFp8E4M3(1.0f + 1.0f / 8), 1.0f + 1.0f / 8);
+  EXPECT_EQ(roundToFp8E4M3(1.0f + 1.0f / 16), 1.0f); // RNE to even.
+  EXPECT_EQ(roundToFp8E4M3(1.05f), 1.0f);
+}
+
+TEST(Fp8, SubnormalRange) {
+  // Min subnormal = 2^-9.
+  EXPECT_EQ(roundToFp8E4M3(std::ldexp(1.0f, -9)), std::ldexp(1.0f, -9));
+  EXPECT_EQ(roundToFp8E4M3(std::ldexp(1.0f, -12)), 0.0f);
+}
+
+/// Property: round-tripping is idempotent and monotone over a dense sweep.
+class RoundingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundingProperty, IdempotentAndMonotone) {
+  int Seed = GetParam();
+  TensorData T({512});
+  T.fillRandom(Seed, 300.0f);
+  float PrevF16 = -1e30f, PrevIn = -1e30f;
+  std::vector<float> Sorted(T.data(), T.data() + 512);
+  std::sort(Sorted.begin(), Sorted.end());
+  for (float V : Sorted) {
+    float F16 = roundToFp16(V);
+    EXPECT_EQ(roundToFp16(F16), F16);
+    float F8 = roundToFp8E4M3(V);
+    EXPECT_EQ(roundToFp8E4M3(F8), F8);
+    if (PrevIn <= V)
+      EXPECT_LE(PrevF16, F16) << "rounding must be monotone";
+    PrevIn = V;
+    PrevF16 = F16;
+    // Relative error bounds: 2^-11 for fp16, 2^-4 for E4M3 (normal range).
+    if (std::fabs(V) > 0.02f && std::fabs(V) < 400.0f) {
+      EXPECT_LE(std::fabs(F16 - V), std::fabs(V) * 4.9e-4) << V;
+      EXPECT_LE(std::fabs(F8 - V), std::fabs(V) * 6.3e-2) << V;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundingProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+} // namespace

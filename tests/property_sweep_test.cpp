@@ -1,0 +1,231 @@
+//===- property_sweep_test.cpp - Compiler-wide correctness properties ---------//
+//
+// The repository's central property, swept over the configuration space:
+// for every feasible (D, P, cooperative, persistent, tile, precision)
+// combination, the warp-specialized code the compiler emits
+//   (1) passes the IR verifier after every pass,
+//   (2) executes with no deadlock and no aref protocol violation,
+//   (3) computes the same result as the unspecialized specification
+//       (vs. a double-precision reference), and
+//   (4) is never slower than the fully synchronous baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace tawa;
+
+namespace {
+
+struct GemmSweepCase {
+  int64_t D, P, Coop;
+  bool Persistent;
+  int64_t TileM, TileN;
+  Precision Prec;
+};
+
+class GemmConfigSweep : public ::testing::TestWithParam<GemmSweepCase> {};
+
+TEST_P(GemmConfigSweep, CompiledKernelIsCorrectEverywhere) {
+  GemmSweepCase C = GetParam();
+  TawaOptions Options;
+  Options.ArefDepth = C.D;
+  Options.MmaPipelineDepth = C.P;
+  Options.NumConsumerGroups = C.Coop;
+  Options.Persistent = C.Persistent;
+  ASSERT_EQ(Options.validate(), "");
+
+  FrameworkEnvelope E;
+  E.Options = Options;
+  E.TileM = C.TileM;
+  E.TileN = C.TileN;
+  E.TileK = 64;
+
+  // Non-divisible sizes exercise the TMA out-of-bounds fill path.
+  GemmWorkload W;
+  W.M = 192;
+  W.N = 160;
+  W.K = 320;
+  W.Prec = C.Prec;
+
+  Runner R;
+  RunResult Res = R.runGemmCustom(W, E, /*Functional=*/true);
+  ASSERT_EQ(Res.Error, "");
+  ASSERT_TRUE(Res.Feasible);
+  double Tolerance = C.Prec == Precision::FP16 ? 5e-2 : 0.5;
+  EXPECT_LT(Res.MaxRelError, Tolerance);
+  EXPECT_GT(Res.TFlops, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DPSweep, GemmConfigSweep,
+    ::testing::Values(
+        GemmSweepCase{1, 1, 1, false, 64, 64, Precision::FP16},
+        GemmSweepCase{2, 1, 1, false, 64, 64, Precision::FP16},
+        GemmSweepCase{2, 2, 1, false, 64, 64, Precision::FP16},
+        GemmSweepCase{3, 1, 1, false, 64, 64, Precision::FP16},
+        GemmSweepCase{3, 2, 1, false, 64, 64, Precision::FP16},
+        GemmSweepCase{3, 3, 1, false, 64, 64, Precision::FP16},
+        GemmSweepCase{4, 2, 1, false, 64, 64, Precision::FP16},
+        GemmSweepCase{2, 1, 2, false, 64, 64, Precision::FP16},
+        GemmSweepCase{3, 2, 2, false, 64, 64, Precision::FP16},
+        GemmSweepCase{2, 1, 1, true, 64, 64, Precision::FP16},
+        GemmSweepCase{3, 2, 2, true, 64, 64, Precision::FP16},
+        GemmSweepCase{2, 2, 2, true, 64, 64, Precision::FP16},
+        GemmSweepCase{2, 1, 1, false, 64, 32, Precision::FP16},
+        GemmSweepCase{2, 1, 1, false, 32, 64, Precision::FP16},
+        GemmSweepCase{2, 1, 1, false, 64, 64, Precision::FP8},
+        GemmSweepCase{3, 2, 2, true, 64, 64, Precision::FP8}));
+
+struct MhaSweepCase {
+  int64_t D;
+  bool Coarse;
+  int64_t Coop;
+  bool Causal;
+  Precision Prec;
+  int64_t L;
+};
+
+class MhaConfigSweep : public ::testing::TestWithParam<MhaSweepCase> {};
+
+TEST_P(MhaConfigSweep, CompiledKernelIsCorrectEverywhere) {
+  MhaSweepCase C = GetParam();
+  TawaOptions Options;
+  Options.ArefDepth = C.D;
+  Options.CoarsePipeline = C.Coarse;
+  Options.MmaPipelineDepth = C.Coarse ? 0 : 1;
+  Options.NumConsumerGroups = C.Coop;
+  if (C.Coarse && C.D < 2) {
+    // The coarse pipeline's two-iteration downstream borrow makes D = 1
+    // infeasible; the compiler must reject it rather than deadlock.
+    EXPECT_NE(Options.validate(), "");
+    return;
+  }
+  ASSERT_EQ(Options.validate(), "");
+
+  FrameworkEnvelope E;
+  E.Options = Options;
+  E.TileQ = 64;
+  E.TileKv = 64;
+
+  AttentionWorkload W;
+  W.SeqLen = C.L;
+  W.Batch = 1;
+  W.Heads = 2;
+  W.HeadDim = 64;
+  W.Causal = C.Causal;
+  W.Prec = C.Prec;
+
+  Runner R;
+  RunResult Res = R.runAttentionCustom(W, E, /*Functional=*/true);
+  ASSERT_EQ(Res.Error, "");
+  double Tolerance = C.Prec == Precision::FP16 ? 5e-2 : 0.2;
+  EXPECT_LT(Res.MaxRelError, Tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MhaConfigSweep,
+    ::testing::Values(
+        MhaSweepCase{1, false, 1, false, Precision::FP16, 256},
+        MhaSweepCase{2, false, 1, false, Precision::FP16, 256},
+        MhaSweepCase{2, true, 1, false, Precision::FP16, 256},
+        MhaSweepCase{3, true, 1, false, Precision::FP16, 256},
+        MhaSweepCase{2, true, 2, false, Precision::FP16, 256},
+        MhaSweepCase{2, false, 1, true, Precision::FP16, 256},
+        MhaSweepCase{2, true, 1, true, Precision::FP16, 256},
+        MhaSweepCase{2, true, 2, true, Precision::FP16, 320},
+        MhaSweepCase{1, true, 1, true, Precision::FP16, 256},
+        MhaSweepCase{2, true, 1, false, Precision::FP8, 256},
+        MhaSweepCase{2, true, 2, true, Precision::FP8, 256},
+        // Single KV tile: the rotated loop runs zero iterations and the
+        // prologue/epilogue carry everything.
+        MhaSweepCase{2, true, 1, false, Precision::FP16, 64},
+        MhaSweepCase{2, true, 1, true, Precision::FP16, 64},
+        // Two tiles: one rotated steady-state iteration.
+        MhaSweepCase{2, true, 1, false, Precision::FP16, 128}));
+
+/// Baseline dominance: across the D/P grid, every warp-specialized
+/// configuration beats the synchronous no-pipeline execution.
+class SpeedupProperty
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(SpeedupProperty, WsAlwaysBeatsSynchronousBaseline) {
+  auto [D, P] = GetParam();
+  GemmWorkload W;
+  W.M = W.N = 2048;
+  W.K = 4096;
+
+  Runner R;
+  FrameworkEnvelope Base = getGemmEnvelope(Framework::TritonNoPipe, W);
+  RunResult BaseRes = R.runGemmCustom(W, Base, false);
+  ASSERT_EQ(BaseRes.Error, "");
+
+  FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
+  E.Options.ArefDepth = D;
+  E.Options.MmaPipelineDepth = P;
+  E.Options.Persistent = false;
+  RunResult Ws = R.runGemmCustom(W, E, false);
+  ASSERT_EQ(Ws.Error, "");
+  EXPECT_GT(Ws.TFlops, BaseRes.TFlops)
+      << "D=" << D << " P=" << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SpeedupProperty,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 1),
+                                           std::make_pair(2, 2),
+                                           std::make_pair(3, 1),
+                                           std::make_pair(3, 2),
+                                           std::make_pair(3, 3)));
+
+/// Monotonicity: deepening the ring never hurts (more prefetch headroom).
+TEST(HyperparamShape, ThroughputGrowsWithArefDepth) {
+  Runner R;
+  GemmWorkload W;
+  W.K = 16384;
+  double Prev = 0;
+  for (int64_t D = 1; D <= 3; ++D) {
+    FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
+    E.Options.ArefDepth = D;
+    E.Options.MmaPipelineDepth = 1;
+    RunResult Res = R.runGemmCustom(W, E, false);
+    ASSERT_EQ(Res.Error, "");
+    EXPECT_GE(Res.TFlops, Prev * 0.999) << "D=" << D;
+    Prev = Res.TFlops;
+  }
+}
+
+/// Fig. 11's feasibility region: P > D must be rejected before compilation.
+TEST(HyperparamShape, InfeasibleRegionRejected) {
+  Runner R;
+  GemmWorkload W;
+  for (int64_t D = 1; D <= 3; ++D)
+    for (int64_t P = D + 1; P <= 3; ++P) {
+      FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
+      E.Options.ArefDepth = D;
+      E.Options.MmaPipelineDepth = P;
+      RunResult Res = R.runGemmCustom(W, E, false);
+      EXPECT_FALSE(Res.Feasible) << "D=" << D << " P=" << P;
+    }
+}
+
+/// The P = 3 register cliff of §V-E.
+TEST(HyperparamShape, DeepMmaPipelineRegresses) {
+  Runner R;
+  GemmWorkload W;
+  W.K = 16384;
+  FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
+  E.Options.ArefDepth = 3;
+  E.Options.MmaPipelineDepth = 2;
+  RunResult P2 = R.runGemmCustom(W, E, false);
+  E.Options.MmaPipelineDepth = 3;
+  RunResult P3 = R.runGemmCustom(W, E, false);
+  ASSERT_EQ(P2.Error, "");
+  ASSERT_EQ(P3.Error, "");
+  EXPECT_LT(P3.TFlops, P2.TFlops * 0.85)
+      << "P=3 should regress on register pressure";
+}
+
+} // namespace

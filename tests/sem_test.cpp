@@ -1,0 +1,204 @@
+//===- sem_test.cpp - aref operational semantics (Fig. 4) tests ---------------//
+//
+// Exhaustive transition checks of the ArefSlotState machine, ring-level
+// ArefMachine behaviour, happens-before tracking, and property-style sweeps:
+// every valid producer/consumer interleaving of a D-slot ring completes
+// without violations, and every single-step corruption is caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/ArefSemantics.h"
+#include "sem/HappensBefore.h"
+
+#include <gtest/gtest.h>
+
+using namespace tawa::sem;
+
+namespace {
+
+TEST(ArefSlot, InitialStateIsEmpty) {
+  ArefSlotState S;
+  EXPECT_EQ(S.getState(), SlotState::Empty);
+  EXPECT_TRUE(S.emptyCredit());
+  EXPECT_FALSE(S.fullCredit());
+}
+
+TEST(ArefSlot, PutRequiresEmptyCredit) {
+  ArefSlotState S;
+  EXPECT_EQ(S.put(1), TransitionResult::Ok);
+  EXPECT_EQ(S.getState(), SlotState::Full);
+  // Second put must block (empty credit consumed).
+  EXPECT_EQ(S.put(2), TransitionResult::WouldBlock);
+}
+
+TEST(ArefSlot, GetRequiresFullCredit) {
+  ArefSlotState S;
+  // Premature get blocks (this is what the full mbarrier enforces).
+  EXPECT_EQ(S.get(), TransitionResult::WouldBlock);
+  ASSERT_EQ(S.put(1), TransitionResult::Ok);
+  uint64_t Epoch = 0;
+  EXPECT_EQ(S.get(&Epoch), TransitionResult::Ok);
+  EXPECT_EQ(Epoch, 1u);
+  EXPECT_EQ(S.getState(), SlotState::Borrowed);
+  // Double get of one credit is a protocol error, not a blocking wait.
+  EXPECT_EQ(S.get(), TransitionResult::ProtocolError);
+}
+
+TEST(ArefSlot, ConsumedClosesHandshake) {
+  ArefSlotState S;
+  // consumed on a never-acquired slot is unconditionally illegal.
+  EXPECT_EQ(S.consumed(), TransitionResult::ProtocolError);
+  ASSERT_EQ(S.put(1), TransitionResult::Ok);
+  EXPECT_EQ(S.consumed(), TransitionResult::ProtocolError); // Full, not borrowed.
+  ASSERT_EQ(S.get(), TransitionResult::Ok);
+  EXPECT_EQ(S.consumed(), TransitionResult::Ok);
+  EXPECT_EQ(S.getState(), SlotState::Empty);
+  EXPECT_EQ(S.getGeneration(), 1u);
+}
+
+TEST(ArefSlot, PutWhileBorrowedBlocks) {
+  ArefSlotState S;
+  ASSERT_EQ(S.put(1), TransitionResult::Ok);
+  ASSERT_EQ(S.get(), TransitionResult::Ok);
+  // The value is in use; the producer must wait for consumed.
+  EXPECT_EQ(S.put(2), TransitionResult::WouldBlock);
+}
+
+TEST(ArefMachine, RecordsViolations) {
+  ArefMachine M(2, "ch");
+  EXPECT_EQ(M.consumed(0), TransitionResult::ProtocolError);
+  ASSERT_TRUE(M.hasViolations());
+  EXPECT_NE(M.getViolations()[0].Message.find("ch[0]"), std::string::npos);
+}
+
+TEST(ArefMachine, RingSlotsAreIndependent) {
+  ArefMachine M(3);
+  EXPECT_EQ(M.put(0, 1), TransitionResult::Ok);
+  EXPECT_EQ(M.put(1, 2), TransitionResult::Ok);
+  EXPECT_EQ(M.getSlotState(0), SlotState::Full);
+  EXPECT_EQ(M.getSlotState(1), SlotState::Full);
+  EXPECT_EQ(M.getSlotState(2), SlotState::Empty);
+  EXPECT_EQ(M.get(0), TransitionResult::Ok);
+  EXPECT_EQ(M.getSlotState(0), SlotState::Borrowed);
+  EXPECT_EQ(M.getSlotState(1), SlotState::Full);
+}
+
+/// Property: for any ring depth D and any lag 0 <= Lag < D between the
+/// producer and the consumer, N pipelined iterations complete without
+/// violations and every slot ends Empty with generation N/D (+/- remainder).
+class ArefPipelineProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ArefPipelineProperty, ValidPipelinesNeverViolate) {
+  auto [D, Lag, N] = GetParam();
+  if (Lag >= D)
+    GTEST_SKIP() << "lag must be < depth";
+  ArefMachine M(D);
+  // The producer runs Lag iterations ahead; each logical iteration k does
+  // put(k), and the consumer (at k - Lag) does get + consumed.
+  for (int K = 0; K < N + Lag; ++K) {
+    if (K < N)
+      ASSERT_EQ(M.put(K % D, K + 1), TransitionResult::Ok)
+          << "put " << K << " D=" << D << " lag=" << Lag;
+    int C = K - Lag;
+    if (C >= 0 && C < N) {
+      uint64_t Epoch = 0;
+      ASSERT_EQ(M.get(C % D, &Epoch), TransitionResult::Ok);
+      EXPECT_EQ(Epoch, static_cast<uint64_t>(C + 1))
+          << "consumer read a stale publication";
+      ASSERT_EQ(M.consumed(C % D), TransitionResult::Ok);
+    }
+  }
+  EXPECT_FALSE(M.hasViolations());
+  for (int S = 0; S < D; ++S)
+    EXPECT_EQ(M.getSlotState(S), SlotState::Empty);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthLagSweep, ArefPipelineProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 7, 32)));
+
+/// Property: running the producer more than D slots ahead always blocks
+/// (never corrupts) — the bounded-ring guarantee.
+class ArefOverrunProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArefOverrunProperty, ProducerOverrunBlocks) {
+  int D = GetParam();
+  ArefMachine M(D);
+  for (int K = 0; K < D; ++K)
+    ASSERT_EQ(M.put(K % D, K + 1), TransitionResult::Ok);
+  // Slot 0 has not been consumed: the D+1-th put must block, not overwrite.
+  EXPECT_EQ(M.put(0, D + 1), TransitionResult::WouldBlock);
+  EXPECT_FALSE(M.hasViolations());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ArefOverrunProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+//===----------------------------------------------------------------------===//
+// Happens-before
+//===----------------------------------------------------------------------===//
+
+TEST(HappensBefore, ValidHandshakeIsOrdered) {
+  HappensBeforeTracker HB(2);
+  // Producer (0) writes then publishes; consumer (1) acquires, reads,
+  // releases; producer reuses.
+  EXPECT_EQ(HB.recordWrite(0, /*Channel=*/7, /*Slot=*/0), "");
+  HB.recordPut(0, 7, 0);
+  HB.recordGet(1, 7, 0);
+  EXPECT_EQ(HB.recordRead(1, 7, 0), "");
+  HB.recordConsumed(1, 7, 0);
+  HB.recordAcquireEmpty(0, 7, 0);
+  EXPECT_EQ(HB.recordWrite(0, 7, 0), "");
+}
+
+TEST(HappensBefore, ReadBeforeAnyWriteIsFlagged) {
+  HappensBeforeTracker HB(2);
+  EXPECT_NE(HB.recordRead(1, 7, 0), "");
+}
+
+TEST(HappensBefore, ReadWithoutAcquireIsFlagged) {
+  HappensBeforeTracker HB(2);
+  EXPECT_EQ(HB.recordWrite(0, 7, 0), "");
+  HB.recordPut(0, 7, 0);
+  // Consumer never performed get (no acquire) — unordered read.
+  EXPECT_NE(HB.recordRead(1, 7, 0), "");
+}
+
+TEST(HappensBefore, WriteOverBorrowedIsFlagged) {
+  HappensBeforeTracker HB(2);
+  EXPECT_EQ(HB.recordWrite(0, 7, 0), "");
+  HB.recordPut(0, 7, 0);
+  HB.recordGet(1, 7, 0);
+  EXPECT_EQ(HB.recordRead(1, 7, 0), "");
+  // Producer overwrites before consumed: write-after-read race.
+  EXPECT_NE(HB.recordWrite(0, 7, 0), "");
+}
+
+TEST(HappensBefore, MultiReaderReleasesAllOrdered) {
+  // Cooperative consumers: both read, both release; the producer acquires
+  // the joined release clock and may then write.
+  HappensBeforeTracker HB(3);
+  EXPECT_EQ(HB.recordWrite(0, 7, 0), "");
+  HB.recordPut(0, 7, 0);
+  HB.recordGet(1, 7, 0);
+  HB.recordGet(2, 7, 0);
+  EXPECT_EQ(HB.recordRead(1, 7, 0), "");
+  EXPECT_EQ(HB.recordRead(2, 7, 0), "");
+  HB.recordConsumed(1, 7, 0);
+  HB.recordConsumed(2, 7, 0);
+  HB.recordAcquireEmpty(0, 7, 0);
+  EXPECT_EQ(HB.recordWrite(0, 7, 0), "");
+}
+
+TEST(HappensBefore, ChannelsAreIndependent) {
+  HappensBeforeTracker HB(2);
+  EXPECT_EQ(HB.recordWrite(0, 1, 0), "");
+  HB.recordPut(0, 1, 0);
+  // A read on a different channel is still unordered/unwritten.
+  EXPECT_NE(HB.recordRead(1, 2, 0), "");
+}
+
+} // namespace

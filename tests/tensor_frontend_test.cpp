@@ -1,0 +1,178 @@
+//===- tensor_frontend_test.cpp - TensorData + kernel builder tests -----------//
+
+#include "frontend/Kernels.h"
+#include "ir/Verifier.h"
+#include "sim/TensorData.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+namespace {
+
+TEST(TensorData, WindowRoundTrips) {
+  TensorData T({8, 8});
+  T.fillRandom(5);
+  TensorData W = T.extractWindow({2, 4}, {4, 4});
+  EXPECT_EQ(W.at(0, 0), T.at(2, 4));
+  EXPECT_EQ(W.at(3, 3), T.at(5, 7));
+  TensorData Zero({4, 4});
+  T.insertWindow({2, 4}, Zero);
+  EXPECT_EQ(T.at(3, 5), 0.0f);
+}
+
+TEST(TensorData, OutOfBoundsReadsFillZero) {
+  TensorData T({4, 4});
+  T.fill(7.0f);
+  TensorData W = T.extractWindow({2, 2}, {4, 4});
+  EXPECT_EQ(W.at(0, 0), 7.0f);  // In range.
+  EXPECT_EQ(W.at(3, 3), 0.0f);  // Past the edge: TMA zero-fill.
+  EXPECT_EQ(W.at(0, 3), 0.0f);
+}
+
+TEST(TensorData, OutOfBoundsWritesDropped) {
+  TensorData T({4, 4});
+  TensorData W({4, 4});
+  W.fill(9.0f);
+  T.insertWindow({2, 2}, W);
+  EXPECT_EQ(T.at(3, 3), 9.0f);
+  EXPECT_EQ(T.at(0, 0), 0.0f); // Untouched.
+}
+
+TEST(TensorData, DiffMetrics) {
+  TensorData A({4}), B({4});
+  A.fill(1.0f);
+  B.fill(1.0f);
+  B.at(2) = 1.5f;
+  EXPECT_FLOAT_EQ(A.maxAbsDiff(B), 0.5f);
+  EXPECT_NEAR(A.maxRelDiff(B), 0.5 / 1.5, 1e-6);
+}
+
+TEST(Reference, GemmMatchesHandComputation) {
+  TensorData A({2, 3}), B({2, 3}); // C = A * B^T is 2x2.
+  for (int I = 0; I < 6; ++I) {
+    A.at(I) = static_cast<float>(I + 1);
+    B.at(I) = static_cast<float>(6 - I);
+  }
+  TensorData C = referenceGemm(A, B);
+  // C[0][0] = 1*6 + 2*5 + 3*4 = 28.
+  EXPECT_FLOAT_EQ(C.at(0, 0), 28.0f);
+  // C[1][1] = 4*3 + 5*2 + 6*1 = 28.
+  EXPECT_FLOAT_EQ(C.at(1, 1), 28.0f);
+}
+
+TEST(Reference, AttentionRowsSumRight) {
+  // With V = identity-ish rows, the output is a convex combination of V
+  // rows; all outputs must lie within V's range.
+  TensorData Q({8, 4}), K({8, 4}), V({8, 4});
+  Q.fillRandom(1);
+  K.fillRandom(2);
+  V.fill(3.0f);
+  TensorData O = referenceAttention(Q, K, V, /*Causal=*/false);
+  for (int64_t I = 0; I < O.getNumElements(); ++I)
+    EXPECT_NEAR(O.at(I), 3.0f, 1e-4);
+}
+
+TEST(Reference, CausalFirstRowAttendsOnlyToFirstKey) {
+  TensorData Q({4, 4}), K({4, 4}), V({4, 4});
+  Q.fillRandom(1);
+  K.fillRandom(2);
+  V.fillRandom(3);
+  TensorData O = referenceAttention(Q, K, V, /*Causal=*/true);
+  // Row 0 can only attend to position 0: output = V[0].
+  for (int64_t D = 0; D < 4; ++D)
+    EXPECT_NEAR(O.at(0, D), V.at(0, D), 1e-5);
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend kernel builders
+//===----------------------------------------------------------------------===//
+
+TEST(Frontend, GemmModuleVerifies) {
+  IrContext Ctx;
+  for (bool Batched : {false, true})
+    for (bool PtrEpilogue : {false, true}) {
+      GemmKernelConfig C;
+      C.Batched = Batched;
+      C.PointerEpilogue = PtrEpilogue;
+      auto M = buildGemmModule(Ctx, C);
+      EXPECT_EQ(verify(*M), "")
+          << "batched=" << Batched << " ptr=" << PtrEpilogue;
+    }
+}
+
+TEST(Frontend, GemmLoadsAndStoresMatchConfig) {
+  IrContext Ctx;
+  GemmKernelConfig C;
+  C.TileM = 64;
+  C.TileK = 32;
+  auto M = buildGemmModule(Ctx, C);
+  int64_t Loads = 0;
+  Operation *Func = M->lookupFunc("matmul");
+  ASSERT_NE(Func, nullptr);
+  TensorType *ATy = nullptr;
+  Func->walk([&](Operation *Op) {
+    if (Op->getKind() == OpKind::TmaLoad) {
+      ++Loads;
+      if (!ATy)
+        ATy = cast<TensorType>(Op->getResult(0)->getType());
+    }
+  });
+  EXPECT_EQ(Loads, 2);
+  ASSERT_NE(ATy, nullptr);
+  EXPECT_EQ(ATy->getShape()[0], 64);
+  EXPECT_EQ(ATy->getShape()[1], 32);
+}
+
+TEST(Frontend, AttentionModuleVerifies) {
+  IrContext Ctx;
+  for (bool Causal : {false, true})
+    for (Precision P : {Precision::FP16, Precision::FP8}) {
+      AttentionKernelConfig C;
+      C.Causal = Causal;
+      C.InPrecision = P;
+      auto M = buildAttentionModule(Ctx, C);
+      EXPECT_EQ(verify(*M), "") << "causal=" << Causal;
+    }
+}
+
+TEST(Frontend, AttentionHasTwoDotStructure) {
+  IrContext Ctx;
+  AttentionKernelConfig C;
+  auto M = buildAttentionModule(Ctx, C);
+  int64_t Dots = 0, Exps = 0, Reduces = 0;
+  M->lookupFunc("mha")->walk([&](Operation *Op) {
+    if (Op->getKind() == OpKind::Dot)
+      ++Dots;
+    if (Op->getKind() == OpKind::Exp2F)
+      ++Exps;
+    if (Op->getKind() == OpKind::Reduce)
+      ++Reduces;
+  });
+  EXPECT_EQ(Dots, 2);    // T = QK^T and U = PV.
+  EXPECT_EQ(Exps, 2);    // P and the alpha rescale.
+  EXPECT_EQ(Reduces, 2); // Row max and row sum.
+}
+
+TEST(Frontend, CausalAddsMaskOps) {
+  IrContext Ctx;
+  AttentionKernelConfig Plain, Causal;
+  Causal.Causal = true;
+  auto MPlain = buildAttentionModule(Ctx, Plain);
+  auto MCausal = buildAttentionModule(Ctx, Causal);
+  auto CountSelects = [](Module &M) {
+    int64_t N = 0;
+    M.lookupFunc("mha")->walk([&](Operation *Op) {
+      if (Op->getKind() == OpKind::Select || Op->getKind() == OpKind::CmpSlt)
+        ++N;
+    });
+    return N;
+  };
+  EXPECT_EQ(CountSelects(*MPlain), 0);
+  EXPECT_GE(CountSelects(*MCausal), 2);
+}
+
+} // namespace
