@@ -1,0 +1,295 @@
+//===- micro_interp.cpp - Execution engine microbenchmarks --------------------//
+//
+// Head-to-head ops/sec of the two execution engines — the legacy
+// tree-walking interpreter vs the slot-indexed bytecode executor — on the
+// workloads that dominate every figure benchmark, plus the Runner
+// program-cache effect on a fig8-style K sweep (compile once, execute many).
+//
+// Prints a speedup table (like micro_passes.cpp prints pass timings) and
+// writes the results to BENCH_interp.json for CI tracking.
+//
+// Usage: micro_interp [--smoke]   (--smoke: few repetitions, CI-friendly)
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Runner.h"
+#include "frontend/Kernels.h"
+#include "passes/Passes.h"
+#include "sim/Interpreter.h"
+#include "sim/Replay.h"
+#include "support/Support.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+namespace {
+
+double nowSec() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+struct EngineRate {
+  double OpsPerSec = 0;
+  double SecPerCta = 0;
+};
+
+struct BenchRow {
+  std::string Name;
+  int64_t OpsPerCta = 0; ///< Trace actions per CTA (same for both engines).
+  EngineRate Legacy, Bytecode;
+  double speedup() const {
+    return Legacy.OpsPerSec > 0 ? Bytecode.OpsPerSec / Legacy.OpsPerSec : 0;
+  }
+};
+
+/// One ready-to-execute workload: a compiled module plus launch options.
+struct Workload {
+  std::string Name;
+  std::unique_ptr<IrContext> Ctx;
+  std::unique_ptr<Module> M;
+  RunOptions Launch;
+};
+
+Workload makeGemmWs(bool Functional) {
+  Workload W;
+  W.Name = Functional ? "gemm-ws-functional" : "gemm-ws-timing-k4096";
+  W.Ctx = std::make_unique<IrContext>();
+  GemmKernelConfig Config;
+  W.M = buildGemmModule(*W.Ctx, Config);
+  TawaOptions Options;
+  Options.ArefDepth = 3;
+  Options.MmaPipelineDepth = 2;
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  if (std::string Err = PM.run(*W.M); !Err.empty()) {
+    std::fprintf(stderr, "compile failed: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  W.Launch.Functional = Functional;
+  if (Functional) {
+    // Small shapes so a functional CTA is milliseconds, not minutes.
+    int64_t M = 128, N = 128, K = 256;
+    auto A = std::make_shared<TensorData>(std::vector<int64_t>{M, K});
+    auto B = std::make_shared<TensorData>(std::vector<int64_t>{N, K});
+    auto C = std::make_shared<TensorData>(std::vector<int64_t>{M, N});
+    A->fillRandom(1, 1.0f);
+    B->fillRandom(2, 1.0f);
+    W.Launch.GridX = 1;
+    W.Launch.Args = {RuntimeArg::tensor(A), RuntimeArg::tensor(B),
+                     RuntimeArg::tensor(C), RuntimeArg::scalar(M),
+                     RuntimeArg::scalar(N), RuntimeArg::scalar(K)};
+  } else {
+    // The fig8 GEMM inner loop: K = 4096 -> 64 pipeline iterations.
+    W.Launch.GridX = 4096;
+    W.Launch.Args = {
+        RuntimeArg::tensor(nullptr), RuntimeArg::tensor(nullptr),
+        RuntimeArg::tensor(nullptr), RuntimeArg::scalar(8192),
+        RuntimeArg::scalar(8192),    RuntimeArg::scalar(4096)};
+  }
+  return W;
+}
+
+Workload makeMhaWs() {
+  Workload W;
+  W.Name = "mha-ws-timing";
+  W.Ctx = std::make_unique<IrContext>();
+  AttentionKernelConfig Config;
+  W.M = buildAttentionModule(*W.Ctx, Config);
+  TawaOptions Options;
+  Options.ArefDepth = 2;
+  Options.CoarsePipeline = true;
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  if (std::string Err = PM.run(*W.M); !Err.empty()) {
+    std::fprintf(stderr, "compile failed: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  W.Launch.Functional = false;
+  W.Launch.GridX = 32;
+  W.Launch.GridY = 128;
+  W.Launch.Args = {RuntimeArg::tensor(nullptr), RuntimeArg::tensor(nullptr),
+                   RuntimeArg::tensor(nullptr), RuntimeArg::tensor(nullptr),
+                   RuntimeArg::scalar(4096)};
+  return W;
+}
+
+int64_t countTraceOps(const CtaTrace &T) {
+  int64_t N = 0;
+  for (const AgentTrace &A : T.Agents)
+    N += static_cast<int64_t>(A.Actions.size());
+  return N;
+}
+
+/// Times repeated CTA executions of one engine; returns ops/sec where "ops"
+/// are trace actions (identical for both engines on the same workload, so
+/// the ratio equals the wall-clock speedup).
+EngineRate timeEngine(Workload &W, bool Legacy, int64_t OpsPerCta,
+                      double MinSeconds, int MinReps) {
+  RunOptions Opts = W.Launch;
+  Opts.UseLegacyInterp = Legacy;
+  Interpreter Interp(*W.M, GpuConfig());
+  // Warm-up (and bytecode compilation, outside the timed loop — sweeps pay
+  // it once).
+  CtaTrace Warm;
+  std::string Err = Interp.runCta(Opts, 0, 0, Warm);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "%s (%s): %s\n", W.Name.c_str(),
+                 Legacy ? "legacy" : "bytecode", Err.c_str());
+    std::exit(1);
+  }
+  int Reps = 0;
+  double Start = nowSec(), Elapsed = 0;
+  do {
+    CtaTrace T;
+    if (!Interp.runCta(Opts, 0, 0, T).empty())
+      std::exit(1);
+    ++Reps;
+    Elapsed = nowSec() - Start;
+  } while (Elapsed < MinSeconds || Reps < MinReps);
+  EngineRate R;
+  R.SecPerCta = Elapsed / Reps;
+  R.OpsPerSec = static_cast<double>(OpsPerCta) * Reps / Elapsed;
+  return R;
+}
+
+BenchRow benchWorkload(Workload W, double MinSeconds, int MinReps) {
+  BenchRow Row;
+  Row.Name = W.Name;
+  {
+    RunOptions Opts = W.Launch;
+    Interpreter Interp(*W.M, GpuConfig());
+    CtaTrace T;
+    if (!Interp.runCta(Opts, 0, 0, T).empty())
+      std::exit(1);
+    Row.OpsPerCta = countTraceOps(T);
+  }
+  Row.Legacy = timeEngine(W, /*Legacy=*/true, Row.OpsPerCta, MinSeconds,
+                          MinReps);
+  Row.Bytecode = timeEngine(W, /*Legacy=*/false, Row.OpsPerCta, MinSeconds,
+                            MinReps);
+  return Row;
+}
+
+/// fig8-style K sweep through the Runner: cold = fresh Runner per point
+/// (compiles every point), warm = one Runner whose program cache compiles
+/// once and executes many.
+struct SweepResult {
+  double ColdSec = 0, WarmSec = 0;
+  size_t WarmHits = 0, WarmMisses = 0;
+  double speedup() const { return WarmSec > 0 ? ColdSec / WarmSec : 0; }
+};
+
+SweepResult benchKsweep(const std::vector<int64_t> &Ks) {
+  SweepResult S;
+  {
+    double Start = nowSec();
+    for (int64_t K : Ks) {
+      Runner R;
+      GemmWorkload W;
+      W.K = K;
+      RunResult Res = R.runGemm(Framework::Tawa, W);
+      if (!Res.ok())
+        std::fprintf(stderr, "ksweep K=%lld: %s\n",
+                     static_cast<long long>(K), Res.Error.c_str());
+    }
+    S.ColdSec = nowSec() - Start;
+  }
+  {
+    Runner R;
+    double Start = nowSec();
+    for (int64_t K : Ks) {
+      GemmWorkload W;
+      W.K = K;
+      RunResult Res = R.runGemm(Framework::Tawa, W);
+      if (!Res.ok())
+        std::fprintf(stderr, "ksweep K=%lld: %s\n",
+                     static_cast<long long>(K), Res.Error.c_str());
+    }
+    S.WarmSec = nowSec() - Start;
+    S.WarmHits = R.getProgramCacheHits();
+    S.WarmMisses = R.getProgramCacheMisses();
+  }
+  return S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+  double MinSeconds = Smoke ? 0.05 : 0.5;
+  int MinReps = Smoke ? 2 : 5;
+
+  std::vector<BenchRow> Rows;
+  Rows.push_back(
+      benchWorkload(makeGemmWs(/*Functional=*/false), MinSeconds, MinReps));
+  Rows.push_back(
+      benchWorkload(makeGemmWs(/*Functional=*/true), MinSeconds, MinReps));
+  Rows.push_back(benchWorkload(makeMhaWs(), MinSeconds, MinReps));
+
+  std::printf("\nExecution engine microbenchmark (ops = trace actions)\n");
+  std::printf("%-24s %10s %14s %14s %9s\n", "workload", "ops/cta",
+              "legacy ops/s", "bytecode ops/s", "speedup");
+  for (const BenchRow &R : Rows)
+    std::printf("%-24s %10lld %14.0f %14.0f %8.2fx\n", R.Name.c_str(),
+                static_cast<long long>(R.OpsPerCta), R.Legacy.OpsPerSec,
+                R.Bytecode.OpsPerSec, R.speedup());
+
+  std::vector<int64_t> Ks =
+      Smoke ? std::vector<int64_t>{256, 512, 1024}
+            : std::vector<int64_t>{256, 512, 1024, 2048, 4096, 8192, 16384};
+  SweepResult Sweep = benchKsweep(Ks);
+  std::printf("\nfig8 K sweep (%zu points, Tawa timing mode)\n", Ks.size());
+  std::printf("  cold (fresh Runner per point): %7.3f s\n", Sweep.ColdSec);
+  std::printf("  warm (shared program cache):   %7.3f s   (%zu hits / %zu "
+              "misses)\n",
+              Sweep.WarmSec, Sweep.WarmHits, Sweep.WarmMisses);
+  std::printf("  sweep speedup: %.2fx\n", Sweep.speedup());
+
+  // Emit machine-readable results.
+  FILE *F = std::fopen("BENCH_interp.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_interp.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"workloads\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const BenchRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"ops_per_cta\": %lld, "
+                 "\"legacy_ops_per_sec\": %.1f, \"bytecode_ops_per_sec\": "
+                 "%.1f, \"speedup\": %.3f}%s\n",
+                 R.Name.c_str(), static_cast<long long>(R.OpsPerCta),
+                 R.Legacy.OpsPerSec, R.Bytecode.OpsPerSec, R.speedup(),
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F,
+               "  \"fig8_ksweep\": {\"points\": %zu, \"cold_sec\": %.4f, "
+               "\"warm_sec\": %.4f, \"cache_hits\": %zu, \"cache_misses\": "
+               "%zu, \"speedup\": %.3f},\n",
+               Ks.size(), Sweep.ColdSec, Sweep.WarmSec, Sweep.WarmHits,
+               Sweep.WarmMisses, Sweep.speedup());
+  std::fprintf(F, "  \"smoke\": %s\n}\n", Smoke ? "true" : "false");
+  std::fclose(F);
+  std::printf("\nwrote BENCH_interp.json\n");
+
+  // The ISSUE acceptance bar: >= 5x on the GEMM inner-loop workload.
+  if (Rows[0].speedup() < 5.0) {
+    std::fprintf(stderr, "FAIL: bytecode speedup %.2fx < 5x on %s\n",
+                 Rows[0].speedup(), Rows[0].Name.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification + engine microbench smoke — the CI entry point.
+#
+#   scripts/check.sh [build-dir]
+#
+# Runs: configure (with -DTAWA_WERROR=ON so library warnings fail the
+# build), build, ctest, and the execution-engine microbenchmark in smoke
+# mode (which enforces the >=5x bytecode-vs-legacy speedup bar and
+# writes $BUILD_DIR/BENCH_interp.json).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DTAWA_WERROR=ON >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== ctest =="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+echo "== micro_interp (smoke) =="
+(cd "$BUILD_DIR" && ./micro_interp --smoke)
+
+echo "check.sh: OK"

@@ -3,6 +3,7 @@
 #include "driver/Runner.h"
 
 #include "ir/Verifier.h"
+#include "sim/Bytecode.h"
 #include "sim/Interpreter.h"
 #include "sim/Numerics.h"
 #include "sim/Replay.h"
@@ -90,7 +91,58 @@ void roundHostTensor(TensorData &T, Precision P) {
                                    : roundToFp8E4M3(T.at(I));
 }
 
+/// Serializes every compile-time knob that shapes the generated module, so
+/// sweeps that only vary runtime dimensions share one cache entry.
+std::string pipelineKeySuffix(const TawaOptions &O, int64_t SwDepth) {
+  return formatString(
+      "|ws%d|d%lld|mma%lld|cg%lld|pers%d|coarse%d|sw%lld",
+      O.EnableWarpSpecialization ? 1 : 0,
+      static_cast<long long>(O.ArefDepth),
+      static_cast<long long>(O.MmaPipelineDepth),
+      static_cast<long long>(O.NumConsumerGroups), O.Persistent ? 1 : 0,
+      O.CoarsePipeline ? 1 : 0, static_cast<long long>(SwDepth));
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Program cache
+//===----------------------------------------------------------------------===//
+
+/// Declaration order matters: the module references the context and the
+/// compiled program references types owned by the context, so Ctx must be
+/// destroyed last.
+struct Runner::CachedProgram {
+  std::unique_ptr<IrContext> Ctx;
+  std::unique_ptr<Module> M;
+  std::shared_ptr<const sim::bc::CompiledProgram> Prog;
+};
+
+std::shared_ptr<Runner::CachedProgram> Runner::getOrCompile(
+    const std::string &Key,
+    const std::function<std::unique_ptr<Module>(IrContext &)> &Build,
+    const TawaOptions &Options, int64_t SwPipelineDepth, std::string &Err) {
+  if (auto It = ProgramCache.find(Key); It != ProgramCache.end()) {
+    ++CacheHits;
+    if (!UseLegacyInterp && !It->second->Prog)
+      It->second->Prog = sim::bc::compileModule(*It->second->M, Config);
+    return It->second;
+  }
+  ++CacheMisses;
+  auto Cached = std::make_shared<CachedProgram>();
+  Cached->Ctx = std::make_unique<IrContext>();
+  Cached->M = Build(*Cached->Ctx);
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  if (Err = PM.run(*Cached->M); !Err.empty())
+    return nullptr;
+  if (!Options.EnableWarpSpecialization && SwPipelineDepth > 0)
+    runSoftwarePipeline(*Cached->M, SwPipelineDepth);
+  if (!UseLegacyInterp)
+    Cached->Prog = sim::bc::compileModule(*Cached->M, Config);
+  ProgramCache.emplace(Key, Cached);
+  return Cached;
+}
 
 //===----------------------------------------------------------------------===//
 // Analytic models (cuBLAS, theoretical peak)
@@ -180,16 +232,24 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   Kernel.InPrecision = W.Prec;
   Kernel.Batched = W.Batch > 1;
 
-  IrContext Ctx;
-  auto M = buildGemmModule(Ctx, Kernel);
-  PassManager PM;
-  buildTawaPipeline(PM, Options);
-  if (std::string Err = PM.run(*M); !Err.empty()) {
-    R.Error = "compile: " + Err;
+  std::string Key =
+      formatString("gemm|tm%lld|tn%lld|tk%lld|prec%d|b%d|pe%d",
+                   static_cast<long long>(Kernel.TileM),
+                   static_cast<long long>(Kernel.TileN),
+                   static_cast<long long>(Kernel.TileK),
+                   static_cast<int>(Kernel.InPrecision),
+                   Kernel.Batched ? 1 : 0, Kernel.PointerEpilogue ? 1 : 0) +
+      pipelineKeySuffix(Options, E.SwPipelineDepth);
+  std::string CompileErr;
+  std::shared_ptr<CachedProgram> Cached = getOrCompile(
+      Key,
+      [&](IrContext &Ctx) { return buildGemmModule(Ctx, Kernel); },
+      Options, E.SwPipelineDepth, CompileErr);
+  if (!Cached) {
+    R.Error = "compile: " + CompileErr;
     return R;
   }
-  if (!Options.EnableWarpSpecialization && E.SwPipelineDepth > 0)
-    runSoftwarePipeline(*M, E.SwPipelineDepth);
+  Module &M = *Cached->M;
 
   int64_t NumPidM = ceilDiv(TotalM, Kernel.TileM);
   int64_t NumPidN = ceilDiv(W.N, Kernel.TileN);
@@ -249,8 +309,9 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
                  RuntimeArg::scalar(TotalM),
                  RuntimeArg::scalar(W.N),
                  RuntimeArg::scalar(W.K)};
+  Launch.UseLegacyInterp = UseLegacyInterp;
 
-  Interpreter Interp(*M, Config);
+  Interpreter Interp(M, Config, Cached->Prog);
 
   // Functional pass over every CTA (validates numerics); CTA 0's trace also
   // feeds the timing model below.
@@ -368,16 +429,24 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
   Kernel.Causal = W.Causal;
   Kernel.InPrecision = W.Prec;
 
-  IrContext Ctx;
-  auto M = buildAttentionModule(Ctx, Kernel);
-  PassManager PM;
-  buildTawaPipeline(PM, Options);
-  if (std::string Err = PM.run(*M); !Err.empty()) {
-    R.Error = "compile: " + Err;
+  std::string Key =
+      formatString("mha|tq%lld|tkv%lld|hd%lld|c%d|prec%d",
+                   static_cast<long long>(Kernel.TileQ),
+                   static_cast<long long>(Kernel.TileKv),
+                   static_cast<long long>(Kernel.HeadDim),
+                   Kernel.Causal ? 1 : 0,
+                   static_cast<int>(Kernel.InPrecision)) +
+      pipelineKeySuffix(Options, E.SwPipelineDepth);
+  std::string CompileErr;
+  std::shared_ptr<CachedProgram> Cached = getOrCompile(
+      Key,
+      [&](IrContext &Ctx) { return buildAttentionModule(Ctx, Kernel); },
+      Options, E.SwPipelineDepth, CompileErr);
+  if (!Cached) {
+    R.Error = "compile: " + CompileErr;
     return R;
   }
-  if (!Options.EnableWarpSpecialization && E.SwPipelineDepth > 0)
-    runSoftwarePipeline(*M, E.SwPipelineDepth);
+  Module &M = *Cached->M;
 
   int64_t QTiles = ceilDiv(W.SeqLen, Kernel.TileQ);
   int64_t BH = W.Batch * W.Heads;
@@ -420,8 +489,9 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
   Launch.Args = {RuntimeArg::tensor(Q), RuntimeArg::tensor(K),
                  RuntimeArg::tensor(V), RuntimeArg::tensor(O),
                  RuntimeArg::scalar(W.SeqLen)};
+  Launch.UseLegacyInterp = UseLegacyInterp;
 
-  Interpreter Interp(*M, Config);
+  Interpreter Interp(M, Config, Cached->Prog);
 
   if (Functional) {
     for (int64_t Y = 0; Y < BH; ++Y)

@@ -12,6 +12,9 @@
 #include "models/Frameworks.h"
 #include "sim/Config.h"
 
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
 
 namespace tawa {
@@ -38,6 +41,18 @@ public:
 
   const sim::GpuConfig &getConfig() const { return Config; }
 
+  /// Route simulation through the legacy tree-walking engine instead of the
+  /// bytecode executor (differential benchmarking; bypasses no semantics —
+  /// both engines are observably identical).
+  bool UseLegacyInterp = false;
+
+  /// Program-cache statistics: benchmark sweeps that vary only runtime
+  /// dimensions (fig8's K sweep, fig11's hyperparameter grid) compile once
+  /// and execute many times.
+  size_t getProgramCacheHits() const { return CacheHits; }
+  size_t getProgramCacheMisses() const { return CacheMisses; }
+  void clearProgramCache() { ProgramCache.clear(); }
+
   /// Runs a GEMM point under a framework's default envelope.
   RunResult runGemm(Framework F, const GemmWorkload &W,
                     bool Functional = false);
@@ -57,7 +72,28 @@ private:
   RunResult runAttentionAnalytic(const AttentionWorkload &W,
                                  const FrameworkEnvelope &E);
 
+  /// One compiled kernel: the IR context/module pinned alive plus the
+  /// flattened bytecode program. Keyed by (kernel, pass config, precision,
+  /// tile shape); runtime dims (M/N/K, grid) are launch arguments, so one
+  /// entry serves a whole sweep. Not thread-safe (one Runner per thread).
+  struct CachedProgram;
+
+  /// Cache lookup / compile-and-insert. \p Build constructs the kernel
+  /// module in a fresh context; the pass pipeline, optional software
+  /// pipelining and bytecode flattening are shared between kernel
+  /// families. Returns null with \p Err set on pipeline failure (failed
+  /// compiles are not cached). In legacy-interpreter mode flattening is
+  /// skipped until a bytecode run first needs it.
+  std::shared_ptr<CachedProgram>
+  getOrCompile(const std::string &Key,
+               const std::function<std::unique_ptr<Module>(IrContext &)>
+                   &Build,
+               const TawaOptions &Options, int64_t SwPipelineDepth,
+               std::string &Err);
+
   sim::GpuConfig Config;
+  std::map<std::string, std::shared_ptr<CachedProgram>> ProgramCache;
+  size_t CacheHits = 0, CacheMisses = 0;
 };
 
 } // namespace tawa

@@ -1,0 +1,36 @@
+//===- ValueNumbering.cpp - Dense SSA value numbering -------------------------//
+
+#include "ir/ValueNumbering.h"
+
+#include "ir/Ir.h"
+
+using namespace tawa;
+
+DenseValueNumbering::DenseValueNumbering(FuncOp &F) {
+  numberBlock(F.getBody());
+}
+
+void DenseValueNumbering::assign(Value *V) {
+  auto [It, Inserted] = Slots.try_emplace(V, Next);
+  if (Inserted)
+    ++Next;
+  (void)It;
+}
+
+void DenseValueNumbering::numberBlock(Block &B) {
+  for (unsigned I = 0, E = B.getNumArguments(); I != E; ++I)
+    assign(B.getArgument(I));
+  for (Operation &Op : B) {
+    for (unsigned I = 0, E = Op.getNumResults(); I != E; ++I)
+      assign(Op.getResult(I));
+    for (unsigned R = 0, E = Op.getNumRegions(); R != E; ++R)
+      if (!Op.getRegion(R).empty())
+        numberBlock(Op.getRegion(R).getBlock());
+  }
+}
+
+int32_t DenseValueNumbering::lookup(Value *V) const {
+  auto It = Slots.find(V);
+  assert(It != Slots.end() && "value not numbered (foreign function?)");
+  return It->second;
+}

@@ -1,0 +1,48 @@
+//===- ValueNumbering.h - Dense SSA value numbering -------------*- C++ -*-===//
+//
+// Assigns every SSA value reachable from a function — entry block arguments,
+// every nested block's arguments (loop induction variables, iter_args, warp
+// group parameters) and every operation result — a dense integer slot in a
+// deterministic pre-order walk. Consumers (the bytecode execution engine)
+// replace pointer-keyed environment maps with flat vectors indexed by slot.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_IR_VALUENUMBERING_H
+#define TAWA_IR_VALUENUMBERING_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace tawa {
+
+class Block;
+class FuncOp;
+class Value;
+
+/// Dense numbering of all values in one function. Slots are stable for the
+/// lifetime of the numbering; mutating the IR invalidates it.
+class DenseValueNumbering {
+public:
+  explicit DenseValueNumbering(FuncOp &F);
+
+  /// Slot of \p V; asserts that \p V belongs to the numbered function.
+  int32_t lookup(Value *V) const;
+
+  /// True when \p V was reached by the numbering walk.
+  bool contains(Value *V) const { return Slots.count(V) != 0; }
+
+  /// Total number of slots (the size of a flat environment vector).
+  int32_t size() const { return Next; }
+
+private:
+  void numberBlock(Block &B);
+  void assign(Value *V);
+
+  std::unordered_map<Value *, int32_t> Slots;
+  int32_t Next = 0;
+};
+
+} // namespace tawa
+
+#endif // TAWA_IR_VALUENUMBERING_H

@@ -210,7 +210,6 @@ std::string CoarsePipeliner::runOnLoop(WarpGroupOp *WG, ForOp *Loop) {
   (void)WG;
 
   Operation *Yield = Loop->getYield();
-  Block &Body = Loop->getBody();
   int64_t CounterIdx = Loop->getIntAttr("tawa.counter_arg");
   Value *CounterInit = Loop->getInitArg(CounterIdx);
 

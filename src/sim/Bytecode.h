@@ -1,0 +1,187 @@
+//===- Bytecode.h - Flat compiled-program execution format ------*- C++ -*-===//
+//
+// The compile-then-execute engine: a one-time lowering pass flattens a
+// verified, pass-pipelined Module into a CompiledProgram — a dense
+// instruction array with a compact opcode enum, operands pre-resolved to
+// integer value slots (dense SSA numbering, so the environment is a flat
+// std::vector<RValue> instead of a std::map<Value*, RValue>), loop targets
+// pre-resolved to instruction indices, attributes materialized into
+// immediates/pools, and per-op costs precomputed from the machine model.
+//
+// The executor (Executor.cpp) dispatches through a single switch over BcOp —
+// no virtual calls, no string-keyed attribute lookups, no pointer-keyed maps
+// on the per-op path — and replaces the legacy std::function wait-condition
+// machinery with a tagged WaitCond evaluated inline. Semantics (numerics,
+// trace event sequences, protocol monitors, happens-before recording) are
+// bit-identical to the legacy tree-walking interpreter, which remains
+// available behind RunOptions::UseLegacyInterp as a differential oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SIM_BYTECODE_H
+#define TAWA_SIM_BYTECODE_H
+
+#include "sim/Config.h"
+#include "sim/Trace.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tawa {
+
+class Module;
+class TensorType;
+class Type;
+
+namespace sim {
+
+struct RunOptions;
+
+namespace bc {
+
+/// Dense opcodes of the executable subset. Compute ops mirror OpKind;
+/// control flow is lowered to LoopBegin/LoopEnd pairs with pre-resolved
+/// instruction targets.
+enum class BcOp : uint8_t {
+  // Control.
+  Nop,         ///< tt.return and other executable no-ops.
+  LoopBegin,   ///< Aux = LoopInfo id; enters or skips the loop.
+  LoopEnd,     ///< Aux = LoopInfo id; yields, steps, branches back or exits.
+  Unsupported, ///< MsgId = diagnostic; fails only if actually executed.
+  Halt,        ///< End of a region program.
+
+  // Scalars.
+  ConstInt,    ///< Imm0 = value.
+  ConstFloat,  ///< FImm = value.
+  ProgramId,   ///< Imm0 = axis.
+  NumPrograms, ///< Imm0 = axis.
+  IntBin,      ///< Imm0 = OpKind (AddI..CmpSlt); scalar or elementwise.
+
+  // Tensor construction & math.
+  ConstTensor,     ///< FImm = fill value.
+  MakeRange,       ///< Imm0 = start.
+  Splat,
+  ExpandBroadcast, ///< Aux = IntVec id of [DimMap..., SrcDims...] pairs.
+  Transpose2D,
+  FloatBin,        ///< Imm0 = OpKind (AddF..MaxF); scalar or elementwise.
+  Exp2,
+  Select,
+  Reduce,          ///< Imm0 = axis, Imm1 = IsMax.
+  Cast,            ///< ElemTy = rounding target.
+  AddPtr,
+
+  // Tile-dialect memory & compute (non-WS paths).
+  TmaLoad,  ///< Imm0 = bytes, Imm1 = lookahead, Imm2 = ActionKind, FImm =
+            ///< issue cycles (all pre-resolved from the pipeline mode).
+  TmaStore, ///< Imm0 = bytes, FImm = cycles base (pre replica division).
+  Store,    ///< Imm0 = bytes, FImm = cycles base.
+  Dot,      ///< FImm = wgmma cycles base, Imm0 = transB, Imm1 = pendings.
+
+  // Lowered dialect.
+  SmemAlloc,        ///< Imm0 = channel, Imm1 = slot bytes, Imm2 = bytes,
+                    ///< Imm3 = num slots, Aux = writers<<16 | readers.
+  MBarrierAlloc,    ///< Imm0 = expected, Imm1 = channel, Imm2 = is-full,
+                    ///< Imm3 = num.
+  MBarrierExpectTx, ///< Imm0 = bytes.
+  MBarrierArrive,   ///< Optional third operand = predicate.
+  MBarrierWait,     ///< Issue half: charges/emits the BarWait action.
+  MBarrierWaitBlock,///< Blocking half: the tagged WaitCond (bar, idx,
+                    ///< parity); suspends the agent until the phase flips.
+  TmaLoadAsync,     ///< Imm0 = num offsets, Imm1 = bytes, Imm2 = field idx,
+                    ///< Imm3 = slot offset, Aux = IntVec id of the shape.
+  SmemRead,         ///< Imm2 = field idx, Imm3 = slot offset.
+  WgmmaIssue,       ///< FImm = wgmma cycles base, Imm0 = transB.
+  WgmmaWait,        ///< Imm0 = pendings.
+  Fence,
+};
+
+/// One flat instruction. Operand value slots live in
+/// CompiledProgram::OperandSlots[OpBegin, OpBegin+NumOps).
+struct Inst {
+  BcOp Op = BcOp::Nop;
+  uint8_t NumOps = 0;
+  int32_t Result = -1;   ///< Destination slot, or -1.
+  int32_t OpBegin = 0;   ///< Index into OperandSlots.
+  int32_t Aux = -1;      ///< Loop id / pool id / packed small immediates.
+  int32_t MsgId = -1;    ///< Index into Messages (diagnostics).
+  int64_t Imm0 = 0, Imm1 = 0, Imm2 = 0, Imm3 = 0;
+  double FImm = 0;       ///< Float immediate / pre-resolved cycle cost.
+  double Cost = 0;       ///< Precomputed tensorOpCycles (pre replica div).
+  TensorType *ResultTy = nullptr; ///< Result tensor type (materialization).
+  Type *ElemTy = nullptr;         ///< Storage element type (rounding).
+};
+
+/// Pre-resolved control-flow record of one scf.for.
+struct LoopInfo {
+  int32_t LbSlot = -1, UbSlot = -1, StepSlot = -1, IvSlot = -1;
+  std::vector<int32_t> InitSlots; ///< Loop-entry copies into IterSlots.
+  std::vector<int32_t> IterSlots; ///< Block-argument slots (per iteration).
+  std::vector<int32_t> YieldSlots;///< Gathered at LoopEnd into IterSlots.
+  std::vector<int32_t> ResultSlots;///< Loop results (written at exit).
+  bool Pipelined = false; ///< Software-pipelined tile loop: emits
+                          ///< IterMark/CtaSync per iteration.
+  int32_t BodyPc = 0;     ///< First body instruction.
+  int32_t ExitPc = 0;     ///< Instruction after LoopEnd.
+};
+
+/// One region's flat instruction stream (always Halt-terminated).
+struct RegionProgram {
+  std::vector<Inst> Code;
+};
+
+/// Static description of one warp-group agent.
+struct AgentInfo {
+  int64_t Replicas = 1;
+  std::string Role;
+};
+
+/// The whole lowered module, ready to execute any number of CTAs. Immutable
+/// after compilation; safe to share across Runner calls (the program cache)
+/// and across CTA executions.
+struct CompiledProgram {
+  std::string CompileError;  ///< Non-empty: surfaced by the first runCta.
+
+  int64_t SwPipelineDepth = 0;
+  int32_t NumSlots = 0;
+  std::vector<int32_t> ArgSlots; ///< Slot of each function argument.
+
+  RegionProgram Preamble;
+  std::vector<RegionProgram> Agents;
+  std::vector<AgentInfo> AgentInfos;
+
+  std::vector<LoopInfo> Loops;
+  std::vector<int32_t> OperandSlots;
+  std::vector<std::vector<int64_t>> IntVecs;
+  std::vector<std::string> Messages;
+
+  /// Sorted distinct slot_offset values across all staging accesses: the
+  /// flat field space of every shared-memory staging buffer. A buffer's
+  /// store is a dense vector of NumSlots * SlotOffsets.size() tensors —
+  /// the open-addressing replacement for the legacy ordered map.
+  std::vector<int64_t> SlotOffsets;
+
+  /// Machine parameters baked into precomputed costs (kept for the executor's
+  /// runtime costs: barrier ops, syncs).
+  GpuConfig Config;
+};
+
+/// Flattens \p M for execution under \p Config. Never fails on unsupported
+/// ops (they become Unsupported instructions that only error if executed, so
+/// diagnostics match the legacy engine); structural problems are reported
+/// via CompiledProgram::CompileError.
+std::shared_ptr<const CompiledProgram> compileModule(Module &M,
+                                                     const GpuConfig &Config);
+
+/// Executes CTA (PidX, PidY). Returns "" on success or a diagnostic; the
+/// trace is valid only on success. Mirrors the legacy engine observably:
+/// identical numerics, traces, violations and deadlock reports.
+std::string executeProgram(const CompiledProgram &P, const RunOptions &Opts,
+                           int64_t PidX, int64_t PidY, CtaTrace &Out);
+
+} // namespace bc
+} // namespace sim
+} // namespace tawa
+
+#endif // TAWA_SIM_BYTECODE_H

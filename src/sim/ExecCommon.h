@@ -1,0 +1,274 @@
+//===- ExecCommon.h - Shared runtime of both execution engines --*- C++ -*-===//
+//
+// Runtime value representation, per-CTA shared state, tensor math and cost
+// helpers used by BOTH execution engines: the legacy tree-walking
+// interpreter (LegacyInterp.cpp, the differential-testing oracle) and the
+// bytecode executor (Executor.cpp). Keeping the arithmetic in one place is
+// what makes the two engines bit-identical: every float operation runs
+// through exactly the same code in the same order.
+//
+// Internal to src/sim — not part of the public simulator API.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SIM_EXECCOMMON_H
+#define TAWA_SIM_EXECCOMMON_H
+
+#include "ir/Ir.h"
+#include "sim/Config.h"
+#include "sim/Numerics.h"
+#include "sim/TensorData.h"
+#include "sim/Trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tawa {
+namespace sim {
+namespace exec {
+
+//===----------------------------------------------------------------------===//
+// Runtime values
+//===----------------------------------------------------------------------===//
+
+struct RValue {
+  enum class Kind : uint8_t { None, Int, Float, Tensor, Handle };
+  Kind K = Kind::None;
+  int64_t I = 0;
+  double F = 0;
+  TensorRef T;       ///< Tensor payload (null in timing-only mode).
+  int32_t H = -1;    ///< Binding / smem / mbarrier handle; for pointer
+                     ///< tensors, the carried base binding.
+
+  static RValue makeInt(int64_t V) {
+    RValue R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static RValue makeFloat(double V) {
+    RValue R;
+    R.K = Kind::Float;
+    R.F = V;
+    return R;
+  }
+  static RValue makeTensor(TensorRef T, int32_t Base = -1) {
+    RValue R;
+    R.K = Kind::Tensor;
+    R.T = std::move(T);
+    R.H = Base;
+    return R;
+  }
+  static RValue makeHandle(int32_t H) {
+    RValue R;
+    R.K = Kind::Handle;
+    R.H = H;
+    return R;
+  }
+};
+
+inline int64_t asInt(const RValue &R) {
+  assert(R.K == RValue::Kind::Int && "expected integer value");
+  return R.I;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared CTA state (functional barriers, protocol monitors)
+//===----------------------------------------------------------------------===//
+
+struct FunctionalBarrier {
+  int64_t Completions = 0;
+  int64_t Arrivals = 0;
+  int64_t TxExpected = 0;
+  int64_t TxArrived = 0;
+};
+
+struct BarrierArray {
+  int64_t Expected = 1;
+  int64_t Channel = -1;
+  bool IsFull = false;
+  std::vector<FunctionalBarrier> Bars;
+};
+
+/// Per-slot protocol monitor: the Fig. 4 machine generalized to tuple slots
+/// (several TMA writes fill one slot) and cooperative readers (several
+/// consumer warp groups release one slot).
+struct SlotMonitor {
+  enum class St : uint8_t { Empty, Filling, Full, Borrowed };
+  St S = St::Empty;
+  int Writes = 0;
+  int Releases = 0;
+};
+
+struct AgentCtx {
+  int Id = 0;
+  AgentTrace Trace;
+  int64_t Replicas = 1;
+  double PendingCuda = 0;
+  std::string Error;
+};
+
+inline void chargeCuda(AgentCtx &A, double Cycles) { A.PendingCuda += Cycles; }
+
+inline void flushCuda(AgentCtx &A) {
+  if (A.PendingCuda <= 0)
+    return;
+  Action Act;
+  Act.Kind = ActionKind::CudaWork;
+  Act.Cycles = A.PendingCuda;
+  A.Trace.emit(Act);
+  A.PendingCuda = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Tensor math helpers
+//===----------------------------------------------------------------------===//
+
+inline TensorRef makeTensorForType(TensorType *Ty) {
+  return std::make_shared<TensorData>(Ty->getShape());
+}
+
+/// Extracts a tile from a host tensor whose rank may exceed the tile rank
+/// (batched layouts): the window shape is left-padded with 1s to the host
+/// rank, and the result is reshaped to the tile shape.
+inline TensorData loadWindow(const TensorData &Host,
+                             const std::vector<int64_t> &Offsets,
+                             const std::vector<int64_t> &TileShape) {
+  std::vector<int64_t> Padded = TileShape;
+  while (Padded.size() < Host.getShape().size())
+    Padded.insert(Padded.begin(), 1);
+  TensorData W = Host.extractWindow(Offsets, Padded);
+  TensorData Out(TileShape);
+  for (int64_t I = 0, E = Out.getNumElements(); I != E; ++I)
+    Out.at(I) = W.at(I);
+  return Out;
+}
+
+/// Writes a tile back into a (possibly higher-rank) host tensor.
+inline void storeWindow(TensorData &Host, const std::vector<int64_t> &Offsets,
+                        const TensorData &Tile) {
+  std::vector<int64_t> Padded = Tile.getShape();
+  while (Padded.size() < Host.getShape().size())
+    Padded.insert(Padded.begin(), 1);
+  TensorData W(Padded);
+  for (int64_t I = 0, E = Tile.getNumElements(); I != E; ++I)
+    W.at(I) = Tile.at(I);
+  Host.insertWindow(Offsets, W);
+}
+
+inline TensorRef applyBinary(const TensorRef &A, const TensorRef &B,
+                             float (*Fn)(float, float)) {
+  auto Out = std::make_shared<TensorData>(A->getShape());
+  for (int64_t I = 0, E = A->getNumElements(); I != E; ++I)
+    Out->at(I) = Fn(A->at(I), B->at(I));
+  return Out;
+}
+
+/// Rounds every element to the storage precision of \p ElemTy.
+inline void roundTensorTo(TensorData &T, Type *ElemTy) {
+  switch (ElemTy->getKind()) {
+  case TypeKind::F16:
+    for (int64_t I = 0, E = T.getNumElements(); I != E; ++I)
+      T.at(I) = roundToFp16(T.at(I));
+    break;
+  case TypeKind::F8E4M3:
+    for (int64_t I = 0, E = T.getNumElements(); I != E; ++I)
+      T.at(I) = roundToFp8E4M3(T.at(I));
+    break;
+  default:
+    break; // f32/int: representable as-is.
+  }
+}
+
+/// C = A (MxK) x B, acc += ; B is (KxN) or, when TransB, (NxK).
+inline TensorRef matmulAcc(const TensorRef &A, const TensorRef &B,
+                           const TensorRef &Acc, bool TransB) {
+  int64_t MDim = A->getDim(0), KDim = A->getDim(1);
+  int64_t NDim = TransB ? B->getDim(0) : B->getDim(1);
+  auto Out = std::make_shared<TensorData>(*Acc);
+  for (int64_t I = 0; I < MDim; ++I)
+    for (int64_t J = 0; J < NDim; ++J) {
+      float Sum = Out->at(I, J);
+      if (TransB)
+        for (int64_t P = 0; P < KDim; ++P)
+          Sum += A->at(I, P) * B->at(J, P);
+      else
+        for (int64_t P = 0; P < KDim; ++P)
+          Sum += A->at(I, P) * B->at(P, J);
+      Out->at(I, J) = Sum;
+    }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Cost model (shared so precomputed and tree-walked costs agree bitwise)
+//===----------------------------------------------------------------------===//
+
+inline double tensorOpCycles(const GpuConfig &Config, Operation *Op) {
+  auto ElemsOf = [](Value *V) -> double {
+    if (auto *TT = dyn_cast<TensorType>(V->getType()))
+      return static_cast<double>(TT->getNumElements());
+    return 0;
+  };
+  double Elems = Op->getNumResults() ? ElemsOf(Op->getResult(0)) : 0;
+  if (Elems == 0 && Op->getNumOperands())
+    Elems = ElemsOf(Op->getOperand(Op->getNumOperands() - 1));
+  double Lanes = Config.CudaLanes;
+  switch (Op->getKind()) {
+  case OpKind::ConstantTensor:
+  case OpKind::Splat:
+  case OpKind::MakeRange:
+  case OpKind::ExpandDims:
+  case OpKind::Broadcast:
+    return 0.25 * Elems / Lanes;
+  case OpKind::DivF:
+    return 4.0 * Elems / Lanes;
+  case OpKind::Exp2F:
+    return Elems / Config.SfuLanes;
+  case OpKind::Reduce:
+    return 2.0 * ElemsOf(Op->getOperand(0)) / Lanes;
+  case OpKind::Transpose:
+  case OpKind::Cast:
+  case OpKind::Select:
+  case OpKind::CmpSlt:
+  case OpKind::AddF:
+  case OpKind::SubF:
+  case OpKind::MulF:
+  case OpKind::MaxF:
+  case OpKind::AddPtr:
+  case OpKind::AddI:
+  case OpKind::SubI:
+  case OpKind::MulI:
+  case OpKind::DivSI:
+  case OpKind::RemSI:
+  case OpKind::MinSI:
+  case OpKind::MaxSI:
+    return Elems > 0 ? Elems / Lanes : 1.0;
+  default:
+    return 1.0;
+  }
+}
+
+/// WGMMA duration *before* the cooperative-replica division (both engines
+/// divide by the agent's replica count at charge time, in the same order the
+/// legacy expression `Flops / Rate / Replicas` evaluates).
+inline double wgmmaCyclesBase(const GpuConfig &Config, Operation *Op) {
+  auto *ATy = cast<TensorType>(Op->getOperand(0)->getType());
+  auto *AccTy = cast<TensorType>(Op->getOperand(2)->getType());
+  bool Fp8 = ATy->getElementType()->getKind() == TypeKind::F8E4M3;
+  double MDim = static_cast<double>(AccTy->getShape()[0]);
+  double NDim = static_cast<double>(AccTy->getShape()[1]);
+  double KDim = static_cast<double>(ATy->getShape()[1]);
+  double Flops = 2.0 * MDim * NDim * KDim;
+  double Rate = Config.tcFlopsPerCyclePerSm(Fp8) * Config.WgmmaEfficiency;
+  return Flops / Rate;
+}
+
+} // namespace exec
+} // namespace sim
+} // namespace tawa
+
+#endif // TAWA_SIM_EXECCOMMON_H

@@ -1,0 +1,994 @@
+//===- Executor.cpp - Slot-indexed bytecode execution -------------------------//
+//
+// Executes a CompiledProgram for one CTA. The per-op hot path is a single
+// switch over the dense opcode with all operands pre-resolved to flat vector
+// slots, all attributes pre-materialized into immediates, and all cost-model
+// values precomputed; shared-memory staging data lives in a flat per-buffer
+// vector keyed by (slot, field) instead of an ordered map.
+//
+// Scheduling: warp-group agents are cooperative fibers, not threads.
+// Because an agent's entire continuation is its program counter plus the
+// flat slot vector, blocking on an mbarrier is "save pc, mark the tagged
+// WaitCond, return to the scheduler" — something the recursive tree-walking
+// oracle cannot do, which is why it needs one OS thread per agent and a
+// global mutex. The round-robin scheduler resumes agents whose wait
+// condition holds and declares deadlock when no agent can run; agents
+// observe the same data-driven interleaving as the legacy engine (whose
+// threads are serialized by one lock and hand off at the same blocking
+// points), so traces, protocol monitoring, happens-before recording and
+// deadlock reports are observably identical — and execution is fully
+// deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Bytecode.h"
+
+#include "sem/HappensBefore.h"
+#include "sim/ExecCommon.h"
+#include "sim/Interpreter.h"
+#include "support/Support.h"
+
+#include <cstdlib>
+
+using namespace tawa;
+using namespace tawa::sim;
+using namespace tawa::sim::bc;
+using namespace tawa::sim::exec;
+
+namespace {
+
+/// A shared-memory staging buffer with flat (slot, field) tensor storage.
+struct ExecSmem {
+  int64_t Channel = -1;
+  int64_t SlotBytes = 0;
+  int64_t Bytes = 0;
+  int Writers = 1;
+  int Readers = 1;
+  int64_t NumFields = 1;
+  std::vector<SlotMonitor> Monitors;
+  std::vector<TensorData> Store;   ///< NumSlots * NumFields, dense.
+  std::vector<uint8_t> Present;    ///< Initialization bits for Store.
+};
+
+/// The tagged replacement for the legacy std::function wait conditions: an
+/// mbarrier phase test the scheduler evaluates inline.
+struct WaitCond {
+  int32_t Bar = 0;
+  int64_t Idx = 0;
+  int64_t Parity = 0;
+};
+
+/// One cooperative agent: program counter + flat environment. Suspending at
+/// a wait is just returning to the scheduler with the pc saved.
+struct AgentRun {
+  enum class State : uint8_t { Runnable, Blocked, Done, Failed };
+  const RegionProgram *RP = nullptr;
+  int32_t Pc = 0;
+  std::vector<RValue> Env;
+  AgentCtx A;
+  State St = State::Runnable;
+  WaitCond W;
+};
+
+class BcExec {
+public:
+  BcExec(const CompiledProgram &P, const RunOptions &Opts, int64_t PidX,
+         int64_t PidY)
+      : P(P), Config(P.Config), Opts(Opts), PidX(PidX), PidY(PidY),
+        TraceEnv(std::getenv("TAWA_TRACE") != nullptr) {}
+
+  std::string run(CtaTrace &Out);
+
+private:
+  void step(AgentRun &R);
+  /// Runs \p Agents round-robin until all finish or none can progress
+  /// (deadlock). Returns false on deadlock.
+  bool schedule(std::vector<AgentRun> &Agents);
+
+  bool waitSatisfied(const WaitCond &W) const {
+    return BarrierArrays[W.Bar].Bars[W.Idx].Completions % 2 != W.Parity % 2;
+  }
+
+  void applyArrival(int32_t BarId, int64_t Idx, int64_t TxBytes) {
+    BarrierArray &Arr = BarrierArrays[BarId];
+    FunctionalBarrier &B = Arr.Bars[Idx];
+    ++B.Arrivals;
+    B.TxArrived += TxBytes;
+    if (B.Arrivals >= Arr.Expected && B.TxArrived >= B.TxExpected) {
+      ++B.Completions;
+      B.Arrivals = 0;
+      B.TxArrived = 0;
+      B.TxExpected = 0;
+    }
+  }
+
+  void recordViolation(std::string S) { Violations.push_back(std::move(S)); }
+
+  const CompiledProgram &P;
+  const GpuConfig &Config;
+  const RunOptions &Opts;
+  int64_t PidX, PidY;
+  bool TraceEnv;
+  bool Functional = true;
+
+  std::vector<ExecSmem> SmemBuffers;
+  std::vector<BarrierArray> BarrierArrays;
+  std::vector<std::string> Violations;
+  std::unique_ptr<sem::HappensBeforeTracker> HB;
+
+  bool Aborted = false;
+  std::string AbortMsg;
+  std::vector<RValue> Gather; ///< LoopEnd yield staging (single-threaded).
+};
+
+bool BcExec::schedule(std::vector<AgentRun> &Agents) {
+  for (;;) {
+    bool AllFinished = true;
+    bool Progress = false;
+    for (AgentRun &R : Agents) {
+      if (R.St == AgentRun::State::Done || R.St == AgentRun::State::Failed)
+        continue;
+      AllFinished = false;
+      if (R.St == AgentRun::State::Blocked && !waitSatisfied(R.W))
+        continue;
+      R.St = AgentRun::State::Runnable;
+      step(R);
+      Progress = true;
+    }
+    if (AllFinished)
+      return true;
+    if (!Progress) {
+      // Every unfinished agent is blocked on an unsatisfiable condition.
+      Aborted = true;
+      AbortMsg = "deadlock: every warp group is blocked on an mbarrier wait";
+      for (AgentRun &R : Agents) {
+        if (R.St != AgentRun::State::Blocked)
+          continue;
+        const BarrierArray &Arr = BarrierArrays[R.W.Bar];
+        AbortMsg += formatString(
+            "\n  agent %d waits %s[%lld] (channel %lld) parity %lld, "
+            "completions %lld",
+            R.A.Id, Arr.IsFull ? "full" : "empty",
+            static_cast<long long>(R.W.Idx),
+            static_cast<long long>(Arr.Channel),
+            static_cast<long long>(R.W.Parity),
+            static_cast<long long>(Arr.Bars[R.W.Idx].Completions));
+      }
+      for (AgentRun &R : Agents)
+        if (R.St == AgentRun::State::Blocked)
+          R.A.Error = AbortMsg;
+      return false;
+    }
+  }
+}
+
+void BcExec::step(AgentRun &Run) {
+  const Inst *Code = Run.RP->Code.data();
+  const int32_t *OpSlot = P.OperandSlots.data();
+  std::vector<RValue> &S = Run.Env;
+  AgentCtx &A = Run.A;
+  int32_t Pc = Run.Pc;
+  for (;;) {
+    const Inst &I = Code[Pc];
+    auto V = [&](int64_t K) -> const RValue & {
+      return S[OpSlot[I.OpBegin + K]];
+    };
+    auto EmitAction = [&](const Action &Act) {
+      flushCuda(A);
+      A.Trace.emit(Act);
+    };
+
+    switch (I.Op) {
+    case BcOp::Nop:
+      break;
+    case BcOp::Halt:
+      flushCuda(A);
+      Run.St = AgentRun::State::Done;
+      Run.Pc = Pc;
+      return;
+    case BcOp::Unsupported:
+      A.Error = P.Messages[I.MsgId];
+      Run.St = AgentRun::State::Failed;
+      Run.Pc = Pc;
+      return;
+
+    //===--- Control ------------------------------------------------------===//
+    case BcOp::LoopBegin: {
+      const LoopInfo &L = P.Loops[I.Aux];
+      int64_t Lb = asInt(S[L.LbSlot]), Ub = asInt(S[L.UbSlot]);
+      assert(asInt(S[L.StepSlot]) > 0 && "non-positive loop step");
+      for (size_t K = 0, E = L.InitSlots.size(); K != E; ++K)
+        S[L.IterSlots[K]] = S[L.InitSlots[K]];
+      S[L.IvSlot] = RValue::makeInt(Lb);
+      if (Lb >= Ub) {
+        for (size_t K = 0, E = L.ResultSlots.size(); K != E; ++K)
+          S[L.ResultSlots[K]] = S[L.IterSlots[K]];
+        Pc = L.ExitPc;
+        continue;
+      }
+      if (L.Pipelined) {
+        flushCuda(A);
+        Action Mark;
+        Mark.Kind = ActionKind::IterMark;
+        A.Trace.emit(Mark);
+      }
+      break;
+    }
+    case BcOp::LoopEnd: {
+      const LoopInfo &L = P.Loops[I.Aux];
+      Gather.clear();
+      for (int32_t Y : L.YieldSlots)
+        Gather.push_back(S[Y]);
+      for (size_t K = 0, E = L.IterSlots.size(); K != E; ++K)
+        S[L.IterSlots[K]] = std::move(Gather[K]);
+      if (L.Pipelined) {
+        // Per-iteration block-wide synchronization of the cp.async scheme.
+        flushCuda(A);
+        Action Sync;
+        Sync.Kind = ActionKind::CtaSync;
+        Sync.Cycles = Config.NamedBarrierSyncCycles;
+        A.Trace.emit(Sync);
+      }
+      int64_t Iv = S[L.IvSlot].I + asInt(S[L.StepSlot]);
+      if (Iv < asInt(S[L.UbSlot])) {
+        S[L.IvSlot].I = Iv;
+        if (L.Pipelined) {
+          flushCuda(A);
+          Action Mark;
+          Mark.Kind = ActionKind::IterMark;
+          A.Trace.emit(Mark);
+        }
+        Pc = L.BodyPc;
+        continue;
+      }
+      for (size_t K = 0, E = L.ResultSlots.size(); K != E; ++K)
+        S[L.ResultSlots[K]] = S[L.IterSlots[K]];
+      Pc = L.ExitPc;
+      continue;
+    }
+
+    //===--- Scalars ------------------------------------------------------===//
+    case BcOp::ConstInt:
+      S[I.Result] = RValue::makeInt(I.Imm0);
+      break;
+    case BcOp::ConstFloat:
+      S[I.Result] = RValue::makeFloat(I.FImm);
+      break;
+    case BcOp::ProgramId:
+      S[I.Result] = RValue::makeInt(I.Imm0 == 0 ? PidX : PidY);
+      break;
+    case BcOp::NumPrograms:
+      S[I.Result] = RValue::makeInt(I.Imm0 == 0 ? Opts.GridX : Opts.GridY);
+      break;
+
+    case BcOp::IntBin: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &L = V(0), &R = V(1);
+      OpKind K = static_cast<OpKind>(I.Imm0);
+      if (L.K == RValue::Kind::Int) {
+        int64_t X = L.I, Y = R.I, Z = 0;
+        switch (K) {
+        case OpKind::AddI:
+          Z = X + Y;
+          break;
+        case OpKind::SubI:
+          Z = X - Y;
+          break;
+        case OpKind::MulI:
+          Z = X * Y;
+          break;
+        case OpKind::DivSI:
+          Z = X / Y;
+          break;
+        case OpKind::RemSI:
+          Z = X % Y;
+          break;
+        case OpKind::MinSI:
+          Z = std::min(X, Y);
+          break;
+        case OpKind::MaxSI:
+          Z = std::max(X, Y);
+          break;
+        case OpKind::CmpSlt:
+          Z = X < Y;
+          break;
+        default:
+          break;
+        }
+        S[I.Result] = RValue::makeInt(Z);
+        break;
+      }
+      // Tensor (elementwise) integer arithmetic — index math for masks and
+      // pointer offsets.
+      if (!Functional || !L.T) {
+        S[I.Result] = RValue::makeTensor(nullptr, L.H);
+        break;
+      }
+      float (*Fn)(float, float) = nullptr;
+      switch (K) {
+      case OpKind::AddI:
+        Fn = +[](float X, float Y) { return X + Y; };
+        break;
+      case OpKind::SubI:
+        Fn = +[](float X, float Y) { return X - Y; };
+        break;
+      case OpKind::MulI:
+        Fn = +[](float X, float Y) { return X * Y; };
+        break;
+      case OpKind::CmpSlt:
+        Fn = +[](float X, float Y) { return X < Y ? 1.0f : 0.0f; };
+        break;
+      default:
+        A.Error = P.Messages[I.MsgId];
+        Run.St = AgentRun::State::Failed;
+        Run.Pc = Pc;
+        return;
+      }
+      S[I.Result] = RValue::makeTensor(applyBinary(L.T, R.T, Fn), L.H);
+      break;
+    }
+
+    //===--- Tensor construction & math -----------------------------------===//
+    case BcOp::ConstTensor: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      if (!Functional) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      auto T = makeTensorForType(I.ResultTy);
+      T->fill(static_cast<float>(I.FImm));
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::MakeRange: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      if (!Functional) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      auto T = makeTensorForType(I.ResultTy);
+      for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
+        T->at(K) = static_cast<float>(I.Imm0 + K);
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::Splat: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &In = V(0);
+      if (!Functional) {
+        S[I.Result] = RValue::makeTensor(nullptr, In.H);
+        break;
+      }
+      auto T = makeTensorForType(I.ResultTy);
+      if (In.K == RValue::Kind::Handle) {
+        T->fill(0.0f); // Pointer splat: offsets start at zero.
+        S[I.Result] = RValue::makeTensor(std::move(T), In.H);
+        break;
+      }
+      T->fill(In.K == RValue::Kind::Int ? static_cast<float>(In.I)
+                                        : static_cast<float>(In.F));
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::ExpandBroadcast: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &In = V(0);
+      if (!Functional || !In.T) {
+        S[I.Result] = RValue::makeTensor(nullptr, In.H);
+        break;
+      }
+      auto T = makeTensorForType(I.ResultTy);
+      const auto &OutShape = I.ResultTy->getShape();
+      const auto &Packed = P.IntVecs[I.Aux];
+      size_t Rank = OutShape.size();
+      const int64_t *DimMap = Packed.data();
+      const int64_t *SrcDims = Packed.data() + Rank;
+      std::vector<int64_t> Idx(Rank, 0);
+      for (int64_t Lin = 0, EIt = T->getNumElements(); Lin != EIt; ++Lin) {
+        int64_t SrcLin = 0;
+        for (size_t D = 0; D < Rank; ++D) {
+          if (DimMap[D] < 0)
+            continue;
+          int64_t Coord = Idx[D];
+          int64_t SrcDim = SrcDims[D];
+          if (Coord >= SrcDim)
+            Coord = SrcDim - 1; // Broadcasting a size-1 dim.
+          SrcLin = SrcLin * SrcDim + Coord;
+        }
+        T->at(Lin) = In.T->at(SrcLin);
+        for (int64_t D = static_cast<int64_t>(Rank) - 1; D >= 0; --D) {
+          if (++Idx[D] < OutShape[D])
+            break;
+          Idx[D] = 0;
+        }
+      }
+      S[I.Result] = RValue::makeTensor(std::move(T), In.H);
+      break;
+    }
+    case BcOp::Transpose2D: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &In = V(0);
+      if (!Functional || !In.T) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      auto T = makeTensorForType(I.ResultTy);
+      int64_t R = In.T->getDim(0), C = In.T->getDim(1);
+      for (int64_t Y = 0; Y < R; ++Y)
+        for (int64_t X = 0; X < C; ++X)
+          T->at(X, Y) = In.T->at(Y, X);
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::FloatBin: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &L = V(0), &R = V(1);
+      OpKind K = static_cast<OpKind>(I.Imm0);
+      if (L.K == RValue::Kind::Float) {
+        double X = L.F, Y = R.F, Z = 0;
+        switch (K) {
+        case OpKind::AddF:
+          Z = X + Y;
+          break;
+        case OpKind::SubF:
+          Z = X - Y;
+          break;
+        case OpKind::MulF:
+          Z = X * Y;
+          break;
+        case OpKind::DivF:
+          Z = X / Y;
+          break;
+        case OpKind::MaxF:
+          Z = std::max(X, Y);
+          break;
+        default:
+          break;
+        }
+        S[I.Result] = RValue::makeFloat(Z);
+        break;
+      }
+      if (!Functional || !L.T) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      float (*Fn)(float, float) = nullptr;
+      switch (K) {
+      case OpKind::AddF:
+        Fn = +[](float X, float Y) { return X + Y; };
+        break;
+      case OpKind::SubF:
+        Fn = +[](float X, float Y) { return X - Y; };
+        break;
+      case OpKind::MulF:
+        Fn = +[](float X, float Y) { return X * Y; };
+        break;
+      case OpKind::DivF:
+        Fn = +[](float X, float Y) { return X / Y; };
+        break;
+      case OpKind::MaxF:
+        Fn = +[](float X, float Y) { return std::max(X, Y); };
+        break;
+      default:
+        break;
+      }
+      S[I.Result] = RValue::makeTensor(applyBinary(L.T, R.T, Fn));
+      break;
+    }
+    case BcOp::Exp2: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &In = V(0);
+      if (!Functional || !In.T) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      auto T = std::make_shared<TensorData>(*In.T);
+      for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
+        T->at(K) = std::exp2(T->at(K));
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::Select: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &C = V(0), &X = V(1), &Y = V(2);
+      if (!Functional || !C.T) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      auto T = makeTensorForType(I.ResultTy);
+      for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
+        T->at(K) = C.T->at(K) != 0.0f ? X.T->at(K) : Y.T->at(K);
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::Reduce: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &In = V(0);
+      if (!Functional || !In.T) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      bool IsMax = I.Imm1 != 0;
+      int64_t R = In.T->getDim(0), Cn = In.T->getDim(1);
+      auto T = makeTensorForType(I.ResultTy);
+      if (I.Imm0 == 1) {
+        for (int64_t Y = 0; Y < R; ++Y) {
+          float Acc = IsMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+          for (int64_t X = 0; X < Cn; ++X)
+            Acc = IsMax ? std::max(Acc, In.T->at(Y, X))
+                        : Acc + In.T->at(Y, X);
+          T->at(Y) = Acc;
+        }
+      } else {
+        for (int64_t X = 0; X < Cn; ++X) {
+          float Acc = IsMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+          for (int64_t Y = 0; Y < R; ++Y)
+            Acc = IsMax ? std::max(Acc, In.T->at(Y, X))
+                        : Acc + In.T->at(Y, X);
+          T->at(X) = Acc;
+        }
+      }
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::Cast: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &In = V(0);
+      if (!Functional || !In.T) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      auto T = std::make_shared<TensorData>(*In.T);
+      roundTensorTo(*T, I.ElemTy);
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::AddPtr: {
+      chargeCuda(A, I.Cost / A.Replicas);
+      const RValue &Ptr = V(0), &Off = V(1);
+      if (!Functional || !Ptr.T) {
+        S[I.Result] = RValue::makeTensor(nullptr, Ptr.H);
+        break;
+      }
+      S[I.Result] = RValue::makeTensor(
+          applyBinary(Ptr.T, Off.T, +[](float X, float Y) { return X + Y; }),
+          Ptr.H);
+      break;
+    }
+
+    //===--- Tile-dialect memory & compute --------------------------------===//
+    case BcOp::TmaLoad: {
+      Action Act;
+      Act.Kind = static_cast<ActionKind>(I.Imm2);
+      Act.Lookahead = static_cast<int32_t>(I.Imm1);
+      Act.Cycles = I.FImm;
+      Act.Bytes = I.Imm0;
+      EmitAction(Act);
+      if (!Functional) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      const RValue &Desc = V(0);
+      assert(Desc.K == RValue::Kind::Handle && "tma_load needs a descriptor");
+      const RuntimeArg &Arg = Opts.Args[Desc.H];
+      std::vector<int64_t> Offsets;
+      for (int64_t K = 1; K < I.NumOps; ++K)
+        Offsets.push_back(asInt(V(K)));
+      auto T = std::make_shared<TensorData>(
+          loadWindow(*Arg.Data, Offsets, I.ResultTy->getShape()));
+      S[I.Result] = RValue::makeTensor(std::move(T));
+      break;
+    }
+    case BcOp::TmaStore: {
+      const RValue &Desc = V(0);
+      Action Act;
+      Act.Kind = ActionKind::GStoreAsync;
+      Act.Bytes = I.Imm0 / A.Replicas;
+      Act.Cycles = I.FImm / A.Replicas;
+      EmitAction(Act);
+      if (!Functional)
+        break;
+      const RValue &Val = V(I.NumOps - 1);
+      std::vector<int64_t> Offsets;
+      for (int64_t K = 1; K < I.NumOps - 1; ++K)
+        Offsets.push_back(asInt(V(K)));
+      TensorData Rounded = *Val.T;
+      roundTensorTo(Rounded, I.ElemTy);
+      storeWindow(*Opts.Args[Desc.H].Data, Offsets, Rounded);
+      break;
+    }
+    case BcOp::Store: {
+      const RValue &Ptr = V(0);
+      const RValue &Val = V(1);
+      Action Act;
+      Act.Kind = ActionKind::GStoreAsync;
+      Act.Bytes = I.Imm0 / A.Replicas;
+      Act.Cycles = I.FImm / A.Replicas;
+      EmitAction(Act);
+      if (!Functional || !Ptr.T)
+        break;
+      assert(Ptr.H >= 0 && "store through an unbound pointer tensor");
+      TensorData &OutT = *Opts.Args[Ptr.H].Data;
+      TensorData Rounded = *Val.T;
+      roundTensorTo(Rounded, I.ElemTy);
+      for (int64_t K = 0, E = Rounded.getNumElements(); K != E; ++K) {
+        // Linear offsets are carried as f32; exact for the functional test
+        // sizes (< 2^24 elements).
+        int64_t Linear = static_cast<int64_t>(Ptr.T->at(K));
+        if (Linear >= 0 && Linear < OutT.getNumElements())
+          OutT.at(Linear) = Rounded.at(K);
+      }
+      break;
+    }
+    case BcOp::Dot: {
+      // Tensor-core op in plain tile execution (async past dependent CUDA
+      // work under software pipelining, synchronous otherwise).
+      flushCuda(A);
+      Action Issue;
+      Issue.Kind = ActionKind::TensorIssue;
+      Issue.Cycles = I.FImm / A.Replicas;
+      A.Trace.emit(Issue);
+      Action Wait;
+      Wait.Kind = ActionKind::TensorWait;
+      Wait.Pendings = I.Imm1;
+      A.Trace.emit(Wait);
+      const RValue &X = V(0), &Y = V(1), &Acc = V(2);
+      if (!Functional || !X.T) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      S[I.Result] =
+          RValue::makeTensor(matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0));
+      break;
+    }
+
+    //===--- Lowered dialect ----------------------------------------------===//
+    case BcOp::SmemAlloc: {
+      ExecSmem Buf;
+      Buf.Channel = I.Imm0;
+      Buf.SlotBytes = I.Imm1;
+      Buf.Bytes = I.Imm2;
+      Buf.Writers = static_cast<int>(I.Aux >> 16);
+      Buf.Readers = static_cast<int>(I.Aux & 0xffff);
+      Buf.NumFields =
+          std::max<int64_t>(1, static_cast<int64_t>(P.SlotOffsets.size()));
+      Buf.Monitors.assign(I.Imm3, SlotMonitor());
+      if (Functional) {
+        Buf.Store.resize(I.Imm3 * Buf.NumFields);
+        Buf.Present.assign(I.Imm3 * Buf.NumFields, 0);
+      }
+      SmemBuffers.push_back(std::move(Buf));
+      S[I.Result] = RValue::makeHandle(
+          static_cast<int32_t>(SmemBuffers.size() - 1));
+      break;
+    }
+    case BcOp::MBarrierAlloc: {
+      BarrierArray Arr;
+      Arr.Expected = I.Imm0;
+      Arr.Channel = I.Imm1;
+      Arr.IsFull = I.Imm2 != 0;
+      Arr.Bars.assign(I.Imm3, FunctionalBarrier());
+      BarrierArrays.push_back(std::move(Arr));
+      S[I.Result] = RValue::makeHandle(
+          static_cast<int32_t>(BarrierArrays.size() - 1));
+      break;
+    }
+    case BcOp::MBarrierExpectTx: {
+      chargeCuda(A, Config.BarrierOpCycles);
+      int32_t Bar = V(0).H;
+      int64_t Idx = asInt(V(1));
+      BarrierArrays[Bar].Bars[Idx].TxExpected += I.Imm0;
+      Action Act;
+      Act.Kind = ActionKind::BarExpectTx;
+      Act.Bar = Bar;
+      Act.Idx = static_cast<int32_t>(Idx);
+      Act.Bytes = I.Imm0;
+      Act.Cycles = Config.BarrierOpCycles;
+      EmitAction(Act);
+      break;
+    }
+    case BcOp::MBarrierArrive: {
+      if (I.NumOps > 2) {
+        const RValue &Pred = V(2);
+        if (Pred.I == 0)
+          break; // Predicated off.
+      }
+      int32_t Bar = V(0).H;
+      int64_t Idx = asInt(V(1));
+      BarrierArray &Arr = BarrierArrays[Bar];
+      if (TraceEnv)
+        fprintf(stderr, "[agent %d] arrive %s[%lld]\n", A.Id,
+                Arr.IsFull ? "full" : "empty", (long long)Idx);
+      Action Act;
+      Act.Kind = ActionKind::BarArrive;
+      Act.Bar = Bar;
+      Act.Idx = static_cast<int32_t>(Idx);
+      Act.Cycles = Config.BarrierOpCycles;
+      EmitAction(Act);
+      // An arrive on an empty barrier is a consumer releasing a slot.
+      if (!Arr.IsFull && Arr.Channel >= 0) {
+        HB->recordConsumed(A.Id, Arr.Channel, Idx);
+        for (ExecSmem &Buf : SmemBuffers) {
+          if (Buf.Channel != Arr.Channel)
+            continue;
+          SlotMonitor &Mon = Buf.Monitors[Idx];
+          if (Mon.S == SlotMonitor::St::Empty ||
+              Mon.S == SlotMonitor::St::Filling)
+            recordViolation(formatString(
+                "channel %lld slot %lld: released while %s (consumed without "
+                "get)",
+                static_cast<long long>(Arr.Channel),
+                static_cast<long long>(Idx),
+                Mon.S == SlotMonitor::St::Empty ? "empty" : "filling"));
+          if (++Mon.Releases >= Buf.Readers) {
+            Mon.S = SlotMonitor::St::Empty;
+            Mon.Writes = 0;
+            Mon.Releases = 0;
+          }
+        }
+      }
+      applyArrival(Bar, Idx, 0);
+      break;
+    }
+    case BcOp::MBarrierWait: {
+      // Issue half: cost + trace. The blocking half follows immediately.
+      chargeCuda(A, Config.BarrierOpCycles);
+      int32_t Bar = V(0).H;
+      int64_t Idx = asInt(V(1));
+      int64_t Parity = asInt(V(2));
+      Action Act;
+      Act.Kind = ActionKind::BarWait;
+      Act.Bar = Bar;
+      Act.Idx = static_cast<int32_t>(Idx);
+      Act.Parity = static_cast<int32_t>(Parity % 2);
+      Act.Cycles = Config.BarrierOpCycles;
+      EmitAction(Act);
+      if (TraceEnv) {
+        BarrierArray &Arr = BarrierArrays[Bar];
+        fprintf(stderr,
+                "[agent %d] wait %s[%lld] parity %lld completions %lld\n",
+                A.Id, Arr.IsFull ? "full" : "empty", (long long)Idx,
+                (long long)Parity, (long long)Arr.Bars[Idx].Completions);
+      }
+      break;
+    }
+    case BcOp::MBarrierWaitBlock: {
+      // Blocking half: re-executed on every resume until the phase flips.
+      WaitCond W;
+      W.Bar = V(0).H;
+      W.Idx = asInt(V(1));
+      W.Parity = asInt(V(2));
+      if (!waitSatisfied(W)) {
+        Run.W = W;
+        Run.St = AgentRun::State::Blocked;
+        Run.Pc = Pc;
+        return;
+      }
+      BarrierArray &Arr = BarrierArrays[W.Bar];
+      if (Arr.Channel >= 0) {
+        if (Arr.IsFull)
+          HB->recordGet(A.Id, Arr.Channel, W.Idx);
+        else
+          HB->recordAcquireEmpty(A.Id, Arr.Channel, W.Idx);
+      }
+      break;
+    }
+    case BcOp::TmaLoadAsync: {
+      chargeCuda(A, Config.TmaIssueCycles);
+      int64_t NumOffsets = I.Imm0;
+      int32_t Smem = V(1 + NumOffsets).H;
+      int32_t Bar = V(2 + NumOffsets).H;
+      int64_t Idx = asInt(V(3 + NumOffsets));
+      int64_t Bytes = I.Imm1;
+      Action Act;
+      Act.Kind = ActionKind::TmaIssue;
+      Act.Bar = Bar;
+      Act.Idx = static_cast<int32_t>(Idx);
+      Act.Bytes = Bytes;
+      Act.Cycles = Config.TmaIssueCycles;
+      EmitAction(Act);
+
+      ExecSmem &Buf = SmemBuffers[Smem];
+      SlotMonitor &Mon = Buf.Monitors[Idx];
+      if (Mon.S == SlotMonitor::St::Full ||
+          Mon.S == SlotMonitor::St::Borrowed)
+        recordViolation(formatString(
+            "channel %lld slot %lld: TMA write while %s (overwrite before "
+            "consumed)",
+            static_cast<long long>(Buf.Channel), static_cast<long long>(Idx),
+            Mon.S == SlotMonitor::St::Full ? "full" : "borrowed"));
+      Mon.S = SlotMonitor::St::Filling;
+      if (++Mon.Writes >= Buf.Writers)
+        Mon.S = SlotMonitor::St::Full;
+      if (std::string Err = HB->recordWrite(A.Id, Buf.Channel, Idx);
+          !Err.empty())
+        recordViolation(Err);
+      HB->recordPut(A.Id, Buf.Channel, Idx);
+
+      if (Functional) {
+        const RValue &Desc = V(0);
+        std::vector<int64_t> Offsets;
+        for (int64_t K = 0; K < NumOffsets; ++K)
+          Offsets.push_back(asInt(V(1 + K)));
+        size_t Key = Idx * Buf.NumFields + I.Imm2;
+        Buf.Store[Key] =
+            loadWindow(*Opts.Args[Desc.H].Data, Offsets, P.IntVecs[I.Aux]);
+        Buf.Present[Key] = 1;
+      }
+      // The copy's arrival (with its transaction bytes) is immediate in the
+      // functional model; the replay applies the real transfer latency.
+      applyArrival(Bar, Idx, Bytes);
+      break;
+    }
+    case BcOp::SmemRead: {
+      const RValue &Smem = V(0);
+      int64_t Idx = asInt(V(1));
+      ExecSmem &Buf = SmemBuffers[Smem.H];
+      SlotMonitor &Mon = Buf.Monitors[Idx];
+      if (Mon.S == SlotMonitor::St::Empty ||
+          Mon.S == SlotMonitor::St::Filling)
+        recordViolation(formatString(
+            "channel %lld slot %lld: read while %s (premature get)",
+            static_cast<long long>(Buf.Channel), static_cast<long long>(Idx),
+            Mon.S == SlotMonitor::St::Empty ? "empty" : "filling"));
+      else
+        Mon.S = SlotMonitor::St::Borrowed;
+      if (std::string Err = HB->recordRead(A.Id, Buf.Channel, Idx);
+          !Err.empty())
+        recordViolation(Err);
+      if (!Functional) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      size_t Key = Idx * Buf.NumFields + I.Imm2;
+      if (!Buf.Present[Key]) {
+        recordViolation(formatString(
+            "channel %lld slot %lld: reading uninitialized staging data",
+            static_cast<long long>(Buf.Channel),
+            static_cast<long long>(Idx)));
+        auto T = makeTensorForType(I.ResultTy);
+        S[I.Result] = RValue::makeTensor(std::move(T));
+        break;
+      }
+      S[I.Result] = RValue::makeTensor(
+          std::make_shared<TensorData>(Buf.Store[Key]));
+      break;
+    }
+    case BcOp::WgmmaIssue: {
+      flushCuda(A);
+      Action Act;
+      Act.Kind = ActionKind::TensorIssue;
+      Act.Cycles = I.FImm / A.Replicas;
+      A.Trace.emit(Act);
+      const RValue &X = V(0), &Y = V(1), &Acc = V(2);
+      if (!Functional || !X.T || !Acc.T) {
+        S[I.Result] = RValue::makeTensor(nullptr);
+        break;
+      }
+      S[I.Result] =
+          RValue::makeTensor(matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0));
+      break;
+    }
+    case BcOp::WgmmaWait: {
+      flushCuda(A);
+      Action Act;
+      Act.Kind = ActionKind::TensorWait;
+      Act.Pendings = I.Imm0;
+      A.Trace.emit(Act);
+      break;
+    }
+    case BcOp::Fence:
+      chargeCuda(A, Config.BarrierOpCycles);
+      break;
+    }
+    ++Pc;
+  }
+}
+
+std::string BcExec::run(CtaTrace &Out) {
+  if (!P.CompileError.empty())
+    return P.CompileError;
+  Functional = Opts.Functional;
+
+  // Bind arguments.
+  if (Opts.Args.size() != P.ArgSlots.size())
+    return "argument count mismatch";
+  std::vector<RValue> Shared(P.NumSlots);
+  for (size_t I = 0, E = P.ArgSlots.size(); I != E; ++I) {
+    const RuntimeArg &Arg = Opts.Args[I];
+    if (Arg.K == RuntimeArg::Kind::Scalar)
+      Shared[P.ArgSlots[I]] = RValue::makeInt(Arg.Scalar);
+    else
+      Shared[P.ArgSlots[I]] = RValue::makeHandle(static_cast<int32_t>(I));
+  }
+
+  int NumAgents =
+      P.Agents.empty() ? 1 : static_cast<int>(P.Agents.size());
+  HB = std::make_unique<sem::HappensBeforeTracker>(NumAgents);
+
+  // Run the preamble (shared work every warp executes redundantly on real
+  // hardware) as a lone agent so even preamble-level waits can deadlock.
+  std::vector<AgentRun> PreRuns(1);
+  {
+    AgentRun &R = PreRuns[0];
+    R.RP = &P.Preamble;
+    R.Env = std::move(Shared);
+    R.A.Id = 0;
+    R.A.Trace.Name = "preamble";
+    if (!schedule(PreRuns) || PreRuns[0].St == AgentRun::State::Failed)
+      return PreRuns[0].A.Error.empty() ? "preamble execution failed"
+                                        : PreRuns[0].A.Error;
+    Shared = std::move(PreRuns[0].Env);
+  }
+  AgentCtx Preamble = std::move(PreRuns[0].A);
+
+  std::vector<AgentCtx> Agents;
+  if (P.Agents.empty()) {
+    // Plain tile-dialect execution: the preamble program is the whole
+    // kernel. Reuse its trace as the single agent.
+    Agents.push_back(std::move(Preamble));
+    Agents[0].Trace.Name = formatString("cta(%lld,%lld)/warps",
+                                        static_cast<long long>(PidX),
+                                        static_cast<long long>(PidY));
+  } else {
+    // Fork one cooperative fiber per warp group.
+    std::vector<AgentRun> Runs(NumAgents);
+    for (int G = 0; G < NumAgents; ++G) {
+      AgentRun &R = Runs[G];
+      R.RP = &P.Agents[G];
+      R.Env = Shared; // Agents read preamble slots, write only their own.
+      R.A.Id = G;
+      R.A.Replicas = P.AgentInfos[G].Replicas;
+      R.A.Trace.Replicas = R.A.Replicas;
+      R.A.Trace.Name = formatString(
+          "cta(%lld,%lld)/wg%d(%s)", static_cast<long long>(PidX),
+          static_cast<long long>(PidY), G, P.AgentInfos[G].Role.c_str());
+      R.A.Trace.Actions = Preamble.Trace.Actions; // Redundant preamble work.
+    }
+    schedule(Runs);
+    for (AgentRun &R : Runs)
+      Agents.push_back(std::move(R.A));
+  }
+
+  // Gather errors / violations. Protocol violations are reported first:
+  // when a corrupted protocol also wedges the machine, the violation is the
+  // root cause and the deadlock the symptom.
+  if (!Violations.empty()) {
+    std::string All = "protocol violations:";
+    for (const std::string &V : Violations)
+      All += "\n  " + V;
+    if (Aborted)
+      All += "\n  (additionally: " + AbortMsg + ")";
+    return All;
+  }
+  for (AgentCtx &A : Agents)
+    if (!A.Error.empty())
+      return A.Error;
+  if (Aborted)
+    return AbortMsg;
+
+  // Assemble the CTA trace.
+  Out.Agents.clear();
+  for (AgentCtx &A : Agents)
+    Out.Agents.push_back(std::move(A.Trace));
+  Out.NumBarrierArrays = static_cast<int32_t>(BarrierArrays.size());
+  for (BarrierArray &Arr : BarrierArrays) {
+    Out.BarrierArrivals.push_back(Arr.Expected);
+    Out.BarrierSizes.push_back(static_cast<int64_t>(Arr.Bars.size()));
+  }
+  Out.SmemBytes = 0;
+  for (ExecSmem &Buf : SmemBuffers)
+    Out.SmemBytes += Buf.Bytes;
+  Out.HbEvents = HB->getNumEvents();
+  return "";
+}
+
+} // namespace
+
+std::string tawa::sim::bc::executeProgram(const CompiledProgram &P,
+                                          const RunOptions &Opts,
+                                          int64_t PidX, int64_t PidY,
+                                          CtaTrace &Out) {
+  BcExec Exec(P, Opts, PidX, PidY);
+  return Exec.run(Out);
+}

@@ -6,6 +6,17 @@
 // every tensor op computes real data (functional mode). Each agent emits a
 // timed action trace; Replay.h turns the traces into cycle counts.
 //
+// Two engines implement these semantics observably identically:
+//
+//   * the bytecode executor (default): the module is flattened once into a
+//     dense CompiledProgram (Bytecode.h) with slot-indexed operands and
+//     precomputed costs, then executed with switch dispatch — the hot path
+//     for benchmark sweeps, which compile once and execute many CTAs;
+//
+//   * the legacy tree-walking interpreter (RunOptions::UseLegacyInterp):
+//     walks the IR per op, resolving values through pointer-keyed maps.
+//     Kept for one release as the differential-testing oracle.
+//
 // Protocol checking is layered (per DESIGN.md):
 //   * per-slot state monitors (the Fig. 4 machine extended with multi-writer
 //     tuple slots and multi-reader cooperative groups);
@@ -21,6 +32,7 @@
 #include "sim/TensorData.h"
 #include "sim/Trace.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +41,10 @@ namespace tawa {
 class Module;
 
 namespace sim {
+
+namespace bc {
+struct CompiledProgram;
+}
 
 /// One kernel argument: a scalar or a tensor bound to a TMA descriptor /
 /// base pointer.
@@ -60,13 +76,24 @@ struct RunOptions {
   /// large benchmark shapes); scalars, control flow, traces and protocol
   /// monitors still run.
   bool Functional = true;
+  /// Route execution through the legacy tree-walking interpreter instead of
+  /// the bytecode executor (differential-testing oracle; scheduled for
+  /// removal after one release).
+  bool UseLegacyInterp = false;
 };
 
 class Interpreter {
 public:
   /// \p M must be fully lowered (warp-specialized path) or a plain tile
-  /// module (Triton baseline paths).
+  /// module (Triton baseline paths). The bytecode program is compiled
+  /// lazily on the first non-legacy runCta and reused for every CTA.
   Interpreter(Module &M, const GpuConfig &Config);
+
+  /// Reuses an already-compiled program (the Runner program cache) so
+  /// repeated sweeps skip flattening entirely. \p M must be the module
+  /// \p Prog was compiled from.
+  Interpreter(Module &M, const GpuConfig &Config,
+              std::shared_ptr<const bc::CompiledProgram> Prog);
 
   /// Interprets CTA (PidX, PidY) of the grid. Returns "" on success or a
   /// diagnostic (deadlock, protocol violation, unsupported op). The trace is
@@ -77,6 +104,7 @@ public:
 private:
   Module &M;
   const GpuConfig &Config;
+  std::shared_ptr<const bc::CompiledProgram> Prog;
 };
 
 } // namespace sim

@@ -1,0 +1,32 @@
+//===- LegacyInterp.h - Tree-walking interpreter (oracle) -------*- C++ -*-===//
+//
+// The original per-op tree-walking execution engine, preserved verbatim as
+// the differential-testing oracle for the bytecode executor. Reached through
+// RunOptions::UseLegacyInterp; scheduled for removal one release after the
+// bytecode engine ships. Internal to src/sim.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SIM_LEGACYINTERP_H
+#define TAWA_SIM_LEGACYINTERP_H
+
+#include "sim/Interpreter.h"
+
+#include <string>
+
+namespace tawa {
+
+class Module;
+
+namespace sim {
+
+/// Interprets CTA (PidX, PidY) by walking the IR of \p M. Same contract as
+/// Interpreter::runCta.
+std::string runCtaLegacy(Module &M, const GpuConfig &Config,
+                         const RunOptions &Opts, int64_t PidX, int64_t PidY,
+                         CtaTrace &Out);
+
+} // namespace sim
+} // namespace tawa
+
+#endif // TAWA_SIM_LEGACYINTERP_H

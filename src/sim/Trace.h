@@ -69,6 +69,9 @@ struct CtaTrace {
   int64_t SmemBytes = 0;
   /// Peak registers per thread across consumer groups (occupancy model).
   int64_t RegsPerThread = 0;
+  /// Total happens-before events recorded while executing this CTA (used by
+  /// the differential tests to check engine equivalence).
+  uint64_t HbEvents = 0;
 };
 
 } // namespace sim

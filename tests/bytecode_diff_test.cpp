@@ -1,0 +1,462 @@
+//===- bytecode_diff_test.cpp - Engine equivalence proofs ---------------------//
+//
+// Runs every kernel family (GEMM variants, MHA variants, hand-built aref
+// protocol rings) through BOTH execution engines — the legacy tree-walking
+// interpreter (RunOptions::UseLegacyInterp) and the bytecode executor — and
+// asserts bit-identical numerics, identical trace event sequences, identical
+// happens-before event counts, and identical diagnostics (including the
+// deadlock report). The legacy engine is the oracle; any drift here is a
+// bytecode compiler/executor bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Kernels.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+#include "sim/Interpreter.h"
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+namespace {
+
+void expectTensorsBitIdentical(const TensorData &A, const TensorData &B) {
+  ASSERT_EQ(A.getShape(), B.getShape());
+  ASSERT_EQ(std::memcmp(A.data(), B.data(),
+                        sizeof(float) * A.getNumElements()),
+            0)
+      << "engine outputs differ bitwise (maxAbsDiff=" << A.maxAbsDiff(B)
+      << ")";
+}
+
+void expectTracesIdentical(const CtaTrace &L, const CtaTrace &B) {
+  ASSERT_EQ(L.Agents.size(), B.Agents.size());
+  for (size_t G = 0; G < L.Agents.size(); ++G) {
+    const AgentTrace &La = L.Agents[G], &Ba = B.Agents[G];
+    EXPECT_EQ(La.Name, Ba.Name);
+    EXPECT_EQ(La.Replicas, Ba.Replicas);
+    ASSERT_EQ(La.Actions.size(), Ba.Actions.size())
+        << "agent " << La.Name << ": action counts differ";
+    for (size_t I = 0; I < La.Actions.size(); ++I) {
+      const Action &X = La.Actions[I], &Y = Ba.Actions[I];
+      ASSERT_EQ(static_cast<int>(X.Kind), static_cast<int>(Y.Kind))
+          << "agent " << La.Name << " action " << I;
+      EXPECT_EQ(X.Cycles, Y.Cycles) << "agent " << La.Name << " action " << I;
+      EXPECT_EQ(X.Bytes, Y.Bytes);
+      EXPECT_EQ(X.Bar, Y.Bar);
+      EXPECT_EQ(X.Idx, Y.Idx);
+      EXPECT_EQ(X.Parity, Y.Parity);
+      EXPECT_EQ(X.Pendings, Y.Pendings);
+      EXPECT_EQ(X.Lookahead, Y.Lookahead);
+    }
+  }
+  EXPECT_EQ(L.NumBarrierArrays, B.NumBarrierArrays);
+  EXPECT_EQ(L.BarrierArrivals, B.BarrierArrivals);
+  EXPECT_EQ(L.BarrierSizes, B.BarrierSizes);
+  EXPECT_EQ(L.SmemBytes, B.SmemBytes);
+  EXPECT_EQ(L.HbEvents, B.HbEvents) << "happens-before event counts differ";
+}
+
+/// Runs every CTA of a grid through one engine; returns the first error.
+std::string runGrid(Interpreter &Interp, const RunOptions &Opts,
+                    int64_t GridX, int64_t GridY,
+                    std::vector<CtaTrace> &Out) {
+  for (int64_t Y = 0; Y < GridY; ++Y)
+    for (int64_t X = 0; X < GridX; ++X) {
+      CtaTrace T;
+      if (std::string Err = Interp.runCta(Opts, X, Y, T); !Err.empty())
+        return formatString("cta (%lld,%lld): ", static_cast<long long>(X),
+                            static_cast<long long>(Y)) +
+               Err;
+      Out.push_back(std::move(T));
+    }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// GEMM differential harness
+//===----------------------------------------------------------------------===//
+
+struct GemmDiffCase {
+  GemmKernelConfig Kernel;
+  TawaOptions Options;
+  int64_t SwPipelineDepth = 0;
+  int64_t M = 256, N = 256, K = 128, Batch = 1;
+};
+
+void diffGemm(const GemmDiffCase &C) {
+  GpuConfig Cfg;
+  IrContext Ctx;
+  auto Mod = buildGemmModule(Ctx, C.Kernel);
+  PassManager PM;
+  buildTawaPipeline(PM, C.Options);
+  ASSERT_EQ(PM.run(*Mod), "");
+  if (!C.Options.EnableWarpSpecialization && C.SwPipelineDepth > 0)
+    runSoftwarePipeline(*Mod, C.SwPipelineDepth);
+
+  int64_t Tiles =
+      ceilDiv(C.M, C.Kernel.TileM) * ceilDiv(C.N, C.Kernel.TileN);
+  bool Persistent =
+      C.Options.Persistent && C.Options.EnableWarpSpecialization;
+  int64_t GridX =
+      Persistent ? std::min<int64_t>(Cfg.NumSms, Tiles) : Tiles;
+  int64_t GridY = C.Batch;
+
+  TensorRef Outputs[2];
+  std::vector<CtaTrace> Traces[2];
+  std::string Errors[2];
+  for (int Engine = 0; Engine < 2; ++Engine) {
+    std::vector<int64_t> AShape = {C.M, C.K};
+    std::vector<int64_t> BShape = {C.N, C.K};
+    std::vector<int64_t> CShape = {C.M, C.N};
+    if (C.Kernel.Batched) {
+      AShape.insert(AShape.begin(), C.Batch);
+      BShape.insert(BShape.begin(), C.Batch);
+      CShape.insert(CShape.begin(), C.Batch);
+    }
+    auto A = std::make_shared<TensorData>(AShape);
+    auto B = std::make_shared<TensorData>(BShape);
+    auto Cc = std::make_shared<TensorData>(CShape);
+    A->fillRandom(1, 1.0f);
+    B->fillRandom(2, 1.0f);
+
+    RunOptions Launch;
+    Launch.GridX = GridX;
+    Launch.GridY = GridY;
+    Launch.Functional = true;
+    Launch.UseLegacyInterp = Engine == 0;
+    Launch.Args = {RuntimeArg::tensor(A),  RuntimeArg::tensor(B),
+                   RuntimeArg::tensor(Cc), RuntimeArg::scalar(C.M),
+                   RuntimeArg::scalar(C.N), RuntimeArg::scalar(C.K)};
+
+    Interpreter Interp(*Mod, Cfg);
+    Errors[Engine] = runGrid(Interp, Launch, GridX, GridY, Traces[Engine]);
+    Outputs[Engine] = Cc;
+  }
+
+  EXPECT_EQ(Errors[0], Errors[1]);
+  ASSERT_EQ(Errors[0], "");
+  expectTensorsBitIdentical(*Outputs[0], *Outputs[1]);
+  ASSERT_EQ(Traces[0].size(), Traces[1].size());
+  for (size_t I = 0; I < Traces[0].size(); ++I)
+    expectTracesIdentical(Traces[0][I], Traces[1][I]);
+
+  // Timing-only mode (the benchmark hot path) must also agree exactly.
+  RunOptions Timing;
+  Timing.GridX = GridX;
+  Timing.GridY = GridY;
+  Timing.Functional = false;
+  Timing.Args = {RuntimeArg::tensor(nullptr), RuntimeArg::tensor(nullptr),
+                 RuntimeArg::tensor(nullptr), RuntimeArg::scalar(C.M),
+                 RuntimeArg::scalar(C.N),     RuntimeArg::scalar(C.K)};
+  CtaTrace Lt, Bt;
+  Timing.UseLegacyInterp = true;
+  Interpreter InterpL(*Mod, Cfg);
+  ASSERT_EQ(InterpL.runCta(Timing, 0, 0, Lt), "");
+  Timing.UseLegacyInterp = false;
+  Interpreter InterpB(*Mod, Cfg);
+  ASSERT_EQ(InterpB.runCta(Timing, 0, 0, Bt), "");
+  expectTracesIdentical(Lt, Bt);
+}
+
+TEST(BytecodeDiff, GemmWarpSpecialized) {
+  GemmDiffCase C;
+  C.Options.ArefDepth = 3;
+  C.Options.MmaPipelineDepth = 2;
+  diffGemm(C);
+}
+
+TEST(BytecodeDiff, GemmCooperativePersistent) {
+  GemmDiffCase C;
+  C.Options.ArefDepth = 2;
+  C.Options.NumConsumerGroups = 2;
+  C.Options.Persistent = true;
+  diffGemm(C);
+}
+
+TEST(BytecodeDiff, GemmFp8) {
+  GemmDiffCase C;
+  C.Kernel.InPrecision = Precision::FP8;
+  C.Options.ArefDepth = 2;
+  diffGemm(C);
+}
+
+TEST(BytecodeDiff, GemmBatched) {
+  GemmDiffCase C;
+  C.Kernel.Batched = true;
+  C.Batch = 2;
+  C.Options.ArefDepth = 2;
+  diffGemm(C);
+}
+
+TEST(BytecodeDiff, GemmTritonSoftwarePipelined) {
+  GemmDiffCase C;
+  C.Options.EnableWarpSpecialization = false;
+  C.SwPipelineDepth = 3;
+  diffGemm(C);
+}
+
+TEST(BytecodeDiff, GemmPlainTile) {
+  GemmDiffCase C;
+  C.Options.EnableWarpSpecialization = false;
+  diffGemm(C);
+}
+
+TEST(BytecodeDiff, GemmPointerEpilogue) {
+  GemmDiffCase C;
+  C.Kernel.PointerEpilogue = true;
+  C.Options.EnableWarpSpecialization = false;
+  C.SwPipelineDepth = 2;
+  diffGemm(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Attention differential harness
+//===----------------------------------------------------------------------===//
+
+struct MhaDiffCase {
+  AttentionKernelConfig Kernel;
+  TawaOptions Options;
+  int64_t SeqLen = 256, Batch = 1, Heads = 2;
+};
+
+void diffAttention(const MhaDiffCase &C) {
+  GpuConfig Cfg;
+  IrContext Ctx;
+  auto Mod = buildAttentionModule(Ctx, C.Kernel);
+  PassManager PM;
+  buildTawaPipeline(PM, C.Options);
+  ASSERT_EQ(PM.run(*Mod), "");
+
+  int64_t QTiles = ceilDiv(C.SeqLen, C.Kernel.TileQ);
+  int64_t BH = C.Batch * C.Heads;
+
+  TensorRef Outputs[2];
+  std::vector<CtaTrace> Traces[2];
+  std::string Errors[2];
+  for (int Engine = 0; Engine < 2; ++Engine) {
+    std::vector<int64_t> Shape = {BH, C.SeqLen, C.Kernel.HeadDim};
+    auto Q = std::make_shared<TensorData>(Shape);
+    auto K = std::make_shared<TensorData>(Shape);
+    auto V = std::make_shared<TensorData>(Shape);
+    auto O = std::make_shared<TensorData>(Shape);
+    Q->fillRandom(11, 1.0f);
+    K->fillRandom(12, 1.0f);
+    V->fillRandom(13, 1.0f);
+
+    RunOptions Launch;
+    Launch.GridX = QTiles;
+    Launch.GridY = BH;
+    Launch.Functional = true;
+    Launch.UseLegacyInterp = Engine == 0;
+    Launch.Args = {RuntimeArg::tensor(Q), RuntimeArg::tensor(K),
+                   RuntimeArg::tensor(V), RuntimeArg::tensor(O),
+                   RuntimeArg::scalar(C.SeqLen)};
+
+    Interpreter Interp(*Mod, Cfg);
+    Errors[Engine] = runGrid(Interp, Launch, QTiles, BH, Traces[Engine]);
+    Outputs[Engine] = O;
+  }
+
+  EXPECT_EQ(Errors[0], Errors[1]);
+  ASSERT_EQ(Errors[0], "");
+  expectTensorsBitIdentical(*Outputs[0], *Outputs[1]);
+  ASSERT_EQ(Traces[0].size(), Traces[1].size());
+  for (size_t I = 0; I < Traces[0].size(); ++I)
+    expectTracesIdentical(Traces[0][I], Traces[1][I]);
+}
+
+TEST(BytecodeDiff, AttentionWarpSpecialized) {
+  MhaDiffCase C;
+  C.Options.ArefDepth = 2;
+  diffAttention(C);
+}
+
+TEST(BytecodeDiff, AttentionCausalCoarsePipelined) {
+  MhaDiffCase C;
+  C.Kernel.Causal = true;
+  C.Options.ArefDepth = 2;
+  C.Options.CoarsePipeline = true;
+  diffAttention(C);
+}
+
+TEST(BytecodeDiff, AttentionCooperative) {
+  MhaDiffCase C;
+  C.Options.ArefDepth = 2;
+  C.Options.NumConsumerGroups = 2;
+  diffAttention(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-built aref protocol ring (the protocol-example family)
+//===----------------------------------------------------------------------===//
+
+/// Builds the producer/consumer mbarrier ring of the protocol tests, with an
+/// optional missing-release bug to compare deadlock diagnostics.
+std::unique_ptr<Module> buildProtocolRing(IrContext &Ctx, int64_t Depth,
+                                          int64_t Iters,
+                                          bool SkipRelease) {
+  auto M = std::make_unique<Module>(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M->getBody());
+  FuncOp *F = B.createFunc("k", {Ctx.getPtrType(), Ctx.getPtrType()});
+  Block &Body = F->getBody();
+  B.setInsertionPointToEnd(&Body);
+  Value *InDesc = Body.getArgument(0);
+  Value *OutDesc = Body.getArgument(1);
+  auto *TileTy = Ctx.getTensorType({16, 16}, Ctx.getF16Type());
+  int64_t Bytes = TileTy->getNumBytes();
+
+  Value *Smem = B.createSmemAlloc(Depth * Bytes, "ring");
+  Operation *SmemOp = cast<OpResult>(Smem)->getOwner();
+  SmemOp->setAttr("slot_bytes", Bytes);
+  SmemOp->setAttr("channel", static_cast<int64_t>(0));
+  SmemOp->setAttr("num_slots", Depth);
+  Value *Full = B.createMBarrierAlloc(Depth, "full");
+  Operation *FullOp = cast<OpResult>(Full)->getOwner();
+  FullOp->setAttr("channel", static_cast<int64_t>(0));
+  FullOp->setAttr("kind", std::string("full"));
+  Value *Empty = B.createMBarrierAlloc(Depth, "empty");
+  Operation *EmptyOp = cast<OpResult>(Empty)->getOwner();
+  EmptyOp->setAttr("channel", static_cast<int64_t>(0));
+  EmptyOp->setAttr("kind", std::string("empty"));
+
+  Value *Zero = B.createConstantInt(0);
+  Value *One = B.createConstantInt(1);
+  Value *Two = B.createConstantInt(2);
+  Value *DepthC = B.createConstantInt(Depth);
+  Value *N = B.createConstantInt(Iters);
+
+  WarpGroupOp *WG0 = B.createWarpGroup(0, "producer");
+  {
+    OpBuilder P(Ctx);
+    P.setInsertionPointToEnd(&WG0->getBody());
+    ForOp *Loop = P.createFor(Zero, N, One, {});
+    OpBuilder L(Ctx);
+    L.setInsertionPointToEnd(&Loop->getBody());
+    Value *K = Loop->getInductionVar();
+    Value *Slot = L.createRem(K, DepthC);
+    Value *Wrap = L.createDiv(K, DepthC);
+    Value *Parity = L.createRem(L.createAdd(Wrap, One), Two);
+    L.createMBarrierWait(Empty, Slot, Parity);
+    L.createMBarrierExpectTx(Full, Slot, Bytes);
+    Operation *Copy = L.createTmaLoadAsync(InDesc, {Slot, Slot}, Smem, Full,
+                                           Slot, Bytes, 0);
+    Copy->setAttr("shape", std::vector<int64_t>{16, 16});
+    L.createYield({});
+  }
+
+  WarpGroupOp *WG1 = B.createWarpGroup(1, "consumer");
+  {
+    OpBuilder Cb(Ctx);
+    Cb.setInsertionPointToEnd(&WG1->getBody());
+    ForOp *Loop = Cb.createFor(Zero, N, One, {});
+    OpBuilder L(Ctx);
+    L.setInsertionPointToEnd(&Loop->getBody());
+    Value *K = Loop->getInductionVar();
+    Value *Slot = L.createRem(K, DepthC);
+    Value *Wrap = L.createDiv(K, DepthC);
+    Value *Parity = L.createRem(Wrap, Two);
+    L.createMBarrierWait(Full, Slot, Parity);
+    Value *Tile = L.createSmemRead(Smem, Slot, TileTy, 0);
+    L.createTmaStore(OutDesc, {Slot, Slot}, Tile);
+    if (!SkipRelease)
+      L.createMBarrierArrive(Empty, Slot);
+    L.createYield({});
+  }
+  B.createReturn();
+  return M;
+}
+
+TEST(BytecodeDiff, ArefProtocolRing) {
+  GpuConfig Cfg;
+  IrContext Ctx;
+  auto Mod = buildProtocolRing(Ctx, /*Depth=*/2, /*Iters=*/6,
+                               /*SkipRelease=*/false);
+  ASSERT_EQ(verify(*Mod), "");
+
+  CtaTrace Traces[2];
+  TensorRef Outputs[2];
+  std::string Errors[2];
+  for (int Engine = 0; Engine < 2; ++Engine) {
+    auto In = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
+    auto Out = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
+    In->fillRandom(3);
+    RunOptions Opts;
+    Opts.UseLegacyInterp = Engine == 0;
+    Opts.Args = {RuntimeArg::tensor(In), RuntimeArg::tensor(Out)};
+    Interpreter Interp(*Mod, Cfg);
+    Errors[Engine] = Interp.runCta(Opts, 0, 0, Traces[Engine]);
+    Outputs[Engine] = Out;
+  }
+  EXPECT_EQ(Errors[0], "");
+  EXPECT_EQ(Errors[1], "");
+  expectTensorsBitIdentical(*Outputs[0], *Outputs[1]);
+  expectTracesIdentical(Traces[0], Traces[1]);
+}
+
+TEST(BytecodeDiff, NestedWarpGroupAtAgentTopLevelIgnored) {
+  // The legacy engine's interpretBlock silently skips warp_group ops at the
+  // top level of an agent body (they are forked only from function level);
+  // the bytecode compiler must do the same rather than reject them.
+  GpuConfig Cfg;
+  IrContext Ctx;
+  Module Mod(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Mod.getBody());
+  FuncOp *F = B.createFunc("k", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  WarpGroupOp *WG = B.createWarpGroup(0, "producer");
+  {
+    OpBuilder Inner(Ctx);
+    Inner.setInsertionPointToEnd(&WG->getBody());
+    Inner.createConstantInt(7);
+    Inner.createWarpGroup(1, "consumer"); // Nested: both engines ignore it.
+  }
+  B.createReturn();
+
+  CtaTrace Traces[2];
+  std::string Errors[2];
+  for (int Engine = 0; Engine < 2; ++Engine) {
+    RunOptions Opts;
+    Opts.UseLegacyInterp = Engine == 0;
+    Interpreter Interp(Mod, Cfg);
+    Errors[Engine] = Interp.runCta(Opts, 0, 0, Traces[Engine]);
+  }
+  EXPECT_EQ(Errors[0], "");
+  EXPECT_EQ(Errors[1], "");
+  expectTracesIdentical(Traces[0], Traces[1]);
+}
+
+TEST(BytecodeDiff, DeadlockDiagnosticsMatch) {
+  // The consumer never releases: both engines must converge to the same
+  // blocked fixpoint and render the identical deadlock report.
+  GpuConfig Cfg;
+  IrContext Ctx;
+  auto Mod = buildProtocolRing(Ctx, /*Depth=*/2, /*Iters=*/6,
+                               /*SkipRelease=*/true);
+  ASSERT_EQ(verify(*Mod), "");
+
+  std::string Errors[2];
+  for (int Engine = 0; Engine < 2; ++Engine) {
+    auto In = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
+    auto Out = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
+    In->fillRandom(3);
+    RunOptions Opts;
+    Opts.UseLegacyInterp = Engine == 0;
+    Opts.Args = {RuntimeArg::tensor(In), RuntimeArg::tensor(Out)};
+    Interpreter Interp(*Mod, Cfg);
+    CtaTrace T;
+    Errors[Engine] = Interp.runCta(Opts, 0, 0, T);
+  }
+  EXPECT_NE(Errors[0].find("deadlock"), std::string::npos) << Errors[0];
+  EXPECT_EQ(Errors[0], Errors[1]);
+}
+
+} // namespace
