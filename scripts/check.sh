@@ -5,13 +5,20 @@
 #
 # Runs: configure (with -DTAWA_WERROR=ON so library warnings fail the
 # build), build, ctest, and the execution-engine microbenchmark in smoke
-# mode (which enforces the >=5x bytecode-vs-legacy speedup bar and
-# writes $BUILD_DIR/BENCH_interp.json).
+# mode (which enforces the speedup bars and writes
+# $BUILD_DIR/BENCH_interp.json).
+#
+# Then builds the whole tree a second time with ThreadSanitizer
+# (-DTAWA_TSAN=ON -> -fsanitize=thread) into $BUILD_DIR-tsan and runs the
+# test suite under it, so data races in the CTA worker pool / per-worker
+# arenas fail the check. Set TAWA_SKIP_TSAN=1 to skip that leg (e.g. on
+# hosts without TSan runtime support).
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
+TSAN_DIR="${BUILD_DIR}-tsan"
 
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DTAWA_WERROR=ON >/dev/null
@@ -20,9 +27,25 @@ echo "== build =="
 cmake --build "$BUILD_DIR" -j
 
 echo "== ctest =="
-(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+(cd "$BUILD_DIR" && ctest --output-on-failure --no-tests=error -j "$(nproc)")
 
 echo "== micro_interp (smoke) =="
 (cd "$BUILD_DIR" && ./micro_interp --smoke)
+
+if [[ "${TAWA_SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tsan configure =="
+  cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DTAWA_WERROR=ON -DTAWA_TSAN=ON \
+    >/dev/null
+  echo "== tsan build =="
+  cmake --build "$TSAN_DIR" -j
+  echo "== tsan ctest =="
+  # TSAN_OPTIONS makes any reported race a hard failure; --no-tests=error
+  # keeps this gate from passing vacuously if GTest went missing.
+  (cd "$TSAN_DIR" &&
+    TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure \
+      --no-tests=error -j "$(nproc)")
+else
+  echo "== tsan leg skipped (TAWA_SKIP_TSAN=1) =="
+fi
 
 echo "check.sh: OK"

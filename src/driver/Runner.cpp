@@ -310,26 +310,19 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
                  RuntimeArg::scalar(W.N),
                  RuntimeArg::scalar(W.K)};
   Launch.UseLegacyInterp = UseLegacyInterp;
+  Launch.NumWorkers = NumWorkers;
 
   Interpreter Interp(M, Config, Cached->Prog);
 
-  // Functional pass over every CTA (validates numerics); CTA 0's trace also
-  // feeds the timing model below.
+  // Functional pass over every CTA (validates numerics), fanned out across
+  // the worker pool — CTAs are independent and the merge is deterministic.
+  // CTA (0,0)'s trace also feeds the timing model below.
   CtaTrace Sample;
   if (Functional) {
-    for (int64_t Z = 0; Z < GridY; ++Z)
-      for (int64_t P = 0; P < GridX; ++P) {
-        CtaTrace T;
-        if (std::string Err = Interp.runCta(Launch, P, Z, T); !Err.empty()) {
-          R.Error = formatString("cta (%lld,%lld): ",
-                                 static_cast<long long>(P),
-                                 static_cast<long long>(Z)) +
-                    Err;
-          return R;
-        }
-        if (P == 0 && Z == 0)
-          Sample = std::move(T);
-      }
+    if (std::string Err = Interp.runGrid(Launch, &Sample); !Err.empty()) {
+      R.Error = Err;
+      return R;
+    }
     // Validate against the double-precision reference.
     if (!Kernel.Batched) {
       TensorData Ref = referenceGemm(*A, *B);
@@ -490,21 +483,15 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
                  RuntimeArg::tensor(V), RuntimeArg::tensor(O),
                  RuntimeArg::scalar(W.SeqLen)};
   Launch.UseLegacyInterp = UseLegacyInterp;
+  Launch.NumWorkers = NumWorkers;
 
   Interpreter Interp(M, Config, Cached->Prog);
 
   if (Functional) {
-    for (int64_t Y = 0; Y < BH; ++Y)
-      for (int64_t X = 0; X < QTiles; ++X) {
-        CtaTrace T;
-        if (std::string Err = Interp.runCta(Launch, X, Y, T); !Err.empty()) {
-          R.Error = formatString("cta (%lld,%lld): ",
-                                 static_cast<long long>(X),
-                                 static_cast<long long>(Y)) +
-                    Err;
-          return R;
-        }
-      }
+    if (std::string Err = Interp.runGrid(Launch); !Err.empty()) {
+      R.Error = Err;
+      return R;
+    }
     double Worst = 0;
     for (int64_t Y = 0; Y < BH; ++Y) {
       TensorData Qy = slice2d(*Q, Y, W.SeqLen, W.HeadDim);

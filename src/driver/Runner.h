@@ -46,6 +46,13 @@ public:
   /// both engines are observably identical).
   bool UseLegacyInterp = false;
 
+  /// Worker threads for the functional all-CTA validation loops: 0 = one
+  /// per hardware thread (default), 1 = the historical serial loop.
+  /// Results are bit-identical at any worker count (the parallel runner
+  /// merges by CTA index; see docs/threading-and-memory.md). Timing-model
+  /// sampling is unaffected.
+  int64_t NumWorkers = 0;
+
   /// Program-cache statistics: benchmark sweeps that vary only runtime
   /// dimensions (fig8's K sweep, fig11's hyperparameter grid) compile once
   /// and execute many times.

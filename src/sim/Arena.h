@@ -1,0 +1,102 @@
+//===- Arena.h - Per-CTA bump arena for tile payloads -----------*- C++ -*-===//
+//
+// Functional execution produces a fresh tile tensor per executed op (loads,
+// elementwise math, WGMMA accumulators); with heap-backed payloads the
+// functional hot path is allocation-bound, not dispatch-bound. TileArena is
+// the fix: a bump allocator over a few large chunks that hands out float
+// payloads with two pointer adjustments and reclaims everything at once.
+//
+// Lifetime contract (see docs/threading-and-memory.md):
+//   * one arena per worker thread — the arena does no locking;
+//   * reset() between CTAs: every payload allocated during CTA k is dead
+//     before CTA k+1 starts. Nothing allocated from the arena may escape
+//     the executor (host tensors, traces and results are always copied);
+//   * reset() rewinds without releasing, so a worker's chunks stay warm for
+//     the whole grid and the steady state performs zero allocator calls.
+//
+// Payloads are returned UNINITIALIZED (unlike heap TensorData, which
+// zero-fills): every executor production site either overwrites the whole
+// tile or fills it explicitly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SIM_ARENA_H
+#define TAWA_SIM_ARENA_H
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tawa {
+namespace sim {
+
+class TileArena {
+public:
+  TileArena() = default;
+  TileArena(const TileArena &) = delete;
+  TileArena &operator=(const TileArena &) = delete;
+
+  /// Returns an uninitialized payload of \p NumFloats floats. Never fails
+  /// (oversized requests get a dedicated chunk). The pointer is valid until
+  /// the next reset().
+  float *alloc(int64_t NumFloats) {
+    if (NumFloats <= 0)
+      NumFloats = 1; // Rank-0 tensors still get a distinct payload.
+    while (Cur < Chunks.size() && Chunks[Cur].Cap - Used < NumFloats) {
+      ++Cur;
+      Used = 0;
+    }
+    if (Cur == Chunks.size()) {
+      int64_t Cap = std::max(MinChunkFloats, NumFloats);
+      Chunks.push_back({std::unique_ptr<float[]>(new float[Cap]), Cap});
+      Used = 0;
+    }
+    float *P = Chunks[Cur].Mem.get() + Used;
+    Used += NumFloats;
+    return P;
+  }
+
+  /// Rewinds every chunk without releasing memory. Invalidates all payloads
+  /// handed out since the previous reset.
+  void reset() {
+    Cur = 0;
+    Used = 0;
+  }
+
+  /// Total bytes reserved across chunks (high-water mark of a CTA).
+  size_t getBytesReserved() const {
+    size_t N = 0;
+    for (const Chunk &C : Chunks)
+      N += static_cast<size_t>(C.Cap) * sizeof(float);
+    return N;
+  }
+
+  /// Bytes handed out since the last reset.
+  size_t getBytesInUse() const {
+    size_t N = 0;
+    for (size_t I = 0; I < Cur && I < Chunks.size(); ++I)
+      N += static_cast<size_t>(Chunks[I].Cap) * sizeof(float);
+    return N + static_cast<size_t>(Used) * sizeof(float);
+  }
+
+  size_t getNumChunks() const { return Chunks.size(); }
+
+private:
+  struct Chunk {
+    std::unique_ptr<float[]> Mem;
+    int64_t Cap = 0;
+  };
+
+  /// 4 MiB chunks: a functional CTA's tile traffic fits in one or two.
+  static constexpr int64_t MinChunkFloats = 1 << 20;
+
+  std::vector<Chunk> Chunks;
+  size_t Cur = 0;    ///< Active chunk.
+  int64_t Used = 0;  ///< Floats consumed in the active chunk.
+};
+
+} // namespace sim
+} // namespace tawa
+
+#endif // TAWA_SIM_ARENA_H

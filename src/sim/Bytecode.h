@@ -38,6 +38,7 @@ class Type;
 namespace sim {
 
 struct RunOptions;
+class TileArena;
 
 namespace bc {
 
@@ -177,8 +178,16 @@ std::shared_ptr<const CompiledProgram> compileModule(Module &M,
 /// Executes CTA (PidX, PidY). Returns "" on success or a diagnostic; the
 /// trace is valid only on success. Mirrors the legacy engine observably:
 /// identical numerics, traces, violations and deadlock reports.
+///
+/// \p Arena (optional) backs every tile payload this CTA produces and is
+/// reset on entry, so a caller-owned arena reuses its chunks across CTAs
+/// (the per-worker pattern of Interpreter::runGrid). Each concurrent
+/// executeProgram call needs its own arena — the arena does no locking.
+/// When null, a run-local arena is used (correct, but pays chunk setup per
+/// CTA).
 std::string executeProgram(const CompiledProgram &P, const RunOptions &Opts,
-                           int64_t PidX, int64_t PidY, CtaTrace &Out);
+                           int64_t PidX, int64_t PidY, CtaTrace &Out,
+                           TileArena *Arena = nullptr);
 
 } // namespace bc
 } // namespace sim

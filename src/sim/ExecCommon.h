@@ -131,19 +131,38 @@ inline TensorRef makeTensorForType(TensorType *Ty) {
   return std::make_shared<TensorData>(Ty->getShape());
 }
 
+/// Arena-backed tile for the bytecode executor. UNINITIALIZED — the caller
+/// must overwrite or fill every element (Arena.h's contract).
+inline TensorRef makeTileForType(TensorType *Ty, TileArena &Arena) {
+  return std::make_shared<TensorData>(Ty->getShape(), Arena);
+}
+
+/// Copies the (possibly higher-rank) host window for a tile into \p Tile,
+/// left-padding the window shape with 1s to the host rank. \p Tile must
+/// already have the tile shape; padding does not change the row-major
+/// element order, so no reshape copy is needed.
+inline void loadWindowInto(const TensorData &Host,
+                           const std::vector<int64_t> &Offsets,
+                           const std::vector<int64_t> &TileShape,
+                           TensorData &Tile) {
+  if (TileShape.size() == Host.getShape().size()) {
+    Host.extractWindowInto(Offsets, TileShape, Tile.data());
+    return;
+  }
+  std::vector<int64_t> Padded = TileShape;
+  while (Padded.size() < Host.getShape().size())
+    Padded.insert(Padded.begin(), 1);
+  Host.extractWindowInto(Offsets, Padded, Tile.data());
+}
+
 /// Extracts a tile from a host tensor whose rank may exceed the tile rank
 /// (batched layouts): the window shape is left-padded with 1s to the host
 /// rank, and the result is reshaped to the tile shape.
 inline TensorData loadWindow(const TensorData &Host,
                              const std::vector<int64_t> &Offsets,
                              const std::vector<int64_t> &TileShape) {
-  std::vector<int64_t> Padded = TileShape;
-  while (Padded.size() < Host.getShape().size())
-    Padded.insert(Padded.begin(), 1);
-  TensorData W = Host.extractWindow(Offsets, Padded);
   TensorData Out(TileShape);
-  for (int64_t I = 0, E = Out.getNumElements(); I != E; ++I)
-    Out.at(I) = W.at(I);
+  loadWindowInto(Host, Offsets, TileShape, Out);
   return Out;
 }
 
@@ -160,10 +179,15 @@ inline void storeWindow(TensorData &Host, const std::vector<int64_t> &Offsets,
 }
 
 inline TensorRef applyBinary(const TensorRef &A, const TensorRef &B,
-                             float (*Fn)(float, float)) {
-  auto Out = std::make_shared<TensorData>(A->getShape());
+                             float (*Fn)(float, float),
+                             TileArena *Arena = nullptr) {
+  auto Out = Arena
+                 ? std::make_shared<TensorData>(A->getShape(), *Arena)
+                 : std::make_shared<TensorData>(A->getShape());
+  const float *Ap = A->data(), *Bp = B->data();
+  float *Op = Out->data();
   for (int64_t I = 0, E = A->getNumElements(); I != E; ++I)
-    Out->at(I) = Fn(A->at(I), B->at(I));
+    Op[I] = Fn(Ap[I], Bp[I]);
   return Out;
 }
 
@@ -184,22 +208,55 @@ inline void roundTensorTo(TensorData &T, Type *ElemTy) {
 }
 
 /// C = A (MxK) x B, acc += ; B is (KxN) or, when TransB, (NxK).
+///
+/// Saxpy (rank-1 update) formulation: for every output row the P-loop is
+/// outermost and the J-loop innermost over contiguous memory. Each output
+/// element (I, J) still accumulates its products in ascending-P order — the
+/// exact addition sequence of the naive triple loop — so results are
+/// bit-identical to the historical implementation (the bytecode diff test
+/// enforces this against the legacy engine). The J-lanes are independent,
+/// which lets the compiler vectorize without any FP reassociation; the
+/// single-chain form was latency-bound on the FP add dependency.
+///
+/// \p Arena (optional) supplies the result payload and the B-transpose
+/// scratch; the legacy engine passes nullptr and uses the heap.
 inline TensorRef matmulAcc(const TensorRef &A, const TensorRef &B,
-                           const TensorRef &Acc, bool TransB) {
+                           const TensorRef &Acc, bool TransB,
+                           TileArena *Arena = nullptr) {
   int64_t MDim = A->getDim(0), KDim = A->getDim(1);
   int64_t NDim = TransB ? B->getDim(0) : B->getDim(1);
-  auto Out = std::make_shared<TensorData>(*Acc);
-  for (int64_t I = 0; I < MDim; ++I)
-    for (int64_t J = 0; J < NDim; ++J) {
-      float Sum = Out->at(I, J);
-      if (TransB)
-        for (int64_t P = 0; P < KDim; ++P)
-          Sum += A->at(I, P) * B->at(J, P);
-      else
-        for (int64_t P = 0; P < KDim; ++P)
-          Sum += A->at(I, P) * B->at(P, J);
-      Out->at(I, J) = Sum;
+  TensorRef Out = Arena ? std::make_shared<TensorData>(*Acc, *Arena)
+                        : std::make_shared<TensorData>(*Acc);
+  const float *Ap = A->data(), *Bp = B->data();
+  float *Op = Out->data();
+
+  // Present B as (K x N) row-major so the inner J-loop is contiguous.
+  const float *Brows = Bp;
+  std::vector<float> Scratch;
+  if (TransB) {
+    float *Bt;
+    if (Arena) {
+      Bt = Arena->alloc(KDim * NDim);
+    } else {
+      Scratch.resize(static_cast<size_t>(KDim) * NDim);
+      Bt = Scratch.data();
     }
+    for (int64_t J = 0; J < NDim; ++J)
+      for (int64_t P = 0; P < KDim; ++P)
+        Bt[P * NDim + J] = Bp[J * KDim + P];
+    Brows = Bt;
+  }
+
+  for (int64_t I = 0; I < MDim; ++I) {
+    const float *Ar = Ap + I * KDim;
+    float *Orow = Op + I * NDim;
+    for (int64_t P = 0; P < KDim; ++P) {
+      float Av = Ar[P];
+      const float *Br = Brows + P * NDim;
+      for (int64_t J = 0; J < NDim; ++J)
+        Orow[J] += Av * Br[J];
+    }
+  }
   return Out;
 }
 

@@ -38,6 +38,9 @@ using namespace tawa::sim::exec;
 namespace {
 
 /// A shared-memory staging buffer with flat (slot, field) tensor storage.
+/// Tiles are stored by reference: a TMA deposit installs a fresh tensor, so
+/// a consumer's SmemRead shares the deposited tile without copying (ops
+/// never mutate their operands). Null entries are uninitialized slots.
 struct ExecSmem {
   int64_t Channel = -1;
   int64_t SlotBytes = 0;
@@ -46,8 +49,7 @@ struct ExecSmem {
   int Readers = 1;
   int64_t NumFields = 1;
   std::vector<SlotMonitor> Monitors;
-  std::vector<TensorData> Store;   ///< NumSlots * NumFields, dense.
-  std::vector<uint8_t> Present;    ///< Initialization bits for Store.
+  std::vector<TensorRef> Store;    ///< NumSlots * NumFields, dense.
 };
 
 /// The tagged replacement for the legacy std::function wait conditions: an
@@ -73,8 +75,9 @@ struct AgentRun {
 class BcExec {
 public:
   BcExec(const CompiledProgram &P, const RunOptions &Opts, int64_t PidX,
-         int64_t PidY)
+         int64_t PidY, TileArena *ExternalArena)
       : P(P), Config(P.Config), Opts(Opts), PidX(PidX), PidY(PidY),
+        Arena(ExternalArena ? ExternalArena : &LocalArena),
         TraceEnv(std::getenv("TAWA_TRACE") != nullptr) {}
 
   std::string run(CtaTrace &Out);
@@ -104,10 +107,20 @@ private:
 
   void recordViolation(std::string S) { Violations.push_back(std::move(S)); }
 
+  /// Fresh arena-backed tile, uninitialized (every caller overwrites or
+  /// fills it — Arena.h's contract).
+  TensorRef makeTile(TensorType *Ty) { return makeTileForType(Ty, *Arena); }
+  /// Arena-backed deep copy (the clone-and-mutate ops: Exp2, Cast).
+  TensorRef cloneTile(const TensorData &T) {
+    return std::make_shared<TensorData>(T, *Arena);
+  }
+
   const CompiledProgram &P;
   const GpuConfig &Config;
   const RunOptions &Opts;
   int64_t PidX, PidY;
+  TileArena *Arena;      ///< Tile payload arena; reset at the start of run().
+  TileArena LocalArena;  ///< Fallback when the caller supplies none.
   bool TraceEnv;
   bool Functional = true;
 
@@ -324,7 +337,8 @@ void BcExec::step(AgentRun &Run) {
         Run.Pc = Pc;
         return;
       }
-      S[I.Result] = RValue::makeTensor(applyBinary(L.T, R.T, Fn), L.H);
+      S[I.Result] =
+          RValue::makeTensor(applyBinary(L.T, R.T, Fn, Arena), L.H);
       break;
     }
 
@@ -335,7 +349,7 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         break;
       }
-      auto T = makeTensorForType(I.ResultTy);
+      auto T = makeTile(I.ResultTy);
       T->fill(static_cast<float>(I.FImm));
       S[I.Result] = RValue::makeTensor(std::move(T));
       break;
@@ -346,7 +360,7 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         break;
       }
-      auto T = makeTensorForType(I.ResultTy);
+      auto T = makeTile(I.ResultTy);
       for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
         T->at(K) = static_cast<float>(I.Imm0 + K);
       S[I.Result] = RValue::makeTensor(std::move(T));
@@ -359,7 +373,7 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr, In.H);
         break;
       }
-      auto T = makeTensorForType(I.ResultTy);
+      auto T = makeTile(I.ResultTy);
       if (In.K == RValue::Kind::Handle) {
         T->fill(0.0f); // Pointer splat: offsets start at zero.
         S[I.Result] = RValue::makeTensor(std::move(T), In.H);
@@ -377,7 +391,7 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr, In.H);
         break;
       }
-      auto T = makeTensorForType(I.ResultTy);
+      auto T = makeTile(I.ResultTy);
       const auto &OutShape = I.ResultTy->getShape();
       const auto &Packed = P.IntVecs[I.Aux];
       size_t Rank = OutShape.size();
@@ -412,7 +426,7 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         break;
       }
-      auto T = makeTensorForType(I.ResultTy);
+      auto T = makeTile(I.ResultTy);
       int64_t R = In.T->getDim(0), C = In.T->getDim(1);
       for (int64_t Y = 0; Y < R; ++Y)
         for (int64_t X = 0; X < C; ++X)
@@ -472,7 +486,7 @@ void BcExec::step(AgentRun &Run) {
       default:
         break;
       }
-      S[I.Result] = RValue::makeTensor(applyBinary(L.T, R.T, Fn));
+      S[I.Result] = RValue::makeTensor(applyBinary(L.T, R.T, Fn, Arena));
       break;
     }
     case BcOp::Exp2: {
@@ -482,7 +496,7 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         break;
       }
-      auto T = std::make_shared<TensorData>(*In.T);
+      auto T = cloneTile(*In.T);
       for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
         T->at(K) = std::exp2(T->at(K));
       S[I.Result] = RValue::makeTensor(std::move(T));
@@ -495,7 +509,7 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         break;
       }
-      auto T = makeTensorForType(I.ResultTy);
+      auto T = makeTile(I.ResultTy);
       for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
         T->at(K) = C.T->at(K) != 0.0f ? X.T->at(K) : Y.T->at(K);
       S[I.Result] = RValue::makeTensor(std::move(T));
@@ -510,7 +524,7 @@ void BcExec::step(AgentRun &Run) {
       }
       bool IsMax = I.Imm1 != 0;
       int64_t R = In.T->getDim(0), Cn = In.T->getDim(1);
-      auto T = makeTensorForType(I.ResultTy);
+      auto T = makeTile(I.ResultTy);
       if (I.Imm0 == 1) {
         for (int64_t Y = 0; Y < R; ++Y) {
           float Acc = IsMax ? -std::numeric_limits<float>::infinity() : 0.0f;
@@ -538,7 +552,7 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         break;
       }
-      auto T = std::make_shared<TensorData>(*In.T);
+      auto T = cloneTile(*In.T);
       roundTensorTo(*T, I.ElemTy);
       S[I.Result] = RValue::makeTensor(std::move(T));
       break;
@@ -551,7 +565,8 @@ void BcExec::step(AgentRun &Run) {
         break;
       }
       S[I.Result] = RValue::makeTensor(
-          applyBinary(Ptr.T, Off.T, +[](float X, float Y) { return X + Y; }),
+          applyBinary(Ptr.T, Off.T,
+                      +[](float X, float Y) { return X + Y; }, Arena),
           Ptr.H);
       break;
     }
@@ -574,8 +589,8 @@ void BcExec::step(AgentRun &Run) {
       std::vector<int64_t> Offsets;
       for (int64_t K = 1; K < I.NumOps; ++K)
         Offsets.push_back(asInt(V(K)));
-      auto T = std::make_shared<TensorData>(
-          loadWindow(*Arg.Data, Offsets, I.ResultTy->getShape()));
+      auto T = makeTile(I.ResultTy);
+      loadWindowInto(*Arg.Data, Offsets, I.ResultTy->getShape(), *T);
       S[I.Result] = RValue::makeTensor(std::move(T));
       break;
     }
@@ -592,7 +607,7 @@ void BcExec::step(AgentRun &Run) {
       std::vector<int64_t> Offsets;
       for (int64_t K = 1; K < I.NumOps - 1; ++K)
         Offsets.push_back(asInt(V(K)));
-      TensorData Rounded = *Val.T;
+      TensorData Rounded(*Val.T, *Arena);
       roundTensorTo(Rounded, I.ElemTy);
       storeWindow(*Opts.Args[Desc.H].Data, Offsets, Rounded);
       break;
@@ -609,7 +624,7 @@ void BcExec::step(AgentRun &Run) {
         break;
       assert(Ptr.H >= 0 && "store through an unbound pointer tensor");
       TensorData &OutT = *Opts.Args[Ptr.H].Data;
-      TensorData Rounded = *Val.T;
+      TensorData Rounded(*Val.T, *Arena);
       roundTensorTo(Rounded, I.ElemTy);
       for (int64_t K = 0, E = Rounded.getNumElements(); K != E; ++K) {
         // Linear offsets are carried as f32; exact for the functional test
@@ -637,8 +652,8 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         break;
       }
-      S[I.Result] =
-          RValue::makeTensor(matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0));
+      S[I.Result] = RValue::makeTensor(
+          matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0, Arena));
       break;
     }
 
@@ -653,10 +668,8 @@ void BcExec::step(AgentRun &Run) {
       Buf.NumFields =
           std::max<int64_t>(1, static_cast<int64_t>(P.SlotOffsets.size()));
       Buf.Monitors.assign(I.Imm3, SlotMonitor());
-      if (Functional) {
-        Buf.Store.resize(I.Imm3 * Buf.NumFields);
-        Buf.Present.assign(I.Imm3 * Buf.NumFields, 0);
-      }
+      if (Functional)
+        Buf.Store.assign(I.Imm3 * Buf.NumFields, nullptr);
       SmemBuffers.push_back(std::move(Buf));
       S[I.Result] = RValue::makeHandle(
           static_cast<int32_t>(SmemBuffers.size() - 1));
@@ -811,9 +824,12 @@ void BcExec::step(AgentRun &Run) {
         for (int64_t K = 0; K < NumOffsets; ++K)
           Offsets.push_back(asInt(V(1 + K)));
         size_t Key = Idx * Buf.NumFields + I.Imm2;
-        Buf.Store[Key] =
-            loadWindow(*Opts.Args[Desc.H].Data, Offsets, P.IntVecs[I.Aux]);
-        Buf.Present[Key] = 1;
+        // Install a fresh tile rather than overwriting in place: consumers
+        // that already read this slot keep their snapshot.
+        auto T = std::make_shared<TensorData>(P.IntVecs[I.Aux], *Arena);
+        loadWindowInto(*Opts.Args[Desc.H].Data, Offsets, P.IntVecs[I.Aux],
+                       *T);
+        Buf.Store[Key] = std::move(T);
       }
       // The copy's arrival (with its transaction bytes) is immediate in the
       // functional model; the replay applies the real transfer latency.
@@ -841,17 +857,19 @@ void BcExec::step(AgentRun &Run) {
         break;
       }
       size_t Key = Idx * Buf.NumFields + I.Imm2;
-      if (!Buf.Present[Key]) {
+      if (!Buf.Store[Key]) {
         recordViolation(formatString(
             "channel %lld slot %lld: reading uninitialized staging data",
             static_cast<long long>(Buf.Channel),
             static_cast<long long>(Idx)));
-        auto T = makeTensorForType(I.ResultTy);
+        auto T = makeTile(I.ResultTy);
+        T->fill(0.0f); // Matches the legacy engine's zeroed fallback tile.
         S[I.Result] = RValue::makeTensor(std::move(T));
         break;
       }
-      S[I.Result] = RValue::makeTensor(
-          std::make_shared<TensorData>(Buf.Store[Key]));
+      // Share the deposited tile: ops never mutate operands, and a later
+      // deposit installs a new tensor instead of writing this one.
+      S[I.Result] = RValue::makeTensor(Buf.Store[Key]);
       break;
     }
     case BcOp::WgmmaIssue: {
@@ -865,8 +883,8 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         break;
       }
-      S[I.Result] =
-          RValue::makeTensor(matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0));
+      S[I.Result] = RValue::makeTensor(
+          matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0, Arena));
       break;
     }
     case BcOp::WgmmaWait: {
@@ -889,6 +907,9 @@ std::string BcExec::run(CtaTrace &Out) {
   if (!P.CompileError.empty())
     return P.CompileError;
   Functional = Opts.Functional;
+  // Everything the previous CTA allocated is dead; reclaim it wholesale so
+  // a worker's chunks stay warm for the whole grid.
+  Arena->reset();
 
   // Bind arguments.
   if (Opts.Args.size() != P.ArgSlots.size())
@@ -988,7 +1009,7 @@ std::string BcExec::run(CtaTrace &Out) {
 std::string tawa::sim::bc::executeProgram(const CompiledProgram &P,
                                           const RunOptions &Opts,
                                           int64_t PidX, int64_t PidY,
-                                          CtaTrace &Out) {
-  BcExec Exec(P, Opts, PidX, PidY);
+                                          CtaTrace &Out, TileArena *Arena) {
+  BcExec Exec(P, Opts, PidX, PidY, Arena);
   return Exec.run(Out);
 }

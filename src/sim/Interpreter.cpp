@@ -2,7 +2,9 @@
 //
 // Thin façade preserving the historical public API: picks the bytecode
 // executor (default, compiled lazily and cached for the lifetime of the
-// Interpreter) or the legacy tree-walking oracle (RunOptions flag).
+// Interpreter) or the legacy tree-walking oracle (RunOptions flag), and
+// hosts the whole-grid runner that fans independent CTAs out across the
+// process worker pool with deterministic, index-keyed result merging.
 //
 //===----------------------------------------------------------------------===//
 
@@ -10,9 +12,18 @@
 
 #include "sim/Bytecode.h"
 #include "sim/LegacyInterp.h"
+#include "support/Support.h"
+#include "support/WorkerPool.h"
+
+#include <atomic>
 
 using namespace tawa;
 using namespace tawa::sim;
+
+int64_t tawa::sim::resolveNumWorkers(int64_t Requested) {
+  return Requested == 0 ? WorkerPool::hardwareWorkers()
+                        : std::max<int64_t>(1, Requested);
+}
 
 Interpreter::Interpreter(Module &M, const GpuConfig &Config)
     : M(M), Config(Config) {}
@@ -27,5 +38,79 @@ std::string Interpreter::runCta(const RunOptions &Opts, int64_t PidX,
     return runCtaLegacy(M, Config, Opts, PidX, PidY, Out);
   if (!Prog)
     Prog = bc::compileModule(M, Config);
-  return bc::executeProgram(*Prog, Opts, PidX, PidY, Out);
+  return bc::executeProgram(*Prog, Opts, PidX, PidY, Out, &Arena);
+}
+
+std::string Interpreter::runGrid(const RunOptions &Opts, CtaTrace *Sample,
+                                 std::vector<CtaTrace> *AllTraces) {
+  int64_t GridX = Opts.GridX, GridY = Opts.GridY;
+  int64_t Total = GridX * GridY;
+  if (AllTraces) {
+    AllTraces->clear();
+    AllTraces->resize(Total);
+  }
+  auto FormatErr = [](int64_t X, int64_t Y, const std::string &E) {
+    return formatString("cta (%lld,%lld): ", static_cast<long long>(X),
+                        static_cast<long long>(Y)) +
+           E;
+  };
+
+  int64_t Workers = resolveNumWorkers(Opts.NumWorkers);
+  // The legacy oracle keeps its historical serial execution (it backs one
+  // OS thread per warp group already and is scheduled for removal).
+  if (Opts.UseLegacyInterp || Workers <= 1 || Total <= 1) {
+    for (int64_t Y = 0; Y < GridY; ++Y)
+      for (int64_t X = 0; X < GridX; ++X) {
+        CtaTrace Local;
+        CtaTrace &T =
+            AllTraces ? (*AllTraces)[Y * GridX + X]
+                      : (Sample && X == 0 && Y == 0 ? *Sample : Local);
+        if (std::string Err = runCta(Opts, X, Y, T); !Err.empty())
+          return FormatErr(X, Y, Err);
+      }
+    if (Sample && AllTraces)
+      *Sample = (*AllTraces)[0];
+    return "";
+  }
+
+  if (!Prog)
+    Prog = bc::compileModule(M, Config);
+
+  // One tile arena per worker (no locking); all workers share the immutable
+  // CompiledProgram. Outputs are keyed by CTA index, never by worker or
+  // completion order, so any schedule produces identical results.
+  std::vector<std::unique_ptr<TileArena>> Arenas;
+  for (int64_t W = 0; W < Workers; ++W)
+    Arenas.push_back(std::make_unique<TileArena>());
+  std::vector<std::string> Errors(Total);
+  std::atomic<int64_t> FirstErr{Total};
+
+  WorkerPool::shared().parallelFor(
+      Total, Workers, [&](int64_t I, int64_t W) {
+        // Once some CTA failed, skip the ones after it in serial order —
+        // they cannot change the reported (first) error.
+        if (I > FirstErr.load(std::memory_order_relaxed))
+          return;
+        int64_t X = I % GridX, Y = I / GridX;
+        CtaTrace Local;
+        CtaTrace &T = AllTraces ? (*AllTraces)[I]
+                                : (Sample && I == 0 ? *Sample : Local);
+        std::string Err =
+            bc::executeProgram(*Prog, Opts, X, Y, T, Arenas[W].get());
+        if (!Err.empty()) {
+          Errors[I] = std::move(Err);
+          int64_t Cur = FirstErr.load(std::memory_order_relaxed);
+          while (I < Cur &&
+                 !FirstErr.compare_exchange_weak(Cur, I,
+                                                 std::memory_order_relaxed))
+            ;
+        }
+      });
+
+  for (int64_t I = 0; I < Total; ++I)
+    if (!Errors[I].empty())
+      return FormatErr(I % GridX, I / GridX, Errors[I]);
+  if (Sample && AllTraces)
+    *Sample = (*AllTraces)[0];
+  return "";
 }

@@ -80,7 +80,16 @@ struct RunOptions {
   /// the bytecode executor (differential-testing oracle; scheduled for
   /// removal after one release).
   bool UseLegacyInterp = false;
+  /// Worker threads for whole-grid runs (Interpreter::runGrid): 0 = one per
+  /// hardware thread (the default), 1 = serial (exactly the historical
+  /// per-CTA loop). Results are bit-identical at every worker count — see
+  /// docs/threading-and-memory.md. Per-CTA runCta is unaffected. The legacy
+  /// engine always runs serial.
+  int64_t NumWorkers = 0;
 };
+
+/// Resolves RunOptions::NumWorkers: 0 becomes the hardware thread count.
+int64_t resolveNumWorkers(int64_t Requested);
 
 class Interpreter {
 public:
@@ -97,14 +106,37 @@ public:
 
   /// Interprets CTA (PidX, PidY) of the grid. Returns "" on success or a
   /// diagnostic (deadlock, protocol violation, unsupported op). The trace is
-  /// valid only on success.
+  /// valid only on success. Not safe to call concurrently on one
+  /// Interpreter (the tile arena is shared across calls); use runGrid for
+  /// parallel execution.
   std::string runCta(const RunOptions &Opts, int64_t PidX, int64_t PidY,
                      CtaTrace &Out);
+
+  /// Runs every CTA of the grid (GridX * GridY), in parallel across up to
+  /// Opts.NumWorkers workers. Deterministic: outputs, traces and errors are
+  /// bit-identical to the serial Y-outer/X-inner loop at any worker count —
+  /// each CTA is executed in isolation (own executor state, trace buffer
+  /// and tile arena), results are merged by CTA index, and the reported
+  /// error is the first failing CTA in serial order, formatted
+  /// "cta (x,y): <diagnostic>".
+  ///
+  /// \p Sample, when non-null, receives CTA (0,0)'s trace (the Runner's
+  /// timing-model input). \p AllTraces, when non-null, is resized to the
+  /// grid and receives every CTA's trace at index Y*GridX+X.
+  ///
+  /// On error the contents of output tensors, \p Sample and \p AllTraces
+  /// are unspecified (the serial loop stops at the first failure; parallel
+  /// runs may have executed later CTAs).
+  std::string runGrid(const RunOptions &Opts, CtaTrace *Sample = nullptr,
+                      std::vector<CtaTrace> *AllTraces = nullptr);
 
 private:
   Module &M;
   const GpuConfig &Config;
   std::shared_ptr<const bc::CompiledProgram> Prog;
+  /// Tile arena for serial runCta calls, reset per CTA; chunks stay warm
+  /// across a sweep's CTAs.
+  TileArena Arena;
 };
 
 } // namespace sim

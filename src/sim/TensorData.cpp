@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 using namespace tawa;
 using namespace tawa::sim;
@@ -11,39 +12,81 @@ using namespace tawa::sim;
 void TensorData::fillRandom(uint64_t Seed, float Scale) {
   // SplitMix64: deterministic, seed-friendly, good enough for test data.
   uint64_t State = Seed;
-  for (float &V : Data) {
+  for (int64_t I = 0; I < Size; ++I) {
     State += 0x9E3779B97F4A7C15ull;
     uint64_t Z = State;
     Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
     Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
     Z = Z ^ (Z >> 31);
-    V = Scale * (2.0f * static_cast<float>(Z >> 11) / 9007199254740992.0f -
-                 1.0f);
+    Ptr[I] = Scale * (2.0f * static_cast<float>(Z >> 11) /
+                          9007199254740992.0f -
+                      1.0f);
   }
 }
 
-void TensorData::fill(float V) { std::fill(Data.begin(), Data.end(), V); }
+void TensorData::fill(float V) { std::fill(Ptr, Ptr + Size, V); }
 
 TensorData
 TensorData::extractWindow(const std::vector<int64_t> &Offsets,
                           const std::vector<int64_t> &WindowShape) const {
-  assert(Offsets.size() == Shape.size() && "window rank mismatch");
   TensorData Out(WindowShape);
-  // Iterate the window in row-major order.
-  int64_t N = Out.getNumElements();
+  extractWindowInto(Offsets, WindowShape, Out.data());
+  return Out;
+}
+
+void TensorData::extractWindowInto(const std::vector<int64_t> &Offsets,
+                                   const std::vector<int64_t> &WindowShape,
+                                   float *Out) const {
+  assert(Offsets.size() == Shape.size() && "window rank mismatch");
+  size_t Rank = Shape.size();
+
+  // Fast path: the window is fully in range, so every row of the innermost
+  // dimension is one contiguous memcpy from the host tensor.
+  bool InRange = Rank > 0;
+  for (size_t D = 0; D < Rank; ++D)
+    if (Offsets[D] < 0 || Offsets[D] + WindowShape[D] > Shape[D]) {
+      InRange = false;
+      break;
+    }
+  if (InRange) {
+    int64_t RowLen = WindowShape[Rank - 1];
+    int64_t NumRows = 1;
+    for (size_t D = 0; D + 1 < Rank; ++D)
+      NumRows *= WindowShape[D];
+    std::vector<int64_t> Idx(Rank, 0);
+    for (int64_t Row = 0; Row < NumRows; ++Row) {
+      int64_t Src = 0;
+      for (size_t D = 0; D + 1 < Rank; ++D)
+        Src = Src * Shape[D] + Offsets[D] + Idx[D];
+      Src = Src * Shape[Rank - 1] + Offsets[Rank - 1];
+      std::memcpy(Out + Row * RowLen, Ptr + Src,
+                  static_cast<size_t>(RowLen) * sizeof(float));
+      for (int64_t D = static_cast<int64_t>(Rank) - 2; D >= 0; --D) {
+        if (++Idx[D] < WindowShape[D])
+          break;
+        Idx[D] = 0;
+      }
+    }
+    return;
+  }
+
+  // Generic path: per-element with TMA's clamp-to-zero out-of-bounds fill.
+  int64_t N = 1;
+  for (int64_t D : WindowShape)
+    N *= D;
   std::vector<int64_t> Idx(WindowShape.size(), 0);
   for (int64_t Linear = 0; Linear < N; ++Linear) {
-    bool InRange = true;
+    bool Ok = true;
     int64_t SrcLinear = 0;
-    for (size_t D = 0; D < Shape.size(); ++D) {
+    for (size_t D = 0; D < Rank; ++D) {
       int64_t Coord = Offsets[D] + Idx[D];
       if (Coord < 0 || Coord >= Shape[D]) {
-        InRange = false;
+        Ok = false;
         break;
       }
       SrcLinear = SrcLinear * Shape[D] + Coord;
     }
-    Out.at(Linear) = InRange ? Data[SrcLinear] : 0.0f;
+    Out[Linear] = Ok ? Ptr[SrcLinear] : 0.0f;
     // Advance the multi-index.
     for (int64_t D = static_cast<int64_t>(WindowShape.size()) - 1; D >= 0;
          --D) {
@@ -52,7 +95,6 @@ TensorData::extractWindow(const std::vector<int64_t> &Offsets,
       Idx[D] = 0;
     }
   }
-  return Out;
 }
 
 void TensorData::insertWindow(const std::vector<int64_t> &Offsets,
@@ -72,7 +114,7 @@ void TensorData::insertWindow(const std::vector<int64_t> &Offsets,
       DstLinear = DstLinear * Shape[D] + Coord;
     }
     if (InRange)
-      Data[DstLinear] = Window.at(Linear);
+      Ptr[DstLinear] = Window.at(Linear);
     for (int64_t D = static_cast<int64_t>(Window.getShape().size()) - 1;
          D >= 0; --D) {
       if (++Idx[D] < Window.getShape()[D])
@@ -86,7 +128,7 @@ double TensorData::maxAbsDiff(const TensorData &Other) const {
   assert(getNumElements() == Other.getNumElements() && "shape mismatch");
   double Max = 0;
   for (int64_t I = 0, E = getNumElements(); I != E; ++I)
-    Max = std::max(Max, std::fabs(static_cast<double>(Data[I]) -
+    Max = std::max(Max, std::fabs(static_cast<double>(Ptr[I]) -
                                   static_cast<double>(Other.at(I))));
   return Max;
 }
@@ -96,7 +138,7 @@ double TensorData::maxRelDiff(const TensorData &Other) const {
   double Max = 0;
   for (int64_t I = 0, E = getNumElements(); I != E; ++I) {
     double Ref = std::fabs(static_cast<double>(Other.at(I)));
-    double Diff = std::fabs(static_cast<double>(Data[I]) -
+    double Diff = std::fabs(static_cast<double>(Ptr[I]) -
                             static_cast<double>(Other.at(I)));
     Max = std::max(Max, Diff / std::max(1.0, Ref));
   }

@@ -5,10 +5,20 @@
 // flowing through the interpreter. Reduced-precision data is represented as
 // f32 that has been round-tripped through the target format.
 //
+// A tensor's payload lives in one of two places:
+//   * owned heap storage (the default; zero-initialized) — host tensors,
+//     references, and everything the legacy engine produces;
+//   * a TileArena (uninitialized; see Arena.h) — the bytecode executor's
+//     per-CTA tile traffic, reclaimed wholesale between CTAs.
+// Copying always deep-copies into owned heap storage, so a copy of an
+// arena-backed tensor safely outlives the arena reset.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef TAWA_SIM_TENSORDATA_H
 #define TAWA_SIM_TENSORDATA_H
+
+#include "sim/Arena.h"
 
 #include <cassert>
 #include <cstdint>
@@ -21,36 +31,93 @@ namespace sim {
 class TensorData {
 public:
   TensorData() = default;
+
+  /// Owned heap payload, zero-filled (the historical behavior).
   explicit TensorData(std::vector<int64_t> Shape)
       : Shape(std::move(Shape)) {
-    Data.assign(getNumElements(), 0.0f);
+    Size = computeNumElements();
+    Heap.assign(Size, 0.0f);
+    Ptr = Heap.data();
+  }
+
+  /// Arena-backed payload, UNINITIALIZED: the caller must overwrite or fill
+  /// every element. Valid until the arena's next reset().
+  TensorData(std::vector<int64_t> Shape, TileArena &Arena)
+      : Shape(std::move(Shape)) {
+    Size = computeNumElements();
+    Ptr = Arena.alloc(Size);
+  }
+
+  /// Deep copy into owned heap storage (detaches from any arena).
+  TensorData(const TensorData &O) : Shape(O.Shape), Size(O.Size) {
+    if (Size > 0)
+      Heap.assign(O.Ptr, O.Ptr + O.Size);
+    Ptr = Heap.data();
+  }
+
+  /// Deep copy into \p Arena (the executor's clone-and-mutate ops).
+  TensorData(const TensorData &O, TileArena &Arena)
+      : Shape(O.Shape), Size(O.Size) {
+    Ptr = Arena.alloc(Size);
+    std::copy(O.Ptr, O.Ptr + O.Size, Ptr);
+  }
+
+  /// Moves steal the payload: a moved std::vector keeps its buffer address,
+  /// and an arena payload is just a pointer, so Ptr stays valid either way.
+  TensorData(TensorData &&O) noexcept
+      : Shape(std::move(O.Shape)), Ptr(O.Ptr), Size(O.Size),
+        Heap(std::move(O.Heap)) {
+    O.Shape.clear();
+    O.Ptr = nullptr;
+    O.Size = 0;
+  }
+
+  TensorData &operator=(const TensorData &O) {
+    if (this == &O)
+      return *this;
+    Shape = O.Shape;
+    Size = O.Size;
+    if (Size > 0)
+      Heap.assign(O.Ptr, O.Ptr + O.Size);
+    else
+      Heap.clear();
+    Ptr = Heap.data();
+    return *this;
+  }
+
+  TensorData &operator=(TensorData &&O) noexcept {
+    if (this == &O)
+      return *this;
+    Shape = std::move(O.Shape);
+    Heap = std::move(O.Heap);
+    Ptr = O.Ptr;
+    Size = O.Size;
+    O.Shape.clear();
+    O.Ptr = nullptr;
+    O.Size = 0;
+    return *this;
   }
 
   const std::vector<int64_t> &getShape() const { return Shape; }
   int64_t getRank() const { return static_cast<int64_t>(Shape.size()); }
   int64_t getDim(int64_t I) const { return Shape[I]; }
 
-  int64_t getNumElements() const {
-    int64_t N = 1;
-    for (int64_t D : Shape)
-      N *= D;
-    return N;
-  }
+  int64_t getNumElements() const { return computeNumElements(); }
 
-  float *data() { return Data.data(); }
-  const float *data() const { return Data.data(); }
+  float *data() { return Ptr; }
+  const float *data() const { return Ptr; }
 
-  float &at(int64_t I) { return Data[I]; }
-  float at(int64_t I) const { return Data[I]; }
+  float &at(int64_t I) { return Ptr[I]; }
+  float at(int64_t I) const { return Ptr[I]; }
 
   /// 2-D accessors (row-major).
   float &at(int64_t R, int64_t C) {
     assert(getRank() == 2 && "2-D accessor on non-matrix");
-    return Data[R * Shape[1] + C];
+    return Ptr[R * Shape[1] + C];
   }
   float at(int64_t R, int64_t C) const {
     assert(getRank() == 2 && "2-D accessor on non-matrix");
-    return Data[R * Shape[1] + C];
+    return Ptr[R * Shape[1] + C];
   }
 
   /// Fills with a deterministic pseudo-random pattern in [-Scale, Scale].
@@ -64,6 +131,14 @@ public:
   TensorData extractWindow(const std::vector<int64_t> &Offsets,
                            const std::vector<int64_t> &WindowShape) const;
 
+  /// Copies the same window into \p Out (row-major; \p Out must hold
+  /// exactly the window's element count — its shape may differ, e.g. with
+  /// leading 1s stripped). Fully in-range windows take a contiguous-row
+  /// memcpy fast path; values are identical to extractWindow either way.
+  void extractWindowInto(const std::vector<int64_t> &Offsets,
+                         const std::vector<int64_t> &WindowShape,
+                         float *Out) const;
+
   /// Writes \p Window back at \p Offsets (out-of-range writes dropped).
   void insertWindow(const std::vector<int64_t> &Offsets,
                     const TensorData &Window);
@@ -74,8 +149,17 @@ public:
   double maxRelDiff(const TensorData &Other) const;
 
 private:
+  int64_t computeNumElements() const {
+    int64_t N = 1;
+    for (int64_t D : Shape)
+      N *= D;
+    return N;
+  }
+
   std::vector<int64_t> Shape;
-  std::vector<float> Data;
+  float *Ptr = nullptr;     ///< Payload: Heap.data() or arena memory.
+  int64_t Size = 0;         ///< Payload element count.
+  std::vector<float> Heap;  ///< Owned storage; empty when arena-backed.
 };
 
 using TensorRef = std::shared_ptr<TensorData>;

@@ -1,0 +1,107 @@
+//===- WorkerPool.cpp - Persistent process-wide worker pool --------------------//
+
+#include "support/WorkerPool.h"
+
+#include <algorithm>
+
+using namespace tawa;
+
+namespace {
+/// True while this thread is executing a job item; nested parallelFor calls
+/// run inline instead of deadlocking on the pool.
+thread_local bool InsideJob = false;
+} // namespace
+
+WorkerPool::WorkerPool(int64_t NumWorkers) {
+  for (int64_t I = 0; I + 1 < NumWorkers; ++I)
+    Threads.emplace_back([this, I] { threadLoop(I); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+WorkerPool &WorkerPool::shared() {
+  static WorkerPool Pool(std::max<int64_t>(hardwareWorkers(), 4));
+  return Pool;
+}
+
+int64_t WorkerPool::hardwareWorkers() {
+  return std::max<int64_t>(1, std::thread::hardware_concurrency());
+}
+
+void WorkerPool::runWorker(Job &J, int64_t Worker) {
+  for (;;) {
+    int64_t I = J.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= J.N)
+      return;
+    (*J.Fn)(I, Worker);
+    J.Done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void WorkerPool::threadLoop(int64_t Id) {
+  uint64_t SeenGen = 0;
+  std::unique_lock<std::mutex> L(Mu);
+  for (;;) {
+    WorkCV.wait(L, [&] { return Stopping || (Cur && Gen != SeenGen); });
+    if (Stopping)
+      return;
+    SeenGen = Gen;
+    Job *J = Cur;
+    if (Id + 1 >= J->MaxWorkers)
+      continue; // This job is capped below our worker id.
+    ++J->Active;
+    L.unlock();
+    InsideJob = true;
+    runWorker(*J, Id + 1);
+    InsideJob = false;
+    L.lock();
+    --J->Active;
+    DoneCV.notify_all();
+  }
+}
+
+void WorkerPool::parallelFor(
+    int64_t N, int64_t MaxWorkers,
+    const std::function<void(int64_t, int64_t)> &Fn) {
+  if (N <= 0)
+    return;
+  MaxWorkers = std::min(MaxWorkers, getNumWorkers());
+  if (InsideJob || MaxWorkers <= 1 || N == 1 || Threads.empty()) {
+    for (int64_t I = 0; I < N; ++I)
+      Fn(I, 0);
+    return;
+  }
+
+  std::lock_guard<std::mutex> CallerLock(CallerMu);
+  Job J;
+  J.Fn = &Fn;
+  J.N = N;
+  J.MaxWorkers = MaxWorkers;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Cur = &J;
+    ++Gen;
+  }
+  WorkCV.notify_all();
+
+  InsideJob = true;
+  runWorker(J, 0);
+  InsideJob = false;
+
+  // Wait for stragglers: the job (on our stack) stays alive until every
+  // pool thread that picked it up has left runWorker, and Cur is cleared
+  // under the lock so late wakers never see a dead job.
+  std::unique_lock<std::mutex> L(Mu);
+  DoneCV.wait(L, [&] {
+    return J.Active == 0 && J.Done.load(std::memory_order_acquire) == J.N;
+  });
+  Cur = nullptr;
+}

@@ -1,0 +1,89 @@
+//===- WorkerPool.h - Persistent process-wide worker pool -------*- C++ -*-===//
+//
+// A lazily created, process-lifetime pool of worker threads used to run
+// independent CTAs of a grid in parallel (Interpreter::runGrid). The
+// calling thread is always worker 0 and participates in every job, so a
+// one-core machine (or MaxWorkers = 1) degenerates to a plain inline loop
+// with zero scheduling overhead.
+//
+// Work distribution is a shared atomic index: assignment of items to
+// workers is nondeterministic, so callers must key their outputs by item
+// index (never by worker or completion order) to stay deterministic — see
+// docs/threading-and-memory.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SUPPORT_WORKERPOOL_H
+#define TAWA_SUPPORT_WORKERPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tawa {
+
+class WorkerPool {
+public:
+  /// Spawns NumWorkers-1 background threads (worker 0 is the caller).
+  explicit WorkerPool(int64_t NumWorkers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// The process-wide pool, created on first use with one worker per
+  /// hardware thread — but never fewer than 4 workers, so explicit
+  /// NumWorkers > 1 requests exercise real threads (and ThreadSanitizer
+  /// has races to find) even on one-core CI hosts; idle threads just park
+  /// on a condition variable. Persistent: repeated grids pay no thread
+  /// creation. Note callers choose how many workers a *job* uses
+  /// (parallelFor's MaxWorkers); the default for grid runs remains the
+  /// hardware thread count (resolveNumWorkers), so small hosts still run
+  /// serial unless asked otherwise.
+  static WorkerPool &shared();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int64_t hardwareWorkers();
+
+  /// Runs Fn(Index, Worker) for every Index in [0, N), using at most
+  /// MaxWorkers workers with dense ids in [0, MaxWorkers). Blocks until all
+  /// indices completed; every write Fn made is visible to the caller on
+  /// return. Fn must not throw. Nested calls from inside a job run inline
+  /// on the calling worker.
+  void parallelFor(int64_t N, int64_t MaxWorkers,
+                   const std::function<void(int64_t Index, int64_t Worker)>
+                       &Fn);
+
+  int64_t getNumWorkers() const {
+    return static_cast<int64_t>(Threads.size()) + 1;
+  }
+
+private:
+  struct Job {
+    const std::function<void(int64_t, int64_t)> *Fn = nullptr;
+    int64_t N = 0;
+    int64_t MaxWorkers = 0;
+    std::atomic<int64_t> Next{0};   ///< Next unclaimed index.
+    std::atomic<int64_t> Done{0};   ///< Completed indices.
+    int64_t Active = 0;             ///< Pool threads inside the job (Mu).
+  };
+
+  void threadLoop(int64_t Id);
+  static void runWorker(Job &J, int64_t Worker);
+
+  std::vector<std::thread> Threads;
+  std::mutex Mu;                 ///< Guards Cur/Gen/Stopping/Job::Active.
+  std::mutex CallerMu;           ///< Serializes concurrent parallelFor calls.
+  std::condition_variable WorkCV, DoneCV;
+  Job *Cur = nullptr;
+  uint64_t Gen = 0;
+  bool Stopping = false;
+};
+
+} // namespace tawa
+
+#endif // TAWA_SUPPORT_WORKERPOOL_H

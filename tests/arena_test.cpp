@@ -1,0 +1,171 @@
+//===- arena_test.cpp - TileArena + arena-backed TensorData -------------------//
+//
+// Pins the arena contract of Arena.h / docs/threading-and-memory.md:
+// allocations never alias within a CTA, reset() rewinds without releasing
+// (so the next CTA reuses warm chunks), oversized requests succeed, and
+// TensorData copies detach from the arena so nothing sampled out of a CTA
+// can dangle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Arena.h"
+#include "sim/TensorData.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace tawa::sim;
+
+namespace {
+
+TEST(TileArena, AllocationsAreDisjoint) {
+  TileArena A;
+  float *P1 = A.alloc(100);
+  float *P2 = A.alloc(100);
+  float *P3 = A.alloc(1);
+  // Write distinct patterns; no write may bleed into a sibling payload.
+  for (int I = 0; I < 100; ++I)
+    P1[I] = 1.0f;
+  for (int I = 0; I < 100; ++I)
+    P2[I] = 2.0f;
+  P3[0] = 3.0f;
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_EQ(P1[I], 1.0f);
+    EXPECT_EQ(P2[I], 2.0f);
+  }
+  EXPECT_EQ(P3[0], 3.0f);
+}
+
+TEST(TileArena, ResetReusesMemoryWithoutGrowth) {
+  TileArena A;
+  float *First = A.alloc(1000);
+  A.alloc(2000);
+  size_t Reserved = A.getBytesReserved();
+  size_t Chunks = A.getNumChunks();
+  // Many CTA rounds of identical traffic: same chunks, same first payload.
+  for (int Round = 0; Round < 100; ++Round) {
+    A.reset();
+    EXPECT_EQ(A.getBytesInUse(), 0u);
+    float *P = A.alloc(1000);
+    EXPECT_EQ(P, First) << "reset must rewind to the chunk start";
+    A.alloc(2000);
+  }
+  EXPECT_EQ(A.getBytesReserved(), Reserved) << "steady state must not grow";
+  EXPECT_EQ(A.getNumChunks(), Chunks);
+}
+
+TEST(TileArena, OversizedRequestGetsDedicatedChunk) {
+  TileArena A;
+  const int64_t Huge = (1 << 20) + 4096; // Larger than one default chunk.
+  float *P = A.alloc(Huge);
+  P[0] = 1.0f;
+  P[Huge - 1] = 2.0f;
+  EXPECT_EQ(P[0], 1.0f);
+  EXPECT_EQ(P[Huge - 1], 2.0f);
+  EXPECT_GE(A.getBytesReserved(), static_cast<size_t>(Huge) * sizeof(float));
+}
+
+TEST(TileArena, InUseTracksAllocations) {
+  TileArena A;
+  EXPECT_EQ(A.getBytesInUse(), 0u);
+  A.alloc(10);
+  EXPECT_EQ(A.getBytesInUse(), 10 * sizeof(float));
+  A.alloc(6);
+  EXPECT_EQ(A.getBytesInUse(), 16 * sizeof(float));
+}
+
+//===----------------------------------------------------------------------===//
+// Arena-backed TensorData
+//===----------------------------------------------------------------------===//
+
+TEST(TileArena, TensorPayloadsDoNotAliasAcrossTiles) {
+  TileArena A;
+  TensorData T1({8, 8}, A);
+  TensorData T2({8, 8}, A);
+  T1.fill(1.0f);
+  T2.fill(2.0f);
+  for (int64_t I = 0; I < 64; ++I) {
+    EXPECT_EQ(T1.at(I), 1.0f);
+    EXPECT_EQ(T2.at(I), 2.0f);
+  }
+}
+
+TEST(TileArena, CopyDetachesFromArena) {
+  TileArena A;
+  std::vector<float> Saved;
+  TensorData Copy;
+  {
+    TensorData T({4, 4}, A);
+    T.fillRandom(7);
+    for (int64_t I = 0; I < 16; ++I)
+      Saved.push_back(T.at(I));
+    Copy = T; // Deep copy into owned heap storage.
+    T.fill(-1.0f);
+  }
+  // The arena payload is gone after reset; the copy must be unaffected —
+  // this is what makes sampling a tile out of a CTA safe.
+  A.reset();
+  TensorData Clobber({4, 4}, A);
+  Clobber.fill(99.0f);
+  ASSERT_EQ(Copy.getNumElements(), 16);
+  for (int64_t I = 0; I < 16; ++I)
+    EXPECT_EQ(Copy.at(I), Saved[I]);
+}
+
+TEST(TileArena, NoStaleDataAliasesAcrossCtas) {
+  // Simulates two CTA rounds sharing one worker arena: the second round's
+  // tiles reuse the first round's memory (by design) but are always
+  // fully written before being read, so no values leak between CTAs.
+  TileArena A;
+  float *R1 = nullptr;
+  {
+    TensorData T({16, 16}, A);
+    T.fill(42.0f);
+    R1 = T.data();
+  }
+  A.reset();
+  {
+    TensorData T({16, 16}, A);
+    EXPECT_EQ(T.data(), R1) << "second CTA reuses the first CTA's chunk";
+    T.fill(7.0f); // Producer overwrites the whole tile...
+    for (int64_t I = 0; I < 256; ++I)
+      EXPECT_EQ(T.at(I), 7.0f); // ...so nothing from CTA 1 is visible.
+  }
+}
+
+TEST(TileArena, ArenaCloneCopiesValues) {
+  TileArena A;
+  TensorData Src({3, 5});
+  Src.fillRandom(11);
+  TensorData Clone(Src, A);
+  ASSERT_EQ(Clone.getShape(), Src.getShape());
+  for (int64_t I = 0; I < 15; ++I)
+    EXPECT_EQ(Clone.at(I), Src.at(I));
+  // The clone is arena-backed: mutating it must not touch the source.
+  Clone.fill(0.0f);
+  bool AnyNonZero = false;
+  for (int64_t I = 0; I < 15; ++I)
+    AnyNonZero |= Src.at(I) != 0.0f;
+  EXPECT_TRUE(AnyNonZero);
+}
+
+TEST(TileArena, MovedTensorKeepsPayload) {
+  TileArena A;
+  TensorData T({4, 4}, A);
+  T.fill(5.0f);
+  const float *P = T.data();
+  TensorData M = std::move(T);
+  EXPECT_EQ(M.data(), P) << "move must not reallocate";
+  for (int64_t I = 0; I < 16; ++I)
+    EXPECT_EQ(M.at(I), 5.0f);
+
+  TensorData H({4, 4}); // Heap-backed move: vector buffer transfers.
+  H.fill(9.0f);
+  const float *Hp = H.data();
+  TensorData H2 = std::move(H);
+  EXPECT_EQ(H2.data(), Hp);
+  EXPECT_EQ(H2.at(7), 9.0f);
+}
+
+} // namespace

@@ -1,0 +1,335 @@
+//===- parallel_determinism_test.cpp - Worker-count invariance ----------------//
+//
+// The contract of docs/threading-and-memory.md: running a grid through
+// Interpreter::runGrid at any NumWorkers produces bit-identical outputs,
+// identical per-CTA traces (including happens-before event counts), and the
+// identical first-in-serial-order error, because every CTA executes in
+// isolation and results are merged by CTA index. These tests pin the
+// contract at NumWorkers = 1, 2 and 8 and against the historical serial
+// per-CTA loop; scripts/check.sh additionally runs them under
+// ThreadSanitizer so pool/arena races fail CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Kernels.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+#include "sim/Interpreter.h"
+#include "support/Support.h"
+#include "support/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+namespace {
+
+void expectTensorsBitIdentical(const TensorData &A, const TensorData &B) {
+  ASSERT_EQ(A.getShape(), B.getShape());
+  ASSERT_EQ(std::memcmp(A.data(), B.data(),
+                        sizeof(float) * A.getNumElements()),
+            0)
+      << "outputs differ bitwise (maxAbsDiff=" << A.maxAbsDiff(B) << ")";
+}
+
+void expectTracesIdentical(const CtaTrace &L, const CtaTrace &B) {
+  ASSERT_EQ(L.Agents.size(), B.Agents.size());
+  for (size_t G = 0; G < L.Agents.size(); ++G) {
+    const AgentTrace &La = L.Agents[G], &Ba = B.Agents[G];
+    EXPECT_EQ(La.Name, Ba.Name);
+    ASSERT_EQ(La.Actions.size(), Ba.Actions.size())
+        << "agent " << La.Name << ": action counts differ";
+    for (size_t I = 0; I < La.Actions.size(); ++I) {
+      const Action &X = La.Actions[I], &Y = Ba.Actions[I];
+      ASSERT_EQ(static_cast<int>(X.Kind), static_cast<int>(Y.Kind));
+      EXPECT_EQ(X.Cycles, Y.Cycles);
+      EXPECT_EQ(X.Bytes, Y.Bytes);
+      EXPECT_EQ(X.Bar, Y.Bar);
+      EXPECT_EQ(X.Idx, Y.Idx);
+      EXPECT_EQ(X.Parity, Y.Parity);
+    }
+  }
+  EXPECT_EQ(L.SmemBytes, B.SmemBytes);
+  EXPECT_EQ(L.HbEvents, B.HbEvents) << "happens-before event counts differ";
+}
+
+constexpr int64_t WorkerCounts[] = {1, 2, 8};
+
+//===----------------------------------------------------------------------===//
+// GEMM grid: 4 CTAs of the warp-specialized pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelDeterminism, GemmGridWorkerCountInvariant) {
+  GpuConfig Cfg;
+  IrContext Ctx;
+  GemmKernelConfig Kernel;
+  auto Mod = buildGemmModule(Ctx, Kernel);
+  TawaOptions Options;
+  Options.ArefDepth = 3;
+  Options.MmaPipelineDepth = 2;
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  ASSERT_EQ(PM.run(*Mod), "");
+
+  const int64_t M = 256, N = 256, K = 128; // 2x2 grid of 128x128 tiles.
+  int64_t GridX =
+      ceilDiv(M, Kernel.TileM) * ceilDiv(N, Kernel.TileN);
+  ASSERT_EQ(GridX, 4);
+
+  TensorRef RefC;
+  std::vector<CtaTrace> RefTraces;
+  CtaTrace RefSample;
+  for (size_t WI = 0; WI < std::size(WorkerCounts); ++WI) {
+    auto A = std::make_shared<TensorData>(std::vector<int64_t>{M, K});
+    auto B = std::make_shared<TensorData>(std::vector<int64_t>{N, K});
+    auto C = std::make_shared<TensorData>(std::vector<int64_t>{M, N});
+    A->fillRandom(1, 1.0f);
+    B->fillRandom(2, 1.0f);
+
+    RunOptions Launch;
+    Launch.GridX = GridX;
+    Launch.Functional = true;
+    Launch.NumWorkers = WorkerCounts[WI];
+    Launch.Args = {RuntimeArg::tensor(A), RuntimeArg::tensor(B),
+                   RuntimeArg::tensor(C), RuntimeArg::scalar(M),
+                   RuntimeArg::scalar(N), RuntimeArg::scalar(K)};
+
+    Interpreter Interp(*Mod, Cfg);
+    std::vector<CtaTrace> Traces;
+    CtaTrace Sample;
+    ASSERT_EQ(Interp.runGrid(Launch, &Sample, &Traces), "");
+    ASSERT_EQ(Traces.size(), static_cast<size_t>(GridX));
+
+    if (WI == 0) {
+      RefC = C;
+      RefTraces = std::move(Traces);
+      RefSample = std::move(Sample);
+      // NumWorkers=1 must match the historical serial per-CTA loop.
+      auto C2 = std::make_shared<TensorData>(std::vector<int64_t>{M, N});
+      RunOptions Serial = Launch;
+      Serial.Args[2] = RuntimeArg::tensor(C2);
+      Interpreter SerialInterp(*Mod, Cfg);
+      for (int64_t P = 0; P < GridX; ++P) {
+        CtaTrace T;
+        ASSERT_EQ(SerialInterp.runCta(Serial, P, 0, T), "");
+        expectTracesIdentical(RefTraces[P], T);
+      }
+      expectTensorsBitIdentical(*RefC, *C2);
+      continue;
+    }
+    expectTensorsBitIdentical(*RefC, *C);
+    expectTracesIdentical(RefSample, Sample);
+    for (int64_t P = 0; P < GridX; ++P)
+      expectTracesIdentical(RefTraces[P], Traces[P]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Attention grid: 2 heads x 2 query tiles
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelDeterminism, AttentionGridWorkerCountInvariant) {
+  GpuConfig Cfg;
+  IrContext Ctx;
+  AttentionKernelConfig Kernel;
+  auto Mod = buildAttentionModule(Ctx, Kernel);
+  TawaOptions Options;
+  Options.ArefDepth = 2;
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  ASSERT_EQ(PM.run(*Mod), "");
+
+  const int64_t SeqLen = 256, BH = 2;
+  int64_t QTiles = ceilDiv(SeqLen, Kernel.TileQ);
+
+  TensorRef RefO;
+  std::vector<CtaTrace> RefTraces;
+  for (size_t WI = 0; WI < std::size(WorkerCounts); ++WI) {
+    std::vector<int64_t> Shape = {BH, SeqLen, Kernel.HeadDim};
+    auto Q = std::make_shared<TensorData>(Shape);
+    auto K = std::make_shared<TensorData>(Shape);
+    auto V = std::make_shared<TensorData>(Shape);
+    auto O = std::make_shared<TensorData>(Shape);
+    Q->fillRandom(11, 1.0f);
+    K->fillRandom(12, 1.0f);
+    V->fillRandom(13, 1.0f);
+
+    RunOptions Launch;
+    Launch.GridX = QTiles;
+    Launch.GridY = BH;
+    Launch.Functional = true;
+    Launch.NumWorkers = WorkerCounts[WI];
+    Launch.Args = {RuntimeArg::tensor(Q), RuntimeArg::tensor(K),
+                   RuntimeArg::tensor(V), RuntimeArg::tensor(O),
+                   RuntimeArg::scalar(SeqLen)};
+
+    Interpreter Interp(*Mod, Cfg);
+    std::vector<CtaTrace> Traces;
+    ASSERT_EQ(Interp.runGrid(Launch, nullptr, &Traces), "");
+
+    if (WI == 0) {
+      RefO = O;
+      RefTraces = std::move(Traces);
+      continue;
+    }
+    expectTensorsBitIdentical(*RefO, *O);
+    ASSERT_EQ(RefTraces.size(), Traces.size());
+    for (size_t I = 0; I < Traces.size(); ++I)
+      expectTracesIdentical(RefTraces[I], Traces[I]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Error determinism: the first failing CTA in serial order is reported
+//===----------------------------------------------------------------------===//
+
+/// Producer/consumer mbarrier ring whose consumer never releases: every CTA
+/// deadlocks with the same diagnostic.
+std::unique_ptr<Module> buildDeadlockRing(IrContext &Ctx) {
+  int64_t Depth = 2, Iters = 6;
+  auto M = std::make_unique<Module>(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M->getBody());
+  FuncOp *F = B.createFunc("k", {Ctx.getPtrType(), Ctx.getPtrType()});
+  Block &Body = F->getBody();
+  B.setInsertionPointToEnd(&Body);
+  Value *InDesc = Body.getArgument(0);
+  Value *OutDesc = Body.getArgument(1);
+  auto *TileTy = Ctx.getTensorType({16, 16}, Ctx.getF16Type());
+  int64_t Bytes = TileTy->getNumBytes();
+
+  Value *Smem = B.createSmemAlloc(Depth * Bytes, "ring");
+  Operation *SmemOp = cast<OpResult>(Smem)->getOwner();
+  SmemOp->setAttr("slot_bytes", Bytes);
+  SmemOp->setAttr("channel", static_cast<int64_t>(0));
+  SmemOp->setAttr("num_slots", Depth);
+  Value *Full = B.createMBarrierAlloc(Depth, "full");
+  Operation *FullOp = cast<OpResult>(Full)->getOwner();
+  FullOp->setAttr("channel", static_cast<int64_t>(0));
+  FullOp->setAttr("kind", std::string("full"));
+  Value *Empty = B.createMBarrierAlloc(Depth, "empty");
+  Operation *EmptyOp = cast<OpResult>(Empty)->getOwner();
+  EmptyOp->setAttr("channel", static_cast<int64_t>(0));
+  EmptyOp->setAttr("kind", std::string("empty"));
+
+  Value *Zero = B.createConstantInt(0);
+  Value *One = B.createConstantInt(1);
+  Value *Two = B.createConstantInt(2);
+  Value *DepthC = B.createConstantInt(Depth);
+  Value *N = B.createConstantInt(Iters);
+
+  WarpGroupOp *WG0 = B.createWarpGroup(0, "producer");
+  {
+    OpBuilder P(Ctx);
+    P.setInsertionPointToEnd(&WG0->getBody());
+    ForOp *Loop = P.createFor(Zero, N, One, {});
+    OpBuilder L(Ctx);
+    L.setInsertionPointToEnd(&Loop->getBody());
+    Value *K = Loop->getInductionVar();
+    Value *Slot = L.createRem(K, DepthC);
+    Value *Wrap = L.createDiv(K, DepthC);
+    Value *Parity = L.createRem(L.createAdd(Wrap, One), Two);
+    L.createMBarrierWait(Empty, Slot, Parity);
+    L.createMBarrierExpectTx(Full, Slot, Bytes);
+    Operation *Copy = L.createTmaLoadAsync(InDesc, {Slot, Slot}, Smem, Full,
+                                           Slot, Bytes, 0);
+    Copy->setAttr("shape", std::vector<int64_t>{16, 16});
+    L.createYield({});
+  }
+  WarpGroupOp *WG1 = B.createWarpGroup(1, "consumer");
+  {
+    OpBuilder Cb(Ctx);
+    Cb.setInsertionPointToEnd(&WG1->getBody());
+    ForOp *Loop = Cb.createFor(Zero, N, One, {});
+    OpBuilder L(Ctx);
+    L.setInsertionPointToEnd(&Loop->getBody());
+    Value *K = Loop->getInductionVar();
+    Value *Slot = L.createRem(K, DepthC);
+    Value *Wrap = L.createDiv(K, DepthC);
+    Value *Parity = L.createRem(Wrap, Two);
+    L.createMBarrierWait(Full, Slot, Parity);
+    Value *Tile = L.createSmemRead(Smem, Slot, TileTy, 0);
+    L.createTmaStore(OutDesc, {Slot, Slot}, Tile);
+    // Missing MBarrierArrive(Empty): the ring wedges on every CTA.
+    L.createYield({});
+  }
+  B.createReturn();
+  return M;
+}
+
+TEST(ParallelDeterminism, FirstErrorInSerialOrder) {
+  GpuConfig Cfg;
+  IrContext Ctx;
+  auto Mod = buildDeadlockRing(Ctx);
+  ASSERT_EQ(verify(*Mod), "");
+
+  auto In = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
+  auto Out = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
+  In->fillRandom(3);
+  RunOptions Opts;
+  Opts.GridX = 3;
+  Opts.Args = {RuntimeArg::tensor(In), RuntimeArg::tensor(Out)};
+
+  std::string Errors[std::size(WorkerCounts)];
+  for (size_t WI = 0; WI < std::size(WorkerCounts); ++WI) {
+    Opts.NumWorkers = WorkerCounts[WI];
+    Interpreter Interp(*Mod, Cfg);
+    Errors[WI] = Interp.runGrid(Opts);
+    EXPECT_NE(Errors[WI].find("deadlock"), std::string::npos) << Errors[WI];
+    // Every CTA fails identically; the report must name the first in
+    // serial order regardless of which worker hit one first.
+    EXPECT_EQ(Errors[WI].rfind("cta (0,0): ", 0), 0u) << Errors[WI];
+  }
+  EXPECT_EQ(Errors[0], Errors[1]);
+  EXPECT_EQ(Errors[0], Errors[2]);
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool unit coverage
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnce) {
+  const int64_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  for (auto &H : Hits)
+    H.store(0);
+  std::atomic<int64_t> BadWorker{0};
+  WorkerPool::shared().parallelFor(N, 8, [&](int64_t I, int64_t W) {
+    Hits[I].fetch_add(1);
+    if (W < 0 || W >= 8)
+      BadWorker.fetch_add(1);
+  });
+  for (int64_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+  EXPECT_EQ(BadWorker.load(), 0);
+}
+
+TEST(WorkerPool, NestedCallsRunInline) {
+  std::atomic<int64_t> Total{0};
+  WorkerPool::shared().parallelFor(4, 4, [&](int64_t, int64_t) {
+    // A nested job must not deadlock waiting for occupied pool threads.
+    WorkerPool::shared().parallelFor(8, 4, [&](int64_t, int64_t W) {
+      EXPECT_EQ(W, 0); // Inline on the calling worker.
+      Total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(Total.load(), 32);
+}
+
+TEST(WorkerPool, SerialFallbackPreservesOrder) {
+  std::vector<int64_t> Order;
+  WorkerPool::shared().parallelFor(16, 1, [&](int64_t I, int64_t W) {
+    EXPECT_EQ(W, 0);
+    Order.push_back(I);
+  });
+  ASSERT_EQ(Order.size(), 16u);
+  for (int64_t I = 0; I < 16; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+} // namespace
