@@ -8,11 +8,19 @@
 # mode (which enforces the speedup bars and writes
 # $BUILD_DIR/BENCH_interp.json).
 #
+# Then exercises the disk program cache: the test suite runs again with
+# TAWA_CACHE_DIR pointing at a fresh temp dir (cold — populates it), and
+# once more against the populated dir (warm — compiled kernels load from
+# disk), asserting both runs report identical test results. A serializer
+# defect that changes observable behavior fails here even if every
+# individual test passes.
+#
 # Then builds the whole tree a second time with ThreadSanitizer
 # (-DTAWA_TSAN=ON -> -fsanitize=thread) into $BUILD_DIR-tsan and runs the
-# test suite under it, so data races in the CTA worker pool / per-worker
-# arenas fail the check. Set TAWA_SKIP_TSAN=1 to skip that leg (e.g. on
-# hosts without TSan runtime support).
+# test suite under it — including the runCtaBatch timing-sampler fan-out —
+# so data races in the CTA worker pool / per-worker arenas fail the check.
+# Set TAWA_SKIP_TSAN=1 to skip that leg (e.g. on hosts without TSan
+# runtime support).
 
 set -euo pipefail
 
@@ -31,6 +39,28 @@ echo "== ctest =="
 
 echo "== micro_interp (smoke) =="
 (cd "$BUILD_DIR" && ./micro_interp --smoke)
+
+echo "== ctest (program cache, cold) =="
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+(cd "$BUILD_DIR" && TAWA_CACHE_DIR="$CACHE_DIR" ctest --output-on-failure \
+  --no-tests=error -j "$(nproc)") | tee "$BUILD_DIR/ctest-cache-cold.log"
+
+echo "== ctest (program cache, warm) =="
+# The dir is now populated: compiled kernels deserialize instead of
+# compiling. Results must be identical to the cold run.
+(cd "$BUILD_DIR" && TAWA_CACHE_DIR="$CACHE_DIR" ctest --output-on-failure \
+  --no-tests=error -j "$(nproc)") | tee "$BUILD_DIR/ctest-cache-warm.log"
+
+COLD_SUMMARY="$(grep -E '^[0-9]+% tests passed' "$BUILD_DIR/ctest-cache-cold.log")"
+WARM_SUMMARY="$(grep -E '^[0-9]+% tests passed' "$BUILD_DIR/ctest-cache-warm.log")"
+if [[ "$COLD_SUMMARY" != "$WARM_SUMMARY" || -z "$COLD_SUMMARY" ]]; then
+  echo "FAIL: cold/warm cache test results differ:"
+  echo "  cold: $COLD_SUMMARY"
+  echo "  warm: $WARM_SUMMARY"
+  exit 1
+fi
+echo "cache cold/warm results identical: $COLD_SUMMARY"
 
 if [[ "${TAWA_SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan configure =="

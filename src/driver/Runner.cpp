@@ -109,39 +109,40 @@ std::string pipelineKeySuffix(const TawaOptions &O, int64_t SwDepth) {
 // Program cache
 //===----------------------------------------------------------------------===//
 
-/// Declaration order matters: the module references the context and the
-/// compiled program references types owned by the context, so Ctx must be
-/// destroyed last.
-struct Runner::CachedProgram {
-  std::unique_ptr<IrContext> Ctx;
-  std::unique_ptr<Module> M;
-  std::shared_ptr<const sim::bc::CompiledProgram> Prog;
-};
-
-std::shared_ptr<Runner::CachedProgram> Runner::getOrCompile(
+ProgramCache::EntryRef Runner::getOrCompile(
     const std::string &Key,
     const std::function<std::unique_ptr<Module>(IrContext &)> &Build,
     const TawaOptions &Options, int64_t SwPipelineDepth, std::string &Err) {
-  if (auto It = ProgramCache.find(Key); It != ProgramCache.end()) {
-    ++CacheHits;
-    if (!UseLegacyInterp && !It->second->Prog)
-      It->second->Prog = sim::bc::compileModule(*It->second->M, Config);
-    return It->second;
+  auto Compile = [&](std::string &CErr) -> ProgramCache::EntryRef {
+    // Declaration order in Entry matters: the module references the
+    // context and the compiled program references types owned by the
+    // context, so Ctx is destroyed last.
+    auto E = std::make_shared<ProgramCache::Entry>();
+    E->Ctx = std::make_shared<IrContext>();
+    E->M = Build(*E->Ctx);
+    PassManager PM;
+    buildTawaPipeline(PM, Options);
+    if (CErr = PM.run(*E->M); !CErr.empty())
+      return nullptr;
+    if (!Options.EnableWarpSpecialization && SwPipelineDepth > 0)
+      runSoftwarePipeline(*E->M, SwPipelineDepth);
+    if (!UseLegacyInterp)
+      E->Prog = sim::bc::compileModule(*E->M, Config);
+    return E;
+  };
+  ProgramCache::Outcome Outcome;
+  ProgramCache::EntryRef E = ProgramCache::shared().getOrCompile(
+      Key, Config, /*NeedModule=*/UseLegacyInterp,
+      /*NeedProgram=*/!UseLegacyInterp, Compile, Err, &Outcome);
+  if (E) {
+    // A disk hit skips compilation — that is the point — so it counts as a
+    // hit (the warm-start acceptance bar is cache_misses == 0).
+    if (Outcome == ProgramCache::Outcome::Compiled)
+      ++CacheMisses;
+    else
+      ++CacheHits;
   }
-  ++CacheMisses;
-  auto Cached = std::make_shared<CachedProgram>();
-  Cached->Ctx = std::make_unique<IrContext>();
-  Cached->M = Build(*Cached->Ctx);
-  PassManager PM;
-  buildTawaPipeline(PM, Options);
-  if (Err = PM.run(*Cached->M); !Err.empty())
-    return nullptr;
-  if (!Options.EnableWarpSpecialization && SwPipelineDepth > 0)
-    runSoftwarePipeline(*Cached->M, SwPipelineDepth);
-  if (!UseLegacyInterp)
-    Cached->Prog = sim::bc::compileModule(*Cached->M, Config);
-  ProgramCache.emplace(Key, Cached);
-  return Cached;
+  return E;
 }
 
 //===----------------------------------------------------------------------===//
@@ -241,7 +242,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
                    Kernel.Batched ? 1 : 0, Kernel.PointerEpilogue ? 1 : 0) +
       pipelineKeySuffix(Options, E.SwPipelineDepth);
   std::string CompileErr;
-  std::shared_ptr<CachedProgram> Cached = getOrCompile(
+  ProgramCache::EntryRef Cached = getOrCompile(
       Key,
       [&](IrContext &Ctx) { return buildGemmModule(Ctx, Kernel); },
       Options, E.SwPipelineDepth, CompileErr);
@@ -249,7 +250,6 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
     R.Error = "compile: " + CompileErr;
     return R;
   }
-  Module &M = *Cached->M;
 
   int64_t NumPidM = ceilDiv(TotalM, Kernel.TileM);
   int64_t NumPidN = ceilDiv(W.N, Kernel.TileN);
@@ -312,7 +312,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   Launch.UseLegacyInterp = UseLegacyInterp;
   Launch.NumWorkers = NumWorkers;
 
-  Interpreter Interp(M, Config, Cached->Prog);
+  Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
 
   // Functional pass over every CTA (validates numerics), fanned out across
   // the worker pool — CTAs are independent and the merge is deterministic.
@@ -341,11 +341,16 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
       R.MaxRelError = Worst;
     }
   } else {
-    if (std::string Err = Interp.runCta(Launch, 0, 0, Sample);
+    // Timing-only: GEMM trip counts are uniform across the grid, so one
+    // sampled CTA represents every SM. Routed through the batch sampler
+    // (a batch of one) so both kernel families share one sampling path.
+    std::vector<CtaTrace> Samples;
+    if (std::string Err = Interp.runCtaBatch(Launch, {{0, 0}}, Samples);
         !Err.empty()) {
       R.Error = Err;
       return R;
     }
+    Sample = std::move(Samples[0]);
   }
 
   R.SmemBytes = Sample.SmemBytes;
@@ -431,7 +436,7 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
                    static_cast<int>(Kernel.InPrecision)) +
       pipelineKeySuffix(Options, E.SwPipelineDepth);
   std::string CompileErr;
-  std::shared_ptr<CachedProgram> Cached = getOrCompile(
+  ProgramCache::EntryRef Cached = getOrCompile(
       Key,
       [&](IrContext &Ctx) { return buildAttentionModule(Ctx, Kernel); },
       Options, E.SwPipelineDepth, CompileErr);
@@ -439,7 +444,6 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
     R.Error = "compile: " + CompileErr;
     return R;
   }
-  Module &M = *Cached->M;
 
   int64_t QTiles = ceilDiv(W.SeqLen, Kernel.TileQ);
   int64_t BH = W.Batch * W.Heads;
@@ -485,7 +489,7 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
   Launch.UseLegacyInterp = UseLegacyInterp;
   Launch.NumWorkers = NumWorkers;
 
-  Interpreter Interp(M, Config, Cached->Prog);
+  Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
 
   if (Functional) {
     if (std::string Err = Interp.runGrid(Launch); !Err.empty()) {
@@ -506,19 +510,22 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
   }
 
   // Timing: interpret SM0's CTA list (trip counts vary under causal
-  // masking, so each sampled CTA is interpreted individually).
+  // masking, so each sampled CTA is interpreted individually). The samples
+  // are independent, so they fan out across the worker pool; results merge
+  // by sample index, keeping the cycle report, HB counts and first-error
+  // selection bit-identical to the historical serial loop at any
+  // NumWorkers (docs/threading-and-memory.md).
   RunOptions TimingLaunch = Launch;
   TimingLaunch.Functional = false;
+  std::vector<CtaCoord> Sm0Ctas;
+  for (int64_t Pid = 0; Pid < TotalCtas; Pid += Config.NumSms)
+    Sm0Ctas.push_back({Pid % QTiles, Pid / QTiles});
   std::vector<CtaTrace> SampleStorage;
-  for (int64_t Pid = 0; Pid < TotalCtas; Pid += Config.NumSms) {
-    int64_t X = Pid % QTiles, Y = Pid / QTiles;
-    CtaTrace T;
-    if (std::string Err = Interp.runCta(TimingLaunch, X, Y, T);
-        !Err.empty()) {
-      R.Error = Err;
-      return R;
-    }
-    SampleStorage.push_back(std::move(T));
+  if (std::string Err =
+          Interp.runCtaBatch(TimingLaunch, Sm0Ctas, SampleStorage);
+      !Err.empty()) {
+    R.Error = Err;
+    return R;
   }
   if (SampleStorage.empty()) {
     R.Error = "no CTAs to simulate";

@@ -11,9 +11,9 @@
 
 #include "models/Frameworks.h"
 #include "sim/Config.h"
+#include "support/ProgramCache.h"
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 
@@ -46,19 +46,25 @@ public:
   /// both engines are observably identical).
   bool UseLegacyInterp = false;
 
-  /// Worker threads for the functional all-CTA validation loops: 0 = one
-  /// per hardware thread (default), 1 = the historical serial loop.
-  /// Results are bit-identical at any worker count (the parallel runner
-  /// merges by CTA index; see docs/threading-and-memory.md). Timing-model
-  /// sampling is unaffected.
+  /// Worker threads for the functional all-CTA validation loops AND the
+  /// timing-mode sample fan-out (the attention causal-masking sampler, one
+  /// interpreted CTA per SM): 0 = one per hardware thread (default), 1 =
+  /// the historical serial loops. Results — outputs, cycle reports, HB
+  /// counts, first-error selection — are bit-identical at any worker count
+  /// (both runners merge by index; see docs/threading-and-memory.md).
   int64_t NumWorkers = 0;
 
-  /// Program-cache statistics: benchmark sweeps that vary only runtime
+  /// Per-Runner program-cache accounting over the process-wide
+  /// support/ProgramCache: benchmark sweeps that vary only runtime
   /// dimensions (fig8's K sweep, fig11's hyperparameter grid) compile once
-  /// and execute many times.
+  /// and execute many times, and with TAWA_CACHE_DIR set a warm process
+  /// skips compilation entirely. A "hit" is an in-memory or disk-loaded
+  /// program; a "miss" is a full compile.
   size_t getProgramCacheHits() const { return CacheHits; }
   size_t getProgramCacheMisses() const { return CacheMisses; }
-  void clearProgramCache() { ProgramCache.clear(); }
+  /// Drops every in-memory entry of the PROCESS-wide cache (all Runners);
+  /// a configured persist directory is untouched.
+  void clearProgramCache() { ProgramCache::shared().clear(); }
 
   /// Runs a GEMM point under a framework's default envelope.
   RunResult runGemm(Framework F, const GemmWorkload &W,
@@ -79,19 +85,18 @@ private:
   RunResult runAttentionAnalytic(const AttentionWorkload &W,
                                  const FrameworkEnvelope &E);
 
-  /// One compiled kernel: the IR context/module pinned alive plus the
-  /// flattened bytecode program. Keyed by (kernel, pass config, precision,
-  /// tile shape); runtime dims (M/N/K, grid) are launch arguments, so one
-  /// entry serves a whole sweep. Not thread-safe (one Runner per thread).
-  struct CachedProgram;
-
-  /// Cache lookup / compile-and-insert. \p Build constructs the kernel
-  /// module in a fresh context; the pass pipeline, optional software
-  /// pipelining and bytecode flattening are shared between kernel
-  /// families. Returns null with \p Err set on pipeline failure (failed
-  /// compiles are not cached). In legacy-interpreter mode flattening is
-  /// skipped until a bytecode run first needs it.
-  std::shared_ptr<CachedProgram>
+  /// Cache lookup / compile-and-insert against the process-wide
+  /// support/ProgramCache. \p Build constructs the kernel module in a
+  /// fresh context; the pass pipeline, optional software pipelining and
+  /// bytecode flattening are shared between kernel families. The key
+  /// covers every compile-time knob — (kernel, tile shape, precision,
+  /// pipeline options) — so runtime dims (M/N/K, grid) are launch
+  /// arguments and one entry serves a whole sweep. Returns null with
+  /// \p Err set on pipeline failure (failed compiles are not cached). In
+  /// legacy-interpreter mode flattening is skipped until a bytecode run
+  /// first needs it, and the disk layer is bypassed (the legacy engine
+  /// walks IR, which disk entries do not carry).
+  ProgramCache::EntryRef
   getOrCompile(const std::string &Key,
                const std::function<std::unique_ptr<Module>(IrContext &)>
                    &Build,
@@ -99,7 +104,6 @@ private:
                std::string &Err);
 
   sim::GpuConfig Config;
-  std::map<std::string, std::shared_ptr<CachedProgram>> ProgramCache;
   size_t CacheHits = 0, CacheMisses = 0;
 };
 

@@ -24,6 +24,8 @@
 #define TAWA_SIM_ARENA_H
 
 #include <algorithm>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -55,6 +57,22 @@ public:
     float *P = Chunks[Cur].Mem.get() + Used;
     Used += NumFloats;
     return P;
+  }
+
+  /// Raw aligned allocation from the same chunks, for small non-payload
+  /// objects that share the arena's lifetime — the pooled shared_ptr
+  /// control blocks of ArenaAllocator. Alignment is produced by
+  /// over-allocating float slots and aligning inside them, so it works for
+  /// any chunk base. \p Align must be a power of two <= 16.
+  void *allocRaw(size_t Bytes, size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 && Align <= 16 &&
+           "unsupported arena alignment");
+    int64_t NumFloats = static_cast<int64_t>((Bytes + sizeof(float) - 1) /
+                                             sizeof(float)) +
+                        static_cast<int64_t>(Align / sizeof(float));
+    uintptr_t Addr = reinterpret_cast<uintptr_t>(alloc(NumFloats));
+    return reinterpret_cast<void *>((Addr + Align - 1) &
+                                    ~static_cast<uintptr_t>(Align - 1));
   }
 
   /// Rewinds every chunk without releasing memory. Invalidates all payloads
@@ -95,6 +113,39 @@ private:
   size_t Cur = 0;    ///< Active chunk.
   int64_t Used = 0;  ///< Floats consumed in the active chunk.
 };
+
+/// Minimal STL allocator over a TileArena: allocate bumps the arena,
+/// deallocate is a no-op (reset() reclaims wholesale). Its one job is
+/// std::allocate_shared — pooling the shared_ptr control block (and the
+/// TensorData object inlined into it) into the arena, so producing a tile
+/// performs zero heap allocations. Everything allocated through it follows
+/// the arena lifetime contract above: all references must die before the
+/// next reset(), which the executor guarantees (tile refs live only in
+/// agent environments and staging stores, both destroyed per CTA).
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(TileArena *Arena) : Arena(Arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &O) : Arena(O.Arena) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(Arena->allocRaw(N * sizeof(T), alignof(T)));
+  }
+  void deallocate(T *, size_t) {} // Reclaimed wholesale by reset().
+
+  TileArena *Arena;
+};
+
+template <typename T, typename U>
+inline bool operator==(const ArenaAllocator<T> &L, const ArenaAllocator<U> &R) {
+  return L.Arena == R.Arena;
+}
+template <typename T, typename U>
+inline bool operator!=(const ArenaAllocator<T> &L, const ArenaAllocator<U> &R) {
+  return L.Arena != R.Arena;
+}
 
 } // namespace sim
 } // namespace tawa

@@ -12,8 +12,11 @@
 #include "ir/Ir.h"
 #include "ir/ValueNumbering.h"
 #include "sim/ExecCommon.h"
+#include "support/Support.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 
 using namespace tawa;
 using namespace tawa::sim;
@@ -521,5 +524,446 @@ tawa::sim::bc::compileModule(Module &M, const GpuConfig &Config) {
   auto P = std::make_shared<CompiledProgram>();
   Compiler C(M, Config, *P);
   C.run();
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Binary serialization
+//===----------------------------------------------------------------------===//
+//
+// Layout: [magic u32]["version" u32][payload][fnv1a64 of payload]. The
+// payload is strictly little-endian-of-the-host (cache files are
+// host-local build artifacts, not interchange), every variable-length
+// count is bounds-checked against the remaining bytes on load, and the
+// trailing checksum turns truncation and bit corruption into a clean null
+// return — the caller recompiles.
+
+namespace {
+
+constexpr uint32_t SerialMagic = 0x54415742; // "TAWB"
+
+class ByteWriter {
+public:
+  void raw(const void *P, size_t N) {
+    if (N) // An empty vector's data() may be null; append requires valid.
+      Buf.append(static_cast<const char *>(P), N);
+  }
+  void u8(uint8_t V) { raw(&V, sizeof(V)); }
+  void u32(uint32_t V) { raw(&V, sizeof(V)); }
+  void i32(int32_t V) { raw(&V, sizeof(V)); }
+  void i64(int64_t V) { raw(&V, sizeof(V)); }
+  void f64(double V) { raw(&V, sizeof(V)); }
+  void str(const std::string &S) {
+    i64(static_cast<int64_t>(S.size()));
+    raw(S.data(), S.size());
+  }
+  void vecI32(const std::vector<int32_t> &V) {
+    i64(static_cast<int64_t>(V.size()));
+    raw(V.data(), V.size() * sizeof(int32_t));
+  }
+  void vecI64(const std::vector<int64_t> &V) {
+    i64(static_cast<int64_t>(V.size()));
+    raw(V.data(), V.size() * sizeof(int64_t));
+  }
+
+  std::string take() { return std::move(Buf); }
+  const std::string &buffer() const { return Buf; }
+
+private:
+  std::string Buf;
+};
+
+/// Failure-latching reader: after any out-of-bounds read every subsequent
+/// accessor returns zero values, and ok() is false — the loader checks once
+/// at the end instead of threading error returns through every field.
+class ByteReader {
+public:
+  ByteReader(const std::string &Buf, size_t Begin, size_t End)
+      : Buf(Buf), Pos(Begin), End(End) {}
+
+  bool raw(void *P, size_t N) {
+    if (Fail || N > End - Pos) {
+      Fail = true;
+      std::memset(P, 0, N);
+      return false;
+    }
+    std::memcpy(P, Buf.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+  uint8_t u8() { return readPod<uint8_t>(); }
+  uint32_t u32() { return readPod<uint32_t>(); }
+  int32_t i32() { return readPod<int32_t>(); }
+  int64_t i64() { return readPod<int64_t>(); }
+  double f64() { return readPod<double>(); }
+  std::string str() {
+    int64_t N = i64();
+    if (!checkCount(N, 1))
+      return {};
+    std::string S(static_cast<size_t>(N), '\0');
+    raw(S.data(), static_cast<size_t>(N));
+    return S;
+  }
+  std::vector<int32_t> vecI32() { return readVec<int32_t>(); }
+  std::vector<int64_t> vecI64() { return readVec<int64_t>(); }
+
+  /// Validates a parsed element count against the bytes actually left, so a
+  /// corrupt count cannot drive a multi-gigabyte allocation.
+  bool checkCount(int64_t N, size_t ElemBytes) {
+    if (Fail || N < 0 ||
+        static_cast<uint64_t>(N) > (End - Pos) / std::max<size_t>(ElemBytes, 1))
+      Fail = true;
+    return !Fail;
+  }
+
+  bool ok() const { return !Fail; }
+  bool atEnd() const { return !Fail && Pos == End; }
+
+private:
+  template <typename T> T readPod() {
+    T V;
+    raw(&V, sizeof(T));
+    return V;
+  }
+  template <typename T> std::vector<T> readVec() {
+    int64_t N = i64();
+    if (!checkCount(N, sizeof(T)))
+      return {};
+    std::vector<T> V(static_cast<size_t>(N));
+    raw(V.data(), static_cast<size_t>(N) * sizeof(T));
+    return V;
+  }
+
+  const std::string &Buf;
+  size_t Pos, End;
+  bool Fail = false;
+};
+
+/// The machine-config fields baked into precomputed costs, written and read
+/// in one fixed order (also the configDigest input).
+void writeConfig(ByteWriter &W, const GpuConfig &C) {
+  W.i64(C.NumSms);
+  W.f64(C.ClockGhz);
+  W.f64(C.Fp16TflopsPeak);
+  W.f64(C.Fp8TflopsPeak);
+  W.f64(C.HbmTBps);
+  W.i64(C.SmemBytesPerSm);
+  W.i64(C.RegsPerSm);
+  W.i64(C.MaxRegsPerThread);
+  W.f64(C.KernelLaunchMicros);
+  W.f64(C.CtaStartCycles);
+  W.f64(C.TmaLatencyCycles);
+  W.f64(C.TmaBwEfficiency);
+  W.f64(C.CpAsyncLatencyCycles);
+  W.f64(C.CpAsyncBwEfficiency);
+  W.f64(C.CpAsyncIssueBytesPerCycle);
+  W.f64(C.WgmmaEfficiency);
+  W.f64(C.WgmmaIssueCycles);
+  W.f64(C.BarrierOpCycles);
+  W.f64(C.NamedBarrierSyncCycles);
+  W.f64(C.TmaIssueCycles);
+  W.f64(C.SyncLoadLatencyCycles);
+  W.f64(C.CudaLanes);
+  W.f64(C.SfuLanes);
+  W.i64(C.BaseRegsPerThread);
+  W.f64(C.PipelineRegFactor);
+  W.f64(C.SpillPenalty);
+}
+
+void readConfig(ByteReader &R, GpuConfig &C) {
+  C.NumSms = static_cast<int>(R.i64());
+  C.ClockGhz = R.f64();
+  C.Fp16TflopsPeak = R.f64();
+  C.Fp8TflopsPeak = R.f64();
+  C.HbmTBps = R.f64();
+  C.SmemBytesPerSm = R.i64();
+  C.RegsPerSm = R.i64();
+  C.MaxRegsPerThread = R.i64();
+  C.KernelLaunchMicros = R.f64();
+  C.CtaStartCycles = R.f64();
+  C.TmaLatencyCycles = R.f64();
+  C.TmaBwEfficiency = R.f64();
+  C.CpAsyncLatencyCycles = R.f64();
+  C.CpAsyncBwEfficiency = R.f64();
+  C.CpAsyncIssueBytesPerCycle = R.f64();
+  C.WgmmaEfficiency = R.f64();
+  C.WgmmaIssueCycles = R.f64();
+  C.BarrierOpCycles = R.f64();
+  C.NamedBarrierSyncCycles = R.f64();
+  C.TmaIssueCycles = R.f64();
+  C.SyncLoadLatencyCycles = R.f64();
+  C.CudaLanes = R.f64();
+  C.SfuLanes = R.f64();
+  C.BaseRegsPerThread = R.i64();
+  C.PipelineRegFactor = R.f64();
+  C.SpillPenalty = R.f64();
+}
+
+/// Pointer-identity tables for the two kinds of type reference an Inst can
+/// carry. Serialized structurally (element kind + shape) and re-interned
+/// into a private IrContext on load.
+struct TypeTables {
+  std::vector<TensorType *> Tensors;
+  std::vector<Type *> Scalars;
+
+  int32_t tensorIdx(TensorType *Ty) {
+    if (!Ty)
+      return 0;
+    for (size_t I = 0; I < Tensors.size(); ++I)
+      if (Tensors[I] == Ty)
+        return static_cast<int32_t>(I + 1);
+    Tensors.push_back(Ty);
+    return static_cast<int32_t>(Tensors.size());
+  }
+  int32_t scalarIdx(Type *Ty) {
+    if (!Ty)
+      return 0;
+    for (size_t I = 0; I < Scalars.size(); ++I)
+      if (Scalars[I] == Ty)
+        return static_cast<int32_t>(I + 1);
+    Scalars.push_back(Ty);
+    return static_cast<int32_t>(Scalars.size());
+  }
+};
+
+void writeInst(ByteWriter &W, const Inst &I, TypeTables &Tys) {
+  W.u8(static_cast<uint8_t>(I.Op));
+  W.u8(I.NumOps);
+  W.i32(I.Result);
+  W.i32(I.OpBegin);
+  W.i32(I.Aux);
+  W.i32(I.MsgId);
+  W.i64(I.Imm0);
+  W.i64(I.Imm1);
+  W.i64(I.Imm2);
+  W.i64(I.Imm3);
+  W.f64(I.FImm);
+  W.f64(I.Cost);
+  W.i32(Tys.tensorIdx(I.ResultTy));
+  W.i32(Tys.scalarIdx(I.ElemTy));
+}
+
+void writeRegion(ByteWriter &W, const RegionProgram &RP, TypeTables &Tys) {
+  W.i64(static_cast<int64_t>(RP.Code.size()));
+  for (const Inst &I : RP.Code)
+    writeInst(W, I, Tys);
+}
+
+void writeLoop(ByteWriter &W, const LoopInfo &L) {
+  W.i32(L.LbSlot);
+  W.i32(L.UbSlot);
+  W.i32(L.StepSlot);
+  W.i32(L.IvSlot);
+  W.vecI32(L.InitSlots);
+  W.vecI32(L.IterSlots);
+  W.vecI32(L.YieldSlots);
+  W.vecI32(L.ResultSlots);
+  W.u8(L.Pipelined ? 1 : 0);
+  W.i32(L.BodyPc);
+  W.i32(L.ExitPc);
+}
+
+void readLoop(ByteReader &R, LoopInfo &L) {
+  L.LbSlot = R.i32();
+  L.UbSlot = R.i32();
+  L.StepSlot = R.i32();
+  L.IvSlot = R.i32();
+  L.InitSlots = R.vecI32();
+  L.IterSlots = R.vecI32();
+  L.YieldSlots = R.vecI32();
+  L.ResultSlots = R.vecI32();
+  L.Pipelined = R.u8() != 0;
+  L.BodyPc = R.i32();
+  L.ExitPc = R.i32();
+}
+
+} // namespace
+
+uint64_t tawa::sim::bc::configDigest(const GpuConfig &Config) {
+  ByteWriter W;
+  writeConfig(W, Config);
+  return fnv1a64(W.buffer().data(), W.buffer().size());
+}
+
+std::string tawa::sim::bc::serializeProgram(const CompiledProgram &P) {
+  assert(P.CompileError.empty() && "refusing to serialize a failed compile");
+
+  // Collect the type tables first so they can be written before the
+  // instruction streams that index into them.
+  TypeTables Tys;
+  auto CollectRegion = [&](const RegionProgram &RP) {
+    for (const Inst &I : RP.Code) {
+      Tys.tensorIdx(I.ResultTy);
+      Tys.scalarIdx(I.ElemTy);
+    }
+  };
+  CollectRegion(P.Preamble);
+  for (const RegionProgram &RP : P.Agents)
+    CollectRegion(RP);
+
+  ByteWriter W;
+  W.u32(SerialMagic);
+  W.u32(SerialFormatVersion);
+  writeConfig(W, P.Config);
+  W.i64(P.SwPipelineDepth);
+  W.i32(P.NumSlots);
+  W.vecI32(P.ArgSlots);
+  W.vecI32(P.OperandSlots);
+  W.vecI64(P.SlotOffsets);
+
+  W.i64(static_cast<int64_t>(P.IntVecs.size()));
+  for (const std::vector<int64_t> &V : P.IntVecs)
+    W.vecI64(V);
+  W.i64(static_cast<int64_t>(P.Messages.size()));
+  for (const std::string &S : P.Messages)
+    W.str(S);
+  W.i64(static_cast<int64_t>(P.Loops.size()));
+  for (const LoopInfo &L : P.Loops)
+    writeLoop(W, L);
+
+  W.i64(static_cast<int64_t>(Tys.Scalars.size()));
+  for (Type *Ty : Tys.Scalars)
+    W.u8(static_cast<uint8_t>(Ty->getKind()));
+  W.i64(static_cast<int64_t>(Tys.Tensors.size()));
+  for (TensorType *Ty : Tys.Tensors) {
+    W.u8(static_cast<uint8_t>(Ty->getElementType()->getKind()));
+    W.vecI64(Ty->getShape());
+  }
+
+  W.i64(static_cast<int64_t>(P.AgentInfos.size()));
+  for (const AgentInfo &A : P.AgentInfos) {
+    W.i64(A.Replicas);
+    W.str(A.Role);
+  }
+  writeRegion(W, P.Preamble, Tys);
+  W.i64(static_cast<int64_t>(P.Agents.size()));
+  for (const RegionProgram &RP : P.Agents)
+    writeRegion(W, RP, Tys);
+
+  uint64_t Sum = fnv1a64(W.buffer().data(), W.buffer().size());
+  W.raw(&Sum, sizeof(Sum));
+  return W.take();
+}
+
+std::shared_ptr<const CompiledProgram>
+tawa::sim::bc::deserializeProgram(const std::string &Bytes) {
+  if (Bytes.size() < sizeof(uint32_t) * 2 + sizeof(uint64_t))
+    return nullptr;
+  size_t PayloadEnd = Bytes.size() - sizeof(uint64_t);
+  uint64_t Stored;
+  std::memcpy(&Stored, Bytes.data() + PayloadEnd, sizeof(Stored));
+  if (fnv1a64(Bytes.data(), PayloadEnd) != Stored)
+    return nullptr;
+
+  ByteReader R(Bytes, 0, PayloadEnd);
+  if (R.u32() != SerialMagic || R.u32() != SerialFormatVersion)
+    return nullptr;
+
+  auto P = std::make_shared<CompiledProgram>();
+  P->TypeCtx = std::make_shared<IrContext>();
+  readConfig(R, P->Config);
+  P->SwPipelineDepth = R.i64();
+  P->NumSlots = R.i32();
+  P->ArgSlots = R.vecI32();
+  P->OperandSlots = R.vecI32();
+  P->SlotOffsets = R.vecI64();
+
+  int64_t NumIntVecs = R.i64();
+  if (!R.checkCount(NumIntVecs, sizeof(int64_t)))
+    return nullptr;
+  P->IntVecs.resize(static_cast<size_t>(NumIntVecs));
+  for (std::vector<int64_t> &V : P->IntVecs)
+    V = R.vecI64();
+  int64_t NumMessages = R.i64();
+  if (!R.checkCount(NumMessages, sizeof(int64_t)))
+    return nullptr;
+  P->Messages.resize(static_cast<size_t>(NumMessages));
+  for (std::string &S : P->Messages)
+    S = R.str();
+  int64_t NumLoops = R.i64();
+  if (!R.checkCount(NumLoops, sizeof(int32_t)))
+    return nullptr;
+  P->Loops.resize(static_cast<size_t>(NumLoops));
+  for (LoopInfo &L : P->Loops)
+    readLoop(R, L);
+
+  auto ValidScalarKind = [](uint8_t K) {
+    return K < static_cast<uint8_t>(TypeKind::Tensor);
+  };
+  std::vector<Type *> Scalars;
+  int64_t NumScalars = R.i64();
+  if (!R.checkCount(NumScalars, sizeof(uint8_t)))
+    return nullptr;
+  for (int64_t I = 0; I < NumScalars; ++I) {
+    uint8_t K = R.u8();
+    if (!R.ok() || !ValidScalarKind(K))
+      return nullptr;
+    Scalars.push_back(P->TypeCtx->getScalar(static_cast<TypeKind>(K)));
+  }
+  std::vector<TensorType *> Tensors;
+  int64_t NumTensors = R.i64();
+  if (!R.checkCount(NumTensors, sizeof(uint8_t)))
+    return nullptr;
+  for (int64_t I = 0; I < NumTensors; ++I) {
+    uint8_t K = R.u8();
+    std::vector<int64_t> Shape = R.vecI64();
+    if (!R.ok() || !ValidScalarKind(K))
+      return nullptr;
+    Tensors.push_back(P->TypeCtx->getTensorType(
+        std::move(Shape), P->TypeCtx->getScalar(static_cast<TypeKind>(K))));
+  }
+
+  int64_t NumAgentInfos = R.i64();
+  if (!R.checkCount(NumAgentInfos, sizeof(int64_t)))
+    return nullptr;
+  P->AgentInfos.resize(static_cast<size_t>(NumAgentInfos));
+  for (AgentInfo &A : P->AgentInfos) {
+    A.Replicas = R.i64();
+    A.Role = R.str();
+  }
+
+  auto ReadRegion = [&](RegionProgram &RP) {
+    int64_t N = R.i64();
+    if (!R.checkCount(N, 1))
+      return false;
+    RP.Code.resize(static_cast<size_t>(N));
+    for (Inst &I : RP.Code) {
+      I.Op = static_cast<BcOp>(R.u8());
+      I.NumOps = R.u8();
+      I.Result = R.i32();
+      I.OpBegin = R.i32();
+      I.Aux = R.i32();
+      I.MsgId = R.i32();
+      I.Imm0 = R.i64();
+      I.Imm1 = R.i64();
+      I.Imm2 = R.i64();
+      I.Imm3 = R.i64();
+      I.FImm = R.f64();
+      I.Cost = R.f64();
+      int32_t TensorIdx = R.i32();
+      int32_t ScalarIdx = R.i32();
+      if (TensorIdx < 0 ||
+          TensorIdx > static_cast<int32_t>(Tensors.size()) ||
+          ScalarIdx < 0 || ScalarIdx > static_cast<int32_t>(Scalars.size()))
+        return false;
+      I.ResultTy = TensorIdx ? Tensors[TensorIdx - 1] : nullptr;
+      I.ElemTy = ScalarIdx ? Scalars[ScalarIdx - 1] : nullptr;
+    }
+    return true;
+  };
+  if (!ReadRegion(P->Preamble))
+    return nullptr;
+  int64_t NumAgents = R.i64();
+  if (!R.checkCount(NumAgents, 1))
+    return nullptr;
+  P->Agents.resize(static_cast<size_t>(NumAgents));
+  for (RegionProgram &RP : P->Agents)
+    if (!ReadRegion(RP))
+      return nullptr;
+
+  // The whole payload must parse and be fully consumed (trailing garbage is
+  // as suspect as truncation).
+  if (!R.atEnd())
+    return nullptr;
   return P;
 }

@@ -31,6 +31,7 @@
 
 namespace tawa {
 
+class IrContext;
 class Module;
 class TensorType;
 class Type;
@@ -166,6 +167,12 @@ struct CompiledProgram {
   /// Machine parameters baked into precomputed costs (kept for the executor's
   /// runtime costs: barrier ops, syncs).
   GpuConfig Config;
+
+  /// For deserialized programs only: the private type context owning every
+  /// TensorType/Type the instructions reference (programs compiled from a
+  /// module borrow the module's context instead, pinned alive by the
+  /// program cache entry).
+  std::shared_ptr<IrContext> TypeCtx;
 };
 
 /// Flattens \p M for execution under \p Config. Never fails on unsupported
@@ -188,6 +195,38 @@ std::shared_ptr<const CompiledProgram> compileModule(Module &M,
 std::string executeProgram(const CompiledProgram &P, const RunOptions &Opts,
                            int64_t PidX, int64_t PidY, CtaTrace &Out,
                            TileArena *Arena = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Binary serialization (the disk layer of support/ProgramCache)
+//===----------------------------------------------------------------------===//
+
+/// On-disk format version of serializeProgram. Bump on ANY layout change —
+/// opcode renumbering, Inst field changes, cost-model semantics — and every
+/// existing cache file silently falls back to recompilation.
+constexpr uint32_t SerialFormatVersion = 1;
+
+/// Serializes \p P into a self-contained, versioned binary blob: magic +
+/// format version, the machine config its costs were precomputed from (the
+/// analytic cost-model constants), every instruction stream with operand
+/// slots and pre-resolved loop targets, the materialized attribute pools,
+/// and a type table replacing the raw TensorType/Type pointers; terminated
+/// by a checksum over the whole payload. \p P must have compiled cleanly
+/// (no CompileError).
+std::string serializeProgram(const CompiledProgram &P);
+
+/// Reconstructs a program from serializeProgram's output. Returns null on
+/// ANY defect — wrong magic, other format version, truncation, trailing
+/// garbage, checksum mismatch — so callers fall back to recompilation
+/// rather than executing a corrupt program. On success the program owns a
+/// private type context (CompiledProgram::TypeCtx) and is immediately
+/// executable without a Module.
+std::shared_ptr<const CompiledProgram>
+deserializeProgram(const std::string &Bytes);
+
+/// Stable digest of every machine-config field that serializeProgram bakes
+/// into precomputed costs. Cache keys and file names include it, so two
+/// configs never alias a cache entry.
+uint64_t configDigest(const GpuConfig &Config);
 
 } // namespace bc
 } // namespace sim

@@ -131,10 +131,27 @@ inline TensorRef makeTensorForType(TensorType *Ty) {
   return std::make_shared<TensorData>(Ty->getShape());
 }
 
-/// Arena-backed tile for the bytecode executor. UNINITIALIZED — the caller
-/// must overwrite or fill every element (Arena.h's contract).
+/// Arena-backed tile, fully pooled: std::allocate_shared places the
+/// shared_ptr control block AND the TensorData object in the arena, and the
+/// payload comes from the arena too — producing a tile performs zero heap
+/// allocations. UNINITIALIZED — the caller must overwrite or fill every
+/// element (Arena.h's contract). All references die before the arena's next
+/// reset (agent environments and staging stores are per-CTA), at which
+/// point the control block's no-op deallocate has already run.
+inline TensorRef makeArenaTile(ShapeVec Shape, TileArena &Arena) {
+  return std::allocate_shared<TensorData>(ArenaAllocator<TensorData>(&Arena),
+                                          Shape, Arena);
+}
+
 inline TensorRef makeTileForType(TensorType *Ty, TileArena &Arena) {
-  return std::make_shared<TensorData>(Ty->getShape(), Arena);
+  return makeArenaTile(Ty->getShape(), Arena);
+}
+
+/// Arena-backed deep copy, pooled like makeArenaTile (the executor's
+/// clone-and-mutate ops: Exp2, Cast, epilogue rounding).
+inline TensorRef cloneArenaTile(const TensorData &T, TileArena &Arena) {
+  return std::allocate_shared<TensorData>(ArenaAllocator<TensorData>(&Arena),
+                                          T, Arena);
 }
 
 /// Copies the (possibly higher-rank) host window for a tile into \p Tile,
@@ -169,7 +186,7 @@ inline TensorData loadWindow(const TensorData &Host,
 /// Writes a tile back into a (possibly higher-rank) host tensor.
 inline void storeWindow(TensorData &Host, const std::vector<int64_t> &Offsets,
                         const TensorData &Tile) {
-  std::vector<int64_t> Padded = Tile.getShape();
+  std::vector<int64_t> Padded = Tile.getShape().vec();
   while (Padded.size() < Host.getShape().size())
     Padded.insert(Padded.begin(), 1);
   TensorData W(Padded);
@@ -181,9 +198,8 @@ inline void storeWindow(TensorData &Host, const std::vector<int64_t> &Offsets,
 inline TensorRef applyBinary(const TensorRef &A, const TensorRef &B,
                              float (*Fn)(float, float),
                              TileArena *Arena = nullptr) {
-  auto Out = Arena
-                 ? std::make_shared<TensorData>(A->getShape(), *Arena)
-                 : std::make_shared<TensorData>(A->getShape());
+  auto Out = Arena ? makeArenaTile(A->getShape(), *Arena)
+                   : std::make_shared<TensorData>(A->getShape());
   const float *Ap = A->data(), *Bp = B->data();
   float *Op = Out->data();
   for (int64_t I = 0, E = A->getNumElements(); I != E; ++I)
@@ -225,7 +241,7 @@ inline TensorRef matmulAcc(const TensorRef &A, const TensorRef &B,
                            TileArena *Arena = nullptr) {
   int64_t MDim = A->getDim(0), KDim = A->getDim(1);
   int64_t NDim = TransB ? B->getDim(0) : B->getDim(1);
-  TensorRef Out = Arena ? std::make_shared<TensorData>(*Acc, *Arena)
+  TensorRef Out = Arena ? cloneArenaTile(*Acc, *Arena)
                         : std::make_shared<TensorData>(*Acc);
   const float *Ap = A->data(), *Bp = B->data();
   float *Op = Out->data();

@@ -108,11 +108,12 @@ private:
   void recordViolation(std::string S) { Violations.push_back(std::move(S)); }
 
   /// Fresh arena-backed tile, uninitialized (every caller overwrites or
-  /// fills it — Arena.h's contract).
+  /// fills it — Arena.h's contract). Control block and payload are both
+  /// pooled in the arena: zero heap traffic per produced tile.
   TensorRef makeTile(TensorType *Ty) { return makeTileForType(Ty, *Arena); }
   /// Arena-backed deep copy (the clone-and-mutate ops: Exp2, Cast).
   TensorRef cloneTile(const TensorData &T) {
-    return std::make_shared<TensorData>(T, *Arena);
+    return cloneArenaTile(T, *Arena);
   }
 
   const CompiledProgram &P;
@@ -826,7 +827,7 @@ void BcExec::step(AgentRun &Run) {
         size_t Key = Idx * Buf.NumFields + I.Imm2;
         // Install a fresh tile rather than overwriting in place: consumers
         // that already read this slot keep their snapshot.
-        auto T = std::make_shared<TensorData>(P.IntVecs[I.Aux], *Arena);
+        auto T = makeArenaTile(P.IntVecs[I.Aux], *Arena);
         loadWindowInto(*Opts.Args[Desc.H].Data, Offsets, P.IntVecs[I.Aux],
                        *T);
         Buf.Store[Key] = std::move(T);

@@ -3,8 +3,16 @@
 // Thin façade preserving the historical public API: picks the bytecode
 // executor (default, compiled lazily and cached for the lifetime of the
 // Interpreter) or the legacy tree-walking oracle (RunOptions flag), and
-// hosts the whole-grid runner that fans independent CTAs out across the
-// process worker pool with deterministic, index-keyed result merging.
+// hosts the two pool-backed runners:
+//
+//   * runGrid — every CTA of a GridX x GridY launch (functional
+//     validation);
+//   * runCtaBatch — an arbitrary list of sampled CTA coordinates (the
+//     timing-mode sampler of Runner: one representative CTA per SM).
+//
+// Both fan independent CTAs out across the process worker pool with
+// deterministic, index-keyed result merging (see
+// docs/threading-and-memory.md).
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +24,7 @@
 #include "support/WorkerPool.h"
 
 #include <atomic>
+#include <cassert>
 
 using namespace tawa;
 using namespace tawa::sim;
@@ -26,20 +35,107 @@ int64_t tawa::sim::resolveNumWorkers(int64_t Requested) {
 }
 
 Interpreter::Interpreter(Module &M, const GpuConfig &Config)
-    : M(M), Config(Config) {}
+    : M(&M), Config(Config) {}
 
 Interpreter::Interpreter(Module &M, const GpuConfig &Config,
                          std::shared_ptr<const bc::CompiledProgram> Prog)
-    : M(M), Config(Config), Prog(std::move(Prog)) {}
+    : M(&M), Config(Config), Prog(std::move(Prog)) {}
+
+Interpreter::Interpreter(const GpuConfig &Config,
+                         std::shared_ptr<const bc::CompiledProgram> Prog)
+    : M(nullptr), Config(Config), Prog(std::move(Prog)) {
+  assert(this->Prog && "module-less Interpreter needs a compiled program");
+}
+
+Interpreter::Interpreter(Module *M, const GpuConfig &Config,
+                         std::shared_ptr<const bc::CompiledProgram> Prog)
+    : M(M), Config(Config), Prog(std::move(Prog)) {
+  assert((M || this->Prog) && "need a module or a compiled program");
+}
+
+std::string Interpreter::ensureProgram() {
+  if (Prog)
+    return "";
+  if (!M)
+    return "no compiled program and no module to compile it from";
+  Prog = bc::compileModule(*M, Config);
+  return "";
+}
 
 std::string Interpreter::runCta(const RunOptions &Opts, int64_t PidX,
                                 int64_t PidY, CtaTrace &Out) {
-  if (Opts.UseLegacyInterp)
-    return runCtaLegacy(M, Config, Opts, PidX, PidY, Out);
-  if (!Prog)
-    Prog = bc::compileModule(M, Config);
+  if (Opts.UseLegacyInterp) {
+    // Diagnostic, not assert: a disk-loaded (module-less) program cannot
+    // feed the IR-walking oracle, and misuse should report like every
+    // other execution failure.
+    if (!M)
+      return "legacy engine unavailable: program was loaded without IR";
+    return runCtaLegacy(*M, Config, Opts, PidX, PidY, Out);
+  }
+  if (std::string Err = ensureProgram(); !Err.empty())
+    return Err;
   return bc::executeProgram(*Prog, Opts, PidX, PidY, Out, &Arena);
 }
+
+namespace {
+
+std::string formatCtaErr(int64_t X, int64_t Y, const std::string &E) {
+  return formatString("cta (%lld,%lld): ", static_cast<long long>(X),
+                      static_cast<long long>(Y)) +
+         E;
+}
+
+/// Shared pool fan-out of \p Total independent CTA executions. CoordOf maps
+/// a work index to its CTA coordinate; TraceFor returns the caller-owned
+/// trace slot for an index, or null to discard (both must be safe to call
+/// concurrently — they only index preallocated storage). Outputs are keyed
+/// by work index, never by worker or completion order, and the reported
+/// error is the first failing index in list order, so any pool schedule
+/// produces identical results.
+template <typename CoordOfFn, typename TraceForFn>
+std::string runParallelCtas(const bc::CompiledProgram &Prog,
+                            const RunOptions &Opts, int64_t Total,
+                            int64_t Workers, const CoordOfFn &CoordOf,
+                            const TraceForFn &TraceFor) {
+  // One tile arena per worker (no locking); all workers share the immutable
+  // CompiledProgram.
+  std::vector<std::unique_ptr<TileArena>> Arenas;
+  for (int64_t W = 0; W < Workers; ++W)
+    Arenas.push_back(std::make_unique<TileArena>());
+  std::vector<std::string> Errors(Total);
+  std::atomic<int64_t> FirstErr{Total};
+
+  WorkerPool::shared().parallelFor(
+      Total, Workers, [&](int64_t I, int64_t W) {
+        // Once some CTA failed, skip the ones after it in list order —
+        // they cannot change the reported (first) error.
+        if (I > FirstErr.load(std::memory_order_relaxed))
+          return;
+        CtaCoord C = CoordOf(I);
+        CtaTrace Local;
+        CtaTrace *T = TraceFor(I);
+        std::string Err = bc::executeProgram(Prog, Opts, C.X, C.Y,
+                                             T ? *T : Local,
+                                             Arenas[W].get());
+        if (!Err.empty()) {
+          Errors[I] = std::move(Err);
+          int64_t Cur = FirstErr.load(std::memory_order_relaxed);
+          while (I < Cur &&
+                 !FirstErr.compare_exchange_weak(Cur, I,
+                                                 std::memory_order_relaxed))
+            ;
+        }
+      });
+
+  for (int64_t I = 0; I < Total; ++I)
+    if (!Errors[I].empty()) {
+      CtaCoord C = CoordOf(I);
+      return formatCtaErr(C.X, C.Y, Errors[I]);
+    }
+  return "";
+}
+
+} // namespace
 
 std::string Interpreter::runGrid(const RunOptions &Opts, CtaTrace *Sample,
                                  std::vector<CtaTrace> *AllTraces) {
@@ -49,11 +145,6 @@ std::string Interpreter::runGrid(const RunOptions &Opts, CtaTrace *Sample,
     AllTraces->clear();
     AllTraces->resize(Total);
   }
-  auto FormatErr = [](int64_t X, int64_t Y, const std::string &E) {
-    return formatString("cta (%lld,%lld): ", static_cast<long long>(X),
-                        static_cast<long long>(Y)) +
-           E;
-  };
 
   int64_t Workers = resolveNumWorkers(Opts.NumWorkers);
   // The legacy oracle keeps its historical serial execution (it backs one
@@ -66,51 +157,53 @@ std::string Interpreter::runGrid(const RunOptions &Opts, CtaTrace *Sample,
             AllTraces ? (*AllTraces)[Y * GridX + X]
                       : (Sample && X == 0 && Y == 0 ? *Sample : Local);
         if (std::string Err = runCta(Opts, X, Y, T); !Err.empty())
-          return FormatErr(X, Y, Err);
+          return formatCtaErr(X, Y, Err);
       }
     if (Sample && AllTraces)
       *Sample = (*AllTraces)[0];
     return "";
   }
 
-  if (!Prog)
-    Prog = bc::compileModule(M, Config);
+  if (std::string Err = ensureProgram(); !Err.empty())
+    return Err;
 
-  // One tile arena per worker (no locking); all workers share the immutable
-  // CompiledProgram. Outputs are keyed by CTA index, never by worker or
-  // completion order, so any schedule produces identical results.
-  std::vector<std::unique_ptr<TileArena>> Arenas;
-  for (int64_t W = 0; W < Workers; ++W)
-    Arenas.push_back(std::make_unique<TileArena>());
-  std::vector<std::string> Errors(Total);
-  std::atomic<int64_t> FirstErr{Total};
-
-  WorkerPool::shared().parallelFor(
-      Total, Workers, [&](int64_t I, int64_t W) {
-        // Once some CTA failed, skip the ones after it in serial order —
-        // they cannot change the reported (first) error.
-        if (I > FirstErr.load(std::memory_order_relaxed))
-          return;
-        int64_t X = I % GridX, Y = I / GridX;
-        CtaTrace Local;
-        CtaTrace &T = AllTraces ? (*AllTraces)[I]
-                                : (Sample && I == 0 ? *Sample : Local);
-        std::string Err =
-            bc::executeProgram(*Prog, Opts, X, Y, T, Arenas[W].get());
-        if (!Err.empty()) {
-          Errors[I] = std::move(Err);
-          int64_t Cur = FirstErr.load(std::memory_order_relaxed);
-          while (I < Cur &&
-                 !FirstErr.compare_exchange_weak(Cur, I,
-                                                 std::memory_order_relaxed))
-            ;
-        }
+  std::string Err = runParallelCtas(
+      *Prog, Opts, Total, Workers,
+      [&](int64_t I) { return CtaCoord{I % GridX, I / GridX}; },
+      [&](int64_t I) -> CtaTrace * {
+        if (AllTraces)
+          return &(*AllTraces)[I];
+        return Sample && I == 0 ? Sample : nullptr;
       });
-
-  for (int64_t I = 0; I < Total; ++I)
-    if (!Errors[I].empty())
-      return FormatErr(I % GridX, I / GridX, Errors[I]);
+  if (!Err.empty())
+    return Err;
   if (Sample && AllTraces)
     *Sample = (*AllTraces)[0];
   return "";
+}
+
+std::string Interpreter::runCtaBatch(const RunOptions &Opts,
+                                     const std::vector<CtaCoord> &Coords,
+                                     std::vector<CtaTrace> &Out) {
+  int64_t Total = static_cast<int64_t>(Coords.size());
+  Out.clear();
+  Out.resize(Coords.size());
+
+  int64_t Workers = std::min(resolveNumWorkers(Opts.NumWorkers), Total);
+  if (Opts.UseLegacyInterp || Workers <= 1 || Total <= 1) {
+    // Exactly the historical serial sample loop.
+    for (int64_t I = 0; I < Total; ++I)
+      if (std::string Err = runCta(Opts, Coords[I].X, Coords[I].Y, Out[I]);
+          !Err.empty())
+        return formatCtaErr(Coords[I].X, Coords[I].Y, Err);
+    return "";
+  }
+
+  if (std::string Err = ensureProgram(); !Err.empty())
+    return Err;
+
+  return runParallelCtas(
+      *Prog, Opts, Total, Workers,
+      [&](int64_t I) { return Coords[I]; },
+      [&](int64_t I) { return &Out[I]; });
 }

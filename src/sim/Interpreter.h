@@ -91,6 +91,12 @@ struct RunOptions {
 /// Resolves RunOptions::NumWorkers: 0 becomes the hardware thread count.
 int64_t resolveNumWorkers(int64_t Requested);
 
+/// One CTA coordinate of a sampled batch (Interpreter::runCtaBatch).
+struct CtaCoord {
+  int64_t X = 0;
+  int64_t Y = 0;
+};
+
 class Interpreter {
 public:
   /// \p M must be fully lowered (warp-specialized path) or a plain tile
@@ -98,10 +104,22 @@ public:
   /// lazily on the first non-legacy runCta and reused for every CTA.
   Interpreter(Module &M, const GpuConfig &Config);
 
-  /// Reuses an already-compiled program (the Runner program cache) so
-  /// repeated sweeps skip flattening entirely. \p M must be the module
-  /// \p Prog was compiled from.
+  /// Reuses an already-compiled program (the program cache) so repeated
+  /// sweeps skip flattening entirely. \p M must be the module \p Prog was
+  /// compiled from.
   Interpreter(Module &M, const GpuConfig &Config,
+              std::shared_ptr<const bc::CompiledProgram> Prog);
+
+  /// Module-less execution of an already-compiled (possibly disk-loaded)
+  /// program: a CompiledProgram is self-contained, so no IR is needed.
+  /// RunOptions::UseLegacyInterp is not available on such an Interpreter
+  /// (the legacy oracle walks the IR).
+  Interpreter(const GpuConfig &Config,
+              std::shared_ptr<const bc::CompiledProgram> Prog);
+
+  /// Generalized form (the Runner's program-cache path): \p M may be null
+  /// when \p Prog is set — e.g. a disk-loaded cache entry.
+  Interpreter(Module *M, const GpuConfig &Config,
               std::shared_ptr<const bc::CompiledProgram> Prog);
 
   /// Interprets CTA (PidX, PidY) of the grid. Returns "" on success or a
@@ -130,8 +148,28 @@ public:
   std::string runGrid(const RunOptions &Opts, CtaTrace *Sample = nullptr,
                       std::vector<CtaTrace> *AllTraces = nullptr);
 
+  /// Interprets an arbitrary list of CTA coordinates — the timing-mode
+  /// sampling pattern (one representative CTA per SM, trip counts varying
+  /// under causal masking) — in parallel across up to Opts.NumWorkers
+  /// workers of the persistent pool, each with its own executor state and
+  /// tile arena. \p Out is resized to Coords.size() and receives the trace
+  /// of Coords[i] at index i.
+  ///
+  /// Deterministic: traces (and therefore every downstream cycle report and
+  /// HB count) are bit-identical to the serial loop over Coords at any
+  /// worker count, and on failure the reported error is the first failing
+  /// coordinate in list order, formatted "cta (x,y): <diagnostic>". On
+  /// error the contents of \p Out are unspecified.
+  std::string runCtaBatch(const RunOptions &Opts,
+                          const std::vector<CtaCoord> &Coords,
+                          std::vector<CtaTrace> &Out);
+
 private:
-  Module &M;
+  /// Compiles the bytecode program from M if not present; returns a
+  /// diagnostic when neither exists (module-less misuse).
+  std::string ensureProgram();
+
+  Module *M = nullptr; ///< Null for module-less (disk-cache) execution.
   const GpuConfig &Config;
   std::shared_ptr<const bc::CompiledProgram> Prog;
   /// Tile arena for serial runCta calls, reset per CTA; chunks stay warm

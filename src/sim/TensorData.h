@@ -19,6 +19,7 @@
 #define TAWA_SIM_TENSORDATA_H
 
 #include "sim/Arena.h"
+#include "support/Support.h"
 
 #include <cassert>
 #include <cstdint>
@@ -28,13 +29,76 @@
 namespace tawa {
 namespace sim {
 
+/// Inline small-vector tensor shape: up to 4 dimensions, no heap storage.
+/// Every tile and host tensor in the simulator is rank <= 4 (batched host
+/// layouts are rank 3), so the historical std::vector<int64_t> shape was a
+/// guaranteed heap allocation per produced tile for nothing. Implicitly
+/// convertible from std::vector<int64_t> (IR type shapes, window shapes)
+/// and initializer lists, so call sites read unchanged.
+class ShapeVec {
+public:
+  static constexpr int64_t MaxRank = 4;
+
+  ShapeVec() = default;
+  ShapeVec(std::initializer_list<int64_t> Il) {
+    for (int64_t D : Il)
+      push_back(D);
+  }
+  ShapeVec(const std::vector<int64_t> &V) {
+    for (int64_t D : V)
+      push_back(D);
+  }
+
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+  int64_t operator[](size_t I) const {
+    assert(I < N);
+    return Dims[I];
+  }
+  int64_t &operator[](size_t I) {
+    assert(I < N);
+    return Dims[I];
+  }
+  const int64_t *begin() const { return Dims; }
+  const int64_t *end() const { return Dims + N; }
+  const int64_t *data() const { return Dims; }
+
+  void push_back(int64_t D) {
+    // Hard check (not assert): the historical std::vector shape accepted
+    // any rank, so a rank-5 caller must fail loudly in release builds too,
+    // not overflow the inline buffer.
+    if (N >= static_cast<size_t>(MaxRank))
+      reportFatalError("ShapeVec: tensor rank exceeds 4");
+    Dims[N++] = D;
+  }
+  void clear() { N = 0; }
+
+  /// Materializes as a std::vector (window-padding helpers).
+  std::vector<int64_t> vec() const { return {begin(), end()}; }
+
+  friend bool operator==(const ShapeVec &L, const ShapeVec &R) {
+    if (L.N != R.N)
+      return false;
+    for (size_t I = 0; I < L.N; ++I)
+      if (L.Dims[I] != R.Dims[I])
+        return false;
+    return true;
+  }
+  friend bool operator!=(const ShapeVec &L, const ShapeVec &R) {
+    return !(L == R);
+  }
+
+private:
+  int64_t Dims[MaxRank] = {0, 0, 0, 0};
+  size_t N = 0;
+};
+
 class TensorData {
 public:
   TensorData() = default;
 
   /// Owned heap payload, zero-filled (the historical behavior).
-  explicit TensorData(std::vector<int64_t> Shape)
-      : Shape(std::move(Shape)) {
+  explicit TensorData(ShapeVec Shape) : Shape(Shape) {
     Size = computeNumElements();
     Heap.assign(Size, 0.0f);
     Ptr = Heap.data();
@@ -42,8 +106,7 @@ public:
 
   /// Arena-backed payload, UNINITIALIZED: the caller must overwrite or fill
   /// every element. Valid until the arena's next reset().
-  TensorData(std::vector<int64_t> Shape, TileArena &Arena)
-      : Shape(std::move(Shape)) {
+  TensorData(ShapeVec Shape, TileArena &Arena) : Shape(Shape) {
     Size = computeNumElements();
     Ptr = Arena.alloc(Size);
   }
@@ -98,7 +161,7 @@ public:
     return *this;
   }
 
-  const std::vector<int64_t> &getShape() const { return Shape; }
+  const ShapeVec &getShape() const { return Shape; }
   int64_t getRank() const { return static_cast<int64_t>(Shape.size()); }
   int64_t getDim(int64_t I) const { return Shape[I]; }
 
@@ -156,7 +219,7 @@ private:
     return N;
   }
 
-  std::vector<int64_t> Shape;
+  ShapeVec Shape;
   float *Ptr = nullptr;     ///< Payload: Heap.data() or arena memory.
   int64_t Size = 0;         ///< Payload element count.
   std::vector<float> Heap;  ///< Owned storage; empty when arena-backed.

@@ -1,0 +1,295 @@
+//===- ProgramCache.cpp - Process-wide compiled-program cache -----------------//
+
+#include "support/ProgramCache.h"
+
+#include "ir/Ir.h"
+#include "sim/Bytecode.h"
+#include "support/Support.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include <unistd.h>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+ProgramCache::Entry::Entry() = default;
+ProgramCache::Entry::~Entry() = default;
+
+namespace {
+
+/// Resident-size estimate of one compiled program: the instruction streams
+/// and pools dominate; the fixed struct overhead is folded into a constant.
+/// Entries that also pin an IR module get a flat surcharge — the IR is a
+/// small multiple of the instruction count and not worth walking exactly.
+size_t programBytes(const bc::CompiledProgram *P, bool HasModule) {
+  size_t N = 4096 + (HasModule ? 64 * 1024 : 0);
+  if (!P)
+    return N;
+  auto Region = [](const bc::RegionProgram &RP) {
+    return RP.Code.size() * sizeof(bc::Inst);
+  };
+  N += Region(P->Preamble);
+  for (const bc::RegionProgram &RP : P->Agents)
+    N += Region(RP);
+  N += P->OperandSlots.size() * sizeof(int32_t);
+  N += P->SlotOffsets.size() * sizeof(int64_t);
+  N += P->Loops.size() * sizeof(bc::LoopInfo);
+  for (const std::vector<int64_t> &V : P->IntVecs)
+    N += V.size() * sizeof(int64_t);
+  for (const std::string &S : P->Messages)
+    N += S.size();
+  return N;
+}
+
+} // namespace
+
+struct ProgramCache::Impl {
+  struct Resident {
+    EntryRef E;
+    size_t Bytes = 0;
+    std::list<std::string>::iterator LruIt; ///< Position in Lru.
+  };
+
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, Resident> Map;
+  std::list<std::string> Lru; ///< Front = most recently used.
+  size_t MaxEntries = 256;
+  size_t MaxBytes = 256ull << 20;
+  size_t CurBytes = 0;
+  std::string PersistDir;
+  Stats St;
+
+  /// Full map key: the caller key plus the machine-config digest.
+  static std::string fullKey(const std::string &Key,
+                             const GpuConfig &Config) {
+    return Key + formatString("|cfg%016llx",
+                              static_cast<unsigned long long>(
+                                  bc::configDigest(Config)));
+  }
+
+  /// Cache-file path for a key (the file name hashes the full key and
+  /// carries the format version, so version bumps and config changes
+  /// never read stale bytes).
+  static std::string filePath(const std::string &Dir,
+                              const std::string &FullKey) {
+    return Dir +
+           formatString("/tawa-%016llx-v%u.tbc",
+                        static_cast<unsigned long long>(fnv1a64(FullKey)),
+                        bc::SerialFormatVersion);
+  }
+
+  void touch(Resident &R, const std::string &FullKey) {
+    Lru.erase(R.LruIt);
+    Lru.push_front(FullKey);
+    R.LruIt = Lru.begin();
+  }
+
+  /// Inserts (or replaces) and evicts LRU entries beyond the bounds —
+  /// never the entry just inserted; live EntryRefs keep evicted entries
+  /// alive on the caller side.
+  void insert(const std::string &FullKey, EntryRef E) {
+    if (auto It = Map.find(FullKey); It != Map.end()) {
+      CurBytes -= It->second.Bytes;
+      Lru.erase(It->second.LruIt);
+      Map.erase(It);
+    }
+    Resident R;
+    R.Bytes = programBytes(E->Prog.get(), E->M != nullptr);
+    R.E = std::move(E);
+    Lru.push_front(FullKey);
+    R.LruIt = Lru.begin();
+    CurBytes += R.Bytes;
+    Map.emplace(FullKey, std::move(R));
+    while (Map.size() > 1 &&
+           (Map.size() > MaxEntries || CurBytes > MaxBytes)) {
+      const std::string &Victim = Lru.back();
+      auto It = Map.find(Victim);
+      CurBytes -= It->second.Bytes;
+      Map.erase(It);
+      Lru.pop_back();
+      ++St.Evictions;
+    }
+  }
+
+  /// Best-effort disk load; any defect returns null and the caller
+  /// recompiles. \p Dir is a snapshot taken under the lock (setPersistDir
+  /// may race the slow path otherwise).
+  static std::shared_ptr<const bc::CompiledProgram>
+  loadFromDisk(const std::string &Dir, const std::string &FullKey) {
+    if (Dir.empty())
+      return nullptr;
+    std::ifstream In(filePath(Dir, FullKey), std::ios::binary);
+    if (!In)
+      return nullptr;
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    if (!In.good() && !In.eof())
+      return nullptr;
+    return bc::deserializeProgram(Bytes);
+  }
+
+  /// Best-effort atomic disk write (tmp + rename): concurrent processes
+  /// never observe a partial file, and IO failures are silently dropped —
+  /// the cache is an accelerator, not a dependency.
+  static void saveToDisk(const std::string &Dir, const std::string &FullKey,
+                         const bc::CompiledProgram &P) {
+    if (Dir.empty())
+      return;
+    std::error_code Ec;
+    std::filesystem::create_directories(Dir, Ec);
+    std::string Path = filePath(Dir, FullKey);
+    std::string Tmp =
+        Path + formatString(".tmp.%lld",
+                            static_cast<long long>(::getpid()));
+    {
+      std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+      if (!Out)
+        return;
+      std::string Bytes = bc::serializeProgram(P);
+      Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+      if (!Out.good()) {
+        Out.close();
+        std::filesystem::remove(Tmp, Ec);
+        return;
+      }
+    }
+    std::filesystem::rename(Tmp, Path, Ec);
+    if (Ec)
+      std::filesystem::remove(Tmp, Ec);
+  }
+};
+
+ProgramCache::ProgramCache() : Pimpl(std::make_unique<Impl>()) {
+  if (const char *Dir = std::getenv("TAWA_CACHE_DIR"))
+    Pimpl->PersistDir = Dir;
+}
+
+ProgramCache::~ProgramCache() = default;
+
+ProgramCache &ProgramCache::shared() {
+  static ProgramCache Cache;
+  return Cache;
+}
+
+ProgramCache::EntryRef ProgramCache::getOrCompile(
+    const std::string &Key, const GpuConfig &Config, bool NeedModule,
+    bool NeedProgram,
+    const std::function<EntryRef(std::string &Err)> &Compile,
+    std::string &Err, Outcome *Out) {
+  Impl &I = *Pimpl;
+  std::string FullKey = Impl::fullKey(Key, Config);
+  auto Report = [&](Outcome O) {
+    if (Out)
+      *Out = O;
+  };
+
+  std::string Dir;
+  EntryRef NeedsFlatten;
+  {
+    std::lock_guard<std::mutex> L(I.Mu);
+    Dir = I.PersistDir;
+    auto It = I.Map.find(FullKey);
+    // A disk-loaded entry carries no IR module, so it cannot serve the
+    // legacy engine; fall through and recompile (the fresh entry, with
+    // both module and program, then replaces it).
+    if (It != I.Map.end() && !(NeedModule && !It->second.E->M)) {
+      EntryRef E = It->second.E;
+      I.touch(It->second, FullKey);
+      ++I.St.MemoryHits;
+      if (!(NeedProgram && !E->Prog && E->M)) {
+        Report(Outcome::MemoryHit);
+        return E;
+      }
+      NeedsFlatten = E; // Legacy-compiled entry: flatten outside the lock.
+    }
+  }
+
+  // A bytecode caller hit an entry a legacy compile left unflattened.
+  // Entries are immutable (other threads read them unlocked), so build a
+  // replacement sharing the module and supersede the old one in the map;
+  // the insert re-accounts the entry's bytes with the program included.
+  if (NeedsFlatten) {
+    auto E = std::make_shared<Entry>();
+    E->Ctx = NeedsFlatten->Ctx;
+    E->M = NeedsFlatten->M;
+    E->Prog = bc::compileModule(*E->M, Config);
+    if (E->Prog && E->Prog->CompileError.empty())
+      Impl::saveToDisk(Dir, FullKey, *E->Prog);
+    std::lock_guard<std::mutex> L(I.Mu);
+    I.insert(FullKey, E);
+    Report(Outcome::MemoryHit);
+    return E;
+  }
+
+  // Disk, then compile — both outside the lock (slow).
+  if (!NeedModule) {
+    if (auto Prog = Impl::loadFromDisk(Dir, FullKey)) {
+      auto E = std::make_shared<Entry>();
+      E->Prog = std::move(Prog);
+      std::lock_guard<std::mutex> L(I.Mu);
+      ++I.St.DiskHits;
+      I.insert(FullKey, E);
+      Report(Outcome::DiskHit);
+      return E;
+    }
+  }
+
+  EntryRef E = Compile(Err);
+  if (!E) {
+    Report(Outcome::Failed);
+    return nullptr;
+  }
+  if (E->Prog && E->Prog->CompileError.empty())
+    Impl::saveToDisk(Dir, FullKey, *E->Prog);
+  std::lock_guard<std::mutex> L(I.Mu);
+  ++I.St.Compiles;
+  I.insert(FullKey, E);
+  Report(Outcome::Compiled);
+  return E;
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> L(Pimpl->Mu);
+  Pimpl->Map.clear();
+  Pimpl->Lru.clear();
+  Pimpl->CurBytes = 0;
+}
+
+void ProgramCache::setMaxEntries(size_t N) {
+  std::lock_guard<std::mutex> L(Pimpl->Mu);
+  Pimpl->MaxEntries = N;
+}
+
+void ProgramCache::setMaxBytes(size_t N) {
+  std::lock_guard<std::mutex> L(Pimpl->Mu);
+  Pimpl->MaxBytes = N;
+}
+
+void ProgramCache::setPersistDir(std::string Dir) {
+  std::lock_guard<std::mutex> L(Pimpl->Mu);
+  Pimpl->PersistDir = std::move(Dir);
+}
+
+std::string ProgramCache::getPersistDir() const {
+  std::lock_guard<std::mutex> L(Pimpl->Mu);
+  return Pimpl->PersistDir;
+}
+
+ProgramCache::Stats ProgramCache::getStats() const {
+  std::lock_guard<std::mutex> L(Pimpl->Mu);
+  Stats S = Pimpl->St;
+  S.Entries = Pimpl->Map.size();
+  S.Bytes = Pimpl->CurBytes;
+  return S;
+}
+
+void ProgramCache::resetStats() {
+  std::lock_guard<std::mutex> L(Pimpl->Mu);
+  Pimpl->St = Stats();
+}

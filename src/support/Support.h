@@ -9,6 +9,7 @@
 #define TAWA_SUPPORT_SUPPORT_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +35,23 @@ inline int64_t ceilDiv(int64_t A, int64_t B) {
 /// Rounds \p Value up to the next multiple of \p Align.
 inline int64_t alignTo(int64_t Value, int64_t Align) {
   return ceilDiv(Value, Align) * Align;
+}
+
+/// FNV-1a 64-bit hash — the one hash used for program-cache keys, cache
+/// file names, and serialized-blob checksums (sim/Bytecode.cpp,
+/// support/ProgramCache.cpp); keep a single definition so file naming and
+/// checksumming can never diverge.
+inline uint64_t fnv1a64(const void *Data, size_t N,
+                        uint64_t H = 1469598103934665603ull) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < N; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+inline uint64_t fnv1a64(const std::string &S) {
+  return fnv1a64(S.data(), S.size());
 }
 
 } // namespace tawa

@@ -11,11 +11,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Runner.h"
 #include "frontend/Kernels.h"
 #include "ir/Builder.h"
 #include "ir/Verifier.h"
 #include "passes/Passes.h"
 #include "sim/Interpreter.h"
+#include "sim/Replay.h"
 #include "support/Support.h"
 #include "support/WorkerPool.h"
 
@@ -287,6 +289,133 @@ TEST(ParallelDeterminism, FirstErrorInSerialOrder) {
   }
   EXPECT_EQ(Errors[0], Errors[1]);
   EXPECT_EQ(Errors[0], Errors[2]);
+}
+
+//===----------------------------------------------------------------------===//
+// Timing-sampler batch (Interpreter::runCtaBatch)
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerDeterminism, TimingBatchWorkerCountInvariant) {
+  // Causal attention: per-CTA trip counts vary with the query-tile index —
+  // exactly why the Runner samples SM0's CTA list individually.
+  GpuConfig Cfg;
+  IrContext Ctx;
+  AttentionKernelConfig Kernel;
+  Kernel.Causal = true;
+  auto Mod = buildAttentionModule(Ctx, Kernel);
+  TawaOptions Options;
+  Options.ArefDepth = 2;
+  Options.CoarsePipeline = true;
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  ASSERT_EQ(PM.run(*Mod), "");
+
+  const int64_t SeqLen = 2048, BH = 4;
+  int64_t QTiles = ceilDiv(SeqLen, Kernel.TileQ);
+  RunOptions Launch;
+  Launch.GridX = QTiles;
+  Launch.GridY = BH;
+  Launch.Functional = false;
+  Launch.Args = {RuntimeArg::tensor(nullptr), RuntimeArg::tensor(nullptr),
+                 RuntimeArg::tensor(nullptr), RuntimeArg::tensor(nullptr),
+                 RuntimeArg::scalar(SeqLen)};
+
+  // A strided sample list mirroring the Runner's one-CTA-per-SM pattern,
+  // with a stride that lands on several distinct causal trip counts.
+  std::vector<CtaCoord> Coords;
+  for (int64_t Pid = 0; Pid < QTiles * BH; Pid += 7)
+    Coords.push_back({Pid % QTiles, Pid / QTiles});
+  ASSERT_GT(Coords.size(), 4u);
+
+  std::vector<CtaTrace> Ref;
+  double RefCycles = 0;
+  for (size_t WI = 0; WI < std::size(WorkerCounts); ++WI) {
+    Launch.NumWorkers = WorkerCounts[WI];
+    Interpreter Interp(*Mod, Cfg);
+    std::vector<CtaTrace> Traces;
+    ASSERT_EQ(Interp.runCtaBatch(Launch, Coords, Traces), "");
+    ASSERT_EQ(Traces.size(), Coords.size());
+
+    // The Runner-facing invariant: the replayed cycle total (the timing
+    // report) must be bit-identical, not merely close.
+    std::vector<const CtaTrace *> Schedule;
+    for (const CtaTrace &T : Traces)
+      Schedule.push_back(&T);
+    ReplayResult Rep = replaySmSchedule(Schedule, Cfg, ReplayParams());
+    ASSERT_FALSE(Rep.Deadlock) << Rep.Error;
+
+    if (WI == 0) {
+      Ref = std::move(Traces);
+      RefCycles = Rep.Cycles;
+      // NumWorkers=1 must match the historical serial sample loop.
+      Interpreter Serial(*Mod, Cfg);
+      for (size_t I = 0; I < Coords.size(); ++I) {
+        CtaTrace T;
+        ASSERT_EQ(Serial.runCta(Launch, Coords[I].X, Coords[I].Y, T), "");
+        expectTracesIdentical(Ref[I], T);
+      }
+      continue;
+    }
+    EXPECT_EQ(Rep.Cycles, RefCycles)
+        << "cycle totals differ at workers=" << WorkerCounts[WI];
+    for (size_t I = 0; I < Traces.size(); ++I)
+      expectTracesIdentical(Ref[I], Traces[I]);
+  }
+}
+
+TEST(SamplerDeterminism, BatchFirstErrorInListOrder) {
+  GpuConfig Cfg;
+  IrContext Ctx;
+  auto Mod = buildDeadlockRing(Ctx);
+  ASSERT_EQ(verify(*Mod), "");
+
+  auto In = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
+  auto Out = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
+  In->fillRandom(3);
+  RunOptions Opts;
+  Opts.GridX = 4;
+  Opts.Args = {RuntimeArg::tensor(In), RuntimeArg::tensor(Out)};
+
+  // Every sampled CTA deadlocks; the report must name the first in LIST
+  // order — (2,0) — regardless of which worker wedges first.
+  std::vector<CtaCoord> Coords = {{2, 0}, {1, 0}, {3, 0}};
+  std::string Errors[std::size(WorkerCounts)];
+  for (size_t WI = 0; WI < std::size(WorkerCounts); ++WI) {
+    Opts.NumWorkers = WorkerCounts[WI];
+    Interpreter Interp(*Mod, Cfg);
+    std::vector<CtaTrace> Traces;
+    Errors[WI] = Interp.runCtaBatch(Opts, Coords, Traces);
+    EXPECT_NE(Errors[WI].find("deadlock"), std::string::npos) << Errors[WI];
+    EXPECT_EQ(Errors[WI].rfind("cta (2,0): ", 0), 0u) << Errors[WI];
+  }
+  EXPECT_EQ(Errors[0], Errors[1]);
+  EXPECT_EQ(Errors[0], Errors[2]);
+}
+
+TEST(SamplerDeterminism, RunnerAttentionTimingWorkerInvariant) {
+  // End to end through the Runner: the causal attention timing report
+  // (which replays the fanned-out SM0 sample list) is identical at any
+  // worker count.
+  AttentionWorkload W;
+  W.SeqLen = 2048;
+  W.Batch = 2;
+  W.Heads = 32;
+  W.Causal = true;
+
+  RunResult Ref;
+  for (size_t WI = 0; WI < std::size(WorkerCounts); ++WI) {
+    Runner R;
+    R.NumWorkers = WorkerCounts[WI];
+    RunResult Res = R.runAttention(Framework::Tawa, W);
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    if (WI == 0) {
+      Ref = Res;
+      continue;
+    }
+    EXPECT_EQ(Res.Micros, Ref.Micros);
+    EXPECT_EQ(Res.TFlops, Ref.TFlops);
+    EXPECT_EQ(Res.SmemBytes, Ref.SmemBytes);
+  }
 }
 
 //===----------------------------------------------------------------------===//
