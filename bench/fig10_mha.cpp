@@ -5,44 +5,72 @@
 // ThunderKittens. Expected shape (§V-D): Tawa reaches >= 90% of FA3,
 // ~1.2x over Triton, gains growing with L; ThunderKittens fails on FP8.
 //
+// One Sweep grid over panel x L x framework: L is a runtime dimension
+// within a panel, so each (framework, precision, causal) kernel compiles
+// exactly once during prewarm(). Writes BENCH_fig10.json.
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "driver/Sweep.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 using namespace tawa;
-using namespace tawa::bench;
 
 int main() {
-  Runner R;
+  Sweep S("fig10_mha");
   const std::vector<Framework> Frameworks = {
       Framework::FA3, Framework::Tawa, Framework::Triton,
       Framework::TileLang, Framework::ThunderKittens};
-  const std::vector<std::string> Names = {"FA3 (CUTLASS)", "Tawa", "Triton",
-                                          "TileLang", "ThunderKittens"};
 
   for (Precision Prec : {Precision::FP16, Precision::FP8}) {
     for (bool Causal : {false, true}) {
       const char *PrecName = Prec == Precision::FP16 ? "FP16" : "FP8";
-      Table T(std::string("Fig. 10 (") + PrecName +
-                  ", causal=" + (Causal ? "true" : "false") +
-                  "): MHA TFLOP/s, batch 4, head dim 128",
-              "L", Names);
-      for (int64_t L : {1024, 2048, 4096, 8192, 16384}) {
-        AttentionWorkload W;
-        W.SeqLen = L;
-        W.Causal = Causal;
-        W.Prec = Prec;
-        std::vector<RunResult> Row;
-        for (Framework F : Frameworks)
-          Row.push_back(R.runAttention(F, W));
-        T.addRow(std::to_string(L), Row);
-      }
-      T.print();
-      std::printf("geomean: Tawa/FA3 = %.2fx, Tawa/Triton = %.2fx, "
-                  "Tawa/TileLang = %.2fx\n",
-                  T.geomeanSpeedup(1, 0), T.geomeanSpeedup(1, 2),
-                  T.geomeanSpeedup(1, 3));
+      std::string Panel = std::string(PrecName) +
+                          (Causal ? ", causal" : ", non-causal");
+      for (int64_t L : {1024, 2048, 4096, 8192, 16384})
+        for (Framework F : Frameworks) {
+          AttentionWorkload W;
+          W.SeqLen = L;
+          W.Causal = Causal;
+          W.Prec = Prec;
+          S.addAttention(W, F,
+                         {{"panel", Panel},
+                          {"prec", PrecName},
+                          {"causal", Causal ? "true" : "false"},
+                          {"L", std::to_string(L)}});
+        }
     }
   }
-  return 0;
+
+  if (std::string Err = S.prewarm(); !Err.empty())
+    std::fprintf(stderr, "prewarm: %s\n", Err.c_str());
+  S.run();
+
+  S.printTables("Fig. 10: MHA TFLOP/s, batch 4, head dim 128", "L",
+                "framework", "panel");
+  for (Precision Prec : {Precision::FP16, Precision::FP8})
+    for (bool Causal : {false, true}) {
+      std::string Panel =
+          std::string(Prec == Precision::FP16 ? "FP16" : "FP8") +
+          (Causal ? ", causal" : ", non-causal");
+      std::printf("[%s] geomean: Tawa/FA3 = %.2fx, Tawa/Triton = %.2fx, "
+                  "Tawa/TileLang = %.2fx\n",
+                  Panel.c_str(),
+                  S.geomeanSpeedup("framework", "Tawa", "FA3 (CUTLASS)",
+                                   "panel", Panel),
+                  S.geomeanSpeedup("framework", "Tawa", "Triton", "panel",
+                                   Panel),
+                  S.geomeanSpeedup("framework", "Tawa", "TileLang", "panel",
+                                   Panel));
+    }
+
+  if (!S.writeJson("BENCH_fig10.json")) {
+    std::fprintf(stderr, "cannot write BENCH_fig10.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_fig10.json\n");
+  return S.stats().RunCompiles == 0 ? 0 : 1;
 }

@@ -7,38 +7,53 @@
 // and the persistent variant is consistently faster with its peak at
 // D = 3, P = 2.
 //
+// An envelope-grid Sweep: every (persistent, D, P) cell is its own compile
+// key, and the infeasible P > D cells never reach the compiler (empty
+// compile key, rejected before prewarm). Writes BENCH_fig11.json.
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "driver/Sweep.h"
+
+#include <cstdio>
+#include <string>
 
 using namespace tawa;
-using namespace tawa::bench;
 
 int main() {
-  Runner R;
+  Sweep S("fig11_hyperparam");
   GemmWorkload W;
   W.K = 16384;
 
-  for (bool Persistent : {false, true}) {
-    std::printf("\nFig. 11 (%s GEMM): TFLOP/s, rows = aref size D, "
-                "cols = MMA depth P\n",
-                Persistent ? "Persistent" : "Non-Persistent");
-    std::printf("%-8s %10s %10s %10s\n", "D \\ P", "1", "2", "3");
-    for (int64_t D = 1; D <= 3; ++D) {
-      std::printf("%-8lld", static_cast<long long>(D));
+  for (bool Persistent : {false, true})
+    for (int64_t D = 1; D <= 3; ++D)
       for (int64_t P = 1; P <= 3; ++P) {
         FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
         E.Options.ArefDepth = D;
         E.Options.MmaPipelineDepth = P;
         E.Options.Persistent = Persistent;
-        RunResult Res = R.runGemmCustom(W, E, /*Functional=*/false);
-        std::printf(" %10.0f", Res.ok() ? Res.TFlops : 0.0);
+        S.addGemm(W, E, "Tawa",
+                  {{"persistent", Persistent ? "Persistent"
+                                             : "Non-Persistent"},
+                   {"D", std::to_string(D)},
+                   {"P", std::to_string(P)}});
       }
-      std::printf("\n");
-    }
-  }
+
+  if (std::string Err = S.prewarm(); !Err.empty())
+    std::fprintf(stderr, "prewarm: %s\n", Err.c_str());
+  S.run();
+
+  S.printTables("Fig. 11 (GEMM, FP16, K = 16384): TFLOP/s, rows = aref "
+                "size D, cols = MMA depth P",
+                "D", "P", "persistent");
   std::printf("\n(0 cells: infeasible P > D, or register budget exhausted "
               "at D = 2, P = 3 — matching the empty cells of the paper's "
               "heatmap.)\n");
-  return 0;
+
+  if (!S.writeJson("BENCH_fig11.json")) {
+    std::fprintf(stderr, "cannot write BENCH_fig11.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_fig11.json\n");
+  return S.stats().RunCompiles == 0 ? 0 : 1;
 }

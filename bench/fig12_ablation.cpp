@@ -8,39 +8,37 @@
 // tile grows, +Persistent ~+10%, monotone overall to ~7x; on MHA the big
 // jump comes from WS + cooperative groups combined (~2.8x), then pipelining.
 //
+// Declared as a Sweep over (workload, step) with explicit envelopes — each
+// cumulative step is its own compile key. The per-step speedup column is
+// computed from the records against each panel's first (baseline) step.
+// Writes BENCH_fig12.json.
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "driver/Sweep.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 using namespace tawa;
-using namespace tawa::bench;
-
-namespace {
-
-void printStep(const char *Name, const RunResult &R, double Baseline) {
-  std::printf("  %-22s %8.0f TFLOP/s   (%5.2fx over baseline)  %s\n", Name,
-              R.TFlops, Baseline > 0 ? R.TFlops / Baseline : 0.0,
-              R.Error.c_str());
-}
-
-} // namespace
 
 int main() {
-  Runner R;
+  Sweep S("fig12_ablation");
 
   {
-    std::printf("\nFig. 12 (GEMM, FP16, K = 16384): cumulative ablation\n");
     GemmWorkload W;
     W.K = 16384;
+    auto Add = [&](const char *Step, const FrameworkEnvelope &E) {
+      S.addGemm(W, E, Step, {{"workload", "gemm"}, {"step", Step}});
+    };
 
     // Step 0: Triton without warp specialization (synchronous loads).
-    FrameworkEnvelope E = getGemmEnvelope(Framework::TritonNoPipe, W);
-    RunResult Base = R.runGemmCustom(W, E, false);
-    printStep("Triton w/o WS", Base, Base.TFlops);
+    Add("Triton w/o WS", getGemmEnvelope(Framework::TritonNoPipe, W));
 
     // Step 1: + automatic warp specialization (one consumer group, same
     // 128x128 tiling).
-    E = FrameworkEnvelope();
+    FrameworkEnvelope E;
     E.TileM = 128;
     E.TileN = 128;
     E.TileK = 64;
@@ -48,59 +46,87 @@ int main() {
     E.Options.ArefDepth = 2;
     E.Options.MmaPipelineDepth = 1;
     E.Options.NumConsumerGroups = 1;
-    printStep("+Auto WS", R.runGemmCustom(W, E, false), Base.TFlops);
+    Add("+Auto WS", E);
 
     // Step 2: + cooperative warp groups (same tile: little change, but the
     // register headroom enables the next step).
     E.Options.NumConsumerGroups = 2;
-    printStep("+Cooperative WGs", R.runGemmCustom(W, E, false), Base.TFlops);
+    Add("+Cooperative WGs", E);
 
     // Step 3: + large tile size (128x256, register pooling of §IV-A).
     E.TileN = 256;
-    printStep("+Large Tile Size", R.runGemmCustom(W, E, false), Base.TFlops);
+    Add("+Large Tile Size", E);
 
     // Step 4: + persistent kernel.
     E.Options.Persistent = true;
-    printStep("+Persistent Kernel", R.runGemmCustom(W, E, false),
-              Base.TFlops);
+    Add("+Persistent Kernel", E);
 
     // Step 5: + tuned aref size / MMA depth.
     E.Options.ArefDepth = 3;
     E.Options.MmaPipelineDepth = 2;
-    printStep("+Better Aref Size", R.runGemmCustom(W, E, false),
-              Base.TFlops);
+    Add("+Better Aref Size", E);
   }
 
   {
-    std::printf("\nFig. 12 (MHA, FP16, L = 16384): cumulative ablation\n");
     AttentionWorkload W;
     W.SeqLen = 16384;
+    auto Add = [&](const char *Step, const FrameworkEnvelope &E) {
+      S.addAttention(W, E, Step, {{"workload", "mha"}, {"step", Step}});
+    };
 
-    FrameworkEnvelope E = getAttentionEnvelope(Framework::TritonNoPipe, W);
-    RunResult Base = R.runAttentionCustom(W, E, false);
-    printStep("Triton w/o WS", Base, Base.TFlops);
+    Add("Triton w/o WS", getAttentionEnvelope(Framework::TritonNoPipe, W));
 
-    E = FrameworkEnvelope();
+    FrameworkEnvelope E;
     E.TileQ = 128;
     E.TileKv = 128;
-    E.ComputeScale =
-        getAttentionEnvelope(Framework::Tawa, W).ComputeScale;
+    E.ComputeScale = getAttentionEnvelope(Framework::Tawa, W).ComputeScale;
     E.Options.EnableWarpSpecialization = true;
     E.Options.ArefDepth = 2;
     E.Options.MmaPipelineDepth = 0; // Synchronous dots.
     E.Options.NumConsumerGroups = 1;
-    printStep("+Auto WS", R.runAttentionCustom(W, E, false), Base.TFlops);
+    Add("+Auto WS", E);
 
     E.Options.NumConsumerGroups = 2;
-    printStep("+Cooperative WGs", R.runAttentionCustom(W, E, false),
-              Base.TFlops);
+    Add("+Cooperative WGs", E);
 
     E.Options.CoarsePipeline = true;
-    printStep("+Pipeline", R.runAttentionCustom(W, E, false), Base.TFlops);
+    Add("+Pipeline", E);
 
     E.Options.ArefDepth = 3;
-    printStep("+Better Aref Size", R.runAttentionCustom(W, E, false),
-              Base.TFlops);
+    Add("+Better Aref Size", E);
   }
-  return 0;
+
+  if (std::string Err = S.prewarm(); !Err.empty())
+    std::fprintf(stderr, "prewarm: %s\n", Err.c_str());
+  S.run();
+
+  auto PrintPanel = [&](const char *Workload, const char *Title) {
+    std::printf("\n%s\n", Title);
+    // The panel's first step anchors every ratio, even if it failed (a
+    // broken baseline then prints 0.00x rows rather than re-anchoring).
+    double Base = 0;
+    bool HaveBase = false;
+    for (const SweepRecord &Rec : S.records()) {
+      const std::string *W = Rec.Point.axis("workload");
+      if (!W || *W != Workload)
+        continue;
+      if (!HaveBase) {
+        Base = Rec.Result.TFlops;
+        HaveBase = true;
+      }
+      std::printf("  %-22s %8.0f TFLOP/s   (%5.2fx over baseline)  %s\n",
+                  Rec.Point.axis("step")->c_str(), Rec.Result.TFlops,
+                  Base > 0 ? Rec.Result.TFlops / Base : 0.0,
+                  Rec.Result.Error.c_str());
+    }
+  };
+  PrintPanel("gemm", "Fig. 12 (GEMM, FP16, K = 16384): cumulative ablation");
+  PrintPanel("mha", "Fig. 12 (MHA, FP16, L = 16384): cumulative ablation");
+
+  if (!S.writeJson("BENCH_fig12.json")) {
+    std::fprintf(stderr, "cannot write BENCH_fig12.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_fig12.json\n");
+  return S.stats().RunCompiles == 0 ? 0 : 1;
 }

@@ -6,42 +6,67 @@
 // beats Triton by ~1.1x on average, larger FP8 gains at small K, and
 // TileLang/ThunderKittens lead slightly only at K >= 8192 in FP16.
 //
+// Declared as one Sweep grid: the K axis is a runtime dimension, so the
+// whole sweep compiles each (framework, precision) kernel exactly once
+// during prewarm() and then executes pure. Writes BENCH_fig8.json
+// (schema tawa-sweep-v1, per-point cache statistics) — the grid
+// scripts/check.sh re-runs warm to prove zero compiles.
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "driver/Sweep.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 using namespace tawa;
-using namespace tawa::bench;
 
 int main() {
-  Runner R;
+  Sweep S("fig8_gemm");
   const std::vector<int64_t> Ks = {256,  512,  1024, 2048,
                                    4096, 8192, 16384};
   const std::vector<Framework> Frameworks = {
       Framework::Peak,     Framework::CuBlas,        Framework::Tawa,
       Framework::Triton,   Framework::TileLang,      Framework::ThunderKittens};
-  const std::vector<std::string> Names = {
-      "Peak", "cuBLAS", "Tawa", "Triton", "TileLang", "ThunderKittens"};
 
   for (Precision Prec : {Precision::FP16, Precision::FP8}) {
     const char *PrecName = Prec == Precision::FP16 ? "FP16" : "FP8";
-    Table T(std::string("Fig. 8 (") + PrecName +
-                "): GEMM TFLOP/s, M = N = 8192",
-            "K", Names);
-    for (int64_t K : Ks) {
-      GemmWorkload W;
-      W.K = K;
-      W.Prec = Prec;
-      std::vector<RunResult> Row;
-      for (Framework F : Frameworks)
-        Row.push_back(R.runGemm(F, W));
-      T.addRow(std::to_string(K), Row);
-    }
-    T.print();
-    std::printf("geomean speedups: Tawa/cuBLAS = %.2fx, Tawa/Triton = %.2fx, "
-                "Tawa/TileLang = %.2fx, Tawa/ThunderKittens = %.2fx\n",
-                T.geomeanSpeedup(2, 1), T.geomeanSpeedup(2, 3),
-                T.geomeanSpeedup(2, 4), T.geomeanSpeedup(2, 5));
+    for (int64_t K : Ks)
+      for (Framework F : Frameworks) {
+        GemmWorkload W;
+        W.K = K;
+        W.Prec = Prec;
+        S.addGemm(W, F, {{"prec", PrecName}, {"K", std::to_string(K)}});
+      }
   }
-  return 0;
+
+  if (std::string Err = S.prewarm(); !Err.empty())
+    std::fprintf(stderr, "prewarm: %s\n", Err.c_str());
+  S.run();
+
+  S.printTables("Fig. 8: GEMM TFLOP/s, M = N = 8192", "K", "framework",
+                "prec");
+  for (const char *Prec : {"FP16", "FP8"})
+    std::printf("[%s] geomean speedups: Tawa/cuBLAS = %.2fx, Tawa/Triton = "
+                "%.2fx, Tawa/TileLang = %.2fx, Tawa/ThunderKittens = %.2fx\n",
+                Prec,
+                S.geomeanSpeedup("framework", "Tawa", "cuBLAS", "prec", Prec),
+                S.geomeanSpeedup("framework", "Tawa", "Triton", "prec", Prec),
+                S.geomeanSpeedup("framework", "Tawa", "TileLang", "prec",
+                                 Prec),
+                S.geomeanSpeedup("framework", "Tawa", "ThunderKittens",
+                                 "prec", Prec));
+
+  const Sweep::Stats &St = S.stats();
+  std::printf("\ncache: %zu points, %zu distinct kernels, %zu prewarm "
+              "compiles, %zu prewarm hits, %zu run hits, %zu run compiles\n",
+              St.Points, St.DistinctKeys, St.PrewarmCompiles, St.PrewarmHits,
+              St.RunHits, St.RunCompiles);
+  if (!S.writeJson("BENCH_fig8.json")) {
+    std::fprintf(stderr, "cannot write BENCH_fig8.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_fig8.json\n");
+  return St.RunCompiles == 0 ? 0 : 1;
 }

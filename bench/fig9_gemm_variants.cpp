@@ -7,57 +7,71 @@
 // consistently ahead of Triton (up to ~7%); ahead of TileLang by up to ~50%
 // on batched; TileLang degrades as the group count grows.
 //
+// Both panels share one Sweep — the "panel" axis separates them, and the
+// batched panel's size axis ("MNK") vs the grouped panel's ("G") keep the
+// tables apart. Writes BENCH_fig9.json.
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "driver/Sweep.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 using namespace tawa;
-using namespace tawa::bench;
 
 int main() {
-  Runner R;
+  Sweep S("fig9_gemm_variants");
   const std::vector<Framework> Frameworks = {
       Framework::Tawa, Framework::Triton, Framework::TileLang};
-  const std::vector<std::string> Names = {"Tawa", "Triton", "TileLang"};
 
-  {
-    Table T("Fig. 9 (left): FP16 batched GEMM TFLOP/s, batch = 8", "M=N=K",
-            Names);
-    for (int64_t S : {1024, 2048, 4096, 8192, 16384}) {
+  for (int64_t Size : {1024, 2048, 4096, 8192, 16384})
+    for (Framework F : Frameworks) {
       GemmWorkload W;
-      W.M = W.N = W.K = S;
+      W.M = W.N = W.K = Size;
       W.Batch = 8;
-      std::vector<RunResult> Row;
-      for (Framework F : Frameworks)
-        Row.push_back(R.runGemm(F, W));
-      T.addRow(std::to_string(S), Row);
+      S.addGemm(W, F,
+                {{"panel", "batched"}, {"MNK", std::to_string(Size)}});
     }
-    T.print();
-    std::printf("geomean speedups: Tawa/Triton = %.2fx, Tawa/TileLang = "
-                "%.2fx\n",
-                T.geomeanSpeedup(0, 1), T.geomeanSpeedup(0, 2));
-  }
 
-  {
-    Table T("Fig. 9 (right): FP16 grouped GEMM TFLOP/s, N = K = 4096, "
-            "M_g multiples of 512",
-            "G", Names);
-    for (int64_t G = 2; G <= 6; ++G) {
+  for (int64_t G = 2; G <= 6; ++G)
+    for (Framework F : Frameworks) {
       GemmWorkload W;
       W.N = W.K = 4096;
       // Group sizes 512, 1024, ..., G*512 (heterogeneous shapes).
-      W.GroupMs.clear();
       for (int64_t I = 1; I <= G; ++I)
         W.GroupMs.push_back(512 * I);
-      std::vector<RunResult> Row;
-      for (Framework F : Frameworks)
-        Row.push_back(R.runGemm(F, W));
-      T.addRow(std::to_string(G), Row);
+      S.addGemm(W, F, {{"panel", "grouped"}, {"G", std::to_string(G)}});
     }
-    T.print();
-    std::printf("geomean speedups: Tawa/Triton = %.2fx, Tawa/TileLang = "
-                "%.2fx\n",
-                T.geomeanSpeedup(0, 1), T.geomeanSpeedup(0, 2));
+
+  if (std::string Err = S.prewarm(); !Err.empty())
+    std::fprintf(stderr, "prewarm: %s\n", Err.c_str());
+  S.run();
+
+  S.printTables("Fig. 9 (left): FP16 batched GEMM TFLOP/s, batch = 8",
+                "MNK", "framework");
+  std::printf("geomean speedups: Tawa/Triton = %.2fx, Tawa/TileLang = "
+              "%.2fx\n",
+              S.geomeanSpeedup("framework", "Tawa", "Triton", "panel",
+                               "batched"),
+              S.geomeanSpeedup("framework", "Tawa", "TileLang", "panel",
+                               "batched"));
+
+  S.printTables("Fig. 9 (right): FP16 grouped GEMM TFLOP/s, N = K = 4096, "
+                "M_g multiples of 512",
+                "G", "framework");
+  std::printf("geomean speedups: Tawa/Triton = %.2fx, Tawa/TileLang = "
+              "%.2fx\n",
+              S.geomeanSpeedup("framework", "Tawa", "Triton", "panel",
+                               "grouped"),
+              S.geomeanSpeedup("framework", "Tawa", "TileLang", "panel",
+                               "grouped"));
+
+  if (!S.writeJson("BENCH_fig9.json")) {
+    std::fprintf(stderr, "cannot write BENCH_fig9.json\n");
+    return 1;
   }
-  return 0;
+  std::printf("\nwrote BENCH_fig9.json\n");
+  return S.stats().RunCompiles == 0 ? 0 : 1;
 }

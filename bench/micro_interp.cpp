@@ -20,11 +20,12 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Runner.h"
+#include "driver/Sweep.h"
 #include "frontend/Kernels.h"
 #include "passes/Passes.h"
 #include "sim/Interpreter.h"
 #include "sim/Replay.h"
+#include "support/Json.h"
 #include "support/ProgramCache.h"
 #include "support/Support.h"
 #include "support/WorkerPool.h"
@@ -280,9 +281,28 @@ std::vector<ScalePoint> benchSamplerScaling(Workload &W, double MinSeconds,
   return Points;
 }
 
-/// fig8-style K sweep through the Runner: cold = the in-memory cache is
-/// cleared per point (every point recompiles), warm = one shared program
-/// cache that compiles once and executes many.
+/// Builds the fig8-style Tawa K-sweep grid on a Sweep driver.
+Sweep makeKsweep(const char *Name, const std::vector<int64_t> &Ks) {
+  Sweep S(Name);
+  for (int64_t K : Ks) {
+    GemmWorkload W;
+    W.K = K;
+    S.addGemm(W, Framework::Tawa, {{"K", std::to_string(K)}});
+  }
+  return S;
+}
+
+void reportSweepErrors(const Sweep &S) {
+  for (const SweepRecord &Rec : S.records())
+    if (!Rec.Result.ok())
+      std::fprintf(stderr, "ksweep K=%s: %s\n",
+                   Rec.Point.axis("K")->c_str(),
+                   Rec.Result.Error.c_str());
+}
+
+/// fig8-style K sweep through the sweep driver: cold = the in-memory cache
+/// is cleared per point (every point recompiles), warm = one prewarmed
+/// grid that compiles once and executes many (run phase: zero compiles).
 struct SweepResult {
   double ColdSec = 0, WarmSec = 0;
   size_t WarmHits = 0, WarmMisses = 0;
@@ -294,34 +314,26 @@ SweepResult benchKsweep(const std::vector<int64_t> &Ks) {
   {
     double Start = nowSec();
     for (int64_t K : Ks) {
-      // The cache is process-wide now: clearing it per point is what
-      // "cold" means.
+      // The cache is process-wide: clearing it per point is what "cold"
+      // means. One-point grids keep the per-point recompile semantics.
       ProgramCache::shared().clear();
-      Runner R;
-      GemmWorkload W;
-      W.K = K;
-      RunResult Res = R.runGemm(Framework::Tawa, W);
-      if (!Res.ok())
-        std::fprintf(stderr, "ksweep K=%lld: %s\n",
-                     static_cast<long long>(K), Res.Error.c_str());
+      Sweep Sw = makeKsweep("fig8_ksweep_cold_point", {K});
+      Sw.run();
+      reportSweepErrors(Sw);
     }
     S.ColdSec = nowSec() - Start;
   }
   {
     ProgramCache::shared().clear();
-    Runner R;
+    Sweep Sw = makeKsweep("fig8_ksweep_warm", Ks);
     double Start = nowSec();
-    for (int64_t K : Ks) {
-      GemmWorkload W;
-      W.K = K;
-      RunResult Res = R.runGemm(Framework::Tawa, W);
-      if (!Res.ok())
-        std::fprintf(stderr, "ksweep K=%lld: %s\n",
-                     static_cast<long long>(K), Res.Error.c_str());
-    }
+    if (std::string Err = Sw.prewarm(); !Err.empty())
+      std::fprintf(stderr, "ksweep prewarm: %s\n", Err.c_str());
+    Sw.run();
     S.WarmSec = nowSec() - Start;
-    S.WarmHits = R.getProgramCacheHits();
-    S.WarmMisses = R.getProgramCacheMisses();
+    reportSweepErrors(Sw);
+    S.WarmHits = Sw.stats().PrewarmHits + Sw.stats().RunHits;
+    S.WarmMisses = Sw.stats().PrewarmCompiles + Sw.stats().RunCompiles;
   }
   return S;
 }
@@ -347,24 +359,21 @@ DiskSweepResult benchKsweepDisk(const std::vector<int64_t> &Ks) {
   Cache.clear();
   Cache.resetStats();
 
-  auto Sweep = [&](size_t &Compiles) {
-    Runner R;
+  auto SweepPass = [&](size_t &Compiles) {
+    Sweep Sw = makeKsweep("fig8_ksweep_disk", Ks);
     double Start = nowSec();
-    for (int64_t K : Ks) {
-      GemmWorkload W;
-      W.K = K;
-      RunResult Res = R.runGemm(Framework::Tawa, W);
-      if (!Res.ok())
-        std::fprintf(stderr, "disk ksweep K=%lld: %s\n",
-                     static_cast<long long>(K), Res.Error.c_str());
-    }
-    Compiles = R.getProgramCacheMisses();
-    return nowSec() - Start;
+    if (std::string Err = Sw.prewarm(); !Err.empty())
+      std::fprintf(stderr, "disk ksweep prewarm: %s\n", Err.c_str());
+    Sw.run();
+    double Elapsed = nowSec() - Start;
+    reportSweepErrors(Sw);
+    Compiles = Sw.stats().PrewarmCompiles + Sw.stats().RunCompiles;
+    return Elapsed;
   };
 
-  S.ColdSec = Sweep(S.ColdCompiles);
+  S.ColdSec = SweepPass(S.ColdCompiles);
   Cache.clear(); // Simulated process restart; the disk stays populated.
-  S.WarmSec = Sweep(S.WarmCompiles);
+  S.WarmSec = SweepPass(S.WarmCompiles);
   S.DiskHits = Cache.getStats().DiskHits;
 
   Cache.setPersistDir("");
@@ -440,13 +449,13 @@ int main(int argc, char **argv) {
   std::vector<int64_t> Ks =
       Smoke ? std::vector<int64_t>{256, 512, 1024}
             : std::vector<int64_t>{256, 512, 1024, 2048, 4096, 8192, 16384};
-  SweepResult Sweep = benchKsweep(Ks);
+  SweepResult Ksweep = benchKsweep(Ks);
   std::printf("\nfig8 K sweep (%zu points, Tawa timing mode)\n", Ks.size());
-  std::printf("  cold (cache cleared per point): %7.3f s\n", Sweep.ColdSec);
+  std::printf("  cold (cache cleared per point): %7.3f s\n", Ksweep.ColdSec);
   std::printf("  warm (shared program cache):    %7.3f s   (%zu hits / %zu "
               "misses)\n",
-              Sweep.WarmSec, Sweep.WarmHits, Sweep.WarmMisses);
-  std::printf("  sweep speedup: %.2fx\n", Sweep.speedup());
+              Ksweep.WarmSec, Ksweep.WarmHits, Ksweep.WarmMisses);
+  std::printf("  sweep speedup: %.2fx\n", Ksweep.speedup());
 
   DiskSweepResult Disk = benchKsweepDisk(Ks);
   std::printf("\nfig8 K sweep, cross-process (TAWA_CACHE_DIR warm start)\n");
@@ -458,63 +467,70 @@ int main(int argc, char **argv) {
               Disk.WarmSec, Disk.WarmCompiles, Disk.DiskHits);
   std::printf("  cross-process speedup: %.2fx\n", Disk.speedup());
 
-  // Emit machine-readable results.
+  // Emit machine-readable results (field layout documented in
+  // docs/reproducing-figures.md).
+  JsonWriter J;
+  J.beginObject();
+  J.key("workloads").beginArray();
+  for (const BenchRow &R : Rows) {
+    J.beginObject();
+    J.field("name", R.Name);
+    J.field("ops_per_cta", R.OpsPerCta);
+    J.field("legacy_ops_per_sec", R.Legacy.OpsPerSec, 1);
+    J.field("bytecode_ops_per_sec", R.Bytecode.OpsPerSec, 1);
+    J.field("speedup", R.speedup(), 3);
+    J.endObject();
+  }
+  J.endArray();
+  // hardware_workers is the pool actually used (never below the pool's
+  // 4-worker floor); hardware_concurrency is the raw host thread count.
+  J.field("hardware_workers", PoolWorkers);
+  J.field("hardware_concurrency", WorkerPool::hardwareWorkers());
+  J.key("worker_scaling").beginArray();
+  auto EmitScaling = [&](const char *Name,
+                         const std::vector<ScalePoint> &Points) {
+    for (const ScalePoint &P : Points) {
+      J.beginObject();
+      J.field("workload", Name);
+      J.field("workers", P.Workers);
+      J.field("workers_effective", P.EffectiveWorkers);
+      J.field("ops_per_sec", P.OpsPerSec, 1);
+      J.field("speedup_vs_serial",
+              Points[0].OpsPerSec > 0 ? P.OpsPerSec / Points[0].OpsPerSec
+                                      : 0,
+              3);
+      J.endObject();
+    }
+  };
+  EmitScaling(GemmFunc.Name.c_str(), Scaling);
+  EmitScaling("mha-ws-timing-sampler", SamplerScaling);
+  J.endArray();
+  J.key("fig8_ksweep").beginObject();
+  J.field("points", static_cast<uint64_t>(Ks.size()));
+  J.field("cold_sec", Ksweep.ColdSec, 4);
+  J.field("warm_sec", Ksweep.WarmSec, 4);
+  J.field("cache_hits", static_cast<uint64_t>(Ksweep.WarmHits));
+  J.field("cache_misses", static_cast<uint64_t>(Ksweep.WarmMisses));
+  J.field("speedup", Ksweep.speedup(), 3);
+  J.endObject();
+  J.key("fig8_ksweep_disk").beginObject();
+  J.field("points", static_cast<uint64_t>(Ks.size()));
+  J.field("cold_sec", Disk.ColdSec, 4);
+  J.field("warm_sec", Disk.WarmSec, 4);
+  J.field("cold_compiles", static_cast<uint64_t>(Disk.ColdCompiles));
+  J.field("warm_compiles", static_cast<uint64_t>(Disk.WarmCompiles));
+  J.field("disk_hits", static_cast<uint64_t>(Disk.DiskHits));
+  J.field("speedup", Disk.speedup(), 3);
+  J.endObject();
+  J.field("smoke", Smoke);
+  J.endObject();
   FILE *F = std::fopen("BENCH_interp.json", "w");
   if (!F) {
     std::fprintf(stderr, "cannot write BENCH_interp.json\n");
     return 1;
   }
-  std::fprintf(F, "{\n  \"workloads\": [\n");
-  for (size_t I = 0; I < Rows.size(); ++I) {
-    const BenchRow &R = Rows[I];
-    std::fprintf(F,
-                 "    {\"name\": \"%s\", \"ops_per_cta\": %lld, "
-                 "\"legacy_ops_per_sec\": %.1f, \"bytecode_ops_per_sec\": "
-                 "%.1f, \"speedup\": %.3f}%s\n",
-                 R.Name.c_str(), static_cast<long long>(R.OpsPerCta),
-                 R.Legacy.OpsPerSec, R.Bytecode.OpsPerSec, R.speedup(),
-                 I + 1 < Rows.size() ? "," : "");
-  }
-  std::fprintf(F, "  ],\n");
-  // hardware_workers is the pool actually used (never below the pool's
-  // 4-worker floor); hardware_concurrency is the raw host thread count.
-  std::fprintf(F, "  \"hardware_workers\": %lld,\n",
-               static_cast<long long>(PoolWorkers));
-  std::fprintf(F, "  \"hardware_concurrency\": %lld,\n",
-               static_cast<long long>(WorkerPool::hardwareWorkers()));
-  std::fprintf(F, "  \"worker_scaling\": [\n");
-  auto EmitScaling = [&](const char *Name,
-                         const std::vector<ScalePoint> &Points, bool Last) {
-    for (size_t I = 0; I < Points.size(); ++I)
-      std::fprintf(F,
-                   "    {\"workload\": \"%s\", \"workers\": %lld, "
-                   "\"workers_effective\": %lld, "
-                   "\"ops_per_sec\": %.1f, \"speedup_vs_serial\": %.3f}%s\n",
-                   Name, static_cast<long long>(Points[I].Workers),
-                   static_cast<long long>(Points[I].EffectiveWorkers),
-                   Points[I].OpsPerSec,
-                   Points[0].OpsPerSec > 0
-                       ? Points[I].OpsPerSec / Points[0].OpsPerSec
-                       : 0,
-                   Last && I + 1 == Points.size() ? "" : ",");
-  };
-  EmitScaling(GemmFunc.Name.c_str(), Scaling, /*Last=*/false);
-  EmitScaling("mha-ws-timing-sampler", SamplerScaling, /*Last=*/true);
-  std::fprintf(F, "  ],\n");
-  std::fprintf(F,
-               "  \"fig8_ksweep\": {\"points\": %zu, \"cold_sec\": %.4f, "
-               "\"warm_sec\": %.4f, \"cache_hits\": %zu, \"cache_misses\": "
-               "%zu, \"speedup\": %.3f},\n",
-               Ks.size(), Sweep.ColdSec, Sweep.WarmSec, Sweep.WarmHits,
-               Sweep.WarmMisses, Sweep.speedup());
-  std::fprintf(F,
-               "  \"fig8_ksweep_disk\": {\"points\": %zu, \"cold_sec\": "
-               "%.4f, \"warm_sec\": %.4f, \"cold_compiles\": %zu, "
-               "\"warm_compiles\": %zu, \"disk_hits\": %zu, \"speedup\": "
-               "%.3f},\n",
-               Ks.size(), Disk.ColdSec, Disk.WarmSec, Disk.ColdCompiles,
-               Disk.WarmCompiles, Disk.DiskHits, Disk.speedup());
-  std::fprintf(F, "  \"smoke\": %s\n}\n", Smoke ? "true" : "false");
+  std::string Doc = J.str();
+  std::fwrite(Doc.data(), 1, Doc.size(), F);
   std::fclose(F);
   std::printf("\nwrote BENCH_interp.json\n");
 

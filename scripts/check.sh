@@ -15,6 +15,16 @@
 # defect that changes observable behavior fails here even if every
 # individual test passes.
 #
+# Then runs the sweep-driver smoke: fig8_gemm twice against one
+# TAWA_CACHE_DIR — cold (prewarm compiles + serializes every kernel) and
+# warm (prewarm loads everything from disk) — asserting the warm pass
+# performed ZERO compiles and that the per-point JSON records are
+# byte-identical (docs/reproducing-figures.md).
+#
+# Then checks the documentation tree: every relative .md link and every
+# source-file path mentioned in docs/ and README.md must exist in the
+# repo, so docs cannot silently rot as files move.
+#
 # Then builds the whole tree a second time with ThreadSanitizer
 # (-DTAWA_TSAN=ON -> -fsanitize=thread) into $BUILD_DIR-tsan and runs the
 # test suite under it — including the runCtaBatch timing-sampler fan-out —
@@ -42,7 +52,8 @@ echo "== micro_interp (smoke) =="
 
 echo "== ctest (program cache, cold) =="
 CACHE_DIR="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR"' EXIT
+SWEEP_CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$SWEEP_CACHE_DIR"' EXIT
 (cd "$BUILD_DIR" && TAWA_CACHE_DIR="$CACHE_DIR" ctest --output-on-failure \
   --no-tests=error -j "$(nproc)") | tee "$BUILD_DIR/ctest-cache-cold.log"
 
@@ -61,6 +72,99 @@ if [[ "$COLD_SUMMARY" != "$WARM_SUMMARY" || -z "$COLD_SUMMARY" ]]; then
   exit 1
 fi
 echo "cache cold/warm results identical: $COLD_SUMMARY"
+
+echo "== sweep driver cold/warm smoke (fig8_gemm) =="
+# Cold: prewarm compiles every distinct kernel of the grid and serializes
+# it; the run phase must already be compile-free. Warm: a fresh process
+# prewarm-loads everything from disk — zero compiles end to end.
+# (fig8_gemm itself exits non-zero when its run phase compiled; the
+# explicit check keeps set -e from aborting before the diagnostic.)
+run_fig8() { # <label> <output-json>
+  if ! (cd "$BUILD_DIR" &&
+        TAWA_CACHE_DIR="$SWEEP_CACHE_DIR" ./fig8_gemm >/dev/null); then
+    echo "FAIL: fig8_gemm ($1) exited non-zero — run phase compiled" \
+         "or the sweep errored"
+    exit 1
+  fi
+  mv "$BUILD_DIR/BENCH_fig8.json" "$BUILD_DIR/$2"
+}
+run_fig8 cold fig8-sweep-cold.json
+run_fig8 warm fig8-sweep-warm.json
+grep -q '"run_compiles": 0' "$BUILD_DIR/fig8-sweep-cold.json" || {
+  echo "FAIL: cold sweep compiled during the run phase (prewarm leak)"
+  exit 1
+}
+grep -q '"prewarm_compiles": 0' "$BUILD_DIR/fig8-sweep-warm.json" || {
+  echo "FAIL: warm sweep compiled kernels (disk cache not used)"
+  exit 1
+}
+grep -q '"run_compiles": 0' "$BUILD_DIR/fig8-sweep-warm.json" || {
+  echo "FAIL: warm sweep compiled during the run phase"
+  exit 1
+}
+# The per-point records — axes, results, per-point cache statistics —
+# must be byte-identical whether the kernels were compiled or disk-loaded.
+extract_points() { sed -n '/^  "points": \[$/,/^  \],$/p' "$1"; }
+if ! diff <(extract_points "$BUILD_DIR/fig8-sweep-cold.json") \
+          <(extract_points "$BUILD_DIR/fig8-sweep-warm.json") >/dev/null
+then
+  echo "FAIL: cold/warm sweep JSON point values differ:"
+  diff <(extract_points "$BUILD_DIR/fig8-sweep-cold.json") \
+       <(extract_points "$BUILD_DIR/fig8-sweep-warm.json") | head -20
+  exit 1
+fi
+# grep -c exits 1 on zero matches; '|| true' keeps set -e from killing
+# the script before the empty-extraction diagnostic below can fire.
+POINT_COUNT="$(extract_points "$BUILD_DIR/fig8-sweep-cold.json" |
+  grep -c '"tflops":' || true)"
+if [[ "$POINT_COUNT" -eq 0 ]]; then
+  echo "FAIL: sweep JSON point extraction found no records"
+  exit 1
+fi
+echo "sweep cold/warm identical ($POINT_COUNT points), warm pass" \
+     "performed zero compiles"
+
+echo "== docs link check =="
+DOCS_FAIL=0
+for DOC in "$REPO_ROOT"/docs/*.md "$REPO_ROOT"/README.md; do
+  DOC_DIR="$(dirname "$DOC")"
+  DOC_NAME="${DOC#"$REPO_ROOT"/}"
+  # 1) Relative markdown links: [text](target). External URLs and pure
+  #    anchors are skipped; anchors on relative links are stripped.
+  while IFS= read -r LINK; do
+    case "$LINK" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    TARGET="${LINK%%#*}"
+    [[ -z "$TARGET" ]] && continue
+    if [[ ! -e "$DOC_DIR/$TARGET" ]]; then
+      echo "broken link in $DOC_NAME: ($LINK)"
+      DOCS_FAIL=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$DOC" | sed -E 's/^\]\(//; s/\)$//')
+  # 2) Repo-relative source paths mentioned anywhere in the text.
+  while IFS= read -r P; do
+    if [[ ! -e "$REPO_ROOT/$P" ]]; then
+      echo "missing path in $DOC_NAME: $P"
+      DOCS_FAIL=1
+    fi
+  done < <(grep -oE '\b(src|bench|tests|examples|scripts|docs)/[A-Za-z0-9_/.-]+\.(cpp|h|md|sh)\b' \
+           "$DOC" | sort -u)
+  # 3) Bare source-file mentions (Foo.cpp / Foo.h) must exist somewhere
+  #    in the tree. ({h,cpp} brace forms are covered by rule 2's paths.)
+  while IFS= read -r BASE; do
+    if ! find "$REPO_ROOT/src" "$REPO_ROOT/bench" "$REPO_ROOT/tests" \
+         "$REPO_ROOT/examples" -name "$BASE" -print -quit | grep -q .; then
+      echo "unknown source file in $DOC_NAME: $BASE"
+      DOCS_FAIL=1
+    fi
+  done < <(grep -oE '\b[A-Za-z][A-Za-z0-9_]*\.(cpp|h)\b' "$DOC" | sort -u)
+done
+if [[ "$DOCS_FAIL" != 0 ]]; then
+  echo "FAIL: docs link check"
+  exit 1
+fi
+echo "docs link check OK"
 
 if [[ "${TAWA_SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan configure =="

@@ -103,6 +103,74 @@ std::string pipelineKeySuffix(const TawaOptions &O, int64_t SwDepth) {
       O.CoarsePipeline ? 1 : 0, static_cast<long long>(SwDepth));
 }
 
+//===--- Compile plans ----------------------------------------------------===//
+// The (kernel config, effective options, cache key) derivation is shared by
+// three callers — the execute paths, Runner::compileKey (the sweep driver's
+// grid dedup), and Runner::prewarm — so a sweep's pre-warm pass provably
+// compiles under the exact key the execute pass looks up.
+
+TawaOptions effectiveGemmOptions(const GemmWorkload &W,
+                                 const FrameworkEnvelope &E) {
+  TawaOptions Options = E.Options;
+  if (W.Batch > 1)
+    Options.Persistent = false; // Tile queues are per batch slice.
+  return Options;
+}
+
+GemmKernelConfig gemmKernelConfig(const GemmWorkload &W,
+                                  const FrameworkEnvelope &E) {
+  GemmKernelConfig Kernel;
+  Kernel.TileM = E.TileM;
+  Kernel.TileN = E.TileN;
+  Kernel.TileK = E.TileK;
+  Kernel.InPrecision = W.Prec;
+  Kernel.Batched = W.Batch > 1;
+  return Kernel;
+}
+
+std::string gemmKey(const GemmKernelConfig &Kernel, const TawaOptions &O,
+                    int64_t SwDepth) {
+  return formatString("gemm|tm%lld|tn%lld|tk%lld|prec%d|b%d|pe%d",
+                      static_cast<long long>(Kernel.TileM),
+                      static_cast<long long>(Kernel.TileN),
+                      static_cast<long long>(Kernel.TileK),
+                      static_cast<int>(Kernel.InPrecision),
+                      Kernel.Batched ? 1 : 0,
+                      Kernel.PointerEpilogue ? 1 : 0) +
+         pipelineKeySuffix(O, SwDepth);
+}
+
+AttentionKernelConfig attentionKernelConfig(const AttentionWorkload &W,
+                                            const FrameworkEnvelope &E) {
+  AttentionKernelConfig Kernel;
+  Kernel.TileQ = E.TileQ;
+  Kernel.TileKv = E.TileKv;
+  Kernel.HeadDim = W.HeadDim;
+  Kernel.Causal = W.Causal;
+  Kernel.InPrecision = W.Prec;
+  return Kernel;
+}
+
+std::string attentionKey(const AttentionKernelConfig &Kernel,
+                         const TawaOptions &O, int64_t SwDepth) {
+  return formatString("mha|tq%lld|tkv%lld|hd%lld|c%d|prec%d",
+                      static_cast<long long>(Kernel.TileQ),
+                      static_cast<long long>(Kernel.TileKv),
+                      static_cast<long long>(Kernel.HeadDim),
+                      Kernel.Causal ? 1 : 0,
+                      static_cast<int>(Kernel.InPrecision)) +
+         pipelineKeySuffix(O, SwDepth);
+}
+
+/// True when the envelope reaches the compiler at all: compiled (not
+/// analytic / unsupported) and, under warp specialization, with options
+/// the compiler accepts.
+bool reachesCompiler(const FrameworkEnvelope &E, const TawaOptions &O) {
+  if (!E.Supported || E.Analytic)
+    return false;
+  return !O.EnableWarpSpecialization || O.validate().empty();
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -141,8 +209,58 @@ ProgramCache::EntryRef Runner::getOrCompile(
       ++CacheMisses;
     else
       ++CacheHits;
+  } else if (Outcome == ProgramCache::Outcome::Failed) {
+    // A failed compile still ran the full pass pipeline, and failures are
+    // never cached — every retry pays again. Counting it as a miss keeps
+    // the sweep driver's zero-compile accounting honest: a grid point
+    // that recompiles (and re-fails) per execution cannot report
+    // RunCompiles == 0.
+    ++CacheMisses;
   }
   return E;
+}
+
+std::string Runner::compileKey(const GemmWorkload &W,
+                               const FrameworkEnvelope &E) const {
+  TawaOptions Options = effectiveGemmOptions(W, E);
+  if (!reachesCompiler(E, Options))
+    return "";
+  return gemmKey(gemmKernelConfig(W, E), Options, E.SwPipelineDepth);
+}
+
+std::string Runner::compileKey(const AttentionWorkload &W,
+                               const FrameworkEnvelope &E) const {
+  if (!reachesCompiler(E, E.Options))
+    return "";
+  return attentionKey(attentionKernelConfig(W, E), E.Options,
+                      E.SwPipelineDepth);
+}
+
+bool Runner::prewarm(const GemmWorkload &W, const FrameworkEnvelope &E,
+                     std::string &Err) {
+  Err.clear();
+  TawaOptions Options = effectiveGemmOptions(W, E);
+  if (!reachesCompiler(E, Options))
+    return true;
+  GemmKernelConfig Kernel = gemmKernelConfig(W, E);
+  return getOrCompile(
+             gemmKey(Kernel, Options, E.SwPipelineDepth),
+             [&](IrContext &Ctx) { return buildGemmModule(Ctx, Kernel); },
+             Options, E.SwPipelineDepth, Err) != nullptr;
+}
+
+bool Runner::prewarm(const AttentionWorkload &W, const FrameworkEnvelope &E,
+                     std::string &Err) {
+  Err.clear();
+  if (!reachesCompiler(E, E.Options))
+    return true;
+  AttentionKernelConfig Kernel = attentionKernelConfig(W, E);
+  return getOrCompile(
+             attentionKey(Kernel, E.Options, E.SwPipelineDepth),
+             [&](IrContext &Ctx) {
+               return buildAttentionModule(Ctx, Kernel);
+             },
+             E.Options, E.SwPipelineDepth, Err) != nullptr;
 }
 
 //===----------------------------------------------------------------------===//
@@ -214,9 +332,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   if (E.Analytic)
     return runGemmAnalytic(W, E);
 
-  TawaOptions Options = E.Options;
-  if (W.Batch > 1)
-    Options.Persistent = false; // Tile queues are per batch slice.
+  TawaOptions Options = effectiveGemmOptions(W, E);
   if (Options.EnableWarpSpecialization) {
     if (std::string Err = Options.validate(); !Err.empty()) {
       R.Feasible = false;
@@ -226,24 +342,11 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   }
 
   int64_t TotalM = W.totalM();
-  GemmKernelConfig Kernel;
-  Kernel.TileM = E.TileM;
-  Kernel.TileN = E.TileN;
-  Kernel.TileK = E.TileK;
-  Kernel.InPrecision = W.Prec;
-  Kernel.Batched = W.Batch > 1;
+  GemmKernelConfig Kernel = gemmKernelConfig(W, E);
 
-  std::string Key =
-      formatString("gemm|tm%lld|tn%lld|tk%lld|prec%d|b%d|pe%d",
-                   static_cast<long long>(Kernel.TileM),
-                   static_cast<long long>(Kernel.TileN),
-                   static_cast<long long>(Kernel.TileK),
-                   static_cast<int>(Kernel.InPrecision),
-                   Kernel.Batched ? 1 : 0, Kernel.PointerEpilogue ? 1 : 0) +
-      pipelineKeySuffix(Options, E.SwPipelineDepth);
   std::string CompileErr;
   ProgramCache::EntryRef Cached = getOrCompile(
-      Key,
+      gemmKey(Kernel, Options, E.SwPipelineDepth),
       [&](IrContext &Ctx) { return buildGemmModule(Ctx, Kernel); },
       Options, E.SwPipelineDepth, CompileErr);
   if (!Cached) {
@@ -420,24 +523,11 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
     }
   }
 
-  AttentionKernelConfig Kernel;
-  Kernel.TileQ = E.TileQ;
-  Kernel.TileKv = E.TileKv;
-  Kernel.HeadDim = W.HeadDim;
-  Kernel.Causal = W.Causal;
-  Kernel.InPrecision = W.Prec;
+  AttentionKernelConfig Kernel = attentionKernelConfig(W, E);
 
-  std::string Key =
-      formatString("mha|tq%lld|tkv%lld|hd%lld|c%d|prec%d",
-                   static_cast<long long>(Kernel.TileQ),
-                   static_cast<long long>(Kernel.TileKv),
-                   static_cast<long long>(Kernel.HeadDim),
-                   Kernel.Causal ? 1 : 0,
-                   static_cast<int>(Kernel.InPrecision)) +
-      pipelineKeySuffix(Options, E.SwPipelineDepth);
   std::string CompileErr;
   ProgramCache::EntryRef Cached = getOrCompile(
-      Key,
+      attentionKey(Kernel, Options, E.SwPipelineDepth),
       [&](IrContext &Ctx) { return buildAttentionModule(Ctx, Kernel); },
       Options, E.SwPipelineDepth, CompileErr);
   if (!Cached) {

@@ -59,12 +59,38 @@ public:
   /// dimensions (fig8's K sweep, fig11's hyperparameter grid) compile once
   /// and execute many times, and with TAWA_CACHE_DIR set a warm process
   /// skips compilation entirely. A "hit" is an in-memory or disk-loaded
-  /// program; a "miss" is a full compile.
-  size_t getProgramCacheHits() const { return CacheHits; }
-  size_t getProgramCacheMisses() const { return CacheMisses; }
+  /// program; a "miss" is a full pass-pipeline run — successful or not
+  /// (failed compiles are never cached, so every retry pays and counts).
+  /// The sweep driver snapshots this around every point to attach cache
+  /// statistics to each record.
+  struct CacheStats {
+    size_t Hits = 0;
+    size_t Misses = 0;
+  };
+  CacheStats cacheStats() const { return {CacheHits, CacheMisses}; }
   /// Drops every in-memory entry of the PROCESS-wide cache (all Runners);
   /// a configured persist directory is untouched.
   void clearProgramCache() { ProgramCache::shared().clear(); }
+
+  /// The process-wide program-cache key this point compiles under, or ""
+  /// when the point never reaches the compiler: analytic or unsupported
+  /// envelopes, and warp-specialization options the compiler rejects
+  /// before building a module (Fig. 11's infeasible cells). The key covers
+  /// every compile-time knob and no runtime dimension, so a whole sweep
+  /// over M/N/K/SeqLen shares one key (docs/program-cache.md).
+  std::string compileKey(const GemmWorkload &W,
+                         const FrameworkEnvelope &E) const;
+  std::string compileKey(const AttentionWorkload &W,
+                         const FrameworkEnvelope &E) const;
+
+  /// Compiles (or cache-loads) the kernel a point needs WITHOUT executing
+  /// it — the sweep driver's pre-warm pass. Points with an empty
+  /// compileKey() are a successful no-op. Returns false with \p Err set on
+  /// pipeline failure.
+  bool prewarm(const GemmWorkload &W, const FrameworkEnvelope &E,
+               std::string &Err);
+  bool prewarm(const AttentionWorkload &W, const FrameworkEnvelope &E,
+               std::string &Err);
 
   /// Runs a GEMM point under a framework's default envelope.
   RunResult runGemm(Framework F, const GemmWorkload &W,

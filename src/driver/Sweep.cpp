@@ -1,0 +1,335 @@
+//===- Sweep.cpp - Cache-aware sweep driver ----------------------------------//
+
+#include "driver/Sweep.h"
+
+#include "sim/Interpreter.h"
+#include "support/Json.h"
+#include "support/ProgramCache.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+using namespace tawa;
+
+const std::string *SweepPoint::axis(const std::string &Name) const {
+  for (const SweepAxis &A : Axes)
+    if (A.Name == Name)
+      return &A.Value;
+  return nullptr;
+}
+
+Sweep::Sweep(std::string Name, sim::GpuConfig Config)
+    : Name(std::move(Name)), R(Config) {}
+
+void Sweep::addGemm(const GemmWorkload &W, Framework F,
+                    std::vector<SweepAxis> Axes, bool Functional) {
+  addGemm(W, getGemmEnvelope(F, W), getFrameworkName(F), std::move(Axes),
+          Functional);
+}
+
+void Sweep::addAttention(const AttentionWorkload &W, Framework F,
+                         std::vector<SweepAxis> Axes, bool Functional) {
+  addAttention(W, getAttentionEnvelope(F, W), getFrameworkName(F),
+               std::move(Axes), Functional);
+}
+
+void Sweep::addGemm(const GemmWorkload &W, const FrameworkEnvelope &E,
+                    std::string FrameworkName, std::vector<SweepAxis> Axes,
+                    bool Functional) {
+  SweepPoint P;
+  P.PointKind = SweepPoint::Kind::Gemm;
+  P.Gemm = W;
+  P.Envelope = E;
+  P.FrameworkName = std::move(FrameworkName);
+  P.Functional = Functional;
+  P.Axes = std::move(Axes);
+  P.Axes.push_back({"framework", P.FrameworkName});
+  Points.push_back(std::move(P));
+}
+
+void Sweep::addAttention(const AttentionWorkload &W,
+                         const FrameworkEnvelope &E,
+                         std::string FrameworkName,
+                         std::vector<SweepAxis> Axes, bool Functional) {
+  SweepPoint P;
+  P.PointKind = SweepPoint::Kind::Attention;
+  P.Attn = W;
+  P.Envelope = E;
+  P.FrameworkName = std::move(FrameworkName);
+  P.Functional = Functional;
+  P.Axes = std::move(Axes);
+  P.Axes.push_back({"framework", P.FrameworkName});
+  Points.push_back(std::move(P));
+}
+
+std::string Sweep::keyFor(const SweepPoint &P) const {
+  return P.PointKind == SweepPoint::Kind::Gemm
+             ? R.compileKey(P.Gemm, P.Envelope)
+             : R.compileKey(P.Attn, P.Envelope);
+}
+
+std::vector<std::string> Sweep::compileKeys() const {
+  std::vector<std::string> Keys;
+  std::set<std::string> Seen;
+  for (const SweepPoint &P : Points) {
+    std::string Key = keyFor(P);
+    if (!Key.empty() && Seen.insert(Key).second)
+      Keys.push_back(std::move(Key));
+  }
+  return Keys;
+}
+
+std::string Sweep::prewarm() {
+  std::string FirstErr;
+  std::set<std::string> Seen;
+  Runner::CacheStats Before = R.cacheStats();
+  size_t DiskBefore = ProgramCache::shared().getStats().DiskHits;
+  for (const SweepPoint &P : Points) {
+    std::string Key = keyFor(P);
+    if (Key.empty() || !Seen.insert(Key).second)
+      continue;
+    std::string Err;
+    bool Ok = P.PointKind == SweepPoint::Kind::Gemm
+                  ? R.prewarm(P.Gemm, P.Envelope, Err)
+                  : R.prewarm(P.Attn, P.Envelope, Err);
+    if (!Ok && FirstErr.empty())
+      FirstErr = Err;
+  }
+  Runner::CacheStats After = R.cacheStats();
+  Accum.PrewarmCompiles = After.Misses - Before.Misses;
+  Accum.PrewarmHits = After.Hits - Before.Hits;
+  Accum.PrewarmDiskHits =
+      ProgramCache::shared().getStats().DiskHits - DiskBefore;
+  return FirstErr;
+}
+
+RunResult Sweep::execute(const SweepPoint &P) {
+  return P.PointKind == SweepPoint::Kind::Gemm
+             ? R.runGemmCustom(P.Gemm, P.Envelope, P.Functional)
+             : R.runAttentionCustom(P.Attn, P.Envelope, P.Functional);
+}
+
+void Sweep::run() {
+  Records.clear();
+  Records.reserve(Points.size());
+  Accum.Points = Points.size();
+  Accum.DistinctKeys = compileKeys().size();
+  Accum.CompiledPoints = 0;
+  Accum.RunHits = 0;
+  Accum.RunCompiles = 0;
+  for (const SweepPoint &P : Points) {
+    Runner::CacheStats Before = R.cacheStats();
+    SweepRecord Rec;
+    Rec.Point = P;
+    Rec.Result = execute(P);
+    Runner::CacheStats After = R.cacheStats();
+    Rec.CacheHits = After.Hits - Before.Hits;
+    Rec.CacheMisses = After.Misses - Before.Misses;
+    Rec.CompileKey = keyFor(P);
+    if (!Rec.CompileKey.empty())
+      ++Accum.CompiledPoints;
+    Accum.RunHits += Rec.CacheHits;
+    Accum.RunCompiles += Rec.CacheMisses;
+    Records.push_back(std::move(Rec));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Appends \p V to \p Values if unseen, preserving first-appearance order.
+void collect(std::vector<std::string> &Values, const std::string &V) {
+  for (const std::string &Existing : Values)
+    if (Existing == V)
+      return;
+  Values.push_back(V);
+}
+
+std::string formatCell(const RunResult &Res) {
+  if (!Res.Supported)
+    return "--";
+  if (!Res.Feasible)
+    return "0";
+  if (!Res.Error.empty())
+    return "ERR";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.0f", Res.TFlops);
+  return Buf;
+}
+
+/// True when the two points agree on every axis except \p ColAxis (both
+/// must carry the same axis set for a pair to form).
+bool axesMatchExcept(const SweepPoint &A, const SweepPoint &B,
+                     const std::string &ColAxis) {
+  if (A.Axes.size() != B.Axes.size())
+    return false;
+  for (const SweepAxis &Ax : A.Axes) {
+    if (Ax.Name == ColAxis)
+      continue;
+    const std::string *Other = B.axis(Ax.Name);
+    if (!Other || *Other != Ax.Value)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void Sweep::printTables(const std::string &Title, const std::string &RowAxis,
+                        const std::string &ColAxis,
+                        const std::string &PageAxis) const {
+  std::vector<std::string> Pages;
+  if (PageAxis.empty())
+    Pages.push_back("");
+  else
+    for (const SweepRecord &Rec : Records)
+      if (const std::string *V = Rec.Point.axis(PageAxis))
+        collect(Pages, *V);
+
+  for (const std::string &Page : Pages) {
+    // Rows/columns are collected per page so one sweep can hold panels
+    // with different row grids (fig9's batched vs grouped tables).
+    std::vector<std::string> RowVals, ColVals;
+    auto OnPage = [&](const SweepRecord &Rec) {
+      if (!Rec.Point.axis(RowAxis) || !Rec.Point.axis(ColAxis))
+        return false;
+      if (Page.empty())
+        return true;
+      const std::string *V = Rec.Point.axis(PageAxis);
+      return V && *V == Page;
+    };
+    for (const SweepRecord &Rec : Records) {
+      if (!OnPage(Rec))
+        continue;
+      collect(RowVals, *Rec.Point.axis(RowAxis));
+      collect(ColVals, *Rec.Point.axis(ColAxis));
+    }
+    if (RowVals.empty())
+      continue;
+
+    if (Page.empty())
+      std::printf("\n%s\n", Title.c_str());
+    else
+      std::printf("\n%s [%s = %s]\n", Title.c_str(), PageAxis.c_str(),
+                  Page.c_str());
+    std::printf("%-12s", RowAxis.c_str());
+    for (const std::string &C : ColVals)
+      std::printf(" %18s", C.c_str());
+    std::printf("\n");
+    for (const std::string &Row : RowVals) {
+      std::printf("%-12s", Row.c_str());
+      for (const std::string &Col : ColVals) {
+        std::string Cell;
+        for (const SweepRecord &Rec : Records) {
+          if (!OnPage(Rec) || *Rec.Point.axis(RowAxis) != Row ||
+              *Rec.Point.axis(ColAxis) != Col)
+            continue;
+          Cell = formatCell(Rec.Result);
+          break;
+        }
+        std::printf(" %18s", Cell.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+double Sweep::geomeanSpeedup(const std::string &ColAxis, const std::string &A,
+                             const std::string &B,
+                             const std::string &FilterAxis,
+                             const std::string &FilterValue) const {
+  auto Matches = [&](const SweepRecord &Rec, const std::string &ColValue) {
+    const std::string *Col = Rec.Point.axis(ColAxis);
+    if (!Col || *Col != ColValue)
+      return false;
+    if (FilterAxis.empty())
+      return true;
+    const std::string *V = Rec.Point.axis(FilterAxis);
+    return V && *V == FilterValue;
+  };
+  double LogSum = 0;
+  int N = 0;
+  for (const SweepRecord &RecA : Records) {
+    if (!Matches(RecA, A) || !RecA.Result.ok())
+      continue;
+    for (const SweepRecord &RecB : Records) {
+      if (!Matches(RecB, B) || !RecB.Result.ok() ||
+          RecB.Result.TFlops <= 0)
+        continue;
+      if (!axesMatchExcept(RecA.Point, RecB.Point, ColAxis))
+        continue;
+      LogSum += std::log(RecA.Result.TFlops / RecB.Result.TFlops);
+      ++N;
+      break;
+    }
+  }
+  return N ? std::exp(LogSum / N) : 0.0;
+}
+
+std::string Sweep::toJson() const {
+  JsonWriter J;
+  J.beginObject();
+  J.field("schema", "tawa-sweep-v1");
+  J.field("sweep", Name);
+  // The worker fan-out every point's grid/sampler ran under. Point values
+  // are bit-identical at any worker count (docs/threading-and-memory.md),
+  // so this is provenance, not an input to interpretation.
+  J.field("num_workers", R.NumWorkers);
+  J.field("workers_effective", sim::resolveNumWorkers(R.NumWorkers));
+  J.key("points").beginArray();
+  for (const SweepRecord &Rec : Records) {
+    const SweepPoint &P = Rec.Point;
+    const RunResult &Res = Rec.Result;
+    J.beginObject();
+    J.key("axes").beginObject();
+    for (const SweepAxis &A : P.Axes)
+      J.field(A.Name, A.Value);
+    J.endObject();
+    J.field("kind",
+            P.PointKind == SweepPoint::Kind::Gemm ? "gemm" : "attention");
+    J.field("functional", P.Functional);
+    J.field("ok", Res.ok());
+    J.field("supported", Res.Supported);
+    J.field("feasible", Res.Feasible);
+    J.field("error", Res.Error);
+    J.field("micros", Res.Micros, 4);
+    J.field("tflops", Res.TFlops, 3);
+    J.field("max_rel_error", Res.MaxRelError, 6);
+    J.field("tensor_utilization", Res.TensorUtilization, 4);
+    J.field("smem_bytes", Res.SmemBytes);
+    J.field("regs_per_thread", Res.RegsPerThread);
+    J.key("cache").beginObject();
+    J.field("hits", static_cast<uint64_t>(Rec.CacheHits));
+    J.field("misses", static_cast<uint64_t>(Rec.CacheMisses));
+    J.field("key", Rec.CompileKey);
+    J.endObject();
+    J.endObject();
+  }
+  J.endArray();
+  J.key("stats").beginObject();
+  J.field("points", static_cast<uint64_t>(Accum.Points));
+  J.field("compiled_points", static_cast<uint64_t>(Accum.CompiledPoints));
+  J.field("distinct_keys", static_cast<uint64_t>(Accum.DistinctKeys));
+  J.field("prewarm_compiles", static_cast<uint64_t>(Accum.PrewarmCompiles));
+  J.field("prewarm_hits", static_cast<uint64_t>(Accum.PrewarmHits));
+  J.field("prewarm_disk_hits",
+          static_cast<uint64_t>(Accum.PrewarmDiskHits));
+  J.field("run_hits", static_cast<uint64_t>(Accum.RunHits));
+  J.field("run_compiles", static_cast<uint64_t>(Accum.RunCompiles));
+  J.endObject();
+  J.endObject();
+  return J.str();
+}
+
+bool Sweep::writeJson(const std::string &Path) const {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Doc = toJson();
+  bool Ok = std::fwrite(Doc.data(), 1, Doc.size(), F) == Doc.size();
+  return std::fclose(F) == 0 && Ok;
+}

@@ -1,0 +1,170 @@
+//===- Json.cpp - Minimal deterministic JSON writer --------------------------//
+
+#include "support/Json.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace tawa;
+
+std::string JsonWriter::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::prepare() {
+  if (PendingKey) {
+    // A key was just written; the value follows inline.
+    PendingKey = false;
+    return;
+  }
+  if (Stack.empty())
+    return;
+  if (HasElem.back() == '1')
+    Out += ',';
+  HasElem.back() = '1';
+  Out += '\n';
+  Out.append(Stack.size() * 2, ' ');
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  prepare();
+  Out += '{';
+  Stack += 'O';
+  HasElem += '0';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back() == 'O' && "endObject outside object");
+  bool Empty = HasElem.back() == '0';
+  Stack.pop_back();
+  HasElem.pop_back();
+  if (!Empty) {
+    Out += '\n';
+    Out.append(Stack.size() * 2, ' ');
+  }
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  prepare();
+  Out += '[';
+  Stack += 'A';
+  HasElem += '0';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back() == 'A' && "endArray outside array");
+  bool Empty = HasElem.back() == '0';
+  Stack.pop_back();
+  HasElem.pop_back();
+  if (!Empty) {
+    Out += '\n';
+    Out.append(Stack.size() * 2, ' ');
+  }
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &K) {
+  assert(!Stack.empty() && Stack.back() == 'O' && "key outside object");
+  prepare();
+  Out += '"';
+  Out += escape(K);
+  Out += "\": ";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &S) {
+  prepare();
+  Out += '"';
+  Out += escape(S);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const char *S) {
+  return value(std::string(S));
+}
+
+JsonWriter &JsonWriter::value(bool B) {
+  prepare();
+  Out += B ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t N) {
+  prepare();
+  Out += formatString("%lld", static_cast<long long>(N));
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t N) {
+  prepare();
+  Out += formatString("%llu", static_cast<unsigned long long>(N));
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V, int Decimals) {
+  prepare();
+  if (!std::isfinite(V))
+    Out += "null";
+  else
+    Out += formatString("%.*f", Decimals, V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &K, const std::string &S) {
+  return key(K).value(S);
+}
+JsonWriter &JsonWriter::field(const std::string &K, const char *S) {
+  return key(K).value(S);
+}
+JsonWriter &JsonWriter::field(const std::string &K, bool B) {
+  return key(K).value(B);
+}
+JsonWriter &JsonWriter::field(const std::string &K, int64_t N) {
+  return key(K).value(N);
+}
+JsonWriter &JsonWriter::field(const std::string &K, uint64_t N) {
+  return key(K).value(N);
+}
+JsonWriter &JsonWriter::field(const std::string &K, double V, int Decimals) {
+  return key(K).value(V, Decimals);
+}
+
+std::string JsonWriter::str() const {
+  assert(Stack.empty() && "unbalanced begin/end");
+  return Out + "\n";
+}

@@ -1,0 +1,70 @@
+//===- Json.h - Minimal deterministic JSON writer ---------------*- C++ -*-===//
+//
+// The reporting layer's JSON emitter: append-only, two-space pretty
+// printing, automatic comma/indent bookkeeping, and *deterministic*
+// formatting (fixed decimal counts for doubles, stable field order is the
+// caller's). Determinism is load-bearing: scripts/check.sh diffs the JSON
+// a cold-cache sweep writes against a warm-cache re-run and requires the
+// per-point sections to be byte-identical.
+//
+// This is a writer only — the repo never parses JSON, it only emits it for
+// CI tracking and figure post-processing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SUPPORT_JSON_H
+#define TAWA_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+
+namespace tawa {
+
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Starts a key inside the current object; follow with a value or a
+  /// begin{Object,Array}.
+  JsonWriter &key(const std::string &K);
+
+  JsonWriter &value(const std::string &S);
+  JsonWriter &value(const char *S);
+  JsonWriter &value(bool B);
+  JsonWriter &value(int64_t N);
+  JsonWriter &value(uint64_t N);
+  /// Fixed-decimal rendering; non-finite values emit null (JSON has no
+  /// NaN/Inf).
+  JsonWriter &value(double V, int Decimals = 6);
+
+  JsonWriter &field(const std::string &K, const std::string &S);
+  JsonWriter &field(const std::string &K, const char *S);
+  JsonWriter &field(const std::string &K, bool B);
+  JsonWriter &field(const std::string &K, int64_t N);
+  JsonWriter &field(const std::string &K, uint64_t N);
+  JsonWriter &field(const std::string &K, double V, int Decimals = 6);
+
+  /// The finished document (call after the outermost endObject/endArray);
+  /// ends with a newline.
+  std::string str() const;
+
+  static std::string escape(const std::string &S);
+
+private:
+  /// Comma/newline/indent before a value or key at the current nesting.
+  void prepare();
+
+  std::string Out;
+  /// One char per open container: 'O' = object, 'A' = array.
+  std::string Stack;
+  /// Whether the current container already holds an element.
+  std::string HasElem;
+  bool PendingKey = false;
+};
+
+} // namespace tawa
+
+#endif // TAWA_SUPPORT_JSON_H

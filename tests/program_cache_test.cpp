@@ -256,7 +256,7 @@ TEST(ProgramCacheDisk, WarmRestartSkipsAllCompiles) {
     Runner R;
     Cold = R.runGemm(Framework::Tawa, W);
     ASSERT_TRUE(Cold.ok()) << Cold.Error;
-    ColdMisses = R.getProgramCacheMisses();
+    ColdMisses = R.cacheStats().Misses;
     EXPECT_EQ(ColdMisses, 1u);
   }
 
@@ -265,8 +265,8 @@ TEST(ProgramCacheDisk, WarmRestartSkipsAllCompiles) {
     Runner R;
     Warm = R.runGemm(Framework::Tawa, W);
     ASSERT_TRUE(Warm.ok()) << Warm.Error;
-    EXPECT_EQ(R.getProgramCacheMisses(), 0u) << "warm start compiled";
-    EXPECT_EQ(R.getProgramCacheHits(), 1u);
+    EXPECT_EQ(R.cacheStats().Misses, 0u) << "warm start compiled";
+    EXPECT_EQ(R.cacheStats().Hits, 1u);
   }
   EXPECT_GE(C.getStats().DiskHits, 1u);
 
@@ -307,7 +307,7 @@ TEST(ProgramCacheDisk, DamagedCacheFileFallsBackToRecompile) {
     Runner R;
     RunResult Res = R.runGemm(Framework::Tawa, W);
     ASSERT_TRUE(Res.ok()) << Res.Error;
-    EXPECT_EQ(R.getProgramCacheMisses(), 1u) << "should have recompiled";
+    EXPECT_EQ(R.cacheStats().Misses, 1u) << "should have recompiled";
     EXPECT_EQ(Res.Micros, Cold.Micros);
   }
 
@@ -334,11 +334,11 @@ TEST(ProgramCacheDisk, LegacyEngineBypassesDiskEntries) {
     R.UseLegacyInterp = true;
     RunResult Res = R.runGemm(Framework::Tawa, W);
     ASSERT_TRUE(Res.ok()) << Res.Error;
-    EXPECT_EQ(R.getProgramCacheMisses(), 1u);
+    EXPECT_EQ(R.cacheStats().Misses, 1u);
     // And a later bytecode run shares the module-bearing entry in memory.
     Runner R2;
     ASSERT_TRUE(R2.runGemm(Framework::Tawa, W).ok());
-    EXPECT_EQ(R2.getProgramCacheMisses(), 0u);
+    EXPECT_EQ(R2.cacheStats().Misses, 0u);
   }
 
   std::error_code Ec;

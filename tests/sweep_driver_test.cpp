@@ -1,0 +1,259 @@
+//===- sweep_driver_test.cpp - Cache-aware sweep driver contract --------------//
+//
+// Pins the sweep driver's four load-bearing properties:
+//
+//   1. grid enumeration deduplicates compile keys — runtime dimensions
+//      share a key, compile-time knobs split keys, analytic/unsupported/
+//      infeasible points contribute none;
+//   2. prewarm() compiles each distinct key exactly once and a subsequent
+//      run() performs ZERO compiles (and a second, warm sweep's prewarm
+//      performs zero compiles too) — the tentpole invariant behind
+//      "one compile pass, then pure execution";
+//   3. the versioned JSON report (schema tawa-sweep-v1) carries every
+//      record with its per-point cache statistics, round-trips the
+//      formatted values, and is structurally balanced;
+//   4. per-point results are bit-identical across RunOptions::NumWorkers —
+//      the sweep driver inherits the worker-pool determinism guarantee
+//      (docs/threading-and-memory.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Sweep.h"
+#include "support/ProgramCache.h"
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace tawa;
+
+namespace {
+
+/// Small runtime dims: timing mode interprets one CTA per distinct trip
+/// count, so these keep each point cheap while exercising real kernels.
+GemmWorkload smallGemm(int64_t K) {
+  GemmWorkload W;
+  W.M = 512;
+  W.N = 512;
+  W.K = K;
+  return W;
+}
+
+/// A grid with 3 runtime-K points (one compile key), an analytic framework
+/// (no key), and one FP8 point (a second key).
+Sweep makeGrid(const char *Name) {
+  Sweep S(Name);
+  for (int64_t K : {256, 512, 1024}) {
+    S.addGemm(smallGemm(K), Framework::Tawa,
+              {{"prec", "FP16"}, {"K", std::to_string(K)}});
+    S.addGemm(smallGemm(K), Framework::Peak,
+              {{"prec", "FP16"}, {"K", std::to_string(K)}});
+  }
+  GemmWorkload Fp8 = smallGemm(256);
+  Fp8.Prec = Precision::FP8;
+  S.addGemm(Fp8, Framework::Tawa, {{"prec", "FP8"}, {"K", "256"}});
+  return S;
+}
+
+/// Tests in this binary measure compilation; neutralize any ambient
+/// TAWA_CACHE_DIR (scripts/check.sh runs ctest against a populated disk
+/// cache, which would turn expected compiles into disk hits).
+void isolateCache() {
+  ProgramCache::shared().setPersistDir("");
+  ProgramCache::shared().clear();
+}
+
+size_t countOccurrences(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
+       Pos = Hay.find(Needle, Pos + Needle.size()))
+    ++N;
+  return N;
+}
+
+TEST(SweepDriver, GridEnumerationDedupsCompileKeys) {
+  Sweep S = makeGrid("dedup");
+  EXPECT_EQ(S.points().size(), 7u);
+
+  std::vector<std::string> Keys = S.compileKeys();
+  ASSERT_EQ(Keys.size(), 2u) << "3 runtime-K points share one key; FP8 "
+                                "splits; analytic contributes none";
+  EXPECT_NE(Keys[0], Keys[1]);
+  for (const std::string &K : Keys)
+    EXPECT_EQ(K.rfind("gemm|", 0), 0u) << K;
+
+  // Kernel families never alias.
+  AttentionWorkload A;
+  A.SeqLen = 256;
+  S.addAttention(A, Framework::Tawa, {{"case", "mha"}});
+  EXPECT_EQ(S.compileKeys().size(), 3u);
+  EXPECT_EQ(S.compileKeys()[2].rfind("mha|", 0), 0u);
+
+  // Infeasible warp-specialization options are rejected before the
+  // compiler and contribute no key (Fig. 11's empty cells).
+  GemmWorkload W = smallGemm(256);
+  FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
+  E.Options.ArefDepth = 1;
+  E.Options.MmaPipelineDepth = 3;
+  S.addGemm(W, E, "Tawa-infeasible", {{"case", "infeasible"}});
+  EXPECT_EQ(S.compileKeys().size(), 3u);
+}
+
+TEST(SweepDriver, PrewarmCompilesExactlyOnceThenRunsPure) {
+  isolateCache();
+
+  Sweep S = makeGrid("prewarm");
+  EXPECT_EQ(S.prewarm(), "");
+  EXPECT_EQ(S.stats().PrewarmCompiles, 2u);
+  EXPECT_EQ(S.stats().PrewarmHits, 0u);
+
+  S.run();
+  const Sweep::Stats &St = S.stats();
+  EXPECT_EQ(St.Points, 7u);
+  EXPECT_EQ(St.CompiledPoints, 4u);
+  EXPECT_EQ(St.DistinctKeys, 2u);
+  EXPECT_EQ(St.RunCompiles, 0u) << "a prewarmed sweep must not compile";
+  EXPECT_EQ(St.RunHits, 4u);
+
+  for (const SweepRecord &Rec : S.records()) {
+    EXPECT_EQ(Rec.CacheMisses, 0u);
+    EXPECT_TRUE(Rec.Result.ok()) << Rec.Result.Error;
+    if (Rec.CompileKey.empty())
+      EXPECT_EQ(Rec.CacheHits, 0u) << "analytic points never touch the "
+                                      "cache";
+    else
+      EXPECT_EQ(Rec.CacheHits, 1u);
+  }
+
+  // A second sweep over the same grid is fully warm: its prewarm pass
+  // performs zero compiles as well (everything is a memory hit).
+  Sweep Warm = makeGrid("prewarm-warm");
+  EXPECT_EQ(Warm.prewarm(), "");
+  EXPECT_EQ(Warm.stats().PrewarmCompiles, 0u);
+  EXPECT_EQ(Warm.stats().PrewarmHits, 2u);
+  Warm.run();
+  EXPECT_EQ(Warm.stats().RunCompiles, 0u);
+}
+
+TEST(SweepDriver, RunWithoutPrewarmCompilesOnFirstUse) {
+  isolateCache();
+  Sweep S = makeGrid("no-prewarm");
+  S.run();
+  // First point per key compiles, the rest hit — still one compile per
+  // distinct kernel, just inside the measured pass.
+  EXPECT_EQ(S.stats().RunCompiles, 2u);
+  EXPECT_EQ(S.stats().RunHits, 2u);
+}
+
+TEST(SweepDriver, JsonRecordSchemaRoundTrip) {
+  isolateCache();
+  Sweep S = makeGrid("json");
+  ASSERT_EQ(S.prewarm(), "");
+  S.run();
+  std::string J = S.toJson();
+
+  // Versioned envelope.
+  EXPECT_NE(J.find("\"schema\": \"tawa-sweep-v1\""), std::string::npos);
+  EXPECT_NE(J.find("\"sweep\": \"json\""), std::string::npos);
+  EXPECT_NE(J.find("\"points\": ["), std::string::npos);
+  EXPECT_NE(J.find("\"stats\": {"), std::string::npos);
+
+  // One record per point, each carrying result and cache statistics.
+  size_t N = S.records().size();
+  EXPECT_EQ(countOccurrences(J, "\"tflops\":"), N);
+  EXPECT_EQ(countOccurrences(J, "\"cache\": {"), N);
+  EXPECT_EQ(countOccurrences(J, "\"axes\": {"), N);
+  EXPECT_EQ(countOccurrences(J, "\"misses\":"), N);
+
+  // Values round-trip through the fixed-decimal formatting.
+  for (const SweepRecord &Rec : S.records()) {
+    EXPECT_NE(J.find(formatString("\"tflops\": %.3f", Rec.Result.TFlops)),
+              std::string::npos);
+    if (!Rec.CompileKey.empty())
+      EXPECT_NE(J.find("\"key\": \"" + Rec.CompileKey + "\""),
+                std::string::npos);
+  }
+  EXPECT_NE(J.find("\"K\": \"256\""), std::string::npos);
+  EXPECT_NE(J.find("\"framework\": \"Tawa\""), std::string::npos);
+  EXPECT_NE(J.find("\"run_compiles\": 0"), std::string::npos);
+  EXPECT_NE(J.find("\"num_workers\":"), std::string::npos);
+  EXPECT_NE(J.find("\"workers_effective\":"), std::string::npos);
+  EXPECT_NE(J.find("\"prewarm_disk_hits\": 0"), std::string::npos);
+
+  // Structurally balanced (no string in this grid embeds braces).
+  EXPECT_EQ(countOccurrences(J, "{"), countOccurrences(J, "}"));
+  EXPECT_EQ(countOccurrences(J, "["), countOccurrences(J, "]"));
+
+  // writeJson emits exactly toJson().
+  auto Path = std::filesystem::temp_directory_path() /
+              "tawa-sweep-test.json";
+  ASSERT_TRUE(S.writeJson(Path.string()));
+  FILE *F = std::fopen(Path.string().c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::string OnDisk;
+  char Buf[4096];
+  for (size_t Got; (Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0;)
+    OnDisk.append(Buf, Got);
+  std::fclose(F);
+  std::error_code Ec;
+  std::filesystem::remove(Path, Ec);
+  EXPECT_EQ(OnDisk, J);
+}
+
+TEST(SweepDriver, ResultsAreBitIdenticalAcrossNumWorkers) {
+  isolateCache();
+  auto RunAt = [](int64_t Workers) {
+    Sweep S("det");
+    S.runner().NumWorkers = Workers;
+    // Functional points exercise the grid fan-out (non-divisible sizes hit
+    // the edge-tile paths); the timing point exercises the sampler batch.
+    GemmWorkload G;
+    G.M = 192;
+    G.N = 160;
+    G.K = 320;
+    FrameworkEnvelope GE;
+    GE.TileM = GE.TileN = GE.TileK = 64;
+    S.addGemm(G, GE, "Tawa", {{"case", "gemm-func"}}, /*Functional=*/true);
+
+    AttentionWorkload A;
+    A.SeqLen = 256;
+    A.Batch = 1;
+    A.Heads = 2;
+    A.HeadDim = 64;
+    A.Causal = true;
+    FrameworkEnvelope AE;
+    AE.TileQ = AE.TileKv = 64;
+    S.addAttention(A, AE, "Tawa", {{"case", "mha-func"}},
+                   /*Functional=*/true);
+
+    AttentionWorkload At = A;
+    At.SeqLen = 512;
+    S.addAttention(At, AE, "Tawa", {{"case", "mha-timing"}},
+                   /*Functional=*/false);
+
+    EXPECT_EQ(S.prewarm(), "");
+    S.run();
+    return S;
+  };
+
+  Sweep S1 = RunAt(1);
+  for (int64_t Workers : {int64_t(2), int64_t(8)}) {
+    Sweep SN = RunAt(Workers);
+    ASSERT_EQ(S1.records().size(), SN.records().size());
+    for (size_t I = 0; I < S1.records().size(); ++I) {
+      const RunResult &A = S1.records()[I].Result;
+      const RunResult &B = SN.records()[I].Result;
+      EXPECT_EQ(A.Error, B.Error);
+      // Bit-identical, not approximately equal: the worker merge is
+      // index-keyed, so the cycle reports and numerics cannot drift.
+      EXPECT_EQ(A.Micros, B.Micros) << "point " << I << " @" << Workers;
+      EXPECT_EQ(A.TFlops, B.TFlops) << "point " << I << " @" << Workers;
+      EXPECT_EQ(A.MaxRelError, B.MaxRelError)
+          << "point " << I << " @" << Workers;
+    }
+  }
+}
+
+} // namespace
