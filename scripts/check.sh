@@ -25,10 +25,17 @@
 # source-file path mentioned in docs/ and README.md must exist in the
 # repo, so docs cannot silently rot as files move.
 #
+# Then runs the whole test suite once more with TAWA_NO_FUSE=1 (the
+# peephole superinstruction pass disabled) and asserts micro_interp --smoke
+# reports identical workload results fused vs unfused — the CI-level
+# mirror of the three-way differential test.
+#
 # Then builds the whole tree a second time with ThreadSanitizer
 # (-DTAWA_TSAN=ON -> -fsanitize=thread) into $BUILD_DIR-tsan and runs the
-# test suite under it — including the runCtaBatch timing-sampler fan-out —
-# so data races in the CTA worker pool / per-worker arenas fail the check.
+# test suite under it — including the runCtaBatch timing-sampler fan-out
+# and the fused bytecode executor (fusion is on by default, so every
+# parallel grid/batch test races the superinstruction handlers) — so data
+# races in the CTA worker pool / per-worker arenas fail the check.
 # Set TAWA_SKIP_TSAN=1 to skip that leg (e.g. on hosts without TSan
 # runtime support).
 
@@ -49,6 +56,34 @@ echo "== ctest =="
 
 echo "== micro_interp (smoke) =="
 (cd "$BUILD_DIR" && ./micro_interp --smoke)
+
+echo "== fusion off: ctest + micro_interp equivalence (TAWA_NO_FUSE=1) =="
+# The whole suite must pass with the peephole fusion pass disabled (the
+# unfused bytecode engine is the middle leg of the three-way differential),
+# and micro_interp must report identical workload shapes — trace ops per
+# CTA are deterministic and engine-independent — fused vs unfused.
+cp "$BUILD_DIR/BENCH_interp.json" "$BUILD_DIR/BENCH_interp-fused.json"
+(cd "$BUILD_DIR" && TAWA_NO_FUSE=1 ctest --output-on-failure \
+  --no-tests=error -j "$(nproc)")
+(cd "$BUILD_DIR" && TAWA_NO_FUSE=1 ./micro_interp --smoke)
+mv "$BUILD_DIR/BENCH_interp.json" "$BUILD_DIR/BENCH_interp-unfused.json"
+mv "$BUILD_DIR/BENCH_interp-fused.json" "$BUILD_DIR/BENCH_interp.json"
+# Workload names and per-CTA trace-op counts are deterministic and
+# engine-independent; every other field is a timing.
+extract_workload_ops() {
+  grep -oE '"(name|ops_per_cta)": ("[^"]*"|[0-9]+)' "$1"
+}
+if ! diff <(extract_workload_ops "$BUILD_DIR/BENCH_interp.json") \
+          <(extract_workload_ops "$BUILD_DIR/BENCH_interp-unfused.json")
+then
+  echo "FAIL: fused vs unfused micro_interp workload results differ"
+  exit 1
+fi
+if [[ -z "$(extract_workload_ops "$BUILD_DIR/BENCH_interp.json")" ]]; then
+  echo "FAIL: workload extraction found no records"
+  exit 1
+fi
+echo "fused/unfused workload results identical"
 
 echo "== ctest (program cache, cold) =="
 CACHE_DIR="$(mktemp -d)"

@@ -6,6 +6,7 @@
 #include "sim/Bytecode.h"
 #include "sim/Interpreter.h"
 #include "sim/Numerics.h"
+#include "sim/Peephole.h"
 #include "sim/Replay.h"
 #include "support/Support.h"
 
@@ -91,16 +92,21 @@ void roundHostTensor(TensorData &T, Precision P) {
                                    : roundToFp8E4M3(T.at(I));
 }
 
-/// Serializes every compile-time knob that shapes the generated module, so
-/// sweeps that only vary runtime dimensions share one cache entry.
-std::string pipelineKeySuffix(const TawaOptions &O, int64_t SwDepth) {
+/// Serializes every compile-time knob that shapes the generated module or
+/// its bytecode lowering, so sweeps that only vary runtime dimensions share
+/// one cache entry. The fusion flag lives here: a fused and an unfused
+/// compile of the same kernel are different programs and must never share
+/// a cache entry (in memory or on disk).
+std::string pipelineKeySuffix(const TawaOptions &O, int64_t SwDepth,
+                              bool Fuse) {
   return formatString(
-      "|ws%d|d%lld|mma%lld|cg%lld|pers%d|coarse%d|sw%lld",
+      "|ws%d|d%lld|mma%lld|cg%lld|pers%d|coarse%d|sw%lld|fuse%d",
       O.EnableWarpSpecialization ? 1 : 0,
       static_cast<long long>(O.ArefDepth),
       static_cast<long long>(O.MmaPipelineDepth),
       static_cast<long long>(O.NumConsumerGroups), O.Persistent ? 1 : 0,
-      O.CoarsePipeline ? 1 : 0, static_cast<long long>(SwDepth));
+      O.CoarsePipeline ? 1 : 0, static_cast<long long>(SwDepth),
+      Fuse ? 1 : 0);
 }
 
 //===--- Compile plans ----------------------------------------------------===//
@@ -129,7 +135,7 @@ GemmKernelConfig gemmKernelConfig(const GemmWorkload &W,
 }
 
 std::string gemmKey(const GemmKernelConfig &Kernel, const TawaOptions &O,
-                    int64_t SwDepth) {
+                    int64_t SwDepth, bool Fuse) {
   return formatString("gemm|tm%lld|tn%lld|tk%lld|prec%d|b%d|pe%d",
                       static_cast<long long>(Kernel.TileM),
                       static_cast<long long>(Kernel.TileN),
@@ -137,7 +143,7 @@ std::string gemmKey(const GemmKernelConfig &Kernel, const TawaOptions &O,
                       static_cast<int>(Kernel.InPrecision),
                       Kernel.Batched ? 1 : 0,
                       Kernel.PointerEpilogue ? 1 : 0) +
-         pipelineKeySuffix(O, SwDepth);
+         pipelineKeySuffix(O, SwDepth, Fuse);
 }
 
 AttentionKernelConfig attentionKernelConfig(const AttentionWorkload &W,
@@ -152,14 +158,14 @@ AttentionKernelConfig attentionKernelConfig(const AttentionWorkload &W,
 }
 
 std::string attentionKey(const AttentionKernelConfig &Kernel,
-                         const TawaOptions &O, int64_t SwDepth) {
+                         const TawaOptions &O, int64_t SwDepth, bool Fuse) {
   return formatString("mha|tq%lld|tkv%lld|hd%lld|c%d|prec%d",
                       static_cast<long long>(Kernel.TileQ),
                       static_cast<long long>(Kernel.TileKv),
                       static_cast<long long>(Kernel.HeadDim),
                       Kernel.Causal ? 1 : 0,
                       static_cast<int>(Kernel.InPrecision)) +
-         pipelineKeySuffix(O, SwDepth);
+         pipelineKeySuffix(O, SwDepth, Fuse);
 }
 
 /// True when the envelope reaches the compiler at all: compiled (not
@@ -181,6 +187,7 @@ ProgramCache::EntryRef Runner::getOrCompile(
     const std::string &Key,
     const std::function<std::unique_ptr<Module>(IrContext &)> &Build,
     const TawaOptions &Options, int64_t SwPipelineDepth, std::string &Err) {
+  bool Fuse = sim::bc::fusionEnabled(FuseBytecode);
   auto Compile = [&](std::string &CErr) -> ProgramCache::EntryRef {
     // Declaration order in Entry matters: the module references the
     // context and the compiled program references types owned by the
@@ -195,13 +202,14 @@ ProgramCache::EntryRef Runner::getOrCompile(
     if (!Options.EnableWarpSpecialization && SwPipelineDepth > 0)
       runSoftwarePipeline(*E->M, SwPipelineDepth);
     if (!UseLegacyInterp)
-      E->Prog = sim::bc::compileModule(*E->M, Config);
+      E->Prog = sim::bc::compileModule(*E->M, Config, Fuse);
     return E;
   };
   ProgramCache::Outcome Outcome;
   ProgramCache::EntryRef E = ProgramCache::shared().getOrCompile(
       Key, Config, /*NeedModule=*/UseLegacyInterp,
-      /*NeedProgram=*/!UseLegacyInterp, Compile, Err, &Outcome);
+      /*NeedProgram=*/!UseLegacyInterp, /*Fuse=*/Fuse, Compile, Err,
+      &Outcome);
   if (E) {
     // A disk hit skips compilation — that is the point — so it counts as a
     // hit (the warm-start acceptance bar is cache_misses == 0).
@@ -225,7 +233,8 @@ std::string Runner::compileKey(const GemmWorkload &W,
   TawaOptions Options = effectiveGemmOptions(W, E);
   if (!reachesCompiler(E, Options))
     return "";
-  return gemmKey(gemmKernelConfig(W, E), Options, E.SwPipelineDepth);
+  return gemmKey(gemmKernelConfig(W, E), Options, E.SwPipelineDepth,
+                 sim::bc::fusionEnabled(FuseBytecode));
 }
 
 std::string Runner::compileKey(const AttentionWorkload &W,
@@ -233,7 +242,8 @@ std::string Runner::compileKey(const AttentionWorkload &W,
   if (!reachesCompiler(E, E.Options))
     return "";
   return attentionKey(attentionKernelConfig(W, E), E.Options,
-                      E.SwPipelineDepth);
+                      E.SwPipelineDepth,
+                      sim::bc::fusionEnabled(FuseBytecode));
 }
 
 bool Runner::prewarm(const GemmWorkload &W, const FrameworkEnvelope &E,
@@ -244,7 +254,8 @@ bool Runner::prewarm(const GemmWorkload &W, const FrameworkEnvelope &E,
     return true;
   GemmKernelConfig Kernel = gemmKernelConfig(W, E);
   return getOrCompile(
-             gemmKey(Kernel, Options, E.SwPipelineDepth),
+             gemmKey(Kernel, Options, E.SwPipelineDepth,
+                     sim::bc::fusionEnabled(FuseBytecode)),
              [&](IrContext &Ctx) { return buildGemmModule(Ctx, Kernel); },
              Options, E.SwPipelineDepth, Err) != nullptr;
 }
@@ -256,7 +267,8 @@ bool Runner::prewarm(const AttentionWorkload &W, const FrameworkEnvelope &E,
     return true;
   AttentionKernelConfig Kernel = attentionKernelConfig(W, E);
   return getOrCompile(
-             attentionKey(Kernel, E.Options, E.SwPipelineDepth),
+             attentionKey(Kernel, E.Options, E.SwPipelineDepth,
+                          sim::bc::fusionEnabled(FuseBytecode)),
              [&](IrContext &Ctx) {
                return buildAttentionModule(Ctx, Kernel);
              },
@@ -346,7 +358,8 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
 
   std::string CompileErr;
   ProgramCache::EntryRef Cached = getOrCompile(
-      gemmKey(Kernel, Options, E.SwPipelineDepth),
+      gemmKey(Kernel, Options, E.SwPipelineDepth,
+              sim::bc::fusionEnabled(FuseBytecode)),
       [&](IrContext &Ctx) { return buildGemmModule(Ctx, Kernel); },
       Options, E.SwPipelineDepth, CompileErr);
   if (!Cached) {
@@ -414,6 +427,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
                  RuntimeArg::scalar(W.K)};
   Launch.UseLegacyInterp = UseLegacyInterp;
   Launch.NumWorkers = NumWorkers;
+  Launch.FuseBytecode = FuseBytecode;
 
   Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
 
@@ -527,7 +541,8 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
 
   std::string CompileErr;
   ProgramCache::EntryRef Cached = getOrCompile(
-      attentionKey(Kernel, Options, E.SwPipelineDepth),
+      attentionKey(Kernel, Options, E.SwPipelineDepth,
+                   sim::bc::fusionEnabled(FuseBytecode)),
       [&](IrContext &Ctx) { return buildAttentionModule(Ctx, Kernel); },
       Options, E.SwPipelineDepth, CompileErr);
   if (!Cached) {
@@ -578,6 +593,7 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
                  RuntimeArg::scalar(W.SeqLen)};
   Launch.UseLegacyInterp = UseLegacyInterp;
   Launch.NumWorkers = NumWorkers;
+  Launch.FuseBytecode = FuseBytecode;
 
   Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
 

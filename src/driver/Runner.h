@@ -46,6 +46,15 @@ public:
   /// both engines are observably identical).
   bool UseLegacyInterp = false;
 
+  /// Run the post-compile peephole fusion pass (sim/Peephole.h) on every
+  /// program this Runner compiles: superinstructions, observably identical
+  /// execution, fewer dispatches. Default on; TAWA_NO_FUSE=1 overrides to
+  /// off process-wide. The effective value is folded into every compile
+  /// key, so fused and unfused programs are distinct entries in both the
+  /// in-memory and disk layers of the program cache — one can never be
+  /// served in place of the other.
+  bool FuseBytecode = true;
+
   /// Worker threads for the functional all-CTA validation loops AND the
   /// timing-mode sample fan-out (the attention causal-masking sampler, one
   /// interpreted CTA per SM): 0 = one per hardware thread (default), 1 =

@@ -12,6 +12,7 @@
 #include "ir/Ir.h"
 #include "ir/ValueNumbering.h"
 #include "sim/ExecCommon.h"
+#include "sim/Peephole.h"
 #include "support/Support.h"
 
 #include <algorithm>
@@ -519,11 +520,68 @@ void Compiler::compileOp(Operation *Op, RegionProgram &RP) {
 
 } // namespace
 
+const char *tawa::sim::bc::opName(BcOp Op) {
+  switch (Op) {
+  case BcOp::Nop:              return "Nop";
+  case BcOp::LoopBegin:        return "LoopBegin";
+  case BcOp::LoopEnd:          return "LoopEnd";
+  case BcOp::Unsupported:      return "Unsupported";
+  case BcOp::Halt:             return "Halt";
+  case BcOp::ConstInt:         return "ConstInt";
+  case BcOp::ConstFloat:       return "ConstFloat";
+  case BcOp::ProgramId:        return "ProgramId";
+  case BcOp::NumPrograms:      return "NumPrograms";
+  case BcOp::IntBin:           return "IntBin";
+  case BcOp::ConstTensor:      return "ConstTensor";
+  case BcOp::MakeRange:        return "MakeRange";
+  case BcOp::Splat:            return "Splat";
+  case BcOp::ExpandBroadcast:  return "ExpandBroadcast";
+  case BcOp::Transpose2D:      return "Transpose2D";
+  case BcOp::FloatBin:         return "FloatBin";
+  case BcOp::Exp2:             return "Exp2";
+  case BcOp::Select:           return "Select";
+  case BcOp::Reduce:           return "Reduce";
+  case BcOp::Cast:             return "Cast";
+  case BcOp::AddPtr:           return "AddPtr";
+  case BcOp::TmaLoad:          return "TmaLoad";
+  case BcOp::TmaStore:         return "TmaStore";
+  case BcOp::Store:            return "Store";
+  case BcOp::Dot:              return "Dot";
+  case BcOp::SmemAlloc:        return "SmemAlloc";
+  case BcOp::MBarrierAlloc:    return "MBarrierAlloc";
+  case BcOp::MBarrierExpectTx: return "MBarrierExpectTx";
+  case BcOp::MBarrierArrive:   return "MBarrierArrive";
+  case BcOp::MBarrierWait:     return "MBarrierWait";
+  case BcOp::MBarrierWaitBlock:return "MBarrierWaitBlock";
+  case BcOp::TmaLoadAsync:     return "TmaLoadAsync";
+  case BcOp::SmemRead:         return "SmemRead";
+  case BcOp::WgmmaIssue:       return "WgmmaIssue";
+  case BcOp::WgmmaWait:        return "WgmmaWait";
+  case BcOp::Fence:            return "Fence";
+  case BcOp::IntBinImm:        return "IntBinImm";
+  case BcOp::WaitFused:        return "WaitFused";
+  case BcOp::WaitRead:         return "WaitRead";
+  case BcOp::TmaLoadAsyncOff:  return "TmaLoadAsyncOff";
+  case BcOp::LoopEndFast:      return "LoopEndFast";
+  case BcOp::ConstIntBin:      return "ConstIntBin";
+  case BcOp::IntBin2:          return "IntBin2";
+  case BcOp::FloatBin2:        return "FloatBin2";
+  case BcOp::WgmmaIssueWait:   return "WgmmaIssueWait";
+  case BcOp::TmaLoadAsyncTx:   return "TmaLoadAsyncTx";
+  case BcOp::IntBinImm2:       return "IntBinImm2";
+  case BcOp::ConstIntBin2:     return "ConstIntBin2";
+  case BcOp::WaitRead2:        return "WaitRead2";
+  }
+  return "<bad-op>";
+}
+
 std::shared_ptr<const CompiledProgram>
-tawa::sim::bc::compileModule(Module &M, const GpuConfig &Config) {
+tawa::sim::bc::compileModule(Module &M, const GpuConfig &Config, bool Fuse) {
   auto P = std::make_shared<CompiledProgram>();
   Compiler C(M, Config, *P);
   C.run();
+  if (Fuse && P->CompileError.empty())
+    fuseProgram(*P);
   return P;
 }
 
@@ -741,6 +799,7 @@ void writeInst(ByteWriter &W, const Inst &I, TypeTables &Tys) {
   W.f64(I.Cost);
   W.i32(Tys.tensorIdx(I.ResultTy));
   W.i32(Tys.scalarIdx(I.ElemTy));
+  W.i32(Tys.tensorIdx(I.ResultTy2));
 }
 
 void writeRegion(ByteWriter &W, const RegionProgram &RP, TypeTables &Tys) {
@@ -795,6 +854,7 @@ std::string tawa::sim::bc::serializeProgram(const CompiledProgram &P) {
     for (const Inst &I : RP.Code) {
       Tys.tensorIdx(I.ResultTy);
       Tys.scalarIdx(I.ElemTy);
+      Tys.tensorIdx(I.ResultTy2);
     }
   };
   CollectRegion(P.Preamble);
@@ -805,6 +865,22 @@ std::string tawa::sim::bc::serializeProgram(const CompiledProgram &P) {
   W.u32(SerialMagic);
   W.u32(SerialFormatVersion);
   writeConfig(W, P.Config);
+  W.u8(P.Fused ? 1 : 0);
+  W.i64(P.Fusion.InstsBefore);
+  W.i64(P.Fusion.InstsAfter);
+  W.i64(P.Fusion.NumIntBinImm);
+  W.i64(P.Fusion.NumWaitFused);
+  W.i64(P.Fusion.NumWaitRead);
+  W.i64(P.Fusion.NumTmaLoadAsyncOff);
+  W.i64(P.Fusion.NumLoopEndFast);
+  W.i64(P.Fusion.NumConstIntBin);
+  W.i64(P.Fusion.NumIntBin2);
+  W.i64(P.Fusion.NumFloatBin2);
+  W.i64(P.Fusion.NumWgmmaIssueWait);
+  W.i64(P.Fusion.NumTmaLoadAsyncTx);
+  W.i64(P.Fusion.NumIntBinImm2);
+  W.i64(P.Fusion.NumConstIntBin2);
+  W.i64(P.Fusion.NumWaitRead2);
   W.i64(P.SwPipelineDepth);
   W.i32(P.NumSlots);
   W.vecI32(P.ArgSlots);
@@ -862,6 +938,22 @@ tawa::sim::bc::deserializeProgram(const std::string &Bytes) {
   auto P = std::make_shared<CompiledProgram>();
   P->TypeCtx = std::make_shared<IrContext>();
   readConfig(R, P->Config);
+  P->Fused = R.u8() != 0;
+  P->Fusion.InstsBefore = R.i64();
+  P->Fusion.InstsAfter = R.i64();
+  P->Fusion.NumIntBinImm = R.i64();
+  P->Fusion.NumWaitFused = R.i64();
+  P->Fusion.NumWaitRead = R.i64();
+  P->Fusion.NumTmaLoadAsyncOff = R.i64();
+  P->Fusion.NumLoopEndFast = R.i64();
+  P->Fusion.NumConstIntBin = R.i64();
+  P->Fusion.NumIntBin2 = R.i64();
+  P->Fusion.NumFloatBin2 = R.i64();
+  P->Fusion.NumWgmmaIssueWait = R.i64();
+  P->Fusion.NumTmaLoadAsyncTx = R.i64();
+  P->Fusion.NumIntBinImm2 = R.i64();
+  P->Fusion.NumConstIntBin2 = R.i64();
+  P->Fusion.NumWaitRead2 = R.i64();
   P->SwPipelineDepth = R.i64();
   P->NumSlots = R.i32();
   P->ArgSlots = R.vecI32();
@@ -928,7 +1020,12 @@ tawa::sim::bc::deserializeProgram(const std::string &Bytes) {
       return false;
     RP.Code.resize(static_cast<size_t>(N));
     for (Inst &I : RP.Code) {
-      I.Op = static_cast<BcOp>(R.u8());
+      // Opcodes index the executor's dispatch table directly; an
+      // out-of-range byte must fail the load, not reach execution.
+      uint8_t OpByte = R.u8();
+      if (OpByte >= static_cast<uint8_t>(NumBcOps))
+        return false;
+      I.Op = static_cast<BcOp>(OpByte);
       I.NumOps = R.u8();
       I.Result = R.i32();
       I.OpBegin = R.i32();
@@ -942,12 +1039,17 @@ tawa::sim::bc::deserializeProgram(const std::string &Bytes) {
       I.Cost = R.f64();
       int32_t TensorIdx = R.i32();
       int32_t ScalarIdx = R.i32();
+      int32_t TensorIdx2 = R.i32();
       if (TensorIdx < 0 ||
           TensorIdx > static_cast<int32_t>(Tensors.size()) ||
-          ScalarIdx < 0 || ScalarIdx > static_cast<int32_t>(Scalars.size()))
+          ScalarIdx < 0 ||
+          ScalarIdx > static_cast<int32_t>(Scalars.size()) ||
+          TensorIdx2 < 0 ||
+          TensorIdx2 > static_cast<int32_t>(Tensors.size()))
         return false;
       I.ResultTy = TensorIdx ? Tensors[TensorIdx - 1] : nullptr;
       I.ElemTy = ScalarIdx ? Scalars[ScalarIdx - 1] : nullptr;
+      I.ResultTy2 = TensorIdx2 ? Tensors[TensorIdx2 - 1] : nullptr;
     }
     return true;
   };

@@ -97,7 +97,63 @@ enum class BcOp : uint8_t {
   WgmmaIssue,       ///< FImm = wgmma cycles base, Imm0 = transB.
   WgmmaWait,        ///< Imm0 = pendings.
   Fence,
+
+  // Superinstructions (emitted only by the peephole fusion pass —
+  // Peephole.h; never by the module compiler). Operand layouts and
+  // immediates are documented with each rewrite in docs/bytecode-isa.md.
+  IntBinImm,        ///< ConstInt + IntBin, constant slot dead. Imm0 =
+                    ///< OpKind, Imm1 = constant, Imm2 = which operand was
+                    ///< the constant (0/1); the single remaining operand is
+                    ///< the variable side.
+  WaitFused,        ///< MBarrierWait + MBarrierWaitBlock: issue + block in
+                    ///< one dispatch. Operands = (bar, idx, parity).
+  WaitRead,         ///< MBarrierWait + MBarrierWaitBlock + SmemRead.
+                    ///< Operands = (bar, idx, parity, smem, slot); Imm2/
+                    ///< Imm3/ResultTy/Result = the SmemRead's fields.
+  TmaLoadAsyncOff,  ///< AddPtr + TmaLoadAsync address chain. Operands =
+                    ///< (ptr, off, offsets..., smem, bar, idx); FImm = the
+                    ///< AddPtr's cost; rest = the TmaLoadAsync's fields.
+  LoopEndFast,      ///< LoopEnd, non-pipelined, yield slots disjoint from
+                    ///< iter slots: the back edge skips the yield-gather
+                    ///< staging entirely.
+  ConstIntBin,      ///< ConstInt + IntBin, constant slot still live: the
+                    ///< write is kept (Imm3 = slot, Imm1 = value), the
+                    ///< binop keeps both operand slots.
+  IntBin2,          ///< IntBin + IntBin. Imm0/Imm1 = the two OpKinds,
+                    ///< Result/Imm3 = the two destinations, Cost/FImm =
+                    ///< the two costs, MsgId/Aux = the two diagnostics;
+                    ///< operands = (a, b, c, d).
+  FloatBin2,        ///< FloatBin + FloatBin, same layout as IntBin2
+                    ///< (minus diagnostics).
+  WgmmaIssueWait,   ///< WgmmaIssue + WgmmaWait. Issue fields plus Imm1 =
+                    ///< the wait's pending count.
+  TmaLoadAsyncTx,   ///< MBarrierExpectTx + TmaLoadAsync. Operands =
+                    ///< (txbar, txidx, desc, offsets..., smem, bar, idx);
+                    ///< FImm = expected transaction bytes; rest = the
+                    ///< TmaLoadAsync's fields.
+
+  // Second-pass superinstructions: fusions over first-pass
+  // superinstructions (the ring-index math compiles to IntBinImm chains;
+  // a two-field staging slot is one wait plus two reads).
+  IntBinImm2,       ///< IntBinImm + IntBinImm. Imm0 = K1 | K2<<16 |
+                    ///< pos1<<32 | pos2<<33; Imm1/Imm2 = the constants,
+                    ///< Result/Imm3 = destinations, Cost/FImm = costs,
+                    ///< MsgId/Aux = diagnostics; operands = (var1, var2).
+  ConstIntBin2,     ///< ConstIntBin + IntBin. ConstIntBin's fields plus
+                    ///< Imm2 = K2 | R2<<16, FImm = cost2, Aux = msg2;
+                    ///< operands = (a, b, c, d).
+  WaitRead2,        ///< WaitRead + SmemRead: one wait, two staging-field
+                    ///< reads. Operands = (bar, idx, parity, smem1, slot1,
+                    ///< smem2, slot2); Imm0/Imm1/ResultTy2 = the second
+                    ///< read's result slot / field index / tile type.
 };
+
+/// Number of opcodes (dispatch-table / histogram sizing). Keep in sync with
+/// the last enumerator above.
+constexpr int NumBcOps = static_cast<int>(BcOp::WaitRead2) + 1;
+
+/// Human-readable opcode name (profiler dumps, test diagnostics).
+const char *opName(BcOp Op);
 
 /// One flat instruction. Operand value slots live in
 /// CompiledProgram::OperandSlots[OpBegin, OpBegin+NumOps).
@@ -113,6 +169,7 @@ struct Inst {
   double Cost = 0;       ///< Precomputed tensorOpCycles (pre replica div).
   TensorType *ResultTy = nullptr; ///< Result tensor type (materialization).
   Type *ElemTy = nullptr;         ///< Storage element type (rounding).
+  TensorType *ResultTy2 = nullptr;///< Second result type (WaitRead2 only).
 };
 
 /// Pre-resolved control-flow record of one scf.for.
@@ -131,6 +188,43 @@ struct LoopInfo {
 /// One region's flat instruction stream (always Halt-terminated).
 struct RegionProgram {
   std::vector<Inst> Code;
+};
+
+/// Rewrite counters of the peephole fusion pass (Peephole.h). Recorded on
+/// the program (and serialized with it) so benchmarks can report the static
+/// fusion coverage of the exact program they executed.
+struct FusionStats {
+  int64_t InstsBefore = 0;   ///< Static instructions before fusion.
+  int64_t InstsAfter = 0;    ///< Static instructions after fusion.
+  int64_t NumIntBinImm = 0;
+  int64_t NumWaitFused = 0;
+  int64_t NumWaitRead = 0;
+  int64_t NumTmaLoadAsyncOff = 0;
+  int64_t NumLoopEndFast = 0;
+  int64_t NumConstIntBin = 0;
+  int64_t NumIntBin2 = 0;
+  int64_t NumFloatBin2 = 0;
+  int64_t NumWgmmaIssueWait = 0;
+  int64_t NumTmaLoadAsyncTx = 0;
+  int64_t NumIntBinImm2 = 0;   ///< Covers 4 original instructions.
+  int64_t NumConstIntBin2 = 0; ///< Covers 3 original instructions.
+  int64_t NumWaitRead2 = 0;    ///< Covers 4 original instructions.
+
+  /// Fraction of the original static instructions consumed by (or
+  /// specialized into) superinstructions. Pass-2 counters already exclude
+  /// the pass-1 superinstructions they absorbed.
+  double coverage() const {
+    int64_t Covered = 2 * NumIntBinImm + 2 * NumWaitFused + 3 * NumWaitRead +
+                      2 * NumTmaLoadAsyncOff + NumLoopEndFast +
+                      2 * NumConstIntBin + 2 * NumIntBin2 +
+                      2 * NumFloatBin2 + 2 * NumWgmmaIssueWait +
+                      2 * NumTmaLoadAsyncTx + 4 * NumIntBinImm2 +
+                      3 * NumConstIntBin2 + 4 * NumWaitRead2;
+    return InstsBefore > 0
+               ? static_cast<double>(Covered) /
+                     static_cast<double>(InstsBefore)
+               : 0.0;
+  }
 };
 
 /// Static description of one warp-group agent.
@@ -168,6 +262,13 @@ struct CompiledProgram {
   /// runtime costs: barrier ops, syncs).
   GpuConfig Config;
 
+  /// Whether the peephole fusion pass ran on this program (Peephole.h), and
+  /// its rewrite counters. Fused and unfused programs are distinct
+  /// program-cache entries — the Runner folds the fusion flag into the
+  /// compile key — so one can never be executed in place of the other.
+  bool Fused = false;
+  FusionStats Fusion;
+
   /// For deserialized programs only: the private type context owning every
   /// TensorType/Type the instructions reference (programs compiled from a
   /// module borrow the module's context instead, pinned alive by the
@@ -178,9 +279,12 @@ struct CompiledProgram {
 /// Flattens \p M for execution under \p Config. Never fails on unsupported
 /// ops (they become Unsupported instructions that only error if executed, so
 /// diagnostics match the legacy engine); structural problems are reported
-/// via CompiledProgram::CompileError.
-std::shared_ptr<const CompiledProgram> compileModule(Module &M,
-                                                     const GpuConfig &Config);
+/// via CompiledProgram::CompileError. When \p Fuse is set the peephole
+/// fusion pass (Peephole.h) rewrites the instruction streams into
+/// superinstructions — observably identical execution (the three-way
+/// differential test), fewer dispatches.
+std::shared_ptr<const CompiledProgram>
+compileModule(Module &M, const GpuConfig &Config, bool Fuse = true);
 
 /// Executes CTA (PidX, PidY). Returns "" on success or a diagnostic; the
 /// trace is valid only on success. Mirrors the legacy engine observably:
@@ -203,7 +307,11 @@ std::string executeProgram(const CompiledProgram &P, const RunOptions &Opts,
 /// On-disk format version of serializeProgram. Bump on ANY layout change —
 /// opcode renumbering, Inst field changes, cost-model semantics — and every
 /// existing cache file silently falls back to recompilation.
-constexpr uint32_t SerialFormatVersion = 1;
+///
+/// v2: superinstruction opcodes (IntBinImm, WaitFused, WaitRead,
+/// TmaLoadAsyncOff, LoopEndFast) plus the CompiledProgram::Fused flag and
+/// FusionStats counters in the header.
+constexpr uint32_t SerialFormatVersion = 2;
 
 /// Serializes \p P into a self-contained, versioned binary blob: magic +
 /// format version, the machine config its costs were precomputed from (the

@@ -1,10 +1,24 @@
 //===- Executor.cpp - Slot-indexed bytecode execution -------------------------//
 //
-// Executes a CompiledProgram for one CTA. The per-op hot path is a single
-// switch over the dense opcode with all operands pre-resolved to flat vector
+// Executes a CompiledProgram for one CTA. The per-op hot path dispatches
+// over the dense opcode with all operands pre-resolved to flat vector
 // slots, all attributes pre-materialized into immediates, and all cost-model
 // values precomputed; shared-memory staging data lives in a flat per-buffer
 // vector keyed by (slot, field) instead of an ordered map.
+//
+// Dispatch is token-threaded where the compiler supports computed goto
+// (TAWA_THREADED_DISPATCH, probed by CMake): every handler jumps directly
+// through a label table indexed by the next opcode, so the branch predictor
+// sees one indirect branch per handler instead of the single shared switch
+// branch. Non-GNU compilers fall back to the historical switch loop — both
+// skeletons share the same handler bodies via the TAWA_CASE/TAWA_NEXT/
+// TAWA_JUMP macros below.
+//
+// The superinstruction opcodes emitted by the peephole pass (Peephole.h)
+// execute the exact sequence they replaced — same helper functions, same
+// order of charges, trace emissions, monitor updates and happens-before
+// records — so fused programs are observably identical to unfused ones
+// (tests/bytecode_diff_test.cpp's three-way differential).
 //
 // Scheduling: warp-group agents are cooperative fibers, not threads.
 // Because an agent's entire continuation is its program counter plus the
@@ -28,7 +42,13 @@
 #include "sim/Interpreter.h"
 #include "support/Support.h"
 
+#include <algorithm>
+#include <array>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 using namespace tawa;
 using namespace tawa::sim;
@@ -36,6 +56,86 @@ using namespace tawa::sim::bc;
 using namespace tawa::sim::exec;
 
 namespace {
+
+//===----------------------------------------------------------------------===//
+// Dynamic opcode / opcode-pair histogram (TAWA_BC_PROFILE=1)
+//===----------------------------------------------------------------------===//
+//
+// The data source for choosing the superinstruction set (Peephole.cpp):
+// every executed instruction bumps its opcode count and the (previous,
+// current) pair count. Each executor accumulates locally (no atomics on
+// the hot path) and merges into the process-wide table once per CTA; the
+// table is dumped to stderr at process exit, pairs sorted by count.
+
+struct BcProfileCounts {
+  std::array<uint64_t, NumBcOps> Ops{};
+  std::array<uint64_t, static_cast<size_t>(NumBcOps) * NumBcOps> Pairs{};
+};
+
+class BcProfile {
+public:
+  /// Null unless TAWA_BC_PROFILE is set (the hot path pays one pointer
+  /// test per executed instruction when disabled).
+  static BcProfile *instance() {
+    static BcProfile *P =
+        std::getenv("TAWA_BC_PROFILE") ? new BcProfile : nullptr;
+    return P;
+  }
+
+  void merge(const BcProfileCounts &C) {
+    std::lock_guard<std::mutex> L(Mu);
+    for (size_t I = 0; I < C.Ops.size(); ++I)
+      Total.Ops[I] += C.Ops[I];
+    for (size_t I = 0; I < C.Pairs.size(); ++I)
+      Total.Pairs[I] += C.Pairs[I];
+  }
+
+private:
+  BcProfile() { std::atexit(dump); }
+
+  static void dump() {
+    BcProfile &P = *instance();
+    BcProfileCounts C;
+    {
+      std::lock_guard<std::mutex> L(P.Mu);
+      C = P.Total;
+    }
+    uint64_t TotalOps = 0;
+    for (uint64_t N : C.Ops)
+      TotalOps += N;
+    std::fprintf(stderr, "== bytecode profile (%llu instructions) ==\n",
+                 static_cast<unsigned long long>(TotalOps));
+    std::vector<std::pair<uint64_t, int>> Ops;
+    for (int I = 0; I < NumBcOps; ++I)
+      if (C.Ops[I])
+        Ops.push_back({C.Ops[I], I});
+    std::sort(Ops.rbegin(), Ops.rend());
+    for (auto &[N, I] : Ops)
+      std::fprintf(stderr, "  %-20s %12llu  (%.1f%%)\n",
+                   opName(static_cast<BcOp>(I)),
+                   static_cast<unsigned long long>(N),
+                   100.0 * static_cast<double>(N) /
+                       static_cast<double>(std::max<uint64_t>(TotalOps, 1)));
+    std::vector<std::pair<uint64_t, int>> Pairs;
+    for (int I = 0; I < NumBcOps * NumBcOps; ++I)
+      if (C.Pairs[I])
+        Pairs.push_back({C.Pairs[I], I});
+    std::sort(Pairs.rbegin(), Pairs.rend());
+    std::fprintf(stderr, "== hottest pairs ==\n");
+    for (size_t K = 0; K < Pairs.size() && K < 32; ++K) {
+      auto [N, I] = Pairs[K];
+      std::fprintf(stderr, "  %-20s -> %-20s %12llu  (%.1f%%)\n",
+                   opName(static_cast<BcOp>(I / NumBcOps)),
+                   opName(static_cast<BcOp>(I % NumBcOps)),
+                   static_cast<unsigned long long>(N),
+                   100.0 * static_cast<double>(N) /
+                       static_cast<double>(std::max<uint64_t>(TotalOps, 1)));
+    }
+  }
+
+  std::mutex Mu;
+  BcProfileCounts Total;
+};
 
 /// A shared-memory staging buffer with flat (slot, field) tensor storage.
 /// Tiles are stored by reference: a TMA deposit installs a fresh tensor, so
@@ -70,6 +170,11 @@ struct AgentRun {
   AgentCtx A;
   State St = State::Runnable;
   WaitCond W;
+  /// Set by the scheduler when it resumes this agent from Blocked (the
+  /// wait condition holds): a fused wait superinstruction must skip its
+  /// already-executed issue half on re-entry. Consumed by step().
+  bool Resumed = false;
+  uint8_t PrevOp = 0xff; ///< Profiler pair tracking (0xff = none yet).
 };
 
 class BcExec {
@@ -78,7 +183,15 @@ public:
          int64_t PidY, TileArena *ExternalArena)
       : P(P), Config(P.Config), Opts(Opts), PidX(PidX), PidY(PidY),
         Arena(ExternalArena ? ExternalArena : &LocalArena),
-        TraceEnv(std::getenv("TAWA_TRACE") != nullptr) {}
+        TraceEnv(std::getenv("TAWA_TRACE") != nullptr) {
+    if (BcProfile::instance())
+      Prof = std::make_unique<BcProfileCounts>();
+  }
+
+  ~BcExec() {
+    if (Prof)
+      BcProfile::instance()->merge(*Prof);
+  }
 
   std::string run(CtaTrace &Out);
 
@@ -107,6 +220,16 @@ private:
 
   void recordViolation(std::string S) { Violations.push_back(std::move(S)); }
 
+  void emitAction(AgentCtx &A, const Action &Act) {
+    flushCuda(A);
+    A.Trace.emit(Act);
+  }
+
+  const RValue &operand(const Inst &I, std::vector<RValue> &S,
+                        int64_t K) const {
+    return S[P.OperandSlots[I.OpBegin + K]];
+  }
+
   /// Fresh arena-backed tile, uninitialized (every caller overwrites or
   /// fills it — Arena.h's contract). Control block and payload are both
   /// pooled in the arena: zero heap traffic per produced tile.
@@ -114,6 +237,290 @@ private:
   /// Arena-backed deep copy (the clone-and-mutate ops: Exp2, Cast).
   TensorRef cloneTile(const TensorData &T) {
     return cloneArenaTile(T, *Arena);
+  }
+
+  //===--- Handler bodies shared between base ops and superinstructions ---===//
+  // Keeping these in exactly one place is what makes fused execution
+  // bit-identical: a superinstruction runs the same statements in the same
+  // order as the sequence it replaced.
+
+  /// IntBin-family arithmetic (post-charge): kind \p K into slot
+  /// \p Result. Returns false when the elementwise path hits the
+  /// precompiled unsupported-op diagnostic — the caller fails the agent
+  /// with the matching message id.
+  bool intBinaryK(OpKind K, int32_t Result, const RValue &L,
+                  const RValue &R, std::vector<RValue> &S) {
+    if (L.K == RValue::Kind::Int) {
+      int64_t X = L.I, Y = R.I, Z = 0;
+      switch (K) {
+      case OpKind::AddI:
+        Z = X + Y;
+        break;
+      case OpKind::SubI:
+        Z = X - Y;
+        break;
+      case OpKind::MulI:
+        Z = X * Y;
+        break;
+      case OpKind::DivSI:
+        Z = X / Y;
+        break;
+      case OpKind::RemSI:
+        Z = X % Y;
+        break;
+      case OpKind::MinSI:
+        Z = std::min(X, Y);
+        break;
+      case OpKind::MaxSI:
+        Z = std::max(X, Y);
+        break;
+      case OpKind::CmpSlt:
+        Z = X < Y;
+        break;
+      default:
+        break;
+      }
+      S[Result] = RValue::makeInt(Z);
+      return true;
+    }
+    // Tensor (elementwise) integer arithmetic — index math for masks and
+    // pointer offsets.
+    if (!Functional || !L.T) {
+      S[Result] = RValue::makeTensor(nullptr, L.H);
+      return true;
+    }
+    float (*Fn)(float, float) = nullptr;
+    switch (K) {
+    case OpKind::AddI:
+      Fn = +[](float X, float Y) { return X + Y; };
+      break;
+    case OpKind::SubI:
+      Fn = +[](float X, float Y) { return X - Y; };
+      break;
+    case OpKind::MulI:
+      Fn = +[](float X, float Y) { return X * Y; };
+      break;
+    case OpKind::CmpSlt:
+      Fn = +[](float X, float Y) { return X < Y ? 1.0f : 0.0f; };
+      break;
+    default:
+      return false;
+    }
+    S[Result] = RValue::makeTensor(applyBinary(L.T, R.T, Fn, Arena), L.H);
+    return true;
+  }
+
+  bool intBinary(const Inst &I, const RValue &L, const RValue &R,
+                 std::vector<RValue> &S) {
+    return intBinaryK(static_cast<OpKind>(I.Imm0), I.Result, L, R, S);
+  }
+
+  /// FloatBin-family arithmetic (post-charge): kind \p K into slot
+  /// \p Result. Unsupported kinds behave exactly like the base FloatBin
+  /// op (scalar: zero; tensor: null function — unreachable from typed IR).
+  void floatBinaryK(OpKind K, int32_t Result, const RValue &L,
+                    const RValue &R, std::vector<RValue> &S) {
+    if (L.K == RValue::Kind::Float) {
+      double X = L.F, Y = R.F, Z = 0;
+      switch (K) {
+      case OpKind::AddF:
+        Z = X + Y;
+        break;
+      case OpKind::SubF:
+        Z = X - Y;
+        break;
+      case OpKind::MulF:
+        Z = X * Y;
+        break;
+      case OpKind::DivF:
+        Z = X / Y;
+        break;
+      case OpKind::MaxF:
+        Z = std::max(X, Y);
+        break;
+      default:
+        break;
+      }
+      S[Result] = RValue::makeFloat(Z);
+      return;
+    }
+    if (!Functional || !L.T) {
+      S[Result] = RValue::makeTensor(nullptr);
+      return;
+    }
+    float (*Fn)(float, float) = nullptr;
+    switch (K) {
+    case OpKind::AddF:
+      Fn = +[](float X, float Y) { return X + Y; };
+      break;
+    case OpKind::SubF:
+      Fn = +[](float X, float Y) { return X - Y; };
+      break;
+    case OpKind::MulF:
+      Fn = +[](float X, float Y) { return X * Y; };
+      break;
+    case OpKind::DivF:
+      Fn = +[](float X, float Y) { return X / Y; };
+      break;
+    case OpKind::MaxF:
+      Fn = +[](float X, float Y) { return std::max(X, Y); };
+      break;
+    default:
+      break;
+    }
+    S[Result] = RValue::makeTensor(applyBinary(L.T, R.T, Fn, Arena));
+  }
+
+  /// Issue half of an mbarrier wait: cost + BarWait trace action.
+  void waitIssue(AgentCtx &A, int32_t Bar, int64_t Idx, int64_t Parity) {
+    chargeCuda(A, Config.BarrierOpCycles);
+    Action Act;
+    Act.Kind = ActionKind::BarWait;
+    Act.Bar = Bar;
+    Act.Idx = static_cast<int32_t>(Idx);
+    Act.Parity = static_cast<int32_t>(Parity % 2);
+    Act.Cycles = Config.BarrierOpCycles;
+    emitAction(A, Act);
+    if (TraceEnv) {
+      BarrierArray &Arr = BarrierArrays[Bar];
+      fprintf(stderr,
+              "[agent %d] wait %s[%lld] parity %lld completions %lld\n",
+              A.Id, Arr.IsFull ? "full" : "empty", (long long)Idx,
+              (long long)Parity, (long long)Arr.Bars[Idx].Completions);
+    }
+  }
+
+  /// Issue-then-block-or-resume prologue shared by the fused wait
+  /// superinstructions (WaitFused/WaitRead/WaitRead2), whose operands 0-2
+  /// are (bar, idx, parity). First entry runs the issue half and blocks
+  /// if the phase has not flipped (returns true — the caller saves
+  /// nothing further and returns to the scheduler); a scheduler resume
+  /// (\p Resumed) skips the already-emitted issue half.
+  bool fusedWaitPrologue(AgentRun &Run, int32_t Pc, bool &Resumed,
+                         const Inst &I, std::vector<RValue> &S) {
+    if (Resumed) {
+      Resumed = false;
+      return false;
+    }
+    int32_t Bar = operand(I, S, 0).H;
+    int64_t Idx = asInt(operand(I, S, 1));
+    int64_t Parity = asInt(operand(I, S, 2));
+    waitIssue(Run.A, Bar, Idx, Parity);
+    WaitCond W;
+    W.Bar = Bar;
+    W.Idx = Idx;
+    W.Parity = Parity;
+    if (!waitSatisfied(W)) {
+      Run.W = W;
+      Run.St = AgentRun::State::Blocked;
+      Run.Pc = Pc;
+      return true;
+    }
+    return false;
+  }
+
+  /// Acquire half, run once the phase has flipped: happens-before records.
+  void waitAcquire(AgentCtx &A, int32_t Bar, int64_t Idx) {
+    BarrierArray &Arr = BarrierArrays[Bar];
+    if (Arr.Channel >= 0) {
+      if (Arr.IsFull)
+        HB->recordGet(A.Id, Arr.Channel, Idx);
+      else
+        HB->recordAcquireEmpty(A.Id, Arr.Channel, Idx);
+    }
+  }
+
+  /// SmemRead body: protocol monitor, happens-before record, result
+  /// install. Parametrized over (Result, FieldIdx, Ty) so the fused
+  /// two-read WaitRead2 can run it once per field.
+  void smemReadBody(int32_t Result, int64_t FieldIdx, TensorType *Ty,
+                    AgentCtx &A, int32_t SmemH, int64_t Idx,
+                    std::vector<RValue> &S) {
+    ExecSmem &Buf = SmemBuffers[SmemH];
+    SlotMonitor &Mon = Buf.Monitors[Idx];
+    if (Mon.S == SlotMonitor::St::Empty ||
+        Mon.S == SlotMonitor::St::Filling)
+      recordViolation(formatString(
+          "channel %lld slot %lld: read while %s (premature get)",
+          static_cast<long long>(Buf.Channel), static_cast<long long>(Idx),
+          Mon.S == SlotMonitor::St::Empty ? "empty" : "filling"));
+    else
+      Mon.S = SlotMonitor::St::Borrowed;
+    if (std::string Err = HB->recordRead(A.Id, Buf.Channel, Idx);
+        !Err.empty())
+      recordViolation(Err);
+    if (!Functional) {
+      S[Result] = RValue::makeTensor(nullptr);
+      return;
+    }
+    size_t Key = Idx * Buf.NumFields + FieldIdx;
+    if (!Buf.Store[Key]) {
+      recordViolation(formatString(
+          "channel %lld slot %lld: reading uninitialized staging data",
+          static_cast<long long>(Buf.Channel),
+          static_cast<long long>(Idx)));
+      auto T = makeTile(Ty);
+      T->fill(0.0f); // Matches the legacy engine's zeroed fallback tile.
+      S[Result] = RValue::makeTensor(std::move(T));
+      return;
+    }
+    // Share the deposited tile: ops never mutate operands, and a later
+    // deposit installs a new tensor instead of writing this one.
+    S[Result] = RValue::makeTensor(Buf.Store[Key]);
+  }
+
+  /// TmaLoadAsync body. \p OpBase is where the offset operands start (1
+  /// for the plain op whose operand 0 is the descriptor, 2 for
+  /// TmaLoadAsyncOff whose operands 0/1 are the fused AddPtr inputs);
+  /// \p Desc is the resolved descriptor value.
+  void tmaLoadAsyncBody(const Inst &I, AgentCtx &A, const RValue &Desc,
+                        int64_t OpBase, std::vector<RValue> &S) {
+    chargeCuda(A, Config.TmaIssueCycles);
+    int64_t NumOffsets = I.Imm0;
+    int32_t Smem = operand(I, S, OpBase + NumOffsets).H;
+    int32_t Bar = operand(I, S, OpBase + 1 + NumOffsets).H;
+    int64_t Idx = asInt(operand(I, S, OpBase + 2 + NumOffsets));
+    int64_t Bytes = I.Imm1;
+    Action Act;
+    Act.Kind = ActionKind::TmaIssue;
+    Act.Bar = Bar;
+    Act.Idx = static_cast<int32_t>(Idx);
+    Act.Bytes = Bytes;
+    Act.Cycles = Config.TmaIssueCycles;
+    emitAction(A, Act);
+
+    ExecSmem &Buf = SmemBuffers[Smem];
+    SlotMonitor &Mon = Buf.Monitors[Idx];
+    if (Mon.S == SlotMonitor::St::Full ||
+        Mon.S == SlotMonitor::St::Borrowed)
+      recordViolation(formatString(
+          "channel %lld slot %lld: TMA write while %s (overwrite before "
+          "consumed)",
+          static_cast<long long>(Buf.Channel), static_cast<long long>(Idx),
+          Mon.S == SlotMonitor::St::Full ? "full" : "borrowed"));
+    Mon.S = SlotMonitor::St::Filling;
+    if (++Mon.Writes >= Buf.Writers)
+      Mon.S = SlotMonitor::St::Full;
+    if (std::string Err = HB->recordWrite(A.Id, Buf.Channel, Idx);
+        !Err.empty())
+      recordViolation(Err);
+    HB->recordPut(A.Id, Buf.Channel, Idx);
+
+    if (Functional) {
+      std::vector<int64_t> Offsets;
+      for (int64_t K = 0; K < NumOffsets; ++K)
+        Offsets.push_back(asInt(operand(I, S, OpBase + K)));
+      size_t Key = Idx * Buf.NumFields + I.Imm2;
+      // Install a fresh tile rather than overwriting in place: consumers
+      // that already read this slot keep their snapshot.
+      auto T = makeArenaTile(P.IntVecs[I.Aux], *Arena);
+      loadWindowInto(*Opts.Args[Desc.H].Data, Offsets, P.IntVecs[I.Aux],
+                     *T);
+      Buf.Store[Key] = std::move(T);
+    }
+    // The copy's arrival (with its transaction bytes) is immediate in the
+    // functional model; the replay applies the real transfer latency.
+    applyArrival(Bar, Idx, Bytes);
   }
 
   const CompiledProgram &P;
@@ -133,6 +540,7 @@ private:
   bool Aborted = false;
   std::string AbortMsg;
   std::vector<RValue> Gather; ///< LoopEnd yield staging (single-threaded).
+  std::unique_ptr<BcProfileCounts> Prof; ///< Non-null under TAWA_BC_PROFILE.
 };
 
 bool BcExec::schedule(std::vector<AgentRun> &Agents) {
@@ -143,8 +551,13 @@ bool BcExec::schedule(std::vector<AgentRun> &Agents) {
       if (R.St == AgentRun::State::Done || R.St == AgentRun::State::Failed)
         continue;
       AllFinished = false;
-      if (R.St == AgentRun::State::Blocked && !waitSatisfied(R.W))
-        continue;
+      if (R.St == AgentRun::State::Blocked) {
+        if (!waitSatisfied(R.W))
+          continue;
+        // The fused wait superinstructions use this to skip their
+        // already-executed issue half on re-entry.
+        R.Resumed = true;
+      }
       R.St = AgentRun::State::Runnable;
       step(R);
       Progress = true;
@@ -176,38 +589,109 @@ bool BcExec::schedule(std::vector<AgentRun> &Agents) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// The dispatch loop
+//===----------------------------------------------------------------------===//
+//
+// Two skeletons, one set of handler bodies:
+//
+//   * TAWA_THREADED_DISPATCH (computed goto, probed by CMake): handlers are
+//     labels; TAWA_NEXT()/TAWA_JUMP() jump through the label table indexed
+//     by the next opcode. One indirect branch per handler.
+//   * Fallback: the historical for(;;)/switch loop; TAWA_NEXT() breaks to
+//     the shared ++Pc, TAWA_JUMP() continues after the handler set Pc.
+//
+// Handler contract: a body either falls off its end via TAWA_NEXT()
+// (advance one instruction), sets Pc itself and calls TAWA_JUMP(), or
+// returns (Halt / failure / block) with Run.Pc saved.
+
 void BcExec::step(AgentRun &Run) {
   const Inst *Code = Run.RP->Code.data();
   const int32_t *OpSlot = P.OperandSlots.data();
   std::vector<RValue> &S = Run.Env;
   AgentCtx &A = Run.A;
   int32_t Pc = Run.Pc;
-  for (;;) {
-    const Inst &I = Code[Pc];
-    auto V = [&](int64_t K) -> const RValue & {
-      return S[OpSlot[I.OpBegin + K]];
-    };
-    auto EmitAction = [&](const Action &Act) {
-      flushCuda(A);
-      A.Trace.emit(Act);
-    };
+  // One-shot resume flag: true only when the scheduler re-entered this
+  // agent at a blocked (possibly fused) wait whose condition now holds.
+  bool Resumed = Run.Resumed;
+  Run.Resumed = false;
+  const Inst *IP = Code + Pc;
+  auto V = [&](int64_t K) -> const RValue & {
+    return S[OpSlot[IP->OpBegin + K]];
+  };
+  auto Profile = [&] {
+    if (Prof) {
+      ++Prof->Ops[static_cast<size_t>(IP->Op)];
+      if (Run.PrevOp != 0xff)
+        ++Prof->Pairs[static_cast<size_t>(Run.PrevOp) * NumBcOps +
+                      static_cast<size_t>(IP->Op)];
+      Run.PrevOp = static_cast<uint8_t>(IP->Op);
+    }
+  };
 
-    switch (I.Op) {
-    case BcOp::Nop:
-      break;
-    case BcOp::Halt:
+#ifdef TAWA_THREADED_DISPATCH
+  // Label table in exact BcOp order (static_assert below guards drift).
+  static const void *const Dispatch[NumBcOps] = {
+      &&op_Nop,          &&op_LoopBegin,       &&op_LoopEnd,
+      &&op_Unsupported,  &&op_Halt,            &&op_ConstInt,
+      &&op_ConstFloat,   &&op_ProgramId,       &&op_NumPrograms,
+      &&op_IntBin,       &&op_ConstTensor,     &&op_MakeRange,
+      &&op_Splat,        &&op_ExpandBroadcast, &&op_Transpose2D,
+      &&op_FloatBin,     &&op_Exp2,            &&op_Select,
+      &&op_Reduce,       &&op_Cast,            &&op_AddPtr,
+      &&op_TmaLoad,      &&op_TmaStore,        &&op_Store,
+      &&op_Dot,          &&op_SmemAlloc,       &&op_MBarrierAlloc,
+      &&op_MBarrierExpectTx, &&op_MBarrierArrive, &&op_MBarrierWait,
+      &&op_MBarrierWaitBlock, &&op_TmaLoadAsync, &&op_SmemRead,
+      &&op_WgmmaIssue,   &&op_WgmmaWait,       &&op_Fence,
+      &&op_IntBinImm,    &&op_WaitFused,       &&op_WaitRead,
+      &&op_TmaLoadAsyncOff, &&op_LoopEndFast,  &&op_ConstIntBin,
+      &&op_IntBin2,      &&op_FloatBin2,       &&op_WgmmaIssueWait,
+      &&op_TmaLoadAsyncTx, &&op_IntBinImm2,    &&op_ConstIntBin2,
+      &&op_WaitRead2,
+  };
+  static_assert(NumBcOps == 49, "update the dispatch table with the enum");
+#define TAWA_CASE(name) op_##name
+#define TAWA_DISPATCH()                                                     \
+  do {                                                                      \
+    IP = Code + Pc;                                                         \
+    Profile();                                                              \
+    goto *Dispatch[static_cast<size_t>(IP->Op)];                            \
+  } while (0)
+#define TAWA_NEXT()                                                         \
+  do {                                                                      \
+    ++Pc;                                                                   \
+    TAWA_DISPATCH();                                                        \
+  } while (0)
+#define TAWA_JUMP() TAWA_DISPATCH()
+  TAWA_DISPATCH();
+#else
+#define TAWA_CASE(name) case BcOp::name
+#define TAWA_NEXT() break
+#define TAWA_JUMP() continue
+  for (;;) {
+    IP = Code + Pc;
+    Profile();
+    switch (IP->Op) {
+#endif
+
+    TAWA_CASE(Nop) : { TAWA_NEXT(); }
+    TAWA_CASE(Halt) : {
       flushCuda(A);
       Run.St = AgentRun::State::Done;
       Run.Pc = Pc;
       return;
-    case BcOp::Unsupported:
-      A.Error = P.Messages[I.MsgId];
+    }
+    TAWA_CASE(Unsupported) : {
+      A.Error = P.Messages[IP->MsgId];
       Run.St = AgentRun::State::Failed;
       Run.Pc = Pc;
       return;
+    }
 
     //===--- Control ------------------------------------------------------===//
-    case BcOp::LoopBegin: {
+    TAWA_CASE(LoopBegin) : {
+      const Inst &I = *IP;
       const LoopInfo &L = P.Loops[I.Aux];
       int64_t Lb = asInt(S[L.LbSlot]), Ub = asInt(S[L.UbSlot]);
       assert(asInt(S[L.StepSlot]) > 0 && "non-positive loop step");
@@ -218,7 +702,7 @@ void BcExec::step(AgentRun &Run) {
         for (size_t K = 0, E = L.ResultSlots.size(); K != E; ++K)
           S[L.ResultSlots[K]] = S[L.IterSlots[K]];
         Pc = L.ExitPc;
-        continue;
+        TAWA_JUMP();
       }
       if (L.Pipelined) {
         flushCuda(A);
@@ -226,9 +710,10 @@ void BcExec::step(AgentRun &Run) {
         Mark.Kind = ActionKind::IterMark;
         A.Trace.emit(Mark);
       }
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::LoopEnd: {
+    TAWA_CASE(LoopEnd) : {
+      const Inst &I = *IP;
       const LoopInfo &L = P.Loops[I.Aux];
       Gather.clear();
       for (int32_t Y : L.YieldSlots)
@@ -253,144 +738,229 @@ void BcExec::step(AgentRun &Run) {
           A.Trace.emit(Mark);
         }
         Pc = L.BodyPc;
-        continue;
+        TAWA_JUMP();
       }
       for (size_t K = 0, E = L.ResultSlots.size(); K != E; ++K)
         S[L.ResultSlots[K]] = S[L.IterSlots[K]];
       Pc = L.ExitPc;
-      continue;
+      TAWA_JUMP();
+    }
+    TAWA_CASE(LoopEndFast) : {
+      // Non-pipelined, yield slots disjoint from iter slots (the peephole
+      // pass proved it): the aliasing-safe gather staging of the general
+      // LoopEnd is unnecessary — direct slot copies are identical.
+      const LoopInfo &L = P.Loops[IP->Aux];
+      for (size_t K = 0, E = L.YieldSlots.size(); K != E; ++K)
+        S[L.IterSlots[K]] = S[L.YieldSlots[K]];
+      int64_t Iv = S[L.IvSlot].I + asInt(S[L.StepSlot]);
+      if (Iv < asInt(S[L.UbSlot])) {
+        S[L.IvSlot].I = Iv;
+        Pc = L.BodyPc;
+        TAWA_JUMP();
+      }
+      for (size_t K = 0, E = L.ResultSlots.size(); K != E; ++K)
+        S[L.ResultSlots[K]] = S[L.IterSlots[K]];
+      Pc = L.ExitPc;
+      TAWA_JUMP();
     }
 
     //===--- Scalars ------------------------------------------------------===//
-    case BcOp::ConstInt:
-      S[I.Result] = RValue::makeInt(I.Imm0);
-      break;
-    case BcOp::ConstFloat:
-      S[I.Result] = RValue::makeFloat(I.FImm);
-      break;
-    case BcOp::ProgramId:
-      S[I.Result] = RValue::makeInt(I.Imm0 == 0 ? PidX : PidY);
-      break;
-    case BcOp::NumPrograms:
-      S[I.Result] = RValue::makeInt(I.Imm0 == 0 ? Opts.GridX : Opts.GridY);
-      break;
+    TAWA_CASE(ConstInt) : {
+      S[IP->Result] = RValue::makeInt(IP->Imm0);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(ConstFloat) : {
+      S[IP->Result] = RValue::makeFloat(IP->FImm);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(ProgramId) : {
+      S[IP->Result] = RValue::makeInt(IP->Imm0 == 0 ? PidX : PidY);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(NumPrograms) : {
+      S[IP->Result] =
+          RValue::makeInt(IP->Imm0 == 0 ? Opts.GridX : Opts.GridY);
+      TAWA_NEXT();
+    }
 
-    case BcOp::IntBin: {
+    TAWA_CASE(IntBin) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
-      const RValue &L = V(0), &R = V(1);
-      OpKind K = static_cast<OpKind>(I.Imm0);
-      if (L.K == RValue::Kind::Int) {
-        int64_t X = L.I, Y = R.I, Z = 0;
-        switch (K) {
-        case OpKind::AddI:
-          Z = X + Y;
-          break;
-        case OpKind::SubI:
-          Z = X - Y;
-          break;
-        case OpKind::MulI:
-          Z = X * Y;
-          break;
-        case OpKind::DivSI:
-          Z = X / Y;
-          break;
-        case OpKind::RemSI:
-          Z = X % Y;
-          break;
-        case OpKind::MinSI:
-          Z = std::min(X, Y);
-          break;
-        case OpKind::MaxSI:
-          Z = std::max(X, Y);
-          break;
-        case OpKind::CmpSlt:
-          Z = X < Y;
-          break;
-        default:
-          break;
-        }
-        S[I.Result] = RValue::makeInt(Z);
-        break;
-      }
-      // Tensor (elementwise) integer arithmetic — index math for masks and
-      // pointer offsets.
-      if (!Functional || !L.T) {
-        S[I.Result] = RValue::makeTensor(nullptr, L.H);
-        break;
-      }
-      float (*Fn)(float, float) = nullptr;
-      switch (K) {
-      case OpKind::AddI:
-        Fn = +[](float X, float Y) { return X + Y; };
-        break;
-      case OpKind::SubI:
-        Fn = +[](float X, float Y) { return X - Y; };
-        break;
-      case OpKind::MulI:
-        Fn = +[](float X, float Y) { return X * Y; };
-        break;
-      case OpKind::CmpSlt:
-        Fn = +[](float X, float Y) { return X < Y ? 1.0f : 0.0f; };
-        break;
-      default:
+      if (!intBinary(I, V(0), V(1), S)) {
         A.Error = P.Messages[I.MsgId];
         Run.St = AgentRun::State::Failed;
         Run.Pc = Pc;
         return;
       }
-      S[I.Result] =
-          RValue::makeTensor(applyBinary(L.T, R.T, Fn, Arena), L.H);
-      break;
+      TAWA_NEXT();
+    }
+    TAWA_CASE(IntBinImm) : {
+      // ConstInt + IntBin, dead constant slot: the constant rides in Imm1
+      // (at side Imm2), the one surviving operand in the slot list.
+      // Arithmetic and failure behavior are exactly intBinary's — the
+      // same helper the base op calls.
+      const Inst &I = *IP;
+      chargeCuda(A, I.Cost / A.Replicas);
+      RValue C = RValue::makeInt(I.Imm1);
+      const RValue &Other = V(0);
+      const RValue &L = I.Imm2 == 0 ? C : Other;
+      const RValue &R = I.Imm2 == 0 ? Other : C;
+      if (!intBinary(I, L, R, S)) {
+        A.Error = P.Messages[I.MsgId];
+        Run.St = AgentRun::State::Failed;
+        Run.Pc = Pc;
+        return;
+      }
+      TAWA_NEXT();
+    }
+    TAWA_CASE(ConstIntBin) : {
+      // ConstInt + IntBin, constant slot still live elsewhere: perform
+      // the constant's slot write, then the binop over its unchanged
+      // operand slots.
+      const Inst &I = *IP;
+      S[I.Imm3] = RValue::makeInt(I.Imm1);
+      chargeCuda(A, I.Cost / A.Replicas);
+      if (!intBinary(I, V(0), V(1), S)) {
+        A.Error = P.Messages[I.MsgId];
+        Run.St = AgentRun::State::Failed;
+        Run.Pc = Pc;
+        return;
+      }
+      TAWA_NEXT();
+    }
+    TAWA_CASE(IntBinImm2) : {
+      // IntBinImm + IntBinImm: two constant-folded binops per dispatch.
+      // Imm0 packs both kinds and both constant sides; operands are the
+      // two variable slots (the second is read after the first result is
+      // written, exactly as unfused).
+      const Inst &I = *IP;
+      OpKind K1 = static_cast<OpKind>(I.Imm0 & 0xffff);
+      OpKind K2 = static_cast<OpKind>((I.Imm0 >> 16) & 0xffff);
+      chargeCuda(A, I.Cost / A.Replicas);
+      {
+        RValue C = RValue::makeInt(I.Imm1);
+        const RValue &Other = V(0);
+        bool ConstLeft = ((I.Imm0 >> 32) & 1) == 0;
+        if (!intBinaryK(K1, I.Result, ConstLeft ? C : Other,
+                        ConstLeft ? Other : C, S)) {
+          A.Error = P.Messages[I.MsgId];
+          Run.St = AgentRun::State::Failed;
+          Run.Pc = Pc;
+          return;
+        }
+      }
+      chargeCuda(A, I.FImm / A.Replicas);
+      {
+        RValue C = RValue::makeInt(I.Imm2);
+        const RValue &Other = V(1);
+        bool ConstLeft = ((I.Imm0 >> 33) & 1) == 0;
+        if (!intBinaryK(K2, static_cast<int32_t>(I.Imm3),
+                        ConstLeft ? C : Other, ConstLeft ? Other : C, S)) {
+          A.Error = P.Messages[I.Aux];
+          Run.St = AgentRun::State::Failed;
+          Run.Pc = Pc;
+          return;
+        }
+      }
+      TAWA_NEXT();
+    }
+    TAWA_CASE(ConstIntBin2) : {
+      // ConstIntBin + IntBin: the live constant write, then two binops.
+      const Inst &I = *IP;
+      S[I.Imm3] = RValue::makeInt(I.Imm1);
+      chargeCuda(A, I.Cost / A.Replicas);
+      if (!intBinaryK(static_cast<OpKind>(I.Imm0 & 0xffff), I.Result, V(0),
+                      V(1), S)) {
+        A.Error = P.Messages[I.MsgId];
+        Run.St = AgentRun::State::Failed;
+        Run.Pc = Pc;
+        return;
+      }
+      chargeCuda(A, I.FImm / A.Replicas);
+      if (!intBinaryK(static_cast<OpKind>(I.Imm2 & 0xffff),
+                      static_cast<int32_t>(I.Imm2 >> 16), V(2), V(3), S)) {
+        A.Error = P.Messages[I.Aux];
+        Run.St = AgentRun::State::Failed;
+        Run.Pc = Pc;
+        return;
+      }
+      TAWA_NEXT();
+    }
+    TAWA_CASE(IntBin2) : {
+      // IntBin + IntBin: charge/compute, charge/compute, each half with
+      // its own kind, destination, cost and diagnostic.
+      const Inst &I = *IP;
+      chargeCuda(A, I.Cost / A.Replicas);
+      if (!intBinaryK(static_cast<OpKind>(I.Imm0), I.Result, V(0), V(1),
+                      S)) {
+        A.Error = P.Messages[I.MsgId];
+        Run.St = AgentRun::State::Failed;
+        Run.Pc = Pc;
+        return;
+      }
+      chargeCuda(A, I.FImm / A.Replicas);
+      if (!intBinaryK(static_cast<OpKind>(I.Imm1),
+                      static_cast<int32_t>(I.Imm3), V(2), V(3), S)) {
+        A.Error = P.Messages[I.Aux];
+        Run.St = AgentRun::State::Failed;
+        Run.Pc = Pc;
+        return;
+      }
+      TAWA_NEXT();
     }
 
     //===--- Tensor construction & math -----------------------------------===//
-    case BcOp::ConstTensor: {
+    TAWA_CASE(ConstTensor) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       if (!Functional) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       auto T = makeTile(I.ResultTy);
       T->fill(static_cast<float>(I.FImm));
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::MakeRange: {
+    TAWA_CASE(MakeRange) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       if (!Functional) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       auto T = makeTile(I.ResultTy);
       for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
         T->at(K) = static_cast<float>(I.Imm0 + K);
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::Splat: {
+    TAWA_CASE(Splat) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       const RValue &In = V(0);
       if (!Functional) {
         S[I.Result] = RValue::makeTensor(nullptr, In.H);
-        break;
+        TAWA_NEXT();
       }
       auto T = makeTile(I.ResultTy);
       if (In.K == RValue::Kind::Handle) {
         T->fill(0.0f); // Pointer splat: offsets start at zero.
         S[I.Result] = RValue::makeTensor(std::move(T), In.H);
-        break;
+        TAWA_NEXT();
       }
       T->fill(In.K == RValue::Kind::Int ? static_cast<float>(In.I)
                                         : static_cast<float>(In.F));
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::ExpandBroadcast: {
+    TAWA_CASE(ExpandBroadcast) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       const RValue &In = V(0);
       if (!Functional || !In.T) {
         S[I.Result] = RValue::makeTensor(nullptr, In.H);
-        break;
+        TAWA_NEXT();
       }
       auto T = makeTile(I.ResultTy);
       const auto &OutShape = I.ResultTy->getShape();
@@ -418,14 +988,15 @@ void BcExec::step(AgentRun &Run) {
         }
       }
       S[I.Result] = RValue::makeTensor(std::move(T), In.H);
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::Transpose2D: {
+    TAWA_CASE(Transpose2D) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       const RValue &In = V(0);
       if (!Functional || !In.T) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       auto T = makeTile(I.ResultTy);
       int64_t R = In.T->getDim(0), C = In.T->getDim(1);
@@ -433,95 +1004,60 @@ void BcExec::step(AgentRun &Run) {
         for (int64_t X = 0; X < C; ++X)
           T->at(X, Y) = In.T->at(Y, X);
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::FloatBin: {
+    TAWA_CASE(FloatBin) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
-      const RValue &L = V(0), &R = V(1);
-      OpKind K = static_cast<OpKind>(I.Imm0);
-      if (L.K == RValue::Kind::Float) {
-        double X = L.F, Y = R.F, Z = 0;
-        switch (K) {
-        case OpKind::AddF:
-          Z = X + Y;
-          break;
-        case OpKind::SubF:
-          Z = X - Y;
-          break;
-        case OpKind::MulF:
-          Z = X * Y;
-          break;
-        case OpKind::DivF:
-          Z = X / Y;
-          break;
-        case OpKind::MaxF:
-          Z = std::max(X, Y);
-          break;
-        default:
-          break;
-        }
-        S[I.Result] = RValue::makeFloat(Z);
-        break;
-      }
-      if (!Functional || !L.T) {
-        S[I.Result] = RValue::makeTensor(nullptr);
-        break;
-      }
-      float (*Fn)(float, float) = nullptr;
-      switch (K) {
-      case OpKind::AddF:
-        Fn = +[](float X, float Y) { return X + Y; };
-        break;
-      case OpKind::SubF:
-        Fn = +[](float X, float Y) { return X - Y; };
-        break;
-      case OpKind::MulF:
-        Fn = +[](float X, float Y) { return X * Y; };
-        break;
-      case OpKind::DivF:
-        Fn = +[](float X, float Y) { return X / Y; };
-        break;
-      case OpKind::MaxF:
-        Fn = +[](float X, float Y) { return std::max(X, Y); };
-        break;
-      default:
-        break;
-      }
-      S[I.Result] = RValue::makeTensor(applyBinary(L.T, R.T, Fn, Arena));
-      break;
+      floatBinaryK(static_cast<OpKind>(I.Imm0), I.Result, V(0), V(1), S);
+      TAWA_NEXT();
     }
-    case BcOp::Exp2: {
+    TAWA_CASE(FloatBin2) : {
+      // FloatBin + FloatBin: charge/compute, charge/compute — the exact
+      // unfused sequence through the same floatBinaryK helper.
+      const Inst &I = *IP;
+      chargeCuda(A, I.Cost / A.Replicas);
+      floatBinaryK(static_cast<OpKind>(I.Imm0), I.Result, V(0), V(1), S);
+      chargeCuda(A, I.FImm / A.Replicas);
+      floatBinaryK(static_cast<OpKind>(I.Imm1),
+                   static_cast<int32_t>(I.Imm3), V(2), V(3), S);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(Exp2) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       const RValue &In = V(0);
       if (!Functional || !In.T) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       auto T = cloneTile(*In.T);
       for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
         T->at(K) = std::exp2(T->at(K));
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::Select: {
+    TAWA_CASE(Select) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       const RValue &C = V(0), &X = V(1), &Y = V(2);
       if (!Functional || !C.T) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       auto T = makeTile(I.ResultTy);
       for (int64_t K = 0, E = T->getNumElements(); K != E; ++K)
         T->at(K) = C.T->at(K) != 0.0f ? X.T->at(K) : Y.T->at(K);
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::Reduce: {
+    TAWA_CASE(Reduce) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       const RValue &In = V(0);
       if (!Functional || !In.T) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       bool IsMax = I.Imm1 != 0;
       int64_t R = In.T->getDim(0), Cn = In.T->getDim(1);
@@ -544,45 +1080,48 @@ void BcExec::step(AgentRun &Run) {
         }
       }
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::Cast: {
+    TAWA_CASE(Cast) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       const RValue &In = V(0);
       if (!Functional || !In.T) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       auto T = cloneTile(*In.T);
       roundTensorTo(*T, I.ElemTy);
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::AddPtr: {
+    TAWA_CASE(AddPtr) : {
+      const Inst &I = *IP;
       chargeCuda(A, I.Cost / A.Replicas);
       const RValue &Ptr = V(0), &Off = V(1);
       if (!Functional || !Ptr.T) {
         S[I.Result] = RValue::makeTensor(nullptr, Ptr.H);
-        break;
+        TAWA_NEXT();
       }
       S[I.Result] = RValue::makeTensor(
           applyBinary(Ptr.T, Off.T,
                       +[](float X, float Y) { return X + Y; }, Arena),
           Ptr.H);
-      break;
+      TAWA_NEXT();
     }
 
     //===--- Tile-dialect memory & compute --------------------------------===//
-    case BcOp::TmaLoad: {
+    TAWA_CASE(TmaLoad) : {
+      const Inst &I = *IP;
       Action Act;
       Act.Kind = static_cast<ActionKind>(I.Imm2);
       Act.Lookahead = static_cast<int32_t>(I.Imm1);
       Act.Cycles = I.FImm;
       Act.Bytes = I.Imm0;
-      EmitAction(Act);
+      emitAction(A, Act);
       if (!Functional) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       const RValue &Desc = V(0);
       assert(Desc.K == RValue::Kind::Handle && "tma_load needs a descriptor");
@@ -593,17 +1132,18 @@ void BcExec::step(AgentRun &Run) {
       auto T = makeTile(I.ResultTy);
       loadWindowInto(*Arg.Data, Offsets, I.ResultTy->getShape(), *T);
       S[I.Result] = RValue::makeTensor(std::move(T));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::TmaStore: {
+    TAWA_CASE(TmaStore) : {
+      const Inst &I = *IP;
       const RValue &Desc = V(0);
       Action Act;
       Act.Kind = ActionKind::GStoreAsync;
       Act.Bytes = I.Imm0 / A.Replicas;
       Act.Cycles = I.FImm / A.Replicas;
-      EmitAction(Act);
+      emitAction(A, Act);
       if (!Functional)
-        break;
+        TAWA_NEXT();
       const RValue &Val = V(I.NumOps - 1);
       std::vector<int64_t> Offsets;
       for (int64_t K = 1; K < I.NumOps - 1; ++K)
@@ -611,18 +1151,19 @@ void BcExec::step(AgentRun &Run) {
       TensorData Rounded(*Val.T, *Arena);
       roundTensorTo(Rounded, I.ElemTy);
       storeWindow(*Opts.Args[Desc.H].Data, Offsets, Rounded);
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::Store: {
+    TAWA_CASE(Store) : {
+      const Inst &I = *IP;
       const RValue &Ptr = V(0);
       const RValue &Val = V(1);
       Action Act;
       Act.Kind = ActionKind::GStoreAsync;
       Act.Bytes = I.Imm0 / A.Replicas;
       Act.Cycles = I.FImm / A.Replicas;
-      EmitAction(Act);
+      emitAction(A, Act);
       if (!Functional || !Ptr.T)
-        break;
+        TAWA_NEXT();
       assert(Ptr.H >= 0 && "store through an unbound pointer tensor");
       TensorData &OutT = *Opts.Args[Ptr.H].Data;
       TensorData Rounded(*Val.T, *Arena);
@@ -634,11 +1175,12 @@ void BcExec::step(AgentRun &Run) {
         if (Linear >= 0 && Linear < OutT.getNumElements())
           OutT.at(Linear) = Rounded.at(K);
       }
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::Dot: {
+    TAWA_CASE(Dot) : {
       // Tensor-core op in plain tile execution (async past dependent CUDA
       // work under software pipelining, synchronous otherwise).
+      const Inst &I = *IP;
       flushCuda(A);
       Action Issue;
       Issue.Kind = ActionKind::TensorIssue;
@@ -651,15 +1193,16 @@ void BcExec::step(AgentRun &Run) {
       const RValue &X = V(0), &Y = V(1), &Acc = V(2);
       if (!Functional || !X.T) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       S[I.Result] = RValue::makeTensor(
           matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0, Arena));
-      break;
+      TAWA_NEXT();
     }
 
     //===--- Lowered dialect ----------------------------------------------===//
-    case BcOp::SmemAlloc: {
+    TAWA_CASE(SmemAlloc) : {
+      const Inst &I = *IP;
       ExecSmem Buf;
       Buf.Channel = I.Imm0;
       Buf.SlotBytes = I.Imm1;
@@ -674,9 +1217,10 @@ void BcExec::step(AgentRun &Run) {
       SmemBuffers.push_back(std::move(Buf));
       S[I.Result] = RValue::makeHandle(
           static_cast<int32_t>(SmemBuffers.size() - 1));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::MBarrierAlloc: {
+    TAWA_CASE(MBarrierAlloc) : {
+      const Inst &I = *IP;
       BarrierArray Arr;
       Arr.Expected = I.Imm0;
       Arr.Channel = I.Imm1;
@@ -685,9 +1229,10 @@ void BcExec::step(AgentRun &Run) {
       BarrierArrays.push_back(std::move(Arr));
       S[I.Result] = RValue::makeHandle(
           static_cast<int32_t>(BarrierArrays.size() - 1));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::MBarrierExpectTx: {
+    TAWA_CASE(MBarrierExpectTx) : {
+      const Inst &I = *IP;
       chargeCuda(A, Config.BarrierOpCycles);
       int32_t Bar = V(0).H;
       int64_t Idx = asInt(V(1));
@@ -698,14 +1243,15 @@ void BcExec::step(AgentRun &Run) {
       Act.Idx = static_cast<int32_t>(Idx);
       Act.Bytes = I.Imm0;
       Act.Cycles = Config.BarrierOpCycles;
-      EmitAction(Act);
-      break;
+      emitAction(A, Act);
+      TAWA_NEXT();
     }
-    case BcOp::MBarrierArrive: {
+    TAWA_CASE(MBarrierArrive) : {
+      const Inst &I = *IP;
       if (I.NumOps > 2) {
         const RValue &Pred = V(2);
         if (Pred.I == 0)
-          break; // Predicated off.
+          TAWA_NEXT(); // Predicated off.
       }
       int32_t Bar = V(0).H;
       int64_t Idx = asInt(V(1));
@@ -718,7 +1264,7 @@ void BcExec::step(AgentRun &Run) {
       Act.Bar = Bar;
       Act.Idx = static_cast<int32_t>(Idx);
       Act.Cycles = Config.BarrierOpCycles;
-      EmitAction(Act);
+      emitAction(A, Act);
       // An arrive on an empty barrier is a consumer releasing a slot.
       if (!Arr.IsFull && Arr.Channel >= 0) {
         HB->recordConsumed(A.Id, Arr.Channel, Idx);
@@ -742,32 +1288,16 @@ void BcExec::step(AgentRun &Run) {
         }
       }
       applyArrival(Bar, Idx, 0);
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::MBarrierWait: {
+    TAWA_CASE(MBarrierWait) : {
       // Issue half: cost + trace. The blocking half follows immediately.
-      chargeCuda(A, Config.BarrierOpCycles);
-      int32_t Bar = V(0).H;
-      int64_t Idx = asInt(V(1));
-      int64_t Parity = asInt(V(2));
-      Action Act;
-      Act.Kind = ActionKind::BarWait;
-      Act.Bar = Bar;
-      Act.Idx = static_cast<int32_t>(Idx);
-      Act.Parity = static_cast<int32_t>(Parity % 2);
-      Act.Cycles = Config.BarrierOpCycles;
-      EmitAction(Act);
-      if (TraceEnv) {
-        BarrierArray &Arr = BarrierArrays[Bar];
-        fprintf(stderr,
-                "[agent %d] wait %s[%lld] parity %lld completions %lld\n",
-                A.Id, Arr.IsFull ? "full" : "empty", (long long)Idx,
-                (long long)Parity, (long long)Arr.Bars[Idx].Completions);
-      }
-      break;
+      waitIssue(A, V(0).H, asInt(V(1)), asInt(V(2)));
+      TAWA_NEXT();
     }
-    case BcOp::MBarrierWaitBlock: {
+    TAWA_CASE(MBarrierWaitBlock) : {
       // Blocking half: re-executed on every resume until the phase flips.
+      Resumed = false; // This op re-checks the phase itself.
       WaitCond W;
       W.Bar = V(0).H;
       W.Idx = asInt(V(1));
@@ -778,102 +1308,90 @@ void BcExec::step(AgentRun &Run) {
         Run.Pc = Pc;
         return;
       }
-      BarrierArray &Arr = BarrierArrays[W.Bar];
-      if (Arr.Channel >= 0) {
-        if (Arr.IsFull)
-          HB->recordGet(A.Id, Arr.Channel, W.Idx);
-        else
-          HB->recordAcquireEmpty(A.Id, Arr.Channel, W.Idx);
-      }
-      break;
+      waitAcquire(A, W.Bar, W.Idx);
+      TAWA_NEXT();
     }
-    case BcOp::TmaLoadAsync: {
-      chargeCuda(A, Config.TmaIssueCycles);
-      int64_t NumOffsets = I.Imm0;
-      int32_t Smem = V(1 + NumOffsets).H;
-      int32_t Bar = V(2 + NumOffsets).H;
-      int64_t Idx = asInt(V(3 + NumOffsets));
-      int64_t Bytes = I.Imm1;
-      Action Act;
-      Act.Kind = ActionKind::TmaIssue;
-      Act.Bar = Bar;
-      Act.Idx = static_cast<int32_t>(Idx);
-      Act.Bytes = Bytes;
-      Act.Cycles = Config.TmaIssueCycles;
-      EmitAction(Act);
-
-      ExecSmem &Buf = SmemBuffers[Smem];
-      SlotMonitor &Mon = Buf.Monitors[Idx];
-      if (Mon.S == SlotMonitor::St::Full ||
-          Mon.S == SlotMonitor::St::Borrowed)
-        recordViolation(formatString(
-            "channel %lld slot %lld: TMA write while %s (overwrite before "
-            "consumed)",
-            static_cast<long long>(Buf.Channel), static_cast<long long>(Idx),
-            Mon.S == SlotMonitor::St::Full ? "full" : "borrowed"));
-      Mon.S = SlotMonitor::St::Filling;
-      if (++Mon.Writes >= Buf.Writers)
-        Mon.S = SlotMonitor::St::Full;
-      if (std::string Err = HB->recordWrite(A.Id, Buf.Channel, Idx);
-          !Err.empty())
-        recordViolation(Err);
-      HB->recordPut(A.Id, Buf.Channel, Idx);
-
-      if (Functional) {
-        const RValue &Desc = V(0);
-        std::vector<int64_t> Offsets;
-        for (int64_t K = 0; K < NumOffsets; ++K)
-          Offsets.push_back(asInt(V(1 + K)));
-        size_t Key = Idx * Buf.NumFields + I.Imm2;
-        // Install a fresh tile rather than overwriting in place: consumers
-        // that already read this slot keep their snapshot.
-        auto T = makeArenaTile(P.IntVecs[I.Aux], *Arena);
-        loadWindowInto(*Opts.Args[Desc.H].Data, Offsets, P.IntVecs[I.Aux],
-                       *T);
-        Buf.Store[Key] = std::move(T);
-      }
-      // The copy's arrival (with its transaction bytes) is immediate in the
-      // functional model; the replay applies the real transfer latency.
-      applyArrival(Bar, Idx, Bytes);
-      break;
+    TAWA_CASE(WaitFused) : {
+      // MBarrierWait + MBarrierWaitBlock in one dispatch.
+      if (fusedWaitPrologue(Run, Pc, Resumed, *IP, S))
+        return;
+      waitAcquire(A, V(0).H, asInt(V(1)));
+      TAWA_NEXT();
     }
-    case BcOp::SmemRead: {
-      const RValue &Smem = V(0);
-      int64_t Idx = asInt(V(1));
-      ExecSmem &Buf = SmemBuffers[Smem.H];
-      SlotMonitor &Mon = Buf.Monitors[Idx];
-      if (Mon.S == SlotMonitor::St::Empty ||
-          Mon.S == SlotMonitor::St::Filling)
-        recordViolation(formatString(
-            "channel %lld slot %lld: read while %s (premature get)",
-            static_cast<long long>(Buf.Channel), static_cast<long long>(Idx),
-            Mon.S == SlotMonitor::St::Empty ? "empty" : "filling"));
+    TAWA_CASE(WaitRead) : {
+      // MBarrierWait + MBarrierWaitBlock + SmemRead. Operands are
+      // (bar, idx, parity, smem, slot); the read fields (Result, ResultTy,
+      // field index) ride in the SmemRead positions of the Inst.
+      if (fusedWaitPrologue(Run, Pc, Resumed, *IP, S))
+        return;
+      waitAcquire(A, V(0).H, asInt(V(1)));
+      smemReadBody(IP->Result, IP->Imm2, IP->ResultTy, A, V(3).H,
+                   asInt(V(4)), S);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(WaitRead2) : {
+      // WaitRead + SmemRead: one wait acquiring a two-field staging slot,
+      // then both reads — each the exact SmemRead body.
+      if (fusedWaitPrologue(Run, Pc, Resumed, *IP, S))
+        return;
+      waitAcquire(A, V(0).H, asInt(V(1)));
+      smemReadBody(IP->Result, IP->Imm2, IP->ResultTy, A, V(3).H,
+                   asInt(V(4)), S);
+      smemReadBody(static_cast<int32_t>(IP->Imm0), IP->Imm1,
+                   IP->ResultTy2, A, V(5).H, asInt(V(6)), S);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(TmaLoadAsync) : {
+      tmaLoadAsyncBody(*IP, A, V(0), /*OpBase=*/1, S);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(TmaLoadAsyncOff) : {
+      // AddPtr + TmaLoadAsync: the advanced descriptor is computed inline
+      // (same arithmetic and charge order as the unfused pair — the
+      // AddPtr's precomputed cost rides in FImm) and never written back:
+      // the peephole pass proved its slot dead.
+      const Inst &I = *IP;
+      chargeCuda(A, I.FImm / A.Replicas);
+      const RValue &Ptr = V(0), &Off = V(1);
+      RValue Desc;
+      if (!Functional || !Ptr.T)
+        Desc = RValue::makeTensor(nullptr, Ptr.H);
       else
-        Mon.S = SlotMonitor::St::Borrowed;
-      if (std::string Err = HB->recordRead(A.Id, Buf.Channel, Idx);
-          !Err.empty())
-        recordViolation(Err);
-      if (!Functional) {
-        S[I.Result] = RValue::makeTensor(nullptr);
-        break;
-      }
-      size_t Key = Idx * Buf.NumFields + I.Imm2;
-      if (!Buf.Store[Key]) {
-        recordViolation(formatString(
-            "channel %lld slot %lld: reading uninitialized staging data",
-            static_cast<long long>(Buf.Channel),
-            static_cast<long long>(Idx)));
-        auto T = makeTile(I.ResultTy);
-        T->fill(0.0f); // Matches the legacy engine's zeroed fallback tile.
-        S[I.Result] = RValue::makeTensor(std::move(T));
-        break;
-      }
-      // Share the deposited tile: ops never mutate operands, and a later
-      // deposit installs a new tensor instead of writing this one.
-      S[I.Result] = RValue::makeTensor(Buf.Store[Key]);
-      break;
+        Desc = RValue::makeTensor(
+            applyBinary(Ptr.T, Off.T,
+                        +[](float X, float Y) { return X + Y; }, Arena),
+            Ptr.H);
+      tmaLoadAsyncBody(I, A, Desc, /*OpBase=*/2, S);
+      TAWA_NEXT();
     }
-    case BcOp::WgmmaIssue: {
+    TAWA_CASE(TmaLoadAsyncTx) : {
+      // MBarrierExpectTx + TmaLoadAsync: the expect half (charge, tx
+      // bookkeeping, BarExpectTx action) followed by the copy — the exact
+      // unfused order. Operands: (txbar, txidx, desc, offsets..., smem,
+      // bar, idx); the expected bytes ride in FImm.
+      const Inst &I = *IP;
+      chargeCuda(A, Config.BarrierOpCycles);
+      int32_t TxBar = V(0).H;
+      int64_t TxIdx = asInt(V(1));
+      int64_t TxBytes = static_cast<int64_t>(I.FImm);
+      BarrierArrays[TxBar].Bars[TxIdx].TxExpected += TxBytes;
+      Action Act;
+      Act.Kind = ActionKind::BarExpectTx;
+      Act.Bar = TxBar;
+      Act.Idx = static_cast<int32_t>(TxIdx);
+      Act.Bytes = TxBytes;
+      Act.Cycles = Config.BarrierOpCycles;
+      emitAction(A, Act);
+      tmaLoadAsyncBody(I, A, V(2), /*OpBase=*/3, S);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(SmemRead) : {
+      smemReadBody(IP->Result, IP->Imm2, IP->ResultTy, A, V(0).H,
+                   asInt(V(1)), S);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(WgmmaIssue) : {
+      const Inst &I = *IP;
       flushCuda(A);
       Action Act;
       Act.Kind = ActionKind::TensorIssue;
@@ -882,26 +1400,61 @@ void BcExec::step(AgentRun &Run) {
       const RValue &X = V(0), &Y = V(1), &Acc = V(2);
       if (!Functional || !X.T || !Acc.T) {
         S[I.Result] = RValue::makeTensor(nullptr);
-        break;
+        TAWA_NEXT();
       }
       S[I.Result] = RValue::makeTensor(
           matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0, Arena));
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::WgmmaWait: {
+    TAWA_CASE(WgmmaWait) : {
       flushCuda(A);
       Action Act;
       Act.Kind = ActionKind::TensorWait;
-      Act.Pendings = I.Imm0;
+      Act.Pendings = IP->Imm0;
       A.Trace.emit(Act);
-      break;
+      TAWA_NEXT();
     }
-    case BcOp::Fence:
+    TAWA_CASE(WgmmaIssueWait) : {
+      // WgmmaIssue + WgmmaWait: issue action, MMA, drain action — the
+      // unfused sequence verbatim (the wait's flushCuda is kept: it is a
+      // no-op here exactly as it was unfused, since the MMA charges
+      // nothing to the CUDA pipe).
+      const Inst &I = *IP;
+      flushCuda(A);
+      Action Issue;
+      Issue.Kind = ActionKind::TensorIssue;
+      Issue.Cycles = I.FImm / A.Replicas;
+      A.Trace.emit(Issue);
+      const RValue &X = V(0), &Y = V(1), &Acc = V(2);
+      if (!Functional || !X.T || !Acc.T)
+        S[I.Result] = RValue::makeTensor(nullptr);
+      else
+        S[I.Result] = RValue::makeTensor(
+            matmulAcc(X.T, Y.T, Acc.T, I.Imm0 != 0, Arena));
+      flushCuda(A);
+      Action Wait;
+      Wait.Kind = ActionKind::TensorWait;
+      Wait.Pendings = I.Imm1;
+      A.Trace.emit(Wait);
+      TAWA_NEXT();
+    }
+    TAWA_CASE(Fence) : {
       chargeCuda(A, Config.BarrierOpCycles);
-      break;
+      TAWA_NEXT();
+    }
+
+#ifdef TAWA_THREADED_DISPATCH
+#else
     }
     ++Pc;
   }
+#endif
+#undef TAWA_CASE
+#undef TAWA_NEXT
+#undef TAWA_JUMP
+#ifdef TAWA_THREADED_DISPATCH
+#undef TAWA_DISPATCH
+#endif
 }
 
 std::string BcExec::run(CtaTrace &Out) {

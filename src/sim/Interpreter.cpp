@@ -20,6 +20,7 @@
 
 #include "sim/Bytecode.h"
 #include "sim/LegacyInterp.h"
+#include "sim/Peephole.h"
 #include "support/Support.h"
 #include "support/WorkerPool.h"
 
@@ -53,12 +54,13 @@ Interpreter::Interpreter(Module *M, const GpuConfig &Config,
   assert((M || this->Prog) && "need a module or a compiled program");
 }
 
-std::string Interpreter::ensureProgram() {
+std::string Interpreter::ensureProgram(const RunOptions &Opts) {
   if (Prog)
     return "";
   if (!M)
     return "no compiled program and no module to compile it from";
-  Prog = bc::compileModule(*M, Config);
+  Prog = bc::compileModule(*M, Config,
+                          bc::fusionEnabled(Opts.FuseBytecode));
   return "";
 }
 
@@ -72,7 +74,7 @@ std::string Interpreter::runCta(const RunOptions &Opts, int64_t PidX,
       return "legacy engine unavailable: program was loaded without IR";
     return runCtaLegacy(*M, Config, Opts, PidX, PidY, Out);
   }
-  if (std::string Err = ensureProgram(); !Err.empty())
+  if (std::string Err = ensureProgram(Opts); !Err.empty())
     return Err;
   return bc::executeProgram(*Prog, Opts, PidX, PidY, Out, &Arena);
 }
@@ -148,8 +150,11 @@ std::string Interpreter::runGrid(const RunOptions &Opts, CtaTrace *Sample,
 
   int64_t Workers = resolveNumWorkers(Opts.NumWorkers);
   // The legacy oracle keeps its historical serial execution (it backs one
-  // OS thread per warp group already and is scheduled for removal).
-  if (Opts.UseLegacyInterp || Workers <= 1 || Total <= 1) {
+  // OS thread per warp group already and is scheduled for removal). Small
+  // grids run serial too (SerialGridCtaThreshold): fan-out setup cannot
+  // amortize over a handful of CTAs, and the result is bit-identical.
+  if (Opts.UseLegacyInterp || Workers <= 1 ||
+      Total < SerialGridCtaThreshold) {
     for (int64_t Y = 0; Y < GridY; ++Y)
       for (int64_t X = 0; X < GridX; ++X) {
         CtaTrace Local;
@@ -164,7 +169,7 @@ std::string Interpreter::runGrid(const RunOptions &Opts, CtaTrace *Sample,
     return "";
   }
 
-  if (std::string Err = ensureProgram(); !Err.empty())
+  if (std::string Err = ensureProgram(Opts); !Err.empty())
     return Err;
 
   std::string Err = runParallelCtas(
@@ -199,7 +204,7 @@ std::string Interpreter::runCtaBatch(const RunOptions &Opts,
     return "";
   }
 
-  if (std::string Err = ensureProgram(); !Err.empty())
+  if (std::string Err = ensureProgram(Opts); !Err.empty())
     return Err;
 
   return runParallelCtas(

@@ -84,9 +84,27 @@ struct RunOptions {
   /// hardware thread (the default), 1 = serial (exactly the historical
   /// per-CTA loop). Results are bit-identical at every worker count — see
   /// docs/threading-and-memory.md. Per-CTA runCta is unaffected. The legacy
-  /// engine always runs serial.
+  /// engine always runs serial. Grids smaller than SerialGridCtaThreshold
+  /// run serial regardless.
   int64_t NumWorkers = 0;
+  /// Run the post-compile peephole fusion pass (sim/Peephole.h) when this
+  /// Interpreter compiles its bytecode program lazily: superinstructions,
+  /// observably identical execution, fewer dispatches. Default on; the
+  /// TAWA_NO_FUSE=1 environment variable overrides it to off process-wide
+  /// (the CI kill switch). Ignored when the Interpreter was handed an
+  /// already-compiled program (the Runner's program-cache path — the
+  /// Runner folds its own fusion flag into the compile key instead).
+  bool FuseBytecode = true;
 };
+
+/// Grids with fewer CTAs than this run Interpreter::runGrid's serial path
+/// even when NumWorkers allows parallelism: per-worker arena setup and pool
+/// wake-up cost more than a handful of CTAs can amortize (the
+/// gemm-ws-functional worker-scaling rows of BENCH_interp.json measured
+/// 0.95-0.97x at 2-8 workers on a 4-CTA grid). Results are bit-identical
+/// either way — the fallback is purely a scheduling choice. Recorded in
+/// BENCH_interp.json as "serial_grid_threshold".
+constexpr int64_t SerialGridCtaThreshold = 8;
 
 /// Resolves RunOptions::NumWorkers: 0 becomes the hardware thread count.
 int64_t resolveNumWorkers(int64_t Requested);
@@ -165,9 +183,10 @@ public:
                           std::vector<CtaTrace> &Out);
 
 private:
-  /// Compiles the bytecode program from M if not present; returns a
-  /// diagnostic when neither exists (module-less misuse).
-  std::string ensureProgram();
+  /// Compiles the bytecode program from M if not present (fusing per
+  /// \p Opts); returns a diagnostic when neither exists (module-less
+  /// misuse).
+  std::string ensureProgram(const RunOptions &Opts);
 
   Module *M = nullptr; ///< Null for module-less (disk-cache) execution.
   const GpuConfig &Config;

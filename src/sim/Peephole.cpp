@@ -1,0 +1,432 @@
+//===- Peephole.cpp - Bytecode superinstruction fusion ------------------------//
+//
+// See Peephole.h for the pattern set and legality rules, and
+// docs/bytecode-isa.md for the operand/immediate layout of every fused
+// opcode. The pass runs once per compile (inside bc::compileModule), after
+// flattening and before the program becomes immutable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Peephole.h"
+
+#include "sim/Bytecode.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+using namespace tawa;
+using namespace tawa::sim;
+using namespace tawa::sim::bc;
+
+namespace {
+
+/// Conservative whole-program use counts per value slot. Operand reads are
+/// counted exactly; any reference from a loop record or an argument binding
+/// is counted as an extra use, which simply blocks slot-eliding fusions
+/// around it.
+std::vector<int32_t> countSlotUses(const CompiledProgram &P) {
+  std::vector<int32_t> Uses(std::max(P.NumSlots, 0), 0);
+  auto Bump = [&](int32_t Slot) {
+    if (Slot >= 0 && Slot < P.NumSlots)
+      ++Uses[Slot];
+  };
+  auto Region = [&](const RegionProgram &RP) {
+    for (const Inst &I : RP.Code)
+      for (int64_t K = 0; K < I.NumOps; ++K)
+        Bump(P.OperandSlots[I.OpBegin + K]);
+  };
+  Region(P.Preamble);
+  for (const RegionProgram &RP : P.Agents)
+    Region(RP);
+  for (const LoopInfo &L : P.Loops) {
+    Bump(L.LbSlot);
+    Bump(L.UbSlot);
+    Bump(L.StepSlot);
+    Bump(L.IvSlot);
+    for (int32_t S : L.InitSlots)
+      Bump(S);
+    for (int32_t S : L.IterSlots)
+      Bump(S);
+    for (int32_t S : L.YieldSlots)
+      Bump(S);
+    for (int32_t S : L.ResultSlots)
+      Bump(S);
+  }
+  for (int32_t S : P.ArgSlots)
+    Bump(S);
+  return Uses;
+}
+
+class Fuser {
+public:
+  Fuser(CompiledProgram &P, FusionStats &S)
+      : P(P), S(S), Uses(countSlotUses(P)) {}
+
+  void fuseRegion(RegionProgram &RP);
+
+private:
+  /// True when the slot is read exactly once in the whole program — by the
+  /// fused consumer the caller just matched — so eliding its write is safe.
+  bool deadAfterConsumer(int32_t Slot) const {
+    return Slot >= 0 && Slot < P.NumSlots && Uses[Slot] == 1;
+  }
+
+  int32_t slotOf(const Inst &I, int64_t K) const {
+    return P.OperandSlots[I.OpBegin + K];
+  }
+
+  bool sameWaitOperands(const Inst &A, const Inst &B) const {
+    for (int64_t K = 0; K < 3; ++K)
+      if (slotOf(A, K) != slotOf(B, K))
+        return false;
+    return true;
+  }
+
+  int32_t appendOperands(const std::vector<int32_t> &Ops) {
+    int32_t Begin = static_cast<int32_t>(P.OperandSlots.size());
+    P.OperandSlots.insert(P.OperandSlots.end(), Ops.begin(), Ops.end());
+    return Begin;
+  }
+
+  /// Tries every fusion pattern at \p I. On a match the superinstruction is
+  /// appended to \p Out and the number of consumed source instructions is
+  /// returned; 0 means no match.
+  size_t tryFuse(const RegionProgram &RP, size_t I,
+                 const std::vector<char> &IsTarget, std::vector<Inst> &Out);
+
+  CompiledProgram &P;
+  FusionStats &S;
+  std::vector<int32_t> Uses;
+};
+
+size_t Fuser::tryFuse(const RegionProgram &RP, size_t I,
+                      const std::vector<char> &IsTarget,
+                      std::vector<Inst> &Out) {
+  const std::vector<Inst> &Code = RP.Code;
+  size_t N = Code.size();
+  const Inst &A = Code[I];
+  // Every pattern needs a straight-line successor: fusing across a control
+  // transfer target would skip part of the superinstruction when the jump
+  // lands mid-pattern.
+  if (I + 1 >= N || IsTarget[I + 1])
+    return 0;
+  const Inst &B = Code[I + 1];
+
+  // ConstInt + IntBin. Two strengths: when the constant's slot is dead
+  // after the consumer and feeds exactly one side, IntBinImm elides the
+  // slot write entirely (the constant rides in Imm1, one operand slot
+  // remains); otherwise ConstIntBin keeps the write (shared constants —
+  // loop bounds, ring depths — are read by several instructions) and
+  // still folds the two dispatches into one.
+  if (A.Op == BcOp::ConstInt && B.Op == BcOp::IntBin && B.NumOps == 2 &&
+      A.Result >= 0) {
+    int32_t S0 = slotOf(B, 0), S1 = slotOf(B, 1);
+    int64_t ConstPos = -1;
+    if (S0 == A.Result && S1 != A.Result)
+      ConstPos = 0;
+    else if (S1 == A.Result && S0 != A.Result)
+      ConstPos = 1;
+    if (ConstPos >= 0 && deadAfterConsumer(A.Result)) {
+      Inst F = B; // OpKind (Imm0), Cost, MsgId, Result carry over.
+      F.Op = BcOp::IntBinImm;
+      F.Imm1 = A.Imm0;
+      F.Imm2 = ConstPos;
+      F.OpBegin = appendOperands({ConstPos == 0 ? S1 : S0});
+      F.NumOps = 1;
+      Out.push_back(F);
+      ++S.NumIntBinImm;
+      return 2;
+    }
+    Inst F = B; // Operand slots stay; the constant write is kept inline.
+    F.Op = BcOp::ConstIntBin;
+    F.Imm1 = A.Imm0;
+    F.Imm3 = A.Result;
+    Out.push_back(F);
+    ++S.NumConstIntBin;
+    return 2;
+  }
+
+  // IntBin + IntBin / FloatBin + FloatBin chains: the index math and the
+  // softmax scalar chains dominate the dynamic pair histogram. Both
+  // results are written (no liveness requirement); the second op reads
+  // the first's result from its slot exactly as before.
+  if ((A.Op == BcOp::IntBin && B.Op == BcOp::IntBin) ||
+      (A.Op == BcOp::FloatBin && B.Op == BcOp::FloatBin)) {
+    if (A.NumOps == 2 && B.NumOps == 2 && A.Result >= 0 && B.Result >= 0) {
+      Inst F = A;
+      F.Op = A.Op == BcOp::IntBin ? BcOp::IntBin2 : BcOp::FloatBin2;
+      F.Imm1 = B.Imm0;   // Second OpKind.
+      F.Imm3 = B.Result; // Second destination.
+      F.FImm = B.Cost;   // Second cost.
+      F.Aux = B.MsgId;   // Second diagnostic (IntBin only; -1 otherwise).
+      F.OpBegin = appendOperands(
+          {slotOf(A, 0), slotOf(A, 1), slotOf(B, 0), slotOf(B, 1)});
+      F.NumOps = 4;
+      Out.push_back(F);
+      ++(A.Op == BcOp::IntBin ? S.NumIntBin2 : S.NumFloatBin2);
+      return 2;
+    }
+  }
+
+  // WgmmaIssue + WgmmaWait: issue, MMA, drain — one dispatch.
+  if (A.Op == BcOp::WgmmaIssue && B.Op == BcOp::WgmmaWait) {
+    Inst F = A; // Issue's cycles/transB/result carry over.
+    F.Op = BcOp::WgmmaIssueWait;
+    F.Imm1 = B.Imm0; // The wait's pending count.
+    Out.push_back(F);
+    ++S.NumWgmmaIssueWait;
+    return 2;
+  }
+
+  //===--- Second-pass patterns (fusions over superinstructions) ---------===//
+  // These heads only exist after the first pass, so running fuseRegion
+  // twice reaches a fixpoint: nothing matches a pass-2 superinstruction.
+
+  // IntBinImm + IntBinImm -> IntBinImm2: the ring-index math (slot, wrap,
+  // parity per iteration) compiles into chains of constant-folded binops.
+  if (A.Op == BcOp::IntBinImm && B.Op == BcOp::IntBinImm) {
+    Inst F = A;
+    F.Op = BcOp::IntBinImm2;
+    F.Imm0 = (A.Imm0 & 0xffff) | ((B.Imm0 & 0xffff) << 16) |
+             ((A.Imm2 & 1) << 32) | ((B.Imm2 & 1) << 33);
+    F.Imm2 = B.Imm1;   // Second constant (first stays in Imm1).
+    F.Imm3 = B.Result; // Second destination.
+    F.FImm = B.Cost;
+    F.Aux = B.MsgId;
+    F.OpBegin = appendOperands({slotOf(A, 0), slotOf(B, 0)});
+    F.NumOps = 2;
+    Out.push_back(F);
+    S.NumIntBinImm -= 2;
+    ++S.NumIntBinImm2;
+    return 2;
+  }
+
+  // ConstIntBin + IntBin -> ConstIntBin2: a live shared constant followed
+  // by two binops.
+  if (A.Op == BcOp::ConstIntBin && B.Op == BcOp::IntBin && B.NumOps == 2 &&
+      B.Result >= 0) {
+    Inst F = A;
+    F.Op = BcOp::ConstIntBin2;
+    F.Imm2 = (B.Imm0 & 0xffff) |
+             (static_cast<int64_t>(B.Result) << 16);
+    F.FImm = B.Cost;
+    F.Aux = B.MsgId;
+    F.OpBegin = appendOperands(
+        {slotOf(A, 0), slotOf(A, 1), slotOf(B, 0), slotOf(B, 1)});
+    F.NumOps = 4;
+    Out.push_back(F);
+    --S.NumConstIntBin;
+    ++S.NumConstIntBin2;
+    return 2;
+  }
+
+  // WaitRead + SmemRead -> WaitRead2: a staging slot holding two fields
+  // (the A and B tiles of one GEMM iteration) is one wait and two reads.
+  if (A.Op == BcOp::WaitRead && B.Op == BcOp::SmemRead && B.NumOps == 2) {
+    Inst F = A;
+    F.Op = BcOp::WaitRead2;
+    F.Imm0 = B.Result;
+    F.Imm1 = B.Imm2; // Second field index.
+    F.ResultTy2 = B.ResultTy;
+    F.OpBegin = appendOperands(
+        {slotOf(A, 0), slotOf(A, 1), slotOf(A, 2), slotOf(A, 3),
+         slotOf(A, 4), slotOf(B, 0), slotOf(B, 1)});
+    F.NumOps = 7;
+    Out.push_back(F);
+    --S.NumWaitRead;
+    ++S.NumWaitRead2;
+    return 2;
+  }
+
+  // MBarrierExpectTx + TmaLoadAsync: the producer's per-iteration
+  // expect-and-copy sequence. The expected transaction bytes ride in FImm
+  // (exact: tile sizes are far below 2^53).
+  if (A.Op == BcOp::MBarrierExpectTx && A.NumOps == 2 &&
+      B.Op == BcOp::TmaLoadAsync && B.NumOps >= 4 && B.NumOps < 250) {
+    Inst F = B;
+    F.Op = BcOp::TmaLoadAsyncTx;
+    F.FImm = static_cast<double>(A.Imm0);
+    std::vector<int32_t> Ops;
+    Ops.reserve(B.NumOps + 2);
+    Ops.push_back(slotOf(A, 0)); // txbar
+    Ops.push_back(slotOf(A, 1)); // txidx
+    for (int64_t K = 0; K < B.NumOps; ++K)
+      Ops.push_back(slotOf(B, K));
+    F.OpBegin = appendOperands(Ops);
+    F.NumOps = static_cast<uint8_t>(B.NumOps + 2);
+    Out.push_back(F);
+    ++S.NumTmaLoadAsyncTx;
+    return 2;
+  }
+
+  // MBarrierWait + MBarrierWaitBlock [+ SmemRead]. The two wait halves are
+  // always emitted as an adjacent pair over the same (bar, idx, parity)
+  // operands; a predicate-extended wait (NumOps != 3) is left alone.
+  if (A.Op == BcOp::MBarrierWait && A.NumOps == 3 &&
+      B.Op == BcOp::MBarrierWaitBlock && B.NumOps == 3 &&
+      sameWaitOperands(A, B)) {
+    if (I + 2 < N && !IsTarget[I + 2] && Code[I + 2].Op == BcOp::SmemRead &&
+        Code[I + 2].NumOps == 2) {
+      const Inst &C = Code[I + 2];
+      Inst F = C; // SmemRead's Result/ResultTy/Imm2/Imm3 carry over.
+      F.Op = BcOp::WaitRead;
+      F.OpBegin = appendOperands(
+          {slotOf(A, 0), slotOf(A, 1), slotOf(A, 2), slotOf(C, 0),
+           slotOf(C, 1)});
+      F.NumOps = 5;
+      Out.push_back(F);
+      ++S.NumWaitRead;
+      return 3;
+    }
+    Inst F = A; // Wait operands (bar, idx, parity) reused in place.
+    F.Op = BcOp::WaitFused;
+    Out.push_back(F);
+    ++S.NumWaitFused;
+    return 2;
+  }
+
+  // AddPtr + TmaLoadAsync -> TmaLoadAsyncOff: the pointer-advance feeding
+  // the async copy's descriptor is computed inline; the AddPtr's dead
+  // destination slot is elided and its precomputed cost rides in FImm
+  // (unused by TmaLoadAsync).
+  if (A.Op == BcOp::AddPtr && A.NumOps == 2 &&
+      B.Op == BcOp::TmaLoadAsync && B.NumOps >= 4 && B.NumOps < 250 &&
+      slotOf(B, 0) == A.Result && deadAfterConsumer(A.Result)) {
+    Inst F = B;
+    F.Op = BcOp::TmaLoadAsyncOff;
+    F.FImm = A.Cost;
+    std::vector<int32_t> Ops;
+    Ops.reserve(B.NumOps + 1);
+    Ops.push_back(slotOf(A, 0)); // ptr
+    Ops.push_back(slotOf(A, 1)); // off
+    for (int64_t K = 1; K < B.NumOps; ++K)
+      Ops.push_back(slotOf(B, K));
+    F.OpBegin = appendOperands(Ops);
+    F.NumOps = static_cast<uint8_t>(B.NumOps + 1);
+    Out.push_back(F);
+    ++S.NumTmaLoadAsyncOff;
+    return 2;
+  }
+
+  return 0;
+}
+
+void Fuser::fuseRegion(RegionProgram &RP) {
+  size_t N = RP.Code.size();
+
+  // Control-transfer targets inside this region, and the loops whose
+  // records must be remapped after instructions move.
+  std::vector<char> IsTarget(N + 1, 0);
+  std::vector<int32_t> RegionLoops;
+  for (const Inst &I : RP.Code) {
+    if (I.Op != BcOp::LoopBegin)
+      continue;
+    RegionLoops.push_back(I.Aux);
+    const LoopInfo &L = P.Loops[I.Aux];
+    if (L.BodyPc >= 0 && static_cast<size_t>(L.BodyPc) <= N)
+      IsTarget[L.BodyPc] = 1;
+    if (L.ExitPc >= 0 && static_cast<size_t>(L.ExitPc) <= N)
+      IsTarget[L.ExitPc] = 1;
+  }
+
+  std::vector<Inst> Out;
+  Out.reserve(N);
+  std::vector<int32_t> PcMap(N + 1, 0);
+  for (size_t I = 0; I < N;) {
+    int32_t NewPc = static_cast<int32_t>(Out.size());
+    size_t Consumed = tryFuse(RP, I, IsTarget, Out);
+    if (Consumed) {
+      // Consumed tails are never jump targets (checked in tryFuse); map
+      // them to the superinstruction for completeness.
+      for (size_t K = 0; K < Consumed; ++K)
+        PcMap[I + K] = NewPc;
+      I += Consumed;
+      continue;
+    }
+    PcMap[I] = NewPc;
+    Inst C = RP.Code[I];
+    if (C.Op == BcOp::LoopEnd) {
+      // Back-edge fast path: when no yield slot aliases an iter slot (the
+      // dominant shape — yields are body-computed values, iter slots are
+      // block arguments), the gather-then-scatter staging that makes the
+      // general permute safe is pure overhead and a direct slot-by-slot
+      // copy is identical.
+      const LoopInfo &L = P.Loops[C.Aux];
+      bool Aliases = false;
+      for (int32_t Y : L.YieldSlots)
+        for (int32_t It : L.IterSlots)
+          if (Y == It)
+            Aliases = true;
+      if (!L.Pipelined && L.YieldSlots.size() == L.IterSlots.size() &&
+          (L.YieldSlots.size() <= 1 || !Aliases)) {
+        C.Op = BcOp::LoopEndFast;
+        ++S.NumLoopEndFast;
+      }
+    }
+    Out.push_back(C);
+    ++I;
+  }
+  PcMap[N] = static_cast<int32_t>(Out.size());
+
+  for (int32_t LoopId : RegionLoops) {
+    LoopInfo &L = P.Loops[LoopId];
+    // Same range guard as the IsTarget marking above: a loop record with
+    // out-of-range targets (compiler defect) is left untouched rather
+    // than remapped through an out-of-bounds PcMap read.
+    if (L.BodyPc >= 0 && static_cast<size_t>(L.BodyPc) <= N)
+      L.BodyPc = PcMap[L.BodyPc];
+    if (L.ExitPc >= 0 && static_cast<size_t>(L.ExitPc) <= N)
+      L.ExitPc = PcMap[L.ExitPc];
+  }
+  RP.Code = std::move(Out);
+}
+
+} // namespace
+
+FusionStats tawa::sim::bc::fuseProgram(CompiledProgram &P) {
+  FusionStats S;
+  auto CountInsts = [&P] {
+    int64_t N = static_cast<int64_t>(P.Preamble.Code.size());
+    for (const RegionProgram &RP : P.Agents)
+      N += static_cast<int64_t>(RP.Code.size());
+    return N;
+  };
+  S.InstsBefore = CountInsts();
+  Fuser F(P, S);
+  // Two passes: the second fuses chains of first-pass superinstructions
+  // (IntBinImm2, ConstIntBin2, WaitRead2) — a fixpoint, since no pattern
+  // matches a pass-2 opcode.
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    F.fuseRegion(P.Preamble);
+    for (RegionProgram &RP : P.Agents)
+      F.fuseRegion(RP);
+  }
+  // Compact OperandSlots: every fusion appended a fresh tuple and
+  // stranded the consumed instructions' old ones (pass 2 additionally
+  // strands pass-1 tuples). Rebuilding from the surviving instructions
+  // keeps cache entries and serialized blobs free of dead slots.
+  std::vector<int32_t> Compacted;
+  Compacted.reserve(P.OperandSlots.size());
+  auto CompactRegion = [&](RegionProgram &RP) {
+    for (Inst &I : RP.Code) {
+      int32_t Begin = static_cast<int32_t>(Compacted.size());
+      for (int64_t K = 0; K < I.NumOps; ++K)
+        Compacted.push_back(P.OperandSlots[I.OpBegin + K]);
+      I.OpBegin = Begin;
+    }
+  };
+  CompactRegion(P.Preamble);
+  for (RegionProgram &RP : P.Agents)
+    CompactRegion(RP);
+  P.OperandSlots = std::move(Compacted);
+
+  S.InstsAfter = CountInsts();
+  P.Fused = true;
+  P.Fusion = S;
+  return S;
+}
+
+bool tawa::sim::bc::fusionEnabled(bool Requested) {
+  return Requested && std::getenv("TAWA_NO_FUSE") == nullptr;
+}

@@ -179,7 +179,7 @@ ProgramCache &ProgramCache::shared() {
 
 ProgramCache::EntryRef ProgramCache::getOrCompile(
     const std::string &Key, const GpuConfig &Config, bool NeedModule,
-    bool NeedProgram,
+    bool NeedProgram, bool Fuse,
     const std::function<EntryRef(std::string &Err)> &Compile,
     std::string &Err, Outcome *Out) {
   Impl &I = *Pimpl;
@@ -218,7 +218,7 @@ ProgramCache::EntryRef ProgramCache::getOrCompile(
     auto E = std::make_shared<Entry>();
     E->Ctx = NeedsFlatten->Ctx;
     E->M = NeedsFlatten->M;
-    E->Prog = bc::compileModule(*E->M, Config);
+    E->Prog = bc::compileModule(*E->M, Config, Fuse);
     if (E->Prog && E->Prog->CompileError.empty())
       Impl::saveToDisk(Dir, FullKey, *E->Prog);
     std::lock_guard<std::mutex> L(I.Mu);

@@ -85,14 +85,16 @@ public:
   /// \p Err set; failed compiles are never cached. \p NeedProgram makes
   /// the returned entry carry a CompiledProgram; a legacy-compiled
   /// resident entry is flattened into a replacement entry (sharing its
-  /// module) that supersedes it in the map.
+  /// module) that supersedes it in the map. \p Fuse controls the peephole
+  /// pass of that lazy flatten — callers fold it into \p Key as well, so
+  /// fused and unfused programs never alias an entry.
   ///
   /// Thread-safe; \p Compile and the lazy flatten run outside the cache
   /// lock (two threads racing the same key may both compile — last one
   /// wins, both get valid entries).
   EntryRef getOrCompile(const std::string &Key,
                         const sim::GpuConfig &Config, bool NeedModule,
-                        bool NeedProgram,
+                        bool NeedProgram, bool Fuse,
                         const std::function<EntryRef(std::string &Err)>
                             &Compile,
                         std::string &Err, Outcome *Out = nullptr);

@@ -1,12 +1,14 @@
 //===- bytecode_diff_test.cpp - Engine equivalence proofs ---------------------//
 //
 // Runs every kernel family (GEMM variants, MHA variants, hand-built aref
-// protocol rings) through BOTH execution engines — the legacy tree-walking
-// interpreter (RunOptions::UseLegacyInterp) and the bytecode executor — and
-// asserts bit-identical numerics, identical trace event sequences, identical
-// happens-before event counts, and identical diagnostics (including the
-// deadlock report). The legacy engine is the oracle; any drift here is a
-// bytecode compiler/executor bug.
+// protocol rings) through THREE engines — the legacy tree-walking
+// interpreter (RunOptions::UseLegacyInterp), the unfused bytecode executor
+// (RunOptions::FuseBytecode = false), and the fused bytecode executor
+// (superinstructions, the default) — and asserts bit-identical numerics,
+// identical trace event sequences, identical happens-before event counts,
+// and identical diagnostics (including the deadlock report). The legacy
+// engine is the oracle; any drift here is a bytecode compiler/executor (or
+// peephole fusion) bug.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +27,15 @@ using namespace tawa;
 using namespace tawa::sim;
 
 namespace {
+
+/// The three engine configurations every differential case runs:
+/// 0 = legacy oracle, 1 = unfused bytecode, 2 = fused bytecode.
+constexpr int NumEngines = 3;
+
+void configureEngine(RunOptions &Opts, int Engine) {
+  Opts.UseLegacyInterp = Engine == 0;
+  Opts.FuseBytecode = Engine == 2;
+}
 
 void expectTensorsBitIdentical(const TensorData &A, const TensorData &B) {
   ASSERT_EQ(A.getShape(), B.getShape());
@@ -108,10 +119,10 @@ void diffGemm(const GemmDiffCase &C) {
       Persistent ? std::min<int64_t>(Cfg.NumSms, Tiles) : Tiles;
   int64_t GridY = C.Batch;
 
-  TensorRef Outputs[2];
-  std::vector<CtaTrace> Traces[2];
-  std::string Errors[2];
-  for (int Engine = 0; Engine < 2; ++Engine) {
+  TensorRef Outputs[NumEngines];
+  std::vector<CtaTrace> Traces[NumEngines];
+  std::string Errors[NumEngines];
+  for (int Engine = 0; Engine < NumEngines; ++Engine) {
     std::vector<int64_t> AShape = {C.M, C.K};
     std::vector<int64_t> BShape = {C.N, C.K};
     std::vector<int64_t> CShape = {C.M, C.N};
@@ -130,7 +141,7 @@ void diffGemm(const GemmDiffCase &C) {
     Launch.GridX = GridX;
     Launch.GridY = GridY;
     Launch.Functional = true;
-    Launch.UseLegacyInterp = Engine == 0;
+    configureEngine(Launch, Engine);
     Launch.Args = {RuntimeArg::tensor(A),  RuntimeArg::tensor(B),
                    RuntimeArg::tensor(Cc), RuntimeArg::scalar(C.M),
                    RuntimeArg::scalar(C.N), RuntimeArg::scalar(C.K)};
@@ -140,12 +151,14 @@ void diffGemm(const GemmDiffCase &C) {
     Outputs[Engine] = Cc;
   }
 
-  EXPECT_EQ(Errors[0], Errors[1]);
   ASSERT_EQ(Errors[0], "");
-  expectTensorsBitIdentical(*Outputs[0], *Outputs[1]);
-  ASSERT_EQ(Traces[0].size(), Traces[1].size());
-  for (size_t I = 0; I < Traces[0].size(); ++I)
-    expectTracesIdentical(Traces[0][I], Traces[1][I]);
+  for (int Engine = 1; Engine < NumEngines; ++Engine) {
+    EXPECT_EQ(Errors[0], Errors[Engine]);
+    expectTensorsBitIdentical(*Outputs[0], *Outputs[Engine]);
+    ASSERT_EQ(Traces[0].size(), Traces[Engine].size());
+    for (size_t I = 0; I < Traces[0].size(); ++I)
+      expectTracesIdentical(Traces[0][I], Traces[Engine][I]);
+  }
 
   // Timing-only mode (the benchmark hot path) must also agree exactly.
   RunOptions Timing;
@@ -155,14 +168,14 @@ void diffGemm(const GemmDiffCase &C) {
   Timing.Args = {RuntimeArg::tensor(nullptr), RuntimeArg::tensor(nullptr),
                  RuntimeArg::tensor(nullptr), RuntimeArg::scalar(C.M),
                  RuntimeArg::scalar(C.N),     RuntimeArg::scalar(C.K)};
-  CtaTrace Lt, Bt;
-  Timing.UseLegacyInterp = true;
-  Interpreter InterpL(*Mod, Cfg);
-  ASSERT_EQ(InterpL.runCta(Timing, 0, 0, Lt), "");
-  Timing.UseLegacyInterp = false;
-  Interpreter InterpB(*Mod, Cfg);
-  ASSERT_EQ(InterpB.runCta(Timing, 0, 0, Bt), "");
-  expectTracesIdentical(Lt, Bt);
+  CtaTrace TimingTraces[NumEngines];
+  for (int Engine = 0; Engine < NumEngines; ++Engine) {
+    configureEngine(Timing, Engine);
+    Interpreter Interp(*Mod, Cfg);
+    ASSERT_EQ(Interp.runCta(Timing, 0, 0, TimingTraces[Engine]), "");
+  }
+  expectTracesIdentical(TimingTraces[0], TimingTraces[1]);
+  expectTracesIdentical(TimingTraces[0], TimingTraces[2]);
 }
 
 TEST(BytecodeDiff, GemmWarpSpecialized) {
@@ -237,10 +250,10 @@ void diffAttention(const MhaDiffCase &C) {
   int64_t QTiles = ceilDiv(C.SeqLen, C.Kernel.TileQ);
   int64_t BH = C.Batch * C.Heads;
 
-  TensorRef Outputs[2];
-  std::vector<CtaTrace> Traces[2];
-  std::string Errors[2];
-  for (int Engine = 0; Engine < 2; ++Engine) {
+  TensorRef Outputs[NumEngines];
+  std::vector<CtaTrace> Traces[NumEngines];
+  std::string Errors[NumEngines];
+  for (int Engine = 0; Engine < NumEngines; ++Engine) {
     std::vector<int64_t> Shape = {BH, C.SeqLen, C.Kernel.HeadDim};
     auto Q = std::make_shared<TensorData>(Shape);
     auto K = std::make_shared<TensorData>(Shape);
@@ -254,7 +267,7 @@ void diffAttention(const MhaDiffCase &C) {
     Launch.GridX = QTiles;
     Launch.GridY = BH;
     Launch.Functional = true;
-    Launch.UseLegacyInterp = Engine == 0;
+    configureEngine(Launch, Engine);
     Launch.Args = {RuntimeArg::tensor(Q), RuntimeArg::tensor(K),
                    RuntimeArg::tensor(V), RuntimeArg::tensor(O),
                    RuntimeArg::scalar(C.SeqLen)};
@@ -264,12 +277,14 @@ void diffAttention(const MhaDiffCase &C) {
     Outputs[Engine] = O;
   }
 
-  EXPECT_EQ(Errors[0], Errors[1]);
   ASSERT_EQ(Errors[0], "");
-  expectTensorsBitIdentical(*Outputs[0], *Outputs[1]);
-  ASSERT_EQ(Traces[0].size(), Traces[1].size());
-  for (size_t I = 0; I < Traces[0].size(); ++I)
-    expectTracesIdentical(Traces[0][I], Traces[1][I]);
+  for (int Engine = 1; Engine < NumEngines; ++Engine) {
+    EXPECT_EQ(Errors[0], Errors[Engine]);
+    expectTensorsBitIdentical(*Outputs[0], *Outputs[Engine]);
+    ASSERT_EQ(Traces[0].size(), Traces[Engine].size());
+    for (size_t I = 0; I < Traces[0].size(); ++I)
+      expectTracesIdentical(Traces[0][I], Traces[Engine][I]);
+  }
 }
 
 TEST(BytecodeDiff, AttentionWarpSpecialized) {
@@ -381,24 +396,26 @@ TEST(BytecodeDiff, ArefProtocolRing) {
                                /*SkipRelease=*/false);
   ASSERT_EQ(verify(*Mod), "");
 
-  CtaTrace Traces[2];
-  TensorRef Outputs[2];
-  std::string Errors[2];
-  for (int Engine = 0; Engine < 2; ++Engine) {
+  CtaTrace Traces[NumEngines];
+  TensorRef Outputs[NumEngines];
+  std::string Errors[NumEngines];
+  for (int Engine = 0; Engine < NumEngines; ++Engine) {
     auto In = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
     auto Out = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
     In->fillRandom(3);
     RunOptions Opts;
-    Opts.UseLegacyInterp = Engine == 0;
+    configureEngine(Opts, Engine);
     Opts.Args = {RuntimeArg::tensor(In), RuntimeArg::tensor(Out)};
     Interpreter Interp(*Mod, Cfg);
     Errors[Engine] = Interp.runCta(Opts, 0, 0, Traces[Engine]);
     Outputs[Engine] = Out;
   }
   EXPECT_EQ(Errors[0], "");
-  EXPECT_EQ(Errors[1], "");
-  expectTensorsBitIdentical(*Outputs[0], *Outputs[1]);
-  expectTracesIdentical(Traces[0], Traces[1]);
+  for (int Engine = 1; Engine < NumEngines; ++Engine) {
+    EXPECT_EQ(Errors[Engine], "");
+    expectTensorsBitIdentical(*Outputs[0], *Outputs[Engine]);
+    expectTracesIdentical(Traces[0], Traces[Engine]);
+  }
 }
 
 TEST(BytecodeDiff, NestedWarpGroupAtAgentTopLevelIgnored) {
@@ -421,17 +438,19 @@ TEST(BytecodeDiff, NestedWarpGroupAtAgentTopLevelIgnored) {
   }
   B.createReturn();
 
-  CtaTrace Traces[2];
-  std::string Errors[2];
-  for (int Engine = 0; Engine < 2; ++Engine) {
+  CtaTrace Traces[NumEngines];
+  std::string Errors[NumEngines];
+  for (int Engine = 0; Engine < NumEngines; ++Engine) {
     RunOptions Opts;
-    Opts.UseLegacyInterp = Engine == 0;
+    configureEngine(Opts, Engine);
     Interpreter Interp(Mod, Cfg);
     Errors[Engine] = Interp.runCta(Opts, 0, 0, Traces[Engine]);
   }
   EXPECT_EQ(Errors[0], "");
-  EXPECT_EQ(Errors[1], "");
-  expectTracesIdentical(Traces[0], Traces[1]);
+  for (int Engine = 1; Engine < NumEngines; ++Engine) {
+    EXPECT_EQ(Errors[Engine], "");
+    expectTracesIdentical(Traces[0], Traces[Engine]);
+  }
 }
 
 TEST(BytecodeDiff, DeadlockDiagnosticsMatch) {
@@ -443,20 +462,21 @@ TEST(BytecodeDiff, DeadlockDiagnosticsMatch) {
                                /*SkipRelease=*/true);
   ASSERT_EQ(verify(*Mod), "");
 
-  std::string Errors[2];
-  for (int Engine = 0; Engine < 2; ++Engine) {
+  std::string Errors[NumEngines];
+  for (int Engine = 0; Engine < NumEngines; ++Engine) {
     auto In = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
     auto Out = std::make_shared<TensorData>(std::vector<int64_t>{64, 64});
     In->fillRandom(3);
     RunOptions Opts;
-    Opts.UseLegacyInterp = Engine == 0;
+    configureEngine(Opts, Engine);
     Opts.Args = {RuntimeArg::tensor(In), RuntimeArg::tensor(Out)};
     Interpreter Interp(*Mod, Cfg);
     CtaTrace T;
     Errors[Engine] = Interp.runCta(Opts, 0, 0, T);
   }
   EXPECT_NE(Errors[0].find("deadlock"), std::string::npos) << Errors[0];
-  EXPECT_EQ(Errors[0], Errors[1]);
+  for (int Engine = 1; Engine < NumEngines; ++Engine)
+    EXPECT_EQ(Errors[0], Errors[Engine]);
 }
 
 } // namespace

@@ -78,10 +78,14 @@ TEST(ParallelDeterminism, GemmGridWorkerCountInvariant) {
   buildTawaPipeline(PM, Options);
   ASSERT_EQ(PM.run(*Mod), "");
 
-  const int64_t M = 256, N = 256, K = 128; // 2x2 grid of 128x128 tiles.
+  // 4x2 grid of 128x128 tiles: >= SerialGridCtaThreshold, so the parallel
+  // fan-out path (not the small-grid serial fallback) is what runs here —
+  // and what the TSan leg races against.
+  const int64_t M = 512, N = 256, K = 128;
   int64_t GridX =
       ceilDiv(M, Kernel.TileM) * ceilDiv(N, Kernel.TileN);
-  ASSERT_EQ(GridX, 4);
+  ASSERT_EQ(GridX, 8);
+  ASSERT_GE(GridX, SerialGridCtaThreshold);
 
   TensorRef RefC;
   std::vector<CtaTrace> RefTraces;

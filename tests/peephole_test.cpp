@@ -1,0 +1,372 @@
+//===- peephole_test.cpp - Superinstruction fusion rewrites -------------------//
+//
+// Pins every peephole rewrite pattern (sim/Peephole.h) on hand-built
+// instruction streams: the positive rewrites (opcode, immediates, operand
+// layout), the do-not-fuse legality cases (pair split across a loop
+// boundary, first result live between the pair, predicate-extended waits),
+// the loop-target remapping after instructions move, and the second fusion
+// pass over first-pass superinstructions. Semantics equivalence on real
+// kernels is tests/bytecode_diff_test.cpp's three-way differential; this
+// file is about the transformation itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Bytecode.h"
+#include "sim/Peephole.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <initializer_list>
+
+using namespace tawa;
+using namespace tawa::sim;
+using namespace tawa::sim::bc;
+
+namespace {
+
+/// Builds a single-region (preamble-only) program instruction by
+/// instruction. Slots are caller-chosen integers below NumSlots.
+struct ProgBuilder {
+  CompiledProgram P;
+
+  ProgBuilder() { P.NumSlots = 64; }
+
+  Inst &add(BcOp Op, int32_t Result = -1,
+            std::initializer_list<int32_t> Ops = {}) {
+    Inst I;
+    I.Op = Op;
+    I.Result = Result;
+    I.OpBegin = static_cast<int32_t>(P.OperandSlots.size());
+    I.NumOps = static_cast<uint8_t>(Ops.size());
+    for (int32_t S : Ops)
+      P.OperandSlots.push_back(S);
+    P.Preamble.Code.push_back(I);
+    return P.Preamble.Code.back();
+  }
+
+  Inst &constInt(int32_t Slot, int64_t Value) {
+    Inst &I = add(BcOp::ConstInt, Slot);
+    I.Imm0 = Value;
+    return I;
+  }
+
+  Inst &intBin(int32_t Result, int32_t A, int32_t B, int64_t Kind = 10) {
+    Inst &I = add(BcOp::IntBin, Result, {A, B});
+    I.Imm0 = Kind;
+    I.Cost = 1.0;
+    return I;
+  }
+
+  void halt() { add(BcOp::Halt); }
+
+  const std::vector<Inst> &code() const { return P.Preamble.Code; }
+  int32_t slot(const Inst &I, int64_t K) const {
+    return P.OperandSlots[I.OpBegin + K];
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ConstInt + IntBin
+//===----------------------------------------------------------------------===//
+
+TEST(Peephole, ConstIntBinElidedWhenConstDead) {
+  ProgBuilder B;
+  B.constInt(5, 42);
+  B.intBin(6, 3, 5); // Slot 5 read exactly once, by this op.
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumIntBinImm, 1);
+  ASSERT_EQ(B.code().size(), 2u); // IntBinImm + Halt.
+  const Inst &F = B.code()[0];
+  EXPECT_EQ(F.Op, BcOp::IntBinImm);
+  EXPECT_EQ(F.Imm1, 42);  // The constant.
+  EXPECT_EQ(F.Imm2, 1);   // It was operand 1.
+  EXPECT_EQ(F.Result, 6);
+  ASSERT_EQ(F.NumOps, 1); // Only the variable side remains.
+  EXPECT_EQ(B.slot(F, 0), 3);
+  EXPECT_TRUE(B.P.Fused);
+}
+
+TEST(Peephole, ConstKeptWhenStillLive) {
+  // Slot 5 is read again by a later instruction: the write must be kept —
+  // ConstIntBin, not IntBinImm.
+  ProgBuilder B;
+  B.constInt(5, 7);
+  B.intBin(6, 5, 3);
+  B.intBin(7, 5, 6); // Second read of slot 5.
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumIntBinImm, 0);
+  // Pass 2 folds the trailing IntBin into the ConstIntBin.
+  EXPECT_EQ(S.NumConstIntBin2, 1);
+  ASSERT_GE(B.code().size(), 2u);
+  const Inst &F = B.code()[0];
+  EXPECT_EQ(F.Op, BcOp::ConstIntBin2);
+  EXPECT_EQ(F.Imm1, 7); // Constant value.
+  EXPECT_EQ(F.Imm3, 5); // Constant slot, still written.
+  EXPECT_EQ(F.Result, 6);
+  EXPECT_EQ(static_cast<int32_t>(F.Imm2 >> 16), 7); // Second result.
+}
+
+TEST(Peephole, PairSplitAcrossLoopBoundaryNotFused) {
+  // The IntBin is a loop's body target: a back edge would re-enter the
+  // middle of the superinstruction, so the pair must stay unfused.
+  ProgBuilder B;
+  B.constInt(5, 1);
+  B.intBin(6, 3, 5);
+  B.halt();
+  LoopInfo L;
+  L.BodyPc = 1; // Lands on the IntBin.
+  L.ExitPc = 2;
+  B.P.Loops.push_back(L);
+  // A LoopBegin elsewhere marks the loop as belonging to this region.
+  Inst Begin;
+  Begin.Op = BcOp::LoopBegin;
+  Begin.Aux = 0;
+  B.P.Preamble.Code.push_back(Begin);
+
+  FusionStats S = fuseProgram(B.P);
+  EXPECT_EQ(S.NumIntBinImm + S.NumConstIntBin, 0);
+  EXPECT_EQ(B.code()[0].Op, BcOp::ConstInt);
+  EXPECT_EQ(B.code()[1].Op, BcOp::IntBin);
+}
+
+//===----------------------------------------------------------------------===//
+// MBarrier wait fusion
+//===----------------------------------------------------------------------===//
+
+TEST(Peephole, WaitPairFusesAndTripleAbsorbsSmemRead) {
+  ProgBuilder B;
+  // Wait + block + read -> WaitRead.
+  B.add(BcOp::MBarrierWait, -1, {1, 2, 3});
+  B.add(BcOp::MBarrierWaitBlock, -1, {1, 2, 3});
+  Inst &Read = B.add(BcOp::SmemRead, 9, {4, 2});
+  Read.Imm2 = 1; // Field index.
+  // Wait + block with no read -> WaitFused.
+  B.add(BcOp::MBarrierWait, -1, {1, 2, 3});
+  B.add(BcOp::MBarrierWaitBlock, -1, {1, 2, 3});
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumWaitRead, 1);
+  EXPECT_EQ(S.NumWaitFused, 1);
+  ASSERT_EQ(B.code().size(), 3u);
+  const Inst &WR = B.code()[0];
+  EXPECT_EQ(WR.Op, BcOp::WaitRead);
+  ASSERT_EQ(WR.NumOps, 5); // (bar, idx, parity, smem, slot).
+  EXPECT_EQ(B.slot(WR, 0), 1);
+  EXPECT_EQ(B.slot(WR, 3), 4);
+  EXPECT_EQ(B.slot(WR, 4), 2);
+  EXPECT_EQ(WR.Result, 9);
+  EXPECT_EQ(WR.Imm2, 1);
+  EXPECT_EQ(B.code()[1].Op, BcOp::WaitFused);
+}
+
+TEST(Peephole, PredicatedWaitNotFused) {
+  // A wait with a predicate-extended operand list (4 operands) must stay
+  // as the two-instruction sequence.
+  ProgBuilder B;
+  B.add(BcOp::MBarrierWait, -1, {1, 2, 3, 7});
+  B.add(BcOp::MBarrierWaitBlock, -1, {1, 2, 3, 7});
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumWaitFused + S.NumWaitRead, 0);
+  EXPECT_EQ(B.code()[0].Op, BcOp::MBarrierWait);
+  EXPECT_EQ(B.code()[1].Op, BcOp::MBarrierWaitBlock);
+}
+
+//===----------------------------------------------------------------------===//
+// AddPtr + TmaLoadAsync
+//===----------------------------------------------------------------------===//
+
+TEST(Peephole, AddPtrFoldsIntoTmaLoadAsync) {
+  ProgBuilder B;
+  Inst &Add = B.add(BcOp::AddPtr, 8, {5, 6});
+  Add.Cost = 2.5;
+  // (desc=8, offset, smem, bar, idx); Imm0 = one offset operand.
+  Inst &Tma = B.add(BcOp::TmaLoadAsync, -1, {8, 9, 10, 11, 12});
+  Tma.Imm0 = 1;
+  Tma.Imm1 = 4096;
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumTmaLoadAsyncOff, 1);
+  const Inst &F = B.code()[0];
+  EXPECT_EQ(F.Op, BcOp::TmaLoadAsyncOff);
+  ASSERT_EQ(F.NumOps, 6); // (ptr, off) + the TmaLoadAsync operands sans desc.
+  EXPECT_EQ(B.slot(F, 0), 5);
+  EXPECT_EQ(B.slot(F, 1), 6);
+  EXPECT_EQ(B.slot(F, 2), 9); // First original post-desc operand.
+  EXPECT_EQ(F.FImm, 2.5);     // The AddPtr's precomputed cost.
+  EXPECT_EQ(F.Imm1, 4096);
+}
+
+TEST(Peephole, AddPtrWithLiveResultNotFused) {
+  ProgBuilder B;
+  B.add(BcOp::AddPtr, 8, {5, 6});
+  Inst &Tma = B.add(BcOp::TmaLoadAsync, -1, {8, 9, 10, 11, 12});
+  Tma.Imm0 = 1;
+  B.add(BcOp::Store, -1, {8, 9}); // Slot 8 read again: keep the AddPtr.
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumTmaLoadAsyncOff, 0);
+  EXPECT_EQ(B.code()[0].Op, BcOp::AddPtr);
+  EXPECT_EQ(B.code()[1].Op, BcOp::TmaLoadAsync);
+}
+
+//===----------------------------------------------------------------------===//
+// LoopEnd fast path + target remapping
+//===----------------------------------------------------------------------===//
+
+TEST(Peephole, LoopEndSpecializationRules) {
+  ProgBuilder B;
+  // Loop 0: single yield, not pipelined -> fast path.
+  // Loop 1: pipelined -> untouched.
+  // Loop 2: multi-yield with an iter/yield alias -> untouched.
+  LoopInfo L0;
+  L0.IterSlots = {10};
+  L0.YieldSlots = {11};
+  LoopInfo L1 = L0;
+  L1.Pipelined = true;
+  LoopInfo L2;
+  L2.IterSlots = {12, 13};
+  L2.YieldSlots = {13, 20}; // Yield reads iter slot 13: aliasing permute.
+  B.P.Loops = {L0, L1, L2};
+  for (int32_t Id = 0; Id < 3; ++Id) {
+    Inst &Begin = B.add(BcOp::LoopBegin);
+    Begin.Aux = Id;
+    Inst &End = B.add(BcOp::LoopEnd);
+    End.Aux = Id;
+    B.P.Loops[Id].BodyPc = 2 * Id + 1;
+    B.P.Loops[Id].ExitPc = 2 * Id + 2;
+  }
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumLoopEndFast, 1);
+  EXPECT_EQ(B.code()[1].Op, BcOp::LoopEndFast);
+  EXPECT_EQ(B.code()[3].Op, BcOp::LoopEnd);
+  EXPECT_EQ(B.code()[5].Op, BcOp::LoopEnd);
+}
+
+TEST(Peephole, LoopTargetsRemappedAfterFusion) {
+  // A wait triple inside the loop body shrinks the stream by two; the
+  // loop's BodyPc/ExitPc must follow.
+  ProgBuilder B;
+  Inst &Begin = B.add(BcOp::LoopBegin);
+  Begin.Aux = 0;
+  B.add(BcOp::MBarrierWait, -1, {1, 2, 3});
+  B.add(BcOp::MBarrierWaitBlock, -1, {1, 2, 3});
+  Inst &Read = B.add(BcOp::SmemRead, 9, {4, 2});
+  Read.Imm2 = 0;
+  Inst &End = B.add(BcOp::LoopEnd);
+  End.Aux = 0;
+  B.halt();
+  LoopInfo L;
+  L.IterSlots = {10};
+  L.YieldSlots = {11};
+  L.BodyPc = 1;
+  L.ExitPc = 5; // The Halt.
+  B.P.Loops.push_back(L);
+
+  FusionStats S = fuseProgram(B.P);
+  EXPECT_EQ(S.NumWaitRead, 1);
+  ASSERT_EQ(B.code().size(), 4u); // Begin, WaitRead, LoopEndFast, Halt.
+  EXPECT_EQ(B.code()[2].Op, BcOp::LoopEndFast);
+  EXPECT_EQ(B.P.Loops[0].BodyPc, 1);
+  EXPECT_EQ(B.P.Loops[0].ExitPc, 3);
+  EXPECT_EQ(B.code()[B.P.Loops[0].ExitPc].Op, BcOp::Halt);
+}
+
+//===----------------------------------------------------------------------===//
+// Second pass: fusions over superinstructions
+//===----------------------------------------------------------------------===//
+
+TEST(Peephole, SecondPassMergesImmChains) {
+  // Two dead-const binop pairs -> two IntBinImm (pass 1) -> one
+  // IntBinImm2 (pass 2).
+  ProgBuilder B;
+  B.constInt(5, 3);
+  B.intBin(6, 4, 5, /*Kind=*/10);
+  B.constInt(7, 2);
+  B.intBin(8, 6, 7, /*Kind=*/11);
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumIntBinImm, 0); // Absorbed by the pass-2 merge.
+  EXPECT_EQ(S.NumIntBinImm2, 1);
+  ASSERT_EQ(B.code().size(), 2u);
+  const Inst &F = B.code()[0];
+  EXPECT_EQ(F.Op, BcOp::IntBinImm2);
+  EXPECT_EQ(F.Imm0 & 0xffff, 10);         // First kind.
+  EXPECT_EQ((F.Imm0 >> 16) & 0xffff, 11); // Second kind.
+  EXPECT_EQ(F.Imm1, 3);
+  EXPECT_EQ(F.Imm2, 2);
+  EXPECT_EQ(F.Result, 6);
+  EXPECT_EQ(F.Imm3, 8);
+  ASSERT_EQ(F.NumOps, 2);
+  EXPECT_EQ(B.slot(F, 0), 4);
+  EXPECT_EQ(B.slot(F, 1), 6); // Second variable side = first result.
+}
+
+TEST(Peephole, SecondPassMergesTwoFieldRead) {
+  ProgBuilder B;
+  B.add(BcOp::MBarrierWait, -1, {1, 2, 3});
+  B.add(BcOp::MBarrierWaitBlock, -1, {1, 2, 3});
+  Inst &R1 = B.add(BcOp::SmemRead, 8, {4, 2});
+  R1.Imm2 = 0;
+  Inst &R2 = B.add(BcOp::SmemRead, 9, {4, 2});
+  R2.Imm2 = 1;
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+
+  EXPECT_EQ(S.NumWaitRead, 0); // Upgraded to the two-read form.
+  EXPECT_EQ(S.NumWaitRead2, 1);
+  ASSERT_EQ(B.code().size(), 2u);
+  const Inst &F = B.code()[0];
+  EXPECT_EQ(F.Op, BcOp::WaitRead2);
+  ASSERT_EQ(F.NumOps, 7);
+  EXPECT_EQ(F.Result, 8);
+  EXPECT_EQ(F.Imm2, 0);  // First field.
+  EXPECT_EQ(F.Imm0, 9);  // Second result slot.
+  EXPECT_EQ(F.Imm1, 1);  // Second field.
+  EXPECT_EQ(B.slot(F, 5), 4);
+  EXPECT_EQ(B.slot(F, 6), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Coverage accounting + the environment kill switch
+//===----------------------------------------------------------------------===//
+
+TEST(Peephole, StatsCountInstructionsAndCoverage) {
+  ProgBuilder B;
+  B.constInt(5, 42);
+  B.intBin(6, 3, 5);
+  B.halt();
+  FusionStats S = fuseProgram(B.P);
+  EXPECT_EQ(S.InstsBefore, 3);
+  EXPECT_EQ(S.InstsAfter, 2);
+  EXPECT_GT(S.coverage(), 0.0);
+  EXPECT_LE(S.coverage(), 1.0);
+}
+
+TEST(Peephole, EnvKillSwitchOverridesRequest) {
+  // The suite itself runs under TAWA_NO_FUSE=1 in one CI leg — save and
+  // restore whatever is ambient.
+  const char *Ambient = std::getenv("TAWA_NO_FUSE");
+  ::setenv("TAWA_NO_FUSE", "1", 1);
+  EXPECT_FALSE(fusionEnabled(true));
+  EXPECT_FALSE(fusionEnabled(false));
+  ::unsetenv("TAWA_NO_FUSE");
+  EXPECT_TRUE(fusionEnabled(true));
+  EXPECT_FALSE(fusionEnabled(false));
+  if (Ambient)
+    ::setenv("TAWA_NO_FUSE", Ambient, 1);
+}
+
+} // namespace

@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -131,6 +132,18 @@ TEST(Serializer, RoundTripExecutesIdentically) {
   EXPECT_EQ(Loaded->NumSlots, Prog->NumSlots);
   EXPECT_EQ(Loaded->Agents.size(), Prog->Agents.size());
 
+  // The v2 header fields round-trip: the fusion flag and every rewrite
+  // counter (compileGemm compiles with fusion on by default).
+  EXPECT_TRUE(Prog->Fused);
+  EXPECT_EQ(Loaded->Fused, Prog->Fused);
+  EXPECT_EQ(Loaded->Fusion.InstsBefore, Prog->Fusion.InstsBefore);
+  EXPECT_EQ(Loaded->Fusion.InstsAfter, Prog->Fusion.InstsAfter);
+  EXPECT_EQ(Loaded->Fusion.NumIntBinImm, Prog->Fusion.NumIntBinImm);
+  EXPECT_EQ(Loaded->Fusion.NumWaitRead, Prog->Fusion.NumWaitRead);
+  EXPECT_EQ(Loaded->Fusion.NumWaitRead2, Prog->Fusion.NumWaitRead2);
+  EXPECT_EQ(Loaded->Fusion.NumLoopEndFast, Prog->Fusion.NumLoopEndFast);
+  EXPECT_GT(Loaded->Fusion.coverage(), 0.0);
+
   // The loaded program executes without any IR module, observably
   // identically to the original.
   RunOptions Launch = gemmTimingLaunch();
@@ -206,7 +219,7 @@ TEST(ProgramCacheLru, EvictsLeastRecentlyUsedFirst) {
   std::string Err;
   ProgramCache::Outcome Out;
   auto Get = [&](const char *Key) {
-    C.getOrCompile(Key, Cfg, false, false, Compile, Err, &Out);
+    C.getOrCompile(Key, Cfg, false, false, true, Compile, Err, &Out);
     return Out;
   };
 
@@ -232,10 +245,10 @@ TEST(ProgramCacheLru, ByteBoundEvicts) {
   };
   std::string Err;
   ProgramCache::Outcome Out;
-  C.getOrCompile("bytes-A", Cfg, false, false, Compile, Err, &Out);
-  C.getOrCompile("bytes-B", Cfg, false, false, Compile, Err, &Out);
+  C.getOrCompile("bytes-A", Cfg, false, false, true, Compile, Err, &Out);
+  C.getOrCompile("bytes-B", Cfg, false, false, true, Compile, Err, &Out);
   EXPECT_EQ(C.getStats().Entries, 1u);
-  C.getOrCompile("bytes-A", Cfg, false, false, Compile, Err, &Out);
+  C.getOrCompile("bytes-A", Cfg, false, false, true, Compile, Err, &Out);
   EXPECT_EQ(Out, ProgramCache::Outcome::Compiled); // A was evicted by B.
 }
 
@@ -313,6 +326,104 @@ TEST(ProgramCacheDisk, DamagedCacheFileFallsBackToRecompile) {
 
   std::error_code Ec;
   std::filesystem::remove_all(Dir, Ec);
+}
+
+TEST(ProgramCacheDisk, OldFormatVersionIsSilentlyRecompiled) {
+  // Version skew: a disk entry whose header claims SerialFormatVersion 1
+  // (with a valid checksum, so only the version check can reject it) must
+  // be silently recompiled by the current reader — never executed.
+  CacheGuard Guard;
+  auto Dir = makeTempDir("cache-skew");
+  auto &C = ProgramCache::shared();
+  C.setPersistDir(Dir.string());
+
+  GemmWorkload W;
+  RunResult Cold;
+  {
+    Runner R;
+    Cold = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Cold.ok()) << Cold.Error;
+  }
+
+  // Rewrite every cache file in place: patch the version field (offset 4)
+  // to 1 and re-sign the payload. The file keeps its current-version name,
+  // so the loader will read it and must reject on the version field.
+  size_t Patched = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    std::ifstream In(E.path(), std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    In.close();
+    ASSERT_GT(Bytes.size(), 16u);
+    uint32_t V = 1;
+    std::memcpy(&Bytes[4], &V, sizeof(V));
+    fixChecksum(Bytes);
+    // Methodology: the patched blob is exactly a version-1-labeled file.
+    ASSERT_EQ(bc::deserializeProgram(Bytes), nullptr);
+    std::ofstream Out(E.path(), std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    ++Patched;
+  }
+  ASSERT_GE(Patched, 1u);
+
+  C.clear(); // Simulated restart against the stale-version disk cache.
+  {
+    Runner R;
+    RunResult Res = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    EXPECT_EQ(R.cacheStats().Misses, 1u)
+        << "stale-version entry was not recompiled";
+    EXPECT_EQ(Res.Micros, Cold.Micros);
+  }
+  EXPECT_EQ(C.getStats().DiskHits, 0u);
+
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+}
+
+TEST(ProgramCacheKeys, FusedAndUnfusedNeverCollide) {
+  // The fusion flag is part of the compile key: a fused and an unfused
+  // Runner compiling the same kernel must produce two distinct in-memory
+  // entries (two compiles), and their reports must still match exactly —
+  // fusion is observably identical.
+  if (std::getenv("TAWA_NO_FUSE"))
+    GTEST_SKIP() << "fusion disabled process-wide: both Runners are "
+                    "legitimately unfused and share a key";
+  CacheGuard Guard;
+  GemmWorkload W;
+  FrameworkEnvelope E = getGemmEnvelope(Framework::Tawa, W);
+
+  Runner Fused;
+  Runner Unfused;
+  Unfused.FuseBytecode = false;
+  std::string KeyFused = Fused.compileKey(W, E);
+  std::string KeyUnfused = Unfused.compileKey(W, E);
+  ASSERT_FALSE(KeyFused.empty());
+  ASSERT_FALSE(KeyUnfused.empty());
+  EXPECT_NE(KeyFused, KeyUnfused);
+
+  auto &C = ProgramCache::shared();
+  size_t Entries0 = C.getStats().Entries;
+  RunResult RF = Fused.runGemm(Framework::Tawa, W);
+  RunResult RU = Unfused.runGemm(Framework::Tawa, W);
+  ASSERT_TRUE(RF.ok()) << RF.Error;
+  ASSERT_TRUE(RU.ok()) << RU.Error;
+  EXPECT_EQ(Fused.cacheStats().Misses, 1u);
+  EXPECT_EQ(Unfused.cacheStats().Misses, 1u)
+      << "unfused run hit the fused entry";
+  EXPECT_EQ(C.getStats().Entries, Entries0 + 2);
+
+  // Same kernel, same timing model — superinstructions change nothing
+  // observable.
+  EXPECT_EQ(RF.Micros, RU.Micros);
+  EXPECT_EQ(RF.TFlops, RU.TFlops);
+  EXPECT_EQ(RF.SmemBytes, RU.SmemBytes);
+
+  // Re-running each Runner hits its own entry.
+  ASSERT_TRUE(Fused.runGemm(Framework::Tawa, W).ok());
+  ASSERT_TRUE(Unfused.runGemm(Framework::Tawa, W).ok());
+  EXPECT_EQ(Fused.cacheStats().Hits, 1u);
+  EXPECT_EQ(Unfused.cacheStats().Hits, 1u);
 }
 
 TEST(ProgramCacheDisk, LegacyEngineBypassesDiskEntries) {
