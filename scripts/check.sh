@@ -38,12 +38,25 @@
 # races in the CTA worker pool / per-worker arenas fail the check.
 # Set TAWA_SKIP_TSAN=1 to skip that leg (e.g. on hosts without TSan
 # runtime support).
+#
+# Then a third build with AddressSanitizer + UBSan (-DTAWA_ASAN=ON) into
+# $BUILD_DIR-asan, running the full suite — including the fault-injection
+# tests, whose whole point is to drive the error/containment paths
+# (injected cache corruption, allocation failure, worker-task crashes)
+# where leaks and lifetime bugs hide. Set TAWA_SKIP_ASAN=1 to skip.
+#
+# Bench smoke invocations run under timeout(1): a livelocked engine fails
+# the check after the deadline instead of wedging CI (ctest tests carry
+# their own TIMEOUT property from CMakeLists.txt).
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 TSAN_DIR="${BUILD_DIR}-tsan"
+ASAN_DIR="${BUILD_DIR}-asan"
+# Watchdog for non-ctest smoke runs (seconds).
+SMOKE_TIMEOUT="${TAWA_SMOKE_TIMEOUT:-600}"
 
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DTAWA_WERROR=ON >/dev/null
@@ -55,7 +68,7 @@ echo "== ctest =="
 (cd "$BUILD_DIR" && ctest --output-on-failure --no-tests=error -j "$(nproc)")
 
 echo "== micro_interp (smoke) =="
-(cd "$BUILD_DIR" && ./micro_interp --smoke)
+(cd "$BUILD_DIR" && timeout "$SMOKE_TIMEOUT" ./micro_interp --smoke)
 
 echo "== fusion off: ctest + micro_interp equivalence (TAWA_NO_FUSE=1) =="
 # The whole suite must pass with the peephole fusion pass disabled (the
@@ -65,7 +78,8 @@ echo "== fusion off: ctest + micro_interp equivalence (TAWA_NO_FUSE=1) =="
 cp "$BUILD_DIR/BENCH_interp.json" "$BUILD_DIR/BENCH_interp-fused.json"
 (cd "$BUILD_DIR" && TAWA_NO_FUSE=1 ctest --output-on-failure \
   --no-tests=error -j "$(nproc)")
-(cd "$BUILD_DIR" && TAWA_NO_FUSE=1 ./micro_interp --smoke)
+(cd "$BUILD_DIR" &&
+  TAWA_NO_FUSE=1 timeout "$SMOKE_TIMEOUT" ./micro_interp --smoke)
 mv "$BUILD_DIR/BENCH_interp.json" "$BUILD_DIR/BENCH_interp-unfused.json"
 mv "$BUILD_DIR/BENCH_interp-fused.json" "$BUILD_DIR/BENCH_interp.json"
 # Workload names and per-CTA trace-op counts are deterministic and
@@ -116,7 +130,8 @@ echo "== sweep driver cold/warm smoke (fig8_gemm) =="
 # explicit check keeps set -e from aborting before the diagnostic.)
 run_fig8() { # <label> <output-json>
   if ! (cd "$BUILD_DIR" &&
-        TAWA_CACHE_DIR="$SWEEP_CACHE_DIR" ./fig8_gemm >/dev/null); then
+        TAWA_CACHE_DIR="$SWEEP_CACHE_DIR" \
+          timeout "$SMOKE_TIMEOUT" ./fig8_gemm >/dev/null); then
     echo "FAIL: fig8_gemm ($1) exited non-zero — run phase compiled" \
          "or the sweep errored"
     exit 1
@@ -215,6 +230,25 @@ if [[ "${TAWA_SKIP_TSAN:-0}" != "1" ]]; then
       --no-tests=error -j "$(nproc)")
 else
   echo "== tsan leg skipped (TAWA_SKIP_TSAN=1) =="
+fi
+
+if [[ "${TAWA_SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== asan configure =="
+  cmake -B "$ASAN_DIR" -S "$REPO_ROOT" -DTAWA_WERROR=ON -DTAWA_ASAN=ON \
+    >/dev/null
+  echo "== asan build =="
+  cmake --build "$ASAN_DIR" -j
+  echo "== asan ctest =="
+  # halt_on_error turns the first report into a hard failure;
+  # detect_leaks covers the contained-crash paths (an exception that
+  # unwinds past a raw allocation leaks — exactly what the
+  # fault-injection tests are meant to catch).
+  (cd "$ASAN_DIR" &&
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      ctest --output-on-failure --no-tests=error -j "$(nproc)")
+else
+  echo "== asan leg skipped (TAWA_SKIP_ASAN=1) =="
 fi
 
 echo "check.sh: OK"

@@ -339,6 +339,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   RunResult R;
   if (!E.Supported) {
     R.Supported = false;
+    R.Kind = ErrorKind::Unsupported;
     return R;
   }
   if (E.Analytic)
@@ -349,6 +350,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
     if (std::string Err = Options.validate(); !Err.empty()) {
       R.Feasible = false;
       R.Error = Err;
+      R.Kind = ErrorKind::Infeasible;
       return R;
     }
   }
@@ -364,6 +366,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
       Options, E.SwPipelineDepth, CompileErr);
   if (!Cached) {
     R.Error = "compile: " + CompileErr;
+    R.Kind = ErrorKind::CompileError;
     return R;
   }
 
@@ -389,6 +392,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   if (R.RegsPerThread > Config.MaxRegsPerThread) {
     R.Feasible = false;
     R.Error = "register budget exceeded (hard limit)";
+    R.Kind = ErrorKind::Infeasible;
     return R;
   }
   if (R.RegsPerThread > Budget) {
@@ -428,6 +432,8 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   Launch.UseLegacyInterp = UseLegacyInterp;
   Launch.NumWorkers = NumWorkers;
   Launch.FuseBytecode = FuseBytecode;
+  Launch.MaxSteps = MaxSteps;
+  Launch.MaxWallMs = MaxWallMs;
 
   Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
 
@@ -438,6 +444,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   if (Functional) {
     if (std::string Err = Interp.runGrid(Launch, &Sample); !Err.empty()) {
       R.Error = Err;
+      R.Kind = classifyError(R.Error);
       return R;
     }
     // Validate against the double-precision reference.
@@ -465,6 +472,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
     if (std::string Err = Interp.runCtaBatch(Launch, {{0, 0}}, Samples);
         !Err.empty()) {
       R.Error = Err;
+      R.Kind = classifyError(R.Error);
       return R;
     }
     Sample = std::move(Samples[0]);
@@ -476,6 +484,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
     R.Error = formatString("shared memory exceeded: %lld > %lld",
                            static_cast<long long>(Sample.SmemBytes),
                            static_cast<long long>(Config.SmemBytesPerSm));
+    R.Kind = ErrorKind::Infeasible;
     return R;
   }
 
@@ -500,6 +509,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   ReplayResult Rep = replaySmSchedule(Schedule, Config, Params);
   if (Rep.Deadlock) {
     R.Error = Rep.Error;
+    R.Kind = ErrorKind::Deadlock;
     return R;
   }
   R.Micros = Config.cyclesToMicros(Rep.Cycles) + E.ExtraLaunchMicros;
@@ -523,6 +533,7 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
   RunResult R;
   if (!E.Supported) {
     R.Supported = false;
+    R.Kind = ErrorKind::Unsupported;
     return R;
   }
   if (E.Analytic)
@@ -533,6 +544,7 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
     if (std::string Err = Options.validate(); !Err.empty()) {
       R.Feasible = false;
       R.Error = Err;
+      R.Kind = ErrorKind::Infeasible;
       return R;
     }
   }
@@ -547,6 +559,7 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
       Options, E.SwPipelineDepth, CompileErr);
   if (!Cached) {
     R.Error = "compile: " + CompileErr;
+    R.Kind = ErrorKind::CompileError;
     return R;
   }
 
@@ -594,12 +607,15 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
   Launch.UseLegacyInterp = UseLegacyInterp;
   Launch.NumWorkers = NumWorkers;
   Launch.FuseBytecode = FuseBytecode;
+  Launch.MaxSteps = MaxSteps;
+  Launch.MaxWallMs = MaxWallMs;
 
   Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
 
   if (Functional) {
     if (std::string Err = Interp.runGrid(Launch); !Err.empty()) {
       R.Error = Err;
+      R.Kind = classifyError(R.Error);
       return R;
     }
     double Worst = 0;
@@ -631,16 +647,19 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
           Interp.runCtaBatch(TimingLaunch, Sm0Ctas, SampleStorage);
       !Err.empty()) {
     R.Error = Err;
+    R.Kind = classifyError(R.Error);
     return R;
   }
   if (SampleStorage.empty()) {
     R.Error = "no CTAs to simulate";
+    R.Kind = ErrorKind::Internal;
     return R;
   }
   R.SmemBytes = SampleStorage.front().SmemBytes;
   if (R.SmemBytes > Config.SmemBytesPerSm) {
     R.Feasible = false;
     R.Error = "shared memory exceeded";
+    R.Kind = ErrorKind::Infeasible;
     return R;
   }
 
@@ -671,6 +690,7 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
   ReplayResult Rep = replaySmSchedule(Schedule, Config, Params);
   if (Rep.Deadlock) {
     R.Error = Rep.Error;
+    R.Kind = ErrorKind::Deadlock;
     return R;
   }
   R.Micros = Config.cyclesToMicros(Rep.Cycles) + E.ExtraLaunchMicros;

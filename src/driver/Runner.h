@@ -12,6 +12,7 @@
 #include "models/Frameworks.h"
 #include "sim/Config.h"
 #include "support/ProgramCache.h"
+#include "support/Status.h"
 
 #include <functional>
 #include <memory>
@@ -21,6 +22,11 @@ namespace tawa {
 
 struct RunResult {
   std::string Error;       ///< Non-empty on compile/simulate failure.
+  /// Structured classification of Error (support/Status.h): None on
+  /// success, a specific kind for every known failure class, Internal for
+  /// anything unclassified. Harness code branches on this instead of
+  /// substring-matching Error.
+  ErrorKind Kind = ErrorKind::None;
   bool Supported = true;   ///< False when the framework rejects the config.
   bool Feasible = true;    ///< False when D/P/SMEM constraints fail (Fig. 11
                            ///< zero cells).
@@ -62,6 +68,19 @@ public:
   /// counts, first-error selection — are bit-identical at any worker count
   /// (both runners merge by index; see docs/threading-and-memory.md).
   int64_t NumWorkers = 0;
+
+  /// Execution watchdog (docs/robustness.md): per-CTA step budget in
+  /// engine-independent step units. 0 = no explicit budget; the
+  /// TAWA_MAX_STEPS environment variable then supplies a process-wide
+  /// default. A trip fails the run with ErrorKind::StepBudget and a
+  /// deterministic message — identical at any NumWorkers and across
+  /// engines.
+  int64_t MaxSteps = 0;
+
+  /// Wall-clock guard in milliseconds per CTA (bytecode engine only; 0 =
+  /// off, TAWA_MAX_WALL_MS supplies a default). A non-deterministic safety
+  /// net for harnesses — prefer MaxSteps wherever determinism matters.
+  int64_t MaxWallMs = 0;
 
   /// Per-Runner program-cache accounting over the process-wide
   /// support/ProgramCache: benchmark sweeps that vary only runtime

@@ -23,11 +23,14 @@
 #ifndef TAWA_SIM_ARENA_H
 #define TAWA_SIM_ARENA_H
 
+#include "support/FaultInject.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
 
 namespace tawa {
@@ -43,6 +46,12 @@ public:
   /// (oversized requests get a dedicated chunk). The pointer is valid until
   /// the next reset().
   float *alloc(int64_t NumFloats) {
+    // Fault-injection site: a simulated allocation failure, thrown exactly
+    // where a real chunk allocation would throw. Contained per CTA by the
+    // executor task wrapper ("worker crash: std::bad_alloc").
+    if (faults::enabled() &&
+        faults::shouldFailNext(faults::Site::ArenaAlloc))
+      throw std::bad_alloc();
     if (NumFloats <= 0)
       NumFloats = 1; // Rank-0 tensors still get a distinct payload.
     while (Cur < Chunks.size() && Chunks[Cur].Cap - Used < NumFloats) {

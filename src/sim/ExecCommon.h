@@ -109,6 +109,14 @@ struct AgentCtx {
   int64_t Replicas = 1;
   double PendingCuda = 0;
   std::string Error;
+  /// Watchdog step counter, in engine-independent units: +1 per loop
+  /// iteration started, +1 per blocking mbarrier wait (condition false at
+  /// issue). Both engines count at the same source-level events, so the
+  /// counter — and any budget trip — is identical across legacy/unfused/
+  /// fused execution and independent of scheduling interleavings (an agent
+  /// only accumulates steps while it runs, and each engine runs an agent
+  /// until it blocks).
+  int64_t Steps = 0;
 };
 
 inline void chargeCuda(AgentCtx &A, double Cycles) { A.PendingCuda += Cycles; }

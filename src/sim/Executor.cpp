@@ -38,12 +38,16 @@
 #include "sim/Bytecode.h"
 
 #include "sem/HappensBefore.h"
+#include "sim/Diag.h"
 #include "sim/ExecCommon.h"
 #include "sim/Interpreter.h"
+#include "support/Env.h"
+#include "support/Status.h"
 #include "support/Support.h"
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -77,8 +81,7 @@ public:
   /// Null unless TAWA_BC_PROFILE is set (the hot path pays one pointer
   /// test per executed instruction when disabled).
   static BcProfile *instance() {
-    static BcProfile *P =
-        std::getenv("TAWA_BC_PROFILE") ? new BcProfile : nullptr;
+    static BcProfile *P = envFlag("TAWA_BC_PROFILE") ? new BcProfile : nullptr;
     return P;
   }
 
@@ -183,7 +186,7 @@ public:
          int64_t PidY, TileArena *ExternalArena)
       : P(P), Config(P.Config), Opts(Opts), PidX(PidX), PidY(PidY),
         Arena(ExternalArena ? ExternalArena : &LocalArena),
-        TraceEnv(std::getenv("TAWA_TRACE") != nullptr) {
+        TraceEnv(envFlag("TAWA_TRACE")) {
     if (BcProfile::instance())
       Prof = std::make_unique<BcProfileCounts>();
   }
@@ -411,6 +414,9 @@ private:
     W.Idx = Idx;
     W.Parity = Parity;
     if (!waitSatisfied(W)) {
+      // A blocking wait is one watchdog step event (ExecCommon.h AgentCtx).
+      if (watchdogStep(Run, Pc))
+        return true;
       Run.W = W;
       Run.St = AgentRun::State::Blocked;
       Run.Pc = Pc;
@@ -541,6 +547,122 @@ private:
   std::string AbortMsg;
   std::vector<RValue> Gather; ///< LoopEnd yield staging (single-threaded).
   std::unique_ptr<BcProfileCounts> Prof; ///< Non-null under TAWA_BC_PROFILE.
+
+  //===--- Execution watchdog + abort diagnostics (docs/robustness.md) ---===//
+
+  int64_t MaxSteps = 0;  ///< Resolved in run(): Opts or TAWA_MAX_STEPS.
+  int64_t MaxWallMs = 0; ///< Resolved in run(): Opts or TAWA_MAX_WALL_MS.
+  std::chrono::steady_clock::time_point WallDeadline;
+  uint32_t WallCheckTick = 0; ///< Clock polled every 1024 step events.
+  bool DiagVerbose = false;   ///< TAWA_DIAG_VERBOSE: include pc in diags.
+  /// Scheduler state snapshotted after schedule() while the AgentRuns are
+  /// still alive, so an abort return can fill Opts.Diag after the AgentCtxs
+  /// have been moved out.
+  std::vector<ExecDiagnostic::Agent> DiagAgents;
+
+  /// Watchdog accounting at one engine-independent step event (a loop
+  /// iteration starting, or a wait blocking). Returns true when a budget
+  /// tripped — the agent is Failed with its pc saved and the handler must
+  /// return to the scheduler. Counting runs unconditionally (the counter
+  /// feeds diagnostics); the compares are off at budget 0.
+  bool watchdogStep(AgentRun &Run, int32_t Pc) {
+    AgentCtx &A = Run.A;
+    ++A.Steps;
+    if (MaxSteps > 0 && A.Steps > MaxSteps) {
+      A.Error = formatString(
+          "step budget exceeded: agent %d used %lld steps (budget %lld)",
+          A.Id, static_cast<long long>(A.Steps),
+          static_cast<long long>(MaxSteps));
+    } else if (MaxWallMs > 0 && (++WallCheckTick & 1023u) == 0 &&
+               std::chrono::steady_clock::now() >= WallDeadline) {
+      A.Error = formatString(
+          "wall clock budget exceeded: cta did not finish within %lld ms",
+          static_cast<long long>(MaxWallMs));
+    } else {
+      return false;
+    }
+    Run.St = AgentRun::State::Failed;
+    Run.Pc = Pc;
+    return true;
+  }
+
+  /// Captures per-agent scheduler state for a later maybeFillDiag. Cheap
+  /// and called only when Opts.Diag is set.
+  void snapshotAgents(const std::vector<AgentRun> &Runs) {
+    DiagAgents.clear();
+    for (const AgentRun &R : Runs) {
+      ExecDiagnostic::Agent D;
+      D.Id = R.A.Id;
+      D.Name = R.A.Trace.Name;
+      D.Steps = R.A.Steps;
+      switch (R.St) {
+      case AgentRun::State::Done:
+        D.State = "done";
+        break;
+      case AgentRun::State::Failed:
+        D.State = "failed";
+        D.Error = R.A.Error;
+        break;
+      case AgentRun::State::Blocked:
+      case AgentRun::State::Runnable:
+        D.State = "blocked"; // Post-schedule, unfinished == blocked.
+        break;
+      }
+      if (R.St == AgentRun::State::Blocked) {
+        const BarrierArray &Arr = BarrierArrays[R.W.Bar];
+        D.HasWait = true;
+        D.WaitKind = Arr.IsFull ? "full" : "empty";
+        D.WaitIndex = R.W.Idx;
+        D.WaitChannel = Arr.Channel;
+        D.WaitParity = R.W.Parity; // Raw, matching the deadlock message.
+        D.WaitCompletions = Arr.Bars[R.W.Idx].Completions;
+      }
+      if (DiagVerbose)
+        D.Pc = R.Pc;
+      DiagAgents.push_back(std::move(D));
+    }
+  }
+
+  /// Fills Opts.Diag for the abort kinds that have a machine-state
+  /// post-mortem (deadlock and watchdog trips); other errors leave it
+  /// untouched.
+  void maybeFillDiag(const std::string &Err) {
+    if (!Opts.Diag)
+      return;
+    ErrorKind K = classifyError(Err);
+    if (K != ErrorKind::Deadlock && K != ErrorKind::StepBudget &&
+        K != ErrorKind::WallClock)
+      return;
+    ExecDiagnostic &D = *Opts.Diag;
+    D.clear();
+    D.Kind = errorKindName(K);
+    D.Error = Err;
+    D.PidX = PidX;
+    D.PidY = PidY;
+    D.StepBudget = MaxSteps;
+    D.Agents = DiagAgents;
+    for (const BarrierArray &Arr : BarrierArrays) {
+      ExecDiagnostic::Barrier B;
+      B.Channel = Arr.Channel;
+      B.Kind = Arr.IsFull ? "full" : "empty";
+      B.Expected = Arr.Expected;
+      for (const FunctionalBarrier &FB : Arr.Bars) {
+        B.Completions.push_back(FB.Completions);
+        B.Arrivals.push_back(FB.Arrivals);
+      }
+      D.Barriers.push_back(std::move(B));
+    }
+    for (const ExecSmem &Buf : SmemBuffers) {
+      ExecDiagnostic::Channel C;
+      C.Id = Buf.Channel;
+      for (const SlotMonitor &M : Buf.Monitors)
+        C.Slots.push_back(M.S == SlotMonitor::St::Empty      ? 'E'
+                          : M.S == SlotMonitor::St::Filling  ? 'W'
+                          : M.S == SlotMonitor::St::Full     ? 'F'
+                                                             : 'B');
+      D.Channels.push_back(std::move(C));
+    }
+  }
 };
 
 bool BcExec::schedule(std::vector<AgentRun> &Agents) {
@@ -651,6 +773,12 @@ void BcExec::step(AgentRun &Run) {
       &&op_WaitRead2,
   };
   static_assert(NumBcOps == 49, "update the dispatch table with the enum");
+// Threaded dispatch: TAWA_NEXT/TAWA_JUMP are indirect gotos, and GCC does
+// NOT run destructors of in-scope nontrivial locals on an indirect goto
+// (the jump target is opaque to the cleanup machinery). Handler bodies
+// must therefore close the scope of any heap-owning local (std::vector,
+// non-moved shared_ptr, TensorData) BEFORE dispatching — the LeakSanitizer
+// leg of scripts/check.sh catches violations.
 #define TAWA_CASE(name) op_##name
 #define TAWA_DISPATCH()                                                     \
   do {                                                                      \
@@ -704,6 +832,9 @@ void BcExec::step(AgentRun &Run) {
         Pc = L.ExitPc;
         TAWA_JUMP();
       }
+      // First iteration starting: one watchdog step event.
+      if (watchdogStep(Run, Pc))
+        return;
       if (L.Pipelined) {
         flushCuda(A);
         Action Mark;
@@ -730,6 +861,9 @@ void BcExec::step(AgentRun &Run) {
       }
       int64_t Iv = S[L.IvSlot].I + asInt(S[L.StepSlot]);
       if (Iv < asInt(S[L.UbSlot])) {
+        // Back edge taken — the next iteration starts: one step event.
+        if (watchdogStep(Run, Pc))
+          return;
         S[L.IvSlot].I = Iv;
         if (L.Pipelined) {
           flushCuda(A);
@@ -754,6 +888,9 @@ void BcExec::step(AgentRun &Run) {
         S[L.IterSlots[K]] = S[L.YieldSlots[K]];
       int64_t Iv = S[L.IvSlot].I + asInt(S[L.StepSlot]);
       if (Iv < asInt(S[L.UbSlot])) {
+        // Back edge taken — the next iteration starts: one step event.
+        if (watchdogStep(Run, Pc))
+          return;
         S[L.IvSlot].I = Iv;
         Pc = L.BodyPc;
         TAWA_JUMP();
@@ -962,32 +1099,34 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr, In.H);
         TAWA_NEXT();
       }
-      auto T = makeTile(I.ResultTy);
-      const auto &OutShape = I.ResultTy->getShape();
-      const auto &Packed = P.IntVecs[I.Aux];
-      size_t Rank = OutShape.size();
-      const int64_t *DimMap = Packed.data();
-      const int64_t *SrcDims = Packed.data() + Rank;
-      std::vector<int64_t> Idx(Rank, 0);
-      for (int64_t Lin = 0, EIt = T->getNumElements(); Lin != EIt; ++Lin) {
-        int64_t SrcLin = 0;
-        for (size_t D = 0; D < Rank; ++D) {
-          if (DimMap[D] < 0)
-            continue;
-          int64_t Coord = Idx[D];
-          int64_t SrcDim = SrcDims[D];
-          if (Coord >= SrcDim)
-            Coord = SrcDim - 1; // Broadcasting a size-1 dim.
-          SrcLin = SrcLin * SrcDim + Coord;
+      {
+        auto T = makeTile(I.ResultTy);
+        const auto &OutShape = I.ResultTy->getShape();
+        const auto &Packed = P.IntVecs[I.Aux];
+        size_t Rank = OutShape.size();
+        const int64_t *DimMap = Packed.data();
+        const int64_t *SrcDims = Packed.data() + Rank;
+        std::vector<int64_t> Idx(Rank, 0);
+        for (int64_t Lin = 0, EIt = T->getNumElements(); Lin != EIt; ++Lin) {
+          int64_t SrcLin = 0;
+          for (size_t D = 0; D < Rank; ++D) {
+            if (DimMap[D] < 0)
+              continue;
+            int64_t Coord = Idx[D];
+            int64_t SrcDim = SrcDims[D];
+            if (Coord >= SrcDim)
+              Coord = SrcDim - 1; // Broadcasting a size-1 dim.
+            SrcLin = SrcLin * SrcDim + Coord;
+          }
+          T->at(Lin) = In.T->at(SrcLin);
+          for (int64_t D = static_cast<int64_t>(Rank) - 1; D >= 0; --D) {
+            if (++Idx[D] < OutShape[D])
+              break;
+            Idx[D] = 0;
+          }
         }
-        T->at(Lin) = In.T->at(SrcLin);
-        for (int64_t D = static_cast<int64_t>(Rank) - 1; D >= 0; --D) {
-          if (++Idx[D] < OutShape[D])
-            break;
-          Idx[D] = 0;
-        }
+        S[I.Result] = RValue::makeTensor(std::move(T), In.H);
       }
-      S[I.Result] = RValue::makeTensor(std::move(T), In.H);
       TAWA_NEXT();
     }
     TAWA_CASE(Transpose2D) : {
@@ -1123,15 +1262,18 @@ void BcExec::step(AgentRun &Run) {
         S[I.Result] = RValue::makeTensor(nullptr);
         TAWA_NEXT();
       }
-      const RValue &Desc = V(0);
-      assert(Desc.K == RValue::Kind::Handle && "tma_load needs a descriptor");
-      const RuntimeArg &Arg = Opts.Args[Desc.H];
-      std::vector<int64_t> Offsets;
-      for (int64_t K = 1; K < I.NumOps; ++K)
-        Offsets.push_back(asInt(V(K)));
-      auto T = makeTile(I.ResultTy);
-      loadWindowInto(*Arg.Data, Offsets, I.ResultTy->getShape(), *T);
-      S[I.Result] = RValue::makeTensor(std::move(T));
+      {
+        const RValue &Desc = V(0);
+        assert(Desc.K == RValue::Kind::Handle &&
+               "tma_load needs a descriptor");
+        const RuntimeArg &Arg = Opts.Args[Desc.H];
+        std::vector<int64_t> Offsets;
+        for (int64_t K = 1; K < I.NumOps; ++K)
+          Offsets.push_back(asInt(V(K)));
+        auto T = makeTile(I.ResultTy);
+        loadWindowInto(*Arg.Data, Offsets, I.ResultTy->getShape(), *T);
+        S[I.Result] = RValue::makeTensor(std::move(T));
+      }
       TAWA_NEXT();
     }
     TAWA_CASE(TmaStore) : {
@@ -1144,13 +1286,15 @@ void BcExec::step(AgentRun &Run) {
       emitAction(A, Act);
       if (!Functional)
         TAWA_NEXT();
-      const RValue &Val = V(I.NumOps - 1);
-      std::vector<int64_t> Offsets;
-      for (int64_t K = 1; K < I.NumOps - 1; ++K)
-        Offsets.push_back(asInt(V(K)));
-      TensorData Rounded(*Val.T, *Arena);
-      roundTensorTo(Rounded, I.ElemTy);
-      storeWindow(*Opts.Args[Desc.H].Data, Offsets, Rounded);
+      {
+        const RValue &Val = V(I.NumOps - 1);
+        std::vector<int64_t> Offsets;
+        for (int64_t K = 1; K < I.NumOps - 1; ++K)
+          Offsets.push_back(asInt(V(K)));
+        TensorData Rounded(*Val.T, *Arena);
+        roundTensorTo(Rounded, I.ElemTy);
+        storeWindow(*Opts.Args[Desc.H].Data, Offsets, Rounded);
+      }
       TAWA_NEXT();
     }
     TAWA_CASE(Store) : {
@@ -1165,15 +1309,17 @@ void BcExec::step(AgentRun &Run) {
       if (!Functional || !Ptr.T)
         TAWA_NEXT();
       assert(Ptr.H >= 0 && "store through an unbound pointer tensor");
-      TensorData &OutT = *Opts.Args[Ptr.H].Data;
-      TensorData Rounded(*Val.T, *Arena);
-      roundTensorTo(Rounded, I.ElemTy);
-      for (int64_t K = 0, E = Rounded.getNumElements(); K != E; ++K) {
-        // Linear offsets are carried as f32; exact for the functional test
-        // sizes (< 2^24 elements).
-        int64_t Linear = static_cast<int64_t>(Ptr.T->at(K));
-        if (Linear >= 0 && Linear < OutT.getNumElements())
-          OutT.at(Linear) = Rounded.at(K);
+      {
+        TensorData &OutT = *Opts.Args[Ptr.H].Data;
+        TensorData Rounded(*Val.T, *Arena);
+        roundTensorTo(Rounded, I.ElemTy);
+        for (int64_t K = 0, E = Rounded.getNumElements(); K != E; ++K) {
+          // Linear offsets are carried as f32; exact for the functional
+          // test sizes (< 2^24 elements).
+          int64_t Linear = static_cast<int64_t>(Ptr.T->at(K));
+          if (Linear >= 0 && Linear < OutT.getNumElements())
+            OutT.at(Linear) = Rounded.at(K);
+        }
       }
       TAWA_NEXT();
     }
@@ -1303,6 +1449,9 @@ void BcExec::step(AgentRun &Run) {
       W.Idx = asInt(V(1));
       W.Parity = asInt(V(2));
       if (!waitSatisfied(W)) {
+        // A blocking wait is one watchdog step event.
+        if (watchdogStep(Run, Pc))
+          return;
         Run.W = W;
         Run.St = AgentRun::State::Blocked;
         Run.Pc = Pc;
@@ -1461,6 +1610,16 @@ std::string BcExec::run(CtaTrace &Out) {
   if (!P.CompileError.empty())
     return P.CompileError;
   Functional = Opts.Functional;
+  // Execution watchdog: explicit options win, the environment supplies
+  // process-wide defaults (see docs/robustness.md for the knobs).
+  MaxSteps = Opts.MaxSteps > 0 ? Opts.MaxSteps : envInt64("TAWA_MAX_STEPS", 0);
+  MaxWallMs =
+      Opts.MaxWallMs > 0 ? Opts.MaxWallMs : envInt64("TAWA_MAX_WALL_MS", 0);
+  if (MaxWallMs > 0)
+    WallDeadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(MaxWallMs);
+  if (Opts.Diag)
+    DiagVerbose = envFlag("TAWA_DIAG_VERBOSE");
   // Everything the previous CTA allocated is dead; reclaim it wholesale so
   // a worker's chunks stay warm for the whole grid.
   Arena->reset();
@@ -1490,9 +1649,15 @@ std::string BcExec::run(CtaTrace &Out) {
     R.Env = std::move(Shared);
     R.A.Id = 0;
     R.A.Trace.Name = "preamble";
-    if (!schedule(PreRuns) || PreRuns[0].St == AgentRun::State::Failed)
-      return PreRuns[0].A.Error.empty() ? "preamble execution failed"
-                                        : PreRuns[0].A.Error;
+    if (!schedule(PreRuns) || PreRuns[0].St == AgentRun::State::Failed) {
+      std::string Err = PreRuns[0].A.Error.empty() ? "preamble execution failed"
+                                                   : PreRuns[0].A.Error;
+      if (Opts.Diag) {
+        snapshotAgents(PreRuns);
+        maybeFillDiag(Err);
+      }
+      return Err;
+    }
     Shared = std::move(PreRuns[0].Env);
   }
   AgentCtx Preamble = std::move(PreRuns[0].A);
@@ -1521,6 +1686,10 @@ std::string BcExec::run(CtaTrace &Out) {
       R.A.Trace.Actions = Preamble.Trace.Actions; // Redundant preamble work.
     }
     schedule(Runs);
+    // Snapshot scheduler state (block conditions, per-agent steps) before
+    // the AgentCtxs are moved out, so an abort below can fill Opts.Diag.
+    if (Opts.Diag)
+      snapshotAgents(Runs);
     for (AgentRun &R : Runs)
       Agents.push_back(std::move(R.A));
   }
@@ -1537,10 +1706,14 @@ std::string BcExec::run(CtaTrace &Out) {
     return All;
   }
   for (AgentCtx &A : Agents)
-    if (!A.Error.empty())
+    if (!A.Error.empty()) {
+      maybeFillDiag(A.Error);
       return A.Error;
-  if (Aborted)
+    }
+  if (Aborted) {
+    maybeFillDiag(AbortMsg);
     return AbortMsg;
+  }
 
   // Assemble the CTA trace.
   Out.Agents.clear();

@@ -19,13 +19,17 @@
 #include "sim/Interpreter.h"
 
 #include "sim/Bytecode.h"
+#include "sim/Diag.h"
 #include "sim/LegacyInterp.h"
 #include "sim/Peephole.h"
+#include "support/FaultInject.h"
 #include "support/Support.h"
 #include "support/WorkerPool.h"
 
 #include <atomic>
 #include <cassert>
+#include <exception>
+#include <stdexcept>
 
 using namespace tawa;
 using namespace tawa::sim;
@@ -87,6 +91,29 @@ std::string formatCtaErr(int64_t X, int64_t Y, const std::string &E) {
          E;
 }
 
+/// Crash containment around one CTA execution task: an escaping exception
+/// becomes a structured "worker crash: ..." error (ErrorKind::WorkerCrash)
+/// instead of terminating the process (WorkerPool tasks run on pool
+/// threads). \p Index is the task's serial position — it keys the
+/// worker-task fault-injection site, so injected crashes hit exactly the
+/// same items at every NumWorkers. \p Body runs the engine and returns its
+/// error string.
+template <typename BodyFn>
+std::string containCtaCrash(int64_t Index, const BodyFn &Body) {
+  try {
+    if (faults::enabled() &&
+        faults::shouldFail(faults::Site::WorkerTask, Index))
+      throw std::runtime_error(formatString(
+          "injected worker-task fault (item %lld)",
+          static_cast<long long>(Index)));
+    return Body();
+  } catch (const std::exception &Ex) {
+    return std::string("worker crash: ") + Ex.what();
+  } catch (...) {
+    return "worker crash: unknown exception";
+  }
+}
+
 /// Shared pool fan-out of \p Total independent CTA executions. CoordOf maps
 /// a work index to its CTA coordinate; TraceFor returns the caller-owned
 /// trace slot for an index, or null to discard (both must be safe to call
@@ -106,6 +133,10 @@ std::string runParallelCtas(const bc::CompiledProgram &Prog,
     Arenas.push_back(std::make_unique<TileArena>());
   std::vector<std::string> Errors(Total);
   std::atomic<int64_t> FirstErr{Total};
+  // Per-item diagnostic slots (engines write through RunOptions::Diag);
+  // the first failing item's snapshot is copied out below, so the caller
+  // sees the same diagnostic the serial loop would have produced.
+  std::vector<ExecDiagnostic> Diags(Opts.Diag ? Total : 0);
 
   WorkerPool::shared().parallelFor(
       Total, Workers, [&](int64_t I, int64_t W) {
@@ -116,9 +147,17 @@ std::string runParallelCtas(const bc::CompiledProgram &Prog,
         CtaCoord C = CoordOf(I);
         CtaTrace Local;
         CtaTrace *T = TraceFor(I);
-        std::string Err = bc::executeProgram(Prog, Opts, C.X, C.Y,
-                                             T ? *T : Local,
-                                             Arenas[W].get());
+        std::string Err = containCtaCrash(I, [&] {
+          const RunOptions *O = &Opts;
+          RunOptions WithDiag;
+          if (Opts.Diag) {
+            WithDiag = Opts;
+            WithDiag.Diag = &Diags[I];
+            O = &WithDiag;
+          }
+          return bc::executeProgram(Prog, *O, C.X, C.Y, T ? *T : Local,
+                                    Arenas[W].get());
+        });
         if (!Err.empty()) {
           Errors[I] = std::move(Err);
           int64_t Cur = FirstErr.load(std::memory_order_relaxed);
@@ -131,6 +170,8 @@ std::string runParallelCtas(const bc::CompiledProgram &Prog,
 
   for (int64_t I = 0; I < Total; ++I)
     if (!Errors[I].empty()) {
+      if (Opts.Diag && !Diags[I].empty())
+        *Opts.Diag = std::move(Diags[I]);
       CtaCoord C = CoordOf(I);
       return formatCtaErr(C.X, C.Y, Errors[I]);
     }
@@ -161,7 +202,9 @@ std::string Interpreter::runGrid(const RunOptions &Opts, CtaTrace *Sample,
         CtaTrace &T =
             AllTraces ? (*AllTraces)[Y * GridX + X]
                       : (Sample && X == 0 && Y == 0 ? *Sample : Local);
-        if (std::string Err = runCta(Opts, X, Y, T); !Err.empty())
+        std::string Err = containCtaCrash(
+            Y * GridX + X, [&] { return runCta(Opts, X, Y, T); });
+        if (!Err.empty())
           return formatCtaErr(X, Y, Err);
       }
     if (Sample && AllTraces)
@@ -197,10 +240,12 @@ std::string Interpreter::runCtaBatch(const RunOptions &Opts,
   int64_t Workers = std::min(resolveNumWorkers(Opts.NumWorkers), Total);
   if (Opts.UseLegacyInterp || Workers <= 1 || Total <= 1) {
     // Exactly the historical serial sample loop.
-    for (int64_t I = 0; I < Total; ++I)
-      if (std::string Err = runCta(Opts, Coords[I].X, Coords[I].Y, Out[I]);
-          !Err.empty())
+    for (int64_t I = 0; I < Total; ++I) {
+      std::string Err = containCtaCrash(
+          I, [&] { return runCta(Opts, Coords[I].X, Coords[I].Y, Out[I]); });
+      if (!Err.empty())
         return formatCtaErr(Coords[I].X, Coords[I].Y, Err);
+    }
     return "";
   }
 

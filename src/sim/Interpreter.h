@@ -46,6 +46,8 @@ namespace bc {
 struct CompiledProgram;
 }
 
+struct ExecDiagnostic;
+
 /// One kernel argument: a scalar or a tensor bound to a TMA descriptor /
 /// base pointer.
 struct RuntimeArg {
@@ -95,6 +97,27 @@ struct RunOptions {
   /// already-compiled program (the Runner's program-cache path — the
   /// Runner folds its own fusion flag into the compile key instead).
   bool FuseBytecode = true;
+  /// Execution-watchdog step budget per agent (0 = off; the TAWA_MAX_STEPS
+  /// environment variable supplies a process-wide default when this is 0).
+  /// Steps are engine-independent units — loop iterations started plus
+  /// blocking mbarrier waits — so a budget trip is deterministic and
+  /// identical across engines and worker counts. An agent exceeding the
+  /// budget fails with a "step budget exceeded" error (ErrorKind::
+  /// StepBudget). See docs/robustness.md.
+  int64_t MaxSteps = 0;
+  /// Wall-clock watchdog per CTA in milliseconds (0 = off; TAWA_MAX_WALL_MS
+  /// supplies a default). A safety net behind MaxSteps for kernels whose
+  /// step rate is pathological: NOT deterministic (depends on host speed),
+  /// so prefer MaxSteps anywhere reproducibility matters. Bytecode engine
+  /// only. Trips fail the agent with a "wall clock" error
+  /// (ErrorKind::WallClock).
+  int64_t MaxWallMs = 0;
+  /// When non-null, a deadlock or watchdog abort fills this with the
+  /// post-mortem snapshot (sim/Diag.h): per-agent state/steps/wait, barrier
+  /// counters, staging-slot monitors. For runGrid/runCtaBatch the snapshot
+  /// is the first failing CTA's (in serial order) — deterministic at any
+  /// worker count. Untouched on success and for other error kinds.
+  ExecDiagnostic *Diag = nullptr;
 };
 
 /// Grids with fewer CTAs than this run Interpreter::runGrid's serial path

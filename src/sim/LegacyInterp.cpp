@@ -11,10 +11,14 @@
 
 #include "ir/Ir.h"
 #include "sem/HappensBefore.h"
+#include "sim/Diag.h"
 #include "sim/ExecCommon.h"
+#include "support/Env.h"
+#include "support/Status.h"
 #include "support/Support.h"
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -113,6 +117,91 @@ private:
     int64_t Parity;
   };
   std::map<int, BlockedOn> BlockInfo;
+
+  /// Execution-watchdog step budget, resolved in run() exactly like the
+  /// bytecode engine's (Opts.MaxSteps or TAWA_MAX_STEPS). The wall-clock
+  /// guard is bytecode-only — the oracle is expected to be slow.
+  int64_t MaxSteps = 0;
+
+  /// Watchdog accounting at one step event (loop iteration starting /
+  /// blocking wait), counted at the same source-level events as the
+  /// bytecode engine so trips are engine-identical. Returns true when the
+  /// budget tripped; the caller fails the agent (A.Error is set).
+  bool watchdogStep(AgentCtx &A) {
+    ++A.Steps;
+    if (MaxSteps <= 0 || A.Steps <= MaxSteps)
+      return false;
+    A.Error = formatString(
+        "step budget exceeded: agent %d used %lld steps (budget %lld)",
+        A.Id, static_cast<long long>(A.Steps),
+        static_cast<long long>(MaxSteps));
+    return true;
+  }
+
+  /// Fills Opts.Diag for deadlock/watchdog aborts (the bytecode engine's
+  /// maybeFillDiag counterpart — the snapshots must render byte-identical,
+  /// which the diagnostics golden test pins). Called from run() after all
+  /// agent threads joined; no locking needed.
+  void maybeFillDiag(const std::string &Err,
+                     const std::vector<AgentCtx> &Agents) {
+    if (!Opts.Diag)
+      return;
+    ErrorKind K = classifyError(Err);
+    if (K != ErrorKind::Deadlock && K != ErrorKind::StepBudget &&
+        K != ErrorKind::WallClock)
+      return;
+    ExecDiagnostic &D = *Opts.Diag;
+    D.clear();
+    D.Kind = errorKindName(K);
+    D.Error = Err;
+    D.PidX = PidX;
+    D.PidY = PidY;
+    D.StepBudget = MaxSteps;
+    for (const AgentCtx &A : Agents) {
+      ExecDiagnostic::Agent DA;
+      DA.Id = A.Id;
+      DA.Name = A.Trace.Name;
+      DA.Steps = A.Steps;
+      auto It = BlockInfo.find(A.Id);
+      if (A.Error.empty()) {
+        DA.State = "done";
+      } else if (A.Error == AbortMsg && It != BlockInfo.end()) {
+        DA.State = "blocked";
+        const BarrierArray &Arr = BarrierArrays[It->second.Bar];
+        DA.HasWait = true;
+        DA.WaitKind = Arr.IsFull ? "full" : "empty";
+        DA.WaitIndex = It->second.Idx;
+        DA.WaitChannel = Arr.Channel;
+        DA.WaitParity = It->second.Parity;
+        DA.WaitCompletions = Arr.Bars[It->second.Idx].Completions;
+      } else {
+        DA.State = "failed";
+        DA.Error = A.Error;
+      }
+      D.Agents.push_back(std::move(DA));
+    }
+    for (const BarrierArray &Arr : BarrierArrays) {
+      ExecDiagnostic::Barrier B;
+      B.Channel = Arr.Channel;
+      B.Kind = Arr.IsFull ? "full" : "empty";
+      B.Expected = Arr.Expected;
+      for (const FunctionalBarrier &FB : Arr.Bars) {
+        B.Completions.push_back(FB.Completions);
+        B.Arrivals.push_back(FB.Arrivals);
+      }
+      D.Barriers.push_back(std::move(B));
+    }
+    for (const SmemBuffer &Buf : SmemBuffers) {
+      ExecDiagnostic::Channel C;
+      C.Id = Buf.Channel;
+      for (const SlotMonitor &M : Buf.Monitors)
+        C.Slots.push_back(M.S == SlotMonitor::St::Empty      ? 'E'
+                          : M.S == SlotMonitor::St::Filling  ? 'W'
+                          : M.S == SlotMonitor::St::Full     ? 'F'
+                                                             : 'B');
+      D.Channels.push_back(std::move(C));
+    }
+  }
 };
 
 } // namespace
@@ -211,6 +300,10 @@ bool CtaExec::evalFor(ForOp *Loop, Env &E, AgentCtx &A) {
   }
 
   for (int64_t Iv = Lb; Iv < Ub; Iv += St) {
+    // Iteration starting: one watchdog step event (the bytecode engine
+    // counts the same event at LoopBegin fall-through / LoopEnd back edge).
+    if (watchdogStep(A))
+      return false;
     Env BodyEnv;
     BodyEnv.Outer = &E;
     BodyEnv.set(Loop->getInductionVar(), RValue::makeInt(Iv));
@@ -767,7 +860,7 @@ bool CtaExec::evalOp(Operation *Op, Env &E, AgentCtx &A) {
     int32_t Bar = Val(0).H;
     int64_t Idx = asInt(Val(1));
     BarrierArray &Arr = BarrierArrays[Bar];
-    if (getenv("TAWA_TRACE"))
+    if (envFlag("TAWA_TRACE"))
       fprintf(stderr, "[agent %d] arrive %s[%lld]\n", A.Id,
               Arr.IsFull ? "full" : "empty", (long long)Idx);
     Action Act;
@@ -814,11 +907,21 @@ bool CtaExec::evalOp(Operation *Op, Env &E, AgentCtx &A) {
     Act.Cycles = Config.BarrierOpCycles;
     EmitAction(Act);
     BarrierArray &Arr = BarrierArrays[Bar];
-    if (getenv("TAWA_TRACE"))
+    if (envFlag("TAWA_TRACE"))
       fprintf(stderr, "[agent %d] wait %s[%lld] parity %lld completions %lld\n",
               A.Id, Arr.IsFull ? "full" : "empty", (long long)Idx,
               (long long)Parity, (long long)Arr.Bars[Idx].Completions);
     BlockInfo[A.Id] = {Bar, Idx, Parity};
+    if (Arr.Bars[Idx].Completions % 2 == Parity % 2) {
+      // Condition false at issue — a blocking wait: one watchdog step
+      // event (the bytecode engine counts when MBarrierWaitBlock blocks).
+      if (watchdogStep(A)) {
+        // Not blocked (failed): keep the agent out of the deadlock report
+        // and diagnostics, like a Failed bytecode agent.
+        BlockInfo.erase(A.Id);
+        return false;
+      }
+    }
     if (!agentWaitUntil(
             A, [&] { return Arr.Bars[Idx].Completions % 2 != Parity % 2; })) {
       A.Error = AbortMsg;
@@ -958,6 +1061,9 @@ bool CtaExec::interpretBlock(Block &B, Env &E, AgentCtx &A) {
 std::string CtaExec::run(CtaTrace &Out) {
   Functional = Opts.Functional;
   SwPipelineDepth = M.getIntAttrOr("sw_pipeline_depth", 0);
+  // Execution watchdog, resolved exactly like the bytecode engine's so
+  // budget trips are engine-identical.
+  MaxSteps = Opts.MaxSteps > 0 ? Opts.MaxSteps : envInt64("TAWA_MAX_STEPS", 0);
 
   Operation *Func = nullptr;
   for (Operation &Op : M.getBody())
@@ -1002,9 +1108,12 @@ std::string CtaExec::run(CtaTrace &Out) {
       if (Op.getKind() == OpKind::WarpGroup ||
           Op.getKind() == OpKind::Return)
         continue;
-      if (!evalOp(&Op, Shared, Preamble))
-        return Preamble.Error.empty() ? "preamble execution failed"
-                                      : Preamble.Error;
+      if (!evalOp(&Op, Shared, Preamble)) {
+        std::string Err = Preamble.Error.empty() ? "preamble execution failed"
+                                                 : Preamble.Error;
+        maybeFillDiag(Err, {Preamble});
+        return Err;
+      }
     }
     flushCuda(Preamble);
     Alive = 0;
@@ -1033,10 +1142,26 @@ std::string CtaExec::run(CtaTrace &Out) {
           static_cast<long long>(PidY), G, Groups[G]->getRole().c_str());
       A.Trace.Actions = Preamble.Trace.Actions; // Redundant preamble work.
       Threads.emplace_back([this, &A, WG = Groups[G], &Shared] {
-        std::unique_lock<std::mutex> Lock(Mu);
-        Env E;
-        E.Outer = &Shared;
-        interpretBlock(WG->getBody(), E, A);
+        // Crash containment: an exception escaping the agent body (e.g. a
+        // fault-injected allocation failure) becomes a structured per-agent
+        // error instead of std::terminate. The lock unwinds with the
+        // exception, so the bookkeeping below re-acquires it.
+        try {
+          std::unique_lock<std::mutex> Lock(Mu);
+          Env E;
+          E.Outer = &Shared;
+          interpretBlock(WG->getBody(), E, A);
+          --Alive;
+          bumpProgress();
+          return;
+        } catch (const std::exception &Ex) {
+          A.Error = std::string("worker crash: ") + Ex.what();
+        } catch (...) {
+          A.Error = "worker crash: unknown exception";
+        }
+        std::lock_guard<std::mutex> Lock(Mu);
+        WaitConds.erase(A.Id);
+        BlockInfo.erase(A.Id);
         --Alive;
         bumpProgress();
       });
@@ -1057,10 +1182,14 @@ std::string CtaExec::run(CtaTrace &Out) {
     return All;
   }
   for (AgentCtx &A : Agents)
-    if (!A.Error.empty())
+    if (!A.Error.empty()) {
+      maybeFillDiag(A.Error, Agents);
       return A.Error;
-  if (Aborted)
+    }
+  if (Aborted) {
+    maybeFillDiag(AbortMsg, Agents);
     return AbortMsg;
+  }
 
   // Assemble the CTA trace.
   Out.Agents.clear();

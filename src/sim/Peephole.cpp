@@ -10,9 +10,9 @@
 #include "sim/Peephole.h"
 
 #include "sim/Bytecode.h"
+#include "support/Env.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <vector>
 
 using namespace tawa;
@@ -428,5 +428,5 @@ FusionStats tawa::sim::bc::fuseProgram(CompiledProgram &P) {
 }
 
 bool tawa::sim::bc::fusionEnabled(bool Requested) {
-  return Requested && std::getenv("TAWA_NO_FUSE") == nullptr;
+  return Requested && !envFlag("TAWA_NO_FUSE");
 }

@@ -1,0 +1,68 @@
+//===- Env.cpp - TAWA_* environment-knob parsing --------------------------===//
+
+#include "support/Env.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+using namespace tawa;
+
+void tawa::envWarnOnce(const std::string &Key, const std::string &Message) {
+  static std::mutex Mu;
+  static std::set<std::string> Seen;
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Seen.insert(Key).second)
+    return;
+  std::fprintf(stderr, "tawa: warning: %s\n", Message.c_str());
+}
+
+namespace {
+
+std::string lower(const char *S) {
+  std::string R;
+  for (; *S; ++S)
+    R.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*S))));
+  return R;
+}
+
+} // namespace
+
+bool tawa::envFlag(const char *Name, bool Default) {
+  const char *Raw = std::getenv(Name);
+  if (!Raw)
+    return Default;
+  std::string V = lower(Raw);
+  if (V == "1" || V == "true" || V == "on" || V == "yes")
+    return true;
+  if (V.empty() || V == "0" || V == "false" || V == "off" || V == "no")
+    return false;
+  envWarnOnce(std::string(Name) + "=" + Raw,
+              std::string(Name) + "=" + Raw +
+                  " is not a recognized boolean (1/0/true/false/on/off/"
+                  "yes/no); treating the variable as set");
+  return true;
+}
+
+int64_t tawa::envInt64(const char *Name, int64_t Default) {
+  const char *Raw = std::getenv(Name);
+  if (!Raw || !*Raw)
+    return Default;
+  char *End = nullptr;
+  long long V = std::strtoll(Raw, &End, 10);
+  if (End == Raw || *End != '\0') {
+    envWarnOnce(std::string(Name) + "=" + Raw,
+                std::string(Name) + "=" + Raw +
+                    " is not an integer; using the default");
+    return Default;
+  }
+  return static_cast<int64_t>(V);
+}
+
+std::string tawa::envString(const char *Name, const std::string &Default) {
+  const char *Raw = std::getenv(Name);
+  return Raw ? std::string(Raw) : Default;
+}

@@ -1,0 +1,163 @@
+//===- FaultInject.cpp - Deterministic fault-injection points -------------===//
+
+#include "support/FaultInject.h"
+
+#include "support/Env.h"
+#include "support/Support.h"
+
+#include <cstdlib>
+#include <mutex>
+
+using namespace tawa;
+using namespace tawa::faults;
+
+std::atomic<bool> faults::detail::Armed{false};
+
+namespace {
+
+struct SiteConfig {
+  bool Active = false;
+  double Rate = 0.0;
+  uint64_t Seed = 0;
+};
+
+// Mu guards Sites during (re)configuration; decisions read Sites without
+// it. configure() is documented for test setup / process start, before the
+// faulting workload runs, so the only unlocked reads race nothing.
+std::mutex Mu;
+SiteConfig Sites[NumSites];
+std::atomic<uint64_t> Counters[NumSites];
+
+bool parseSite(const std::string &Name, Site &S) {
+  for (int I = 0; I < NumSites; ++I) {
+    if (Name == siteName(static_cast<Site>(I))) {
+      S = static_cast<Site>(I);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool decide(const SiteConfig &C, uint64_t Key) {
+  if (!C.Active)
+    return false;
+  if (C.Rate >= 1.0)
+    return true;
+  uint64_t H = fnv1a64(&C.Seed, sizeof(C.Seed));
+  H = fnv1a64(&Key, sizeof(Key), H);
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(H >> 11) * 0x1p-53 < C.Rate;
+}
+
+// Arms fault points from TAWA_FAULTS before main; a malformed spec warns
+// and leaves everything disarmed (fail-safe: never fault by accident).
+struct EnvInit {
+  EnvInit() {
+    const char *Spec = std::getenv("TAWA_FAULTS");
+    if (!Spec || !*Spec)
+      return;
+    std::string Err;
+    if (!faults::configure(Spec, &Err))
+      envWarnOnce(std::string("TAWA_FAULTS=") + Spec,
+                  "ignoring TAWA_FAULTS: " + Err);
+  }
+} Init;
+
+} // namespace
+
+const char *faults::siteName(Site S) {
+  switch (S) {
+  case Site::CacheRead:
+    return "cache-read";
+  case Site::CacheWrite:
+    return "cache-write";
+  case Site::Deserialize:
+    return "deserialize";
+  case Site::ArenaAlloc:
+    return "arena-alloc";
+  case Site::WorkerTask:
+    return "worker-task";
+  }
+  return "?";
+}
+
+bool faults::shouldFail(Site S, uint64_t Key) {
+  return decide(Sites[static_cast<int>(S)], Key);
+}
+
+bool faults::shouldFailNext(Site S) {
+  const SiteConfig &C = Sites[static_cast<int>(S)];
+  if (!C.Active)
+    return false;
+  uint64_t Key =
+      Counters[static_cast<int>(S)].fetch_add(1, std::memory_order_relaxed);
+  return decide(C, Key);
+}
+
+bool faults::configure(const std::string &Spec, std::string *Err) {
+  SiteConfig Parsed[NumSites];
+  size_t At = 0;
+  while (At < Spec.size()) {
+    size_t End = Spec.find(',', At);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Item = Spec.substr(At, End - At);
+    At = End + 1;
+    if (Item.empty())
+      continue;
+    size_t C1 = Item.find(':');
+    size_t C2 = C1 == std::string::npos ? std::string::npos
+                                        : Item.find(':', C1 + 1);
+    if (C1 == std::string::npos || C2 == std::string::npos) {
+      if (Err)
+        *Err = "expected site:rate:seed, got \"" + Item + "\"";
+      reset();
+      return false;
+    }
+    Site S;
+    if (!parseSite(Item.substr(0, C1), S)) {
+      if (Err)
+        *Err = "unknown fault site \"" + Item.substr(0, C1) + "\"";
+      reset();
+      return false;
+    }
+    char *RateEnd = nullptr;
+    std::string RateStr = Item.substr(C1 + 1, C2 - C1 - 1);
+    double Rate = std::strtod(RateStr.c_str(), &RateEnd);
+    if (RateStr.empty() || *RateEnd != '\0' || Rate < 0.0 || Rate > 1.0) {
+      if (Err)
+        *Err = "rate \"" + RateStr + "\" is not in [0, 1]";
+      reset();
+      return false;
+    }
+    char *SeedEnd = nullptr;
+    std::string SeedStr = Item.substr(C2 + 1);
+    unsigned long long Seed = std::strtoull(SeedStr.c_str(), &SeedEnd, 10);
+    if (SeedStr.empty() || *SeedEnd != '\0') {
+      if (Err)
+        *Err = "seed \"" + SeedStr + "\" is not a nonnegative integer";
+      reset();
+      return false;
+    }
+    Parsed[static_cast<int>(S)] = {true, Rate, Seed};
+  }
+
+  std::lock_guard<std::mutex> L(Mu);
+  bool Any = false;
+  for (int I = 0; I < NumSites; ++I) {
+    Sites[I] = Parsed[I];
+    Counters[I].store(0, std::memory_order_relaxed);
+    Any |= Parsed[I].Active;
+  }
+  detail::Armed.store(Any, std::memory_order_relaxed);
+  return true;
+}
+
+void faults::reset() {
+  std::lock_guard<std::mutex> L(Mu);
+  for (int I = 0; I < NumSites; ++I) {
+    Sites[I] = SiteConfig();
+    Counters[I].store(0, std::memory_order_relaxed);
+  }
+  detail::Armed.store(false, std::memory_order_relaxed);
+}

@@ -4,8 +4,11 @@
 
 #include "ir/Ir.h"
 #include "sim/Bytecode.h"
+#include "support/Env.h"
+#include "support/FaultInject.h"
 #include "support/Support.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -118,29 +121,53 @@ struct ProgramCache::Impl {
   }
 
   /// Best-effort disk load; any defect returns null and the caller
-  /// recompiles. \p Dir is a snapshot taken under the lock (setPersistDir
-  /// may race the slow path otherwise).
+  /// recompiles. \p Failed is set when a cache file EXISTED but could not
+  /// be used (IO error, truncation, corruption, version/config mismatch) —
+  /// a plain miss leaves it false. \p Dir is a snapshot taken under the
+  /// lock (setPersistDir may race the slow path otherwise).
   static std::shared_ptr<const bc::CompiledProgram>
-  loadFromDisk(const std::string &Dir, const std::string &FullKey) {
+  loadFromDisk(const std::string &Dir, const std::string &FullKey,
+               bool &Failed) {
+    Failed = false;
     if (Dir.empty())
       return nullptr;
     std::ifstream In(filePath(Dir, FullKey), std::ios::binary);
     if (!In)
       return nullptr;
+    // Fault site: a read-IO failure on an existing cache file.
+    if (faults::enabled() &&
+        faults::shouldFailNext(faults::Site::CacheRead)) {
+      Failed = true;
+      return nullptr;
+    }
     std::string Bytes((std::istreambuf_iterator<char>(In)),
                       std::istreambuf_iterator<char>());
-    if (!In.good() && !In.eof())
+    if (!In.good() && !In.eof()) {
+      Failed = true;
       return nullptr;
-    return bc::deserializeProgram(Bytes);
+    }
+    // Fault site: flip a byte so the serializer's real checksum-reject
+    // path (not a simulated one) turns corruption into a recompile.
+    if (faults::enabled() && !Bytes.empty() &&
+        faults::shouldFailNext(faults::Site::Deserialize))
+      Bytes[Bytes.size() / 2] ^= 0x5a;
+    auto Prog = bc::deserializeProgram(Bytes);
+    if (!Prog)
+      Failed = true;
+    return Prog;
   }
 
   /// Best-effort atomic disk write (tmp + rename): concurrent processes
   /// never observe a partial file, and IO failures are silently dropped —
-  /// the cache is an accelerator, not a dependency.
-  static void saveToDisk(const std::string &Dir, const std::string &FullKey,
+  /// the cache is an accelerator, not a dependency. Returns false when the
+  /// entry did not land on disk (the caller counts it; a later process
+  /// simply recompiles). Write AND close results are checked before the
+  /// rename — a partially flushed tmp must never be promoted to a cache
+  /// file, even though the deserializer would reject it.
+  static bool saveToDisk(const std::string &Dir, const std::string &FullKey,
                          const bc::CompiledProgram &P) {
     if (Dir.empty())
-      return;
+      return true;
     std::error_code Ec;
     std::filesystem::create_directories(Dir, Ec);
     std::string Path = filePath(Dir, FullKey);
@@ -150,24 +177,55 @@ struct ProgramCache::Impl {
     {
       std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
       if (!Out)
-        return;
+        return false;
       std::string Bytes = bc::serializeProgram(P);
       Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
-      if (!Out.good()) {
-        Out.close();
+      // Fault site: a write-IO failure (ENOSPC-style) detected at close.
+      if (faults::enabled() &&
+          faults::shouldFailNext(faults::Site::CacheWrite))
+        Out.setstate(std::ios::badbit);
+      Out.close();
+      if (Out.fail()) {
         std::filesystem::remove(Tmp, Ec);
-        return;
+        return false;
       }
     }
     std::filesystem::rename(Tmp, Path, Ec);
-    if (Ec)
+    if (Ec) {
       std::filesystem::remove(Tmp, Ec);
+      return false;
+    }
+    return true;
+  }
+
+  /// Removes stale "tawa-*.tmp.*" files left behind by crashed writers.
+  /// Only files older than an hour are swept — a live writer's tmp file is
+  /// seconds old. Best-effort: every filesystem call tolerates errors
+  /// (concurrent sweeps may race each other for the same file).
+  static void sweepStaleTmpFiles(const std::string &Dir) {
+    if (Dir.empty())
+      return;
+    std::error_code Ec;
+    auto Now = std::filesystem::file_time_type::clock::now();
+    std::filesystem::directory_iterator It(Dir, Ec), End;
+    for (; !Ec && It != End; It.increment(Ec)) {
+      std::string Name = It->path().filename().string();
+      if (Name.rfind("tawa-", 0) != 0 ||
+          Name.find(".tmp.") == std::string::npos)
+        continue;
+      std::error_code FileEc;
+      auto Mtime = std::filesystem::last_write_time(It->path(), FileEc);
+      if (FileEc || Now - Mtime < std::chrono::hours(1))
+        continue;
+      std::filesystem::remove(It->path(), FileEc);
+    }
   }
 };
 
 ProgramCache::ProgramCache() : Pimpl(std::make_unique<Impl>()) {
-  if (const char *Dir = std::getenv("TAWA_CACHE_DIR"))
-    Pimpl->PersistDir = Dir;
+  Pimpl->PersistDir = envString("TAWA_CACHE_DIR");
+  // Cache open: reclaim tmp files a crashed writer left behind.
+  Impl::sweepStaleTmpFiles(Pimpl->PersistDir);
 }
 
 ProgramCache::~ProgramCache() = default;
@@ -219,9 +277,12 @@ ProgramCache::EntryRef ProgramCache::getOrCompile(
     E->Ctx = NeedsFlatten->Ctx;
     E->M = NeedsFlatten->M;
     E->Prog = bc::compileModule(*E->M, Config, Fuse);
+    bool Saved = true;
     if (E->Prog && E->Prog->CompileError.empty())
-      Impl::saveToDisk(Dir, FullKey, *E->Prog);
+      Saved = Impl::saveToDisk(Dir, FullKey, *E->Prog);
     std::lock_guard<std::mutex> L(I.Mu);
+    if (!Saved)
+      ++I.St.DiskWriteFailures;
     I.insert(FullKey, E);
     Report(Outcome::MemoryHit);
     return E;
@@ -229,7 +290,9 @@ ProgramCache::EntryRef ProgramCache::getOrCompile(
 
   // Disk, then compile — both outside the lock (slow).
   if (!NeedModule) {
-    if (auto Prog = Impl::loadFromDisk(Dir, FullKey)) {
+    bool ReadFailed = false;
+    auto Prog = Impl::loadFromDisk(Dir, FullKey, ReadFailed);
+    if (Prog) {
       auto E = std::make_shared<Entry>();
       E->Prog = std::move(Prog);
       std::lock_guard<std::mutex> L(I.Mu);
@@ -238,6 +301,13 @@ ProgramCache::EntryRef ProgramCache::getOrCompile(
       Report(Outcome::DiskHit);
       return E;
     }
+    if (ReadFailed) {
+      // A cache file existed but was unusable (IO error / corruption):
+      // count it and fall through to a silent recompile — any defect in
+      // the disk layer degrades to a compile, never to a failure.
+      std::lock_guard<std::mutex> L(I.Mu);
+      ++I.St.DiskReadFailures;
+    }
   }
 
   EntryRef E = Compile(Err);
@@ -245,9 +315,12 @@ ProgramCache::EntryRef ProgramCache::getOrCompile(
     Report(Outcome::Failed);
     return nullptr;
   }
+  bool Saved = true;
   if (E->Prog && E->Prog->CompileError.empty())
-    Impl::saveToDisk(Dir, FullKey, *E->Prog);
+    Saved = Impl::saveToDisk(Dir, FullKey, *E->Prog);
   std::lock_guard<std::mutex> L(I.Mu);
+  if (!Saved)
+    ++I.St.DiskWriteFailures;
   ++I.St.Compiles;
   I.insert(FullKey, E);
   Report(Outcome::Compiled);
@@ -272,8 +345,11 @@ void ProgramCache::setMaxBytes(size_t N) {
 }
 
 void ProgramCache::setPersistDir(std::string Dir) {
-  std::lock_guard<std::mutex> L(Pimpl->Mu);
-  Pimpl->PersistDir = std::move(Dir);
+  {
+    std::lock_guard<std::mutex> L(Pimpl->Mu);
+    Pimpl->PersistDir = Dir;
+  }
+  Impl::sweepStaleTmpFiles(Dir);
 }
 
 std::string ProgramCache::getPersistDir() const {

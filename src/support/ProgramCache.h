@@ -72,6 +72,15 @@ public:
     size_t Evictions = 0; ///< LRU evictions (entry or byte bound).
     size_t Entries = 0;   ///< Current resident entries.
     size_t Bytes = 0;     ///< Current resident program bytes (estimate).
+    /// Cache files that existed but could not be used (IO error,
+    /// truncation, corruption, version/config mismatch). Each one silently
+    /// degraded to a recompile (ErrorKind::CacheIo / CorruptProgram never
+    /// surface as run failures by design); the counter is how tests and
+    /// harnesses observe that the failure path actually ran.
+    size_t DiskReadFailures = 0;
+    /// Entries that failed to land on disk (write/close/rename failure);
+    /// a later process recompiles instead of disk-hitting.
+    size_t DiskWriteFailures = 0;
   };
 
   /// The process-wide cache. Created on first use; reads TAWA_CACHE_DIR

@@ -41,7 +41,18 @@ void WorkerPool::runWorker(Job &J, int64_t Worker) {
     int64_t I = J.Next.fetch_add(1, std::memory_order_relaxed);
     if (I >= J.N)
       return;
-    (*J.Fn)(I, Worker);
+    try {
+      (*J.Fn)(I, Worker);
+    } catch (...) {
+      // Crash containment: keep the pool thread alive and the job
+      // draining. The lowest throwing index wins so the exception
+      // parallelFor rethrows is deterministic at any worker count.
+      std::lock_guard<std::mutex> L(J.ErrMu);
+      if (J.ErrIndex < 0 || I < J.ErrIndex) {
+        J.ErrIndex = I;
+        J.Err = std::current_exception();
+      }
+    }
     J.Done.fetch_add(1, std::memory_order_release);
   }
 }
@@ -104,4 +115,7 @@ void WorkerPool::parallelFor(
     return J.Active == 0 && J.Done.load(std::memory_order_acquire) == J.N;
   });
   Cur = nullptr;
+  L.unlock();
+  if (J.Err)
+    std::rethrow_exception(J.Err);
 }

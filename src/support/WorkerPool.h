@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -52,8 +53,18 @@ public:
   /// Runs Fn(Index, Worker) for every Index in [0, N), using at most
   /// MaxWorkers workers with dense ids in [0, MaxWorkers). Blocks until all
   /// indices completed; every write Fn made is visible to the caller on
-  /// return. Fn must not throw. Nested calls from inside a job run inline
-  /// on the calling worker.
+  /// return. Nested calls from inside a job run inline on the calling
+  /// worker.
+  ///
+  /// Crash containment (docs/robustness.md): an exception escaping Fn is
+  /// caught on the executing worker — pool threads never die and the pool
+  /// stays reusable — and rethrown here on the calling thread after the
+  /// job drains. When several items throw, the lowest index wins, so with
+  /// a deterministic Fn the propagated exception is identical at every
+  /// MaxWorkers. Whether items after a throwing one ran is unspecified
+  /// (the inline fallback stops at the throw; pooled execution keeps
+  /// going), so callers needing per-item errors must catch inside Fn —
+  /// this backstop only keeps the process alive.
   void parallelFor(int64_t N, int64_t MaxWorkers,
                    const std::function<void(int64_t Index, int64_t Worker)>
                        &Fn);
@@ -70,6 +81,9 @@ private:
     std::atomic<int64_t> Next{0};   ///< Next unclaimed index.
     std::atomic<int64_t> Done{0};   ///< Completed indices.
     int64_t Active = 0;             ///< Pool threads inside the job (Mu).
+    std::mutex ErrMu;               ///< Guards ErrIndex/Err (cold path).
+    int64_t ErrIndex = -1;          ///< Lowest throwing index, -1 = none.
+    std::exception_ptr Err;         ///< Its exception, rethrown by caller.
   };
 
   void threadLoop(int64_t Id);

@@ -1,0 +1,478 @@
+//===- fault_injection_test.cpp - Graceful degradation under faults -----------//
+//
+// The fault-injection framework (support/FaultInject.h) exists so the
+// robustness claims of docs/robustness.md are tested, not asserted:
+//   * the TAWA_FAULTS grammar is validated and a malformed spec disarms
+//     everything (fail-safe);
+//   * injected worker-task crashes are contained into deterministic
+//     per-CTA "worker crash:" errors — the same first error at NumWorkers
+//     1, 2 and 8 — and the worker pool survives to run the next job;
+//   * an injected TileArena allocation failure surfaces as a contained
+//     "worker crash: std::bad_alloc", not a process abort;
+//   * injected disk-cache read failures, deserialization corruption and
+//     write failures all silently degrade to recompilation with identical
+//     results, observable only through the DiskReadFailures /
+//     DiskWriteFailures statistics;
+//   * stale temp files from crashed writers are swept from the persist
+//     directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Runner.h"
+#include "frontend/Kernels.h"
+#include "ir/Ir.h"
+#include "passes/Passes.h"
+#include "models/Frameworks.h"
+#include "sim/Interpreter.h"
+#include "support/FaultInject.h"
+#include "support/ProgramCache.h"
+#include "support/Support.h"
+#include "support/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+namespace {
+
+/// Disarms every fault site on scope exit, so a failing assertion cannot
+/// leak an armed site into the next test.
+struct FaultGuard {
+  FaultGuard() { faults::reset(); }
+  ~FaultGuard() { faults::reset(); }
+};
+
+/// Restores the process-wide cache to its default state around each test.
+class CacheGuard {
+public:
+  CacheGuard() { reset(); }
+  ~CacheGuard() { reset(); }
+
+private:
+  static void reset() {
+    auto &C = ProgramCache::shared();
+    C.clear();
+    C.setPersistDir("");
+    C.setMaxEntries(256);
+    C.setMaxBytes(256ull << 20);
+    C.resetStats();
+  }
+};
+
+std::filesystem::path makeTempDir(const char *Tag) {
+  static int Counter = 0;
+  auto Dir = std::filesystem::temp_directory_path() /
+             (std::string("tawa-") + Tag + "-" +
+              std::to_string(::getpid()) + "-" + std::to_string(Counter++));
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// A trivial kernel (one small scalar loop, no warp groups) that succeeds
+/// quickly — the substrate for injected-crash tests, where the fault is
+/// the only failure.
+std::unique_ptr<Module> buildTrivialKernel(IrContext &Ctx) {
+  auto M = std::make_unique<Module>(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M->getBody());
+  FuncOp *F = B.createFunc("ok", {});
+  B.setInsertionPointToEnd(&F->getBody());
+  Value *Zero = B.createConstantInt(0);
+  Value *One = B.createConstantInt(1);
+  Value *Eight = B.createConstantInt(8);
+  ForOp *Loop = B.createFor(Zero, Eight, One, {});
+  OpBuilder L(Ctx);
+  L.setInsertionPointToEnd(&Loop->getBody());
+  L.createAdd(Loop->getInductionVar(), One);
+  L.createYield({});
+  B.createReturn();
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Configuration grammar
+//===----------------------------------------------------------------------===//
+
+TEST(FaultConfig, SiteNamesStable) {
+  // These names are the TAWA_FAULTS grammar — renaming one breaks every
+  // harness script that injects faults.
+  EXPECT_STREQ(faults::siteName(faults::Site::CacheRead), "cache-read");
+  EXPECT_STREQ(faults::siteName(faults::Site::CacheWrite), "cache-write");
+  EXPECT_STREQ(faults::siteName(faults::Site::Deserialize), "deserialize");
+  EXPECT_STREQ(faults::siteName(faults::Site::ArenaAlloc), "arena-alloc");
+  EXPECT_STREQ(faults::siteName(faults::Site::WorkerTask), "worker-task");
+}
+
+TEST(FaultConfig, GrammarAcceptsAndRejects) {
+  FaultGuard Guard;
+  EXPECT_FALSE(faults::enabled());
+
+  EXPECT_TRUE(faults::configure("cache-read:1:42"));
+  EXPECT_TRUE(faults::enabled());
+  faults::reset();
+  EXPECT_FALSE(faults::enabled());
+
+  EXPECT_TRUE(faults::configure("cache-read:0.5:1,worker-task:1:7"));
+  EXPECT_TRUE(faults::enabled());
+  EXPECT_TRUE(faults::configure("")); // Empty spec disarms.
+  EXPECT_FALSE(faults::enabled());
+
+  // Every malformed spec is rejected with a message AND leaves all sites
+  // disarmed — a typo in TAWA_FAULTS must never half-arm the framework.
+  std::string Err;
+  faults::configure("worker-task:1:1");
+  EXPECT_FALSE(faults::configure("bogus-site:1:1", &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(faults::enabled());
+
+  EXPECT_FALSE(faults::configure("cache-read:2:1"));   // Rate > 1.
+  EXPECT_FALSE(faults::configure("cache-read:-0.5:1")); // Rate < 0.
+  EXPECT_FALSE(faults::configure("cache-read:1"));      // Missing seed.
+  EXPECT_FALSE(faults::configure("cache-read:1:x"));    // Bad seed.
+  EXPECT_FALSE(faults::enabled());
+
+  // Empty items (trailing comma) are tolerated, not treated as malformed.
+  EXPECT_TRUE(faults::configure("cache-read:1:1,"));
+  EXPECT_TRUE(faults::enabled());
+  faults::reset();
+}
+
+TEST(FaultConfig, StatelessDecisionIsDeterministic) {
+  FaultGuard Guard;
+  ASSERT_TRUE(faults::configure("worker-task:0.5:123"));
+
+  // Same (seed, key) -> same answer, every time, in any order.
+  int Fails = 0;
+  std::vector<bool> First;
+  for (uint64_t K = 0; K < 1000; ++K) {
+    bool F = faults::shouldFail(faults::Site::WorkerTask, K);
+    First.push_back(F);
+    Fails += F;
+  }
+  for (uint64_t K = 0; K < 1000; ++K)
+    EXPECT_EQ(faults::shouldFail(faults::Site::WorkerTask, K),
+              First[K]);
+  // Rate 0.5 over 1000 keys: the hash must be roughly uniform.
+  EXPECT_GT(Fails, 350);
+  EXPECT_LT(Fails, 650);
+
+  // An unarmed site never fails, even while another site is armed.
+  for (uint64_t K = 0; K < 100; ++K)
+    EXPECT_FALSE(faults::shouldFail(faults::Site::CacheRead, K));
+
+  // Reconfiguring with a different seed changes the set (sanity check that
+  // the seed actually feeds the hash).
+  ASSERT_TRUE(faults::configure("worker-task:0.5:321"));
+  int Same = 0;
+  for (uint64_t K = 0; K < 1000; ++K)
+    Same += faults::shouldFail(faults::Site::WorkerTask, K) == First[K];
+  EXPECT_LT(Same, 1000);
+}
+
+//===----------------------------------------------------------------------===//
+// Worker-task crash containment
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerTaskFault, FirstErrorIdenticalAcrossWorkerCounts) {
+  FaultGuard Guard;
+  IrContext Ctx;
+  auto Mod = buildTrivialKernel(Ctx);
+  GpuConfig Cfg;
+
+  RunOptions Opts;
+  Opts.GridX = 8; // >= SerialGridCtaThreshold: workers > 1 use the pool.
+  ASSERT_GE(Opts.GridX, SerialGridCtaThreshold);
+
+  // Rate 1: every task faults; the reported error must still be item 0 —
+  // the first in serial order — at every worker count.
+  ASSERT_TRUE(faults::configure("worker-task:1:9"));
+  const char Expected[] =
+      "cta (0,0): worker crash: injected worker-task fault (item 0)";
+  for (int64_t W : {int64_t(1), int64_t(2), int64_t(8)}) {
+    Opts.NumWorkers = W;
+    Interpreter Interp(*Mod, Cfg);
+    EXPECT_EQ(Interp.runGrid(Opts), Expected) << "workers=" << W;
+  }
+
+  // Fractional rate keyed by serial index: the same subset of items faults
+  // at any worker count, so the first failing item is identical too.
+  ASSERT_TRUE(faults::configure("worker-task:0.3:77"));
+  int64_t FirstFaulty = -1;
+  for (int64_t I = 0; I < Opts.GridX && FirstFaulty < 0; ++I)
+    if (faults::shouldFail(faults::Site::WorkerTask, I))
+      FirstFaulty = I;
+  ASSERT_GE(FirstFaulty, 0) << "pick a seed where some item faults";
+  std::string Ref;
+  for (int64_t W : {int64_t(1), int64_t(2), int64_t(8)}) {
+    Opts.NumWorkers = W;
+    Interpreter Interp(*Mod, Cfg);
+    std::string Err = Interp.runGrid(Opts);
+    EXPECT_EQ(Err, formatString("cta (%lld,0): worker crash: injected "
+                                "worker-task fault (item %lld)",
+                                static_cast<long long>(FirstFaulty),
+                                static_cast<long long>(FirstFaulty)));
+    if (Ref.empty())
+      Ref = Err;
+    EXPECT_EQ(Err, Ref);
+  }
+
+  // With faults disarmed again the same grid runs clean — the pool
+  // survived every contained crash.
+  faults::reset();
+  Opts.NumWorkers = 8;
+  Interpreter Interp(*Mod, Cfg);
+  EXPECT_EQ(Interp.runGrid(Opts), "");
+}
+
+TEST(WorkerTaskFault, RunnerClassifiesWorkerCrash) {
+  FaultGuard Guard;
+  CacheGuard Cache;
+  ASSERT_TRUE(faults::configure("worker-task:1:5"));
+  Runner R;
+  GemmWorkload W;
+  RunResult Res = R.runGemm(Framework::Tawa, W);
+  EXPECT_FALSE(Res.ok());
+  EXPECT_EQ(Res.Kind, ErrorKind::WorkerCrash) << Res.Error;
+  EXPECT_NE(Res.Error.find("worker crash: injected worker-task fault"),
+            std::string::npos)
+      << Res.Error;
+
+  faults::reset();
+  RunResult Ok = R.runGemm(Framework::Tawa, W);
+  EXPECT_TRUE(Ok.ok()) << Ok.Error;
+  EXPECT_EQ(Ok.Kind, ErrorKind::None);
+}
+
+TEST(ArenaFault, BadAllocIsContainedPerCta) {
+  FaultGuard Guard;
+  // A functional GEMM CTA allocates tile payloads from the arena on its
+  // first load; with the site armed at rate 1 that allocation throws
+  // std::bad_alloc, which must come back as a structured error — not
+  // std::terminate.
+  IrContext Ctx;
+  GemmKernelConfig Kernel;
+  auto Mod = buildGemmModule(Ctx, Kernel);
+  TawaOptions Options;
+  Options.ArefDepth = 3;
+  Options.MmaPipelineDepth = 2;
+  PassManager PM;
+  buildTawaPipeline(PM, Options);
+  ASSERT_EQ(PM.run(*Mod), "");
+
+  const int64_t M = 128, N = 128, K = 128;
+  auto A = std::make_shared<TensorData>(std::vector<int64_t>{M, K});
+  auto B = std::make_shared<TensorData>(std::vector<int64_t>{N, K});
+  auto C = std::make_shared<TensorData>(std::vector<int64_t>{M, N});
+  A->fillRandom(1, 1.0f);
+  B->fillRandom(2, 1.0f);
+  RunOptions Launch;
+  Launch.Functional = true;
+  Launch.Args = {RuntimeArg::tensor(A), RuntimeArg::tensor(B),
+                 RuntimeArg::tensor(C), RuntimeArg::scalar(M),
+                 RuntimeArg::scalar(N), RuntimeArg::scalar(K)};
+
+  GpuConfig Cfg;
+  ASSERT_TRUE(faults::configure("arena-alloc:1:1"));
+  Interpreter Interp(*Mod, Cfg);
+  std::string Err = Interp.runGrid(Launch);
+  EXPECT_EQ(Err.rfind("cta (0,0): worker crash: ", 0), 0u) << Err;
+  EXPECT_NE(Err.find("bad_alloc"), std::string::npos) << Err;
+
+  // Disarm and the same Interpreter (same arena) executes cleanly.
+  faults::reset();
+  Interpreter Retry(*Mod, Cfg);
+  EXPECT_EQ(Retry.runGrid(Launch), "");
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool backstop
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPoolBackstop, LowestIndexExceptionRethrownAndPoolSurvives) {
+  auto Throwy = [](int64_t I, int64_t) {
+    if (I == 2 || I == 5 || I == 9)
+      throw std::runtime_error("item " + std::to_string(I));
+  };
+  for (int64_t W : {int64_t(1), int64_t(4), int64_t(8)}) {
+    try {
+      WorkerPool::shared().parallelFor(16, W, Throwy);
+      FAIL() << "expected the contained exception to be rethrown";
+    } catch (const std::runtime_error &Ex) {
+      EXPECT_STREQ(Ex.what(), "item 2") << "workers=" << W;
+    }
+  }
+  // The pool threads caught the exceptions and stayed alive.
+  std::atomic<int64_t> Count{0};
+  WorkerPool::shared().parallelFor(64, 8,
+                                   [&](int64_t, int64_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 64);
+}
+
+//===----------------------------------------------------------------------===//
+// Disk program-cache faults
+//===----------------------------------------------------------------------===//
+
+TEST(CacheFaults, ReadFailureFallsBackToRecompile) {
+  FaultGuard Guard;
+  CacheGuard Cache;
+  auto Dir = makeTempDir("fault-read");
+  auto &C = ProgramCache::shared();
+  C.setPersistDir(Dir.string());
+
+  GemmWorkload W;
+  RunResult Cold;
+  {
+    Runner R;
+    Cold = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Cold.ok()) << Cold.Error;
+  }
+
+  // Restart against a populated disk cache, but with every read faulted:
+  // the run must silently recompile, bit-identically.
+  ASSERT_TRUE(faults::configure("cache-read:1:3"));
+  C.clear();
+  {
+    Runner R;
+    RunResult Res = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    EXPECT_EQ(R.cacheStats().Misses, 1u) << "read fault must recompile";
+    EXPECT_EQ(Res.Micros, Cold.Micros);
+  }
+  EXPECT_GE(C.getStats().DiskReadFailures, 1u)
+      << "the injected failure path never ran";
+
+  // Disarmed, the (rewritten) disk entry loads again.
+  faults::reset();
+  C.clear();
+  {
+    Runner R;
+    RunResult Res = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    EXPECT_EQ(R.cacheStats().Misses, 0u);
+    EXPECT_EQ(Res.Micros, Cold.Micros);
+  }
+
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+}
+
+TEST(CacheFaults, DeserializeCorruptionFallsBackToRecompile) {
+  FaultGuard Guard;
+  CacheGuard Cache;
+  auto Dir = makeTempDir("fault-deser");
+  auto &C = ProgramCache::shared();
+  C.setPersistDir(Dir.string());
+
+  GemmWorkload W;
+  RunResult Cold;
+  {
+    Runner R;
+    Cold = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Cold.ok()) << Cold.Error;
+  }
+
+  // The deserialize site corrupts the loaded bytes BEFORE decoding, so
+  // this exercises the real checksum/shape rejection inside
+  // deserializeProgram — the cache must treat the null result exactly like
+  // an unreadable file.
+  ASSERT_TRUE(faults::configure("deserialize:1:3"));
+  C.clear();
+  {
+    Runner R;
+    RunResult Res = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    EXPECT_EQ(R.cacheStats().Misses, 1u)
+        << "corrupted load must recompile";
+    EXPECT_EQ(Res.Micros, Cold.Micros);
+  }
+  EXPECT_GE(C.getStats().DiskReadFailures, 1u);
+
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+}
+
+TEST(CacheFaults, WriteFailureIsCountedAndLeavesNoFile) {
+  FaultGuard Guard;
+  CacheGuard Cache;
+  auto Dir = makeTempDir("fault-write");
+  auto &C = ProgramCache::shared();
+  C.setPersistDir(Dir.string());
+
+  // Every disk write fails: the compile itself must succeed anyway, the
+  // failure must be counted, and no cache file (and no leftover temp
+  // file) may remain.
+  ASSERT_TRUE(faults::configure("cache-write:1:3"));
+  GemmWorkload W;
+  {
+    Runner R;
+    RunResult Res = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+  }
+  EXPECT_GE(C.getStats().DiskWriteFailures, 1u)
+      << "the injected write failure never ran";
+  size_t Files = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    (void)E;
+    ++Files;
+  }
+  EXPECT_EQ(Files, 0u) << "failed write left a file behind";
+
+  // Nothing landed on disk, so a restart recompiles.
+  faults::reset();
+  C.clear();
+  {
+    Runner R;
+    RunResult Res = R.runGemm(Framework::Tawa, W);
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    EXPECT_EQ(R.cacheStats().Misses, 1u);
+  }
+
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+}
+
+TEST(CacheFaults, StaleTmpFilesSweptOnOpen) {
+  CacheGuard Cache;
+  auto Dir = makeTempDir("tmp-sweep");
+
+  auto Touch = [&](const char *Name) {
+    std::ofstream(Dir / Name) << "junk";
+    return Dir / Name;
+  };
+  // A crashed writer's orphan: matches the cache's temp-name pattern and
+  // is old enough to be unowned.
+  auto Stale = Touch("tawa-deadbeef.bin.tmp.1234");
+  std::filesystem::last_write_time(
+      Stale, std::filesystem::file_time_type::clock::now() -
+                 std::chrono::hours(2));
+  // A temp file another live process may still be writing: too young.
+  auto Fresh = Touch("tawa-cafef00d.bin.tmp.5678");
+  // Old but not ours: never touched.
+  auto Foreign = Touch("user-data.bin");
+  std::filesystem::last_write_time(
+      Foreign, std::filesystem::file_time_type::clock::now() -
+                   std::chrono::hours(2));
+
+  ProgramCache::shared().setPersistDir(Dir.string());
+
+  EXPECT_FALSE(std::filesystem::exists(Stale))
+      << "stale temp file survived the sweep";
+  EXPECT_TRUE(std::filesystem::exists(Fresh))
+      << "sweep removed a possibly-live temp file";
+  EXPECT_TRUE(std::filesystem::exists(Foreign))
+      << "sweep removed a file it does not own";
+
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+}
+
+} // namespace

@@ -18,6 +18,7 @@
 #include "passes/Passes.h"
 #include "sim/Bytecode.h"
 #include "sim/Interpreter.h"
+#include "support/Env.h"
 #include "support/ProgramCache.h"
 #include "support/Support.h"
 
@@ -386,7 +387,7 @@ TEST(ProgramCacheKeys, FusedAndUnfusedNeverCollide) {
   // Runner compiling the same kernel must produce two distinct in-memory
   // entries (two compiles), and their reports must still match exactly —
   // fusion is observably identical.
-  if (std::getenv("TAWA_NO_FUSE"))
+  if (tawa::envFlag("TAWA_NO_FUSE"))
     GTEST_SKIP() << "fusion disabled process-wide: both Runners are "
                     "legitimately unfused and share a key";
   CacheGuard Guard;
