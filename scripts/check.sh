@@ -25,6 +25,12 @@
 # source-file path mentioned in docs/ and README.md must exist in the
 # repo, so docs cannot silently rot as files move.
 #
+# Then runs the differential fuzz smoke: tawa-fuzz sweeps seeded kernel
+# configurations across all nine engine x worker combos (docs/fuzzing.md)
+# under a time budget, and every committed tests/corpus/*.tawa regression
+# file is replayed. TAWA_FUZZ_SEED / TAWA_FUZZ_ITERS override the sweep's
+# seed base and size.
+#
 # Then runs the whole test suite once more with TAWA_NO_FUSE=1 (the
 # peephole superinstruction pass disabled) and asserts micro_interp --smoke
 # reports identical workload results fused vs unfused — the CI-level
@@ -69,6 +75,18 @@ echo "== ctest =="
 
 echo "== micro_interp (smoke) =="
 (cd "$BUILD_DIR" && timeout "$SMOKE_TIMEOUT" ./micro_interp --smoke)
+
+echo "== differential fuzz smoke (tawa-fuzz) =="
+# Fixed-seed by default (seed base 0, 200 configs); the wall-clock budget
+# bounds slow/sanitized hosts. Exits non-zero on any divergence or
+# prepare failure.
+(cd "$BUILD_DIR" && timeout "$SMOKE_TIMEOUT" ./tawa-fuzz \
+  --budget-ms $(( SMOKE_TIMEOUT * 500 )))
+# Every committed corpus regression file must load from its textual form
+# and agree across all nine combos (also a ctest entry, so the sanitizer
+# legs replay the corpus too).
+(cd "$BUILD_DIR" && timeout "$SMOKE_TIMEOUT" ./tawa-fuzz \
+  --replay-all "$REPO_ROOT/tests/corpus")
 
 echo "== fusion off: ctest + micro_interp equivalence (TAWA_NO_FUSE=1) =="
 # The whole suite must pass with the peephole fusion pass disabled (the

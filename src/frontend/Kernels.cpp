@@ -126,6 +126,13 @@ std::unique_ptr<Module> tawa::buildGemmModule(IrContext &Ctx,
     Value *Linear = B.createBinaryI(
         OpKind::AddI, B.createBinaryI(OpKind::MulI, RowIdx, StrideCm),
         ColIdx);
+    if (Config.Batched) {
+      // C is (batch, M, N): skip pid_z full M*N planes, or every batch
+      // races on batch 0's plane and results depend on CTA scheduling.
+      Value *BatchOff = B.createMul(PidZ, B.createMul(DimM, DimN));
+      Linear = B.createBinaryI(OpKind::AddI, Linear,
+                               B.createSplat(BatchOff, IdxTy));
+    }
     Value *CPtrs = B.createAddPtr(B.createSplat(CDesc, PtrTy), Linear);
     B.createStore(CPtrs, COut);
   }

@@ -124,6 +124,17 @@ const char *tawa::getOpName(OpKind Kind) {
   return "<unknown>";
 }
 
+bool tawa::lookupOpKind(const std::string &Name, OpKind &Out) {
+  for (uint16_t K = 0, E = static_cast<uint16_t>(OpKind::AtomicAdd); K <= E;
+       ++K) {
+    if (Name == getOpName(static_cast<OpKind>(K))) {
+      Out = static_cast<OpKind>(K);
+      return true;
+    }
+  }
+  return false;
+}
+
 bool tawa::hasSideEffects(OpKind Kind) {
   switch (Kind) {
   case OpKind::Store:
@@ -188,6 +199,11 @@ Operation *Operation::create(IrContext &Ctx, OpKind Kind,
   for (unsigned I = 0; I != NumRegions; ++I)
     Op->Regions.emplace_back(std::make_unique<Region>(Op));
   return Op;
+}
+
+Region &Operation::addRegion() {
+  Regions.emplace_back(std::make_unique<Region>(this));
+  return *Regions.back();
 }
 
 void Operation::destroy() {

@@ -182,6 +182,9 @@ public:
     assert(I < Regions.size() && "region index out of range");
     return *Regions[I];
   }
+  /// Appends an empty region (the textual parser discovers region counts
+  /// while reading, after the op is created).
+  Region &addRegion();
 
   //===--- Position ------------------------------------------------------===//
   Block *getParentBlock() const { return Parent; }
@@ -343,6 +346,7 @@ public:
   void setAttr(const std::string &Name, Attribute A) {
     Attrs[Name] = std::move(A);
   }
+  void removeAttr(const std::string &Name) { Attrs.erase(Name); }
   int64_t getIntAttrOr(const std::string &Name, int64_t Default) const;
   const std::map<std::string, Attribute> &getAttrs() const { return Attrs; }
 

@@ -12,6 +12,7 @@
 #define TAWA_IR_OPS_H
 
 #include <cstdint>
+#include <string>
 
 namespace tawa {
 
@@ -102,6 +103,10 @@ enum class OpKind : uint16_t {
 
 /// Returns the textual mnemonic (e.g. "tt.tma_load").
 const char *getOpName(OpKind Kind);
+
+/// Inverse of getOpName: resolves a mnemonic back to its OpKind. Returns
+/// false when \p Name is not a known op (the textual parser's error path).
+bool lookupOpKind(const std::string &Name, OpKind &Out);
 
 /// True for ops whose only purpose is a side effect (IR sinks for the
 /// backward traversal of §III-C1).

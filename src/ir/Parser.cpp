@@ -1,0 +1,620 @@
+//===- Parser.cpp - Textual IR parser ----------------------------------------//
+//
+// Recursive-descent parser over the exact syntax Printer.cpp emits. The
+// scanner is character-based (no token buffer): type syntax like
+// `tensor<128x64xf16>` reads naturally, and the one whitespace-sensitive
+// production — `{}` (blockless region) versus `{ ... }` (region with a
+// block) — checks the raw byte after `{`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Verifier.h"
+#include "support/Support.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+using namespace tawa;
+
+namespace {
+
+bool isIdentStart(char C) { return std::isalpha(static_cast<unsigned char>(C)) || C == '_'; }
+bool isIdentChar(char C) {
+  // '-' and '.' appear in attribute names ("num-warps", "fuzz.args").
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '.' || C == '-';
+}
+
+class ParserImpl {
+public:
+  ParserImpl(IrContext &Ctx, const std::string &Text)
+      : Ctx(Ctx), Text(Text) {}
+
+  std::unique_ptr<Module> run(std::string &OutErr) {
+    auto M = std::make_unique<Module>(Ctx);
+    if (!parseModule(*M)) {
+      OutErr = Err;
+      return nullptr;
+    }
+    if (std::string V = verify(*M); !V.empty()) {
+      OutErr = "parsed module failed verification: " + V;
+      return nullptr;
+    }
+    return M;
+  }
+
+private:
+  //===--- Scanner -------------------------------------------------------===//
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty()) {
+      int64_t Line = 1;
+      for (size_t I = 0; I < Pos && I < Text.size(); ++I)
+        if (Text[I] == '\n')
+          ++Line;
+      Err = formatString("line %lld: ", static_cast<long long>(Line)) + Msg;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == ' ' || C == '\t' || C == '\n' || C == '\r') {
+        ++Pos;
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos >= Text.size();
+  }
+
+  char peek() {
+    skipWs();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  /// Consumes \p C (after whitespace) or fails.
+  bool expect(char C) {
+    if (peek() != C)
+      return fail(formatString("expected '%c'", C));
+    ++Pos;
+    return true;
+  }
+
+  /// Consumes \p C if it is next; no error otherwise.
+  bool tryConsume(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  /// Consumes the literal \p S (after whitespace) if it is next.
+  bool tryConsume(const char *S) {
+    skipWs();
+    size_t Len = 0;
+    while (S[Len])
+      ++Len;
+    if (Text.compare(Pos, Len, S) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseIdent(std::string &Out) {
+    skipWs();
+    if (Pos >= Text.size() || !isIdentStart(Text[Pos]))
+      return fail("expected identifier");
+    size_t Start = Pos;
+    while (Pos < Text.size() && isIdentChar(Text[Pos]))
+      ++Pos;
+    Out = Text.substr(Start, Pos - Start);
+    return true;
+  }
+
+  bool parseInt(int64_t &Out) {
+    skipWs();
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start || (Pos == Start + 1 && Text[Start] == '-'))
+      return fail("expected integer");
+    Out = std::strtoll(Text.substr(Start, Pos - Start).c_str(), nullptr, 10);
+    return true;
+  }
+
+  /// `%name` — returns the name without the sigil.
+  bool parseValueName(std::string &Out) {
+    if (!expect('%'))
+      return false;
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value name after '%'");
+    Out = Text.substr(Start, Pos - Start);
+    return true;
+  }
+
+  //===--- Types ---------------------------------------------------------===//
+
+  Type *parseType() {
+    if (tryConsume("tensor<")) {
+      std::vector<int64_t> Shape;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        int64_t D;
+        if (!parseInt(D))
+          return nullptr;
+        Shape.push_back(D);
+        if (Pos >= Text.size() || Text[Pos] != 'x') {
+          fail("expected 'x' after tensor dimension");
+          return nullptr;
+        }
+        ++Pos;
+      }
+      Type *Elem = parseType();
+      if (!Elem || !expect('>'))
+        return nullptr;
+      return Ctx.getTensorType(std::move(Shape), Elem);
+    }
+    if (tryConsume("tuple<")) {
+      std::vector<Type *> Elems;
+      if (!tryConsume('>')) {
+        do {
+          Type *T = parseType();
+          if (!T)
+            return nullptr;
+          Elems.push_back(T);
+        } while (tryConsume(','));
+        if (!expect('>'))
+          return nullptr;
+      }
+      return Ctx.getTupleType(std::move(Elems));
+    }
+    if (tryConsume("!tawa.aref<")) {
+      Type *Payload = parseType();
+      int64_t Depth;
+      if (!Payload || !expect(',') || !parseInt(Depth) || !expect('>'))
+        return nullptr;
+      return Ctx.getArefType(Payload, Depth);
+    }
+    if (tryConsume("!tawa.smem"))
+      return Ctx.getSmemType();
+    if (tryConsume("!tawa.mbarrier"))
+      return Ctx.getMBarType();
+    if (tryConsume("!tawa.token"))
+      return Ctx.getTokenType();
+    if (tryConsume("!tt.ptr"))
+      return Ctx.getPtrType();
+    if (tryConsume("f8E4M3"))
+      return Ctx.getF8Type();
+    if (tryConsume("f64"))
+      return Ctx.getF64Type();
+    if (tryConsume("f32"))
+      return Ctx.getF32Type();
+    if (tryConsume("f16"))
+      return Ctx.getF16Type();
+    if (tryConsume("i64"))
+      return Ctx.getI64Type();
+    if (tryConsume("i32"))
+      return Ctx.getI32Type();
+    if (tryConsume("i1"))
+      return Ctx.getI1Type();
+    fail("expected type");
+    return nullptr;
+  }
+
+  //===--- Attributes ----------------------------------------------------===//
+
+  bool parseString(std::string &Out) {
+    if (!expect('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape in string");
+      char E = Text[Pos++];
+      switch (E) {
+      case '\\':
+        Out += '\\';
+        break;
+      case '"':
+        Out += '"';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'x': {
+        if (Pos + 1 >= Text.size())
+          return fail("truncated \\x escape");
+        auto Hex = [](char H) -> int {
+          if (H >= '0' && H <= '9')
+            return H - '0';
+          if (H >= 'a' && H <= 'f')
+            return H - 'a' + 10;
+          if (H >= 'A' && H <= 'F')
+            return H - 'A' + 10;
+          return -1;
+        };
+        int Hi = Hex(Text[Pos]), Lo = Hex(Text[Pos + 1]);
+        if (Hi < 0 || Lo < 0)
+          return fail("invalid \\x escape");
+        Pos += 2;
+        Out += static_cast<char>(Hi * 16 + Lo);
+        break;
+      }
+      default:
+        return fail("unknown string escape");
+      }
+    }
+    if (Pos >= Text.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseAttrValue(Attribute &Out) {
+    char C = peek();
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = std::move(S);
+      return true;
+    }
+    if (C == '[') {
+      ++Pos;
+      std::vector<int64_t> V;
+      if (!tryConsume(']')) {
+        do {
+          int64_t I;
+          if (!parseInt(I))
+            return false;
+          V.push_back(I);
+        } while (tryConsume(','));
+        if (!expect(']'))
+          return false;
+      }
+      Out = std::move(V);
+      return true;
+    }
+    if (tryConsume("-inf")) {
+      Out = -std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (tryConsume("inf")) {
+      Out = std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (tryConsume("nan")) {
+      Out = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    }
+    // Number: float when the token carries '.', 'e' or 'E', int otherwise.
+    skipWs();
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool IsFloat = false;
+    while (Pos < Text.size()) {
+      char N = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(N))) {
+        ++Pos;
+      } else if (N == '.' || N == 'e' || N == 'E') {
+        IsFloat = true;
+        ++Pos;
+        // Exponent sign.
+        if ((N == 'e' || N == 'E') && Pos < Text.size() &&
+            (Text[Pos] == '+' || Text[Pos] == '-'))
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start || (Pos == Start + 1 && Text[Start] == '-'))
+      return fail("expected attribute value");
+    std::string Tok = Text.substr(Start, Pos - Start);
+    if (IsFloat)
+      Out = std::strtod(Tok.c_str(), nullptr);
+    else
+      Out = static_cast<int64_t>(std::strtoll(Tok.c_str(), nullptr, 10));
+    return true;
+  }
+
+  bool parseAttrDict(std::map<std::string, Attribute> &Out) {
+    if (!expect('{'))
+      return false;
+    do {
+      std::string Name;
+      Attribute Val;
+      if (!parseIdent(Name) || !expect('=') || !parseAttrValue(Val))
+        return false;
+      Out[Name] = std::move(Val);
+    } while (tryConsume(','));
+    return expect('}');
+  }
+
+  /// Lookahead: does the `{` at the cursor open an attribute dictionary
+  /// (identifier `=` ...) rather than a region body? Empty `{}` is a
+  /// blockless region, never an (unprinted) empty attr dict.
+  bool attrDictAhead() {
+    size_t Save = Pos;
+    bool IsAttrs = false;
+    if (tryConsume('{') && Pos < Text.size() && Text[Pos] != '}') {
+      std::string Name;
+      if (parseIdent(Name))
+        IsAttrs = peek() == '=';
+      Err.clear(); // lookahead only — drop any speculative error
+    }
+    Pos = Save;
+    return IsAttrs;
+  }
+
+  //===--- Values --------------------------------------------------------===//
+
+  bool defineValue(const std::string &Name, Value *V) {
+    if (!Values.emplace(Name, V).second)
+      return fail("redefinition of %" + Name);
+    return true;
+  }
+
+  Value *resolveValue(const std::string &Name) {
+    auto It = Values.find(Name);
+    if (It == Values.end()) {
+      fail("unknown value %" + Name);
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  //===--- Operations ----------------------------------------------------===//
+
+  bool parseModule(Module &M) {
+    std::string KW;
+    if (!parseIdent(KW))
+      return false;
+    if (KW != "module")
+      return fail("expected 'module'");
+    if (peek() == 'a') {
+      if (!tryConsume("attributes"))
+        return fail("expected 'attributes' or '{'");
+      std::map<std::string, Attribute> Attrs;
+      if (!parseAttrDict(Attrs))
+        return false;
+      for (auto &[Name, Val] : Attrs)
+        M.setAttr(Name, std::move(Val));
+    }
+    if (!expect('{'))
+      return false;
+    while (peek() != '}') {
+      if (Pos >= Text.size())
+        return fail("unexpected end of input in module body");
+      if (!parseOp(M.getBody()))
+        return false;
+    }
+    ++Pos; // '}'
+    if (!atEnd())
+      return fail("trailing input after module");
+    return true;
+  }
+
+  bool parseOp(Block &B) {
+    // Result list.
+    std::vector<std::string> ResultNames;
+    if (peek() == '%') {
+      do {
+        std::string Name;
+        if (!parseValueName(Name))
+          return false;
+        ResultNames.push_back(std::move(Name));
+      } while (tryConsume(','));
+      if (!expect('='))
+        return false;
+    }
+
+    std::string Name;
+    if (!parseIdent(Name))
+      return false;
+    OpKind Kind;
+    if (!lookupOpKind(Name, Kind))
+      return fail("unknown operation '" + Name + "'");
+
+    if (Kind == OpKind::Func) {
+      if (!ResultNames.empty())
+        return fail("tt.func cannot have results");
+      return parseFunc(B);
+    }
+
+    // Operand list.
+    std::vector<Value *> Operands;
+    if (tryConsume('(')) {
+      if (!tryConsume(')')) {
+        do {
+          std::string OpName;
+          if (!parseValueName(OpName))
+            return false;
+          Value *V = resolveValue(OpName);
+          if (!V)
+            return false;
+          Operands.push_back(V);
+        } while (tryConsume(','));
+        if (!expect(')'))
+          return false;
+      }
+    }
+
+    // Attribute dictionary (printed before result types and regions).
+    std::map<std::string, Attribute> Attrs;
+    if (peek() == '{' && attrDictAhead())
+      if (!parseAttrDict(Attrs))
+        return false;
+
+    // Result types.
+    std::vector<Type *> ResultTypes;
+    if (!ResultNames.empty()) {
+      if (!expect(':'))
+        return false;
+      for (size_t I = 0; I < ResultNames.size(); ++I) {
+        if (I && !expect(','))
+          return false;
+        Type *T = parseType();
+        if (!T)
+          return false;
+        ResultTypes.push_back(T);
+      }
+    }
+
+    Operation *Op =
+        Operation::create(Ctx, Kind, std::move(ResultTypes), std::move(Operands));
+    for (auto &[AName, AVal] : Attrs)
+      Op->setAttr(AName, std::move(AVal));
+    B.push_back(Op);
+    for (unsigned I = 0; I < ResultNames.size(); ++I)
+      if (!defineValue(ResultNames[I], Op->getResult(I)))
+        return false;
+
+    // Regions.
+    while (peek() == '{')
+      if (!parseRegion(Op))
+        return false;
+    return true;
+  }
+
+  bool parseRegion(Operation *Op) {
+    if (!expect('{'))
+      return false;
+    Region &R = Op->addRegion();
+    // `{}` with no byte between the braces: blockless region (exactly what
+    // the printer emits for one). Everything else gets a block.
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    Block &B = R.emplaceBlock();
+    if (peek() == '^') {
+      ++Pos;
+      if (!tryConsume("bb") || !expect('('))
+        return fail("expected '^bb(' block header");
+      if (!tryConsume(')')) {
+        do {
+          std::string ArgName;
+          if (!parseValueName(ArgName) || !expect(':'))
+            return false;
+          Type *T = parseType();
+          if (!T)
+            return false;
+          if (!defineValue(ArgName, B.addArgument(T)))
+            return false;
+        } while (tryConsume(','));
+        if (!expect(')'))
+          return false;
+      }
+      if (!expect(':'))
+        return false;
+    }
+    while (peek() != '}') {
+      if (Pos >= Text.size())
+        return fail("unexpected end of input in region");
+      if (!parseOp(B))
+        return false;
+    }
+    ++Pos; // '}'
+    return true;
+  }
+
+  bool parseFunc(Block &ModuleBody) {
+    // Functions do not share values; the printer reuses %argN names across
+    // functions, so the scope resets here.
+    Values.clear();
+    if (!expect('@'))
+      return false;
+    std::string Name;
+    if (!parseIdent(Name))
+      return false;
+    Operation *Op = Operation::create(Ctx, OpKind::Func, {}, {});
+    ModuleBody.push_back(Op);
+    Op->setAttr("sym_name", Name);
+    Region &R = Op->addRegion();
+    Block &Body = R.emplaceBlock();
+
+    if (!expect('('))
+      return false;
+    if (!tryConsume(')')) {
+      do {
+        std::string ArgName;
+        if (!parseValueName(ArgName) || !expect(':'))
+          return false;
+        Type *T = parseType();
+        if (!T)
+          return false;
+        if (!defineValue(ArgName, Body.addArgument(T)))
+          return false;
+      } while (tryConsume(','));
+      if (!expect(')'))
+        return false;
+    }
+
+    // The printer emits the attr dict too (sym_name at minimum).
+    if (peek() == '{' && attrDictAhead()) {
+      std::map<std::string, Attribute> Attrs;
+      if (!parseAttrDict(Attrs))
+        return false;
+      for (auto &[AName, AVal] : Attrs)
+        Op->setAttr(AName, std::move(AVal));
+    }
+
+    if (!expect('{'))
+      return false;
+    while (peek() != '}') {
+      if (Pos >= Text.size())
+        return fail("unexpected end of input in function body");
+      if (!parseOp(Body))
+        return false;
+    }
+    ++Pos; // '}'
+    return true;
+  }
+
+  IrContext &Ctx;
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+  std::map<std::string, Value *> Values;
+};
+
+} // namespace
+
+std::unique_ptr<Module> tawa::parseModule(IrContext &Ctx,
+                                          const std::string &Text,
+                                          std::string &Err) {
+  return ParserImpl(Ctx, Text).run(Err);
+}

@@ -1,0 +1,43 @@
+//===- Parser.h - Textual IR parser -----------------------------*- C++ -*-===//
+//
+// Parses the syntax ir/Printer emits back into a Module, so a printed
+// module round-trips: print -> parse -> print is byte-identical. This is
+// the substrate for committable `.tawa` regression files — the fuzz
+// harness (tests/fuzz/) shrinks a diverging kernel, prints it, and the
+// shrunk file reloads through this parser.
+//
+// Accepted grammar (exactly the printer's output, plus `//` line comments
+// and insignificant whitespace):
+//
+//   module ::= `module` (`attributes` attr-dict)? `{` func* `}`
+//   func   ::= `tt.func` `@` ident `(` (arg (`,` arg)*)? `)` attr-dict?
+//              region
+//   op     ::= (result-list `=`)? op-name operand-list? attr-dict?
+//              (`:` type-list)? region*
+//   region ::= `{` (`^bb` `(` args `)` `:`)? op* `}` | `{}`
+//
+// `{}` with no byte between the braces is an empty region (no block);
+// any other `{...}` region gets a block. An identifier followed by `=`
+// after `{` starts an attribute dictionary, anything else a region body.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_IR_PARSER_H
+#define TAWA_IR_PARSER_H
+
+#include "ir/Ir.h"
+
+#include <memory>
+#include <string>
+
+namespace tawa {
+
+/// Parses \p Text into a module owned by \p Ctx and runs the verifier on
+/// the result. Returns null with \p Err set (including a line number) on
+/// any syntax, resolution, or verification failure.
+std::unique_ptr<Module> parseModule(IrContext &Ctx, const std::string &Text,
+                                    std::string &Err);
+
+} // namespace tawa
+
+#endif // TAWA_IR_PARSER_H

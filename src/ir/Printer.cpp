@@ -10,6 +10,8 @@
 #include "ir/Ir.h"
 #include "support/Support.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 
@@ -21,11 +23,10 @@ namespace {
 class Printer {
 public:
   std::string printModule(const Module &M) {
-    Out << "module {";
-    if (!M.getAttrs().empty()) {
-      Out << "  // attrs: " << formatAttrs(M.getAttrs());
-    }
-    Out << "\n";
+    Out << "module";
+    if (!M.getAttrs().empty())
+      Out << " attributes {" << formatAttrs(M.getAttrs()) << "}";
+    Out << " {\n";
     for (Operation &Op : M.getBody())
       printOp(&Op, 1);
     Out << "}\n";
@@ -129,6 +130,54 @@ private:
     return Name;
   }
 
+  /// Renders a double so the parser lexes it back as a float (never an
+  /// int) and recovers the exact bit pattern: shortest of %g / %.17g that
+  /// strtod-round-trips, with a ".0" suffix when the result would
+  /// otherwise look integral ("2" -> "2.0").
+  static std::string formatFloat(double D) {
+    if (std::isnan(D))
+      return "nan";
+    if (std::isinf(D))
+      return D < 0 ? "-inf" : "inf";
+    std::string S = formatString("%g", D);
+    if (strtod(S.c_str(), nullptr) != D)
+      S = formatString("%.17g", D);
+    if (S.find_first_of(".e") == std::string::npos)
+      S += ".0";
+    return S;
+  }
+
+  /// Escapes a string attribute for double-quoted printing; the parser's
+  /// unescape is the exact inverse, so arbitrary bytes round-trip.
+  static std::string escapeString(const std::string &In) {
+    std::string S;
+    for (char C : In) {
+      switch (C) {
+      case '\\':
+        S += "\\\\";
+        break;
+      case '"':
+        S += "\\\"";
+        break;
+      case '\n':
+        S += "\\n";
+        break;
+      case '\t':
+        S += "\\t";
+        break;
+      case '\r':
+        S += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20)
+          S += formatString("\\x%02x", static_cast<unsigned char>(C));
+        else
+          S += C;
+      }
+    }
+    return S;
+  }
+
   static std::string formatAttrs(const std::map<std::string, Attribute> &A) {
     std::string S;
     bool FirstAttr = true;
@@ -140,9 +189,9 @@ private:
       if (const auto *I = std::get_if<int64_t>(&Val))
         S += std::to_string(*I);
       else if (const auto *D = std::get_if<double>(&Val))
-        S += formatString("%g", *D);
+        S += formatFloat(*D);
       else if (const auto *Str = std::get_if<std::string>(&Val))
-        S += "\"" + *Str + "\"";
+        S += "\"" + escapeString(*Str) + "\"";
       else if (const auto *Vec = std::get_if<std::vector<int64_t>>(&Val)) {
         S += "[";
         for (size_t I = 0; I < Vec->size(); ++I) {

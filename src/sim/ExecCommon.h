@@ -110,12 +110,14 @@ struct AgentCtx {
   double PendingCuda = 0;
   std::string Error;
   /// Watchdog step counter, in engine-independent units: +1 per loop
-  /// iteration started, +1 per blocking mbarrier wait (condition false at
-  /// issue). Both engines count at the same source-level events, so the
-  /// counter — and any budget trip — is identical across legacy/unfused/
-  /// fused execution and independent of scheduling interleavings (an agent
-  /// only accumulates steps while it runs, and each engine runs an agent
-  /// until it blocks).
+  /// iteration started, +1 per mbarrier wait issued. Waits count at issue
+  /// whether or not they block — "did the wait block" depends on how far
+  /// the *other* agents have run, which under the legacy engine's
+  /// preemptive threads is a scheduling race. Counting at issue makes the
+  /// counter a pure function of the agent's own control flow, so it — and
+  /// any budget trip, and the per-agent step counts in diagnostic
+  /// snapshots — is identical across legacy/unfused/fused execution, every
+  /// worker count, and every thread interleaving.
   int64_t Steps = 0;
 };
 

@@ -409,14 +409,16 @@ private:
     int64_t Idx = asInt(operand(I, S, 1));
     int64_t Parity = asInt(operand(I, S, 2));
     waitIssue(Run.A, Bar, Idx, Parity);
+    // Every wait issued is one watchdog step event, blocked or not
+    // (ExecCommon.h AgentCtx) — counting only waits that happen to block
+    // would make step counts depend on agent scheduling.
+    if (watchdogStep(Run, Pc))
+      return true;
     WaitCond W;
     W.Bar = Bar;
     W.Idx = Idx;
     W.Parity = Parity;
     if (!waitSatisfied(W)) {
-      // A blocking wait is one watchdog step event (ExecCommon.h AgentCtx).
-      if (watchdogStep(Run, Pc))
-        return true;
       Run.W = W;
       Run.St = AgentRun::State::Blocked;
       Run.Pc = Pc;
@@ -561,7 +563,10 @@ private:
   std::vector<ExecDiagnostic::Agent> DiagAgents;
 
   /// Watchdog accounting at one engine-independent step event (a loop
-  /// iteration starting, or a wait blocking). Returns true when a budget
+  /// iteration starting, or an mbarrier wait issuing). Waits count at
+  /// issue whether or not they block: "did it block" depends on how far
+  /// the other agents have run, which the legacy engine's preemptive
+  /// threads cannot decide deterministically. Returns true when a budget
   /// tripped — the agent is Failed with its pc saved and the handler must
   /// return to the scheduler. Counting runs unconditionally (the counter
   /// feeds diagnostics); the compares are off at budget 0.
@@ -1439,19 +1444,22 @@ void BcExec::step(AgentRun &Run) {
     TAWA_CASE(MBarrierWait) : {
       // Issue half: cost + trace. The blocking half follows immediately.
       waitIssue(A, V(0).H, asInt(V(1)), asInt(V(2)));
+      // Every wait issued is one watchdog step event, blocked or not
+      // (ExecCommon.h AgentCtx). Counted here, not in MBarrierWaitBlock,
+      // so a scheduler resume cannot double-count the wait.
+      if (watchdogStep(Run, Pc))
+        return;
       TAWA_NEXT();
     }
     TAWA_CASE(MBarrierWaitBlock) : {
       // Blocking half: re-executed on every resume until the phase flips.
+      // The watchdog step was already counted at the issue half.
       Resumed = false; // This op re-checks the phase itself.
       WaitCond W;
       W.Bar = V(0).H;
       W.Idx = asInt(V(1));
       W.Parity = asInt(V(2));
       if (!waitSatisfied(W)) {
-        // A blocking wait is one watchdog step event.
-        if (watchdogStep(Run, Pc))
-          return;
         Run.W = W;
         Run.St = AgentRun::State::Blocked;
         Run.Pc = Pc;

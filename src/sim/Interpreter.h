@@ -100,7 +100,7 @@ struct RunOptions {
   /// Execution-watchdog step budget per agent (0 = off; the TAWA_MAX_STEPS
   /// environment variable supplies a process-wide default when this is 0).
   /// Steps are engine-independent units — loop iterations started plus
-  /// blocking mbarrier waits — so a budget trip is deterministic and
+  /// mbarrier waits issued — so a budget trip is deterministic and
   /// identical across engines and worker counts. An agent exceeding the
   /// budget fails with a "step budget exceeded" error (ErrorKind::
   /// StepBudget). See docs/robustness.md.

@@ -124,7 +124,7 @@ private:
   int64_t MaxSteps = 0;
 
   /// Watchdog accounting at one step event (loop iteration starting /
-  /// blocking wait), counted at the same source-level events as the
+  /// mbarrier wait issuing), counted at the same source-level events as the
   /// bytecode engine so trips are engine-identical. Returns true when the
   /// budget tripped; the caller fails the agent (A.Error is set).
   bool watchdogStep(AgentCtx &A) {
@@ -912,15 +912,16 @@ bool CtaExec::evalOp(Operation *Op, Env &E, AgentCtx &A) {
               A.Id, Arr.IsFull ? "full" : "empty", (long long)Idx,
               (long long)Parity, (long long)Arr.Bars[Idx].Completions);
     BlockInfo[A.Id] = {Bar, Idx, Parity};
-    if (Arr.Bars[Idx].Completions % 2 == Parity % 2) {
-      // Condition false at issue — a blocking wait: one watchdog step
-      // event (the bytecode engine counts when MBarrierWaitBlock blocks).
-      if (watchdogStep(A)) {
-        // Not blocked (failed): keep the agent out of the deadlock report
-        // and diagnostics, like a Failed bytecode agent.
-        BlockInfo.erase(A.Id);
-        return false;
-      }
+    // Every wait issued is one watchdog step event, blocked or not.
+    // Agents here are preemptive OS threads, so whether the phase has
+    // already flipped at issue is a scheduling race — counting only
+    // blocking waits would make A.Steps (and the diagnostic snapshots
+    // the goldens pin byte-identical) nondeterministic.
+    if (watchdogStep(A)) {
+      // Not blocked (failed): keep the agent out of the deadlock report
+      // and diagnostics, like a Failed bytecode agent.
+      BlockInfo.erase(A.Id);
+      return false;
     }
     if (!agentWaitUntil(
             A, [&] { return Arr.Bars[Idx].Completions % 2 != Parity % 2; })) {

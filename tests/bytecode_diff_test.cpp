@@ -229,6 +229,19 @@ TEST(BytecodeDiff, GemmPointerEpilogue) {
   diffGemm(C);
 }
 
+TEST(BytecodeDiff, GemmBatchedPointerEpilogue) {
+  // Found by tawa-fuzz (seed 52): the pointer epilogue's linear index had
+  // no batch term, so with Batched every batch wrote batch 0's plane of C
+  // and parallel grids produced worker-count-dependent output.
+  GemmDiffCase C;
+  C.Kernel.Batched = true;
+  C.Batch = 2;
+  C.Kernel.PointerEpilogue = true;
+  C.Options.EnableWarpSpecialization = false;
+  C.SwPipelineDepth = 3;
+  diffGemm(C);
+}
+
 //===----------------------------------------------------------------------===//
 // Attention differential harness
 //===----------------------------------------------------------------------===//

@@ -396,8 +396,8 @@ const char kDeadlockText[] = R"gold(tawa execution diagnostic
   agent 0 waits empty[0] (channel 0) parity 0, completions 0
   agent 1 waits full[0] (channel 0) parity 1, completions 1
   agents:
-    agent 0 "cta(0,0)/wg0(producer)": blocked after 4 steps, waits empty[0] (channel 0) parity 0, completions 0
-    agent 1 "cta(0,0)/wg1(consumer)": blocked after 4 steps, waits full[0] (channel 0) parity 1, completions 1
+    agent 0 "cta(0,0)/wg0(producer)": blocked after 6 steps, waits empty[0] (channel 0) parity 0, completions 0
+    agent 1 "cta(0,0)/wg1(consumer)": blocked after 6 steps, waits full[0] (channel 0) parity 1, completions 1
   barriers:
     barrier 0: full (channel 0) expected 1, completions [1 1], arrivals [0 0]
     barrier 1: empty (channel 0) expected 1, completions [0 0], arrivals [0 0]
@@ -418,7 +418,7 @@ const char kDeadlockJson[] = R"gold({
       "id": 0,
       "name": "cta(0,0)/wg0(producer)",
       "state": "blocked",
-      "steps": 4,
+      "steps": 6,
       "wait": {
         "kind": "empty",
         "index": 0,
@@ -431,7 +431,7 @@ const char kDeadlockJson[] = R"gold({
       "id": 1,
       "name": "cta(0,0)/wg1(consumer)",
       "state": "blocked",
-      "steps": 4,
+      "steps": 6,
       "wait": {
         "kind": "full",
         "index": 0,

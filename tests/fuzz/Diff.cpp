@@ -1,0 +1,266 @@
+//===- Diff.cpp - Nine-combo differential execution ---------------------------//
+
+#include "tests/fuzz/Diff.h"
+
+#include "sim/Diag.h"
+#include "sim/Interpreter.h"
+#include "sim/Replay.h"
+#include "support/FaultInject.h"
+#include "support/Status.h"
+#include "support/Support.h"
+
+#include <cstring>
+
+using namespace tawa;
+using namespace tawa::fuzz;
+using namespace tawa::sim;
+
+namespace {
+
+struct Combo {
+  bool Legacy;
+  bool Fuse;
+  int64_t Workers;
+};
+
+Combo comboFor(int I) {
+  static const int64_t WorkerGrid[3] = {1, 2, 4};
+  int Engine = I / 3; // 0 = legacy, 1 = unfused bytecode, 2 = fused.
+  return {Engine == 0, Engine == 2, WorkerGrid[I % 3]};
+}
+
+std::string comboName(int I) {
+  Combo C = comboFor(I);
+  const char *Engine = C.Legacy ? "legacy" : C.Fuse ? "fused" : "unfused";
+  return formatString("%s/w%lld", Engine, static_cast<long long>(C.Workers));
+}
+
+/// Everything one combo produces that the engines promise to keep
+/// identical.
+struct ComboResult {
+  std::string Error;
+  std::string ErrorKindName;
+  std::string DiagJson;
+  /// Raw bytes of every output tensor (launch args with FillSeed == 0).
+  std::vector<std::vector<float>> Outputs;
+  std::vector<CtaTrace> Traces;
+  bool HasReplay = false;
+  ReplayResult Replay;
+};
+
+/// Runs one combo: fresh tensors, fault spec armed for the duration of the
+/// grid, traces + diagnostics collected. Returns "" or a harness-level
+/// error (argument binding, fault-spec parse).
+std::string runCombo(const PreparedCase &P, int I, bool Corrupt,
+                     ComboResult &Out) {
+  Combo C = comboFor(I);
+  GpuConfig Cfg;
+
+  RunOptions Opts;
+  Opts.GridX = P.Launch.GridX;
+  Opts.GridY = P.Launch.GridY;
+  Opts.Functional = true;
+  Opts.UseLegacyInterp = C.Legacy;
+  Opts.FuseBytecode = C.Fuse;
+  Opts.NumWorkers = C.Workers;
+  // Deterministic runaway bound: identical across engines/workers, so a
+  // budget trip is itself a valid differential observable.
+  Opts.MaxSteps = 1000000;
+  ExecDiagnostic Diag;
+  Opts.Diag = &Diag;
+
+  std::vector<TensorRef> OutputTensors;
+  for (const LaunchSpec::Arg &A : P.Launch.Args) {
+    if (A.IsScalar) {
+      Opts.Args.push_back(RuntimeArg::scalar(A.Scalar));
+      continue;
+    }
+    auto T = std::make_shared<TensorData>(A.Shape);
+    if (A.FillSeed != 0)
+      T->fillRandom(A.FillSeed, 1.0f);
+    else
+      OutputTensors.push_back(T);
+    Opts.Args.push_back(RuntimeArg::tensor(T));
+  }
+
+  if (!P.Launch.FaultSpec.empty()) {
+    std::string FErr;
+    if (!faults::configure(P.Launch.FaultSpec, &FErr))
+      return "fault spec: " + FErr;
+  }
+  Interpreter Interp(*P.Mod, Cfg);
+  Out.Error = Interp.runGrid(Opts, nullptr, &Out.Traces);
+  faults::reset();
+
+  if (!Out.Error.empty()) {
+    Out.ErrorKindName = errorKindName(classifyError(Out.Error));
+    Out.DiagJson = Diag.renderJson();
+    Out.Traces.clear(); // Unspecified on error; never compared.
+    return "";
+  }
+
+  for (const TensorRef &T : OutputTensors)
+    Out.Outputs.emplace_back(T->data(),
+                             T->data() + T->getNumElements());
+  if (Corrupt && !Out.Outputs.empty() && !Out.Outputs[0].empty()) {
+    // Bit-flip one element of the first output: a minimal, deterministic
+    // stand-in for an engine bug (see DiffOptions::CorruptFusedOutput).
+    uint32_t Bits;
+    std::memcpy(&Bits, &Out.Outputs[0][0], sizeof(Bits));
+    Bits ^= 1u;
+    std::memcpy(&Out.Outputs[0][0], &Bits, sizeof(Bits));
+  }
+
+  std::vector<const CtaTrace *> Ptrs;
+  Ptrs.reserve(Out.Traces.size());
+  for (const CtaTrace &T : Out.Traces)
+    Ptrs.push_back(&T);
+  Out.Replay = replaySmSchedule(Ptrs, Cfg, ReplayParams());
+  Out.HasReplay = true;
+  return "";
+}
+
+std::string compareTraces(const CtaTrace &A, const CtaTrace &B) {
+  if (A.Agents.size() != B.Agents.size())
+    return formatString("agent count %zu vs %zu", A.Agents.size(),
+                        B.Agents.size());
+  for (size_t I = 0; I < A.Agents.size(); ++I) {
+    const AgentTrace &X = A.Agents[I];
+    const AgentTrace &Y = B.Agents[I];
+    if (X.Name != Y.Name)
+      return formatString("agent %zu name '%s' vs '%s'", I, X.Name.c_str(),
+                          Y.Name.c_str());
+    if (X.Replicas != Y.Replicas)
+      return formatString("agent %s replicas", X.Name.c_str());
+    if (X.Actions.size() != Y.Actions.size())
+      return formatString("agent %s action count %zu vs %zu",
+                          X.Name.c_str(), X.Actions.size(),
+                          Y.Actions.size());
+    for (size_t J = 0; J < X.Actions.size(); ++J) {
+      const Action &P = X.Actions[J];
+      const Action &Q = Y.Actions[J];
+      if (P.Kind != Q.Kind || P.Cycles != Q.Cycles || P.Bytes != Q.Bytes ||
+          P.Bar != Q.Bar || P.Idx != Q.Idx || P.Parity != Q.Parity ||
+          P.Pendings != Q.Pendings || P.Lookahead != Q.Lookahead)
+        return formatString("agent %s action %zu differs", X.Name.c_str(),
+                            J);
+    }
+  }
+  if (A.NumBarrierArrays != B.NumBarrierArrays)
+    return "barrier array count";
+  if (A.BarrierArrivals != B.BarrierArrivals)
+    return "barrier arrivals";
+  if (A.BarrierSizes != B.BarrierSizes)
+    return "barrier sizes";
+  if (A.SmemBytes != B.SmemBytes)
+    return "smem bytes";
+  if (A.RegsPerThread != B.RegsPerThread)
+    return "regs per thread";
+  if (A.HbEvents != B.HbEvents)
+    return formatString("happens-before events %llu vs %llu",
+                        static_cast<unsigned long long>(A.HbEvents),
+                        static_cast<unsigned long long>(B.HbEvents));
+  return "";
+}
+
+std::string compareCombos(const ComboResult &Ref, const ComboResult &R,
+                          const std::string &Name) {
+  if (Ref.Error != R.Error)
+    return formatString("[%s] error '%s' vs reference '%s'", Name.c_str(),
+                        R.Error.c_str(), Ref.Error.c_str());
+  if (Ref.ErrorKindName != R.ErrorKindName)
+    return formatString("[%s] error kind %s vs %s", Name.c_str(),
+                        R.ErrorKindName.c_str(), Ref.ErrorKindName.c_str());
+  if (Ref.DiagJson != R.DiagJson)
+    return formatString("[%s] diagnostic JSON differs", Name.c_str());
+  if (!Ref.Error.empty())
+    return ""; // Same failure everywhere: agreed.
+
+  if (Ref.Outputs.size() != R.Outputs.size())
+    return formatString("[%s] output tensor count", Name.c_str());
+  for (size_t I = 0; I < Ref.Outputs.size(); ++I) {
+    if (Ref.Outputs[I].size() != R.Outputs[I].size())
+      return formatString("[%s] output %zu size", Name.c_str(), I);
+    if (std::memcmp(Ref.Outputs[I].data(), R.Outputs[I].data(),
+                    Ref.Outputs[I].size() * sizeof(float)) != 0)
+      return formatString("[%s] output %zu bytes differ", Name.c_str(), I);
+  }
+
+  if (Ref.Traces.size() != R.Traces.size())
+    return formatString("[%s] trace count", Name.c_str());
+  for (size_t I = 0; I < Ref.Traces.size(); ++I)
+    if (std::string D = compareTraces(Ref.Traces[I], R.Traces[I]);
+        !D.empty())
+      return formatString("[%s] cta %zu trace: %s", Name.c_str(), I,
+                          D.c_str());
+
+  if (Ref.HasReplay != R.HasReplay)
+    return formatString("[%s] replay availability", Name.c_str());
+  if (Ref.HasReplay) {
+    if (Ref.Replay.Deadlock != R.Replay.Deadlock ||
+        Ref.Replay.Error != R.Replay.Error)
+      return formatString("[%s] replay status", Name.c_str());
+    if (Ref.Replay.Cycles != R.Replay.Cycles ||
+        Ref.Replay.TensorBusyCycles != R.Replay.TensorBusyCycles ||
+        Ref.Replay.DramBusyCycles != R.Replay.DramBusyCycles ||
+        Ref.Replay.DramBytes != R.Replay.DramBytes)
+      return formatString("[%s] replay cycles %.3f vs %.3f", Name.c_str(),
+                          R.Replay.Cycles, Ref.Replay.Cycles);
+  }
+  return "";
+}
+
+/// Timing-mode leg: traces must also agree when tensor payloads are not
+/// computed (RunOptions::Functional = false, the benchmark sampling path).
+/// Serial per-CTA execution, faults disarmed (runCta bypasses the worker
+/// pool where the worker-task site lives).
+std::string diffTimingLeg(const PreparedCase &P) {
+  GpuConfig Cfg;
+  CtaTrace Ref;
+  std::string RefErr;
+  for (int Engine = 0; Engine < 3; ++Engine) {
+    RunOptions Opts;
+    Opts.GridX = P.Launch.GridX;
+    Opts.GridY = P.Launch.GridY;
+    Opts.Functional = false;
+    Opts.UseLegacyInterp = Engine == 0;
+    Opts.FuseBytecode = Engine == 2;
+    Opts.MaxSteps = 1000000;
+    for (const LaunchSpec::Arg &A : P.Launch.Args)
+      Opts.Args.push_back(A.IsScalar ? RuntimeArg::scalar(A.Scalar)
+                                     : RuntimeArg::tensor(nullptr));
+    Interpreter Interp(*P.Mod, Cfg);
+    CtaTrace T;
+    std::string Err = Interp.runCta(Opts, 0, 0, T);
+    if (Engine == 0) {
+      Ref = std::move(T);
+      RefErr = Err;
+      continue;
+    }
+    if (Err != RefErr)
+      return formatString("[timing/engine%d] error '%s' vs '%s'", Engine,
+                          Err.c_str(), RefErr.c_str());
+    if (Err.empty())
+      if (std::string D = compareTraces(Ref, T); !D.empty())
+        return formatString("[timing/engine%d] %s", Engine, D.c_str());
+  }
+  return "";
+}
+
+} // namespace
+
+std::string tawa::fuzz::diffCase(const PreparedCase &P,
+                                 const DiffOptions &Opts) {
+  ComboResult Ref;
+  if (std::string E = runCombo(P, 0, false, Ref); !E.empty())
+    return "harness: " + E;
+  for (int I = 1; I < NumDiffCombos; ++I) {
+    ComboResult R;
+    bool Corrupt = Opts.CorruptFusedOutput && I == NumDiffCombos - 1;
+    if (std::string E = runCombo(P, I, Corrupt, R); !E.empty())
+      return "harness: " + E;
+    if (std::string D = compareCombos(Ref, R, comboName(I)); !D.empty())
+      return D;
+  }
+  return diffTimingLeg(P);
+}

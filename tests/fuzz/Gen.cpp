@@ -1,0 +1,542 @@
+//===- Gen.cpp - Deterministic fuzz-case generation ---------------------------//
+
+#include "tests/fuzz/Gen.h"
+
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "sim/Config.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace tawa;
+using namespace tawa::fuzz;
+
+const char *tawa::fuzz::familyName(Family F) {
+  switch (F) {
+  case Family::Gemm:
+    return "gemm";
+  case Family::Attention:
+    return "attention";
+  case Family::ProtocolRing:
+    return "protocol-ring";
+  }
+  return "?";
+}
+
+std::string FuzzCase::describe() const {
+  std::string S = formatString("seed=%llu %s",
+                               static_cast<unsigned long long>(Seed),
+                               familyName(Kind));
+  switch (Kind) {
+  case Family::Gemm:
+    S += formatString(" M=%lld N=%lld K=%lld tile=%lldx%lldx%lld %s%s%s",
+                      static_cast<long long>(M), static_cast<long long>(N),
+                      static_cast<long long>(K),
+                      static_cast<long long>(Gemm.TileM),
+                      static_cast<long long>(Gemm.TileN),
+                      static_cast<long long>(Gemm.TileK),
+                      Gemm.InPrecision == Precision::FP8 ? "fp8" : "fp16",
+                      Gemm.Batched ? " batched" : "",
+                      Gemm.PointerEpilogue ? " ptr-epilogue" : "");
+    break;
+  case Family::Attention:
+    S += formatString(" L=%lld H=%lld tile=%lldx%lld d=%lld%s",
+                      static_cast<long long>(SeqLen),
+                      static_cast<long long>(Heads),
+                      static_cast<long long>(Mha.TileQ),
+                      static_cast<long long>(Mha.TileKv),
+                      static_cast<long long>(Mha.HeadDim),
+                      Mha.Causal ? " causal" : "");
+    break;
+  case Family::ProtocolRing:
+    S += formatString(" depth=%lld iters=%lld%s",
+                      static_cast<long long>(RingDepth),
+                      static_cast<long long>(RingIters),
+                      RingSkipRelease ? " skip-release" : "");
+    break;
+  }
+  if (Options.EnableWarpSpecialization)
+    S += formatString(" ws D=%lld P=%lld G=%lld%s%s",
+                      static_cast<long long>(Options.ArefDepth),
+                      static_cast<long long>(Options.MmaPipelineDepth),
+                      static_cast<long long>(Options.NumConsumerGroups),
+                      Options.Persistent ? " persistent" : "",
+                      Options.CoarsePipeline ? " coarse" : "");
+  else
+    S += formatString(" swp=%lld", static_cast<long long>(SwPipelineDepth));
+  if (Faults)
+    S += formatString(" faults=%lld%%:%llu",
+                      static_cast<long long>(FaultRatePct),
+                      static_cast<unsigned long long>(FaultSeed));
+  return S;
+}
+
+FuzzCase tawa::fuzz::generateCase(uint64_t Seed) {
+  Rng R(Seed);
+  FuzzCase C;
+  C.Seed = Seed;
+  int Roll = static_cast<int>(R.range(0, 99));
+  C.Kind = Roll < 40   ? Family::Gemm
+           : Roll < 75 ? Family::Attention
+                       : Family::ProtocolRing;
+
+  C.Options.EnableWarpSpecialization = R.chance(75);
+  C.Options.ArefDepth = R.range(1, 4);
+  C.Options.MmaPipelineDepth =
+      R.range(0, std::min<int64_t>(C.Options.ArefDepth, 2));
+  C.Options.NumConsumerGroups = R.chance(30) ? 2 : 1;
+  // The persistent-kernel pass needs the GEMM tile_m/tile_n attributes.
+  C.Options.Persistent = C.Kind == Family::Gemm && R.chance(25);
+  // Coarse pipelining targets the two-dot (attention) loop structure.
+  C.Options.CoarsePipeline = C.Kind == Family::Attention && R.chance(35);
+  if (!C.Options.EnableWarpSpecialization)
+    C.SwPipelineDepth = R.range(0, 3);
+
+  switch (C.Kind) {
+  case Family::Gemm:
+    C.Gemm.TileM = R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Gemm.TileN = R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Gemm.TileK = R.pick({static_cast<int64_t>(16), static_cast<int64_t>(32)});
+    C.Gemm.InPrecision = R.chance(25) ? Precision::FP8 : Precision::FP16;
+    C.Gemm.Batched = R.chance(25);
+    // The pointer-arithmetic epilogue is a tile-dialect feature; mirror the
+    // repo's coverage and exercise it on the non-WS path.
+    C.Gemm.PointerEpilogue =
+        !C.Options.EnableWarpSpecialization && R.chance(40);
+    C.M = C.Gemm.TileM * R.range(2, 4);
+    C.N = C.Gemm.TileN * R.range(2, 4);
+    C.K = C.Gemm.TileK * R.range(1, 3);
+    C.Batch = C.Gemm.Batched ? 2 : 1;
+    break;
+  case Family::Attention:
+    C.Mha.TileQ = R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Mha.TileKv = R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Mha.HeadDim =
+        R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Mha.Causal = R.chance(40);
+    C.Mha.InPrecision = R.chance(20) ? Precision::FP8 : Precision::FP16;
+    // Multiple of 64 => divisible by either tile choice.
+    C.SeqLen = 64 * R.range(2, 4);
+    C.Heads = R.range(1, 2);
+    break;
+  case Family::ProtocolRing:
+    C.RingDepth = R.range(1, 3);
+    C.RingIters = R.range(2, 8);
+    C.RingSkipRelease = R.chance(20);
+    break;
+  }
+
+  if (!C.Options.validate().empty()) {
+    C.Options.ArefDepth = 2;
+    C.Options.MmaPipelineDepth = 1;
+  }
+
+  C.Faults = R.chance(15);
+  if (C.Faults) {
+    C.FaultRatePct = R.range(20, 60);
+    C.FaultSeed = R.next() % 1024;
+  }
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Module construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The hand-built producer/consumer mbarrier ring of the protocol tests
+/// (tests/bytecode_diff_test.cpp), with an optional missing-release bug so
+/// deadlock diagnostics get differential coverage too.
+std::unique_ptr<Module> buildProtocolRing(IrContext &Ctx, int64_t Depth,
+                                          int64_t Iters, bool SkipRelease) {
+  auto M = std::make_unique<Module>(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&M->getBody());
+  FuncOp *F = B.createFunc("k", {Ctx.getPtrType(), Ctx.getPtrType()});
+  Block &Body = F->getBody();
+  B.setInsertionPointToEnd(&Body);
+  Value *InDesc = Body.getArgument(0);
+  Value *OutDesc = Body.getArgument(1);
+  auto *TileTy = Ctx.getTensorType({16, 16}, Ctx.getF16Type());
+  int64_t Bytes = TileTy->getNumBytes();
+
+  Value *Smem = B.createSmemAlloc(Depth * Bytes, "ring");
+  Operation *SmemOp = cast<OpResult>(Smem)->getOwner();
+  SmemOp->setAttr("slot_bytes", Bytes);
+  SmemOp->setAttr("channel", static_cast<int64_t>(0));
+  SmemOp->setAttr("num_slots", Depth);
+  Value *Full = B.createMBarrierAlloc(Depth, "full");
+  Operation *FullOp = cast<OpResult>(Full)->getOwner();
+  FullOp->setAttr("channel", static_cast<int64_t>(0));
+  FullOp->setAttr("kind", std::string("full"));
+  Value *Empty = B.createMBarrierAlloc(Depth, "empty");
+  Operation *EmptyOp = cast<OpResult>(Empty)->getOwner();
+  EmptyOp->setAttr("channel", static_cast<int64_t>(0));
+  EmptyOp->setAttr("kind", std::string("empty"));
+
+  Value *Zero = B.createConstantInt(0);
+  Value *One = B.createConstantInt(1);
+  Value *Two = B.createConstantInt(2);
+  Value *DepthC = B.createConstantInt(Depth);
+  Value *N = B.createConstantInt(Iters);
+
+  WarpGroupOp *WG0 = B.createWarpGroup(0, "producer");
+  {
+    OpBuilder P(Ctx);
+    P.setInsertionPointToEnd(&WG0->getBody());
+    ForOp *Loop = P.createFor(Zero, N, One, {});
+    OpBuilder L(Ctx);
+    L.setInsertionPointToEnd(&Loop->getBody());
+    Value *K = Loop->getInductionVar();
+    Value *Slot = L.createRem(K, DepthC);
+    Value *Wrap = L.createDiv(K, DepthC);
+    Value *Parity = L.createRem(L.createAdd(Wrap, One), Two);
+    L.createMBarrierWait(Empty, Slot, Parity);
+    L.createMBarrierExpectTx(Full, Slot, Bytes);
+    Operation *Copy = L.createTmaLoadAsync(InDesc, {Slot, Slot}, Smem, Full,
+                                           Slot, Bytes, 0);
+    Copy->setAttr("shape", std::vector<int64_t>{16, 16});
+    L.createYield({});
+  }
+
+  WarpGroupOp *WG1 = B.createWarpGroup(1, "consumer");
+  {
+    OpBuilder Cb(Ctx);
+    Cb.setInsertionPointToEnd(&WG1->getBody());
+    ForOp *Loop = Cb.createFor(Zero, N, One, {});
+    OpBuilder L(Ctx);
+    L.setInsertionPointToEnd(&Loop->getBody());
+    Value *K = Loop->getInductionVar();
+    Value *Slot = L.createRem(K, DepthC);
+    Value *Wrap = L.createDiv(K, DepthC);
+    Value *Parity = L.createRem(Wrap, Two);
+    L.createMBarrierWait(Full, Slot, Parity);
+    Value *Tile = L.createSmemRead(Smem, Slot, TileTy, 0);
+    L.createTmaStore(OutDesc, {Slot, Slot}, Tile);
+    if (!SkipRelease)
+      L.createMBarrierArrive(Empty, Slot);
+    L.createYield({});
+  }
+  B.createReturn();
+  return M;
+}
+
+LaunchSpec::Arg tensorArg(std::vector<int64_t> Shape, uint64_t FillSeed) {
+  LaunchSpec::Arg A;
+  A.Shape = std::move(Shape);
+  A.FillSeed = FillSeed;
+  return A;
+}
+
+LaunchSpec::Arg scalarArg(int64_t V) {
+  LaunchSpec::Arg A;
+  A.IsScalar = true;
+  A.Scalar = V;
+  return A;
+}
+
+std::string faultSpecFor(const FuzzCase &C) {
+  if (!C.Faults)
+    return "";
+  return formatString("worker-task:%.2f:%llu", C.FaultRatePct / 100.0,
+                      static_cast<unsigned long long>(C.FaultSeed));
+}
+
+} // namespace
+
+std::string tawa::fuzz::prepareCase(const FuzzCase &C, PreparedCase &Out) {
+  Out.Ctx = std::make_unique<IrContext>();
+  IrContext &Ctx = *Out.Ctx;
+  LaunchSpec L;
+  L.FaultSpec = faultSpecFor(C);
+  std::unique_ptr<Module> M;
+
+  switch (C.Kind) {
+  case Family::Gemm: {
+    M = buildGemmModule(Ctx, C.Gemm);
+    PassManager PM;
+    buildTawaPipeline(PM, C.Options);
+    if (std::string Err = PM.run(*M); !Err.empty())
+      return "compile: " + Err;
+    if (!C.Options.EnableWarpSpecialization && C.SwPipelineDepth > 0)
+      if (std::string Err = runSoftwarePipeline(*M, C.SwPipelineDepth);
+          !Err.empty())
+        return "swp: " + Err;
+    int64_t Tiles = ceilDiv(C.M, C.Gemm.TileM) * ceilDiv(C.N, C.Gemm.TileN);
+    bool Persistent =
+        C.Options.Persistent && C.Options.EnableWarpSpecialization;
+    L.GridX = Persistent
+                  ? std::min<int64_t>(sim::GpuConfig().NumSms, Tiles)
+                  : Tiles;
+    L.GridY = C.Batch;
+    std::vector<int64_t> AShape = {C.M, C.K};
+    std::vector<int64_t> BShape = {C.N, C.K};
+    std::vector<int64_t> CShape = {C.M, C.N};
+    if (C.Gemm.Batched) {
+      AShape.insert(AShape.begin(), C.Batch);
+      BShape.insert(BShape.begin(), C.Batch);
+      CShape.insert(CShape.begin(), C.Batch);
+    }
+    L.Args = {tensorArg(AShape, 1), tensorArg(BShape, 2),
+              tensorArg(CShape, 0), scalarArg(C.M), scalarArg(C.N),
+              scalarArg(C.K)};
+    break;
+  }
+  case Family::Attention: {
+    M = buildAttentionModule(Ctx, C.Mha);
+    PassManager PM;
+    buildTawaPipeline(PM, C.Options);
+    if (std::string Err = PM.run(*M); !Err.empty())
+      return "compile: " + Err;
+    int64_t QTiles = ceilDiv(C.SeqLen, C.Mha.TileQ);
+    int64_t BH = C.Heads;
+    L.GridX = QTiles;
+    L.GridY = BH;
+    std::vector<int64_t> Shape = {BH, C.SeqLen, C.Mha.HeadDim};
+    L.Args = {tensorArg(Shape, 11), tensorArg(Shape, 12),
+              tensorArg(Shape, 13), tensorArg(Shape, 0),
+              scalarArg(C.SeqLen)};
+    break;
+  }
+  case Family::ProtocolRing: {
+    M = buildProtocolRing(Ctx, C.RingDepth, C.RingIters, C.RingSkipRelease);
+    if (std::string Err = verify(*M); !Err.empty())
+      return "verify: " + Err;
+    L.GridX = 1;
+    L.GridY = 1;
+    L.Args = {tensorArg({64, 64}, 3), tensorArg({64, 64}, 0)};
+    break;
+  }
+  }
+
+  encodeLaunchSpec(*M, L);
+  M->setAttr("fuzz.seed", static_cast<int64_t>(C.Seed));
+  M->setAttr("fuzz.family", std::string(familyName(C.Kind)));
+  Out.Mod = std::move(M);
+  Out.Launch = std::move(L);
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Launch-spec encoding (module attributes)
+//===----------------------------------------------------------------------===//
+
+void tawa::fuzz::encodeLaunchSpec(Module &M, const LaunchSpec &L) {
+  M.setAttr("fuzz.grid", std::vector<int64_t>{L.GridX, L.GridY});
+  std::string Args;
+  for (const LaunchSpec::Arg &A : L.Args) {
+    if (!Args.empty())
+      Args += ";";
+    if (A.IsScalar) {
+      Args += "s" + std::to_string(A.Scalar);
+    } else {
+      Args += "t" + std::to_string(A.FillSeed) + ":";
+      for (size_t I = 0; I < A.Shape.size(); ++I) {
+        if (I)
+          Args += "x";
+        Args += std::to_string(A.Shape[I]);
+      }
+    }
+  }
+  M.setAttr("fuzz.args", Args);
+  if (!L.FaultSpec.empty())
+    M.setAttr("fuzz.faults", L.FaultSpec);
+  else
+    M.removeAttr("fuzz.faults");
+}
+
+std::string tawa::fuzz::decodeLaunchSpec(const Module &M, LaunchSpec &L) {
+  const auto &Attrs = M.getAttrs();
+  auto GridIt = Attrs.find("fuzz.grid");
+  if (GridIt == Attrs.end())
+    return "missing fuzz.grid module attribute";
+  const auto *Grid = std::get_if<std::vector<int64_t>>(&GridIt->second);
+  if (!Grid || Grid->size() != 2)
+    return "fuzz.grid must be [gridX, gridY]";
+  L.GridX = (*Grid)[0];
+  L.GridY = (*Grid)[1];
+
+  auto ArgsIt = Attrs.find("fuzz.args");
+  if (ArgsIt == Attrs.end())
+    return "missing fuzz.args module attribute";
+  const auto *Spec = std::get_if<std::string>(&ArgsIt->second);
+  if (!Spec)
+    return "fuzz.args must be a string";
+  L.Args.clear();
+  size_t Pos = 0;
+  while (Pos < Spec->size()) {
+    size_t End = Spec->find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec->size();
+    std::string Tok = Spec->substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Tok.empty())
+      return "empty fuzz.args entry";
+    if (Tok[0] == 's') {
+      L.Args.push_back(scalarArg(std::strtoll(Tok.c_str() + 1, nullptr, 10)));
+    } else if (Tok[0] == 't') {
+      size_t Colon = Tok.find(':');
+      if (Colon == std::string::npos)
+        return "malformed tensor entry in fuzz.args: " + Tok;
+      uint64_t Seed = std::strtoull(Tok.substr(1, Colon - 1).c_str(),
+                                    nullptr, 10);
+      std::vector<int64_t> Shape;
+      size_t P = Colon + 1;
+      while (P < Tok.size()) {
+        size_t X = Tok.find('x', P);
+        if (X == std::string::npos)
+          X = Tok.size();
+        Shape.push_back(std::strtoll(Tok.substr(P, X - P).c_str(), nullptr,
+                                     10));
+        P = X + 1;
+      }
+      if (Shape.empty())
+        return "tensor entry with no shape in fuzz.args: " + Tok;
+      L.Args.push_back(tensorArg(std::move(Shape), Seed));
+    } else {
+      return "unknown fuzz.args entry kind: " + Tok;
+    }
+  }
+
+  auto FaultsIt = Attrs.find("fuzz.faults");
+  if (FaultsIt != Attrs.end()) {
+    const auto *F = std::get_if<std::string>(&FaultsIt->second);
+    if (!F)
+      return "fuzz.faults must be a string";
+    L.FaultSpec = *F;
+  } else {
+    L.FaultSpec = "";
+  }
+  return "";
+}
+
+std::string tawa::fuzz::loadCase(const std::string &Text, PreparedCase &Out) {
+  Out.Ctx = std::make_unique<IrContext>();
+  std::string Err;
+  Out.Mod = parseModule(*Out.Ctx, Text, Err);
+  if (!Out.Mod)
+    return "parse: " + Err;
+  if (std::string DErr = decodeLaunchSpec(*Out.Mod, Out.Launch);
+      !DErr.empty())
+    return "launch: " + DErr;
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Shrinking
+//===----------------------------------------------------------------------===//
+
+std::vector<FuzzCase> tawa::fuzz::shrinkCandidates(const FuzzCase &C) {
+  std::vector<FuzzCase> Out;
+  auto Add = [&](const std::function<void(FuzzCase &)> &Mutate) {
+    FuzzCase N = C;
+    Mutate(N);
+    if (N.Options.validate().empty())
+      Out.push_back(std::move(N));
+  };
+  // Halves \p V down to the next multiple of \p Unit, never below Unit.
+  auto HalveTo = [](int64_t V, int64_t Unit) {
+    int64_t Halved = std::max(Unit, (V / 2 / Unit) * Unit);
+    return Halved;
+  };
+
+  switch (C.Kind) {
+  case Family::Gemm:
+    if (C.M > C.Gemm.TileM)
+      Add([&](FuzzCase &N) { N.M = HalveTo(C.M, C.Gemm.TileM); });
+    if (C.N > C.Gemm.TileN)
+      Add([&](FuzzCase &N) { N.N = HalveTo(C.N, C.Gemm.TileN); });
+    if (C.K > C.Gemm.TileK)
+      Add([&](FuzzCase &N) { N.K = HalveTo(C.K, C.Gemm.TileK); });
+    if (C.Gemm.TileM > 32)
+      Add([&](FuzzCase &N) { N.Gemm.TileM = 32; });
+    if (C.Gemm.TileN > 32)
+      Add([&](FuzzCase &N) { N.Gemm.TileN = 32; });
+    if (C.Gemm.TileK > 16)
+      Add([&](FuzzCase &N) { N.Gemm.TileK = 16; });
+    if (C.Gemm.Batched)
+      Add([&](FuzzCase &N) {
+        N.Gemm.Batched = false;
+        N.Batch = 1;
+      });
+    if (C.Gemm.PointerEpilogue)
+      Add([&](FuzzCase &N) { N.Gemm.PointerEpilogue = false; });
+    if (C.Gemm.InPrecision == Precision::FP8)
+      Add([&](FuzzCase &N) { N.Gemm.InPrecision = Precision::FP16; });
+    break;
+  case Family::Attention:
+    if (C.SeqLen > std::max(C.Mha.TileQ, C.Mha.TileKv))
+      Add([&](FuzzCase &N) {
+        N.SeqLen = HalveTo(C.SeqLen, std::max(C.Mha.TileQ, C.Mha.TileKv));
+      });
+    if (C.Heads > 1)
+      Add([&](FuzzCase &N) { N.Heads = 1; });
+    if (C.Mha.HeadDim > 32)
+      Add([&](FuzzCase &N) { N.Mha.HeadDim = 32; });
+    if (C.Mha.TileQ > 32)
+      Add([&](FuzzCase &N) { N.Mha.TileQ = 32; });
+    if (C.Mha.TileKv > 32)
+      Add([&](FuzzCase &N) { N.Mha.TileKv = 32; });
+    if (C.Mha.Causal)
+      Add([&](FuzzCase &N) { N.Mha.Causal = false; });
+    if (C.Mha.InPrecision == Precision::FP8)
+      Add([&](FuzzCase &N) { N.Mha.InPrecision = Precision::FP16; });
+    break;
+  case Family::ProtocolRing:
+    if (C.RingIters > 2)
+      Add([&](FuzzCase &N) { N.RingIters = std::max<int64_t>(2, C.RingIters / 2); });
+    if (C.RingDepth > 1)
+      Add([&](FuzzCase &N) {
+        N.RingDepth = C.RingDepth - 1;
+      });
+    break;
+  }
+
+  // Pipeline simplifications (shared).
+  if (C.Options.Persistent)
+    Add([&](FuzzCase &N) { N.Options.Persistent = false; });
+  if (C.Options.CoarsePipeline)
+    Add([&](FuzzCase &N) { N.Options.CoarsePipeline = false; });
+  if (C.Options.NumConsumerGroups > 1)
+    Add([&](FuzzCase &N) { N.Options.NumConsumerGroups = 1; });
+  if (C.Options.MmaPipelineDepth > 0)
+    Add([&](FuzzCase &N) { N.Options.MmaPipelineDepth -= 1; });
+  if (C.Options.ArefDepth > 1)
+    Add([&](FuzzCase &N) {
+      N.Options.ArefDepth -= 1;
+      N.Options.MmaPipelineDepth =
+          std::min(N.Options.MmaPipelineDepth, N.Options.ArefDepth);
+    });
+  if (C.SwPipelineDepth > 0)
+    Add([&](FuzzCase &N) { N.SwPipelineDepth -= 1; });
+  if (C.Faults)
+    Add([&](FuzzCase &N) { N.Faults = false; });
+  return Out;
+}
+
+FuzzCase tawa::fuzz::minimizeCase(
+    const FuzzCase &C,
+    const std::function<std::string(const FuzzCase &)> &Oracle,
+    int *StepsOut) {
+  FuzzCase Cur = C;
+  int Steps = 0;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const FuzzCase &Cand : shrinkCandidates(Cur)) {
+      if (!Oracle(Cand).empty()) {
+        Cur = Cand;
+        ++Steps;
+        Progress = true;
+        break;
+      }
+    }
+  }
+  if (StepsOut)
+    *StepsOut = Steps;
+  return Cur;
+}

@@ -1,0 +1,135 @@
+//===- fuzz_replay_test.cpp - Replay engine over fuzzed traces ----------------//
+//
+// sim/Replay coverage with generator-produced kernels (tests/fuzz/Gen.h):
+// the replayed cycle totals are a function of the traces alone, so they
+// must be identical whichever engine or worker count produced the traces,
+// identical on re-replay, and identical after the module takes a textual
+// print -> parse round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/fuzz/Gen.h"
+
+#include "sim/Interpreter.h"
+#include "sim/Replay.h"
+
+#include <gtest/gtest.h>
+
+using namespace tawa;
+using namespace tawa::fuzz;
+using namespace tawa::sim;
+
+namespace {
+
+/// Runs every CTA of \p P on one engine/worker combo and returns the grid's
+/// traces ("" error expected from the caller).
+std::string runForTraces(const PreparedCase &P, bool Legacy, bool Fuse,
+                         int64_t Workers, std::vector<CtaTrace> &Out) {
+  GpuConfig Cfg;
+  RunOptions Opts;
+  Opts.GridX = P.Launch.GridX;
+  Opts.GridY = P.Launch.GridY;
+  Opts.UseLegacyInterp = Legacy;
+  Opts.FuseBytecode = Fuse;
+  Opts.NumWorkers = Workers;
+  Opts.MaxSteps = 1000000;
+  for (const LaunchSpec::Arg &A : P.Launch.Args) {
+    if (A.IsScalar) {
+      Opts.Args.push_back(RuntimeArg::scalar(A.Scalar));
+      continue;
+    }
+    auto T = std::make_shared<TensorData>(A.Shape);
+    if (A.FillSeed != 0)
+      T->fillRandom(A.FillSeed, 1.0f);
+    Opts.Args.push_back(RuntimeArg::tensor(T));
+  }
+  Interpreter Interp(*P.Mod, Cfg);
+  return Interp.runGrid(Opts, nullptr, &Out);
+}
+
+ReplayResult replayAll(const std::vector<CtaTrace> &Traces) {
+  std::vector<const CtaTrace *> Ptrs;
+  for (const CtaTrace &T : Traces)
+    Ptrs.push_back(&T);
+  GpuConfig Cfg;
+  return replaySmSchedule(Ptrs, Cfg, ReplayParams());
+}
+
+void expectReplayEq(const ReplayResult &A, const ReplayResult &B) {
+  EXPECT_EQ(A.Deadlock, B.Deadlock);
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.TensorBusyCycles, B.TensorBusyCycles);
+  EXPECT_EQ(A.DramBusyCycles, B.DramBusyCycles);
+  EXPECT_EQ(A.DramBytes, B.DramBytes);
+}
+
+/// Clean (no faults, no deadlock bug) fuzzed case for \p Seed, or nullopt
+/// behavior via the bool return.
+bool prepareClean(uint64_t Seed, PreparedCase &P) {
+  FuzzCase C = generateCase(Seed);
+  C.Faults = false;
+  C.RingSkipRelease = false;
+  return prepareCase(C, P).empty();
+}
+
+TEST(FuzzReplay, TotalsMatchAcrossEnginesAndWorkers) {
+  struct ComboSpec {
+    bool Legacy;
+    bool Fuse;
+    int64_t Workers;
+  };
+  const ComboSpec Combos[] = {
+      {true, false, 1}, {false, false, 2}, {false, true, 4}};
+
+  int Checked = 0;
+  for (uint64_t Seed = 100; Checked < 4 && Seed < 140; ++Seed) {
+    PreparedCase P;
+    if (!prepareClean(Seed, P))
+      continue;
+
+    std::vector<CtaTrace> RefTraces;
+    ASSERT_EQ(runForTraces(P, Combos[0].Legacy, Combos[0].Fuse,
+                           Combos[0].Workers, RefTraces),
+              "");
+    ReplayResult Ref = replayAll(RefTraces);
+    // Deterministic: replaying the same traces twice gives the same
+    // totals.
+    expectReplayEq(Ref, replayAll(RefTraces));
+
+    for (size_t I = 1; I < 3; ++I) {
+      std::vector<CtaTrace> Traces;
+      ASSERT_EQ(runForTraces(P, Combos[I].Legacy, Combos[I].Fuse,
+                             Combos[I].Workers, Traces),
+                "");
+      expectReplayEq(Ref, replayAll(Traces));
+    }
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 3) << "generator produced too few clean cases";
+}
+
+TEST(FuzzReplay, TextualRoundTripPreservesReplayTotals) {
+  int Checked = 0;
+  for (uint64_t Seed = 200; Checked < 3 && Seed < 230; ++Seed) {
+    PreparedCase P;
+    if (!prepareClean(Seed, P))
+      continue;
+
+    std::vector<CtaTrace> Traces;
+    ASSERT_EQ(runForTraces(P, false, true, 1, Traces), "");
+    ReplayResult Ref = replayAll(Traces);
+
+    // Print the compiled module, parse it back, run the reparsed module,
+    // and replay: totals must survive the textual round trip.
+    PreparedCase Loaded;
+    ASSERT_EQ(loadCase(P.Mod->print(), Loaded), "");
+    std::vector<CtaTrace> LoadedTraces;
+    ASSERT_EQ(runForTraces(Loaded, false, true, 1, LoadedTraces), "");
+    expectReplayEq(Ref, replayAll(LoadedTraces));
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 2) << "generator produced too few clean cases";
+}
+
+} // namespace
