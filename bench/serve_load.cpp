@@ -1,0 +1,263 @@
+//===- serve_load.cpp - tawa-serve load generator ------------------------------//
+//
+// Closed-loop load generator for the serving layer (docs/serving.md):
+// N lanes each own one connection and fire requests back-to-back, so
+// concurrency is bounded and overload behavior is the daemon's admission
+// control, not client-side queueing. Two modes:
+//
+//   serve_load --connect /tmp/tawa.sock   # against a running daemon
+//   serve_load                            # in-process Service (no socket)
+//
+// Reports ok/rejected/failed counts, p50/p99 latency and throughput into
+// BENCH_serve.json (JsonWriter: deterministic field order; the latency
+// numbers themselves are wall-clock and vary run to run).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "support/Json.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tawa;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct LaneResult {
+  std::vector<double> LatencyMs;
+  int64_t Ok = 0, Rejected = 0, Failed = 0, TransportErrors = 0;
+};
+
+/// The request mix: small enough that a full run is seconds, real enough
+/// that every request compiles (or cache-hits) and simulates.
+std::string makeRequest(int64_t I) {
+  if (I % 4 == 3)
+    return formatString("{\"schema\":\"tawa-serve-req-v1\",\"id\":\"load-%lld\","
+                        "\"kind\":\"attention\",\"framework\":\"tawa\","
+                        "\"seq_len\":256,\"heads\":1,\"head_dim\":128,"
+                        "\"batch\":1}",
+                        static_cast<long long>(I));
+  return formatString("{\"schema\":\"tawa-serve-req-v1\",\"id\":\"load-%lld\","
+                      "\"kind\":\"gemm\",\"framework\":\"tawa\","
+                      "\"m\":256,\"n\":256,\"k\":128,\"batch\":1}",
+                      static_cast<long long>(I));
+}
+
+/// Counts a response line into \p R by its "status" field.
+void countResponse(const std::string &Line, LaneResult &R) {
+  JsonValue V;
+  std::string Err;
+  if (!parseJson(Line, V, Err)) {
+    ++R.TransportErrors;
+    return;
+  }
+  std::string St = V.getString("status", "");
+  if (St == "ok")
+    ++R.Ok;
+  else if (St == "rejected")
+    ++R.Rejected;
+  else
+    ++R.Failed;
+}
+
+/// One blocking request/response over an already-connected socket.
+bool roundTrip(int Fd, const std::string &Req, std::string &Buf,
+               std::string &RespLine) {
+  std::string Out = Req + "\n";
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      RespLine = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      return true;
+    }
+    char Tmp[4096];
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Buf.append(Tmp, static_cast<size_t>(N));
+  }
+}
+
+int connectTo(const std::string &Path) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t I = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[I];
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--connect SOCKET] [--requests N] "
+               "[--concurrency C] [--out FILE]\n",
+               Argv0);
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Socket;
+  std::string OutPath = "BENCH_serve.json";
+  int64_t Requests = 64;
+  int64_t Concurrency = 4;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--connect" && I + 1 < argc)
+      Socket = argv[++I];
+    else if (Arg == "--requests" && I + 1 < argc)
+      Requests = std::atoll(argv[++I]);
+    else if (Arg == "--concurrency" && I + 1 < argc)
+      Concurrency = std::atoll(argv[++I]);
+    else if (Arg == "--out" && I + 1 < argc)
+      OutPath = argv[++I];
+    else
+      return usage(argv[0]);
+  }
+  if (Requests < 1 || Concurrency < 1)
+    return usage(argv[0]);
+  Concurrency = std::min(Concurrency, Requests);
+
+  // In-process fallback: no daemon needed, same Service policy stack.
+  std::unique_ptr<serve::Service> Local;
+  if (Socket.empty())
+    Local = std::make_unique<serve::Service>();
+
+  std::vector<LaneResult> Lanes(static_cast<size_t>(Concurrency));
+  std::atomic<int64_t> NextId{0};
+  Clock::time_point Start = Clock::now();
+
+  std::vector<std::thread> Threads;
+  for (int64_t L = 0; L < Concurrency; ++L) {
+    Threads.emplace_back([&, L] {
+      LaneResult &R = Lanes[static_cast<size_t>(L)];
+      int Fd = -1;
+      std::string Buf;
+      if (!Socket.empty()) {
+        Fd = connectTo(Socket);
+        if (Fd < 0) {
+          ++R.TransportErrors;
+          return;
+        }
+      }
+      for (;;) {
+        int64_t I = NextId.fetch_add(1);
+        if (I >= Requests)
+          break;
+        std::string Req = makeRequest(I);
+        std::string Resp;
+        Clock::time_point T0 = Clock::now();
+        bool Sent;
+        if (Fd >= 0) {
+          Sent = roundTrip(Fd, Req, Buf, Resp);
+        } else {
+          Resp = Local->call(Req);
+          Sent = true;
+        }
+        double Ms = std::chrono::duration<double, std::milli>(
+                        Clock::now() - T0)
+                        .count();
+        if (!Sent) {
+          ++R.TransportErrors;
+          break;
+        }
+        R.LatencyMs.push_back(Ms);
+        countResponse(Resp, R);
+      }
+      if (Fd >= 0)
+        ::close(Fd);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  double WallMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - Start)
+          .count();
+
+  LaneResult Total;
+  for (const LaneResult &R : Lanes) {
+    Total.Ok += R.Ok;
+    Total.Rejected += R.Rejected;
+    Total.Failed += R.Failed;
+    Total.TransportErrors += R.TransportErrors;
+    Total.LatencyMs.insert(Total.LatencyMs.end(), R.LatencyMs.begin(),
+                           R.LatencyMs.end());
+  }
+  std::sort(Total.LatencyMs.begin(), Total.LatencyMs.end());
+  int64_t Answered = Total.Ok + Total.Rejected + Total.Failed;
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema", "tawa-serve-load-v1");
+  W.field("mode", Socket.empty() ? "in-process" : "socket");
+  W.field("requests", Requests);
+  W.field("concurrency", Concurrency);
+  W.field("answered", Answered);
+  W.field("ok", Total.Ok);
+  W.field("rejected", Total.Rejected);
+  W.field("failed", Total.Failed);
+  W.field("transport_errors", Total.TransportErrors);
+  W.field("wall_ms", WallMs, 3);
+  W.field("throughput_rps",
+          WallMs > 0 ? static_cast<double>(Answered) * 1000.0 / WallMs : 0.0,
+          3);
+  W.field("p50_ms", percentile(Total.LatencyMs, 0.50), 3);
+  W.field("p99_ms", percentile(Total.LatencyMs, 0.99), 3);
+  W.endObject();
+
+  std::ofstream Out(OutPath);
+  Out << W.str();
+  Out.close();
+  std::printf("%s", W.str().c_str());
+
+  // Every request must be answered (structured response or clean lane
+  // abort); transport errors fail the run so check.sh catches them.
+  return Total.TransportErrors == 0 && Answered == Requests ? 0 : 2;
+}

@@ -31,6 +31,11 @@
 # file is replayed. TAWA_FUZZ_SEED / TAWA_FUZZ_ITERS override the sweep's
 # seed base and size.
 #
+# Then runs the serving smoke: tawa-serve is started on a scratch unix
+# socket, serve_load fires a closed-loop request mix against it (writing
+# $BUILD_DIR/BENCH_serve.json), and SIGTERM must drain gracefully — the
+# daemon exits 0 with every request answered (docs/serving.md).
+#
 # Then runs the whole test suite once more with TAWA_NO_FUSE=1 (the
 # peephole superinstruction pass disabled) and asserts micro_interp --smoke
 # reports identical workload results fused vs unfused — the CI-level
@@ -87,6 +92,59 @@ echo "== differential fuzz smoke (tawa-fuzz) =="
 # legs replay the corpus too).
 (cd "$BUILD_DIR" && timeout "$SMOKE_TIMEOUT" ./tawa-fuzz \
   --replay-all "$REPO_ROOT/tests/corpus")
+
+echo "== serve smoke (tawa-serve + serve_load + SIGTERM drain) =="
+SERVE_SOCK="$BUILD_DIR/tawa-serve-smoke.sock"
+SERVE_LOG="$BUILD_DIR/serve-smoke.log"
+rm -f "$SERVE_SOCK"
+"$BUILD_DIR/tawa-serve" --socket "$SERVE_SOCK" >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+# Wait for the readiness line before firing load.
+SERVE_UP=0
+for _ in $(seq 1 100); do
+  if grep -q "listening on" "$SERVE_LOG" 2>/dev/null; then
+    SERVE_UP=1
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$SERVE_UP" != 1 ]]; then
+  echo "FAIL: tawa-serve did not come up"
+  cat "$SERVE_LOG"
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+if ! (cd "$BUILD_DIR" && timeout "$SMOKE_TIMEOUT" ./serve_load \
+      --connect "$SERVE_SOCK" --requests 32 --concurrency 4 \
+      --out "$BUILD_DIR/BENCH_serve.json" >/dev/null); then
+  echo "FAIL: serve_load run against the daemon failed"
+  cat "$SERVE_LOG"
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "FAIL: tawa-serve exited non-zero after SIGTERM"
+  cat "$SERVE_LOG"
+  exit 1
+fi
+grep -q '"schema": "tawa-serve-load-v1"' "$BUILD_DIR/BENCH_serve.json" || {
+  echo "FAIL: BENCH_serve.json missing or wrong schema"
+  exit 1
+}
+grep -q '"transport_errors": 0' "$BUILD_DIR/BENCH_serve.json" || {
+  echo "FAIL: serve smoke saw transport errors (dropped responses)"
+  exit 1
+}
+grep -q '"answered": 32' "$BUILD_DIR/BENCH_serve.json" || {
+  echo "FAIL: serve smoke did not answer every request"
+  exit 1
+}
+rm -f "$SERVE_SOCK"
+echo "serve smoke OK: daemon drained cleanly, all requests answered"
 
 echo "== fusion off: ctest + micro_interp equivalence (TAWA_NO_FUSE=1) =="
 # The whole suite must pass with the peephole fusion pass disabled (the
@@ -216,13 +274,14 @@ for DOC in "$REPO_ROOT"/docs/*.md "$REPO_ROOT"/README.md; do
       echo "missing path in $DOC_NAME: $P"
       DOCS_FAIL=1
     fi
-  done < <(grep -oE '\b(src|bench|tests|examples|scripts|docs)/[A-Za-z0-9_/.-]+\.(cpp|h|md|sh)\b' \
+  done < <(grep -oE '\b(src|bench|tests|examples|scripts|docs|tools)/[A-Za-z0-9_/.-]+\.(cpp|h|md|sh)\b' \
            "$DOC" | sort -u)
   # 3) Bare source-file mentions (Foo.cpp / Foo.h) must exist somewhere
   #    in the tree. ({h,cpp} brace forms are covered by rule 2's paths.)
   while IFS= read -r BASE; do
     if ! find "$REPO_ROOT/src" "$REPO_ROOT/bench" "$REPO_ROOT/tests" \
-         "$REPO_ROOT/examples" -name "$BASE" -print -quit | grep -q .; then
+         "$REPO_ROOT/examples" "$REPO_ROOT/tools" \
+         -name "$BASE" -print -quit | grep -q .; then
       echo "unknown source file in $DOC_NAME: $BASE"
       DOCS_FAIL=1
     fi

@@ -434,6 +434,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   Launch.FuseBytecode = FuseBytecode;
   Launch.MaxSteps = MaxSteps;
   Launch.MaxWallMs = MaxWallMs;
+  Launch.Diag = Diag;
 
   Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
 
@@ -609,6 +610,7 @@ RunResult Runner::runAttentionCustom(const AttentionWorkload &W,
   Launch.FuseBytecode = FuseBytecode;
   Launch.MaxSteps = MaxSteps;
   Launch.MaxWallMs = MaxWallMs;
+  Launch.Diag = Diag;
 
   Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
 

@@ -19,6 +19,9 @@
 #include <string>
 
 namespace tawa {
+namespace sim {
+struct ExecDiagnostic;
+} // namespace sim
 
 struct RunResult {
   std::string Error;       ///< Non-empty on compile/simulate failure.
@@ -81,6 +84,15 @@ public:
   /// off, TAWA_MAX_WALL_MS supplies a default). A non-deterministic safety
   /// net for harnesses — prefer MaxSteps wherever determinism matters.
   int64_t MaxWallMs = 0;
+
+  /// When non-null, a deadlock / watchdog / protocol abort during
+  /// execution fills this post-mortem snapshot (tawa-diag-v1,
+  /// sim/Diag.h) exactly as Interpreter does when given
+  /// RunOptions::Diag. Long-lived harnesses (tawa-serve) point this at a
+  /// per-request diagnostic so a tripped guardrail yields a structured
+  /// report instead of just an error string. Not owned; must outlive the
+  /// run.
+  sim::ExecDiagnostic *Diag = nullptr;
 
   /// Per-Runner program-cache accounting over the process-wide
   /// support/ProgramCache: benchmark sweeps that vary only runtime

@@ -1,0 +1,364 @@
+//===- Protocol.cpp - tawa-serve wire protocol ---------------------------------//
+
+#include "serve/Protocol.h"
+
+#include "support/Json.h"
+#include "support/Support.h"
+
+#include <cinttypes>
+#include <limits>
+
+using namespace tawa;
+using namespace tawa::serve;
+
+//===----------------------------------------------------------------------===//
+// Framework wire names
+//===----------------------------------------------------------------------===//
+
+const char *tawa::serve::frameworkWireName(Framework F) {
+  switch (F) {
+  case Framework::Peak:
+    return "peak";
+  case Framework::CuBlas:
+    return "cublas";
+  case Framework::Tawa:
+    return "tawa";
+  case Framework::Triton:
+    return "triton";
+  case Framework::TritonNoPipe:
+    return "triton-nopipe";
+  case Framework::TileLang:
+    return "tilelang";
+  case Framework::ThunderKittens:
+    return "thunderkittens";
+  case Framework::FA3:
+    return "fa3";
+  }
+  return "<unknown>";
+}
+
+bool tawa::serve::frameworkFromWireName(const std::string &Name,
+                                        Framework &Out) {
+  for (Framework F :
+       {Framework::Peak, Framework::CuBlas, Framework::Tawa,
+        Framework::Triton, Framework::TritonNoPipe, Framework::TileLang,
+        Framework::ThunderKittens, Framework::FA3}) {
+    if (Name == frameworkWireName(F)) {
+      Out = F;
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Request parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shape guards: a poisoned request must not be able to ask for an
+/// absurd allocation before the deadline machinery even starts.
+constexpr int64_t MaxDim = 1 << 16;       ///< M/N/K, SeqLen, HeadDim.
+constexpr int64_t MaxCount = 4096;        ///< Batch, Heads.
+constexpr int64_t MaxDeadlineMs = 600000; ///< 10 minutes.
+constexpr int64_t MaxSleepMs = 60000;
+
+/// Reads an integer field with a [1, Cap] range check. Returns "" or the
+/// rejection reason.
+std::string intField(const JsonValue &V, const char *Key, int64_t Cap,
+                     int64_t &Out) {
+  std::string TypeErr;
+  int64_t N = V.getInt(Key, Out, &TypeErr);
+  if (!TypeErr.empty())
+    return std::string("field '") + Key + "' must be an integer";
+  if (N < 1 || N > Cap)
+    return formatString("field '%s' out of range [1, %lld]", Key,
+                        static_cast<long long>(Cap));
+  Out = N;
+  return "";
+}
+
+/// Non-negative variant for budgets (0 = server default).
+std::string budgetField(const JsonValue &V, const char *Key, int64_t Cap,
+                        int64_t &Out) {
+  std::string TypeErr;
+  int64_t N = V.getInt(Key, Out, &TypeErr);
+  if (!TypeErr.empty())
+    return std::string("field '") + Key + "' must be an integer";
+  if (N < 0 || N > Cap)
+    return formatString("field '%s' out of range [0, %lld]", Key,
+                        static_cast<long long>(Cap));
+  Out = N;
+  return "";
+}
+
+} // namespace
+
+std::string tawa::serve::parseRequest(const std::string &Text,
+                                      ServeRequest &Out) {
+  Out = ServeRequest();
+  JsonValue V;
+  std::string Err;
+  if (!parseJson(Text, V, Err))
+    return Err;
+  if (!V.isObject())
+    return "request must be a JSON object";
+
+  std::string TypeErr;
+  Out.Id = V.getString("id", "", &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'id' must be a string";
+
+  std::string Schema = V.getString("schema", "", &TypeErr);
+  if (!TypeErr.empty() || Schema != "tawa-serve-req-v1")
+    return "field 'schema' must be \"tawa-serve-req-v1\"";
+
+  std::string Kind = V.getString("kind", "", &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'kind' must be a string";
+  if (Kind == "ping")
+    Out.K = ServeRequest::Kind::Ping;
+  else if (Kind == "gemm")
+    Out.K = ServeRequest::Kind::Gemm;
+  else if (Kind == "attention")
+    Out.K = ServeRequest::Kind::Attention;
+  else if (Kind == "ir")
+    Out.K = ServeRequest::Kind::Ir;
+  else
+    return "field 'kind' must be one of ping|gemm|attention|ir";
+
+  if (std::string E = budgetField(V, "deadline_ms", MaxDeadlineMs,
+                                  Out.DeadlineMs);
+      !E.empty())
+    return E;
+  {
+    int64_t Steps = 0;
+    std::string E = budgetField(V, "max_steps",
+                                std::numeric_limits<int64_t>::max(), Steps);
+    if (!E.empty())
+      return E;
+    Out.MaxSteps = Steps;
+  }
+  if (std::string E = budgetField(V, "sleep_ms", MaxSleepMs, Out.SleepMs);
+      !E.empty())
+    return E;
+  Out.WaitGate = V.getBool("wait_gate", false, &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'wait_gate' must be a boolean";
+  Out.Functional = V.getBool("functional", false, &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'functional' must be a boolean";
+
+  if (Out.K == ServeRequest::Kind::Ping)
+    return "";
+
+  if (Out.K == ServeRequest::Kind::Ir) {
+    Out.IrText = V.getString("ir", "", &TypeErr);
+    if (!TypeErr.empty())
+      return "field 'ir' must be a string";
+    if (Out.IrText.empty())
+      return "kind 'ir' requires a non-empty 'ir' field";
+    return "";
+  }
+
+  std::string Fw = V.getString("framework", "tawa", &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'framework' must be a string";
+  if (!frameworkFromWireName(Fw, Out.F))
+    return "unknown framework '" + Fw + "'";
+
+  std::string Prec = V.getString("precision", "fp16", &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'precision' must be a string";
+  Precision P;
+  if (Prec == "fp16")
+    P = Precision::FP16;
+  else if (Prec == "fp8")
+    P = Precision::FP8;
+  else
+    return "field 'precision' must be fp16|fp8";
+
+  if (Out.K == ServeRequest::Kind::Gemm) {
+    // Service-sized defaults, not benchmark-sized: an unconstrained
+    // request should not default to an 8192^3 functional run.
+    Out.Gemm.M = Out.Gemm.N = 512;
+    Out.Gemm.K = 256;
+    Out.Gemm.Batch = 1;
+    Out.Gemm.Prec = P;
+    if (std::string E = intField(V, "m", MaxDim, Out.Gemm.M); !E.empty())
+      return E;
+    if (std::string E = intField(V, "n", MaxDim, Out.Gemm.N); !E.empty())
+      return E;
+    if (std::string E = intField(V, "k", MaxDim, Out.Gemm.K); !E.empty())
+      return E;
+    if (std::string E = intField(V, "batch", MaxCount, Out.Gemm.Batch);
+        !E.empty())
+      return E;
+    return "";
+  }
+
+  Out.Mha.SeqLen = 512;
+  Out.Mha.Batch = 1;
+  Out.Mha.Heads = 1;
+  Out.Mha.HeadDim = 128;
+  Out.Mha.Prec = P;
+  if (std::string E = intField(V, "seq_len", MaxDim, Out.Mha.SeqLen);
+      !E.empty())
+    return E;
+  if (std::string E = intField(V, "batch", MaxCount, Out.Mha.Batch);
+      !E.empty())
+    return E;
+  if (std::string E = intField(V, "heads", MaxCount, Out.Mha.Heads);
+      !E.empty())
+    return E;
+  if (std::string E = intField(V, "head_dim", MaxDim, Out.Mha.HeadDim);
+      !E.empty())
+    return E;
+  Out.Mha.Causal = V.getBool("causal", false, &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'causal' must be a boolean";
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Response rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendCompact(std::string &Out, const JsonValue &V) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    return;
+  case JsonValue::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    return;
+  case JsonValue::Kind::Int:
+    Out += formatString("%lld", static_cast<long long>(V.asInt64()));
+    return;
+  case JsonValue::Kind::Double:
+    Out += formatString("%.6f", V.asDouble());
+    return;
+  case JsonValue::Kind::String:
+    Out += '"';
+    Out += JsonWriter::escape(V.asString());
+    Out += '"';
+    return;
+  case JsonValue::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : V.elements()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      appendCompact(Out, E);
+    }
+    Out += ']';
+    return;
+  }
+  case JsonValue::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const JsonValue::Member &M : V.members()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += JsonWriter::escape(M.first);
+      Out += "\":";
+      appendCompact(Out, M.second);
+    }
+    Out += '}';
+    return;
+  }
+  }
+}
+
+void strField(std::string &Out, const char *Key, const std::string &V,
+              bool &First) {
+  if (!First)
+    Out += ',';
+  First = false;
+  Out += '"';
+  Out += Key;
+  Out += "\":\"";
+  Out += JsonWriter::escape(V);
+  Out += '"';
+}
+
+void intFieldOut(std::string &Out, const char *Key, int64_t V, bool &First) {
+  if (!First)
+    Out += ',';
+  First = false;
+  Out += formatString("\"%s\":%lld", Key, static_cast<long long>(V));
+}
+
+void dblField(std::string &Out, const char *Key, double V, int Decimals,
+              bool &First) {
+  if (!First)
+    Out += ',';
+  First = false;
+  Out += formatString("\"%s\":%.*f", Key, Decimals, V);
+}
+
+} // namespace
+
+std::string ServeResponse::render() const {
+  std::string Out = "{";
+  bool First = true;
+  strField(Out, "schema", "tawa-serve-resp-v1", First);
+  strField(Out, "id", Id, First);
+  const char *StName = St == Status::Ok         ? "ok"
+                       : St == Status::Rejected ? "rejected"
+                                                : "failed";
+  strField(Out, "status", StName, First);
+  if (!Reason.empty())
+    strField(Out, "reason", Reason, First);
+  if (!Error.empty())
+    strField(Out, "error", Error, First);
+  if (!ErrorKind.empty())
+    strField(Out, "error_kind", ErrorKind, First);
+  intFieldOut(Out, "attempts", Attempts, First);
+  strField(Out, "degrade", Degrade, First);
+  if (HasRun) {
+    dblField(Out, "micros", Micros, 3, First);
+    dblField(Out, "tflops", TFlops, 3, First);
+    dblField(Out, "max_rel_error", MaxRelError, 6, First);
+    intFieldOut(Out, "smem_bytes", SmemBytes, First);
+    intFieldOut(Out, "regs_per_thread", RegsPerThread, First);
+  }
+  if (HasIr) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\"outputs\":[";
+    for (size_t I = 0; I < Outputs.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += '"';
+      Out += JsonWriter::escape(Outputs[I]);
+      Out += '"';
+    }
+    Out += ']';
+    if (Cycles >= 0)
+      dblField(Out, "cycles", Cycles, 3, First);
+  }
+  if (!DiagJson.empty()) {
+    // Re-emit the pretty tawa-diag-v1 document compactly; the parse
+    // cannot fail on writer output, but a defensive fallback embeds
+    // nothing rather than corrupting the frame.
+    JsonValue D;
+    std::string Err;
+    if (parseJson(DiagJson, D, Err)) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += "\"diag\":";
+      appendCompact(Out, D);
+    }
+  }
+  Out += '}';
+  return Out;
+}

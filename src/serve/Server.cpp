@@ -1,0 +1,844 @@
+//===- Server.cpp - Resilient simulation service -------------------------------//
+//
+// Policy layering for one request (docs/serving.md):
+//
+//   admission (bounded queue, shed on overflow)
+//     -> deadline (queue wait counts; remaining budget arms MaxWallMs)
+//       -> attempt loop (retry transient ErrorKinds with backoff+jitter)
+//         -> degradation ladder (per compile key: fused -> unfused -> serial)
+//           -> circuit breaker (cache disk failures -> memory-only)
+//             -> execution (Runner / Interpreter with guardrails + Diag)
+//
+// Every decision increments exactly one ServeStats counter and every
+// request — poisoned, shed, crashed, expired — produces exactly one
+// structured response line.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "driver/Runner.h"
+#include "ir/Parser.h"
+#include "sim/Diag.h"
+#include "sim/Interpreter.h"
+#include "sim/Replay.h"
+#include "support/Env.h"
+#include "support/FaultInject.h"
+#include "support/ProgramCache.h"
+#include "support/Status.h"
+#include "support/Support.h"
+#include "support/WorkerPool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <variant>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tawa;
+using namespace tawa::serve;
+using Clock = std::chrono::steady_clock;
+
+//===----------------------------------------------------------------------===//
+// Config
+//===----------------------------------------------------------------------===//
+
+ServeConfig ServeConfig::fromEnv() {
+  ServeConfig C;
+  C.Workers = envInt64("TAWA_SERVE_WORKERS", C.Workers);
+  C.QueueDepth = envInt64("TAWA_SERVE_QUEUE_DEPTH", C.QueueDepth);
+  C.MaxRetries = envInt64("TAWA_SERVE_RETRIES", C.MaxRetries);
+  C.BackoffBaseMs = envInt64("TAWA_SERVE_BACKOFF_MS", C.BackoffBaseMs);
+  C.BackoffMaxMs = envInt64("TAWA_SERVE_BACKOFF_MAX_MS", C.BackoffMaxMs);
+  C.DegradeThreshold =
+      envInt64("TAWA_SERVE_DEGRADE_FAILURES", C.DegradeThreshold);
+  C.BreakerThreshold =
+      envInt64("TAWA_SERVE_BREAKER_FAILURES", C.BreakerThreshold);
+  C.BreakerCooldownMs =
+      envInt64("TAWA_SERVE_BREAKER_COOLDOWN_MS", C.BreakerCooldownMs);
+  C.DefaultDeadlineMs = envInt64("TAWA_SERVE_DEADLINE_MS", C.DefaultDeadlineMs);
+  C.DefaultMaxSteps = envInt64("TAWA_SERVE_MAX_STEPS", C.DefaultMaxSteps);
+  C.ExecWorkers = envInt64("TAWA_SERVE_EXEC_WORKERS", C.ExecWorkers);
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Service lifecycle
+//===----------------------------------------------------------------------===//
+
+Service::Service(ServeConfig C) : Cfg(C) {
+  if (Cfg.Workers <= 0)
+    Cfg.Workers = std::max<int64_t>(
+        1, WorkerPool::shared().getNumWorkers() / 2);
+  Cfg.QueueDepth = std::max<int64_t>(1, Cfg.QueueDepth);
+  Cfg.MaxRetries = std::max<int64_t>(0, Cfg.MaxRetries);
+  Cfg.DegradeThreshold = std::max<int64_t>(1, Cfg.DegradeThreshold);
+  Cfg.BreakerThreshold = std::max<int64_t>(1, Cfg.BreakerThreshold);
+  // Baseline the breaker on the cache's current disk-failure count so
+  // failures from before this service existed are not evidence.
+  {
+    ProgramCache::Stats S = ProgramCache::shared().getStats();
+    Breaker.LastDiskFailures = S.DiskReadFailures + S.DiskWriteFailures;
+  }
+  for (int64_t I = 0; I < Cfg.Workers; ++I)
+    Executors.emplace_back([this] { executorLoop(); });
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::beginShutdown() {
+  {
+    std::lock_guard<std::mutex> L(QMu);
+    Stopping = true;
+  }
+  QueueCV.notify_all();
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> L(QMu);
+  IdleCV.wait(L, [&] { return Queue.empty() && InflightNow.load() == 0; });
+}
+
+void Service::shutdown() {
+  beginShutdown();
+  drain();
+  {
+    std::lock_guard<std::mutex> L(QMu);
+    if (Joined)
+      return;
+    Joined = true;
+  }
+  for (std::thread &T : Executors)
+    T.join();
+}
+
+void Service::closeGate() {
+  std::lock_guard<std::mutex> L(GateMu);
+  GateOpen = false;
+}
+
+void Service::openGate() {
+  {
+    std::lock_guard<std::mutex> L(GateMu);
+    GateOpen = true;
+  }
+  GateCV.notify_all();
+}
+
+ServeStats Service::stats() const {
+  std::lock_guard<std::mutex> L(StatsMu);
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+void Service::submit(std::string RequestText,
+                     std::function<void(std::string)> Done) {
+  enum class Verdict { Accepted, Overloaded, ShuttingDown };
+  Verdict V;
+  {
+    std::lock_guard<std::mutex> L(QMu);
+    if (Stopping) {
+      V = Verdict::ShuttingDown;
+    } else if (static_cast<int64_t>(Queue.size()) >= Cfg.QueueDepth) {
+      V = Verdict::Overloaded;
+    } else {
+      V = Verdict::Accepted;
+      Job J;
+      J.Text = std::move(RequestText);
+      J.Done = std::move(Done);
+      J.Enqueued = Clock::now();
+      Queue.push_back(std::move(J));
+      QueueNow.fetch_add(1);
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Stats.Accepted;
+    }
+  }
+  if (V == Verdict::Accepted) {
+    QueueCV.notify_one();
+    return;
+  }
+  // Shed path: never executes, but still answers with the request's id
+  // (best effort — a request too malformed to parse sheds with id "").
+  ServeRequest Req;
+  parseRequest(RequestText, Req);
+  ServeResponse Resp;
+  Resp.Id = Req.Id;
+  Resp.St = ServeResponse::Status::Rejected;
+  Resp.Reason = V == Verdict::Overloaded ? "overloaded" : "shutting-down";
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    if (V == Verdict::Overloaded)
+      ++Stats.RejectedOverload;
+    else
+      ++Stats.RejectedShutdown;
+  }
+  Done(Resp.render());
+}
+
+std::string Service::call(const std::string &RequestText) {
+  std::mutex Mu;
+  std::condition_variable CV;
+  bool Ready = false;
+  std::string Out;
+  submit(RequestText, [&](std::string R) {
+    std::lock_guard<std::mutex> L(Mu);
+    Out = std::move(R);
+    Ready = true;
+    CV.notify_one();
+  });
+  std::unique_lock<std::mutex> L(Mu);
+  CV.wait(L, [&] { return Ready; });
+  return Out;
+}
+
+void Service::executorLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> L(QMu);
+      QueueCV.wait(L, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stopping)
+          return;
+        continue;
+      }
+      // Shutdown drains: accepted requests run even after Stopping.
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      QueueNow.fetch_sub(1);
+      InflightNow.fetch_add(1);
+    }
+    std::string Resp = process(J);
+    // The response callback runs before the request stops counting as
+    // in-flight, so drain() returning means every answer was delivered
+    // (the socket layer writes inside Done).
+    J.Done(std::move(Resp));
+    {
+      std::lock_guard<std::mutex> L(QMu);
+      InflightNow.fetch_sub(1);
+    }
+    IdleCV.notify_all();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Request processing: deadline -> retry -> ladder -> breaker -> execute
+//===----------------------------------------------------------------------===//
+
+int Service::ladderLevel(const std::string &Key) {
+  if (Key.empty())
+    return 0;
+  std::lock_guard<std::mutex> L(LadderMu);
+  return Ladder[Key].Level;
+}
+
+void Service::recordCrash(const std::string &Key) {
+  if (Key.empty())
+    return;
+  bool Stepped = false;
+  {
+    std::lock_guard<std::mutex> L(LadderMu);
+    LadderState &S = Ladder[Key];
+    if (S.Level >= 2)
+      return; // Already at the floor.
+    if (++S.FailsAtLevel >= Cfg.DegradeThreshold) {
+      ++S.Level;
+      S.FailsAtLevel = 0;
+      Stepped = true;
+    }
+  }
+  if (Stepped) {
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Stats.DegradeSteps;
+  }
+}
+
+void Service::breakerBeforeAttempt() {
+  std::lock_guard<std::mutex> L(BreakerMu);
+  if (Breaker.State != BreakerState::St::Open)
+    return;
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     Clock::now() - Breaker.OpenedAt)
+                     .count();
+  if (Elapsed < Cfg.BreakerCooldownMs)
+    return;
+  // Half-open probe: restore the disk layer; the next attempt's failure
+  // delta decides whether it stays.
+  ProgramCache::shared().setPersistDir(Breaker.SavedDir);
+  Breaker.State = BreakerState::St::HalfOpen;
+  std::lock_guard<std::mutex> SL(StatsMu);
+  ++Stats.BreakerProbes;
+}
+
+void Service::breakerAfterAttempt() {
+  std::lock_guard<std::mutex> L(BreakerMu);
+  ProgramCache::Stats S = ProgramCache::shared().getStats();
+  uint64_t Total = S.DiskReadFailures + S.DiskWriteFailures;
+  uint64_t Delta = Total - Breaker.LastDiskFailures;
+  Breaker.LastDiskFailures = Total;
+  switch (Breaker.State) {
+  case BreakerState::St::Closed: {
+    Breaker.Accum += static_cast<int64_t>(Delta);
+    if (Breaker.Accum < Cfg.BreakerThreshold)
+      return;
+    Breaker.Accum = 0;
+    Breaker.SavedDir = ProgramCache::shared().getPersistDir();
+    if (Breaker.SavedDir.empty())
+      return; // No disk layer configured; nothing to shed.
+    ProgramCache::shared().setPersistDir("");
+    Breaker.State = BreakerState::St::Open;
+    Breaker.OpenedAt = Clock::now();
+    std::lock_guard<std::mutex> SL(StatsMu);
+    ++Stats.BreakerTrips;
+    return;
+  }
+  case BreakerState::St::HalfOpen: {
+    if (Delta > 0) {
+      // Probe failed: shed the disk layer again and restart the cooldown.
+      ProgramCache::shared().setPersistDir("");
+      Breaker.State = BreakerState::St::Open;
+      Breaker.OpenedAt = Clock::now();
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Stats.BreakerTrips;
+    } else {
+      Breaker.State = BreakerState::St::Closed;
+      Breaker.Accum = 0;
+      std::lock_guard<std::mutex> SL(StatsMu);
+      ++Stats.BreakerCloses;
+    }
+    return;
+  }
+  case BreakerState::St::Open:
+    return; // Disk layer off: no new evidence accumulates.
+  }
+}
+
+std::string Service::requestKey(const ServeRequest &Req) const {
+  switch (Req.K) {
+  case ServeRequest::Kind::Ping:
+    return "";
+  case ServeRequest::Kind::Gemm: {
+    Runner R;
+    return R.compileKey(Req.Gemm, getGemmEnvelope(Req.F, Req.Gemm));
+  }
+  case ServeRequest::Kind::Attention: {
+    Runner R;
+    return R.compileKey(Req.Mha, getAttentionEnvelope(Req.F, Req.Mha));
+  }
+  case ServeRequest::Kind::Ir:
+    return formatString("ir|%016llx",
+                        static_cast<unsigned long long>(
+                            fnv1a64(Req.IrText)));
+  }
+  return "";
+}
+
+namespace {
+
+const char *degradeName(int Level) {
+  return Level == 0 ? "fused" : Level == 1 ? "unfused" : "serial";
+}
+
+bool isTransient(ErrorKind K) {
+  // Kinds worth retrying: another attempt can genuinely turn out
+  // differently (a crashed worker, a torn disk read, a corrupt cached
+  // program that recompiles). Deterministic kinds — deadlock, budget
+  // trips, verifier and compile failures — fail fast; retrying replays
+  // the same outcome with interest.
+  return K == ErrorKind::WorkerCrash || K == ErrorKind::CacheIo ||
+         K == ErrorKind::CorruptProgram;
+}
+
+bool countsTowardLadder(ErrorKind K) {
+  return K == ErrorKind::WorkerCrash || K == ErrorKind::Internal;
+}
+
+} // namespace
+
+std::string Service::process(const Job &J) {
+  ServeRequest Req;
+  std::string ParseErr = parseRequest(J.Text, Req);
+  ServeResponse Resp;
+  Resp.Id = Req.Id;
+  if (!ParseErr.empty()) {
+    Resp.St = ServeResponse::Status::Rejected;
+    Resp.Reason = "bad-request";
+    Resp.Error = ParseErr;
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Stats.BadRequests;
+    return Resp.render();
+  }
+
+  if (Req.WaitGate) {
+    std::unique_lock<std::mutex> G(GateMu);
+    GateCV.wait(G, [&] { return GateOpen; });
+  }
+  if (Req.SleepMs > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Req.SleepMs));
+
+  if (Req.K == ServeRequest::Kind::Ping) {
+    Resp.St = ServeResponse::Status::Ok;
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Stats.Succeeded;
+    return Resp.render();
+  }
+
+  int64_t DeadlineMs =
+      Req.DeadlineMs > 0 ? Req.DeadlineMs : Cfg.DefaultDeadlineMs;
+  Clock::time_point DeadlineAt =
+      J.Enqueued + std::chrono::milliseconds(DeadlineMs);
+  auto remainingMs = [&] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               DeadlineAt - Clock::now())
+        .count();
+  };
+
+  std::string Key = requestKey(Req);
+  int64_t Attempt = 0;
+  for (;;) {
+    ++Attempt;
+    int64_t Rem = remainingMs();
+    if (Rem <= 0) {
+      // Deterministic message: no elapsed-time numbers, so identical
+      // overload scenarios produce identical response lines.
+      Resp = ServeResponse();
+      Resp.Id = Req.Id;
+      Resp.St = ServeResponse::Status::Failed;
+      Resp.Attempts = Attempt - 1;
+      Resp.Error = Attempt == 1 ? "deadline expired before execution"
+                                : "deadline expired during retries";
+      Resp.ErrorKind = errorKindName(ErrorKind::WallClock);
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.Failed;
+      if (Attempt == 1)
+        ++Stats.DeadlineQueueExpired;
+      return Resp.render();
+    }
+
+    breakerBeforeAttempt();
+    int Level = ladderLevel(Key);
+    Resp = ServeResponse();
+    Resp.Id = Req.Id;
+    Resp.Attempts = Attempt;
+    Resp.Degrade = degradeName(Level);
+    ErrorKind Kind = ErrorKind::None;
+    std::string Err = executeOnce(Req, Level, Rem, Resp, Kind);
+    breakerAfterAttempt();
+
+    if (Err.empty()) {
+      Resp.St = ServeResponse::Status::Ok;
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.Succeeded;
+      return Resp.render();
+    }
+
+    if (Kind == ErrorKind::None)
+      Kind = classifyError(Err);
+    if (countsTowardLadder(Kind))
+      recordCrash(Key);
+    if (isTransient(Kind) && Attempt <= Cfg.MaxRetries) {
+      {
+        std::lock_guard<std::mutex> L(StatsMu);
+        ++Stats.Retries;
+      }
+      int64_t Shift = std::min<int64_t>(Attempt - 1, 20);
+      int64_t Back = std::min(Cfg.BackoffMaxMs, Cfg.BackoffBaseMs << Shift);
+      // Deterministic jitter: keyed by (id, attempt), not a clock, so a
+      // replayed trace backs off identically.
+      int64_t Jitter =
+          Cfg.BackoffBaseMs > 0
+              ? static_cast<int64_t>(
+                    fnv1a64(Req.Id + "#" + std::to_string(Attempt)) %
+                    static_cast<uint64_t>(Cfg.BackoffBaseMs))
+              : 0;
+      int64_t Sleep = std::min(Back + Jitter, std::max<int64_t>(
+                                                  0, remainingMs()));
+      if (Sleep > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(Sleep));
+      continue;
+    }
+
+    Resp.St = ServeResponse::Status::Failed;
+    Resp.Error = Err;
+    Resp.ErrorKind = errorKindName(Kind);
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Stats.Failed;
+    return Resp.render();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+std::string Service::executeOnce(const ServeRequest &Req, int Level,
+                                 int64_t RemainingMs, ServeResponse &Resp,
+                                 ErrorKind &KindOut) {
+  if (Req.K == ServeRequest::Kind::Ir)
+    return executeIr(Req, Level, RemainingMs, Resp, KindOut);
+
+  Runner R;
+  R.FuseBytecode = Level < 1;
+  R.NumWorkers = Level >= 2 ? 1 : Cfg.ExecWorkers;
+  R.MaxSteps = Req.MaxSteps > 0 ? Req.MaxSteps : Cfg.DefaultMaxSteps;
+  R.MaxWallMs = RemainingMs;
+  sim::ExecDiagnostic Diag;
+  R.Diag = &Diag;
+
+  RunResult Res = Req.K == ServeRequest::Kind::Gemm
+                      ? R.runGemm(Req.F, Req.Gemm, Req.Functional)
+                      : R.runAttention(Req.F, Req.Mha, Req.Functional);
+  if (!Res.ok()) {
+    KindOut = Res.Kind;
+    if (!Diag.empty())
+      Resp.DiagJson = Diag.renderJson();
+    if (!Res.Error.empty())
+      return Res.Error;
+    KindOut = Res.Supported ? ErrorKind::Infeasible : ErrorKind::Unsupported;
+    return Res.Supported ? "infeasible configuration"
+                         : "unsupported configuration";
+  }
+  Resp.HasRun = true;
+  Resp.Micros = Res.Micros;
+  Resp.TFlops = Res.TFlops;
+  Resp.MaxRelError = Res.MaxRelError;
+  Resp.SmemBytes = Res.SmemBytes;
+  Resp.RegsPerThread = Res.RegsPerThread;
+  return "";
+}
+
+namespace {
+
+/// Minimal decoder for the fuzz corpus's launch attributes (fuzz.grid /
+/// fuzz.args / fuzz.faults — the same grammar tests/fuzz/Gen.cpp encodes).
+/// Lives here because the serving layer must not depend on test code.
+struct IrLaunch {
+  int64_t GridX = 1, GridY = 1;
+  struct Arg {
+    bool IsScalar = false;
+    int64_t Scalar = 0;
+    std::vector<int64_t> Shape;
+    uint64_t FillSeed = 0;
+  };
+  std::vector<Arg> Args;
+  std::string FaultSpec;
+};
+
+std::string decodeIrLaunch(const Module &M, IrLaunch &L) {
+  const auto &Attrs = M.getAttrs();
+  auto GridIt = Attrs.find("fuzz.grid");
+  if (GridIt == Attrs.end())
+    return "missing fuzz.grid module attribute";
+  const auto *Grid = std::get_if<std::vector<int64_t>>(&GridIt->second);
+  if (!Grid || Grid->size() != 2)
+    return "fuzz.grid must be [gridX, gridY]";
+  L.GridX = (*Grid)[0];
+  L.GridY = (*Grid)[1];
+
+  auto ArgsIt = Attrs.find("fuzz.args");
+  if (ArgsIt == Attrs.end())
+    return "missing fuzz.args module attribute";
+  const auto *Spec = std::get_if<std::string>(&ArgsIt->second);
+  if (!Spec)
+    return "fuzz.args must be a string";
+  size_t Pos = 0;
+  while (Pos < Spec->size()) {
+    size_t End = Spec->find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec->size();
+    std::string Tok = Spec->substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Tok.empty())
+      return "empty fuzz.args entry";
+    IrLaunch::Arg A;
+    if (Tok[0] == 's') {
+      A.IsScalar = true;
+      A.Scalar = std::strtoll(Tok.c_str() + 1, nullptr, 10);
+    } else if (Tok[0] == 't') {
+      size_t Colon = Tok.find(':');
+      if (Colon == std::string::npos)
+        return "malformed tensor entry in fuzz.args: " + Tok;
+      A.FillSeed =
+          std::strtoull(Tok.substr(1, Colon - 1).c_str(), nullptr, 10);
+      size_t P = Colon + 1;
+      while (P < Tok.size()) {
+        size_t X = Tok.find('x', P);
+        if (X == std::string::npos)
+          X = Tok.size();
+        A.Shape.push_back(
+            std::strtoll(Tok.substr(P, X - P).c_str(), nullptr, 10));
+        P = X + 1;
+      }
+      if (A.Shape.empty())
+        return "tensor entry with no shape in fuzz.args: " + Tok;
+    } else {
+      return "unknown fuzz.args entry kind: " + Tok;
+    }
+    L.Args.push_back(std::move(A));
+  }
+
+  auto FaultsIt = Attrs.find("fuzz.faults");
+  if (FaultsIt != Attrs.end()) {
+    const auto *F = std::get_if<std::string>(&FaultsIt->second);
+    if (!F)
+      return "fuzz.faults must be a string";
+    L.FaultSpec = *F;
+  }
+  return "";
+}
+
+} // namespace
+
+std::string Service::executeIr(const ServeRequest &Req, int Level,
+                               int64_t RemainingMs, ServeResponse &Resp,
+                               ErrorKind &KindOut) {
+  IrContext Ctx;
+  std::string Err;
+  std::unique_ptr<Module> Mod = parseModule(Ctx, Req.IrText, Err);
+  if (!Mod) {
+    KindOut = ErrorKind::CompileError;
+    return "ir parse: " + Err;
+  }
+  IrLaunch Launch;
+  if (std::string DErr = decodeIrLaunch(*Mod, Launch); !DErr.empty()) {
+    KindOut = ErrorKind::CompileError;
+    return "ir launch: " + DErr;
+  }
+
+  sim::GpuConfig Cfg2;
+  sim::RunOptions Opts;
+  Opts.GridX = Launch.GridX;
+  Opts.GridY = Launch.GridY;
+  Opts.Functional = true;
+  Opts.FuseBytecode = Level < 1;
+  Opts.NumWorkers = Level >= 2 ? 1 : Cfg.ExecWorkers;
+  Opts.MaxSteps = Req.MaxSteps > 0 ? Req.MaxSteps : Cfg.DefaultMaxSteps;
+  Opts.MaxWallMs = RemainingMs;
+  sim::ExecDiagnostic Diag;
+  Opts.Diag = &Diag;
+
+  std::vector<sim::TensorRef> OutputTensors;
+  for (const IrLaunch::Arg &A : Launch.Args) {
+    if (A.IsScalar) {
+      Opts.Args.push_back(sim::RuntimeArg::scalar(A.Scalar));
+      continue;
+    }
+    auto T = std::make_shared<sim::TensorData>(A.Shape);
+    if (A.FillSeed != 0)
+      T->fillRandom(A.FillSeed, 1.0f);
+    else
+      OutputTensors.push_back(T);
+    Opts.Args.push_back(sim::RuntimeArg::tensor(T));
+  }
+
+  // A request-carried fault spec arms the PROCESS-wide injection sites
+  // for the duration of this run (replay/debug affordance — matches the
+  // fuzz harness). Left alone when empty so an externally armed spec
+  // (chaos soak, TAWA_FAULTS) is not clobbered.
+  if (!Launch.FaultSpec.empty()) {
+    std::string FErr;
+    if (!faults::configure(Launch.FaultSpec, &FErr)) {
+      KindOut = ErrorKind::CompileError;
+      return "ir faults: " + FErr;
+    }
+  }
+  sim::Interpreter Interp(*Mod, Cfg2);
+  std::vector<sim::CtaTrace> Traces;
+  std::string RunErr = Interp.runGrid(Opts, nullptr, &Traces);
+  if (!Launch.FaultSpec.empty())
+    faults::reset();
+
+  if (!RunErr.empty()) {
+    KindOut = classifyError(RunErr);
+    if (!Diag.empty())
+      Resp.DiagJson = Diag.renderJson();
+    return RunErr;
+  }
+
+  Resp.HasIr = true;
+  for (const sim::TensorRef &T : OutputTensors)
+    Resp.Outputs.push_back(formatString(
+        "%016llx", static_cast<unsigned long long>(fnv1a64(
+                       T->data(), static_cast<size_t>(T->getNumElements()) *
+                                      sizeof(float)))));
+  std::vector<const sim::CtaTrace *> Ptrs;
+  Ptrs.reserve(Traces.size());
+  for (const sim::CtaTrace &T : Traces)
+    Ptrs.push_back(&T);
+  Resp.Cycles = sim::replaySmSchedule(Ptrs, Cfg2, sim::ReplayParams()).Cycles;
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// SocketServer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Requests larger than this without a newline are a poisoned stream; the
+/// connection is dropped rather than buffered without bound.
+constexpr size_t MaxLineBytes = 8u << 20;
+
+struct Conn {
+  int Fd = -1;
+  std::mutex WrMu; ///< Serializes response lines from executor threads.
+};
+
+bool sendAll(Conn &C, const std::string &Data) {
+  std::lock_guard<std::mutex> L(C.WrMu);
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(C.Fd, Data.data() + Off, Data.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false; // Peer gone; the response is dropped, not the server.
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+SocketServer::SocketServer(Service &Svc, std::string Path)
+    : Svc(Svc), Path(std::move(Path)) {}
+
+SocketServer::~SocketServer() { shutdown(); }
+
+bool SocketServer::start(std::string &Err) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = formatString("socket: %s", std::strerror(errno));
+    return false;
+  }
+  ::unlink(Path.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0 ||
+      ::listen(ListenFd, 64) < 0) {
+    Err = formatString("bind/listen %s: %s", Path.c_str(),
+                       std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::pipe(StopPipe) < 0) {
+    Err = formatString("pipe: %s", std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void SocketServer::acceptLoop() {
+  for (;;) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
+    if (::poll(Fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (Fds[1].revents)
+      return;
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    std::lock_guard<std::mutex> L(ConnMu);
+    if (Stopped) {
+      ::close(Fd);
+      return;
+    }
+    ConnFds.push_back(Fd);
+    ConnThreads.emplace_back([this, Fd] { handleConnection(Fd); });
+  }
+}
+
+void SocketServer::handleConnection(int Fd) {
+  auto C = std::make_shared<Conn>();
+  C->Fd = Fd;
+  std::string Buf;
+  char Tmp[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return; // EOF or shutdown(); the fd is closed by SocketServer.
+    Buf.append(Tmp, static_cast<size_t>(N));
+    if (Buf.size() > MaxLineBytes && Buf.find('\n') == std::string::npos)
+      return; // Unframed flood; drop the connection.
+    size_t NL;
+    while ((NL = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      if (Line.empty())
+        continue;
+      // The response is written from whatever thread completes the
+      // request (executor on acceptance, this thread on shed), so the
+      // Service's drain barrier also covers the write.
+      Svc.submit(std::move(Line), [C](std::string Resp) {
+        Resp += '\n';
+        sendAll(*C, Resp);
+      });
+    }
+  }
+}
+
+void SocketServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    if (Stopped)
+      return;
+    Stopped = true;
+  }
+  if (ListenFd < 0)
+    return; // Never started.
+  // Order matters: stop admitting, stop accepting, let accepted work
+  // finish (responses are written inside the drain barrier), and only
+  // then unblock the connection readers.
+  Svc.beginShutdown();
+  (void)!::write(StopPipe[1], "x", 1);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+  Svc.drain();
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  for (std::thread &T : ConnThreads)
+    T.join();
+  for (int Fd : ConnFds)
+    ::close(Fd);
+  ConnFds.clear();
+  ConnThreads.clear();
+  ::close(StopPipe[0]);
+  ::close(StopPipe[1]);
+  StopPipe[0] = StopPipe[1] = -1;
+  ::unlink(Path.c_str());
+}

@@ -1,0 +1,245 @@
+//===- Server.h - Resilient simulation service ------------------*- C++ -*-===//
+//
+// tawa-serve (docs/serving.md): a persistent daemon that accepts kernel
+// configurations over a unix socket and runs them through the process-wide
+// ProgramCache + WorkerPool. Two classes:
+//
+//  * Service — transport-free core: bounded admission queue with load
+//    shedding, executor threads, per-request deadlines mapped onto the
+//    execution guardrails, retry with exponential backoff + deterministic
+//    jitter for transient failure kinds, a per-compile-key degradation
+//    ladder (fused -> unfused -> serial), a circuit breaker over the
+//    program cache's disk layer, and drain-based graceful shutdown.
+//    Everything the robustness tests assert lives here.
+//
+//  * SocketServer — AF_UNIX transport: newline-delimited request/response
+//    framing (serve/Protocol), one handler thread per connection, and a
+//    shutdown path that drains the Service before unblocking readers.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SERVE_SERVER_H
+#define TAWA_SERVE_SERVER_H
+
+#include "serve/Protocol.h"
+#include "support/Status.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tawa {
+namespace serve {
+
+/// Tuning knobs, each with a TAWA_SERVE_* environment override
+/// (docs/serving.md has the full table).
+struct ServeConfig {
+  /// Executor threads; 0 = half the pool's worker count (executors
+  /// multiplex onto the shared WorkerPool, so more executors than workers
+  /// just deepens contention). TAWA_SERVE_WORKERS.
+  int64_t Workers = 0;
+  /// Admission queue bound; a request arriving with the queue full is shed
+  /// with `rejected: overloaded`. TAWA_SERVE_QUEUE_DEPTH.
+  int64_t QueueDepth = 16;
+  /// Retries after the first attempt, transient kinds only.
+  /// TAWA_SERVE_RETRIES.
+  int64_t MaxRetries = 2;
+  /// Backoff before retry K is min(BackoffBaseMs << (K-1), BackoffMaxMs)
+  /// plus deterministic jitter in [0, BackoffBaseMs) keyed by (request id,
+  /// attempt). TAWA_SERVE_BACKOFF_MS / TAWA_SERVE_BACKOFF_MAX_MS.
+  int64_t BackoffBaseMs = 1;
+  int64_t BackoffMaxMs = 64;
+  /// Crash-kind failures at one ladder level before stepping down.
+  /// TAWA_SERVE_DEGRADE_FAILURES.
+  int64_t DegradeThreshold = 2;
+  /// Cache disk failures before the breaker trips to memory-only.
+  /// TAWA_SERVE_BREAKER_FAILURES.
+  int64_t BreakerThreshold = 3;
+  /// Open -> half-open probe delay. TAWA_SERVE_BREAKER_COOLDOWN_MS.
+  int64_t BreakerCooldownMs = 1000;
+  /// Deadline applied when a request names none. TAWA_SERVE_DEADLINE_MS.
+  int64_t DefaultDeadlineMs = 30000;
+  /// Step budget applied when a request names none; matches the fuzz
+  /// harness bound so corpus replays trip identically.
+  /// TAWA_SERVE_MAX_STEPS.
+  int64_t DefaultMaxSteps = 1000000;
+  /// Workers per simulation (Runner::NumWorkers); 0 = hardware.
+  /// TAWA_SERVE_EXEC_WORKERS.
+  int64_t ExecWorkers = 0;
+
+  static ServeConfig fromEnv();
+};
+
+/// Monotonic counters, snapshot via Service::stats(). Every admission
+/// decision and resilience action increments exactly one success/failure
+/// counter, so tests pin exact sequences.
+struct ServeStats {
+  int64_t Accepted = 0;
+  int64_t RejectedOverload = 0;
+  int64_t RejectedShutdown = 0;
+  int64_t BadRequests = 0;
+  int64_t Succeeded = 0;
+  int64_t Failed = 0;
+  int64_t Retries = 0;
+  int64_t DeadlineQueueExpired = 0;
+  int64_t DegradeSteps = 0;
+  int64_t BreakerTrips = 0;
+  int64_t BreakerProbes = 0;
+  int64_t BreakerCloses = 0;
+};
+
+class Service {
+public:
+  explicit Service(ServeConfig C = ServeConfig::fromEnv());
+  /// shutdown() if the owner did not call it.
+  ~Service();
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Admission: either enqueues \p RequestText and later invokes \p Done
+  /// exactly once from an executor thread with the rendered response
+  /// line, or sheds the request and invokes \p Done inline with a
+  /// structured rejection. Never blocks on execution.
+  void submit(std::string RequestText,
+              std::function<void(std::string)> Done);
+
+  /// Blocking convenience over submit(): returns the response line.
+  std::string call(const std::string &RequestText);
+
+  /// Stops admitting (subsequent submits are `rejected: shutting-down`);
+  /// already-accepted requests still execute.
+  void beginShutdown();
+  /// Blocks until the queue is empty and no request is executing.
+  void drain();
+  /// beginShutdown + drain + join executors. Idempotent.
+  void shutdown();
+
+  ServeStats stats() const;
+  int64_t queueNow() const { return QueueNow.load(); }
+  int64_t inflightNow() const { return InflightNow.load(); }
+  const ServeConfig &config() const { return Cfg; }
+
+  /// Test gate for deterministic sequencing: while closed, requests with
+  /// wait_gate=true park (counted in-flight) until openGate().
+  void closeGate();
+  void openGate();
+
+private:
+  struct Job {
+    std::string Text;
+    std::function<void(std::string)> Done;
+    std::chrono::steady_clock::time_point Enqueued;
+  };
+
+  /// Per-compile-key degradation state. Level 0 = fused, 1 = unfused,
+  /// 2 = serial grid. Crash-kind failures (WorkerCrash / Internal) at a
+  /// level accumulate; reaching DegradeThreshold steps the key down one
+  /// level and resets the count. Levels never step back up — a key that
+  /// needed degrading keeps its safe mode for the process lifetime.
+  struct LadderState {
+    int Level = 0;
+    int64_t FailsAtLevel = 0;
+  };
+
+  /// Circuit breaker over the ProgramCache persist dir, driven by the
+  /// cache's DiskReadFailures/DiskWriteFailures deltas. Closed -> Open
+  /// disables the disk layer (setPersistDir("")); after BreakerCooldownMs
+  /// a probe re-enables it (half-open) and the next delta decides Open or
+  /// Closed.
+  struct BreakerState {
+    enum class St { Closed, Open, HalfOpen };
+    St State = St::Closed;
+    std::string SavedDir;
+    uint64_t LastDiskFailures = 0;
+    int64_t Accum = 0;
+    std::chrono::steady_clock::time_point OpenedAt;
+  };
+
+  void executorLoop();
+  std::string process(const Job &J);
+  /// One execution attempt. Returns "" (Resp result fields filled) or the
+  /// error string, with \p KindOut its taxonomy classification.
+  std::string executeOnce(const ServeRequest &Req, int Level,
+                          int64_t RemainingMs, ServeResponse &Resp,
+                          ErrorKind &KindOut);
+  std::string executeIr(const ServeRequest &Req, int Level,
+                        int64_t RemainingMs, ServeResponse &Resp,
+                        ErrorKind &KindOut);
+  int ladderLevel(const std::string &Key);
+  void recordCrash(const std::string &Key);
+  void breakerBeforeAttempt();
+  void breakerAfterAttempt();
+  std::string requestKey(const ServeRequest &Req) const;
+
+  ServeConfig Cfg;
+  std::vector<std::thread> Executors;
+
+  mutable std::mutex QMu;
+  std::condition_variable QueueCV; ///< Executors wait for work.
+  std::condition_variable IdleCV;  ///< drain() waits for quiescence.
+  std::deque<Job> Queue;
+  bool Stopping = false;
+  bool Joined = false;
+
+  std::atomic<int64_t> QueueNow{0};
+  std::atomic<int64_t> InflightNow{0};
+
+  std::mutex GateMu;
+  std::condition_variable GateCV;
+  bool GateOpen = true;
+
+  std::mutex LadderMu;
+  std::map<std::string, LadderState> Ladder;
+
+  std::mutex BreakerMu;
+  BreakerState Breaker;
+
+  mutable std::mutex StatsMu;
+  ServeStats Stats;
+};
+
+/// AF_UNIX transport for a Service. One accept thread, one handler thread
+/// per connection, newline-delimited frames.
+class SocketServer {
+public:
+  SocketServer(Service &Svc, std::string Path);
+  ~SocketServer();
+
+  /// Binds + listens + starts accepting. Returns false with \p Err set.
+  bool start(std::string &Err);
+
+  /// Graceful shutdown (the daemon's SIGTERM path): stop accepting, stop
+  /// admitting (Service::beginShutdown), drain in-flight work, then
+  /// unblock and join every connection handler. Idempotent.
+  void shutdown();
+
+  const std::string &path() const { return Path; }
+
+private:
+  void acceptLoop();
+  void handleConnection(int Fd);
+
+  Service &Svc;
+  std::string Path;
+  int ListenFd = -1;
+  int StopPipe[2] = {-1, -1};
+  std::thread Acceptor;
+  std::mutex ConnMu;
+  std::vector<int> ConnFds;
+  std::vector<std::thread> ConnThreads;
+  bool Stopped = false;
+};
+
+} // namespace serve
+} // namespace tawa
+
+#endif // TAWA_SERVE_SERVER_H

@@ -5,7 +5,9 @@
 #include "support/Support.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 using namespace tawa;
 
@@ -167,4 +169,479 @@ JsonWriter &JsonWriter::field(const std::string &K, double V, int Decimals) {
 std::string JsonWriter::str() const {
   assert(Stack.empty() && "unbalanced begin/end");
   return Out + "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue
+//===----------------------------------------------------------------------===//
+
+JsonValue JsonValue::makeBool(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+JsonValue JsonValue::makeInt(int64_t N) {
+  JsonValue V;
+  V.K = Kind::Int;
+  V.I = N;
+  return V;
+}
+JsonValue JsonValue::makeDouble(double D) {
+  JsonValue V;
+  V.K = Kind::Double;
+  V.D = D;
+  return V;
+}
+JsonValue JsonValue::makeString(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.S = std::move(S);
+  return V;
+}
+JsonValue JsonValue::makeArray() {
+  JsonValue V;
+  V.K = Kind::Array;
+  return V;
+}
+JsonValue JsonValue::makeObject() {
+  JsonValue V;
+  V.K = Kind::Object;
+  return V;
+}
+
+int64_t JsonValue::asInt64() const {
+  return K == Kind::Double ? static_cast<int64_t>(D) : I;
+}
+
+double JsonValue::asDouble() const {
+  return K == Kind::Int ? static_cast<double>(I) : D;
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const Member &M : Obj)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+int64_t JsonValue::getInt(const std::string &Key, int64_t Default,
+                          std::string *TypeErr) const {
+  const JsonValue *V = find(Key);
+  if (!V)
+    return Default;
+  if (!V->isNumber()) {
+    if (TypeErr && TypeErr->empty())
+      *TypeErr = Key;
+    return Default;
+  }
+  return V->asInt64();
+}
+
+bool JsonValue::getBool(const std::string &Key, bool Default,
+                        std::string *TypeErr) const {
+  const JsonValue *V = find(Key);
+  if (!V)
+    return Default;
+  if (!V->isBool()) {
+    if (TypeErr && TypeErr->empty())
+      *TypeErr = Key;
+    return Default;
+  }
+  return V->asBool();
+}
+
+std::string JsonValue::getString(const std::string &Key,
+                                 const std::string &Default,
+                                 std::string *TypeErr) const {
+  const JsonValue *V = find(Key);
+  if (!V)
+    return Default;
+  if (!V->isString()) {
+    if (TypeErr && TypeErr->empty())
+      *TypeErr = Key;
+    return Default;
+  }
+  return V->asString();
+}
+
+void JsonValue::writeTo(JsonWriter &W, int Decimals) const {
+  switch (K) {
+  case Kind::Null:
+    // JsonWriter has no explicit null; a non-finite double renders one.
+    W.value(std::nan(""), Decimals);
+    break;
+  case Kind::Bool:
+    W.value(B);
+    break;
+  case Kind::Int:
+    W.value(I);
+    break;
+  case Kind::Double:
+    W.value(D, Decimals);
+    break;
+  case Kind::String:
+    W.value(S);
+    break;
+  case Kind::Array:
+    W.beginArray();
+    for (const JsonValue &E : Arr)
+      E.writeTo(W, Decimals);
+    W.endArray();
+    break;
+  case Kind::Object:
+    W.beginObject();
+    for (const Member &M : Obj) {
+      W.key(M.first);
+      M.second.writeTo(W, Decimals);
+    }
+    W.endObject();
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Strict recursive-descent JSON parser. Every rejection records the byte
+/// offset it fired at; the first error wins.
+class JsonParser {
+public:
+  JsonParser(const std::string &Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out, std::string &Err) {
+    skipWs();
+    if (!parseValue(Out, 0))
+      return fail(Err);
+    skipWs();
+    if (Pos != Text.size()) {
+      error(Pos, "trailing content after document");
+      return fail(Err);
+    }
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  size_t ErrPos = 0;
+  std::string ErrMsg;
+
+  bool fail(std::string &Err) {
+    if (ErrMsg.empty())
+      return true;
+    Err = formatString("byte %zu: %s", ErrPos, ErrMsg.c_str());
+    return false;
+  }
+
+  bool error(size_t At, const std::string &Msg) {
+    if (ErrMsg.empty()) {
+      ErrPos = At;
+      ErrMsg = Msg;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+
+  bool literal(const char *Word, size_t Len) {
+    if (Text.compare(Pos, Len, Word) != 0)
+      return error(Pos, "invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, int Depth) {
+    if (Depth > JsonMaxDepth)
+      return error(Pos, "nesting too deep");
+    if (atEnd())
+      return error(Pos, "unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::makeString(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!literal("true", 4))
+        return false;
+      Out = JsonValue::makeBool(true);
+      return true;
+    case 'f':
+      if (!literal("false", 5))
+        return false;
+      Out = JsonValue::makeBool(false);
+      return true;
+    case 'n':
+      if (!literal("null", 4))
+        return false;
+      Out = JsonValue();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, int Depth) {
+    ++Pos; // '{'
+    Out = JsonValue::makeObject();
+    skipWs();
+    if (!atEnd() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (atEnd() || Text[Pos] != '"')
+        return error(Pos, "expected object key string");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (atEnd() || Text[Pos] != ':')
+        return error(Pos, "expected ':' after object key");
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.members().emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (atEnd())
+        return error(Pos, "unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return error(Pos, "expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, int Depth) {
+    ++Pos; // '['
+    Out = JsonValue::makeArray();
+    skipWs();
+    if (!atEnd() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.elements().push_back(std::move(V));
+      skipWs();
+      if (atEnd())
+        return error(Pos, "unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return error(Pos, "expected ',' or ']' in array");
+    }
+  }
+
+  static void appendUtf8(std::string &S, uint32_t Cp) {
+    if (Cp < 0x80) {
+      S += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      S += static_cast<char>(0xc0 | (Cp >> 6));
+      S += static_cast<char>(0x80 | (Cp & 0x3f));
+    } else if (Cp < 0x10000) {
+      S += static_cast<char>(0xe0 | (Cp >> 12));
+      S += static_cast<char>(0x80 | ((Cp >> 6) & 0x3f));
+      S += static_cast<char>(0x80 | (Cp & 0x3f));
+    } else {
+      S += static_cast<char>(0xf0 | (Cp >> 18));
+      S += static_cast<char>(0x80 | ((Cp >> 12) & 0x3f));
+      S += static_cast<char>(0x80 | ((Cp >> 6) & 0x3f));
+      S += static_cast<char>(0x80 | (Cp & 0x3f));
+    }
+  }
+
+  bool parseHex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size())
+      return error(Pos, "truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + I];
+      uint32_t Digit;
+      if (C >= '0' && C <= '9')
+        Digit = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        Digit = C - 'a' + 10;
+      else if (C >= 'A' && C <= 'F')
+        Digit = C - 'A' + 10;
+      else
+        return error(Pos + I, "invalid hex digit in \\u escape");
+      Out = Out * 16 + Digit;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    for (;;) {
+      if (atEnd())
+        return error(Pos, "unterminated string");
+      unsigned char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return error(Pos, "unescaped control character in string");
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      size_t EscAt = Pos;
+      ++Pos;
+      if (atEnd())
+        return error(EscAt, "truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        uint32_t Cp;
+        if (!parseHex4(Cp))
+          return false;
+        if (Cp >= 0xd800 && Cp <= 0xdbff) {
+          // High surrogate: a \uDC00-\uDFFF low half must follow.
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return error(EscAt, "unpaired surrogate");
+          Pos += 2;
+          uint32_t Lo;
+          if (!parseHex4(Lo))
+            return false;
+          if (Lo < 0xdc00 || Lo > 0xdfff)
+            return error(EscAt, "invalid low surrogate");
+          Cp = 0x10000 + ((Cp - 0xd800) << 10) + (Lo - 0xdc00);
+        } else if (Cp >= 0xdc00 && Cp <= 0xdfff) {
+          return error(EscAt, "unpaired surrogate");
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return error(EscAt, "invalid escape character");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (!atEnd() && Text[Pos] == '-')
+      ++Pos;
+    if (atEnd() || Text[Pos] < '0' || Text[Pos] > '9')
+      return error(Start, "invalid value");
+    if (Text[Pos] == '0') {
+      ++Pos; // No leading zeros.
+      if (!atEnd() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        return error(Pos, "leading zero in number");
+    } else {
+      while (!atEnd() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    bool Integral = true;
+    if (!atEnd() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      if (atEnd() || Text[Pos] < '0' || Text[Pos] > '9')
+        return error(Pos, "expected digit after decimal point");
+      while (!atEnd() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (!atEnd() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (atEnd() || Text[Pos] < '0' || Text[Pos] > '9')
+        return error(Pos, "expected digit in exponent");
+      while (!atEnd() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Tok = Text.substr(Start, Pos - Start);
+    if (Integral) {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(Tok.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out = JsonValue::makeInt(static_cast<int64_t>(V));
+        return true;
+      }
+      // int64 overflow: fall through to double.
+    }
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Tok.c_str(), &End);
+    if (!End || *End != '\0')
+      return error(Start, "malformed number");
+    Out = JsonValue::makeDouble(D);
+    return true;
+  }
+};
+
+} // namespace
+
+bool tawa::parseJson(const std::string &Text, JsonValue &Out,
+                     std::string &Err) {
+  Err.clear();
+  JsonParser P(Text);
+  return P.parse(Out, Err);
 }

@@ -1,4 +1,4 @@
-//===- Json.h - Minimal deterministic JSON writer ---------------*- C++ -*-===//
+//===- Json.h - Deterministic JSON writer + strict reader -------*- C++ -*-===//
 //
 // The reporting layer's JSON emitter: append-only, two-space pretty
 // printing, automatic comma/indent bookkeeping, and *deterministic*
@@ -7,8 +7,15 @@
 // a cold-cache sweep writes against a warm-cache re-run and requires the
 // per-point sections to be byte-identical.
 //
-// This is a writer only — the repo never parses JSON, it only emits it for
-// CI tracking and figure post-processing.
+// The reader half (JsonValue / parseJson) exists for the serving layer
+// (docs/serving.md): tawa-serve requests arrive as JSON over a socket from
+// untrusted clients, so parsing is STRICT — exactly one top-level value,
+// no trailing content, no trailing commas, full escape validation
+// (including surrogate pairs), and a nesting-depth cap so a poisoned
+// request cannot blow the stack. Every rejection reports the byte offset
+// it occurred at. Object key order is preserved on parse, so a
+// parse → writeTo round trip of writer output is byte-identical (the
+// json_test round-trip suite pins this against JsonWriter).
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,7 +23,10 @@
 #define TAWA_SUPPORT_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tawa {
 
@@ -64,6 +74,88 @@ private:
   std::string HasElem;
   bool PendingKey = false;
 };
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+/// A parsed JSON document node. Integers that fit int64 parse as Int
+/// (asInt64); everything else numeric parses as Double. Object members
+/// keep their textual order (duplicate keys are kept; find returns the
+/// first), so writer output survives a parse → writeTo round trip
+/// byte-for-byte.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+  static JsonValue makeBool(bool B);
+  static JsonValue makeInt(int64_t N);
+  static JsonValue makeDouble(double D);
+  static JsonValue makeString(std::string S);
+  static JsonValue makeArray();
+  static JsonValue makeObject();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  /// Int or Double.
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  /// Int value; a Double is truncated toward zero.
+  int64_t asInt64() const;
+  double asDouble() const;
+  const std::string &asString() const { return S; }
+
+  std::vector<JsonValue> &elements() { return Arr; }
+  const std::vector<JsonValue> &elements() const { return Arr; }
+  std::vector<Member> &members() { return Obj; }
+  const std::vector<Member> &members() const { return Obj; }
+
+  /// First member named \p Key, or null when absent / not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Typed field helpers for request decoding: return \p Default when the
+  /// member is absent, and set \p TypeErr (when non-null) to the member
+  /// name when it is present with the wrong type — callers reject rather
+  /// than silently defaulting a malformed field.
+  int64_t getInt(const std::string &Key, int64_t Default,
+                 std::string *TypeErr = nullptr) const;
+  bool getBool(const std::string &Key, bool Default,
+               std::string *TypeErr = nullptr) const;
+  std::string getString(const std::string &Key, const std::string &Default,
+                        std::string *TypeErr = nullptr) const;
+
+  /// Re-emits this value through \p W (doubles at \p Decimals; keys in
+  /// stored order). With writer-produced input this reproduces the
+  /// original document exactly.
+  void writeTo(JsonWriter &W, int Decimals = 6) const;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<JsonValue> Arr;
+  std::vector<Member> Obj;
+};
+
+/// Maximum container nesting parseJson accepts; deeper input is rejected
+/// with a byte-offset error (guards recursive descent against adversarial
+/// requests).
+constexpr int JsonMaxDepth = 128;
+
+/// Strictly parses \p Text as exactly one JSON document (any trailing
+/// non-whitespace is an error). Returns true on success; on failure \p Err
+/// is "byte N: <reason>" where N is the 0-based offset of the offending
+/// byte.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string &Err);
 
 } // namespace tawa
 

@@ -19,9 +19,21 @@ WorkerPool::WorkerPool(int64_t NumWorkers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> L(Mu);
+    // Shutdown ordering: a job published by another thread's parallelFor
+    // may still be in flight (or not yet picked up). Wait for it to drain
+    // before asking the threads to stop — otherwise a pool thread could
+    // observe Stopping at the same wakeup that was meant to hand it the
+    // job and exit mid-job, leaving the caller parked on DoneCV forever.
+    // The caller clears Cur (and notifies DoneCV) once the job completed.
+    std::unique_lock<std::mutex> L(Mu);
+    DoneCV.wait(L, [&] { return Cur == nullptr; });
     Stopping = true;
   }
+  // Barrier on the caller fully leaving parallelFor: Cur is cleared while
+  // CallerMu is still held, so once this lock is acquirable the in-flight
+  // caller no longer touches any member (its last action is releasing
+  // CallerMu itself).
+  { std::lock_guard<std::mutex> CallerLock(CallerMu); }
   WorkCV.notify_all();
   for (std::thread &T : Threads)
     T.join();
@@ -115,6 +127,12 @@ void WorkerPool::parallelFor(
     return J.Active == 0 && J.Done.load(std::memory_order_acquire) == J.N;
   });
   Cur = nullptr;
+  // A destructor running concurrently waits on DoneCV for Cur == nullptr
+  // before it may stop the threads (shutdown ordering) — wake it. Notify
+  // while still holding the lock: unlocked, the destructor could wake via
+  // a pool thread's earlier notify, observe Cur == nullptr, and destroy
+  // the condvar while this thread is still inside notify_all on it.
+  DoneCV.notify_all();
   L.unlock();
   if (J.Err)
     std::rethrow_exception(J.Err);

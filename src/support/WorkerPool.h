@@ -31,6 +31,11 @@ class WorkerPool {
 public:
   /// Spawns NumWorkers-1 background threads (worker 0 is the caller).
   explicit WorkerPool(int64_t NumWorkers);
+  /// Joins cleanly even when a job published by another thread is still
+  /// queued or mid-flight: the destructor first waits for that job to
+  /// drain (its parallelFor caller returns normally), then stops and
+  /// joins the threads. Publishing NEW jobs once destruction has begun is
+  /// still a caller bug.
   ~WorkerPool();
 
   WorkerPool(const WorkerPool &) = delete;

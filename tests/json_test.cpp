@@ -1,0 +1,227 @@
+//===- json_test.cpp - JSON reader / writer round-trip tests -------------------//
+//
+// The reader half of support/Json feeds the tawa-serve protocol
+// (docs/serving.md), so the properties pinned here are the ones the server
+// depends on: strictness (malformed and adversarial input is rejected with
+// a byte offset, never half-parsed), and writer round-tripping (a
+// parse → writeTo pass over JsonWriter output is byte-identical, so
+// responses can embed re-emitted client data deterministically).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+using namespace tawa;
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_TRUE(parseJson(Text, V, Err)) << Err;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(parseJson(Text, V, Err)) << "unexpectedly parsed: " << Text;
+  EXPECT_FALSE(Err.empty());
+  return Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+TEST(JsonReader, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  EXPECT_EQ(parseOk("42").asInt64(), 42);
+  EXPECT_EQ(parseOk("-7").asInt64(), -7);
+  EXPECT_EQ(parseOk("0").asInt64(), 0);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+  EXPECT_DOUBLE_EQ(parseOk("2.5").asDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(parseOk("-1e3").asDouble(), -1000.0);
+  EXPECT_DOUBLE_EQ(parseOk("1.25E+2").asDouble(), 125.0);
+}
+
+TEST(JsonReader, IntegerClassification) {
+  JsonValue V = parseOk("9223372036854775807");
+  EXPECT_EQ(V.kind(), JsonValue::Kind::Int);
+  EXPECT_EQ(V.asInt64(), std::numeric_limits<int64_t>::max());
+  V = parseOk("-9223372036854775808");
+  EXPECT_EQ(V.kind(), JsonValue::Kind::Int);
+  EXPECT_EQ(V.asInt64(), std::numeric_limits<int64_t>::min());
+  // One past int64 range: degrades to Double instead of rejecting.
+  V = parseOk("9223372036854775808");
+  EXPECT_EQ(V.kind(), JsonValue::Kind::Double);
+  EXPECT_DOUBLE_EQ(V.asDouble(), 9223372036854775808.0);
+  // A fraction is a Double even when integral in value.
+  EXPECT_EQ(parseOk("3.0").kind(), JsonValue::Kind::Double);
+}
+
+TEST(JsonReader, Containers) {
+  JsonValue V = parseOk("{\"a\": [1, 2, {\"b\": true}], \"c\": null}");
+  ASSERT_TRUE(V.isObject());
+  ASSERT_EQ(V.members().size(), 2u);
+  const JsonValue *A = V.find("a");
+  ASSERT_TRUE(A && A->isArray());
+  ASSERT_EQ(A->elements().size(), 3u);
+  EXPECT_EQ(A->elements()[1].asInt64(), 2);
+  const JsonValue *B = A->elements()[2].find("b");
+  ASSERT_TRUE(B);
+  EXPECT_TRUE(B->asBool());
+  ASSERT_TRUE(V.find("c"));
+  EXPECT_TRUE(V.find("c")->isNull());
+  EXPECT_EQ(V.find("missing"), nullptr);
+  EXPECT_TRUE(parseOk("[]").elements().empty());
+  EXPECT_TRUE(parseOk("{}").members().empty());
+}
+
+TEST(JsonReader, TypedGetters) {
+  JsonValue V = parseOk("{\"n\": 5, \"f\": true, \"s\": \"x\"}");
+  std::string TypeErr;
+  EXPECT_EQ(V.getInt("n", -1, &TypeErr), 5);
+  EXPECT_TRUE(V.getBool("f", false, &TypeErr));
+  EXPECT_EQ(V.getString("s", "", &TypeErr), "x");
+  EXPECT_EQ(V.getInt("missing", 9, &TypeErr), 9);
+  EXPECT_TRUE(TypeErr.empty());
+  // Wrong type: default returned AND the field name reported.
+  EXPECT_EQ(V.getInt("s", 9, &TypeErr), 9);
+  EXPECT_EQ(TypeErr, "s");
+}
+
+TEST(JsonReader, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\n\\t\\\"\\\\b\\/\"").asString(), "a\n\t\"\\b/");
+  EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+  EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9");     // é
+  EXPECT_EQ(parseOk("\"\\u20ac\"").asString(), "\xe2\x82\xac"); // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").asString(),
+            "\xf0\x9f\x98\x80");
+}
+
+//===----------------------------------------------------------------------===//
+// Strictness: every rejection carries the byte offset it fired at.
+//===----------------------------------------------------------------------===//
+
+TEST(JsonReader, ErrorsCarryByteOffsets) {
+  EXPECT_EQ(parseErr("").substr(0, 7), "byte 0:");
+  EXPECT_EQ(parseErr("{\"a\" 1}").substr(0, 7), "byte 5:");
+  EXPECT_EQ(parseErr("[1, 2,]").substr(0, 7), "byte 6:");
+  EXPECT_EQ(parseErr("42 x").substr(0, 7), "byte 3:");
+  EXPECT_EQ(parseErr("\"ab").substr(0, 7), "byte 3:");
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  parseErr("{");
+  parseErr("}");
+  parseErr("[1 2]");
+  parseErr("{\"a\": 1,}"); // Trailing comma.
+  parseErr("{'a': 1}");    // Single quotes.
+  parseErr("{\"a\": 1} {\"b\": 2}"); // Two documents.
+  parseErr("tru");
+  parseErr("nulll");
+  parseErr("+1");
+  parseErr("01");      // Leading zero.
+  parseErr("1.");      // No digit after point.
+  parseErr("1e");      // No exponent digits.
+  parseErr("- 1");
+  parseErr("\"\\x\""); // Unknown escape.
+  parseErr("\"\\u12g4\"");
+  parseErr("\"\\ud800\"");        // Unpaired high surrogate.
+  parseErr("\"\\ud800\\u0041\""); // High surrogate + non-low.
+  parseErr("\"\\udc00\"");        // Lone low surrogate.
+  parseErr(std::string("\"a\n\"")); // Raw control char in string.
+  parseErr("NaN");
+  parseErr("Infinity");
+}
+
+TEST(JsonReader, DepthCapRejectsAdversarialNesting) {
+  std::string Deep(JsonMaxDepth + 8, '[');
+  std::string Err = parseErr(Deep);
+  EXPECT_NE(Err.find("nesting too deep"), std::string::npos) << Err;
+  // Exactly at the cap still parses.
+  std::string Ok;
+  for (int I = 0; I < JsonMaxDepth; ++I)
+    Ok += '[';
+  Ok += "1";
+  for (int I = 0; I < JsonMaxDepth; ++I)
+    Ok += ']';
+  parseOk(Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Writer round trip
+//===----------------------------------------------------------------------===//
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema", "round-trip-v1");
+  W.field("count", static_cast<int64_t>(-12));
+  W.field("big", static_cast<uint64_t>(1) << 40);
+  W.field("flag", true);
+  W.field("ratio", 0.125, 6);
+  W.field("text", "line\nquote\"tab\tslash\\");
+  W.key("list").beginArray();
+  W.value(static_cast<int64_t>(1));
+  W.value("two");
+  W.beginObject();
+  W.field("nested", false);
+  W.endObject();
+  W.endArray();
+  W.key("empty_obj").beginObject();
+  W.endObject();
+  W.key("empty_arr").beginArray();
+  W.endArray();
+  W.endObject();
+  std::string Doc = W.str();
+
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(Doc, V, Err)) << Err;
+  EXPECT_EQ(V.getString("schema", ""), "round-trip-v1");
+  EXPECT_EQ(V.getInt("count", 0), -12);
+  EXPECT_EQ(V.getInt("big", 0), int64_t(1) << 40);
+  EXPECT_EQ(V.getString("text", ""), "line\nquote\"tab\tslash\\");
+
+  // Re-emission reproduces the document byte-for-byte (member order and
+  // fixed-decimal doubles are preserved).
+  JsonWriter W2;
+  V.writeTo(W2, 6);
+  EXPECT_EQ(W2.str(), Doc);
+
+  // And the round trip is a fixed point: parse(writeTo(parse(x))) == same.
+  JsonValue V2;
+  ASSERT_TRUE(parseJson(W2.str(), V2, Err)) << Err;
+  JsonWriter W3;
+  V2.writeTo(W3, 6);
+  EXPECT_EQ(W3.str(), Doc);
+}
+
+TEST(JsonReader, RoundTripsEscapedKeysAndUnicode) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("weird\"key\n").value(std::string("\x01 control"));
+  W.endObject();
+  std::string Doc = W.str();
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(Doc, V, Err)) << Err;
+  ASSERT_EQ(V.members().size(), 1u);
+  EXPECT_EQ(V.members()[0].first, "weird\"key\n");
+  EXPECT_EQ(V.members()[0].second.asString(), "\x01 control");
+  JsonWriter W2;
+  V.writeTo(W2);
+  EXPECT_EQ(W2.str(), Doc);
+}
+
+} // namespace

@@ -24,7 +24,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <thread>
 
 using namespace tawa;
 using namespace tawa::sim;
@@ -463,6 +467,59 @@ TEST(WorkerPool, SerialFallbackPreservesOrder) {
   ASSERT_EQ(Order.size(), 16u);
   for (int64_t I = 0; I < 16; ++I)
     EXPECT_EQ(Order[I], I);
+}
+
+TEST(WorkerPool, DestroyWhileJobInFlightDrainsFirst) {
+  // Shutdown ordering: destroying a pool while another thread's
+  // parallelFor is mid-job must drain the job (every index runs, the
+  // caller returns normally) before the threads stop — not strand the
+  // caller or drop queued indices. Historically only exercised at process
+  // exit with an idle pool; tawa-serve destroys pools with work queued.
+  for (int Round = 0; Round < 8; ++Round) {
+    auto Pool = std::make_unique<WorkerPool>(4);
+    const int64_t N = 64;
+    std::atomic<int64_t> Ran{0};
+    std::atomic<bool> CallerDone{false};
+    std::thread Caller([&] {
+      Pool->parallelFor(N, 4, [&](int64_t, int64_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        Ran.fetch_add(1);
+      });
+      CallerDone.store(true);
+    });
+    // Wait until the job is published and running, then destroy mid-job.
+    // (Publishing a NEW job after destruction begins stays a caller bug;
+    // the guarantee under test is that an in-flight one drains.)
+    while (Ran.load() == 0)
+      std::this_thread::yield();
+    Pool.reset();
+    // The destructor waited for the job to drain: every index ran.
+    EXPECT_EQ(Ran.load(), N);
+    Caller.join();
+    EXPECT_TRUE(CallerDone.load());
+  }
+}
+
+TEST(WorkerPool, DestroyWithThrowingJobStillDrains) {
+  auto Pool = std::make_unique<WorkerPool>(4);
+  std::atomic<int64_t> Ran{0};
+  std::string Caught;
+  std::thread Caller([&] {
+    try {
+      Pool->parallelFor(32, 4, [&](int64_t I, int64_t) {
+        Ran.fetch_add(1);
+        if (I == 3)
+          throw std::runtime_error("boom");
+      });
+    } catch (const std::exception &E) {
+      Caught = E.what();
+    }
+  });
+  while (Ran.load() == 0)
+    std::this_thread::yield();
+  Pool.reset();
+  Caller.join();
+  EXPECT_EQ(Caught, "boom");
 }
 
 } // namespace

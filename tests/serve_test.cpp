@@ -1,0 +1,716 @@
+//===- serve_test.cpp - Resilient simulation service tests ---------------------//
+//
+// tawa-serve robustness coverage (docs/serving.md):
+//
+//  * protocol strictness: poisoned requests shed as `bad-request`,
+//  * deterministic admission: a pinned accept/reject sequence under a
+//    closed execution gate,
+//  * graceful shutdown: in-flight requests drain, new ones shed,
+//  * retry/fail-fast split over the ErrorKind taxonomy,
+//  * the per-key degradation ladder and the cache-disk circuit breaker,
+//  * chaos soak: every fault-injection site armed at once, every request
+//    still answered with a structured response,
+//  * corpus replay: responses through the socket match responses rendered
+//    from a direct Interpreter run byte-for-byte.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "sim/Diag.h"
+#include "sim/Interpreter.h"
+#include "sim/Replay.h"
+#include "support/FaultInject.h"
+#include "support/Json.h"
+#include "support/ProgramCache.h"
+#include "support/Status.h"
+#include "support/Support.h"
+#include "tests/fuzz/Gen.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tawa;
+using namespace tawa::serve;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::string corpusPath(const std::string &Name) {
+  return std::string(TAWA_SOURCE_DIR) + "/tests/corpus/" + Name;
+}
+
+/// Field access on a response line.
+std::string respField(const std::string &Line, const std::string &Key) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_TRUE(parseJson(Line, V, Err)) << Err << "\n" << Line;
+  const JsonValue *F = V.find(Key);
+  if (!F)
+    return "";
+  if (F->isString())
+    return F->asString();
+  return std::to_string(F->asInt64());
+}
+
+std::string pingReq(const std::string &Id, bool WaitGate = false) {
+  return formatString("{\"schema\":\"tawa-serve-req-v1\",\"id\":\"%s\","
+                      "\"kind\":\"ping\"%s}",
+                      Id.c_str(),
+                      WaitGate ? ",\"wait_gate\":true" : "");
+}
+
+std::string gemmReq(const std::string &Id) {
+  return formatString(
+      "{\"schema\":\"tawa-serve-req-v1\",\"id\":\"%s\",\"kind\":\"gemm\","
+      "\"framework\":\"tawa\",\"m\":256,\"n\":256,\"k\":128,"
+      "\"functional\":true}",
+      Id.c_str());
+}
+
+std::string irReq(const std::string &Id, const std::string &IrText) {
+  return "{\"schema\":\"tawa-serve-req-v1\",\"id\":\"" + Id +
+         "\",\"kind\":\"ir\",\"ir\":\"" + JsonWriter::escape(IrText) + "\"}";
+}
+
+void waitInflight(Service &Svc, int64_t N) {
+  while (Svc.inflightNow() != N)
+    std::this_thread::yield();
+}
+
+/// Collects async responses; lets tests wait for an exact count.
+struct Collector {
+  std::mutex Mu;
+  std::condition_variable CV;
+  std::vector<std::string> Lines;
+
+  std::function<void(std::string)> sink() {
+    return [this](std::string L) {
+      std::lock_guard<std::mutex> G(Mu);
+      Lines.push_back(std::move(L));
+      CV.notify_all();
+    };
+  }
+  void waitFor(size_t N) {
+    std::unique_lock<std::mutex> G(Mu);
+    CV.wait(G, [&] { return Lines.size() >= N; });
+  }
+  /// The collected response for request id \p Id ("" when absent).
+  std::string byId(const std::string &Id) {
+    std::lock_guard<std::mutex> G(Mu);
+    for (const std::string &L : Lines)
+      if (respField(L, "id") == Id)
+        return L;
+    return "";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, StrictRequestValidation) {
+  ServeRequest R;
+  EXPECT_EQ(parseRequest("{nope", R).substr(0, 5), "byte ");
+  EXPECT_NE(parseRequest("{\"kind\":\"gemm\"}", R).find("schema"),
+            std::string::npos);
+  EXPECT_NE(parseRequest("{\"schema\":\"tawa-serve-req-v1\","
+                         "\"kind\":\"frobnicate\"}",
+                         R)
+                .find("kind"),
+            std::string::npos);
+  EXPECT_NE(parseRequest("{\"schema\":\"tawa-serve-req-v1\","
+                         "\"kind\":\"gemm\",\"m\":0}",
+                         R)
+                .find("'m' out of range"),
+            std::string::npos);
+  EXPECT_NE(parseRequest("{\"schema\":\"tawa-serve-req-v1\","
+                         "\"kind\":\"gemm\",\"m\":\"big\"}",
+                         R)
+                .find("'m' must be an integer"),
+            std::string::npos);
+  EXPECT_NE(parseRequest("{\"schema\":\"tawa-serve-req-v1\","
+                         "\"kind\":\"ir\"}",
+                         R)
+                .find("'ir'"),
+            std::string::npos);
+
+  EXPECT_EQ(parseRequest("{\"schema\":\"tawa-serve-req-v1\",\"id\":\"x\","
+                         "\"kind\":\"attention\",\"framework\":\"fa3\","
+                         "\"seq_len\":512,\"heads\":2,\"causal\":true,"
+                         "\"precision\":\"fp8\",\"deadline_ms\":1000}",
+                         R),
+            "");
+  EXPECT_EQ(R.K, ServeRequest::Kind::Attention);
+  EXPECT_EQ(R.F, Framework::FA3);
+  EXPECT_EQ(R.Mha.SeqLen, 512);
+  EXPECT_EQ(R.Mha.Heads, 2);
+  EXPECT_TRUE(R.Mha.Causal);
+  EXPECT_EQ(R.Mha.Prec, Precision::FP8);
+  EXPECT_EQ(R.DeadlineMs, 1000);
+}
+
+TEST(ServeProtocol, ResponseRenderIsSingleLine) {
+  ServeResponse Resp;
+  Resp.Id = "r\n1"; // Newlines in ids must not break framing.
+  Resp.St = ServeResponse::Status::Failed;
+  Resp.Error = "worker crash: injected\nwith newline";
+  Resp.ErrorKind = "worker-crash";
+  Resp.Attempts = 2;
+  std::string Line = Resp.render();
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  EXPECT_EQ(respField(Line, "status"), "failed");
+  EXPECT_EQ(respField(Line, "id"), "r\n1");
+  EXPECT_EQ(respField(Line, "attempts"), "2");
+}
+
+//===----------------------------------------------------------------------===//
+// Admission + shutdown
+//===----------------------------------------------------------------------===//
+
+TEST(ServeService, PingAndBadRequestsAreStructured) {
+  ServeConfig C;
+  C.Workers = 1;
+  Service Svc(C);
+  std::string Ok = Svc.call(pingReq("p1"));
+  EXPECT_EQ(respField(Ok, "status"), "ok");
+  EXPECT_EQ(respField(Ok, "id"), "p1");
+
+  std::string Bad = Svc.call("this is not json");
+  EXPECT_EQ(respField(Bad, "status"), "rejected");
+  EXPECT_EQ(respField(Bad, "reason"), "bad-request");
+  EXPECT_EQ(respField(Bad, "error").substr(0, 5), "byte ");
+
+  ServeStats S = Svc.stats();
+  EXPECT_EQ(S.Succeeded, 1);
+  EXPECT_EQ(S.BadRequests, 1);
+  Svc.shutdown();
+}
+
+TEST(ServeService, DeterministicOverloadSequence) {
+  // One executor, queue depth 2, execution gated: the accept/reject
+  // sequence is fully pinned. A executes (in flight), B and C queue,
+  // D and E shed.
+  ServeConfig C;
+  C.Workers = 1;
+  C.QueueDepth = 2;
+  Service Svc(C);
+  Svc.closeGate();
+
+  Collector Got;
+  Svc.submit(pingReq("A", true), Got.sink());
+  waitInflight(Svc, 1);
+  Svc.submit(pingReq("B", true), Got.sink());
+  Svc.submit(pingReq("C", true), Got.sink());
+  EXPECT_EQ(Svc.queueNow(), 2);
+  Svc.submit(pingReq("D", true), Got.sink());
+  Svc.submit(pingReq("E", true), Got.sink());
+
+  // The sheds answered inline, before the gate ever opened.
+  Got.waitFor(2);
+  for (const char *Id : {"D", "E"}) {
+    std::string L = Got.byId(Id);
+    EXPECT_EQ(respField(L, "status"), "rejected") << L;
+    EXPECT_EQ(respField(L, "reason"), "overloaded") << L;
+  }
+
+  Svc.openGate();
+  Got.waitFor(5);
+  for (const char *Id : {"A", "B", "C"})
+    EXPECT_EQ(respField(Got.byId(Id), "status"), "ok") << Id;
+
+  ServeStats S = Svc.stats();
+  EXPECT_EQ(S.Accepted, 3);
+  EXPECT_EQ(S.RejectedOverload, 2);
+  EXPECT_EQ(S.Succeeded, 3);
+  Svc.shutdown();
+}
+
+TEST(ServeService, ShutdownDrainsInflightAndShedsNew) {
+  ServeConfig C;
+  C.Workers = 1;
+  Service Svc(C);
+  Svc.closeGate();
+
+  Collector Got;
+  Svc.submit(pingReq("inflight", true), Got.sink());
+  waitInflight(Svc, 1);
+
+  Svc.beginShutdown();
+  std::string Shed = Svc.call(pingReq("late"));
+  EXPECT_EQ(respField(Shed, "status"), "rejected");
+  EXPECT_EQ(respField(Shed, "reason"), "shutting-down");
+
+  // The accepted request still completes — shutdown() blocks on it.
+  Svc.openGate();
+  Svc.shutdown();
+  Got.waitFor(1);
+  EXPECT_EQ(respField(Got.byId("inflight"), "status"), "ok");
+
+  ServeStats S = Svc.stats();
+  EXPECT_EQ(S.Accepted, 1);
+  EXPECT_EQ(S.RejectedShutdown, 1);
+  EXPECT_EQ(S.Succeeded, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Retry / fail-fast
+//===----------------------------------------------------------------------===//
+
+TEST(ServeService, TransientKindsRetryThenFail) {
+  ServeConfig C;
+  C.Workers = 1;
+  C.MaxRetries = 2;
+  C.BackoffBaseMs = 0; // No sleeping in tests.
+  C.DegradeThreshold = 100;
+  Service Svc(C);
+
+  // Rate-1.0 worker-task faults: every attempt crashes deterministically.
+  ASSERT_TRUE(faults::configure("worker-task:1.0:5"));
+  std::string L = Svc.call(gemmReq("retry"));
+  faults::reset();
+
+  EXPECT_EQ(respField(L, "status"), "failed") << L;
+  EXPECT_EQ(respField(L, "error_kind"), "worker-crash") << L;
+  EXPECT_EQ(respField(L, "attempts"), "3") << L; // 1 + MaxRetries.
+  ServeStats S = Svc.stats();
+  EXPECT_EQ(S.Retries, 2);
+  EXPECT_EQ(S.Failed, 1);
+  Svc.shutdown();
+}
+
+TEST(ServeService, DeterministicKindsFailFastWithDiagnostic) {
+  ServeConfig C;
+  C.Workers = 1;
+  C.MaxRetries = 2;
+  Service Svc(C);
+
+  std::string Ir = readFile(corpusPath("protocol_ring_deadlock.tawa"));
+  std::string L = Svc.call(irReq("dead", Ir));
+  EXPECT_EQ(respField(L, "status"), "failed") << L;
+  EXPECT_EQ(respField(L, "error_kind"), "deadlock") << L;
+  // Fail fast: a deadlock replays identically, so no retry is spent.
+  EXPECT_EQ(respField(L, "attempts"), "1") << L;
+  // And the guardrail trip carries the structured post-mortem.
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(L, V, Err)) << Err;
+  const JsonValue *Diag = V.find("diag");
+  ASSERT_NE(Diag, nullptr) << L;
+  EXPECT_EQ(Diag->getString("schema", ""), "tawa-diag-v1");
+  EXPECT_EQ(Svc.stats().Retries, 0);
+  Svc.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation ladder
+//===----------------------------------------------------------------------===//
+
+TEST(ServeService, DegradationLadderStepsPerCompileKey) {
+  ServeConfig C;
+  C.Workers = 1;
+  C.MaxRetries = 0;
+  C.DegradeThreshold = 1; // Every crash steps the ladder.
+  Service Svc(C);
+
+  ASSERT_TRUE(faults::configure("worker-task:1.0:5"));
+  std::string L1 = Svc.call(gemmReq("l1"));
+  std::string L2 = Svc.call(gemmReq("l2"));
+  std::string L3 = Svc.call(gemmReq("l3"));
+  std::string L4 = Svc.call(gemmReq("l4"));
+  faults::reset();
+
+  EXPECT_EQ(respField(L1, "degrade"), "fused") << L1;
+  EXPECT_EQ(respField(L2, "degrade"), "unfused") << L2;
+  EXPECT_EQ(respField(L3, "degrade"), "serial") << L3;
+  EXPECT_EQ(respField(L4, "degrade"), "serial") << L4; // Ladder floor.
+  EXPECT_EQ(Svc.stats().DegradeSteps, 2);
+
+  // The degraded mode is the safe mode: with faults gone the key still
+  // runs (serially) and succeeds.
+  std::string L5 = Svc.call(gemmReq("l5"));
+  EXPECT_EQ(respField(L5, "status"), "ok") << L5;
+  EXPECT_EQ(respField(L5, "degrade"), "serial") << L5;
+  Svc.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker
+//===----------------------------------------------------------------------===//
+
+TEST(ServeService, BreakerTripsToMemoryOnlyAndRecovers) {
+  char Tmpl[] = "/tmp/tawa-serve-breaker-XXXXXX";
+  char *Dir = mkdtemp(Tmpl);
+  ASSERT_NE(Dir, nullptr);
+  ProgramCache::shared().setPersistDir(Dir);
+  ProgramCache::shared().clear();
+
+  ServeConfig C;
+  C.Workers = 1;
+  C.MaxRetries = 0;
+  C.BreakerThreshold = 1;
+  C.BreakerCooldownMs = 50;
+  Service Svc(C);
+
+  // Warm the disk layer (the read fault site only fires on an existing
+  // cache file), then drop the in-memory entry so the next request must
+  // go to disk.
+  std::string L0 = Svc.call(gemmReq("b0"));
+  EXPECT_EQ(respField(L0, "status"), "ok") << L0;
+  ProgramCache::shared().clear();
+
+  // Every disk read now fails: the load attempt produces the failure
+  // delta that trips the breaker. The request itself still succeeds —
+  // the cache degrades to compiling.
+  ASSERT_TRUE(faults::configure("cache-read:1.0:3"));
+  std::string L1 = Svc.call(gemmReq("b1"));
+  faults::reset();
+  EXPECT_EQ(respField(L1, "status"), "ok") << L1;
+  EXPECT_EQ(ProgramCache::shared().getPersistDir(), "");
+  EXPECT_EQ(Svc.stats().BreakerTrips, 1);
+
+  // After the cooldown the next attempt probes (half-open): the disk is
+  // healthy again, so the breaker closes and the disk layer is restored.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ProgramCache::shared().clear();
+  std::string L2 = Svc.call(gemmReq("b2"));
+  EXPECT_EQ(respField(L2, "status"), "ok") << L2;
+  ServeStats S = Svc.stats();
+  EXPECT_EQ(S.BreakerProbes, 1);
+  EXPECT_EQ(S.BreakerCloses, 1);
+  EXPECT_EQ(ProgramCache::shared().getPersistDir(), Dir);
+
+  Svc.shutdown();
+  ProgramCache::shared().setPersistDir("");
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos soak: all sites armed, everything still answers
+//===----------------------------------------------------------------------===//
+
+TEST(ServeService, ChaosSoakEveryRequestGetsStructuredResponse) {
+  char Tmpl[] = "/tmp/tawa-serve-chaos-XXXXXX";
+  char *Dir = mkdtemp(Tmpl);
+  ASSERT_NE(Dir, nullptr);
+  ProgramCache::shared().setPersistDir(Dir);
+  ProgramCache::shared().clear();
+
+  ServeConfig C;
+  C.Workers = 4;
+  C.MaxRetries = 1;
+  C.BackoffBaseMs = 0;
+  C.BreakerCooldownMs = 10;
+  Service Svc(C);
+
+  // Every injection site armed at once (the cache sites need the persist
+  // dir above to have anything to fail). Moderate rates so both failure
+  // and success paths run under the sanitizer legs.
+  ASSERT_TRUE(faults::configure("cache-read:0.5:7,cache-write:0.5:8,"
+                                "deserialize:0.4:9,arena-alloc:0.05:10,"
+                                "worker-task:0.2:11"));
+
+  std::string Ir = readFile(corpusPath("gemm_ws.tawa"));
+  std::vector<std::string> Requests;
+  for (int I = 0; I < 36; ++I) {
+    switch (I % 6) {
+    case 0:
+      Requests.push_back(gemmReq(formatString("chaos-g%d", I)));
+      break;
+    case 1:
+      Requests.push_back(formatString(
+          "{\"schema\":\"tawa-serve-req-v1\",\"id\":\"chaos-a%d\","
+          "\"kind\":\"attention\",\"framework\":\"tawa\",\"seq_len\":256,"
+          "\"heads\":1,\"functional\":true}",
+          I));
+      break;
+    case 2:
+      Requests.push_back(pingReq(formatString("chaos-p%d", I)));
+      break;
+    case 3:
+      Requests.push_back(irReq(formatString("chaos-i%d", I), Ir));
+      break;
+    case 4:
+      Requests.push_back("{\"chaos\": \"not a valid request");
+      break;
+    default:
+      Requests.push_back(formatString(
+          "{\"schema\":\"tawa-serve-req-v1\",\"id\":\"chaos-u%d\","
+          "\"kind\":\"warp-drive\"}",
+          I));
+      break;
+    }
+  }
+
+  Collector Got;
+  for (const std::string &R : Requests)
+    Svc.submit(R, Got.sink());
+  Got.waitFor(Requests.size());
+
+  // 100% structured answers: every line parses and carries a known
+  // status. Zero process deaths is implicit — we are still here.
+  {
+    std::lock_guard<std::mutex> G(Got.Mu);
+    ASSERT_EQ(Got.Lines.size(), Requests.size());
+    for (const std::string &L : Got.Lines) {
+      JsonValue V;
+      std::string Err;
+      ASSERT_TRUE(parseJson(L, V, Err)) << Err << "\n" << L;
+      std::string St = V.getString("status", "");
+      EXPECT_TRUE(St == "ok" || St == "rejected" || St == "failed") << L;
+    }
+  }
+
+  faults::reset();
+  ProgramCache::shared().setPersistDir("");
+  // Post-chaos the service is still healthy.
+  EXPECT_EQ(respField(Svc.call(pingReq("after")), "status"), "ok");
+  Svc.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Socket transport
+//===----------------------------------------------------------------------===//
+
+int connectTo(const std::string &Path) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool sendLine(int Fd, const std::string &Line) {
+  std::string Out = Line + "\n";
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool recvLine(int Fd, std::string &Buf, std::string &Line) {
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      return true;
+    }
+    char Tmp[4096];
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Buf.append(Tmp, static_cast<size_t>(N));
+  }
+}
+
+std::string testSocketPath(const char *Tag) {
+  return formatString("/tmp/tawa-serve-%s-%lld.sock", Tag,
+                      static_cast<long long>(::getpid()));
+}
+
+TEST(ServeSocket, RoundTripAndGracefulShutdown) {
+  ServeConfig C;
+  C.Workers = 2;
+  Service Svc(C);
+  SocketServer Srv(Svc, testSocketPath("rt"));
+  std::string Err;
+  ASSERT_TRUE(Srv.start(Err)) << Err;
+
+  int A = connectTo(Srv.path());
+  ASSERT_GE(A, 0);
+  std::string BufA, Line;
+  ASSERT_TRUE(sendLine(A, pingReq("hello")));
+  ASSERT_TRUE(recvLine(A, BufA, Line));
+  EXPECT_EQ(respField(Line, "status"), "ok");
+  EXPECT_EQ(respField(Line, "id"), "hello");
+
+  // Park one request on the gate, connect a second client, then start a
+  // graceful shutdown: the parked request must complete and the late one
+  // must shed — exactly the daemon's SIGTERM semantics.
+  Svc.closeGate();
+  ASSERT_TRUE(sendLine(A, pingReq("parked", true)));
+  waitInflight(Svc, 1);
+  int B = connectTo(Srv.path());
+  ASSERT_GE(B, 0);
+
+  std::thread Stopper([&] { Srv.shutdown(); });
+  // Admission closes as soon as Stopper's beginShutdown lands; until
+  // then probes still answer "ok" (the second executor serves them past
+  // the parked request). Poll until a probe is shed.
+  std::string BufB;
+  for (int I = 0;; ++I) {
+    ASSERT_TRUE(sendLine(B, pingReq(formatString("late-%d", I))));
+    ASSERT_TRUE(recvLine(B, BufB, Line));
+    if (respField(Line, "status") == "rejected")
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(respField(Line, "reason"), "shutting-down") << Line;
+
+  Svc.openGate();
+  ASSERT_TRUE(recvLine(A, BufA, Line));
+  EXPECT_EQ(respField(Line, "status"), "ok") << Line;
+  EXPECT_EQ(respField(Line, "id"), "parked") << Line;
+  Stopper.join();
+
+  // After shutdown both connections see EOF.
+  EXPECT_FALSE(recvLine(A, BufA, Line));
+  ::close(A);
+  ::close(B);
+  Svc.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus replay: server path vs direct execution, byte for byte
+//===----------------------------------------------------------------------===//
+
+/// Renders the response a direct (no-service) execution of \p Text
+/// produces, using the same conventions Server's ir path promises:
+/// fnv1a64 output hashes, replayed cycles, classified error + diag.
+ServeResponse directIrResponse(const std::string &Id,
+                               const std::string &Text,
+                               int64_t NumWorkers) {
+  ServeResponse Resp;
+  Resp.Id = Id;
+  Resp.Attempts = 1;
+
+  fuzz::PreparedCase P;
+  std::string LoadErr = fuzz::loadCase(Text, P);
+  EXPECT_EQ(LoadErr, "");
+
+  sim::GpuConfig Cfg;
+  sim::RunOptions Opts;
+  Opts.GridX = P.Launch.GridX;
+  Opts.GridY = P.Launch.GridY;
+  Opts.Functional = true;
+  Opts.FuseBytecode = true;
+  Opts.NumWorkers = NumWorkers;
+  Opts.MaxSteps = 1000000;
+  sim::ExecDiagnostic Diag;
+  Opts.Diag = &Diag;
+
+  std::vector<sim::TensorRef> Outputs;
+  for (const fuzz::LaunchSpec::Arg &A : P.Launch.Args) {
+    if (A.IsScalar) {
+      Opts.Args.push_back(sim::RuntimeArg::scalar(A.Scalar));
+      continue;
+    }
+    auto T = std::make_shared<sim::TensorData>(A.Shape);
+    if (A.FillSeed != 0)
+      T->fillRandom(A.FillSeed, 1.0f);
+    else
+      Outputs.push_back(T);
+    Opts.Args.push_back(sim::RuntimeArg::tensor(T));
+  }
+  if (!P.Launch.FaultSpec.empty())
+    EXPECT_TRUE(faults::configure(P.Launch.FaultSpec));
+  sim::Interpreter Interp(*P.Mod, Cfg);
+  std::vector<sim::CtaTrace> Traces;
+  std::string RunErr = Interp.runGrid(Opts, nullptr, &Traces);
+  if (!P.Launch.FaultSpec.empty())
+    faults::reset();
+
+  if (!RunErr.empty()) {
+    Resp.St = ServeResponse::Status::Failed;
+    Resp.Error = RunErr;
+    Resp.ErrorKind = errorKindName(classifyError(RunErr));
+    if (!Diag.empty())
+      Resp.DiagJson = Diag.renderJson();
+    return Resp;
+  }
+  Resp.St = ServeResponse::Status::Ok;
+  Resp.HasIr = true;
+  for (const sim::TensorRef &T : Outputs)
+    Resp.Outputs.push_back(formatString(
+        "%016llx",
+        static_cast<unsigned long long>(
+            fnv1a64(T->data(), static_cast<size_t>(T->getNumElements()) *
+                                   sizeof(float)))));
+  std::vector<const sim::CtaTrace *> Ptrs;
+  for (const sim::CtaTrace &T : Traces)
+    Ptrs.push_back(&T);
+  Resp.Cycles =
+      sim::replaySmSchedule(Ptrs, Cfg, sim::ReplayParams()).Cycles;
+  return Resp;
+}
+
+TEST(ServeSocket, CorpusReplayMatchesDirectExecutionByteForByte) {
+  const char *Files[] = {
+      "gemm_ws.tawa",
+      "gemm_ws_persistent_fp8_batched.tawa",
+      "gemm_swp_ptr_epilogue.tawa",
+      "gemm_ws_worker_faults.tawa",
+      "attention_causal_coarse.tawa",
+      "protocol_ring.tawa",
+      "protocol_ring_deadlock.tawa",
+  };
+
+  ServeConfig C;
+  C.Workers = 1;
+  C.MaxRetries = 0; // Attempts stay 1 even for the fault-injected case.
+  C.ExecWorkers = 2;
+  Service Svc(C);
+  SocketServer Srv(Svc, testSocketPath("corpus"));
+  std::string Err;
+  ASSERT_TRUE(Srv.start(Err)) << Err;
+
+  int Fd = connectTo(Srv.path());
+  ASSERT_GE(Fd, 0);
+  std::string Buf;
+  for (const char *Name : Files) {
+    SCOPED_TRACE(Name);
+    std::string Text = readFile(corpusPath(Name));
+    std::string Id = std::string("corpus-") + Name;
+    ASSERT_TRUE(sendLine(Fd, irReq(Id, Text)));
+    std::string Line;
+    ASSERT_TRUE(recvLine(Fd, Buf, Line));
+    EXPECT_EQ(Line, directIrResponse(Id, Text, C.ExecWorkers).render());
+  }
+  ::close(Fd);
+  Srv.shutdown();
+  Svc.shutdown();
+}
+
+} // namespace
