@@ -1,0 +1,87 @@
+//===- fig13_splitk.cpp - Split-K & MoE GEMM kernel-family sweep --------------//
+//
+// Left panel: FP16 split-K GEMM on a skinny problem (small M*N tile count,
+// deep K) across split factors 1..8. The split factor is grid axis 1 — a
+// pure LAUNCH parameter — so all eight points per framework share ONE
+// compile key: the sweep's prewarm compiles each framework's kernel once
+// and Stats::DistinctKeys stays at the framework count for the panel. The
+// payoff shape: splitting recovers SM occupancy lost to the tiny tile grid
+// until the cross-CTA atomic reduction overhead wins.
+//
+// Right panel: MoE grouped GEMM through the @matmul_grouped kernel (ragged
+// per-expert batches, group-offset table, data-dependent CTA list) across
+// expert counts 2..8 with heterogeneous per-expert M — including an empty
+// expert at E >= 4, which must cost nothing.
+//
+// Writes BENCH_fig13.json. Exit status enforces the cache tentpole:
+// RunCompiles must be 0 after prewarm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Sweep.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace tawa;
+
+int main() {
+  Sweep S("fig13_splitk");
+  const std::vector<Framework> Frameworks = {Framework::Tawa,
+                                             Framework::Triton};
+
+  // Left panel: M = N = 512 (few output tiles), K = 16384 (deep reduction).
+  for (int64_t Split : {1, 2, 3, 4, 6, 8})
+    for (Framework F : Frameworks) {
+      GemmWorkload W;
+      W.M = W.N = 512;
+      W.K = 16384;
+      W.SplitK = Split;
+      S.addGemm(W, F,
+                {{"panel", "splitk"}, {"split", std::to_string(Split)}});
+    }
+
+  // Right panel: N = K = 4096, experts of ragged M (multiples of 384, so
+  // most experts end on a partial tile); expert 2 is empty from E = 4 on.
+  for (int64_t E = 2; E <= 8; E += 2)
+    for (Framework F : Frameworks) {
+      GemmWorkload W;
+      W.N = W.K = 4096;
+      W.MoE = true;
+      for (int64_t I = 0; I < E; ++I)
+        W.GroupMs.push_back(I == 2 ? 0 : 384 * (I + 1));
+      S.addGemm(W, F, {{"panel", "moe"}, {"E", std::to_string(E)}});
+    }
+
+  if (std::string Err = S.prewarm(); !Err.empty())
+    std::fprintf(stderr, "prewarm: %s\n", Err.c_str());
+  S.run();
+
+  S.printTables("Fig. 13 (left): FP16 split-K GEMM TFLOP/s, M = N = 512, "
+                "K = 16384",
+                "split", "framework");
+  std::printf("geomean speedup (splitk): Tawa/Triton = %.2fx\n",
+              S.geomeanSpeedup("framework", "Tawa", "Triton", "panel",
+                               "splitk"));
+
+  S.printTables("Fig. 13 (right): FP16 MoE grouped GEMM TFLOP/s, "
+                "N = K = 4096, ragged experts",
+                "E", "framework");
+  std::printf("geomean speedup (moe): Tawa/Triton = %.2fx\n",
+              S.geomeanSpeedup("framework", "Tawa", "Triton", "panel",
+                               "moe"));
+
+  const Sweep::Stats &St = S.stats();
+  std::printf("\ncache: %zu points, %zu distinct keys, prewarm %zu "
+              "compiles + %zu hits, run %zu hits / %zu compiles\n",
+              St.Points, St.DistinctKeys, St.PrewarmCompiles,
+              St.PrewarmHits, St.RunHits, St.RunCompiles);
+
+  if (!S.writeJson("BENCH_fig13.json")) {
+    std::fprintf(stderr, "cannot write BENCH_fig13.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_fig13.json\n");
+  return S.stats().RunCompiles == 0 ? 0 : 1;
+}

@@ -21,6 +21,11 @@
 # performed ZERO compiles and that the per-point JSON records are
 # byte-identical (docs/reproducing-figures.md).
 #
+# Then the same cold/warm contract for fig13_splitk (the split-K / MoE
+# kernel-family sweep): the warm pass must perform zero prewarm compiles —
+# split factors are launch parameters sharing one compile key — and the
+# per-point JSON records must be byte-identical.
+#
 # Then checks the documentation tree: every relative .md link and every
 # source-file path mentioned in docs/ and README.md must exist in the
 # repo, so docs cannot silently rot as files move.
@@ -55,6 +60,10 @@
 # tests, whose whole point is to drive the error/containment paths
 # (injected cache corruption, allocation failure, worker-task crashes)
 # where leaks and lifetime bugs hide. Set TAWA_SKIP_ASAN=1 to skip.
+#
+# Finally a coverage build (-DTAWA_COVERAGE=ON -> --coverage/gcov) into
+# $BUILD_DIR-cov runs the whole suite instrumented and prints per-directory
+# line coverage. Set TAWA_SKIP_COVERAGE=1 to skip.
 #
 # Bench smoke invocations run under timeout(1): a livelocked engine fails
 # the check after the deadline instead of wedging CI (ctest tests carry
@@ -250,6 +259,51 @@ fi
 echo "sweep cold/warm identical ($POINT_COUNT points), warm pass" \
      "performed zero compiles"
 
+echo "== sweep driver cold/warm smoke (fig13_splitk) =="
+# Same cold/warm contract for the split-K / MoE kernel-family sweep, which
+# additionally proves the split factor is a pure launch parameter: all
+# split points per framework share one compile key, so the warm pass
+# performs zero prewarm compiles and the per-point records are
+# byte-identical.
+FIG13_CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$SWEEP_CACHE_DIR" "$FIG13_CACHE_DIR"' EXIT
+run_fig13() { # <label> <output-json>
+  if ! (cd "$BUILD_DIR" &&
+        TAWA_CACHE_DIR="$FIG13_CACHE_DIR" \
+          timeout "$SMOKE_TIMEOUT" ./fig13_splitk >/dev/null); then
+    echo "FAIL: fig13_splitk ($1) exited non-zero — run phase compiled" \
+         "or the sweep errored"
+    exit 1
+  fi
+  mv "$BUILD_DIR/BENCH_fig13.json" "$BUILD_DIR/$2"
+}
+run_fig13 cold fig13-sweep-cold.json
+run_fig13 warm fig13-sweep-warm.json
+grep -q '"run_compiles": 0' "$BUILD_DIR/fig13-sweep-cold.json" || {
+  echo "FAIL: cold fig13 sweep compiled during the run phase"
+  exit 1
+}
+grep -q '"prewarm_compiles": 0' "$BUILD_DIR/fig13-sweep-warm.json" || {
+  echo "FAIL: warm fig13 sweep compiled kernels (disk cache not used)"
+  exit 1
+}
+if ! diff <(extract_points "$BUILD_DIR/fig13-sweep-cold.json") \
+          <(extract_points "$BUILD_DIR/fig13-sweep-warm.json") >/dev/null
+then
+  echo "FAIL: cold/warm fig13 sweep JSON point values differ:"
+  diff <(extract_points "$BUILD_DIR/fig13-sweep-cold.json") \
+       <(extract_points "$BUILD_DIR/fig13-sweep-warm.json") | head -20
+  exit 1
+fi
+FIG13_POINTS="$(extract_points "$BUILD_DIR/fig13-sweep-cold.json" |
+  grep -c '"tflops":' || true)"
+if [[ "$FIG13_POINTS" -eq 0 ]]; then
+  echo "FAIL: fig13 sweep JSON point extraction found no records"
+  exit 1
+fi
+echo "fig13 cold/warm identical ($FIG13_POINTS points), warm pass" \
+     "performed zero compiles"
+
 echo "== docs link check =="
 DOCS_FAIL=0
 for DOC in "$REPO_ROOT"/docs/*.md "$REPO_ROOT"/README.md; do
@@ -326,6 +380,44 @@ if [[ "${TAWA_SKIP_ASAN:-0}" != "1" ]]; then
       ctest --output-on-failure --no-tests=error -j "$(nproc)")
 else
   echo "== asan leg skipped (TAWA_SKIP_ASAN=1) =="
+fi
+
+if [[ "${TAWA_SKIP_COVERAGE:-0}" != "1" ]]; then
+  echo "== coverage configure (-DTAWA_COVERAGE=ON) =="
+  COV_DIR="${BUILD_DIR}-cov"
+  cmake -B "$COV_DIR" -S "$REPO_ROOT" -DTAWA_COVERAGE=ON >/dev/null
+  echo "== coverage build + ctest =="
+  cmake --build "$COV_DIR" -j
+  (cd "$COV_DIR" && ctest --output-on-failure --no-tests=error \
+    -j "$(nproc)" >/dev/null)
+  echo "== line coverage by directory =="
+  # gcov -n prints, per source file, "File '<path>'" followed by
+  # "Lines executed:<pct>% of <total>"; aggregate over repo directories.
+  COV_REPORT="$(cd "$COV_DIR" && find . -name '*.gcda' -print0 |
+    xargs -0 gcov -n 2>/dev/null |
+    awk -v root="$REPO_ROOT/" '
+      /^File / {
+        f = $2; gsub(/\x27/, "", f); sub(root, "", f); next
+      }
+      /^Lines executed:/ {
+        split($0, a, ":"); split(a[2], b, "% of ")
+        if (f ~ /^(src|tests|bench|tools)\//) {
+          d = f; sub(/\/[^\/]*$/, "", d)
+          hit[d] += b[1] / 100 * b[2]; tot[d] += b[2]
+        }
+      }
+      END {
+        for (d in tot)
+          printf "  %-24s %6.1f%%  (%d lines)\n", d,
+                 100 * hit[d] / tot[d], tot[d]
+      }' | sort)"
+  if [[ -z "$COV_REPORT" ]]; then
+    echo "FAIL: coverage run produced no gcov data"
+    exit 1
+  fi
+  echo "$COV_REPORT"
+else
+  echo "== coverage leg skipped (TAWA_SKIP_COVERAGE=1) =="
 fi
 
 echo "check.sh: OK"

@@ -120,6 +120,10 @@ TawaOptions effectiveGemmOptions(const GemmWorkload &W,
   TawaOptions Options = E.Options;
   if (W.Batch > 1)
     Options.Persistent = false; // Tile queues are per batch slice.
+  if (W.SplitK > 1 || (W.MoE && !W.GroupMs.empty()))
+    Options.Persistent = false; // Grid axis 0 is not a flat tile queue:
+                                // split-K pairs it with a reduction axis,
+                                // grouped walks one expert's ragged tiles.
   return Options;
 }
 
@@ -130,19 +134,37 @@ GemmKernelConfig gemmKernelConfig(const GemmWorkload &W,
   Kernel.TileN = E.TileN;
   Kernel.TileK = E.TileK;
   Kernel.InPrecision = W.Prec;
-  Kernel.Batched = W.Batch > 1;
+  Kernel.Grouped = W.MoE && !W.GroupMs.empty();
+  Kernel.SplitK = W.SplitK > 1 && !Kernel.Grouped && W.Batch == 1;
+  Kernel.Batched = W.Batch > 1 && !Kernel.Grouped;
   return Kernel;
+}
+
+/// Family dispatch shared by prewarm and the execute paths, so a pre-warm
+/// pass provably builds the same module the execute pass would.
+std::unique_ptr<Module> buildGemmFamilyModule(IrContext &Ctx,
+                                              const GemmKernelConfig &K) {
+  if (K.Grouped)
+    return buildGroupedGemmModule(Ctx, K);
+  if (K.SplitK)
+    return buildSplitKGemmModule(Ctx, K);
+  return buildGemmModule(Ctx, K);
 }
 
 std::string gemmKey(const GemmKernelConfig &Kernel, const TawaOptions &O,
                     int64_t SwDepth, bool Fuse) {
-  return formatString("gemm|tm%lld|tn%lld|tk%lld|prec%d|b%d|pe%d",
+  // The split factor and the per-expert GroupMs are runtime launch
+  // parameters — deliberately absent so a whole split-factor or expert-mix
+  // sweep shares one compiled program.
+  return formatString("gemm|tm%lld|tn%lld|tk%lld|prec%d|b%d|pe%d|sk%d|moe%d"
+                      "|dl%d",
                       static_cast<long long>(Kernel.TileM),
                       static_cast<long long>(Kernel.TileN),
                       static_cast<long long>(Kernel.TileK),
                       static_cast<int>(Kernel.InPrecision),
-                      Kernel.Batched ? 1 : 0,
-                      Kernel.PointerEpilogue ? 1 : 0) +
+                      Kernel.Batched ? 1 : 0, Kernel.PointerEpilogue ? 1 : 0,
+                      Kernel.SplitK ? 1 : 0, Kernel.Grouped ? 1 : 0,
+                      Kernel.DeadlockEpilogue ? 1 : 0) +
          pipelineKeySuffix(O, SwDepth, Fuse);
 }
 
@@ -256,7 +278,9 @@ bool Runner::prewarm(const GemmWorkload &W, const FrameworkEnvelope &E,
   return getOrCompile(
              gemmKey(Kernel, Options, E.SwPipelineDepth,
                      sim::bc::fusionEnabled(FuseBytecode)),
-             [&](IrContext &Ctx) { return buildGemmModule(Ctx, Kernel); },
+             [&](IrContext &Ctx) {
+               return buildGemmFamilyModule(Ctx, Kernel);
+             },
              Options, E.SwPipelineDepth, Err) != nullptr;
 }
 
@@ -354,6 +378,14 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
       return R;
     }
   }
+  if (W.SplitK > 1 && (W.Batch > 1 || W.MoE)) {
+    R.Supported = false;
+    R.Error = "split-K requires Batch == 1 and a non-MoE workload";
+    R.Kind = ErrorKind::Unsupported;
+    return R;
+  }
+  if (W.MoE && !W.GroupMs.empty())
+    return runGemmMoe(W, E, Functional);
 
   int64_t TotalM = W.totalM();
   GemmKernelConfig Kernel = gemmKernelConfig(W, E);
@@ -362,7 +394,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   ProgramCache::EntryRef Cached = getOrCompile(
       gemmKey(Kernel, Options, E.SwPipelineDepth,
               sim::bc::fusionEnabled(FuseBytecode)),
-      [&](IrContext &Ctx) { return buildGemmModule(Ctx, Kernel); },
+      [&](IrContext &Ctx) { return buildGemmFamilyModule(Ctx, Kernel); },
       Options, E.SwPipelineDepth, CompileErr);
   if (!Cached) {
     R.Error = "compile: " + CompileErr;
@@ -376,7 +408,9 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   bool Persistent = Options.Persistent && Options.EnableWarpSpecialization;
   int64_t GridX = Persistent ? std::min<int64_t>(Config.NumSms, Tiles)
                              : Tiles;
-  int64_t GridY = W.Batch;
+  // Grid axis 1 is the batch slice for batched GEMM and the K split for
+  // split-K (num_programs(1) IS the split factor — no recompile per factor).
+  int64_t GridY = Kernel.SplitK ? W.SplitK : W.Batch;
 
   // Resource feasibility.
   int64_t Replicas = Options.NumConsumerGroups;
@@ -449,7 +483,12 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
       return R;
     }
     // Validate against the double-precision reference.
-    if (!Kernel.Batched) {
+    if (Kernel.SplitK) {
+      // Split-K accumulates raw f32 partial sums into a zero-initialized C
+      // (no f16 store rounding), so compare against the unrounded reference.
+      TensorData Ref = referenceGemm(*A, *B);
+      R.MaxRelError = C->maxRelDiff(Ref);
+    } else if (!Kernel.Batched) {
       TensorData Ref = referenceGemm(*A, *B);
       roundHostTensor(Ref, Precision::FP16); // C is stored f16.
       R.MaxRelError = C->maxRelDiff(Ref);
@@ -490,7 +529,7 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   }
 
   // Timing: one SM's schedule, wave model.
-  int64_t TotalCtas = Tiles * W.Batch;
+  int64_t TotalCtas = Tiles * GridY;
   ReplayParams Params;
   Params.BwShareSms =
       static_cast<double>(std::min<int64_t>(TotalCtas, Config.NumSms));
@@ -507,6 +546,190 @@ RunResult Runner::runGemmCustom(const GemmWorkload &W,
   for (int64_t I = 0; I < CtasOnSm0; ++I)
     Schedule.push_back(&Sample);
 
+  ReplayResult Rep = replaySmSchedule(Schedule, Config, Params);
+  if (Rep.Deadlock) {
+    R.Error = Rep.Error;
+    R.Kind = ErrorKind::Deadlock;
+    return R;
+  }
+  R.Micros = Config.cyclesToMicros(Rep.Cycles) + E.ExtraLaunchMicros;
+  R.TFlops = W.flops() / (R.Micros * 1e-6) / 1e12;
+  R.TensorUtilization = Rep.TensorBusyCycles / std::max(1.0, Rep.Cycles);
+  return R;
+}
+
+RunResult Runner::runGemmMoe(const GemmWorkload &W,
+                             const FrameworkEnvelope &E, bool Functional) {
+  // Caller (runGemmCustom) has already validated support / analytic /
+  // warp-specialization options.
+  RunResult R;
+  TawaOptions Options = effectiveGemmOptions(W, E);
+  GemmKernelConfig Kernel = gemmKernelConfig(W, E);
+
+  std::string CompileErr;
+  ProgramCache::EntryRef Cached = getOrCompile(
+      gemmKey(Kernel, Options, E.SwPipelineDepth,
+              sim::bc::fusionEnabled(FuseBytecode)),
+      [&](IrContext &Ctx) { return buildGemmFamilyModule(Ctx, Kernel); },
+      Options, E.SwPipelineDepth, CompileErr);
+  if (!Cached) {
+    R.Error = "compile: " + CompileErr;
+    R.Kind = ErrorKind::CompileError;
+    return R;
+  }
+
+  // Ragged CTA list: grid axis 1 is the expert, axis 0 walks that expert's
+  // (m tile, n tile) pairs n-major. The shape of the list is data-dependent
+  // — experts with zero rows contribute zero CTAs.
+  int64_t NumExperts = static_cast<int64_t>(W.GroupMs.size());
+  int64_t TotalM = W.totalM();
+  int64_t NumPidN = ceilDiv(W.N, Kernel.TileN);
+  std::vector<CtaCoord> Coords;
+  std::vector<int64_t> RowStart(NumExperts, 0);
+  int64_t MaxCtasPerExpert = 1;
+  int64_t Row = 0;
+  for (int64_t Ex = 0; Ex < NumExperts; ++Ex) {
+    RowStart[Ex] = Row;
+    Row += W.GroupMs[Ex];
+    int64_t ExpertCtas = ceilDiv(W.GroupMs[Ex], Kernel.TileM) * NumPidN;
+    MaxCtasPerExpert = std::max(MaxCtasPerExpert, ExpertCtas);
+    for (int64_t T = 0; T < ExpertCtas; ++T)
+      Coords.push_back({T, Ex});
+  }
+  int64_t TotalCtas = static_cast<int64_t>(Coords.size());
+
+  // Resource feasibility: same consumer-accumulator model as plain GEMM.
+  int64_t Replicas = Options.NumConsumerGroups;
+  int64_t AccElems = Kernel.TileM * Kernel.TileN;
+  R.RegsPerThread = estimateRegsPerThread(
+      Config, AccElems,
+      Options.CoarsePipeline ? 2 : Options.MmaPipelineDepth, Replicas,
+      Options.EnableWarpSpecialization);
+  int64_t Budget = consumerRegBudget(
+      Config, Options.EnableWarpSpecialization, Replicas);
+  double TensorPenalty = E.ComputeScale;
+  double CudaPenalty = E.CudaScale;
+  if (R.RegsPerThread > Config.MaxRegsPerThread) {
+    R.Feasible = false;
+    R.Error = "register budget exceeded (hard limit)";
+    R.Kind = ErrorKind::Infeasible;
+    return R;
+  }
+  if (R.RegsPerThread > Budget) {
+    TensorPenalty *= Config.SpillPenalty;
+    CudaPenalty *= Config.SpillPenalty;
+  }
+
+  if (TotalCtas == 0) {
+    // Every expert is empty: nothing launches.
+    if (Functional)
+      R.MaxRelError = 0;
+    R.Micros = E.ExtraLaunchMicros;
+    R.TFlops = 0;
+    return R;
+  }
+
+  RunOptions Launch;
+  Launch.GridX = MaxCtasPerExpert;
+  Launch.GridY = NumExperts;
+  Launch.Functional = Functional;
+  TensorRef A, B, C, Table;
+  if (Functional) {
+    A = std::make_shared<TensorData>(std::vector<int64_t>{TotalM, W.K});
+    B = std::make_shared<TensorData>(
+        std::vector<int64_t>{NumExperts, W.N, W.K});
+    C = std::make_shared<TensorData>(std::vector<int64_t>{TotalM, W.N});
+    Table = std::make_shared<TensorData>(std::vector<int64_t>{NumExperts, 2});
+    A->fillRandom(1, 1.0f);
+    B->fillRandom(2, 1.0f);
+    roundHostTensor(*A, W.Prec);
+    roundHostTensor(*B, W.Prec);
+    for (int64_t Ex = 0; Ex < NumExperts; ++Ex) {
+      Table->at(Ex * 2) = static_cast<float>(RowStart[Ex]);
+      Table->at(Ex * 2 + 1) = static_cast<float>(W.GroupMs[Ex]);
+    }
+  }
+  Launch.Args = {RuntimeArg::tensor(A),     RuntimeArg::tensor(B),
+                 RuntimeArg::tensor(C),     RuntimeArg::tensor(Table),
+                 RuntimeArg::scalar(W.N),   RuntimeArg::scalar(W.K)};
+  Launch.UseLegacyInterp = UseLegacyInterp;
+  Launch.NumWorkers = NumWorkers;
+  Launch.FuseBytecode = FuseBytecode;
+  Launch.MaxSteps = MaxSteps;
+  Launch.MaxWallMs = MaxWallMs;
+  Launch.Diag = Diag;
+
+  Interpreter Interp(Cached->M.get(), Config, Cached->Prog);
+
+  // SampleStorage ends up holding SM0's CTA list (every NumSms-th
+  // coordinate — the attention sampling pattern) for the replay below.
+  std::vector<CtaTrace> SampleStorage;
+  if (Functional) {
+    // Functional pass interprets the full ragged list, then validates each
+    // expert's slab against the double-precision reference.
+    std::vector<CtaTrace> AllTraces;
+    if (std::string Err = Interp.runCtaBatch(Launch, Coords, AllTraces);
+        !Err.empty()) {
+      R.Error = Err;
+      R.Kind = classifyError(R.Error);
+      return R;
+    }
+    double Worst = 0;
+    for (int64_t Ex = 0; Ex < NumExperts; ++Ex) {
+      if (W.GroupMs[Ex] == 0)
+        continue;
+      TensorData Ae =
+          A->extractWindow({RowStart[Ex], 0}, {W.GroupMs[Ex], W.K});
+      TensorData Be = slice2d(*B, Ex, W.N, W.K);
+      TensorData Ce =
+          C->extractWindow({RowStart[Ex], 0}, {W.GroupMs[Ex], W.N});
+      TensorData Ref = referenceGemm(Ae, Be);
+      roundHostTensor(Ref, Precision::FP16); // C is stored f16.
+      Worst = std::max(Worst, Ce.maxRelDiff(Ref));
+    }
+    R.MaxRelError = Worst;
+    for (int64_t I = 0; I < TotalCtas; I += Config.NumSms)
+      SampleStorage.push_back(std::move(AllTraces[I]));
+  } else {
+    RunOptions TimingLaunch = Launch;
+    TimingLaunch.Functional = false;
+    std::vector<CtaCoord> Sm0Ctas;
+    for (int64_t I = 0; I < TotalCtas; I += Config.NumSms)
+      Sm0Ctas.push_back(Coords[I]);
+    if (std::string Err =
+            Interp.runCtaBatch(TimingLaunch, Sm0Ctas, SampleStorage);
+        !Err.empty()) {
+      R.Error = Err;
+      R.Kind = classifyError(R.Error);
+      return R;
+    }
+  }
+
+  R.SmemBytes = SampleStorage.front().SmemBytes;
+  if (R.SmemBytes > Config.SmemBytesPerSm) {
+    R.Feasible = false;
+    R.Error = formatString("shared memory exceeded: %lld > %lld",
+                           static_cast<long long>(R.SmemBytes),
+                           static_cast<long long>(Config.SmemBytesPerSm));
+    R.Kind = ErrorKind::Infeasible;
+    return R;
+  }
+
+  ReplayParams Params;
+  Params.BwShareSms =
+      static_cast<double>(std::min<int64_t>(TotalCtas, Config.NumSms));
+  // Approximate L2 reuse over the concatenated row space: a wave of ragged
+  // tiles still covers a rectangle-ish region of (row tile, n tile) pairs.
+  Params.DramReuseFactor = gemmReuseFactor(
+      ceilDiv(TotalM, Kernel.TileM), NumPidN, Kernel.TileM, Kernel.TileN,
+      std::min<int64_t>(TotalCtas, Config.NumSms));
+  Params.TensorPenalty = TensorPenalty;
+  Params.CudaPenalty = CudaPenalty;
+  Params.CtaGapCycles = E.ExtraCtaCycles;
+
+  std::vector<const CtaTrace *> Schedule;
+  for (const CtaTrace &T : SampleStorage)
+    Schedule.push_back(&T);
   ReplayResult Rep = replaySmSchedule(Schedule, Config, Params);
   if (Rep.Deadlock) {
     R.Error = Rep.Error;

@@ -148,6 +148,12 @@ public:
 private:
   RunResult runGemmAnalytic(const GemmWorkload &W,
                             const FrameworkEnvelope &E);
+  /// The grouped/MoE execute path (W.MoE with non-empty GroupMs): builds
+  /// the data-dependent ragged CTA list, the (E, 2) group-offset table and
+  /// the concatenated A/C slabs, dispatches through runCtaBatch, and
+  /// validates each expert's slab independently.
+  RunResult runGemmMoe(const GemmWorkload &W, const FrameworkEnvelope &E,
+                       bool Functional);
   RunResult runAttentionAnalytic(const AttentionWorkload &W,
                                  const FrameworkEnvelope &E);
 

@@ -45,6 +45,16 @@ struct GemmKernelConfig {
   /// Uses the pointer-arithmetic epilogue of Fig. 2b L21-25 instead of a TMA
   /// store (exercises make_range / expand_dims / broadcast / addptr).
   bool PointerEpilogue = false;
+  /// Selects buildSplitKGemmModule (cross-CTA reduction; split factor is a
+  /// launch parameter). Mutually exclusive with Batched and Grouped.
+  bool SplitK = false;
+  /// Selects buildGroupedGemmModule (ragged MoE batches via a group-offset
+  /// table). Mutually exclusive with Batched and SplitK.
+  bool Grouped = false;
+  /// Split-K only: replace the reduction epilogue's terminal atomic with an
+  /// mbarrier wait that can never complete — a deterministic deadlock used
+  /// to pin the tawa-diag-v1 post-mortem of a wedged cross-CTA reduction.
+  bool DeadlockEpilogue = false;
 };
 
 /// Builds `@matmul(a_desc, b_desc, c_desc, M, N, K)` into a fresh module.
@@ -52,6 +62,27 @@ struct GemmKernelConfig {
 /// transB, matching `tl.dot(a, b.T)`), C is M*N.
 std::unique_ptr<Module> buildGemmModule(IrContext &Ctx,
                                         const GemmKernelConfig &Config);
+
+/// Builds `@matmul_splitk(a_desc, b_desc, c_desc, M, N, K)`: grid axis 0
+/// walks output tiles exactly like @matmul; grid axis 1 splits the K loop
+/// across CTAs (`num_programs(1)` IS the split factor, so every split factor
+/// shares one compiled program). Each CTA contracts its contiguous slice of
+/// K tiles and atomically accumulates the raw f32 partial sum into C — C
+/// must be f32 and zero-initialized by the host. Honors Batched=false only.
+std::unique_ptr<Module> buildSplitKGemmModule(IrContext &Ctx,
+                                              const GemmKernelConfig &Config);
+
+/// Builds `@matmul_grouped(a_desc, b_desc, c_desc, table_desc, N, K)`: the
+/// grouped/MoE GEMM over ragged per-expert batches. A is (sum_M, K) row-major
+/// holding every expert's rows concatenated; B is (E, N, K) — one weight
+/// plane per expert; C is (sum_M, N). `table_desc` is an (E, 2) i32-valued
+/// tensor of [row_start_e, m_size_e] rows, read with tt.load_scalar. Grid
+/// axis 0 walks the (m tile, n tile) pairs of ONE expert (row-major,
+/// n-major-inner derived from arg N); axis 1 is the expert id — the driver
+/// launches a data-dependent ragged CTA list through runCtaBatch. Rows past
+/// m_size_e are masked off in the store (partial tiles).
+std::unique_ptr<Module> buildGroupedGemmModule(IrContext &Ctx,
+                                               const GemmKernelConfig &Config);
 
 //===----------------------------------------------------------------------===//
 // Multi-head attention

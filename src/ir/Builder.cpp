@@ -220,6 +220,15 @@ Operation *OpBuilder::createStore(Value *PtrTensor, Value *Tensor) {
   return create(OpKind::Store, {}, {PtrTensor, Tensor});
 }
 
+Operation *OpBuilder::createAtomicAdd(Value *PtrTensor, Value *Tensor) {
+  return create(OpKind::AtomicAdd, {}, {PtrTensor, Tensor});
+}
+
+Value *OpBuilder::createLoadScalar(Value *Desc, Value *Index) {
+  return create(OpKind::LoadScalar, {Ctx.getI32Type()}, {Desc, Index})
+      ->getResult();
+}
+
 Value *OpBuilder::createDot(Value *A, Value *B, Value *Acc, bool TransB) {
   Operation *Op = create(OpKind::Dot, {Acc->getType()}, {A, B, Acc});
   Op->setAttr("transB", static_cast<int64_t>(TransB));

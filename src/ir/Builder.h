@@ -110,6 +110,13 @@ public:
                             Value *Tensor);
   Value *createLoad(Value *PtrTensor, TensorType *Ty);
   Operation *createStore(Value *PtrTensor, Value *Tensor);
+  /// `tt.atomic_add(ptrs, values)`: deferred-deterministic global f32
+  /// accumulation (split-K reduction epilogues). Negative linear indices
+  /// mask lanes off, exactly like createStore.
+  Operation *createAtomicAdd(Value *PtrTensor, Value *Tensor);
+  /// `tt.load_scalar(desc, index)`: synchronous i32 read of one element of
+  /// a runtime tensor argument (grouped/MoE group-offset tables).
+  Value *createLoadScalar(Value *Desc, Value *Index);
   /// `tt.dot(A, B, Acc)`; set `transB` when B arrives K-major (Fig. 2b uses
   /// `b.T`).
   Value *createDot(Value *A, Value *B, Value *Acc, bool TransB = false);

@@ -120,12 +120,14 @@ const char *tawa::getOpName(OpKind Kind) {
     return "ttng.fence_async_shared";
   case OpKind::AtomicAdd:
     return "tt.atomic_add";
+  case OpKind::LoadScalar:
+    return "tt.load_scalar";
   }
   return "<unknown>";
 }
 
 bool tawa::lookupOpKind(const std::string &Name, OpKind &Out) {
-  for (uint16_t K = 0, E = static_cast<uint16_t>(OpKind::AtomicAdd); K <= E;
+  for (uint16_t K = 0, E = static_cast<uint16_t>(OpKind::LoadScalar); K <= E;
        ++K) {
     if (Name == getOpName(static_cast<OpKind>(K))) {
       Out = static_cast<OpKind>(K);

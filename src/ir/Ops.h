@@ -98,7 +98,15 @@ enum class OpKind : uint16_t {
   //===--------------------------------------------------------------------===//
   // Host-side / epilogue helpers.
   //===--------------------------------------------------------------------===//
-  AtomicAdd, ///< (ptr tensor, value tensor): used by split-K variants.
+  AtomicAdd,  ///< (ptr tensor, value tensor): deferred-deterministic global
+              ///< f32 accumulation (split-K reduction epilogues). Both
+              ///< engines RECORD contributions into the CTA trace; the
+              ///< Interpreter facade applies them in CTA-index order after
+              ///< execution, so results are bit-identical at any worker
+              ///< count and across engines.
+  LoadScalar, ///< (desc handle, flat i32 index) -> i32: synchronous scalar
+              ///< read of one tensor element (grouped/MoE group-offset
+              ///< tables). Non-functional mode yields 0 in both engines.
 };
 
 /// Returns the textual mnemonic (e.g. "tt.tma_load").

@@ -128,8 +128,9 @@ FrameworkEnvelope tawa::getGemmEnvelope(Framework F, const GemmWorkload &W) {
     // tuned for large-K FP16 (§V-B: ahead of Tawa when K >= 8192), with a
     // longer prologue and little FP8 tuning (§V-B: up to 1.61x behind at
     // small K).
-    if (!W.GroupMs.empty() || W.Batch > 1) {
-      E.Supported = false; // §V-C: no functioning batched/grouped kernels.
+    if (!W.GroupMs.empty() || W.Batch > 1 || W.SplitK > 1) {
+      E.Supported = false; // §V-C: no functioning batched/grouped kernels
+                           // (nor a split-K reduction variant).
       break;
     }
     E.Options.EnableWarpSpecialization = true;

@@ -79,6 +79,16 @@ struct GemmWorkload {
   Precision Prec = Precision::FP16;
   /// Grouped GEMM (Fig. 9 right): per-group M values (empty = plain GEMM).
   std::vector<int64_t> GroupMs;
+  /// Split-K factor: > 1 compiles the @matmul_splitk kernel and splits the
+  /// K loop across that many CTAs (grid axis 1) with a cross-CTA atomic
+  /// reduction into an f32 C. A pure LAUNCH parameter — every split factor
+  /// shares one compile key. Requires Batch == 1.
+  int64_t SplitK = 1;
+  /// True compiles the @matmul_grouped (MoE) kernel: GroupMs become ragged
+  /// per-expert batches dispatched through a group-offset table and a
+  /// data-dependent CTA list (runCtaBatch), instead of the historical
+  /// concatenated-GEMM envelope treatment (fig9 keeps MoE = false).
+  bool MoE = false;
 
   int64_t totalM() const {
     if (GroupMs.empty())

@@ -528,6 +528,9 @@ struct IrLaunch {
     int64_t Scalar = 0;
     std::vector<int64_t> Shape;
     uint64_t FillSeed = 0;
+    /// Explicit integer payload ('d' entries — grouped-GEMM offset tables).
+    /// Non-empty marks the tensor as an input even when FillSeed == 0.
+    std::vector<int64_t> Data;
   };
   std::vector<Arg> Args;
   std::string FaultSpec;
@@ -580,6 +583,35 @@ std::string decodeIrLaunch(const Module &M, IrLaunch &L) {
       }
       if (A.Shape.empty())
         return "tensor entry with no shape in fuzz.args: " + Tok;
+    } else if (Tok[0] == 'd') {
+      size_t Colon = Tok.find(':');
+      if (Colon == std::string::npos)
+        return "malformed data entry in fuzz.args: " + Tok;
+      size_t P = 1;
+      while (P < Colon) {
+        size_t X = Tok.find('x', P);
+        if (X == std::string::npos || X > Colon)
+          X = Colon;
+        A.Shape.push_back(
+            std::strtoll(Tok.substr(P, X - P).c_str(), nullptr, 10));
+        P = X + 1;
+      }
+      P = Colon + 1;
+      while (P < Tok.size()) {
+        size_t Comma = Tok.find(',', P);
+        if (Comma == std::string::npos)
+          Comma = Tok.size();
+        A.Data.push_back(
+            std::strtoll(Tok.substr(P, Comma - P).c_str(), nullptr, 10));
+        P = Comma + 1;
+      }
+      if (A.Shape.empty() || A.Data.empty())
+        return "data entry with no shape or values in fuzz.args: " + Tok;
+      int64_t Elems = 1;
+      for (int64_t S : A.Shape)
+        Elems *= S;
+      if (Elems != static_cast<int64_t>(A.Data.size()))
+        return "data entry shape/value count mismatch in fuzz.args: " + Tok;
     } else {
       return "unknown fuzz.args entry kind: " + Tok;
     }
@@ -633,10 +665,16 @@ std::string Service::executeIr(const ServeRequest &Req, int Level,
       continue;
     }
     auto T = std::make_shared<sim::TensorData>(A.Shape);
-    if (A.FillSeed != 0)
+    if (!A.Data.empty()) {
+      int64_t E = std::min<int64_t>(T->getNumElements(),
+                                    static_cast<int64_t>(A.Data.size()));
+      for (int64_t I = 0; I < E; ++I)
+        T->at(I) = static_cast<float>(A.Data[I]);
+    } else if (A.FillSeed != 0) {
       T->fillRandom(A.FillSeed, 1.0f);
-    else
+    } else {
       OutputTensors.push_back(T);
+    }
     Opts.Args.push_back(sim::RuntimeArg::tensor(T));
   }
 

@@ -124,6 +124,7 @@ void Compiler::run() {
       auto *Group = static_cast<WarpGroupOp *>(WG);
       AgentInfo Info;
       Info.Replicas = Group->getIntAttrOr("num_replicas", 1);
+      Info.Replica = Group->getIntAttrOr("replica", 0);
       Info.Role = Group->getRole();
       P.AgentInfos.push_back(std::move(Info));
       P.Agents.emplace_back();
@@ -418,6 +419,26 @@ void Compiler::compileOp(Operation *Op, RegionProgram &RP) {
     RP.Code.push_back(I);
     return;
   }
+  case OpKind::AtomicAdd: {
+    Inst I = makeInst(BcOp::AtomicAdd, Op);
+    auto *Ty = cast<TensorType>(Op->getOperand(1)->getType());
+    // Atomic RMW moves read+write bytes at degraded efficiency; the legacy
+    // engine evaluates the identical double expression at execution time.
+    I.Imm0 = static_cast<int64_t>(2.0 * Ty->getNumBytes() /
+                                  Config.AtomicBwEfficiency);
+    I.FImm = static_cast<double>(Ty->getNumElements()) / Config.CudaLanes +
+             Config.AtomicAddLatencyCycles;
+    I.ElemTy = Ty->getElementType();
+    RP.Code.push_back(I);
+    return;
+  }
+  case OpKind::LoadScalar: {
+    Inst I = makeInst(BcOp::LoadScalar, Op);
+    I.Imm0 = 4; // One i32 element.
+    I.FImm = Config.SyncLoadLatencyCycles;
+    RP.Code.push_back(I);
+    return;
+  }
   case OpKind::Dot: {
     Inst I = makeInst(BcOp::Dot, Op);
     I.FImm = exec::wgmmaCyclesBase(Config, Op);
@@ -571,6 +592,8 @@ const char *tawa::sim::bc::opName(BcOp Op) {
   case BcOp::IntBinImm2:       return "IntBinImm2";
   case BcOp::ConstIntBin2:     return "ConstIntBin2";
   case BcOp::WaitRead2:        return "WaitRead2";
+  case BcOp::AtomicAdd:        return "AtomicAdd";
+  case BcOp::LoadScalar:       return "LoadScalar";
   }
   return "<bad-op>";
 }
@@ -721,6 +744,8 @@ void writeConfig(ByteWriter &W, const GpuConfig &C) {
   W.f64(C.NamedBarrierSyncCycles);
   W.f64(C.TmaIssueCycles);
   W.f64(C.SyncLoadLatencyCycles);
+  W.f64(C.AtomicAddLatencyCycles);
+  W.f64(C.AtomicBwEfficiency);
   W.f64(C.CudaLanes);
   W.f64(C.SfuLanes);
   W.i64(C.BaseRegsPerThread);
@@ -750,6 +775,8 @@ void readConfig(ByteReader &R, GpuConfig &C) {
   C.NamedBarrierSyncCycles = R.f64();
   C.TmaIssueCycles = R.f64();
   C.SyncLoadLatencyCycles = R.f64();
+  C.AtomicAddLatencyCycles = R.f64();
+  C.AtomicBwEfficiency = R.f64();
   C.CudaLanes = R.f64();
   C.SfuLanes = R.f64();
   C.BaseRegsPerThread = R.i64();
@@ -909,6 +936,7 @@ std::string tawa::sim::bc::serializeProgram(const CompiledProgram &P) {
   W.i64(static_cast<int64_t>(P.AgentInfos.size()));
   for (const AgentInfo &A : P.AgentInfos) {
     W.i64(A.Replicas);
+    W.i64(A.Replica);
     W.str(A.Role);
   }
   writeRegion(W, P.Preamble, Tys);
@@ -1011,6 +1039,7 @@ tawa::sim::bc::deserializeProgram(const std::string &Bytes) {
   P->AgentInfos.resize(static_cast<size_t>(NumAgentInfos));
   for (AgentInfo &A : P->AgentInfos) {
     A.Replicas = R.i64();
+    A.Replica = R.i64();
     A.Role = R.str();
   }
 

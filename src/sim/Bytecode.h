@@ -146,11 +146,18 @@ enum class BcOp : uint8_t {
                     ///< reads. Operands = (bar, idx, parity, smem1, slot1,
                     ///< smem2, slot2); Imm0/Imm1/ResultTy2 = the second
                     ///< read's result slot / field index / tile type.
+
+  //===--- Cross-CTA reduction / ragged-batch surface (split-K, MoE) ------===//
+  AtomicAdd,        ///< (ptrs, values): record deferred f32 contributions
+                    ///< into the CTA trace (Trace.h AtomicContrib); Imm0 =
+                    ///< RMW bytes, FImm = cycle cost, both pre-replica-div.
+  LoadScalar,       ///< (desc, index) -> i32: synchronous one-element read
+                    ///< of a runtime tensor argument; FImm = cycle cost.
 };
 
 /// Number of opcodes (dispatch-table / histogram sizing). Keep in sync with
 /// the last enumerator above.
-constexpr int NumBcOps = static_cast<int>(BcOp::WaitRead2) + 1;
+constexpr int NumBcOps = static_cast<int>(BcOp::LoadScalar) + 1;
 
 /// Human-readable opcode name (profiler dumps, test diagnostics).
 const char *opName(BcOp Op);
@@ -230,6 +237,10 @@ struct FusionStats {
 /// Static description of one warp-group agent.
 struct AgentInfo {
   int64_t Replicas = 1;
+  /// Replica index within the cooperative group (warp_group "replica"
+  /// attr): atomic contributions are recorded only by replica 0, since the
+  /// replicas redundantly execute the same epilogue.
+  int64_t Replica = 0;
   std::string Role;
 };
 
@@ -311,7 +322,10 @@ std::string executeProgram(const CompiledProgram &P, const RunOptions &Opts,
 /// v2: superinstruction opcodes (IntBinImm, WaitFused, WaitRead,
 /// TmaLoadAsyncOff, LoopEndFast) plus the CompiledProgram::Fused flag and
 /// FusionStats counters in the header.
-constexpr uint32_t SerialFormatVersion = 2;
+///
+/// v3: AtomicAdd/LoadScalar opcodes (split-K and grouped/MoE families) and
+/// the atomic-reduction cost fields appended to the GpuConfig block.
+constexpr uint32_t SerialFormatVersion = 3;
 
 /// Serializes \p P into a self-contained, versioned binary blob: magic +
 /// format version, the machine config its costs were precomputed from (the

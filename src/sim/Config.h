@@ -47,6 +47,13 @@ struct GpuConfig {
   double SyncLoadLatencyCycles = 1400; ///< Un-prefetched GMEM round trip
                                        ///< (no pipelining to hide it).
 
+  //===--- Cross-CTA reduction surface (split-K epilogues) ------------------//
+  double AtomicAddLatencyCycles = 400; ///< red.global.add issue+retire.
+  double AtomicBwEfficiency = 0.5;     ///< Atomic RMW traffic reaches less of
+                                       ///< HBM peak; each element also moves
+                                       ///< read+write bytes (2x) through the
+                                       ///< memory system.
+
   //===--- CUDA-core throughput (per SM, per cycle) ------------------------//
   double CudaLanes = 128;      ///< FP32 FMA lanes.
   double SfuLanes = 32;        ///< Transcendental (exp2) lanes.

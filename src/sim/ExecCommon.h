@@ -119,6 +119,17 @@ struct AgentCtx {
   /// snapshots — is identical across legacy/unfused/fused execution, every
   /// worker count, and every thread interleaving.
   int64_t Steps = 0;
+  /// This agent's replica index within its cooperative group (warp_group
+  /// attr "replica", 0 when absent). Cooperative replicas each execute the
+  /// epilogue functionally — idempotent for stores, NOT for atomics — so
+  /// only replica 0 records atomic contributions.
+  int64_t ReplicaIdx = 0;
+  /// tt.atomic_add contributions this agent recorded (never applied by the
+  /// engines themselves). Kept per-agent because the legacy engine runs
+  /// agents as preemptive OS threads — a shared CTA-level list would race.
+  /// Trace assembly concatenates preamble-first then agent-id order into
+  /// CtaTrace::Atomics.
+  std::vector<AtomicContrib> Atomics;
 };
 
 inline void chargeCuda(AgentCtx &A, double Cycles) { A.PendingCuda += Cycles; }

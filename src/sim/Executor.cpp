@@ -775,9 +775,9 @@ void BcExec::step(AgentRun &Run) {
       &&op_TmaLoadAsyncOff, &&op_LoopEndFast,  &&op_ConstIntBin,
       &&op_IntBin2,      &&op_FloatBin2,       &&op_WgmmaIssueWait,
       &&op_TmaLoadAsyncTx, &&op_IntBinImm2,    &&op_ConstIntBin2,
-      &&op_WaitRead2,
+      &&op_WaitRead2,    &&op_AtomicAdd,       &&op_LoadScalar,
   };
-  static_assert(NumBcOps == 49, "update the dispatch table with the enum");
+  static_assert(NumBcOps == 51, "update the dispatch table with the enum");
 // Threaded dispatch: TAWA_NEXT/TAWA_JUMP are indirect gotos, and GCC does
 // NOT run destructors of in-scope nontrivial locals on an indirect goto
 // (the jump target is opaque to the cleanup machinery). Handler bodies
@@ -1328,6 +1328,60 @@ void BcExec::step(AgentRun &Run) {
       }
       TAWA_NEXT();
     }
+    TAWA_CASE(AtomicAdd) : {
+      // Deferred-deterministic reduction: record the (index, addend) pairs
+      // into the agent; the Interpreter facade applies all CTAs'
+      // contributions in CTA-index order after execution. Costs mirror
+      // Store with the atomic RMW factors folded in at compile time.
+      const Inst &I = *IP;
+      const RValue &Ptr = V(0);
+      const RValue &Val = V(1);
+      Action Act;
+      Act.Kind = ActionKind::GStoreAsync;
+      Act.Bytes = I.Imm0 / A.Replicas;
+      Act.Cycles = I.FImm / A.Replicas;
+      emitAction(A, Act);
+      // Cooperative replicas redundantly execute the epilogue; only
+      // replica 0 records (stores are idempotent, accumulation is not).
+      if (!Functional || !Ptr.T || A.ReplicaIdx != 0)
+        TAWA_NEXT();
+      assert(Ptr.H >= 0 && "atomic add through an unbound pointer tensor");
+      {
+        const TensorData &OutT = *Opts.Args[Ptr.H].Data;
+        AtomicContrib C;
+        C.Arg = Ptr.H;
+        for (int64_t K = 0, E = Val.T->getNumElements(); K != E; ++K) {
+          int64_t Linear = static_cast<int64_t>(Ptr.T->at(K));
+          if (Linear >= 0 && Linear < OutT.getNumElements()) {
+            C.Index.push_back(Linear);
+            C.Value.push_back(Val.T->at(K));
+          }
+        }
+        A.Atomics.push_back(std::move(C));
+      }
+      TAWA_NEXT();
+    }
+    TAWA_CASE(LoadScalar) : {
+      const Inst &I = *IP;
+      const RValue &Desc = V(0);
+      const RValue &IdxV = V(1);
+      Action Act;
+      Act.Kind = ActionKind::GLoadSync;
+      Act.Bytes = I.Imm0 / A.Replicas;
+      Act.Cycles = I.FImm / A.Replicas;
+      emitAction(A, Act);
+      {
+        int64_t Out = 0;
+        if (Functional && Desc.H >= 0 && Opts.Args[Desc.H].Data) {
+          const TensorData &T = *Opts.Args[Desc.H].Data;
+          int64_t Idx = asInt(IdxV);
+          if (Idx >= 0 && Idx < T.getNumElements())
+            Out = static_cast<int64_t>(T.at(Idx));
+        }
+        S[I.Result] = RValue::makeInt(Out);
+      }
+      TAWA_NEXT();
+    }
     TAWA_CASE(Dot) : {
       // Tensor-core op in plain tile execution (async past dependent CUDA
       // work under software pipelining, synchronous otherwise).
@@ -1687,6 +1741,7 @@ std::string BcExec::run(CtaTrace &Out) {
       R.Env = Shared; // Agents read preamble slots, write only their own.
       R.A.Id = G;
       R.A.Replicas = P.AgentInfos[G].Replicas;
+      R.A.ReplicaIdx = P.AgentInfos[G].Replica;
       R.A.Trace.Replicas = R.A.Replicas;
       R.A.Trace.Name = formatString(
           "cta(%lld,%lld)/wg%d(%s)", static_cast<long long>(PidX),
@@ -1736,6 +1791,15 @@ std::string BcExec::run(CtaTrace &Out) {
   for (ExecSmem &Buf : SmemBuffers)
     Out.SmemBytes += Buf.Bytes;
   Out.HbEvents = HB->getNumEvents();
+  // Deferred atomic contributions, preamble first then agent-id order (the
+  // plain-module path moved the preamble ctx into Agents[0], so its list is
+  // already empty here — no double count).
+  Out.Atomics.clear();
+  for (AtomicContrib &C : Preamble.Atomics)
+    Out.Atomics.push_back(std::move(C));
+  for (AgentCtx &A : Agents)
+    for (AtomicContrib &C : A.Atomics)
+      Out.Atomics.push_back(std::move(C));
   return "";
 }
 

@@ -76,11 +76,29 @@ std::string Interpreter::runCta(const RunOptions &Opts, int64_t PidX,
     // other execution failure.
     if (!M)
       return "legacy engine unavailable: program was loaded without IR";
-    return runCtaLegacy(*M, Config, Opts, PidX, PidY, Out);
+    std::string Err = runCtaLegacy(*M, Config, Opts, PidX, PidY, Out);
+    if (Err.empty())
+      applyAtomicContribs(Opts, Out.Atomics);
+    return Err;
   }
   if (std::string Err = ensureProgram(Opts); !Err.empty())
     return Err;
-  return bc::executeProgram(*Prog, Opts, PidX, PidY, Out, &Arena);
+  std::string Err = bc::executeProgram(*Prog, Opts, PidX, PidY, Out, &Arena);
+  if (Err.empty())
+    applyAtomicContribs(Opts, Out.Atomics);
+  return Err;
+}
+
+void tawa::sim::applyAtomicContribs(const RunOptions &Opts,
+                                    const std::vector<AtomicContrib> &CS) {
+  for (const AtomicContrib &C : CS) {
+    if (C.Arg < 0 || static_cast<size_t>(C.Arg) >= Opts.Args.size() ||
+        !Opts.Args[C.Arg].Data)
+      continue;
+    TensorData &T = *Opts.Args[C.Arg].Data;
+    for (size_t I = 0, E = C.Index.size(); I != E; ++I)
+      T.at(C.Index[I]) += C.Value[I];
+  }
 }
 
 namespace {
@@ -133,6 +151,10 @@ std::string runParallelCtas(const bc::CompiledProgram &Prog,
     Arenas.push_back(std::make_unique<TileArena>());
   std::vector<std::string> Errors(Total);
   std::atomic<int64_t> FirstErr{Total};
+  // Deferred atomic contributions from items whose trace slot the caller
+  // discards (TraceFor == null): retained per index so the in-order
+  // application pass below still sees them.
+  std::vector<std::vector<AtomicContrib>> Retained(Total);
   // Per-item diagnostic slots (engines write through RunOptions::Diag);
   // the first failing item's snapshot is copied out below, so the caller
   // sees the same diagnostic the serial loop would have produced.
@@ -165,16 +187,25 @@ std::string runParallelCtas(const bc::CompiledProgram &Prog,
                  !FirstErr.compare_exchange_weak(Cur, I,
                                                  std::memory_order_relaxed))
             ;
+        } else if (!T) {
+          Retained[I] = std::move(Local.Atomics);
         }
       });
 
-  for (int64_t I = 0; I < Total; ++I)
+  // Index-order epilogue: report the first failing index, and apply the
+  // deferred atomic contributions of every successful item BEFORE it —
+  // exactly what the serial per-CTA loop produces (runCta applies as it
+  // goes and stops at the first failure).
+  for (int64_t I = 0; I < Total; ++I) {
     if (!Errors[I].empty()) {
       if (Opts.Diag && !Diags[I].empty())
         *Opts.Diag = std::move(Diags[I]);
       CtaCoord C = CoordOf(I);
       return formatCtaErr(C.X, C.Y, Errors[I]);
     }
+    CtaTrace *T = TraceFor(I);
+    applyAtomicContribs(Opts, T ? T->Atomics : Retained[I]);
+  }
   return "";
 }
 

@@ -132,6 +132,14 @@ constexpr int64_t SerialGridCtaThreshold = 8;
 /// Resolves RunOptions::NumWorkers: 0 becomes the hardware thread count.
 int64_t resolveNumWorkers(int64_t Requested);
 
+/// Applies recorded tt.atomic_add contributions (CtaTrace::Atomics) to the
+/// run's argument tensors. The engines only RECORD atomics; the Interpreter
+/// runners call this per CTA in CTA-index order — serial and parallel paths
+/// produce bit-identical accumulation sequences. Exposed for harnesses that
+/// drive bc::executeProgram directly.
+void applyAtomicContribs(const RunOptions &Opts,
+                         const std::vector<AtomicContrib> &Contribs);
+
 /// One CTA coordinate of a sampled batch (Interpreter::runCtaBatch).
 struct CtaCoord {
   int64_t X = 0;

@@ -787,6 +787,62 @@ bool CtaExec::evalOp(Operation *Op, Env &E, AgentCtx &A) {
     A.Error = "tt.load interpretation not implemented";
     return false;
   }
+  case OpKind::AtomicAdd: {
+    // Deferred-deterministic reduction: record contributions per-agent (the
+    // legacy engine runs agents preemptively); the Interpreter facade
+    // applies them in CTA-index order. Costs evaluate the exact double
+    // expression the bytecode compiler precomputes.
+    const RValue &Ptr = Val(0);
+    const RValue &V = Val(1);
+    auto *Ty = cast<TensorType>(Op->getOperand(1)->getType());
+    Action Act;
+    Act.Kind = ActionKind::GStoreAsync;
+    Act.Bytes = static_cast<int64_t>(2.0 * Ty->getNumBytes() /
+                                     Config.AtomicBwEfficiency) /
+                A.Replicas;
+    Act.Cycles = (static_cast<double>(Ty->getNumElements()) /
+                      Config.CudaLanes +
+                  Config.AtomicAddLatencyCycles) /
+                 A.Replicas;
+    EmitAction(Act);
+    // Cooperative replicas redundantly execute the epilogue; only replica 0
+    // records (stores are idempotent, accumulation is not).
+    if (!Functional || !Ptr.T || A.ReplicaIdx != 0)
+      return true;
+    assert(Ptr.H >= 0 && "atomic add through an unbound pointer tensor");
+    {
+      const TensorData &Out = *Opts.Args[Ptr.H].Data;
+      AtomicContrib C;
+      C.Arg = Ptr.H;
+      for (int64_t I = 0, EIt = V.T->getNumElements(); I != EIt; ++I) {
+        int64_t Linear = static_cast<int64_t>(Ptr.T->at(I));
+        if (Linear >= 0 && Linear < Out.getNumElements()) {
+          C.Index.push_back(Linear);
+          C.Value.push_back(V.T->at(I));
+        }
+      }
+      A.Atomics.push_back(std::move(C));
+    }
+    return true;
+  }
+  case OpKind::LoadScalar: {
+    const RValue &Desc = Val(0);
+    const RValue &IdxV = Val(1);
+    Action Act;
+    Act.Kind = ActionKind::GLoadSync;
+    Act.Bytes = static_cast<int64_t>(4) / A.Replicas;
+    Act.Cycles = Config.SyncLoadLatencyCycles / A.Replicas;
+    EmitAction(Act);
+    int64_t OutV = 0;
+    if (Functional && Desc.H >= 0 && Opts.Args[Desc.H].Data) {
+      const TensorData &T = *Opts.Args[Desc.H].Data;
+      int64_t Idx = asInt(IdxV);
+      if (Idx >= 0 && Idx < T.getNumElements())
+        OutV = static_cast<int64_t>(T.at(Idx));
+    }
+    SetResult(RValue::makeInt(OutV));
+    return true;
+  }
   case OpKind::Dot: {
     // Tensor-core op in plain tile execution. With software pipelining the
     // Triton compiler keeps one WGMMA in flight past dependent CUDA work
@@ -1137,6 +1193,7 @@ std::string CtaExec::run(CtaTrace &Out) {
       AgentCtx &A = Agents[G];
       A.Id = G;
       A.Replicas = Groups[G]->getIntAttrOr("num_replicas", 1);
+      A.ReplicaIdx = Groups[G]->getIntAttrOr("replica", 0);
       A.Trace.Replicas = A.Replicas;
       A.Trace.Name = formatString(
           "cta(%lld,%lld)/wg%d(%s)", static_cast<long long>(PidX),
@@ -1205,6 +1262,15 @@ std::string CtaExec::run(CtaTrace &Out) {
   for (SmemBuffer &Buf : SmemBuffers)
     Out.SmemBytes += Buf.Bytes;
   Out.HbEvents = HB->getNumEvents();
+  // Deferred atomic contributions, preamble first then agent-id order (the
+  // plain-module path moved the preamble ctx into Agents[0], so its list is
+  // already empty here — no double count). Matches the bytecode executor.
+  Out.Atomics.clear();
+  for (AtomicContrib &C : Preamble.Atomics)
+    Out.Atomics.push_back(std::move(C));
+  for (AgentCtx &A : Agents)
+    for (AtomicContrib &C : A.Atomics)
+      Out.Atomics.push_back(std::move(C));
   return "";
 }
 

@@ -56,6 +56,17 @@ struct AgentTrace {
   void emit(Action A) { Actions.push_back(A); }
 };
 
+/// One tt.atomic_add executed during a CTA: the target runtime-argument
+/// tensor plus the (already bounds-checked) linear indices and f32 addends.
+/// Engines only RECORD these — the Interpreter facade applies every CTA's
+/// contributions in CTA-index order after execution, which makes cross-CTA
+/// reduction (split-K) bit-identical across engines and worker counts.
+struct AtomicContrib {
+  int32_t Arg = -1;           ///< RunOptions::Args index of the target.
+  std::vector<int64_t> Index; ///< Linear element indices (in-bounds only).
+  std::vector<float> Value;   ///< f32 addends, parallel to Index.
+};
+
 /// Everything the replay engine needs for one CTA.
 struct CtaTrace {
   std::vector<AgentTrace> Agents;
@@ -72,6 +83,10 @@ struct CtaTrace {
   /// Total happens-before events recorded while executing this CTA (used by
   /// the differential tests to check engine equivalence).
   uint64_t HbEvents = 0;
+  /// Recorded (not yet applied) tt.atomic_add contributions, preamble first
+  /// then agents in id order. Empty for non-functional runs and kernels
+  /// without atomics. Consumed by Interpreter::runCta / runParallelCtas.
+  std::vector<AtomicContrib> Atomics;
 };
 
 } // namespace sim

@@ -75,10 +75,8 @@ std::string runCombo(const PreparedCase &P, int I, bool Corrupt,
       Opts.Args.push_back(RuntimeArg::scalar(A.Scalar));
       continue;
     }
-    auto T = std::make_shared<TensorData>(A.Shape);
-    if (A.FillSeed != 0)
-      T->fillRandom(A.FillSeed, 1.0f);
-    else
+    TensorRef T = materializeArg(A);
+    if (A.FillSeed == 0 && A.Data.empty())
       OutputTensors.push_back(T);
     Opts.Args.push_back(RuntimeArg::tensor(T));
   }
@@ -160,6 +158,21 @@ std::string compareTraces(const CtaTrace &A, const CtaTrace &B) {
     return formatString("happens-before events %llu vs %llu",
                         static_cast<unsigned long long>(A.HbEvents),
                         static_cast<unsigned long long>(B.HbEvents));
+  // Deferred atomic contributions (split-K epilogue): recording order and
+  // payloads are part of the determinism contract — the facade applies them
+  // in trace order, so any drift here is a real divergence.
+  if (A.Atomics.size() != B.Atomics.size())
+    return formatString("atomic contrib count %zu vs %zu", A.Atomics.size(),
+                        B.Atomics.size());
+  for (size_t I = 0; I < A.Atomics.size(); ++I) {
+    const AtomicContrib &P = A.Atomics[I];
+    const AtomicContrib &Q = B.Atomics[I];
+    if (P.Arg != Q.Arg || P.Index != Q.Index ||
+        P.Value.size() != Q.Value.size() ||
+        std::memcmp(P.Value.data(), Q.Value.data(),
+                    P.Value.size() * sizeof(float)) != 0)
+      return formatString("atomic contrib %zu differs", I);
+  }
   return "";
 }
 

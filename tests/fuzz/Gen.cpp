@@ -22,6 +22,10 @@ const char *tawa::fuzz::familyName(Family F) {
     return "attention";
   case Family::ProtocolRing:
     return "protocol-ring";
+  case Family::SplitK:
+    return "splitk";
+  case Family::Grouped:
+    return "grouped";
   }
   return "?";
 }
@@ -57,6 +61,29 @@ std::string FuzzCase::describe() const {
                       static_cast<long long>(RingIters),
                       RingSkipRelease ? " skip-release" : "");
     break;
+  case Family::SplitK:
+    S += formatString(" M=%lld N=%lld K=%lld tile=%lldx%lldx%lld split=%lld %s",
+                      static_cast<long long>(M), static_cast<long long>(N),
+                      static_cast<long long>(K),
+                      static_cast<long long>(Gemm.TileM),
+                      static_cast<long long>(Gemm.TileN),
+                      static_cast<long long>(Gemm.TileK),
+                      static_cast<long long>(SplitKFactor),
+                      Gemm.InPrecision == Precision::FP8 ? "fp8" : "fp16");
+    break;
+  case Family::Grouped: {
+    S += formatString(" N=%lld K=%lld tile=%lldx%lldx%lld %s groups=[",
+                      static_cast<long long>(N), static_cast<long long>(K),
+                      static_cast<long long>(Gemm.TileM),
+                      static_cast<long long>(Gemm.TileN),
+                      static_cast<long long>(Gemm.TileK),
+                      Gemm.InPrecision == Precision::FP8 ? "fp8" : "fp16");
+    for (size_t I = 0; I < GroupMs.size(); ++I)
+      S += formatString(I ? ",%lld" : "%lld",
+                        static_cast<long long>(GroupMs[I]));
+    S += "]";
+    break;
+  }
   }
   if (Options.EnableWarpSpecialization)
     S += formatString(" ws D=%lld P=%lld G=%lld%s%s",
@@ -79,16 +106,19 @@ FuzzCase tawa::fuzz::generateCase(uint64_t Seed) {
   FuzzCase C;
   C.Seed = Seed;
   int Roll = static_cast<int>(R.range(0, 99));
-  C.Kind = Roll < 40   ? Family::Gemm
-           : Roll < 75 ? Family::Attention
-                       : Family::ProtocolRing;
+  C.Kind = Roll < 30   ? Family::Gemm
+           : Roll < 55 ? Family::Attention
+           : Roll < 70 ? Family::ProtocolRing
+           : Roll < 85 ? Family::SplitK
+                       : Family::Grouped;
 
   C.Options.EnableWarpSpecialization = R.chance(75);
   C.Options.ArefDepth = R.range(1, 4);
   C.Options.MmaPipelineDepth =
       R.range(0, std::min<int64_t>(C.Options.ArefDepth, 2));
   C.Options.NumConsumerGroups = R.chance(30) ? 2 : 1;
-  // The persistent-kernel pass needs the GEMM tile_m/tile_n attributes.
+  // The persistent-kernel pass needs the GEMM tile_m/tile_n attributes and
+  // a flat tile queue on grid axis 0 — plain GEMM only.
   C.Options.Persistent = C.Kind == Family::Gemm && R.chance(25);
   // Coarse pipelining targets the two-dot (attention) loop structure.
   C.Options.CoarsePipeline = C.Kind == Family::Attention && R.chance(35);
@@ -127,6 +157,43 @@ FuzzCase tawa::fuzz::generateCase(uint64_t Seed) {
     C.RingIters = R.range(2, 8);
     C.RingSkipRelease = R.chance(20);
     break;
+  case Family::SplitK:
+    C.Gemm.SplitK = true;
+    C.Gemm.TileM = R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Gemm.TileN = R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Gemm.TileK = R.pick({static_cast<int64_t>(16), static_cast<int64_t>(32)});
+    C.Gemm.InPrecision = R.chance(25) ? Precision::FP8 : Precision::FP16;
+    C.M = C.Gemm.TileM * R.range(1, 3);
+    C.N = C.Gemm.TileN * R.range(1, 3);
+    // Several K tiles so the split actually partitions work — including
+    // splits that do not divide the tile count (ceil-div remainder CTAs).
+    C.K = C.Gemm.TileK * R.range(2, 6);
+    C.SplitKFactor = R.range(2, 4);
+    break;
+  case Family::Grouped: {
+    C.Gemm.Grouped = true;
+    C.Gemm.TileM = R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Gemm.TileN = R.pick({static_cast<int64_t>(32), static_cast<int64_t>(64)});
+    C.Gemm.TileK = R.pick({static_cast<int64_t>(16), static_cast<int64_t>(32)});
+    C.Gemm.InPrecision = R.chance(25) ? Precision::FP8 : Precision::FP16;
+    C.N = C.Gemm.TileN * R.range(1, 2);
+    C.K = C.Gemm.TileK * R.range(1, 3);
+    int64_t Experts = R.range(2, 4);
+    C.GroupMs.clear();
+    for (int64_t Ex = 0; Ex < Experts; ++Ex)
+      // Arbitrary row counts: zero (empty expert) through ~2.5 tiles, most
+      // of them NOT tile multiples, so partial-tile store masking is the
+      // common case.
+      C.GroupMs.push_back(R.range(0, C.Gemm.TileM * 5 / 2));
+    // Invariant: at least one expert has rows (prepareCase rejects an
+    // all-empty batch — there would be nothing to diff).
+    bool AllEmpty = true;
+    for (int64_t G : C.GroupMs)
+      AllEmpty &= G == 0;
+    if (AllEmpty)
+      C.GroupMs[0] = C.Gemm.TileM / 2 + 1;
+    break;
+  }
   }
 
   if (!C.Options.validate().empty()) {
@@ -311,6 +378,63 @@ std::string tawa::fuzz::prepareCase(const FuzzCase &C, PreparedCase &Out) {
     L.Args = {tensorArg({64, 64}, 3), tensorArg({64, 64}, 0)};
     break;
   }
+  case Family::SplitK: {
+    M = buildSplitKGemmModule(Ctx, C.Gemm);
+    PassManager PM;
+    buildTawaPipeline(PM, C.Options);
+    if (std::string Err = PM.run(*M); !Err.empty())
+      return "compile: " + Err;
+    if (!C.Options.EnableWarpSpecialization && C.SwPipelineDepth > 0)
+      if (std::string Err = runSoftwarePipeline(*M, C.SwPipelineDepth);
+          !Err.empty())
+        return "swp: " + Err;
+    // Grid axis 1 IS the split factor (num_programs(1)); C accumulates raw
+    // f32 partials, so it is a zero-filled output like the plain family's.
+    L.GridX = ceilDiv(C.M, C.Gemm.TileM) * ceilDiv(C.N, C.Gemm.TileN);
+    L.GridY = C.SplitKFactor;
+    L.Args = {tensorArg({C.M, C.K}, 1), tensorArg({C.N, C.K}, 2),
+              tensorArg({C.M, C.N}, 0), scalarArg(C.M), scalarArg(C.N),
+              scalarArg(C.K)};
+    break;
+  }
+  case Family::Grouped: {
+    M = buildGroupedGemmModule(Ctx, C.Gemm);
+    PassManager PM;
+    buildTawaPipeline(PM, C.Options);
+    if (std::string Err = PM.run(*M); !Err.empty())
+      return "compile: " + Err;
+    if (!C.Options.EnableWarpSpecialization && C.SwPipelineDepth > 0)
+      if (std::string Err = runSoftwarePipeline(*M, C.SwPipelineDepth);
+          !Err.empty())
+        return "swp: " + Err;
+    // Rectangular over-approximation of the ragged CTA list: axis 1 is the
+    // expert, axis 0 is sized for the LARGEST expert. Tiles past a short
+    // expert's row count are fully masked by the kernel's store predicate,
+    // so the rectangle is observably identical to the ragged list — and
+    // soaks the all-masked path differentially for free.
+    int64_t NumPidN = ceilDiv(C.N, C.Gemm.TileN);
+    int64_t Experts = static_cast<int64_t>(C.GroupMs.size());
+    int64_t MaxCtas = 1;
+    int64_t SumM = 0;
+    LaunchSpec::Arg Table;
+    Table.Shape = {Experts, 2};
+    for (int64_t Ex = 0; Ex < Experts; ++Ex) {
+      Table.Data.push_back(SumM);
+      Table.Data.push_back(C.GroupMs[Ex]);
+      SumM += C.GroupMs[Ex];
+      MaxCtas = std::max(MaxCtas,
+                         ceilDiv(C.GroupMs[Ex], C.Gemm.TileM) * NumPidN);
+    }
+    if (SumM == 0)
+      return "grouped case with no rows"; // Generator/shrinker invariant.
+    L.GridX = MaxCtas;
+    L.GridY = Experts;
+    L.Args = {tensorArg({SumM, C.K}, 1),
+              tensorArg({Experts, C.N, C.K}, 2),
+              tensorArg({SumM, C.N}, 0), std::move(Table), scalarArg(C.N),
+              scalarArg(C.K)};
+    break;
+  }
   }
 
   encodeLaunchSpec(*M, L);
@@ -333,6 +457,20 @@ void tawa::fuzz::encodeLaunchSpec(Module &M, const LaunchSpec &L) {
       Args += ";";
     if (A.IsScalar) {
       Args += "s" + std::to_string(A.Scalar);
+    } else if (!A.Data.empty()) {
+      // Explicit payload (group-offset tables): dSHAPE:v0,v1,...
+      Args += "d";
+      for (size_t I = 0; I < A.Shape.size(); ++I) {
+        if (I)
+          Args += "x";
+        Args += std::to_string(A.Shape[I]);
+      }
+      Args += ":";
+      for (size_t I = 0; I < A.Data.size(); ++I) {
+        if (I)
+          Args += ",";
+        Args += std::to_string(A.Data[I]);
+      }
     } else {
       Args += "t" + std::to_string(A.FillSeed) + ":";
       for (size_t I = 0; I < A.Shape.size(); ++I) {
@@ -397,6 +535,37 @@ std::string tawa::fuzz::decodeLaunchSpec(const Module &M, LaunchSpec &L) {
       if (Shape.empty())
         return "tensor entry with no shape in fuzz.args: " + Tok;
       L.Args.push_back(tensorArg(std::move(Shape), Seed));
+    } else if (Tok[0] == 'd') {
+      size_t Colon = Tok.find(':');
+      if (Colon == std::string::npos)
+        return "malformed data entry in fuzz.args: " + Tok;
+      LaunchSpec::Arg A;
+      size_t P = 1;
+      while (P < Colon) {
+        size_t X = Tok.find('x', P);
+        if (X == std::string::npos || X > Colon)
+          X = Colon;
+        A.Shape.push_back(std::strtoll(Tok.substr(P, X - P).c_str(),
+                                       nullptr, 10));
+        P = X + 1;
+      }
+      P = Colon + 1;
+      while (P < Tok.size()) {
+        size_t Comma = Tok.find(',', P);
+        if (Comma == std::string::npos)
+          Comma = Tok.size();
+        A.Data.push_back(std::strtoll(Tok.substr(P, Comma - P).c_str(),
+                                      nullptr, 10));
+        P = Comma + 1;
+      }
+      if (A.Shape.empty() || A.Data.empty())
+        return "data entry with no shape or values in fuzz.args: " + Tok;
+      int64_t Elems = 1;
+      for (int64_t S : A.Shape)
+        Elems *= S;
+      if (Elems != static_cast<int64_t>(A.Data.size()))
+        return "data entry shape/value count mismatch in fuzz.args: " + Tok;
+      L.Args.push_back(std::move(A));
     } else {
       return "unknown fuzz.args entry kind: " + Tok;
     }
@@ -412,6 +581,19 @@ std::string tawa::fuzz::decodeLaunchSpec(const Module &M, LaunchSpec &L) {
     L.FaultSpec = "";
   }
   return "";
+}
+
+sim::TensorRef tawa::fuzz::materializeArg(const LaunchSpec::Arg &A) {
+  auto T = std::make_shared<sim::TensorData>(A.Shape);
+  if (!A.Data.empty()) {
+    int64_t E = std::min<int64_t>(T->getNumElements(),
+                                  static_cast<int64_t>(A.Data.size()));
+    for (int64_t I = 0; I < E; ++I)
+      T->at(I) = static_cast<float>(A.Data[I]);
+  } else if (A.FillSeed != 0) {
+    T->fillRandom(A.FillSeed, 1.0f);
+  }
+  return T;
 }
 
 std::string tawa::fuzz::loadCase(const std::string &Text, PreparedCase &Out) {
@@ -494,6 +676,66 @@ std::vector<FuzzCase> tawa::fuzz::shrinkCandidates(const FuzzCase &C) {
         N.RingDepth = C.RingDepth - 1;
       });
     break;
+  case Family::SplitK:
+    if (C.M > C.Gemm.TileM)
+      Add([&](FuzzCase &N) { N.M = HalveTo(C.M, C.Gemm.TileM); });
+    if (C.N > C.Gemm.TileN)
+      Add([&](FuzzCase &N) { N.N = HalveTo(C.N, C.Gemm.TileN); });
+    // Keep K >= 2 * TileK so the split axis stays meaningful.
+    if (C.K > 2 * C.Gemm.TileK)
+      Add([&](FuzzCase &N) {
+        N.K = std::max<int64_t>(2 * C.Gemm.TileK, HalveTo(C.K, C.Gemm.TileK));
+      });
+    if (C.SplitKFactor > 2)
+      Add([&](FuzzCase &N) {
+        N.SplitKFactor = std::max<int64_t>(2, C.SplitKFactor / 2);
+      });
+    if (C.Gemm.TileM > 32)
+      Add([&](FuzzCase &N) { N.Gemm.TileM = 32; });
+    if (C.Gemm.TileN > 32)
+      Add([&](FuzzCase &N) { N.Gemm.TileN = 32; });
+    if (C.Gemm.TileK > 16)
+      Add([&](FuzzCase &N) { N.Gemm.TileK = 16; });
+    if (C.Gemm.InPrecision == Precision::FP8)
+      Add([&](FuzzCase &N) { N.Gemm.InPrecision = Precision::FP16; });
+    break;
+  case Family::Grouped: {
+    // Expert-list shrinks, all preserving sum(GroupMs) > 0.
+    if (C.GroupMs.size() > 1)
+      Add([&](FuzzCase &N) {
+        N.GroupMs.pop_back();
+        bool AnyRows = false;
+        for (int64_t G : N.GroupMs)
+          AnyRows |= G > 0;
+        if (!AnyRows)
+          N.GroupMs.back() = C.Gemm.TileM / 2 + 1;
+      });
+    int64_t Largest = 0;
+    for (size_t E = 0; E < C.GroupMs.size(); ++E)
+      if (C.GroupMs[E] > C.GroupMs[Largest])
+        Largest = static_cast<int64_t>(E);
+    if (!C.GroupMs.empty() && C.GroupMs[Largest] > 1) {
+      Add([&](FuzzCase &N) { N.GroupMs[Largest] = C.GroupMs[Largest] / 2; });
+      int64_t NonEmpty = 0;
+      for (int64_t G : C.GroupMs)
+        NonEmpty += G > 0;
+      if (NonEmpty > 1)
+        Add([&](FuzzCase &N) { N.GroupMs[Largest] = 0; });
+    }
+    if (C.N > C.Gemm.TileN)
+      Add([&](FuzzCase &N) { N.N = HalveTo(C.N, C.Gemm.TileN); });
+    if (C.K > C.Gemm.TileK)
+      Add([&](FuzzCase &N) { N.K = HalveTo(C.K, C.Gemm.TileK); });
+    if (C.Gemm.TileM > 32)
+      Add([&](FuzzCase &N) { N.Gemm.TileM = 32; });
+    if (C.Gemm.TileN > 32)
+      Add([&](FuzzCase &N) { N.Gemm.TileN = 32; });
+    if (C.Gemm.TileK > 16)
+      Add([&](FuzzCase &N) { N.Gemm.TileK = 16; });
+    if (C.Gemm.InPrecision == Precision::FP8)
+      Add([&](FuzzCase &N) { N.Gemm.InPrecision = Precision::FP16; });
+    break;
+  }
   }
 
   // Pipeline simplifications (shared).

@@ -16,6 +16,7 @@
 #include "frontend/Kernels.h"
 #include "ir/Ir.h"
 #include "passes/Passes.h"
+#include "sim/TensorData.h"
 
 #include <functional>
 #include <memory>
@@ -53,7 +54,7 @@ private:
   uint64_t State;
 };
 
-enum class Family { Gemm, Attention, ProtocolRing };
+enum class Family { Gemm, Attention, ProtocolRing, SplitK, Grouped };
 
 const char *familyName(Family F);
 
@@ -63,9 +64,18 @@ struct FuzzCase {
   uint64_t Seed = 0;
   Family Kind = Family::Gemm;
 
-  // GEMM family.
+  // GEMM family (shared by SplitK and Grouped, which reuse the tile
+  // configuration and N/K shapes).
   GemmKernelConfig Gemm;
   int64_t M = 128, N = 128, K = 64, Batch = 1;
+
+  // Split-K family: grid axis 1 size. A pure launch parameter — shrinkable
+  // without recompiling.
+  int64_t SplitKFactor = 2;
+
+  // Grouped/MoE family: ragged per-expert row counts (zero = empty expert,
+  // non-tile-multiples = masked partial tiles).
+  std::vector<int64_t> GroupMs;
 
   // Attention family.
   AttentionKernelConfig Mha;
@@ -105,6 +115,10 @@ struct LaunchSpec {
     int64_t Scalar = 0;              ///< Scalar value.
     std::vector<int64_t> Shape;      ///< Tensor shape.
     uint64_t FillSeed = 0;           ///< 0 = zero-filled (outputs).
+    /// Explicit integer-valued payload (row-major, cast to float), used for
+    /// the grouped family's group-offset table. Non-empty marks the tensor
+    /// as an input even when FillSeed == 0.
+    std::vector<int64_t> Data;
   };
   std::vector<Arg> Args;
   /// faults::configure() spec, "" = none.
@@ -122,6 +136,11 @@ struct PreparedCase {
 /// launch, and stamps the launch as `fuzz.*` module attributes. Returns ""
 /// or an error.
 std::string prepareCase(const FuzzCase &C, PreparedCase &Out);
+
+/// Materializes one non-scalar launch arg as a fresh tensor: explicit Data
+/// (the grouped family's offset table), seeded random fill, or zeros
+/// (outputs). Shared by every harness that binds a LaunchSpec.
+sim::TensorRef materializeArg(const LaunchSpec::Arg &A);
 
 /// Stamps \p L onto \p M as `fuzz.grid` / `fuzz.args` / `fuzz.faults`.
 void encodeLaunchSpec(Module &M, const LaunchSpec &L);

@@ -331,6 +331,66 @@ int emitCorpus(const std::string &Dir) {
     C.FaultSeed = 7;
     Entries.push_back({"gemm_ws_worker_faults", C});
   }
+  {
+    FuzzCase C; // Split-K with two cooperative consumer replicas: the
+                // replica-0 atomic-recording gate as a regression file.
+    C.Kind = Family::SplitK;
+    C.Gemm.SplitK = true;
+    C.Gemm.TileM = C.Gemm.TileN = 32;
+    C.Gemm.TileK = 16;
+    C.M = 32;
+    C.N = 32;
+    C.K = 64;
+    C.SplitKFactor = 2;
+    C.Options.EnableWarpSpecialization = true;
+    C.Options.ArefDepth = 2;
+    C.Options.MmaPipelineDepth = 1;
+    C.Options.NumConsumerGroups = 2;
+    Entries.push_back({"splitk_ws_cooperative", C});
+  }
+  {
+    FuzzCase C; // Software-pipelined split-K where the split does not
+                // divide the K-tile count (one split sees 0 iterations).
+    C.Kind = Family::SplitK;
+    C.Gemm.SplitK = true;
+    C.Gemm.TileM = C.Gemm.TileN = 32;
+    C.Gemm.TileK = 16;
+    C.M = 32;
+    C.N = 32;
+    C.K = 32;
+    C.SplitKFactor = 3;
+    C.Options.EnableWarpSpecialization = false;
+    C.SwPipelineDepth = 2;
+    Entries.push_back({"splitk_swp_uneven", C});
+  }
+  {
+    FuzzCase C; // Grouped/MoE with an empty expert and ragged partial
+                // tiles through the warp-specialized path.
+    C.Kind = Family::Grouped;
+    C.Gemm.Grouped = true;
+    C.Gemm.TileM = C.Gemm.TileN = 32;
+    C.Gemm.TileK = 16;
+    C.N = 32;
+    C.K = 32;
+    C.GroupMs = {40, 0, 17};
+    C.Options.EnableWarpSpecialization = true;
+    C.Options.ArefDepth = 2;
+    C.Options.MmaPipelineDepth = 1;
+    Entries.push_back({"grouped_ws_empty_expert", C});
+  }
+  {
+    FuzzCase C; // Single sub-tile expert, plain lowering: the offset-table
+                // dispatch and store masking with everything else minimal.
+    C.Kind = Family::Grouped;
+    C.Gemm.Grouped = true;
+    C.Gemm.TileM = C.Gemm.TileN = 32;
+    C.Gemm.TileK = 16;
+    C.N = 32;
+    C.K = 16;
+    C.GroupMs = {9};
+    C.Options.EnableWarpSpecialization = false;
+    Entries.push_back({"grouped_plain_partial_tile", C});
+  }
 
   std::string Manifest =
       "# Pinned textual-IR corpus: every file must parse (src/ir/Parser)\n"

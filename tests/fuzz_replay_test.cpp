@@ -38,10 +38,7 @@ std::string runForTraces(const PreparedCase &P, bool Legacy, bool Fuse,
       Opts.Args.push_back(RuntimeArg::scalar(A.Scalar));
       continue;
     }
-    auto T = std::make_shared<TensorData>(A.Shape);
-    if (A.FillSeed != 0)
-      T->fillRandom(A.FillSeed, 1.0f);
-    Opts.Args.push_back(RuntimeArg::tensor(T));
+    Opts.Args.push_back(RuntimeArg::tensor(materializeArg(A)));
   }
   Interpreter Interp(*P.Mod, Cfg);
   return Interp.runGrid(Opts, nullptr, &Out);

@@ -1,5 +1,6 @@
 //===- numerics_test.cpp - FP16/FP8 software arithmetic tests -----------------//
 
+#include "driver/Runner.h"
 #include "sim/Numerics.h"
 #include "sim/TensorData.h"
 
@@ -7,6 +8,7 @@
 
 #include <cmath>
 
+using namespace tawa;
 using namespace tawa::sim;
 
 namespace {
@@ -103,5 +105,75 @@ TEST_P(RoundingProperty, IdempotentAndMonotone) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundingProperty,
                          ::testing::Values(1, 2, 3, 17, 99));
+
+//===----------------------------------------------------------------------===//
+// Kernel-family numerics properties
+//
+// The Runner's functional mode validates every compiled run against a
+// serial reference matmul and reports the worst relative element error
+// (RunResult::MaxRelError). These properties pin the numeric contract of
+// the split-K and grouped/MoE families at their edge shapes.
+//===----------------------------------------------------------------------===//
+
+/// Grouped output goes through an FP16 store; one rounding step per element
+/// on top of the FP16-input matmul.
+constexpr double kGroupedRelBound = 5e-3;
+/// Split-K accumulates raw f32 partials via the atomic surface — no output
+/// rounding, so only input-precision error remains.
+constexpr double kSplitKRelBound = 1e-4;
+
+void expectGroupedMatchesReference(const std::vector<int64_t> &GroupMs,
+                                   int64_t N, int64_t K) {
+  GemmWorkload W;
+  W.N = N;
+  W.K = K;
+  W.MoE = true;
+  W.GroupMs = GroupMs;
+  for (Framework F : {Framework::Tawa, Framework::Triton}) {
+    Runner R;
+    RunResult Res = R.runGemm(F, W, /*Functional=*/true);
+    ASSERT_TRUE(Res.ok()) << getFrameworkName(F) << ": " << Res.Error;
+    EXPECT_GE(Res.MaxRelError, 0) << getFrameworkName(F);
+    EXPECT_LE(Res.MaxRelError, kGroupedRelBound) << getFrameworkName(F);
+  }
+}
+
+TEST(GroupedNumerics, EmptyExpertsMatchReference) {
+  // Leading, interior and trailing empty experts around ragged non-tile
+  // row counts.
+  expectGroupedMatchesReference({0, 96, 0, 0, 200, 0}, 128, 64);
+}
+
+TEST(GroupedNumerics, AllButOneEmpty) {
+  expectGroupedMatchesReference({0, 0, 50, 0}, 64, 96);
+}
+
+TEST(GroupedNumerics, SingleExpertMatchesReference) {
+  // Degenerate MoE: one expert is just a plain GEMM through the grouped
+  // dispatch path (offset table, masked tiles).
+  expectGroupedMatchesReference({100}, 128, 128);
+}
+
+TEST(SplitKNumerics, IndivisibleSplitMatchesReference) {
+  // 128-wide K with TileK 64 gives 2 K-tiles; splits 3 and 5 leave some
+  // CTAs with zero iterations and distribute the remainder unevenly. The
+  // reduction must still reproduce the serial reference.
+  for (int64_t Split : {2, 3, 5}) {
+    GemmWorkload W;
+    W.M = 128;
+    W.N = 128;
+    W.K = 128;
+    W.SplitK = Split;
+    for (Framework F : {Framework::Tawa, Framework::Triton}) {
+      Runner R;
+      RunResult Res = R.runGemm(F, W, /*Functional=*/true);
+      ASSERT_TRUE(Res.ok())
+          << getFrameworkName(F) << " split " << Split << ": " << Res.Error;
+      EXPECT_GE(Res.MaxRelError, 0) << getFrameworkName(F);
+      EXPECT_LE(Res.MaxRelError, kSplitKRelBound)
+          << getFrameworkName(F) << " split " << Split;
+    }
+  }
+}
 
 } // namespace

@@ -637,10 +637,8 @@ ServeResponse directIrResponse(const std::string &Id,
       Opts.Args.push_back(sim::RuntimeArg::scalar(A.Scalar));
       continue;
     }
-    auto T = std::make_shared<sim::TensorData>(A.Shape);
-    if (A.FillSeed != 0)
-      T->fillRandom(A.FillSeed, 1.0f);
-    else
+    sim::TensorRef T = fuzz::materializeArg(A);
+    if (A.FillSeed == 0 && A.Data.empty())
       Outputs.push_back(T);
     Opts.Args.push_back(sim::RuntimeArg::tensor(T));
   }

@@ -1,0 +1,336 @@
+//===- splitk_grouped_test.cpp - Split-K / grouped GEMM differential pins -----//
+//
+// End-to-end determinism contract for the two newest kernel families
+// (docs/kernel-families.md):
+//   * split-K GEMM — K sliced across grid axis 1, partial sums accumulated
+//     into C through the deferred-atomic reduction surface — produces
+//     bit-identical outputs, traces and happens-before event counts across
+//     all nine engine x worker combinations (legacy, unfused bytecode,
+//     fused bytecode x NumWorkers 1, 2, 8);
+//   * grouped/MoE GEMM — ragged per-expert batches driven by a group-offset
+//     table, including empty experts and masked partial tiles — meets the
+//     same nine-way bar;
+//   * a deliberately wedged split-K reduction (GemmKernelConfig::
+//     DeadlockEpilogue) fails with one deterministic deadlock error and a
+//     byte-identical tawa-diag-v1 post-mortem on every combo, pinned here
+//     against embedded goldens.
+//
+// Regenerating the goldens after an intentional diag-format change:
+//   TAWA_DUMP_DIAG=1 ./splitk_grouped_test 2>diag.txt
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/fuzz/Gen.h"
+
+#include "sim/Diag.h"
+#include "sim/Interpreter.h"
+#include "support/Env.h"
+#include "support/Status.h"
+
+#include <cstdio>
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace tawa;
+using namespace tawa::sim;
+
+namespace {
+
+constexpr int64_t WorkerCounts[] = {1, 2, 8};
+
+enum class Engine { Legacy, Unfused, Fused };
+constexpr Engine Engines[] = {Engine::Legacy, Engine::Unfused,
+                              Engine::Fused};
+
+const char *engineName(Engine E) {
+  switch (E) {
+  case Engine::Legacy:
+    return "legacy";
+  case Engine::Unfused:
+    return "unfused";
+  case Engine::Fused:
+    return "fused";
+  }
+  return "?";
+}
+
+/// One combo's observables: everything the engines promise to keep
+/// identical for a successful run, plus the failure triple for a failing
+/// one.
+struct ComboOut {
+  std::string Label;
+  std::string Error;
+  std::string ErrorKindName;
+  std::string DiagJson;
+  std::vector<std::vector<float>> Outputs;
+  std::vector<CtaTrace> Traces;
+};
+
+ComboOut runCombo(const fuzz::PreparedCase &P, Engine E, int64_t Workers) {
+  GpuConfig Cfg;
+  RunOptions Opts;
+  Opts.GridX = P.Launch.GridX;
+  Opts.GridY = P.Launch.GridY;
+  Opts.Functional = true;
+  Opts.UseLegacyInterp = E == Engine::Legacy;
+  Opts.FuseBytecode = E == Engine::Fused;
+  Opts.NumWorkers = Workers;
+  Opts.MaxSteps = 1000000;
+  ExecDiagnostic Diag;
+  Opts.Diag = &Diag;
+
+  std::vector<TensorRef> Outs;
+  for (const fuzz::LaunchSpec::Arg &A : P.Launch.Args) {
+    if (A.IsScalar) {
+      Opts.Args.push_back(RuntimeArg::scalar(A.Scalar));
+      continue;
+    }
+    TensorRef T = fuzz::materializeArg(A);
+    if (A.FillSeed == 0 && A.Data.empty())
+      Outs.push_back(T);
+    Opts.Args.push_back(RuntimeArg::tensor(T));
+  }
+
+  ComboOut R;
+  R.Label = formatString("%s/w%lld", engineName(E),
+                         static_cast<long long>(Workers));
+  Interpreter Interp(*P.Mod, Cfg);
+  R.Error = Interp.runGrid(Opts, nullptr, &R.Traces);
+  R.ErrorKindName = errorKindName(classifyError(R.Error));
+  R.DiagJson = Diag.renderJson();
+  if (!R.Error.empty()) {
+    R.Traces.clear(); // Unspecified on error; never compared.
+    return R;
+  }
+  for (const TensorRef &T : Outs)
+    R.Outputs.emplace_back(T->data(), T->data() + T->getNumElements());
+  return R;
+}
+
+/// Byte-for-byte trace equality: agent action streams, happens-before event
+/// counts, and the deferred atomic-contribution log (the split-K reduction
+/// surface — recording order is part of the determinism contract).
+std::string traceDiff(const CtaTrace &A, const CtaTrace &B) {
+  if (A.Agents.size() != B.Agents.size())
+    return "agent count";
+  for (size_t I = 0; I < A.Agents.size(); ++I) {
+    const AgentTrace &X = A.Agents[I];
+    const AgentTrace &Y = B.Agents[I];
+    if (X.Name != Y.Name || X.Replicas != Y.Replicas)
+      return formatString("agent %zu identity", I);
+    if (X.Actions.size() != Y.Actions.size())
+      return formatString("agent %s action count", X.Name.c_str());
+    for (size_t J = 0; J < X.Actions.size(); ++J) {
+      const Action &P = X.Actions[J];
+      const Action &Q = Y.Actions[J];
+      if (P.Kind != Q.Kind || P.Cycles != Q.Cycles || P.Bytes != Q.Bytes ||
+          P.Bar != Q.Bar || P.Idx != Q.Idx || P.Parity != Q.Parity ||
+          P.Pendings != Q.Pendings || P.Lookahead != Q.Lookahead)
+        return formatString("agent %s action %zu", X.Name.c_str(), J);
+    }
+  }
+  if (A.HbEvents != B.HbEvents)
+    return "happens-before events";
+  if (A.Atomics.size() != B.Atomics.size())
+    return "atomic contrib count";
+  for (size_t I = 0; I < A.Atomics.size(); ++I) {
+    const AtomicContrib &P = A.Atomics[I];
+    const AtomicContrib &Q = B.Atomics[I];
+    if (P.Arg != Q.Arg || P.Index != Q.Index ||
+        P.Value.size() != Q.Value.size() ||
+        std::memcmp(P.Value.data(), Q.Value.data(),
+                    P.Value.size() * sizeof(float)) != 0)
+      return formatString("atomic contrib %zu", I);
+  }
+  return "";
+}
+
+/// Prepares \p C and asserts all nine combos reproduce the legacy/serial
+/// reference bit-for-bit: outputs, traces, HB counts, atomic logs.
+void expectNineWayIdentical(const fuzz::FuzzCase &C) {
+  fuzz::PreparedCase P;
+  ASSERT_EQ(fuzz::prepareCase(C, P), "") << C.describe();
+
+  ComboOut Ref = runCombo(P, Engine::Legacy, 1);
+  ASSERT_EQ(Ref.Error, "") << C.describe();
+  ASSERT_FALSE(Ref.Outputs.empty());
+  ASSERT_FALSE(Ref.Traces.empty());
+
+  for (Engine E : Engines)
+    for (int64_t W : WorkerCounts) {
+      ComboOut R = runCombo(P, E, W);
+      ASSERT_EQ(R.Error, "") << R.Label;
+      ASSERT_EQ(R.Outputs.size(), Ref.Outputs.size()) << R.Label;
+      for (size_t I = 0; I < Ref.Outputs.size(); ++I) {
+        ASSERT_EQ(R.Outputs[I].size(), Ref.Outputs[I].size()) << R.Label;
+        EXPECT_EQ(std::memcmp(R.Outputs[I].data(), Ref.Outputs[I].data(),
+                              Ref.Outputs[I].size() * sizeof(float)),
+                  0)
+            << R.Label << " output " << I << " bytes differ";
+      }
+      ASSERT_EQ(R.Traces.size(), Ref.Traces.size()) << R.Label;
+      for (size_t I = 0; I < Ref.Traces.size(); ++I)
+        EXPECT_EQ(traceDiff(Ref.Traces[I], R.Traces[I]), "")
+            << R.Label << " cta " << I;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Split-K: nine-way bit-identity
+//===----------------------------------------------------------------------===//
+
+TEST(SplitKNineCombo, WarpSpecializedCooperative) {
+  fuzz::FuzzCase C;
+  C.Kind = fuzz::Family::SplitK;
+  C.Gemm.TileM = 64;
+  C.Gemm.TileN = 64;
+  C.Gemm.TileK = 32;
+  C.Gemm.SplitK = true;
+  C.M = 128;
+  C.N = 128;
+  C.K = 128;
+  C.SplitKFactor = 4;
+  // Two cooperative consumer replicas: only replica 0 may record atomic
+  // contributions (stores are idempotent, accumulation is not).
+  C.Options.NumConsumerGroups = 2;
+  C.Options.ArefDepth = 3;
+  expectNineWayIdentical(C);
+}
+
+TEST(SplitKNineCombo, SoftwarePipelinedUnevenSplit) {
+  fuzz::FuzzCase C;
+  C.Kind = fuzz::Family::SplitK;
+  C.Gemm.TileM = 32;
+  C.Gemm.TileN = 32;
+  C.Gemm.TileK = 32;
+  C.Gemm.SplitK = true;
+  C.M = 64;
+  C.N = 64;
+  // 4 K-tiles over 3 splits: the K remainder lands on one split, and a
+  // split can see zero iterations — both must still be engine-identical.
+  C.K = 128;
+  C.SplitKFactor = 3;
+  C.Options.EnableWarpSpecialization = false;
+  C.SwPipelineDepth = 2;
+  expectNineWayIdentical(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Grouped/MoE: nine-way bit-identity
+//===----------------------------------------------------------------------===//
+
+TEST(GroupedNineCombo, WarpSpecializedRaggedExperts) {
+  fuzz::FuzzCase C;
+  C.Kind = fuzz::Family::Grouped;
+  C.Gemm.TileM = 64;
+  C.Gemm.TileN = 64;
+  C.Gemm.TileK = 32;
+  C.Gemm.Grouped = true;
+  C.N = 128;
+  C.K = 64;
+  // Empty expert + partial tiles + an expert larger than the tile: the
+  // rectangular grid over-approximation masks the excess tiles.
+  C.GroupMs = {96, 0, 200, 64};
+  expectNineWayIdentical(C);
+}
+
+TEST(GroupedNineCombo, CooperativeSingleExpert) {
+  fuzz::FuzzCase C;
+  C.Kind = fuzz::Family::Grouped;
+  C.Gemm.TileM = 32;
+  C.Gemm.TileN = 32;
+  C.Gemm.TileK = 16;
+  C.Gemm.Grouped = true;
+  C.N = 64;
+  C.K = 48;
+  C.GroupMs = {50};
+  C.Options.NumConsumerGroups = 2;
+  C.Options.ArefDepth = 2;
+  expectNineWayIdentical(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Deliberately wedged split-K reduction: pinned post-mortem
+//===----------------------------------------------------------------------===//
+
+const char kSplitKDeadlockErr[] =
+    "cta (0,0): deadlock: every warp group is blocked on an mbarrier wait\n"
+    "  agent 0 waits empty[0] (channel -1) parity 0, completions 0";
+
+const char kSplitKDeadlockJson[] = R"gold({
+  "schema": "tawa-diag-v1",
+  "kind": "deadlock",
+  "cta": {
+    "x": 0,
+    "y": 0
+  },
+  "step_budget": 1000000,
+  "error": "deadlock: every warp group is blocked on an mbarrier wait\n  agent 0 waits empty[0] (channel -1) parity 0, completions 0",
+  "agents": [
+    {
+      "id": 0,
+      "name": "preamble",
+      "state": "blocked",
+      "steps": 2,
+      "wait": {
+        "kind": "empty",
+        "index": 0,
+        "channel": -1,
+        "parity": 0,
+        "completions": 0
+      }
+    }
+  ],
+  "barriers": [
+    {
+      "channel": -1,
+      "kind": "empty",
+      "expected": 1,
+      "completions": [
+        0
+      ],
+      "arrivals": [
+        0
+      ]
+    }
+  ],
+  "channels": []
+}
+)gold";
+
+TEST(SplitKDeadlock, PinnedDiagAcrossNineCombos) {
+  fuzz::FuzzCase C;
+  C.Kind = fuzz::Family::SplitK;
+  C.Gemm.TileM = 32;
+  C.Gemm.TileN = 32;
+  C.Gemm.TileK = 16;
+  C.Gemm.SplitK = true;
+  C.Gemm.DeadlockEpilogue = true;
+  C.M = 32;
+  C.N = 32;
+  C.K = 32;
+  C.SplitKFactor = 2;
+  // Plain lowering: the wedged wait runs on the lone preamble agent, so the
+  // deadlock snapshot is identical no matter how the WS pass would have
+  // split the rest.
+  C.Options.EnableWarpSpecialization = false;
+
+  fuzz::PreparedCase P;
+  ASSERT_EQ(fuzz::prepareCase(C, P), "");
+
+  bool Dumped = false;
+  for (Engine E : Engines)
+    for (int64_t W : WorkerCounts) {
+      ComboOut R = runCombo(P, E, W);
+      if (!Dumped && envFlag("TAWA_DUMP_DIAG")) {
+        std::fprintf(stderr, "=== ERR ===\n%s\n=== JSON ===\n%s\n=== END ===\n",
+                     R.Error.c_str(), R.DiagJson.c_str());
+        Dumped = true;
+      }
+      EXPECT_EQ(R.Error, kSplitKDeadlockErr) << R.Label;
+      EXPECT_EQ(R.ErrorKindName, "deadlock") << R.Label;
+      EXPECT_EQ(R.DiagJson, kSplitKDeadlockJson) << R.Label;
+    }
+}
+
+} // namespace
