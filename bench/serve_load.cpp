@@ -46,6 +46,21 @@ struct LaneResult {
   int64_t Ok = 0, Rejected = 0, Failed = 0, TransportErrors = 0;
 };
 
+/// Extra request fields from the chaos-drill flags: --sandbox routes every
+/// request out of process, --sleep-ms holds it open so a mid-run SIGKILL
+/// lands while requests are in flight.
+bool SandboxFlag = false;
+int64_t SleepMsFlag = 0;
+
+std::string requestExtras() {
+  std::string E;
+  if (SandboxFlag)
+    E += ",\"sandbox\":true";
+  if (SleepMsFlag > 0)
+    E += formatString(",\"sleep_ms\":%lld", static_cast<long long>(SleepMsFlag));
+  return E;
+}
+
 /// The request mix: small enough that a full run is seconds, real enough
 /// that every request compiles (or cache-hits) and simulates.
 std::string makeRequest(int64_t I) {
@@ -53,12 +68,12 @@ std::string makeRequest(int64_t I) {
     return formatString("{\"schema\":\"tawa-serve-req-v1\",\"id\":\"load-%lld\","
                         "\"kind\":\"attention\",\"framework\":\"tawa\","
                         "\"seq_len\":256,\"heads\":1,\"head_dim\":128,"
-                        "\"batch\":1}",
-                        static_cast<long long>(I));
+                        "\"batch\":1%s}",
+                        static_cast<long long>(I), requestExtras().c_str());
   return formatString("{\"schema\":\"tawa-serve-req-v1\",\"id\":\"load-%lld\","
                       "\"kind\":\"gemm\",\"framework\":\"tawa\","
-                      "\"m\":256,\"n\":256,\"k\":128,\"batch\":1}",
-                      static_cast<long long>(I));
+                      "\"m\":256,\"n\":256,\"k\":128,\"batch\":1%s}",
+                      static_cast<long long>(I), requestExtras().c_str());
 }
 
 /// Counts a response line into \p R by its "status" field.
@@ -119,7 +134,10 @@ int connectTo(const std::string &Path) {
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
     return -1;
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+  while (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+         0) {
+    if (errno == EINTR)
+      continue;
     ::close(Fd);
     return -1;
   }
@@ -136,7 +154,8 @@ double percentile(std::vector<double> &Sorted, double P) {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--connect SOCKET] [--requests N] "
-               "[--concurrency C] [--out FILE]\n",
+               "[--concurrency C] [--out FILE] [--sandbox] "
+               "[--sleep-ms MS]\n",
                Argv0);
   return 1;
 }
@@ -158,6 +177,10 @@ int main(int argc, char **argv) {
       Concurrency = std::atoll(argv[++I]);
     else if (Arg == "--out" && I + 1 < argc)
       OutPath = argv[++I];
+    else if (Arg == "--sandbox")
+      SandboxFlag = true;
+    else if (Arg == "--sleep-ms" && I + 1 < argc)
+      SleepMsFlag = std::atoll(argv[++I]);
     else
       return usage(argv[0]);
   }

@@ -155,6 +155,96 @@ grep -q '"answered": 32' "$BUILD_DIR/BENCH_serve.json" || {
 rm -f "$SERVE_SOCK"
 echo "serve smoke OK: daemon drained cleanly, all requests answered"
 
+echo "== serve chaos drill (SIGKILL a sandbox mid-run, crash dump) =="
+# Sandboxed load with per-request sleeps keeps tawa-sandbox children busy;
+# kill -9 lands mid-request, the supervisor respawns, retries absorb the
+# lost attempt, and the flight recorder flushes a crash dump. Hard
+# requirements: serve_load exits 0 (every request answered with a
+# structured response), the daemon drains to exit 0, and a well-formed
+# dump directory exists.
+CHAOS_SOCK="$BUILD_DIR/tawa-serve-chaos.sock"
+CHAOS_LOG="$BUILD_DIR/serve-chaos.log"
+CHAOS_CRASH_DIR="$BUILD_DIR/serve-chaos-crash"
+rm -rf "$CHAOS_SOCK" "$CHAOS_CRASH_DIR"
+"$BUILD_DIR/tawa-serve" --socket "$CHAOS_SOCK" \
+  --crash-dir "$CHAOS_CRASH_DIR" >"$CHAOS_LOG" 2>&1 &
+CHAOS_PID=$!
+CHAOS_UP=0
+for _ in $(seq 1 100); do
+  if grep -q "listening on" "$CHAOS_LOG" 2>/dev/null; then
+    CHAOS_UP=1
+    break
+  fi
+  if ! kill -0 "$CHAOS_PID" 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$CHAOS_UP" != 1 ]]; then
+  echo "FAIL: tawa-serve (chaos) did not come up"
+  cat "$CHAOS_LOG"
+  kill "$CHAOS_PID" 2>/dev/null || true
+  exit 1
+fi
+(cd "$BUILD_DIR" && timeout "$SMOKE_TIMEOUT" ./serve_load \
+  --connect "$CHAOS_SOCK" --requests 24 --concurrency 2 \
+  --sandbox --sleep-ms 200 \
+  --out "$BUILD_DIR/BENCH_serve_chaos.json" >/dev/null) &
+CHAOS_LOAD_PID=$!
+# Keep SIGKILLing sandbox children until a crash dump appears (a kill that
+# lands between requests is absorbed silently by the respawn path, so one
+# shot is not guaranteed to dump).
+while kill -0 "$CHAOS_LOAD_PID" 2>/dev/null; do
+  if compgen -G "$CHAOS_CRASH_DIR/dump-*/MANIFEST.json" >/dev/null; then
+    break
+  fi
+  SBX_PID="$(pgrep -P "$CHAOS_PID" tawa-sandbox | head -1 || true)"
+  if [[ -n "$SBX_PID" ]]; then
+    kill -9 "$SBX_PID" 2>/dev/null || true
+  fi
+  sleep 0.2
+done
+if ! wait "$CHAOS_LOAD_PID"; then
+  echo "FAIL: chaos serve_load failed (unanswered request or transport error)"
+  cat "$CHAOS_LOG"
+  kill "$CHAOS_PID" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$CHAOS_PID"
+if ! wait "$CHAOS_PID"; then
+  echo "FAIL: tawa-serve (chaos) exited non-zero after SIGTERM"
+  cat "$CHAOS_LOG"
+  exit 1
+fi
+grep -q '"transport_errors": 0' "$BUILD_DIR/BENCH_serve_chaos.json" || {
+  echo "FAIL: chaos drill saw transport errors (dropped responses)"
+  exit 1
+}
+grep -q '"answered": 24' "$BUILD_DIR/BENCH_serve_chaos.json" || {
+  echo "FAIL: chaos drill did not answer every request"
+  exit 1
+}
+CHAOS_DUMP="$(compgen -G "$CHAOS_CRASH_DIR/dump-*" | head -1 || true)"
+if [[ -z "$CHAOS_DUMP" ]]; then
+  echo "FAIL: sandbox kill produced no crash dump in $CHAOS_CRASH_DIR"
+  cat "$CHAOS_LOG"
+  exit 1
+fi
+grep -q '"schema": "tawa-crash-dump-v1"' "$CHAOS_DUMP/MANIFEST.json" || {
+  echo "FAIL: crash dump manifest missing or wrong schema"
+  exit 1
+}
+if ! compgen -G "$CHAOS_DUMP/req-*.json" >/dev/null; then
+  echo "FAIL: crash dump carries no request artifacts"
+  exit 1
+fi
+grep -q 'sandbox_crashes=' "$CHAOS_LOG" || {
+  echo "FAIL: daemon stats line missing sandbox counters"
+  exit 1
+}
+rm -f "$CHAOS_SOCK"
+echo "chaos drill OK: daemon survived sandbox SIGKILL, dump at $CHAOS_DUMP"
+
 echo "== fusion off: ctest + micro_interp equivalence (TAWA_NO_FUSE=1) =="
 # The whole suite must pass with the peephole fusion pass disabled (the
 # unfused bytecode engine is the middle leg of the three-way differential),

@@ -1,0 +1,199 @@
+//===- FlightRecorder.cpp - Black-box request flight recorder -------------===//
+
+#include "serve/FlightRecorder.h"
+
+#include "support/Json.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace tawa;
+using namespace tawa::serve;
+
+namespace {
+
+const char *requestKindName(ServeRequest::Kind K) {
+  switch (K) {
+  case ServeRequest::Kind::Ping:
+    return "ping";
+  case ServeRequest::Kind::Gemm:
+    return "gemm";
+  case ServeRequest::Kind::Attention:
+    return "attention";
+  case ServeRequest::Kind::Ir:
+    return "ir";
+  }
+  return "?";
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(int64_t Depth, std::string CrashDir)
+    : Depth(std::max<int64_t>(1, Depth)), CrashDir(std::move(CrashDir)) {}
+
+//===----------------------------------------------------------------------===//
+// Fatal-signal last-request buffer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Pre-rendered at record() time so the signal handler only open()s and
+// write()s. Reads from the handler race writes from record() — torn
+// output is acceptable for a best-effort black box.
+constexpr size_t FatalBufCap = 1u << 20;
+char FatalBuf[FatalBufCap];
+volatile size_t FatalLen = 0;
+char FatalPath[4096];
+FlightRecorder *FatalRecorder = nullptr;
+
+void fatalHandler(int Sig) {
+  if (FatalPath[0] && FatalLen > 0) {
+    int Fd = ::open(FatalPath, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      size_t Len = FatalLen;
+      if (Len > FatalBufCap)
+        Len = FatalBufCap;
+      size_t Off = 0;
+      while (Off < Len) {
+        ssize_t N = ::write(Fd, FatalBuf + Off, Len - Off);
+        if (N <= 0)
+          break;
+        Off += static_cast<size_t>(N);
+      }
+      ::close(Fd);
+    }
+  }
+  // SA_RESETHAND restored the default action; re-deliver for the real
+  // crash semantics (core, wait status).
+  ::raise(Sig);
+}
+
+} // namespace
+
+void FlightRecorder::installFatalSignalDump(FlightRecorder &R) {
+  if (R.CrashDir.empty())
+    return;
+  std::string Path = R.CrashDir + "/daemon-fatal.json";
+  if (Path.size() >= sizeof(FatalPath))
+    return;
+  ::mkdir(R.CrashDir.c_str(), 0755);
+  std::memcpy(FatalPath, Path.c_str(), Path.size() + 1);
+  FatalRecorder = &R;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = fatalHandler;
+  SA.sa_flags = SA_RESETHAND | SA_NODEFER;
+  sigemptyset(&SA.sa_mask);
+  for (int Sig : {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE})
+    ::sigaction(Sig, &SA, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Ring
+//===----------------------------------------------------------------------===//
+
+void FlightRecorder::record(const ServeRequest &Req,
+                            const std::string &RawLine) {
+  if (Req.K == ServeRequest::Kind::Ping)
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  Entry E;
+  E.Seq = NextSeq++;
+  E.Id = Req.Id;
+  E.Kind = requestKindName(Req.K);
+  E.RequestJson = RawLine;
+  if (Req.K == ServeRequest::Kind::Ir)
+    E.TawaText = Req.IrText;
+  Ring.push_back(std::move(E));
+  while (static_cast<int64_t>(Ring.size()) > Depth)
+    Ring.pop_front();
+  // Refresh the fatal-signal buffer with the newest request (only when
+  // this recorder is the installed one — tests run many recorders).
+  if (FatalRecorder == this) {
+    const Entry &Newest = Ring.back();
+    size_t Len = std::min(Newest.RequestJson.size(), FatalBufCap - 1);
+    std::memcpy(FatalBuf, Newest.RequestJson.data(), Len);
+    FatalBuf[Len] = '\n';
+    FatalLen = Len + 1;
+  }
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return std::vector<Entry>(Ring.begin(), Ring.end());
+}
+
+int64_t FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return DumpCount;
+}
+
+std::string FlightRecorder::dump(const std::string &Reason,
+                                 const std::string &Detail) {
+  if (CrashDir.empty())
+    return "";
+  std::vector<Entry> Entries;
+  int64_t N;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Ring.empty())
+      return "";
+    Entries.assign(Ring.begin(), Ring.end());
+    N = ++DumpCount;
+  }
+
+  ::mkdir(CrashDir.c_str(), 0755);
+  std::string Dir =
+      formatString("%s/dump-%lld-%s", CrashDir.c_str(),
+                   static_cast<long long>(N), Reason.c_str());
+  if (::mkdir(Dir.c_str(), 0755) < 0 && errno != EEXIST)
+    return "";
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema", "tawa-crash-dump-v1");
+  W.field("reason", Reason);
+  W.field("detail", Detail);
+  W.field("entries", static_cast<int64_t>(Entries.size()));
+  W.key("requests").beginArray();
+  for (const Entry &E : Entries) {
+    W.beginObject();
+    W.field("seq", E.Seq);
+    W.field("id", E.Id);
+    W.field("kind", E.Kind);
+    W.field("request",
+            formatString("req-%lld.json", static_cast<long long>(E.Seq)));
+    if (!E.TawaText.empty())
+      W.field("tawa",
+              formatString("req-%lld.tawa", static_cast<long long>(E.Seq)));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  {
+    std::ofstream Out(Dir + "/MANIFEST.json");
+    if (!Out)
+      return "";
+    Out << W.str();
+  }
+  for (const Entry &E : Entries) {
+    std::ofstream Req(Dir + formatString("/req-%lld.json",
+                                         static_cast<long long>(E.Seq)));
+    Req << E.RequestJson << "\n";
+    if (!E.TawaText.empty()) {
+      std::ofstream Tawa(Dir + formatString("/req-%lld.tawa",
+                                            static_cast<long long>(E.Seq)));
+      Tawa << E.TawaText;
+    }
+  }
+  return Dir;
+}

@@ -1,0 +1,85 @@
+//===- FlightRecorder.h - Black-box request flight recorder -----*- C++ -*-===//
+//
+// A bounded in-memory ring of the last N admitted requests, dumped to a
+// crash-dump directory when a sandbox process dies or the daemon itself
+// takes a fatal signal (docs/robustness.md). Every dump is a committable
+// repro: `ir` requests carry the self-contained .tawa corpus text (module
+// + fuzz.grid/fuzz.args launch attributes), so a crash artifact replays
+// directly under `tawa-fuzz --replay` and round-trips through ir/Parser.
+//
+// Dump layout (<crash-dir>/dump-<n>-<reason>/):
+//   MANIFEST.json   tawa-crash-dump-v1: reason, detail, entry index
+//   req-<seq>.json  the raw request line, oldest to newest
+//   req-<seq>.tawa  the corpus text (ir requests only)
+//
+// Daemon-fatal path: installFatalSignalDump() registers SIGSEGV/SIGABRT/
+// SIGBUS/SIGILL/SIGFPE handlers that write the most recent request to
+// <crash-dir>/daemon-fatal.json with raw write(2) calls on a buffer
+// pre-rendered at record() time (async-signal constraints allow nothing
+// more), then re-raise. Best-effort by design: a torn write loses the
+// artifact, never the crash semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SERVE_FLIGHTRECORDER_H
+#define TAWA_SERVE_FLIGHTRECORDER_H
+
+#include "serve/Protocol.h"
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tawa {
+namespace serve {
+
+class FlightRecorder {
+public:
+  struct Entry {
+    int64_t Seq = 0;         ///< Monotonic admission sequence number.
+    std::string Id;          ///< Request id (may be empty).
+    std::string Kind;        ///< "ping" | "gemm" | "attention" | "ir".
+    std::string RequestJson; ///< The raw request line, verbatim.
+    std::string TawaText;    ///< Self-contained .tawa text (ir only).
+  };
+
+  /// \p Depth is the ring bound (clamped to >= 1); \p CrashDir "" disables
+  /// dumping (record() still maintains the ring for snapshots).
+  explicit FlightRecorder(int64_t Depth = 64, std::string CrashDir = "");
+
+  /// Admits one parsed request into the ring (ping requests carry no
+  /// repro value and are skipped).
+  void record(const ServeRequest &Req, const std::string &RawLine);
+
+  std::vector<Entry> snapshot() const;
+  int64_t depth() const { return Depth; }
+  const std::string &crashDir() const { return CrashDir; }
+  /// Dumps written so far.
+  int64_t dumps() const;
+
+  /// Writes the ring to <crash-dir>/dump-<n>-<reason>/ (see file header).
+  /// Returns the dump directory path, or "" when no crash dir is
+  /// configured, the ring is empty, or the write failed.
+  std::string dump(const std::string &Reason, const std::string &Detail);
+
+  /// Registers fatal-signal handlers that write \p R's most recent
+  /// request to <crash-dir>/daemon-fatal.json and re-raise. Process-wide;
+  /// the daemon calls it once. No-op when \p R has no crash dir.
+  static void installFatalSignalDump(FlightRecorder &R);
+
+private:
+  int64_t Depth;
+  std::string CrashDir;
+
+  mutable std::mutex Mu;
+  std::deque<Entry> Ring;
+  int64_t NextSeq = 1;
+  int64_t DumpCount = 0;
+};
+
+} // namespace serve
+} // namespace tawa
+
+#endif // TAWA_SERVE_FLIGHTRECORDER_H

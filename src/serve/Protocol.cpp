@@ -146,6 +146,9 @@ std::string tawa::serve::parseRequest(const std::string &Text,
   Out.WaitGate = V.getBool("wait_gate", false, &TypeErr);
   if (!TypeErr.empty())
     return "field 'wait_gate' must be a boolean";
+  Out.Sandbox = V.getBool("sandbox", false, &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'sandbox' must be a boolean";
   Out.Functional = V.getBool("functional", false, &TypeErr);
   if (!TypeErr.empty())
     return "field 'functional' must be a boolean";
@@ -361,4 +364,72 @@ std::string ServeResponse::render() const {
   }
   Out += '}';
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Response parsing (sandbox supervisor side)
+//===----------------------------------------------------------------------===//
+
+std::string tawa::serve::parseResponse(const std::string &Text,
+                                       ServeResponse &Out) {
+  Out = ServeResponse();
+  JsonValue V;
+  std::string Err;
+  if (!parseJson(Text, V, Err))
+    return Err;
+  if (!V.isObject())
+    return "response must be a JSON object";
+
+  std::string TypeErr;
+  std::string Schema = V.getString("schema", "", &TypeErr);
+  if (!TypeErr.empty() || Schema != "tawa-serve-resp-v1")
+    return "field 'schema' must be \"tawa-serve-resp-v1\"";
+  Out.Id = V.getString("id", "", &TypeErr);
+  if (!TypeErr.empty())
+    return "field 'id' must be a string";
+
+  std::string St = V.getString("status", "", &TypeErr);
+  if (St == "ok")
+    Out.St = ServeResponse::Status::Ok;
+  else if (St == "rejected")
+    Out.St = ServeResponse::Status::Rejected;
+  else if (St == "failed")
+    Out.St = ServeResponse::Status::Failed;
+  else
+    return "field 'status' must be ok|rejected|failed";
+
+  Out.Reason = V.getString("reason", "", &TypeErr);
+  Out.Error = V.getString("error", "", &TypeErr);
+  Out.ErrorKind = V.getString("error_kind", "", &TypeErr);
+  Out.Attempts = V.getInt("attempts", 0, &TypeErr);
+  Out.Degrade = V.getString("degrade", "fused", &TypeErr);
+  if (!TypeErr.empty())
+    return "field '" + TypeErr + "' has the wrong type";
+
+  if (const JsonValue *M = V.find("micros"); M && M->isNumber()) {
+    Out.HasRun = true;
+    Out.Micros = M->asDouble();
+    if (const JsonValue *F = V.find("tflops"); F && F->isNumber())
+      Out.TFlops = F->asDouble();
+    if (const JsonValue *E = V.find("max_rel_error"); E && E->isNumber())
+      Out.MaxRelError = E->asDouble();
+    Out.SmemBytes = V.getInt("smem_bytes", 0, nullptr);
+    Out.RegsPerThread = V.getInt("regs_per_thread", 0, nullptr);
+  }
+  if (const JsonValue *O = V.find("outputs"); O && O->isArray()) {
+    Out.HasIr = true;
+    for (const JsonValue &E : O->elements()) {
+      if (!E.isString())
+        return "field 'outputs' must be an array of strings";
+      Out.Outputs.push_back(E.asString());
+    }
+    if (const JsonValue *Cy = V.find("cycles"); Cy && Cy->isNumber())
+      Out.Cycles = Cy->asDouble();
+  }
+  if (const JsonValue *D = V.find("diag"); D && D->isObject()) {
+    std::string Compact;
+    appendCompact(Compact, *D);
+    Out.DiagJson = Compact;
+  }
+  return "";
 }

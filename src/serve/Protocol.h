@@ -60,6 +60,10 @@ struct ServeRequest {
   /// Test hook: the request blocks on the service gate (Service::closeGate)
   /// before executing, making accept/reject sequences deterministic.
   bool WaitGate = false;
+  /// Opt into out-of-process execution: the request runs in a warm
+  /// tawa-sandbox child under the supervisor (docs/serving.md). The
+  /// degradation ladder can also escalate a crashing compile key here.
+  bool Sandbox = false;
 };
 
 /// Parses and validates one request line. Returns "" on success or a
@@ -113,6 +117,14 @@ struct ServeResponse {
   /// One-line compact JSON, no trailing newline (the transport adds '\n').
   std::string render() const;
 };
+
+/// Parses a tawa-serve-resp-v1 line back into a ServeResponse — the
+/// inverse of render(), used by the sandbox supervisor to decode a child
+/// process's answer. Returns "" on success or a deterministic reason
+/// string. parse(render(R)) reproduces R's wire-visible fields, so
+/// re-rendering in the parent is byte-identical (the sandbox differential
+/// tests pin this).
+std::string parseResponse(const std::string &Text, ServeResponse &Out);
 
 /// Short machine names used on the wire ("tawa", "cublas", "triton",
 /// "triton-nopipe", "tilelang", "thunderkittens", "fa3", "peak").

@@ -1,0 +1,154 @@
+//===- Sandbox.h - Out-of-process execution supervisor ----------*- C++ -*-===//
+//
+// The supervision layer over support/Subprocess (docs/serving.md): a warm
+// pool of tawa-sandbox runner processes, one request in flight per
+// process. A request routed here is written as one frame
+//
+//   req <remaining-ms> <fault-spec|-> <tawa-serve-req-v1 json>\n
+//
+// and answered with exactly one tawa-serve-resp-v1 line; while executing,
+// the child emits `hb` heartbeat lines. The supervisor classifies every
+// way a child can die:
+//
+//   * exit/signal (waitpid)            -> "sandbox crash: signal 9 (SIGKILL)"
+//   * heartbeat silence past timeout   -> "sandbox timeout: heartbeat lost"
+//   * total budget + grace exceeded    -> "sandbox timeout: deadline exceeded"
+//   * spawn/exec failure               -> "sandbox spawn: ..."
+//
+// Dead sandboxes are NOT respawned inline — the next request routed to
+// that slot respawns, gated by exponential backoff on consecutive
+// failures, so a crash-looping binary cannot spin fork(). The fault spec
+// forwarded per-frame (faults::currentSpec) keeps the deterministic
+// fault-injection framework working across the process boundary: arming
+// or resetting faults in the parent takes effect on the child's next
+// request, never mid-flight.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SERVE_SANDBOX_H
+#define TAWA_SERVE_SANDBOX_H
+
+#include "support/Subprocess.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tawa {
+namespace serve {
+
+/// Sandbox knobs, each with a TAWA_SANDBOX_* environment override
+/// (docs/serving.md has the table).
+struct SandboxConfig {
+  /// Warm sandbox processes (concurrent out-of-process requests).
+  /// TAWA_SANDBOX_POOL.
+  int64_t Pool = 2;
+  /// Child heartbeat period while a request executes.
+  /// TAWA_SANDBOX_HEARTBEAT_MS.
+  int64_t HeartbeatMs = 100;
+  /// Silence past this is a hang: the child is SIGKILLed and the request
+  /// fails SandboxTimeout. Also the grace the supervisor grants past the
+  /// request's own deadline budget. TAWA_SANDBOX_HEARTBEAT_TIMEOUT_MS.
+  int64_t HeartbeatTimeoutMs = 2000;
+  /// Respawn backoff after K consecutive failures is
+  /// min(BackoffBaseMs << (K-1), BackoffMaxMs). TAWA_SANDBOX_BACKOFF_MS /
+  /// TAWA_SANDBOX_BACKOFF_MAX_MS.
+  int64_t BackoffBaseMs = 10;
+  int64_t BackoffMaxMs = 2000;
+  /// rlimit caps applied to each child; 0 = off. The AS cap defaults off
+  /// because sanitizer runtimes reserve terabytes of address space.
+  /// TAWA_SANDBOX_RLIMIT_AS_MB / TAWA_SANDBOX_RLIMIT_CPU_S.
+  int64_t RlimitAsMb = 0;
+  int64_t RlimitCpuSec = 0;
+  /// Runner binary; "" resolves to the sibling "tawa-sandbox" of
+  /// /proc/self/exe (daemon and ctest both run out of the build dir).
+  /// TAWA_SANDBOX_BIN.
+  std::string Binary;
+
+  static SandboxConfig fromEnv();
+};
+
+/// Monotonic counters, snapshot via Supervisor::stats().
+struct SandboxStats {
+  int64_t Spawns = 0;        ///< Successful child spawns (incl. respawns).
+  int64_t SpawnFailures = 0; ///< Spawn attempts that failed.
+  int64_t Requests = 0;      ///< Frames sent.
+  int64_t Crashes = 0;       ///< Child deaths detected mid-request.
+  int64_t Timeouts = 0;      ///< Heartbeat/deadline kills.
+};
+
+class Supervisor {
+public:
+  /// Called (outside the supervisor's locks) whenever a sandbox dies or
+  /// times out: \p Reason is "sandbox-crash" | "sandbox-timeout", \p
+  /// Detail the deterministic error string. The service hooks the flight
+  /// recorder's dump here.
+  using DeathHook = std::function<void(const std::string &Reason,
+                                       const std::string &Detail)>;
+
+  explicit Supervisor(SandboxConfig C = SandboxConfig::fromEnv());
+  /// Kills and reaps every child.
+  ~Supervisor();
+
+  Supervisor(const Supervisor &) = delete;
+  Supervisor &operator=(const Supervisor &) = delete;
+
+  /// Executes one request line out of process (blocking; waits for a free
+  /// slot when every sandbox is busy). Returns "" with \p RespLine the
+  /// child's tawa-serve-resp-v1 answer, or the deterministic error string
+  /// ("sandbox crash: ..." / "sandbox timeout: ..." / "sandbox spawn:
+  /// ...").
+  std::string execute(const std::string &RequestLine, int64_t RemainingMs,
+                      std::string &RespLine);
+
+  void setDeathHook(DeathHook H);
+  SandboxStats stats() const;
+  const SandboxConfig &config() const { return Cfg; }
+
+  /// The pinned backoff policy: min(BaseMs << (K-1), MaxMs) for the K-th
+  /// consecutive failure (K >= 1; 0 for K <= 0). Pure so tests pin the
+  /// sequence without timing.
+  static int64_t restartBackoffMs(int64_t ConsecFailures, int64_t BaseMs,
+                                  int64_t MaxMs);
+
+private:
+  struct Slot {
+    std::unique_ptr<Subprocess> Proc;
+    std::string Buf; ///< Partial-line carry between reads.
+    int64_t ConsecFails = 0;
+    std::chrono::steady_clock::time_point NextSpawnAt{};
+    bool Busy = false;
+  };
+
+  /// Runs one request on an acquired slot (only the owning thread touches
+  /// it while Busy).
+  std::string runSlot(Slot &S, const std::string &RequestLine,
+                      int64_t RemainingMs, std::string &RespLine);
+  std::string ensureChild(Slot &S);
+  /// Reads one newline-terminated line from the slot's channel, waiting at
+  /// most \p TimeoutMs. Returns 1 on a line, 0 on timeout, -1 on
+  /// EOF/error.
+  int readLine(Slot &S, int64_t TimeoutMs, std::string &Line);
+  void noteFailure(Slot &S);
+  void bumpStat(int64_t SandboxStats::*Field);
+
+  SandboxConfig Cfg;
+  DeathHook OnDeath;
+
+  std::mutex Mu;
+  std::condition_variable SlotCV;
+  std::vector<Slot> Slots;
+
+  mutable std::mutex StatsMu;
+  SandboxStats Stats;
+};
+
+} // namespace serve
+} // namespace tawa
+
+#endif // TAWA_SERVE_SANDBOX_H

@@ -18,10 +18,7 @@
 #include "serve/Server.h"
 
 #include "driver/Runner.h"
-#include "ir/Parser.h"
-#include "sim/Diag.h"
-#include "sim/Interpreter.h"
-#include "sim/Replay.h"
+#include "serve/Execute.h"
 #include "support/Env.h"
 #include "support/FaultInject.h"
 #include "support/ProgramCache.h"
@@ -31,10 +28,8 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <variant>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -65,6 +60,10 @@ ServeConfig ServeConfig::fromEnv() {
   C.DefaultDeadlineMs = envInt64("TAWA_SERVE_DEADLINE_MS", C.DefaultDeadlineMs);
   C.DefaultMaxSteps = envInt64("TAWA_SERVE_MAX_STEPS", C.DefaultMaxSteps);
   C.ExecWorkers = envInt64("TAWA_SERVE_EXEC_WORKERS", C.ExecWorkers);
+  C.FlightRecorderDepth =
+      envInt64("TAWA_SERVE_FLIGHT_RECORDER", C.FlightRecorderDepth);
+  C.CrashDumpDir = envString("TAWA_SERVE_CRASH_DIR", C.CrashDumpDir);
+  C.Sandbox = SandboxConfig::fromEnv();
   return C;
 }
 
@@ -72,7 +71,8 @@ ServeConfig ServeConfig::fromEnv() {
 // Service lifecycle
 //===----------------------------------------------------------------------===//
 
-Service::Service(ServeConfig C) : Cfg(C) {
+Service::Service(ServeConfig C)
+    : Cfg(C), Recorder(C.FlightRecorderDepth, C.CrashDumpDir) {
   if (Cfg.Workers <= 0)
     Cfg.Workers = std::max<int64_t>(
         1, WorkerPool::shared().getNumWorkers() / 2);
@@ -116,6 +116,15 @@ void Service::shutdown() {
   }
   for (std::thread &T : Executors)
     T.join();
+  // No executor is running: kill and reap the warm sandbox pool. Fold
+  // its spawn count into the service stats first so a post-shutdown
+  // stats() (the daemon's exit summary) still reports it.
+  std::lock_guard<std::mutex> L(SupMu);
+  if (Sup) {
+    std::lock_guard<std::mutex> SL(StatsMu);
+    Stats.SandboxSpawns = Sup->stats().Spawns;
+  }
+  Sup.reset();
 }
 
 void Service::closeGate() {
@@ -132,8 +141,18 @@ void Service::openGate() {
 }
 
 ServeStats Service::stats() const {
-  std::lock_guard<std::mutex> L(StatsMu);
-  return Stats;
+  ServeStats S;
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    S = Stats;
+  }
+  {
+    std::lock_guard<std::mutex> L(SupMu);
+    if (Sup)
+      S.SandboxSpawns = Sup->stats().Spawns;
+  }
+  S.CrashDumps = Recorder.dumps();
+  return S;
 }
 
 //===----------------------------------------------------------------------===//
@@ -248,8 +267,8 @@ void Service::recordCrash(const std::string &Key) {
   {
     std::lock_guard<std::mutex> L(LadderMu);
     LadderState &S = Ladder[Key];
-    if (S.Level >= 2)
-      return; // Already at the floor.
+    if (S.Level >= 3)
+      return; // Already at the floor (out-of-process sandbox).
     if (++S.FailsAtLevel >= Cfg.DegradeThreshold) {
       ++S.Level;
       S.FailsAtLevel = 0;
@@ -345,20 +364,28 @@ std::string Service::requestKey(const ServeRequest &Req) const {
 namespace {
 
 const char *degradeName(int Level) {
-  return Level == 0 ? "fused" : Level == 1 ? "unfused" : "serial";
+  return Level == 0   ? "fused"
+         : Level == 1 ? "unfused"
+         : Level == 2 ? "serial"
+                      : "sandbox";
 }
 
 bool isTransient(ErrorKind K) {
   // Kinds worth retrying: another attempt can genuinely turn out
   // differently (a crashed worker, a torn disk read, a corrupt cached
-  // program that recompiles). Deterministic kinds — deadlock, budget
-  // trips, verifier and compile failures — fail fast; retrying replays
-  // the same outcome with interest.
+  // program that recompiles, a sandbox that gets respawned). Deterministic
+  // kinds — deadlock, budget trips, verifier and compile failures — fail
+  // fast; retrying them replays the same outcome with interest. Sandbox
+  // timeouts also fail fast: the request already consumed its deadline
+  // budget plus the heartbeat grace.
   return K == ErrorKind::WorkerCrash || K == ErrorKind::CacheIo ||
-         K == ErrorKind::CorruptProgram;
+         K == ErrorKind::CorruptProgram || K == ErrorKind::SandboxCrash;
 }
 
 bool countsTowardLadder(ErrorKind K) {
+  // Sandbox kinds deliberately do NOT step the ladder: the sandbox IS the
+  // last rung, and its own failures are containment working, not evidence
+  // the engine needs a safer mode.
   return K == ErrorKind::WorkerCrash || K == ErrorKind::Internal;
 }
 
@@ -378,14 +405,18 @@ std::string Service::process(const Job &J) {
     return Resp.render();
   }
 
+  // Black box: the ring holds every admitted request (synthetic-latency
+  // sleeps happen inside the execution attempt, serve/Execute.cpp).
+  Recorder.record(Req, J.Text);
+
   if (Req.WaitGate) {
     std::unique_lock<std::mutex> G(GateMu);
     GateCV.wait(G, [&] { return GateOpen; });
   }
-  if (Req.SleepMs > 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(Req.SleepMs));
 
-  if (Req.K == ServeRequest::Kind::Ping) {
+  // A sandbox-routed ping exercises the full out-of-process path (the
+  // cheapest end-to-end sandbox probe); only the plain ping is inlined.
+  if (Req.K == ServeRequest::Kind::Ping && !Req.Sandbox) {
     Resp.St = ServeResponse::Status::Ok;
     std::lock_guard<std::mutex> L(StatsMu);
     ++Stats.Succeeded;
@@ -431,7 +462,7 @@ std::string Service::process(const Job &J) {
     Resp.Attempts = Attempt;
     Resp.Degrade = degradeName(Level);
     ErrorKind Kind = ErrorKind::None;
-    std::string Err = executeOnce(Req, Level, Rem, Resp, Kind);
+    std::string Err = executeOnce(J.Text, Req, Level, Rem, Resp, Kind);
     breakerAfterAttempt();
 
     if (Err.empty()) {
@@ -480,239 +511,88 @@ std::string Service::process(const Job &J) {
 // Execution
 //===----------------------------------------------------------------------===//
 
-std::string Service::executeOnce(const ServeRequest &Req, int Level,
+std::string Service::executeOnce(const std::string &RawText,
+                                 const ServeRequest &Req, int Level,
                                  int64_t RemainingMs, ServeResponse &Resp,
                                  ErrorKind &KindOut) {
-  if (Req.K == ServeRequest::Kind::Ir)
-    return executeIr(Req, Level, RemainingMs, Resp, KindOut);
+  // Out-of-process routing: either the request opted in (sandbox=true) or
+  // the ladder escalated its compile key to the last rung.
+  if (Req.Sandbox || Level >= 3)
+    return executeSandbox(RawText, RemainingMs, Resp, KindOut);
 
-  Runner R;
-  R.FuseBytecode = Level < 1;
-  R.NumWorkers = Level >= 2 ? 1 : Cfg.ExecWorkers;
-  R.MaxSteps = Req.MaxSteps > 0 ? Req.MaxSteps : Cfg.DefaultMaxSteps;
-  R.MaxWallMs = RemainingMs;
-  sim::ExecDiagnostic Diag;
-  R.Diag = &Diag;
-
-  RunResult Res = Req.K == ServeRequest::Kind::Gemm
-                      ? R.runGemm(Req.F, Req.Gemm, Req.Functional)
-                      : R.runAttention(Req.F, Req.Mha, Req.Functional);
-  if (!Res.ok()) {
-    KindOut = Res.Kind;
-    if (!Diag.empty())
-      Resp.DiagJson = Diag.renderJson();
-    if (!Res.Error.empty())
-      return Res.Error;
-    KindOut = Res.Supported ? ErrorKind::Infeasible : ErrorKind::Unsupported;
-    return Res.Supported ? "infeasible configuration"
-                         : "unsupported configuration";
-  }
-  Resp.HasRun = true;
-  Resp.Micros = Res.Micros;
-  Resp.TFlops = Res.TFlops;
-  Resp.MaxRelError = Res.MaxRelError;
-  Resp.SmemBytes = Res.SmemBytes;
-  Resp.RegsPerThread = Res.RegsPerThread;
-  return "";
+  ExecEnv Env;
+  Env.Level = Level;
+  Env.RemainingMs = RemainingMs;
+  Env.DefaultMaxSteps = Cfg.DefaultMaxSteps;
+  Env.ExecWorkers = Cfg.ExecWorkers;
+  return serve::executeRequest(Req, Env, Resp, KindOut);
 }
 
-namespace {
-
-/// Minimal decoder for the fuzz corpus's launch attributes (fuzz.grid /
-/// fuzz.args / fuzz.faults — the same grammar tests/fuzz/Gen.cpp encodes).
-/// Lives here because the serving layer must not depend on test code.
-struct IrLaunch {
-  int64_t GridX = 1, GridY = 1;
-  struct Arg {
-    bool IsScalar = false;
-    int64_t Scalar = 0;
-    std::vector<int64_t> Shape;
-    uint64_t FillSeed = 0;
-    /// Explicit integer payload ('d' entries — grouped-GEMM offset tables).
-    /// Non-empty marks the tensor as an input even when FillSeed == 0.
-    std::vector<int64_t> Data;
-  };
-  std::vector<Arg> Args;
-  std::string FaultSpec;
-};
-
-std::string decodeIrLaunch(const Module &M, IrLaunch &L) {
-  const auto &Attrs = M.getAttrs();
-  auto GridIt = Attrs.find("fuzz.grid");
-  if (GridIt == Attrs.end())
-    return "missing fuzz.grid module attribute";
-  const auto *Grid = std::get_if<std::vector<int64_t>>(&GridIt->second);
-  if (!Grid || Grid->size() != 2)
-    return "fuzz.grid must be [gridX, gridY]";
-  L.GridX = (*Grid)[0];
-  L.GridY = (*Grid)[1];
-
-  auto ArgsIt = Attrs.find("fuzz.args");
-  if (ArgsIt == Attrs.end())
-    return "missing fuzz.args module attribute";
-  const auto *Spec = std::get_if<std::string>(&ArgsIt->second);
-  if (!Spec)
-    return "fuzz.args must be a string";
-  size_t Pos = 0;
-  while (Pos < Spec->size()) {
-    size_t End = Spec->find(';', Pos);
-    if (End == std::string::npos)
-      End = Spec->size();
-    std::string Tok = Spec->substr(Pos, End - Pos);
-    Pos = End + 1;
-    if (Tok.empty())
-      return "empty fuzz.args entry";
-    IrLaunch::Arg A;
-    if (Tok[0] == 's') {
-      A.IsScalar = true;
-      A.Scalar = std::strtoll(Tok.c_str() + 1, nullptr, 10);
-    } else if (Tok[0] == 't') {
-      size_t Colon = Tok.find(':');
-      if (Colon == std::string::npos)
-        return "malformed tensor entry in fuzz.args: " + Tok;
-      A.FillSeed =
-          std::strtoull(Tok.substr(1, Colon - 1).c_str(), nullptr, 10);
-      size_t P = Colon + 1;
-      while (P < Tok.size()) {
-        size_t X = Tok.find('x', P);
-        if (X == std::string::npos)
-          X = Tok.size();
-        A.Shape.push_back(
-            std::strtoll(Tok.substr(P, X - P).c_str(), nullptr, 10));
-        P = X + 1;
-      }
-      if (A.Shape.empty())
-        return "tensor entry with no shape in fuzz.args: " + Tok;
-    } else if (Tok[0] == 'd') {
-      size_t Colon = Tok.find(':');
-      if (Colon == std::string::npos)
-        return "malformed data entry in fuzz.args: " + Tok;
-      size_t P = 1;
-      while (P < Colon) {
-        size_t X = Tok.find('x', P);
-        if (X == std::string::npos || X > Colon)
-          X = Colon;
-        A.Shape.push_back(
-            std::strtoll(Tok.substr(P, X - P).c_str(), nullptr, 10));
-        P = X + 1;
-      }
-      P = Colon + 1;
-      while (P < Tok.size()) {
-        size_t Comma = Tok.find(',', P);
-        if (Comma == std::string::npos)
-          Comma = Tok.size();
-        A.Data.push_back(
-            std::strtoll(Tok.substr(P, Comma - P).c_str(), nullptr, 10));
-        P = Comma + 1;
-      }
-      if (A.Shape.empty() || A.Data.empty())
-        return "data entry with no shape or values in fuzz.args: " + Tok;
-      int64_t Elems = 1;
-      for (int64_t S : A.Shape)
-        Elems *= S;
-      if (Elems != static_cast<int64_t>(A.Data.size()))
-        return "data entry shape/value count mismatch in fuzz.args: " + Tok;
-    } else {
-      return "unknown fuzz.args entry kind: " + Tok;
-    }
-    L.Args.push_back(std::move(A));
+Supervisor &Service::supervisor() {
+  std::lock_guard<std::mutex> L(SupMu);
+  if (!Sup) {
+    Sup = std::make_unique<Supervisor>(Cfg.Sandbox);
+    // Every sandbox death or timeout flushes the black box (no-op when no
+    // crash dir is configured — the ring still holds the history).
+    Sup->setDeathHook([this](const std::string &Reason,
+                             const std::string &Detail) {
+      Recorder.dump(Reason, Detail);
+    });
   }
-
-  auto FaultsIt = Attrs.find("fuzz.faults");
-  if (FaultsIt != Attrs.end()) {
-    const auto *F = std::get_if<std::string>(&FaultsIt->second);
-    if (!F)
-      return "fuzz.faults must be a string";
-    L.FaultSpec = *F;
-  }
-  return "";
+  return *Sup;
 }
 
-} // namespace
-
-std::string Service::executeIr(const ServeRequest &Req, int Level,
-                               int64_t RemainingMs, ServeResponse &Resp,
-                               ErrorKind &KindOut) {
-  IrContext Ctx;
-  std::string Err;
-  std::unique_ptr<Module> Mod = parseModule(Ctx, Req.IrText, Err);
-  if (!Mod) {
-    KindOut = ErrorKind::CompileError;
-    return "ir parse: " + Err;
-  }
-  IrLaunch Launch;
-  if (std::string DErr = decodeIrLaunch(*Mod, Launch); !DErr.empty()) {
-    KindOut = ErrorKind::CompileError;
-    return "ir launch: " + DErr;
+std::string Service::executeSandbox(const std::string &RawText,
+                                    int64_t RemainingMs, ServeResponse &Resp,
+                                    ErrorKind &KindOut) {
+  // Even a failed attempt reports where it ran.
+  Resp.Degrade = "sandbox";
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Stats.SandboxRequests;
   }
 
-  sim::GpuConfig Cfg2;
-  sim::RunOptions Opts;
-  Opts.GridX = Launch.GridX;
-  Opts.GridY = Launch.GridY;
-  Opts.Functional = true;
-  Opts.FuseBytecode = Level < 1;
-  Opts.NumWorkers = Level >= 2 ? 1 : Cfg.ExecWorkers;
-  Opts.MaxSteps = Req.MaxSteps > 0 ? Req.MaxSteps : Cfg.DefaultMaxSteps;
-  Opts.MaxWallMs = RemainingMs;
-  sim::ExecDiagnostic Diag;
-  Opts.Diag = &Diag;
-
-  std::vector<sim::TensorRef> OutputTensors;
-  for (const IrLaunch::Arg &A : Launch.Args) {
-    if (A.IsScalar) {
-      Opts.Args.push_back(sim::RuntimeArg::scalar(A.Scalar));
-      continue;
-    }
-    auto T = std::make_shared<sim::TensorData>(A.Shape);
-    if (!A.Data.empty()) {
-      int64_t E = std::min<int64_t>(T->getNumElements(),
-                                    static_cast<int64_t>(A.Data.size()));
-      for (int64_t I = 0; I < E; ++I)
-        T->at(I) = static_cast<float>(A.Data[I]);
-    } else if (A.FillSeed != 0) {
-      T->fillRandom(A.FillSeed, 1.0f);
-    } else {
-      OutputTensors.push_back(T);
-    }
-    Opts.Args.push_back(sim::RuntimeArg::tensor(T));
+  std::string RespLine;
+  std::string Err = supervisor().execute(RawText, RemainingMs, RespLine);
+  if (!Err.empty()) {
+    KindOut = classifyError(Err);
+    std::lock_guard<std::mutex> L(StatsMu);
+    if (KindOut == ErrorKind::SandboxTimeout)
+      ++Stats.SandboxTimeouts;
+    else
+      ++Stats.SandboxCrashes;
+    return Err;
   }
 
-  // A request-carried fault spec arms the PROCESS-wide injection sites
-  // for the duration of this run (replay/debug affordance — matches the
-  // fuzz harness). Left alone when empty so an externally armed spec
-  // (chaos soak, TAWA_FAULTS) is not clobbered.
-  if (!Launch.FaultSpec.empty()) {
-    std::string FErr;
-    if (!faults::configure(Launch.FaultSpec, &FErr)) {
-      KindOut = ErrorKind::CompileError;
-      return "ir faults: " + FErr;
-    }
-  }
-  sim::Interpreter Interp(*Mod, Cfg2);
-  std::vector<sim::CtaTrace> Traces;
-  std::string RunErr = Interp.runGrid(Opts, nullptr, &Traces);
-  if (!Launch.FaultSpec.empty())
-    faults::reset();
-
-  if (!RunErr.empty()) {
-    KindOut = classifyError(RunErr);
-    if (!Diag.empty())
-      Resp.DiagJson = Diag.renderJson();
-    return RunErr;
+  ServeResponse Child;
+  if (std::string PErr = parseResponse(RespLine, Child); !PErr.empty()) {
+    KindOut = ErrorKind::SandboxCrash;
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Stats.SandboxCrashes;
+    return "sandbox crash: malformed response: " + PErr;
   }
 
-  Resp.HasIr = true;
-  for (const sim::TensorRef &T : OutputTensors)
-    Resp.Outputs.push_back(formatString(
-        "%016llx", static_cast<unsigned long long>(fnv1a64(
-                       T->data(), static_cast<size_t>(T->getNumElements()) *
-                                      sizeof(float)))));
-  std::vector<const sim::CtaTrace *> Ptrs;
-  Ptrs.reserve(Traces.size());
-  for (const sim::CtaTrace &T : Traces)
-    Ptrs.push_back(&T);
-  Resp.Cycles = sim::replaySmSchedule(Ptrs, Cfg2, sim::ReplayParams()).Cycles;
+  if (Child.St == ServeResponse::Status::Failed) {
+    // The child's error flows back verbatim; its kind rides the error_kind
+    // field so WorkerCrash inside the sandbox still classifies (and steps
+    // the ladder) exactly like an in-process one.
+    KindOut = ErrorKind::Internal;
+    errorKindFromName(Child.ErrorKind, KindOut);
+    Resp.DiagJson = Child.DiagJson;
+    return Child.Error.empty() ? "sandbox child failed" : Child.Error;
+  }
+  if (Child.St == ServeResponse::Status::Rejected) {
+    KindOut = ErrorKind::Internal;
+    return "sandbox child rejected request: " +
+           (Child.Reason.empty() ? Child.Error : Child.Reason);
+  }
+
+  // Ok: adopt the child's result fields but keep the parent's identity and
+  // policy bookkeeping (id, attempts) — the parent owns the envelope.
+  Child.Id = Resp.Id;
+  Child.Attempts = Resp.Attempts;
+  Child.Degrade = "sandbox";
+  Resp = Child;
   return "";
 }
 
@@ -732,6 +612,12 @@ struct Conn {
 };
 
 bool sendAll(Conn &C, const std::string &Data) {
+  // Fault site: a response lost on the wire (docs/robustness.md). The
+  // client sees a dropped line, the daemon carries on — exactly the
+  // peer-gone path below.
+  if (faults::enabled() &&
+      faults::shouldFailNext(faults::Site::ServeResponseWrite))
+    return false;
   std::lock_guard<std::mutex> L(C.WrMu);
   size_t Off = 0;
   while (Off < Data.size()) {
@@ -861,6 +747,22 @@ void SocketServer::shutdown() {
   (void)!::write(StopPipe[1], "x", 1);
   if (Acceptor.joinable())
     Acceptor.join();
+  // Connections already established in the listen backlog (the peer's
+  // connect() returned, but the acceptor exited on the stop pipe before
+  // accept()ing them) would see a bare RST when the listener closes.
+  // Accept them now so their requests get the structured shutting-down
+  // rejection like every other accepted peer.
+  for (;;) {
+    pollfd P = {ListenFd, POLLIN, 0};
+    if (::poll(&P, 1, 0) <= 0 || !(P.revents & POLLIN))
+      break;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      break;
+    std::lock_guard<std::mutex> L(ConnMu);
+    ConnFds.push_back(Fd);
+    ConnThreads.emplace_back([this, Fd] { handleConnection(Fd); });
+  }
   ::close(ListenFd);
   ListenFd = -1;
   Svc.drain();

@@ -21,7 +21,9 @@
 #ifndef TAWA_SERVE_SERVER_H
 #define TAWA_SERVE_SERVER_H
 
+#include "serve/FlightRecorder.h"
 #include "serve/Protocol.h"
+#include "serve/Sandbox.h"
 #include "support/Status.h"
 
 #include <atomic>
@@ -31,6 +33,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -74,6 +77,15 @@ struct ServeConfig {
   /// Workers per simulation (Runner::NumWorkers); 0 = hardware.
   /// TAWA_SERVE_EXEC_WORKERS.
   int64_t ExecWorkers = 0;
+  /// Flight-recorder ring depth (last N admitted requests kept for crash
+  /// dumps). TAWA_SERVE_FLIGHT_RECORDER.
+  int64_t FlightRecorderDepth = 64;
+  /// Crash-dump directory; "" disables dumping (the ring still records).
+  /// TAWA_SERVE_CRASH_DIR / tawa-serve --crash-dir.
+  std::string CrashDumpDir;
+  /// Out-of-process sandbox knobs (serve/Sandbox.h); the supervisor is
+  /// created lazily on the first sandbox-routed request.
+  SandboxConfig Sandbox;
 
   static ServeConfig fromEnv();
 };
@@ -94,6 +106,11 @@ struct ServeStats {
   int64_t BreakerTrips = 0;
   int64_t BreakerProbes = 0;
   int64_t BreakerCloses = 0;
+  int64_t SandboxRequests = 0; ///< Requests routed out of process.
+  int64_t SandboxCrashes = 0;  ///< Attempts lost to a sandbox death.
+  int64_t SandboxTimeouts = 0; ///< Attempts lost to heartbeat/deadline.
+  int64_t SandboxSpawns = 0;   ///< Child spawns (merged from Supervisor).
+  int64_t CrashDumps = 0;      ///< Flight-recorder dumps written.
 };
 
 class Service {
@@ -133,6 +150,9 @@ public:
   void closeGate();
   void openGate();
 
+  /// The black-box ring of recent requests (serve/FlightRecorder.h).
+  FlightRecorder &recorder() { return Recorder; }
+
 private:
   struct Job {
     std::string Text;
@@ -167,13 +187,19 @@ private:
   void executorLoop();
   std::string process(const Job &J);
   /// One execution attempt. Returns "" (Resp result fields filled) or the
-  /// error string, with \p KindOut its taxonomy classification.
-  std::string executeOnce(const ServeRequest &Req, int Level,
-                          int64_t RemainingMs, ServeResponse &Resp,
+  /// error string, with \p KindOut its taxonomy classification. Routes out
+  /// of process when the request opted in or the ladder escalated the key
+  /// to the sandbox level.
+  std::string executeOnce(const std::string &RawText, const ServeRequest &Req,
+                          int Level, int64_t RemainingMs, ServeResponse &Resp,
                           ErrorKind &KindOut);
-  std::string executeIr(const ServeRequest &Req, int Level,
-                        int64_t RemainingMs, ServeResponse &Resp,
-                        ErrorKind &KindOut);
+  /// The out-of-process path: frames the raw request to the supervisor's
+  /// warm pool, decodes the child's response line.
+  std::string executeSandbox(const std::string &RawText,
+                             int64_t RemainingMs, ServeResponse &Resp,
+                             ErrorKind &KindOut);
+  /// Lazily creates the supervisor (first sandbox-routed request).
+  Supervisor &supervisor();
   int ladderLevel(const std::string &Key);
   void recordCrash(const std::string &Key);
   void breakerBeforeAttempt();
@@ -202,6 +228,10 @@ private:
 
   std::mutex BreakerMu;
   BreakerState Breaker;
+
+  FlightRecorder Recorder;
+  mutable std::mutex SupMu;
+  std::unique_ptr<Supervisor> Sup;
 
   mutable std::mutex StatsMu;
   ServeStats Stats;

@@ -27,6 +27,7 @@ struct SiteConfig {
 std::mutex Mu;
 SiteConfig Sites[NumSites];
 std::atomic<uint64_t> Counters[NumSites];
+std::string AcceptedSpec; ///< Last spec configure() accepted; Mu-guarded.
 
 bool parseSite(const std::string &Name, Site &S) {
   for (int I = 0; I < NumSites; ++I) {
@@ -77,6 +78,14 @@ const char *faults::siteName(Site S) {
     return "arena-alloc";
   case Site::WorkerTask:
     return "worker-task";
+  case Site::SandboxSpawn:
+    return "sandbox.spawn";
+  case Site::SandboxKill:
+    return "sandbox.kill";
+  case Site::SandboxHang:
+    return "sandbox.hang";
+  case Site::ServeResponseWrite:
+    return "serve.response-write";
   }
   return "?";
 }
@@ -150,6 +159,7 @@ bool faults::configure(const std::string &Spec, std::string *Err) {
     Any |= Parsed[I].Active;
   }
   detail::Armed.store(Any, std::memory_order_relaxed);
+  AcceptedSpec = Any ? Spec : std::string();
   return true;
 }
 
@@ -160,4 +170,10 @@ void faults::reset() {
     Counters[I].store(0, std::memory_order_relaxed);
   }
   detail::Armed.store(false, std::memory_order_relaxed);
+  AcceptedSpec.clear();
+}
+
+std::string faults::currentSpec() {
+  std::lock_guard<std::mutex> L(Mu);
+  return AcceptedSpec;
 }

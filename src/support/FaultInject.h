@@ -39,8 +39,12 @@ enum class Site {
   Deserialize, ///< Serialized program bytes corrupted before decoding.
   ArenaAlloc,  ///< TileArena::alloc throws std::bad_alloc.
   WorkerTask,  ///< CTA execution task throws (crash-containment drill).
+  SandboxSpawn,      ///< Supervisor fails to spawn a sandbox process.
+  SandboxKill,       ///< Sandbox child raises SIGKILL on itself mid-request.
+  SandboxHang,       ///< Sandbox child freezes (heartbeat stops) mid-request.
+  ServeResponseWrite,///< Socket response write fails after execution.
 };
-constexpr int NumSites = 5;
+constexpr int NumSites = 9;
 
 /// Stable site name used in the TAWA_FAULTS grammar ("cache-read", ...).
 const char *siteName(Site S);
@@ -72,6 +76,14 @@ bool configure(const std::string &Spec, std::string *Err = nullptr);
 
 /// Disarms every site and resets the shouldFailNext counters.
 void reset();
+
+/// The spec string the last successful configure() accepted ("" when
+/// disarmed). The sandbox supervisor forwards it to child processes with
+/// every request frame, so a spec armed in the parent (chaos soak, a
+/// request-carried fuzz.faults attribute) faults identically out of
+/// process — and a reset() in the parent disarms children on their next
+/// request rather than leaving stale faults armed.
+std::string currentSpec();
 
 } // namespace faults
 } // namespace tawa

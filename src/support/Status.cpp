@@ -30,10 +30,25 @@ const char *tawa::errorKindName(ErrorKind K) {
     return "unsupported";
   case ErrorKind::Infeasible:
     return "infeasible";
+  case ErrorKind::SandboxCrash:
+    return "sandbox-crash";
+  case ErrorKind::SandboxTimeout:
+    return "sandbox-timeout";
   case ErrorKind::Internal:
     return "internal";
   }
   return "internal";
+}
+
+bool tawa::errorKindFromName(const std::string &Name, ErrorKind &Out) {
+  for (int I = 0; I <= static_cast<int>(ErrorKind::Internal); ++I) {
+    ErrorKind K = static_cast<ErrorKind>(I);
+    if (Name == errorKindName(K)) {
+      Out = K;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -86,5 +101,10 @@ ErrorKind tawa::classifyError(const std::string &Error) {
     return ErrorKind::CorruptProgram;
   if (startsWith(Error, At, "compile: "))
     return ErrorKind::CompileError;
+  if (startsWith(Error, At, "sandbox crash:") ||
+      startsWith(Error, At, "sandbox spawn:"))
+    return ErrorKind::SandboxCrash;
+  if (startsWith(Error, At, "sandbox timeout"))
+    return ErrorKind::SandboxTimeout;
   return ErrorKind::Internal;
 }

@@ -35,6 +35,8 @@ enum class ErrorKind {
   CompileError,      ///< Lowering / pass-pipeline failure.
   Unsupported,       ///< Framework or engine rejected the configuration.
   Infeasible,        ///< Resource model rejection (regs/smem budget).
+  SandboxCrash,      ///< Out-of-process sandbox died (signal / bad exit).
+  SandboxTimeout,    ///< Sandbox heartbeat lost or deadline exceeded.
   Internal,          ///< Anything else — an unclassified failure.
 };
 
@@ -47,6 +49,11 @@ const char *errorKindName(ErrorKind K);
 /// runCtaBatch formatting) is skipped first. Empty -> None; unknown ->
 /// Internal.
 ErrorKind classifyError(const std::string &Error);
+
+/// Inverse of errorKindName: decodes a wire-carried kind name (the
+/// sandbox supervisor reads `error_kind` back out of a child process's
+/// tawa-serve-resp-v1 line). Returns false on unknown names.
+bool errorKindFromName(const std::string &Name, ErrorKind &Out);
 
 } // namespace tawa
 

@@ -1,0 +1,94 @@
+//===- Subprocess.h - fork/exec child-process primitive ---------*- C++ -*-===//
+//
+// The out-of-process execution sandbox's foundation (docs/serving.md): a
+// child process spawned by fork + execve with a bidirectional AF_UNIX
+// socketpair as its stdin/stdout, waitpid-based exit/signal
+// classification, and optional rlimit caps applied in the child before
+// exec. The parent talks newline-delimited frames over channel(); a dead
+// peer surfaces as a send/recv error, never SIGPIPE (MSG_NOSIGNAL).
+//
+// This layer is transport + lifecycle only. The sandbox protocol (request
+// framing, heartbeats, restart policy) lives in serve/Sandbox; the runner
+// binary is tools/tawa_sandbox.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TAWA_SUPPORT_SUBPROCESS_H
+#define TAWA_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tawa {
+
+class Subprocess {
+public:
+  struct Options {
+    /// argv[0] is the executable path (execve, no PATH search).
+    std::vector<std::string> Argv;
+    /// Appended to (and overriding) the parent environment.
+    std::vector<std::pair<std::string, std::string>> ExtraEnv;
+    /// RLIMIT_AS cap in MiB; 0 = inherit. Off by default: sanitizer
+    /// runtimes (ASan/TSan) reserve terabytes of virtual address space, so
+    /// an AS cap would kill every sanitized child at startup.
+    int64_t RlimitAsMb = 0;
+    /// RLIMIT_CPU cap in seconds; 0 = inherit. A hard backstop behind the
+    /// supervisor's heartbeat timeout (the kernel delivers SIGXCPU, then
+    /// SIGKILL).
+    int64_t RlimitCpuSec = 0;
+  };
+
+  /// How a child exited, from waitpid. describe() renders the
+  /// deterministic forms "exit code N" / "signal N (NAME)" used in
+  /// sandbox-crash error strings.
+  struct ExitStatus {
+    bool Running = true;   ///< Still alive (poll() only).
+    bool Signaled = false; ///< Terminated by a signal.
+    int Code = 0;          ///< Exit code when !Signaled.
+    int Sig = 0;           ///< Terminating signal when Signaled.
+    std::string describe() const;
+  };
+
+  /// Forks + execs. Returns null with \p Err set when the pipe/fork/exec
+  /// fails (exec failures are detected in the parent via a CLOEXEC status
+  /// pipe, so a missing binary reports its errno instead of a dead child).
+  static std::unique_ptr<Subprocess> spawn(const Options &Opts,
+                                           std::string &Err);
+
+  /// Kills (SIGKILL by default) and reaps if still running.
+  ~Subprocess();
+
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+
+  /// The parent's end of the socketpair wired to the child's stdin+stdout.
+  int channel() const { return Channel; }
+  int pid() const { return Pid; }
+
+  /// Non-blocking reap: Running=true while the child lives; afterwards the
+  /// exit/signal classification (sticky — repeat calls return the same).
+  ExitStatus poll();
+  /// Blocking reap.
+  ExitStatus wait();
+  /// Sends \p Sig if the child is still running (ESRCH is not an error).
+  void kill(int Sig);
+
+  /// "SIGKILL" / "SIGSEGV" / ... for the signals the supervisor
+  /// classifies; "signal N" otherwise.
+  static const char *signalName(int Sig);
+
+private:
+  Subprocess() = default;
+
+  int Pid = -1;
+  int Channel = -1;
+  bool Reaped = false;
+  ExitStatus Last;
+};
+
+} // namespace tawa
+
+#endif // TAWA_SUPPORT_SUBPROCESS_H

@@ -345,14 +345,19 @@ TEST(ServeService, DegradationLadderStepsPerCompileKey) {
   EXPECT_EQ(respField(L1, "degrade"), "fused") << L1;
   EXPECT_EQ(respField(L2, "degrade"), "unfused") << L2;
   EXPECT_EQ(respField(L3, "degrade"), "serial") << L3;
-  EXPECT_EQ(respField(L4, "degrade"), "serial") << L4; // Ladder floor.
-  EXPECT_EQ(Svc.stats().DegradeSteps, 2);
+  // Ladder floor: out of process. The fault spec is forwarded with the
+  // frame, so the crash happens INSIDE the sandbox — contained, and still
+  // classified worker-crash through the structured child response.
+  EXPECT_EQ(respField(L4, "degrade"), "sandbox") << L4;
+  EXPECT_EQ(respField(L4, "status"), "failed") << L4;
+  EXPECT_EQ(respField(L4, "error_kind"), "worker-crash") << L4;
+  EXPECT_EQ(Svc.stats().DegradeSteps, 3);
 
   // The degraded mode is the safe mode: with faults gone the key still
-  // runs (serially) and succeeds.
+  // runs (sandboxed) and succeeds.
   std::string L5 = Svc.call(gemmReq("l5"));
   EXPECT_EQ(respField(L5, "status"), "ok") << L5;
-  EXPECT_EQ(respField(L5, "degrade"), "serial") << L5;
+  EXPECT_EQ(respField(L5, "degrade"), "sandbox") << L5;
   Svc.shutdown();
 }
 

@@ -37,9 +37,12 @@ void onSignal(int) {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket PATH\n"
-               "Environment: TAWA_SERVE_* knobs (docs/serving.md), plus the\n"
-               "usual TAWA_CACHE_DIR / TAWA_MAX_STEPS / TAWA_FAULTS.\n",
+               "usage: %s --socket PATH [--crash-dir PATH]\n"
+               "  --crash-dir PATH  flight-recorder crash dumps go here\n"
+               "                    (overrides TAWA_SERVE_CRASH_DIR)\n"
+               "Environment: TAWA_SERVE_* / TAWA_SANDBOX_* knobs\n"
+               "(docs/serving.md), plus the usual TAWA_CACHE_DIR /\n"
+               "TAWA_MAX_STEPS / TAWA_FAULTS.\n",
                Argv0);
   return 1;
 }
@@ -48,10 +51,13 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   std::string Path;
+  std::string CrashDir;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--socket" && I + 1 < argc) {
       Path = argv[++I];
+    } else if (Arg == "--crash-dir" && I + 1 < argc) {
+      CrashDir = argv[++I];
     } else {
       return usage(argv[0]);
     }
@@ -67,7 +73,13 @@ int main(int argc, char **argv) {
   std::signal(SIGINT, onSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
-  serve::Service Svc;
+  serve::ServeConfig Cfg = serve::ServeConfig::fromEnv();
+  if (!CrashDir.empty())
+    Cfg.CrashDumpDir = CrashDir;
+  serve::Service Svc(Cfg);
+  // Best-effort black box for the daemon itself: a fatal signal dumps the
+  // last admitted request before the default action re-delivers.
+  serve::FlightRecorder::installFatalSignalDump(Svc.recorder());
   serve::SocketServer Srv(Svc, Path);
   std::string Err;
   if (!Srv.start(Err)) {
@@ -90,7 +102,9 @@ int main(int argc, char **argv) {
   std::printf("tawa-serve: accepted=%lld succeeded=%lld failed=%lld "
               "bad_requests=%lld rejected_overload=%lld "
               "rejected_shutdown=%lld retries=%lld degrade_steps=%lld "
-              "breaker_trips=%lld\n",
+              "breaker_trips=%lld sandbox_requests=%lld "
+              "sandbox_crashes=%lld sandbox_timeouts=%lld "
+              "sandbox_spawns=%lld crash_dumps=%lld\n",
               static_cast<long long>(S.Accepted),
               static_cast<long long>(S.Succeeded),
               static_cast<long long>(S.Failed),
@@ -99,6 +113,11 @@ int main(int argc, char **argv) {
               static_cast<long long>(S.RejectedShutdown),
               static_cast<long long>(S.Retries),
               static_cast<long long>(S.DegradeSteps),
-              static_cast<long long>(S.BreakerTrips));
+              static_cast<long long>(S.BreakerTrips),
+              static_cast<long long>(S.SandboxRequests),
+              static_cast<long long>(S.SandboxCrashes),
+              static_cast<long long>(S.SandboxTimeouts),
+              static_cast<long long>(S.SandboxSpawns),
+              static_cast<long long>(S.CrashDumps));
   return 0;
 }
